@@ -1,0 +1,71 @@
+// Ablation — the paper's central auto-tuning argument (Sections VI-B and
+// VII): training the classifier by minimizing EXPECTED COMPUTATION TIME
+// (example-specific costs, Eq. 3) versus a standard 0/1 cross-entropy
+// classifier that "penalizes all prediction errors equally".
+//
+// With clean timings both losses land near the ideal; with realistic
+// measurement noise the argmin labels near policy boundaries become
+// arbitrary — cross-entropy chases them, while the cost-sensitive loss
+// sees the near-equal costs and makes only harmless errors. Regret is
+// always evaluated against the noise-free timings.
+#include "common.hpp"
+
+#include "autotune/trainer.hpp"
+
+using namespace mfgpu;
+
+namespace {
+
+double regret(const PolicyDataset& clean, const TrainedPolicyModel& model) {
+  double ideal = 0.0, chosen = 0.0;
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    ideal += clean.time(i, clean.best_policy_index(i));
+    chosen += clean.time(
+        i, static_cast<int>(model.choose(clean.ms[i], clean.ks[i])) - 1);
+  }
+  return chosen / ideal - 1.0;
+}
+
+double accuracy(const PolicyDataset& clean, const TrainedPolicyModel& model) {
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    if (static_cast<int>(model.choose(clean.ms[i], clean.ks[i])) - 1 ==
+        clean.best_policy_index(i)) {
+      ++hits;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(clean.size());
+}
+
+}  // namespace
+
+int main() {
+  PolicyTimer timer;
+  const bench::BenchMatrix bm = bench::load_matrix(2);  // lmco_s
+  const auto dims = dims_from_symbolic(bm.analysis.symbolic);
+  const PolicyDataset clean = build_dataset(dims, timer);
+
+  Table table("Ablation — expected-time loss (paper Eq. 3) vs 0/1 "
+              "cross-entropy under timing noise",
+              {"timing noise", "loss", "regret vs ideal %",
+               "argmin accuracy %"});
+  for (const double noise : {0.0, 0.15, 0.30}) {
+    Rng rng(99);
+    const PolicyDataset train_set =
+        (noise > 0.0) ? build_dataset(dims, timer, noise, &rng) : clean;
+    const TrainedPolicyModel cost = train_expected_time(train_set);
+    const TrainedPolicyModel ce = train_cross_entropy(train_set);
+    const std::string label =
+        std::to_string(static_cast<int>(noise * 100)) + "%";
+    table.add_row({label, std::string("expected-time"),
+                   100.0 * regret(clean, cost), 100.0 * accuracy(clean, cost)});
+    table.add_row({label, std::string("cross-entropy"),
+                   100.0 * regret(clean, ce), 100.0 * accuracy(clean, ce)});
+  }
+  bench::emit(table, "ablation_loss.csv");
+  std::printf(
+      "paper claim: the cost-sensitive objective makes \"relatively "
+      "harmless errors\"; a plain classifier treats all boundary errors "
+      "equally and loses ground once timings are noisy\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Ablation — the paper's §V-A2 memory policy: "each call to allocate a
+// chunk in pinned memory is prohibitively expensive... any allocation/
+// deallocation is triggered only when the maximum allocated size over all
+// the previous calls is insufficient". Compares a full factorization with
+// the high-water-mark pools against per-call allocation.
+#include "common.hpp"
+
+using namespace mfgpu;
+
+int main() {
+  const bench::BenchMatrix bm = bench::load_matrix(2);  // lmco_s (mid-size)
+
+  Table table("Ablation — pinned/device high-water-mark reuse (policy P3)",
+              {"variant", "factor time (s)", "charged allocs",
+               "alloc calls"});
+  for (const bool reuse : {true, false}) {
+    PolicyExecutor p3(Policy::P3);
+    FactorContext ctx;
+    ctx.numeric = false;
+    Device::Options opt;
+    opt.numeric = false;
+    opt.pool_reuse = reuse;
+    Device device(opt);
+    ctx.device = &device;
+    FactorizeOptions fopt;
+    fopt.store_factor = false;
+    const FactorizeResult result = factorize(bm.analysis, p3, ctx, fopt);
+    table.add_row(
+        {std::string(reuse ? "high-water reuse (paper)" : "per-call alloc"),
+         result.trace.total_time,
+         device.pinned_pool_stats().charged_allocations +
+             device.device_pool_stats().charged_allocations,
+         device.pinned_pool_stats().acquire_calls +
+             device.device_pool_stats().acquire_calls});
+  }
+  bench::emit(table, "ablation_pinned.csv");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Figure 3 — theoretical speedup of the basic GPU implementation from the
+// paper's Eqs. 1-2 (asymptotic rates + PCIe bandwidth) vs the speedup
+// actually observed per call in the simulation, as a function of total op
+// count. The paper notes the observed values scatter below the theoretical
+// curve for small/moderate calls because the kernels are far from their
+// asymptotic rates there.
+#include "common.hpp"
+
+#include <cmath>
+#include <map>
+
+using namespace mfgpu;
+
+namespace {
+
+/// Paper Eq. 1.
+double t_cpu_model(index_t m, index_t k, const ProcessorModel& cpu) {
+  return static_cast<double>(potrf_ops(k)) / 8.84e9 +
+         static_cast<double>(trsm_ops(m, k)) / 9.24e9 +
+         static_cast<double>(syrk_ops(m, k)) / 10.02e9 +
+         0.0 * cpu.peak_flops;
+}
+
+/// Paper Eq. 2 (beta = 1.4 GB/s, single-precision words).
+double t_gpu_model(index_t m, index_t k) {
+  const double beta = 1.4e9;
+  const double nd_l = (static_cast<double>(k) * k + 2.0 * m * k) * 4.0;
+  const double nd_u = static_cast<double>(m) * m * 4.0;
+  return static_cast<double>(potrf_ops(k)) / 8.84e9 +
+         static_cast<double>(trsm_ops(m, k)) / 153.7e9 +
+         static_cast<double>(syrk_ops(m, k)) / 159.69e9 + nd_l / beta +
+         nd_u / beta;
+}
+
+}  // namespace
+
+int main() {
+  const bench::BenchMatrix bm = bench::load_matrix(0);
+  PolicyExecutor host_exec(Policy::P1);
+  const FactorizationTrace host =
+      bench::run_trace(bm.analysis, host_exec, false);
+  PolicyExecutor basic_gpu(Policy::P3, bench::basic_gpu_options());
+  const FactorizationTrace gpu =
+      bench::run_trace(bm.analysis, basic_gpu, true);
+
+  const ProcessorModel cpu = xeon5160_model();
+  // Bin by decade of total ops; report mean theoretical & observed speedup.
+  std::map<int, std::array<double, 3>> bins;  // decade -> {sum_th, sum_obs, n}
+  for (std::size_t i = 0; i < host.calls.size(); ++i) {
+    const auto& hc = host.calls[i];
+    const auto& gc = gpu.calls[i];
+    if (hc.m == 0) continue;  // Eq. 2 covers the offloaded case only
+    const double ops = hc.ops_total();
+    const int decade = static_cast<int>(std::floor(std::log10(ops)));
+    const double theoretical =
+        t_cpu_model(hc.m, hc.k, cpu) / t_gpu_model(hc.m, hc.k);
+    const double observed = hc.t_total / gc.t_total;
+    auto& bin = bins[decade];
+    bin[0] += theoretical;
+    bin[1] += observed;
+    bin[2] += 1.0;
+  }
+
+  Table table("Fig. 3 — theoretical vs observed speedup of the basic GPU "
+              "implementation (audikw1_s)",
+              {"ops decade", "calls", "theoretical speedup", "observed speedup"});
+  for (const auto& [decade, bin] : bins) {
+    table.add_row({std::string("1e") + std::to_string(decade),
+                   static_cast<index_t>(bin[2]), bin[0] / bin[2],
+                   bin[1] / bin[2]});
+  }
+  bench::emit(table, "fig3_theoretical_speedup.csv");
+  return 0;
+}

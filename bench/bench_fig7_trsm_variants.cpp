@@ -1,0 +1,52 @@
+// Figure 7 — flop rate of the trsm variants (host CPU, GPU with copy, GPU
+// without copy) against op count, and the two tipping points the paper
+// reads off: GPU beats CPU from ~4e5 ops without copies and from ~3e6 ops
+// when the L1/L2 transfers are charged.
+#include "common.hpp"
+
+#include <cmath>
+
+using namespace mfgpu;
+
+namespace {
+
+void dims_for(double ops, index_t& m, index_t& k) {
+  k = std::max<index_t>(1, static_cast<index_t>(std::cbrt(ops / 2.0)));
+  m = 2 * k;
+}
+
+double copy_seconds(index_t m, index_t k, const TransferModel& pcie) {
+  const double words =
+      static_cast<double>(k) * k + 2.0 * static_cast<double>(m) * k;
+  return pcie.sync_copy_time(words * sizeof(float)) + 2 * pcie.sync_latency;
+}
+
+}  // namespace
+
+int main() {
+  const ProcessorModel cpu = xeon5160_model();
+  const ProcessorModel gpu = tesla_t10_model();
+  const TransferModel pcie = pcie_x8_model();
+
+  Table table("Fig. 7 — trsm flop rate by variant (m = 2k sweep)",
+              {"ops", "CPU F/s", "GPU+copy F/s", "GPU-copy F/s"});
+  double tip_no_copy = 0.0, tip_with_copy = 0.0;
+  for (double ops = 1e3; ops <= 1e11; ops *= std::sqrt(10.0)) {
+    index_t m, k;
+    dims_for(ops, m, k);
+    const double real_ops = static_cast<double>(trsm_ops(m, k));
+    const double t_cpu = cpu.trsm.time(real_ops, static_cast<double>(k));
+    const double t_gpu = gpu.trsm.time(real_ops, static_cast<double>(k));
+    const double t_gpu_copy = t_gpu + copy_seconds(m, k, pcie);
+    table.add_row({real_ops, real_ops / t_cpu, real_ops / t_gpu_copy,
+                   real_ops / t_gpu});
+    if (tip_no_copy == 0.0 && t_gpu < t_cpu) tip_no_copy = real_ops;
+    if (tip_with_copy == 0.0 && t_gpu_copy < t_cpu) tip_with_copy = real_ops;
+  }
+  bench::emit(table, "fig7_trsm_variants.csv");
+  std::printf(
+      "tipping points: GPU w/o copy beats CPU at ~%.2e ops (paper ~4e5), "
+      "GPU w/ copy at ~%.2e ops (paper ~3e6)\n",
+      tip_no_copy, tip_with_copy);
+  return 0;
+}

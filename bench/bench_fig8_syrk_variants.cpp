@@ -1,0 +1,52 @@
+// Figure 8 — flop rate of the syrk variants (host CPU, GPU with the
+// L2 L2^T copy-back, GPU without copies) against op count. Paper: the
+// no-copy transition sits at ~1.5e5 ops, while with copies charged there is
+// a wide 1e6-1e7 band with no clear winner and a much later transition —
+// "optimizing the copy costs is critical".
+#include "common.hpp"
+
+#include <cmath>
+
+using namespace mfgpu;
+
+namespace {
+
+void dims_for(double ops, index_t& m, index_t& k) {
+  k = std::max<index_t>(1, static_cast<index_t>(std::cbrt(ops / 4.0)));
+  m = 2 * k;
+}
+
+}  // namespace
+
+int main() {
+  const ProcessorModel cpu = xeon5160_model();
+  const ProcessorModel gpu = tesla_t10_model();
+  const TransferModel pcie = pcie_x8_model();
+
+  Table table("Fig. 8 — syrk flop rate by variant (m = 2k sweep)",
+              {"ops", "CPU F/s", "GPU+copy F/s", "GPU-copy F/s"});
+  double tip_no_copy = 0.0, tip_with_copy = 0.0;
+  for (double ops = 1e3; ops <= 1e11; ops *= std::sqrt(10.0)) {
+    index_t m, k;
+    dims_for(ops, m, k);
+    const double real_ops = static_cast<double>(syrk_ops(m, k));
+    const double min_dim = static_cast<double>(std::min(m, k));
+    const double t_cpu = cpu.syrk.time(real_ops, min_dim);
+    const double t_gpu = gpu.syrk.time(real_ops, min_dim);
+    const double copy_words = static_cast<double>(m) * k +
+                              static_cast<double>(m) * m;
+    const double t_gpu_copy =
+        t_gpu + pcie.sync_copy_time(copy_words * sizeof(float));
+    table.add_row({real_ops, real_ops / t_cpu, real_ops / t_gpu_copy,
+                   real_ops / t_gpu});
+    if (tip_no_copy == 0.0 && t_gpu < t_cpu) tip_no_copy = real_ops;
+    if (tip_with_copy == 0.0 && t_gpu_copy < t_cpu) tip_with_copy = real_ops;
+  }
+  bench::emit(table, "fig8_syrk_variants.csv");
+  std::printf(
+      "transition points: GPU w/o copy beats CPU at ~%.2e ops (paper "
+      "~1.5e5), GPU w/ copy at ~%.2e ops (paper: ambiguous 1e6-1e7 band, "
+      "later transition)\n",
+      tip_no_copy, tip_with_copy);
+  return 0;
+}

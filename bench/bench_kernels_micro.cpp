@@ -1,0 +1,87 @@
+// Wall-clock microbenchmarks (google-benchmark) of the library's own dense
+// kernels — the numeric substrate everything executes on. These are the
+// only benches that measure real machine time; all paper reproductions run
+// on the calibrated virtual clock.
+#include <benchmark/benchmark.h>
+
+#include "dense/potrf.hpp"
+#include "support/rng.hpp"
+
+namespace mfgpu {
+namespace {
+
+Matrix<double> random_matrix(index_t rows, index_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix<double> m(rows, cols);
+  for (index_t j = 0; j < cols; ++j) {
+    for (index_t i = 0; i < rows; ++i) m(i, j) = rng.uniform(-1.0, 1.0);
+  }
+  return m;
+}
+
+Matrix<double> random_spd(index_t n, std::uint64_t seed) {
+  auto g = random_matrix(n, n, seed);
+  Matrix<double> a(n, n, 0.0);
+  gemm<double>(Trans::NoTrans, Trans::Transpose, 1.0, g.view(), g.view(), 0.0,
+               a.view());
+  for (index_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+void BM_Gemm(benchmark::State& state) {
+  const index_t n = state.range(0);
+  const auto a = random_matrix(n, n, 1);
+  const auto b = random_matrix(n, n, 2);
+  Matrix<double> c(n, n, 0.0);
+  for (auto _ : state) {
+    gemm<double>(Trans::NoTrans, Trans::Transpose, 1.0, a.view(), b.view(),
+                 0.0, c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SyrkLower(benchmark::State& state) {
+  const index_t n = state.range(0);
+  const auto a = random_matrix(n, n / 2, 3);
+  Matrix<double> c(n, n, 0.0);
+  for (auto _ : state) {
+    syrk_lower<double>(-1.0, a.view(), 1.0, c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * (n / 2));
+}
+BENCHMARK(BM_SyrkLower)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_TrsmRightLT(benchmark::State& state) {
+  const index_t k = state.range(0);
+  auto l = random_spd(k, 4);
+  potrf<double>(l.view());
+  auto b0 = random_matrix(2 * k, k, 5);
+  for (auto _ : state) {
+    auto b = b0;
+    trsm<double>(Side::Right, Uplo::Lower, Trans::Transpose, Diag::NonUnit,
+                 1.0, l.view(), b.view());
+    benchmark::DoNotOptimize(b.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * k * k * k);
+}
+BENCHMARK(BM_TrsmRightLT)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Potrf(benchmark::State& state) {
+  const index_t n = state.range(0);
+  const auto a = random_spd(n, 6);
+  for (auto _ : state) {
+    auto l = a;
+    potrf<double>(l.view());
+    benchmark::DoNotOptimize(l.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n / 3);
+}
+BENCHMARK(BM_Potrf)->Arg(64)->Arg(128)->Arg(256);
+
+}  // namespace
+}  // namespace mfgpu
+
+BENCHMARK_MAIN();

@@ -1,0 +1,36 @@
+// Table I — GPU specification. Prints the constants of the simulated
+// hardware so every other bench's context is on record.
+#include "common.hpp"
+
+using namespace mfgpu;
+
+int main() {
+  const ProcessorModel gpu = tesla_t10_model();
+  const ProcessorModel cpu = xeon5160_model();
+  const TransferModel pcie = pcie_x8_model();
+
+  Table table("Table I — simulated hardware specification",
+              {"component", "parameter", "value"});
+  table.add_row({std::string("GPU (Tesla T10)"), std::string("peak SP Flops/s"),
+                 gpu.peak_flops});
+  table.add_row({std::string("GPU"), std::string("trsm asymptotic Flops/s"),
+                 gpu.trsm.peak_flops});
+  table.add_row({std::string("GPU"), std::string("syrk asymptotic Flops/s"),
+                 gpu.syrk.peak_flops});
+  table.add_row({std::string("GPU"), std::string("gemm asymptotic Flops/s"),
+                 gpu.gemm.peak_flops});
+  table.add_row({std::string("GPU"), std::string("kernel launch latency (s)"),
+                 gpu.trsm.latency});
+  table.add_row({std::string("GPU"), std::string("device memory (B)"),
+                 static_cast<double>(std::int64_t{4} * 1024 * 1024 * 1024)});
+  table.add_row({std::string("CPU (Xeon 5160 core)"),
+                 std::string("peak DP Flops/s"), cpu.peak_flops});
+  table.add_row({std::string("PCIe x8"), std::string("pageable B/s"),
+                 pcie.sync_bandwidth});
+  table.add_row({std::string("PCIe x8"), std::string("pinned B/s"),
+                 pcie.async_bandwidth});
+  table.add_row({std::string("PCIe x8"), std::string("pinned alloc latency (s)"),
+                 pcie.pinned_alloc_latency});
+  bench::emit(table, "table1_spec.csv");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Table VII — end-to-end factorization speedups w.r.t. a single-threaded
+// CPU run: single policies P2-P4, the Ideal / Model / Baseline hybrids, a
+// 4-thread CPU run, and the copy-optimized model hybrid on 1 GPU and on
+// 2 threads + 2 GPUs. Paper ranges: P-hybrids 5-10x, 4-thread 2.7-4.3x,
+// copy-optimized 2-GPU 10-25x.
+#include "common.hpp"
+
+#include "autotune/trainer.hpp"
+#include "sched/list_scheduler.hpp"
+
+using namespace mfgpu;
+
+int main() {
+  const auto testset = bench::load_testset();
+  PolicyTimer timer;
+
+  // Train the model hybrid on the union of the observed call dimensions of
+  // all five matrices (paper Section VI-C methodology).
+  std::vector<std::pair<index_t, index_t>> dims;
+  for (const auto& bm : testset) {
+    const auto d = dims_from_symbolic(bm.analysis.symbolic);
+    dims.insert(dims.end(), d.begin(), d.end());
+  }
+  const PolicyDataset dataset = build_dataset(dims, timer);
+  const TrainedPolicyModel model = train_expected_time(dataset);
+  const BaselineThresholds thresholds = derive_thresholds(timer);
+
+  // Copy-optimized variant: retrain on copy-optimized timings (paper: "a
+  // new model was learned with these results").
+  ExecutorOptions copy_opt;
+  copy_opt.copy_optimized_p4 = true;
+  PolicyTimer copy_timer(copy_opt);
+  const PolicyDataset copy_dataset = build_dataset(dims, copy_timer);
+  const TrainedPolicyModel copy_model = train_expected_time(copy_dataset);
+
+  Table table("Table VII — speedup of policies w.r.t. single-thread CPU run",
+              {"matrix", "P2", "P3", "P4", "Ideal", "Model", "Baseline",
+               "4-Thread", "copy-opt Model 1GPU", "copy-opt Model 2GPU"});
+
+  for (const auto& bm : testset) {
+    PolicyExecutor p1(Policy::P1);
+    const double t1 =
+        bench::run_trace(bm.analysis, p1, /*use_device=*/false).total_time;
+
+    auto speedup_of = [&](FuExecutor& exec) {
+      return t1 / bench::run_trace(bm.analysis, exec, true).total_time;
+    };
+
+    PolicyExecutor p2(Policy::P2), p3(Policy::P3), p4(Policy::P4);
+    DispatchExecutor ideal = make_ideal_hybrid(timer);
+    DispatchExecutor model_exec = make_model_hybrid(model);
+    DispatchExecutor baseline = make_baseline_hybrid(thresholds);
+    DispatchExecutor copy_exec = make_model_hybrid(copy_model, copy_opt);
+
+    // Multi-worker runs via the scheduling simulation.
+    const TaskGraph graph =
+        build_task_graph(bm.analysis.symbolic, bm.analysis.permuted);
+    const double sched1 =
+        simulate_schedule(graph, std::vector<WorkerSpec>(1)).makespan;
+    const double sched4 =
+        simulate_schedule(graph, std::vector<WorkerSpec>(4)).makespan;
+    ScheduleOptions two_gpu_opt;
+    two_gpu_opt.exec = copy_opt;
+    two_gpu_opt.gpu_chooser = [&copy_model](index_t m, index_t k) {
+      return copy_model.choose(m, k);
+    };
+    const double sched_2gpu =
+        simulate_schedule(graph, {WorkerSpec{true}, WorkerSpec{true}},
+                          two_gpu_opt)
+            .makespan;
+
+    table.add_row({bm.problem.name, speedup_of(p2), speedup_of(p3),
+                   speedup_of(p4), speedup_of(ideal), speedup_of(model_exec),
+                   speedup_of(baseline), sched1 / sched4,
+                   speedup_of(copy_exec), sched1 / sched_2gpu});
+  }
+  bench::emit(table, "table7_speedups.csv");
+  std::printf(
+      "paper ranges: P2 2.3-2.6, P3 3.9-6.1, P4 3.2-7.3, Ideal 5.4-9.6, "
+      "Model 5.3-9.5, Baseline 4.9-8.7, 4-Thread 2.7-4.3, copy-opt 1GPU "
+      "5.9-9.9, copy-opt 2GPU 10.7-25.6 (matrices ~10x larger than our "
+      "stand-ins; shapes, orderings and ratios are the reproduction target)\n");
+  return 0;
+}

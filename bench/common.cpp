@@ -1,0 +1,81 @@
+#include "common.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+namespace mfgpu::bench {
+
+double bench_scale() {
+  if (const char* env = std::getenv("MFGPU_BENCH_SCALE")) {
+    const double value = std::atof(env);
+    if (value > 0.0 && value <= 1.0) return value;
+    std::cerr << "ignoring invalid MFGPU_BENCH_SCALE=" << env << "\n";
+  }
+  return 1.0;
+}
+
+std::vector<BenchMatrix> load_testset() {
+  std::vector<BenchMatrix> set;
+  for (auto& problem : make_paper_testset(bench_scale())) {
+    Analysis analysis =
+        analyze(problem.matrix, nested_dissection(problem.coords));
+    set.push_back(BenchMatrix{std::move(problem), std::move(analysis)});
+  }
+  return set;
+}
+
+BenchMatrix load_matrix(std::size_t index) {
+  auto problems = make_paper_testset(bench_scale());
+  MFGPU_CHECK(index < problems.size(), "load_matrix: index out of range");
+  GridProblem problem = std::move(problems[index]);
+  Analysis analysis =
+      analyze(problem.matrix, nested_dissection(problem.coords));
+  return BenchMatrix{std::move(problem), std::move(analysis)};
+}
+
+FactorizationTrace run_trace(const Analysis& analysis, FuExecutor& executor,
+                             bool use_device, Device::Options device_options) {
+  FactorContext ctx;
+  ctx.numeric = false;
+  device_options.numeric = false;
+  std::unique_ptr<Device> device;
+  if (use_device) {
+    device = std::make_unique<Device>(device_options);
+    ctx.device = device.get();
+  }
+  FactorizeOptions options;
+  options.store_factor = false;
+  return factorize(analysis, executor, ctx, options).trace;
+}
+
+ExecutorOptions basic_gpu_options() {
+  ExecutorOptions options;
+  options.overlapped_copies = false;
+  return options;
+}
+
+namespace {
+
+std::filesystem::path out_dir() {
+  const std::filesystem::path dir = "bench_out";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+}  // namespace
+
+void emit(const Table& table, const std::string& csv_name) {
+  table.print(std::cout);
+  std::cout << "\n";
+  std::ofstream csv(out_dir() / csv_name);
+  table.write_csv(csv);
+}
+
+void emit_text(const std::string& text, const std::string& file_name) {
+  std::ofstream os(out_dir() / file_name);
+  os << text;
+}
+
+}  // namespace mfgpu::bench

@@ -1,0 +1,48 @@
+// Shared setup for the paper-reproduction benchmark binaries: the five
+// test matrices (Table II stand-ins), their symbolic analyses, dry-run
+// trace collection under any executor, and uniform table/CSV output.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autotune/hybrid.hpp"
+#include "multifrontal/factorization.hpp"
+#include "ordering/nested_dissection.hpp"
+#include "sparse/generators.hpp"
+#include "support/table.hpp"
+
+namespace mfgpu::bench {
+
+/// Problem scale from MFGPU_BENCH_SCALE (default 1.0; smaller = faster).
+double bench_scale();
+
+struct BenchMatrix {
+  GridProblem problem;
+  Analysis analysis;
+};
+
+/// The five Table II stand-ins, analyzed with geometric nested dissection.
+std::vector<BenchMatrix> load_testset();
+
+/// One matrix only (for quick single-matrix figures); index into Table II.
+BenchMatrix load_matrix(std::size_t index);
+
+/// Dry-run factorization trace under `executor`. `use_device` attaches a
+/// fresh simulated T10.
+FactorizationTrace run_trace(const Analysis& analysis, FuExecutor& executor,
+                             bool use_device,
+                             Device::Options device_options = {});
+
+/// The Section IV "basic GPU implementation": P3 with synchronous pageable
+/// copies.
+ExecutorOptions basic_gpu_options();
+
+/// Print the table to stdout and mirror it to bench_out/<name>.csv.
+void emit(const Table& table, const std::string& csv_name);
+
+/// Write arbitrary text (heat maps etc.) next to the CSVs.
+void emit_text(const std::string& text, const std::string& file_name);
+
+}  // namespace mfgpu::bench

@@ -1,0 +1,69 @@
+// Parallel scheduling scenario: the paper's closing experiment — tree-level
+// task parallelism across CPU threads, each optionally driving its own GPU
+// (Table VII's 4-thread and "2 threads + 2 GPUs" columns). Uses the
+// deterministic list-scheduler simulation over the supernode task DAG.
+#include <cstdio>
+
+#include "autotune/trainer.hpp"
+#include "ordering/nested_dissection.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sparse/generators.hpp"
+
+using namespace mfgpu;
+
+int main() {
+  Rng rng(11);
+  const GridProblem model = make_elasticity_3d(20, 20, 16, 3, rng);
+  const Analysis analysis =
+      analyze(model.matrix, nested_dissection(model.coords));
+  const TaskGraph graph =
+      build_task_graph(analysis.symbolic, analysis.permuted);
+  std::printf("task DAG: %lld supernode tasks\n",
+              static_cast<long long>(graph.num_tasks));
+
+  // Train a copy-optimized model for the GPU workers.
+  ExecutorOptions copy_opt;
+  copy_opt.copy_optimized_p4 = true;
+  PolicyTimer timer(copy_opt);
+  const PolicyDataset dataset =
+      build_dataset(dims_from_symbolic(analysis.symbolic), timer);
+  const TrainedPolicyModel model_hybrid = train_expected_time(dataset);
+
+  const double serial =
+      simulate_schedule(graph, std::vector<WorkerSpec>(1)).makespan;
+  std::printf("1 CPU thread: %.3f s (reference)\n", serial);
+
+  struct Config {
+    const char* name;
+    std::vector<WorkerSpec> workers;
+    bool use_model;
+  };
+  const Config configs[] = {
+      {"2 CPU threads", std::vector<WorkerSpec>(2), false},
+      {"4 CPU threads", std::vector<WorkerSpec>(4), false},
+      {"1 thread + 1 GPU", {WorkerSpec{true}}, true},
+      {"2 threads + 2 GPUs", {WorkerSpec{true}, WorkerSpec{true}}, true},
+      {"4 threads, 2 with GPUs",
+       {WorkerSpec{true}, WorkerSpec{true}, WorkerSpec{false},
+        WorkerSpec{false}},
+       true},
+  };
+  for (const Config& config : configs) {
+    ScheduleOptions options;
+    options.exec = copy_opt;
+    if (config.use_model) {
+      options.gpu_chooser = [&model_hybrid](index_t m, index_t k) {
+        return model_hybrid.choose(m, k);
+      };
+    }
+    const ScheduleResult result =
+        simulate_schedule(graph, config.workers, options);
+    std::printf("%-24s makespan %.3f s, speedup %5.2fx, utilization %.0f%%\n",
+                config.name, result.makespan, serial / result.makespan,
+                100.0 * result.utilization());
+  }
+  std::printf(
+      "paper Table VII: 2 threads + 2 GPUs reach 10-25x over serial on "
+      "matrices ~10x larger than this example\n");
+  return 0;
+}

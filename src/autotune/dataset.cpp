@@ -1,0 +1,82 @@
+#include "autotune/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mfgpu {
+
+int PolicyDataset::best_policy_index(std::size_t i) const {
+  int best = 0;
+  for (int j = 1; j < 4; ++j) {
+    if (time(i, j) < time(i, best)) best = j;
+  }
+  return best;
+}
+
+void PolicyDataset::append(index_t m, index_t k,
+                           const std::array<double, 4>& t) {
+  ms.push_back(m);
+  ks.push_back(k);
+  times.insert(times.end(), t.begin(), t.end());
+}
+
+std::vector<std::pair<index_t, index_t>> dims_from_symbolic(
+    const SymbolicFactor& sym) {
+  std::vector<std::pair<index_t, index_t>> dims;
+  dims.reserve(static_cast<std::size_t>(sym.num_supernodes()));
+  for (const auto& sn : sym.supernodes()) {
+    dims.emplace_back(sn.num_update_rows(), sn.width());
+  }
+  return dims;
+}
+
+std::vector<std::pair<index_t, index_t>> log_grid_dims(index_t max_m,
+                                                       index_t max_k,
+                                                       int points_per_axis) {
+  MFGPU_CHECK(max_m >= 1 && max_k >= 1 && points_per_axis >= 2,
+              "log_grid_dims: bad parameters");
+  auto axis = [points_per_axis](index_t max_value) {
+    std::vector<index_t> values;
+    for (int i = 0; i < points_per_axis; ++i) {
+      const double v = std::pow(static_cast<double>(max_value),
+                                static_cast<double>(i) /
+                                    (points_per_axis - 1));
+      const auto iv = static_cast<index_t>(std::lround(v));
+      if (values.empty() || iv != values.back()) values.push_back(iv);
+    }
+    return values;
+  };
+  std::vector<std::pair<index_t, index_t>> dims;
+  const auto ms = axis(max_m);
+  const auto ks = axis(max_k);
+  for (index_t k : ks) {
+    dims.emplace_back(0, k);  // root-style calls (paper's m = 0 special case)
+    for (index_t m : ms) dims.emplace_back(m, k);
+  }
+  return dims;
+}
+
+PolicyDataset build_dataset(
+    const std::vector<std::pair<index_t, index_t>>& dims, PolicyTimer& timer,
+    double noise_rel, Rng* rng) {
+  MFGPU_CHECK(noise_rel == 0.0 || rng != nullptr,
+              "build_dataset: noise requires an Rng");
+  PolicyDataset ds;
+  ds.ms.reserve(dims.size());
+  ds.ks.reserve(dims.size());
+  ds.times.reserve(dims.size() * 4);
+  for (const auto& [m, k] : dims) {
+    std::array<double, 4> t{};
+    for (int j = 0; j < 4; ++j) {
+      double value = timer.time(policy_from_index(j + 1), m, k);
+      if (noise_rel > 0.0) {
+        value *= std::exp(rng->normal(0.0, noise_rel));
+      }
+      t[static_cast<std::size_t>(j)] = value;
+    }
+    ds.append(m, k, t);
+  }
+  return ds;
+}
+
+}  // namespace mfgpu

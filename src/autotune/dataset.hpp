@@ -1,0 +1,47 @@
+// Training data for the policy classifier: (m, k) call dimensions paired
+// with the observed computation time of every policy (paper: T_ij for
+// matrix A_i under policy C_j).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "autotune/features.hpp"
+#include "policy/executors.hpp"
+#include "support/rng.hpp"
+#include "symbolic/symbolic_factor.hpp"
+
+namespace mfgpu {
+
+struct PolicyDataset {
+  std::vector<index_t> ms;
+  std::vector<index_t> ks;
+  /// times[i * 4 + j] = observed time of example i under policy j (0-based).
+  std::vector<double> times;
+
+  std::size_t size() const noexcept { return ms.size(); }
+  double time(std::size_t i, int policy_index) const {
+    return times[i * 4 + static_cast<std::size_t>(policy_index)];
+  }
+  int best_policy_index(std::size_t i) const;
+  void append(index_t m, index_t k, const std::array<double, 4>& t);
+};
+
+/// The (m, k) of every supernode of a symbolic factorization — the
+/// empirical call distribution the paper trains on.
+std::vector<std::pair<index_t, index_t>> dims_from_symbolic(
+    const SymbolicFactor& sym);
+
+/// Log-spaced (m, k) grid covering the analysis range (used to densify the
+/// training set beyond the dims any one matrix produces).
+std::vector<std::pair<index_t, index_t>> log_grid_dims(index_t max_m,
+                                                       index_t max_k,
+                                                       int points_per_axis);
+
+/// Measure all four policies for each dims entry with the dry-run timer.
+/// `noise_rel` > 0 adds multiplicative lognormal-ish noise (timing jitter).
+PolicyDataset build_dataset(
+    const std::vector<std::pair<index_t, index_t>>& dims, PolicyTimer& timer,
+    double noise_rel = 0.0, Rng* rng = nullptr);
+
+}  // namespace mfgpu

@@ -1,0 +1,62 @@
+#include "autotune/features.hpp"
+
+#include <cmath>
+
+namespace mfgpu {
+
+FeatureVector raw_features(index_t m, index_t k) {
+  MFGPU_CHECK(m >= 0 && k >= 1, "raw_features: need m >= 0, k >= 1");
+  const double md = static_cast<double>(m);
+  const double kd = static_cast<double>(k);
+  return {md, kd, md / kd, md * md, md * kd, kd * kd, kd * kd * kd,
+          md * kd * kd};
+}
+
+FeatureScaler::FeatureScaler() {
+  means_.fill(0.0);
+  stds_.fill(1.0);
+}
+
+FeatureScaler FeatureScaler::fit(std::span<const FeatureVector> samples) {
+  MFGPU_CHECK(!samples.empty(), "FeatureScaler: no samples");
+  FeatureScaler scaler;
+  const double n = static_cast<double>(samples.size());
+  for (int f = 0; f < kNumFeatures; ++f) {
+    double mean = 0.0;
+    for (const auto& s : samples) mean += s[static_cast<std::size_t>(f)];
+    mean /= n;
+    double var = 0.0;
+    for (const auto& s : samples) {
+      const double d = s[static_cast<std::size_t>(f)] - mean;
+      var += d * d;
+    }
+    var /= n;
+    scaler.means_[static_cast<std::size_t>(f)] = mean;
+    scaler.stds_[static_cast<std::size_t>(f)] =
+        (var > 0.0) ? std::sqrt(var) : 1.0;
+  }
+  return scaler;
+}
+
+FeatureScaler FeatureScaler::from_moments(const FeatureVector& means,
+                                          const FeatureVector& stddevs) {
+  FeatureScaler scaler;
+  scaler.means_ = means;
+  scaler.stds_ = stddevs;
+  for (double v : stddevs) {
+    MFGPU_CHECK(v > 0.0, "FeatureScaler: stddevs must be positive");
+  }
+  return scaler;
+}
+
+FeatureVector FeatureScaler::apply(const FeatureVector& raw) const {
+  FeatureVector out;
+  for (int f = 0; f < kNumFeatures; ++f) {
+    out[static_cast<std::size_t>(f)] =
+        (raw[static_cast<std::size_t>(f)] - means_[static_cast<std::size_t>(f)]) /
+        stds_[static_cast<std::size_t>(f)];
+  }
+  return out;
+}
+
+}  // namespace mfgpu

@@ -1,0 +1,42 @@
+// Feature map for the policy classifier (paper Section VI-B):
+// x(m, k) = [m, k, m/k, m^2, mk, k^2, k^3, mk^2], standardized to zero mean
+// and unit variance for optimizer conditioning (the raw features span 12
+// orders of magnitude).
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace mfgpu {
+
+inline constexpr int kNumFeatures = 8;
+using FeatureVector = std::array<double, kNumFeatures>;
+
+FeatureVector raw_features(index_t m, index_t k);
+
+class FeatureScaler {
+ public:
+  FeatureScaler();  ///< identity scaling
+
+  static FeatureScaler fit(std::span<const FeatureVector> samples);
+  /// Reconstruct from stored moments (model deserialization).
+  static FeatureScaler from_moments(const FeatureVector& means,
+                                    const FeatureVector& stddevs);
+
+  FeatureVector apply(const FeatureVector& raw) const;
+  FeatureVector operator()(index_t m, index_t k) const {
+    return apply(raw_features(m, k));
+  }
+
+  const FeatureVector& means() const noexcept { return means_; }
+  const FeatureVector& stddevs() const noexcept { return stds_; }
+
+ private:
+  FeatureVector means_;
+  FeatureVector stds_;
+};
+
+}  // namespace mfgpu

@@ -1,0 +1,60 @@
+#include "autotune/hybrid.hpp"
+
+#include <map>
+#include <utility>
+
+namespace mfgpu {
+
+DispatchExecutor make_ideal_hybrid(PolicyTimer& timer,
+                                   ExecutorOptions options) {
+  auto cache = std::make_shared<std::map<std::pair<index_t, index_t>, Policy>>();
+  return DispatchExecutor(
+      "P_IH",
+      [&timer, cache](index_t m, index_t k) {
+        const auto key = std::make_pair(m, k);
+        auto it = cache->find(key);
+        if (it == cache->end()) {
+          it = cache->emplace(key, timer.best_policy(m, k)).first;
+        }
+        return it->second;
+      },
+      options);
+}
+
+DispatchExecutor make_model_hybrid(const TrainedPolicyModel& model,
+                                   ExecutorOptions options) {
+  // Copy the (small) model into the closure so the executor is
+  // self-contained.
+  auto owned = std::make_shared<TrainedPolicyModel>(model);
+  return DispatchExecutor(
+      "P_MH",
+      [owned](index_t m, index_t k) { return owned->choose(m, k); }, options);
+}
+
+HybridEvaluation evaluate_hybrids(const PolicyDataset& ds,
+                                  const TrainedPolicyModel& model,
+                                  const BaselineThresholds& thresholds) {
+  MFGPU_CHECK(ds.size() > 0, "evaluate_hybrids: empty dataset");
+  HybridEvaluation eval;
+  std::size_t model_hits = 0;
+  std::size_t baseline_hits = 0;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const int ideal = ds.best_policy_index(i);
+    const int chosen =
+        static_cast<int>(model.choose(ds.ms[i], ds.ks[i])) - 1;
+    const int base =
+        static_cast<int>(baseline_choice(thresholds, ds.ms[i], ds.ks[i])) - 1;
+    eval.total_ideal += ds.time(i, ideal);
+    eval.total_model += ds.time(i, chosen);
+    eval.total_baseline += ds.time(i, base);
+    if (chosen == ideal) ++model_hits;
+    if (base == ideal) ++baseline_hits;
+  }
+  eval.model_accuracy =
+      static_cast<double>(model_hits) / static_cast<double>(ds.size());
+  eval.baseline_accuracy =
+      static_cast<double>(baseline_hits) / static_cast<double>(ds.size());
+  return eval;
+}
+
+}  // namespace mfgpu

@@ -1,0 +1,59 @@
+#include "autotune/logistic_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mfgpu {
+
+MultinomialLogistic::MultinomialLogistic(int num_features, int num_classes)
+    : d_(num_features), r_(num_classes) {
+  MFGPU_CHECK(num_features > 0 && num_classes >= 2,
+              "MultinomialLogistic: bad dimensions");
+  weights_.assign(static_cast<std::size_t>((d_ + 1) * r_), 0.0);
+}
+
+double& MultinomialLogistic::weight(int f, int j) {
+  MFGPU_CHECK(f >= 0 && f <= d_ && j >= 0 && j < r_,
+              "MultinomialLogistic: weight index out of range");
+  return weights_[static_cast<std::size_t>(j * (d_ + 1) + f)];
+}
+
+double MultinomialLogistic::weight(int f, int j) const {
+  return const_cast<MultinomialLogistic*>(this)->weight(f, j);
+}
+
+std::vector<double> MultinomialLogistic::scores(
+    std::span<const double> x) const {
+  MFGPU_CHECK(static_cast<int>(x.size()) == d_,
+              "MultinomialLogistic: feature size mismatch");
+  std::vector<double> s(static_cast<std::size_t>(r_), 0.0);
+  for (int j = 0; j < r_; ++j) {
+    double sum = weight(d_, j);  // bias
+    for (int f = 0; f < d_; ++f) {
+      sum += weight(f, j) * x[static_cast<std::size_t>(f)];
+    }
+    s[static_cast<std::size_t>(j)] = sum;
+  }
+  return s;
+}
+
+std::vector<double> MultinomialLogistic::probabilities(
+    std::span<const double> x) const {
+  std::vector<double> p = scores(x);
+  const double max_score = *std::max_element(p.begin(), p.end());
+  double z = 0.0;
+  for (double& v : p) {
+    v = std::exp(v - max_score);
+    z += v;
+  }
+  for (double& v : p) v /= z;
+  return p;
+}
+
+int MultinomialLogistic::predict(std::span<const double> x) const {
+  const std::vector<double> s = scores(x);
+  return static_cast<int>(
+      std::max_element(s.begin(), s.end()) - s.begin());
+}
+
+}  // namespace mfgpu

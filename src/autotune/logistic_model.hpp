@@ -1,0 +1,41 @@
+// Multinomial logistic classifier (paper Section VI-B):
+//   p_theta(y = C_j | x) = exp(x . theta_j) / sum_l exp(x . theta_l)
+// with theta a (d+1) x r weight matrix (bias folded in as the last row).
+// Prediction reduces to argmax of the linear scores (paper Eq. 5) — O(dr)
+// per call, cheap enough to sit inside every factor-update dispatch.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "autotune/features.hpp"
+
+namespace mfgpu {
+
+class MultinomialLogistic {
+ public:
+  MultinomialLogistic(int num_features, int num_classes);
+
+  int num_features() const noexcept { return d_; }
+  int num_classes() const noexcept { return r_; }
+
+  /// Linear scores x . theta_j (+ bias) for each class.
+  std::vector<double> scores(std::span<const double> x) const;
+  /// Softmax probabilities.
+  std::vector<double> probabilities(std::span<const double> x) const;
+  /// argmax over scores (Eq. 5).
+  int predict(std::span<const double> x) const;
+
+  /// Weight for (feature f, class j); f == num_features() is the bias row.
+  double& weight(int f, int j);
+  double weight(int f, int j) const;
+  std::span<double> raw_weights() noexcept { return weights_; }
+  std::span<const double> raw_weights() const noexcept { return weights_; }
+
+ private:
+  int d_;
+  int r_;
+  std::vector<double> weights_;  ///< (d_+1) x r_, column-major by class
+};
+
+}  // namespace mfgpu

@@ -1,0 +1,83 @@
+#include "autotune/model_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace mfgpu {
+
+void save_policy_model(std::ostream& os, const TrainedPolicyModel& model) {
+  os << "mfgpu-policy-model 1\n";
+  os << "features " << model.model.num_features() << " classes "
+     << model.model.num_classes() << "\n";
+  os << std::setprecision(17);
+  os << "scaler_means";
+  for (double v : model.scaler.means()) os << ' ' << v;
+  os << "\nscaler_stds";
+  for (double v : model.scaler.stddevs()) os << ' ' << v;
+  os << "\nweights";
+  for (double v : model.model.raw_weights()) os << ' ' << v;
+  os << "\n";
+}
+
+void save_policy_model(const std::string& path,
+                       const TrainedPolicyModel& model) {
+  std::ofstream os(path);
+  if (!os) throw InvalidArgumentError("cannot open for writing: " + path);
+  save_policy_model(os, model);
+}
+
+TrainedPolicyModel load_policy_model(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  if (!(is >> magic >> version) || magic != "mfgpu-policy-model" ||
+      version != 1) {
+    throw InvalidArgumentError("policy model: bad header");
+  }
+  std::string token;
+  int features = 0, classes = 0;
+  if (!(is >> token >> features) || token != "features" ||
+      features != kNumFeatures) {
+    throw InvalidArgumentError("policy model: unexpected feature count");
+  }
+  if (!(is >> token >> classes) || token != "classes" || classes != 4) {
+    throw InvalidArgumentError("policy model: unexpected class count");
+  }
+
+  FeatureVector means{}, stds{};
+  if (!(is >> token) || token != "scaler_means") {
+    throw InvalidArgumentError("policy model: missing scaler_means");
+  }
+  for (double& v : means) {
+    if (!(is >> v)) throw InvalidArgumentError("policy model: truncated means");
+  }
+  if (!(is >> token) || token != "scaler_stds") {
+    throw InvalidArgumentError("policy model: missing scaler_stds");
+  }
+  for (double& v : stds) {
+    if (!(is >> v)) throw InvalidArgumentError("policy model: truncated stds");
+    if (!(v > 0.0)) {
+      throw InvalidArgumentError("policy model: non-positive scaler std");
+    }
+  }
+
+  TrainedPolicyModel model;
+  model.scaler = FeatureScaler::from_moments(means, stds);
+  if (!(is >> token) || token != "weights") {
+    throw InvalidArgumentError("policy model: missing weights");
+  }
+  for (double& w : model.model.raw_weights()) {
+    if (!(is >> w)) {
+      throw InvalidArgumentError("policy model: truncated weights");
+    }
+  }
+  return model;
+}
+
+TrainedPolicyModel load_policy_model(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw InvalidArgumentError("cannot open for reading: " + path);
+  return load_policy_model(is);
+}
+
+}  // namespace mfgpu

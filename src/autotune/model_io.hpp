@@ -1,0 +1,29 @@
+// Persistence for trained policy models. The paper pitches the auto-tuner
+// as "readily adaptable for ... different CPU-GPU combinations": tune once
+// per installation (offline, from empirical timing data), then ship the
+// model file and load it at solver startup.
+//
+// Format: a small self-describing text file
+//   mfgpu-policy-model 1
+//   features 8 classes 4
+//   scaler_means <8 doubles>
+//   scaler_stds  <8 doubles>
+//   weights <(8+1)*4 doubles, class-major, bias last per class>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "autotune/trainer.hpp"
+
+namespace mfgpu {
+
+void save_policy_model(std::ostream& os, const TrainedPolicyModel& model);
+void save_policy_model(const std::string& path,
+                       const TrainedPolicyModel& model);
+
+/// Throws InvalidArgumentError on malformed input or version mismatch.
+TrainedPolicyModel load_policy_model(std::istream& is);
+TrainedPolicyModel load_policy_model(const std::string& path);
+
+}  // namespace mfgpu

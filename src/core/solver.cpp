@@ -1,0 +1,128 @@
+#include "core/solver.hpp"
+
+#include "autotune/hybrid.hpp"
+#include "multifrontal/solve.hpp"
+#include "ordering/minimum_degree.hpp"
+#include "ordering/nested_dissection.hpp"
+#include "policy/baseline_hybrid.hpp"
+
+namespace mfgpu {
+
+struct Solver::Impl {
+  const SparseSpd* matrix = nullptr;
+  SolverOptions options;
+  std::optional<Analysis> analysis;
+  std::optional<Factorization> factor;
+  FactorizationTrace trace;
+  std::optional<TrainedPolicyModel> model;
+  std::unique_ptr<Device> device;
+  std::unique_ptr<PolicyTimer> timer;
+  double factor_time = 0.0;
+
+  std::unique_ptr<FuExecutor> choose_executor();
+};
+
+namespace {
+
+Permutation choose_ordering(const SparseSpd& a, const SolverOptions& options) {
+  switch (options.ordering) {
+    case OrderingChoice::Natural:
+      return Permutation::identity(a.n());
+    case OrderingChoice::MinimumDegree:
+      return minimum_degree(build_graph(a));
+    case OrderingChoice::NestedDissection:
+      MFGPU_CHECK(static_cast<index_t>(options.coordinates.size()) == a.n(),
+                  "Solver: nested dissection needs one coordinate per unknown");
+      return nested_dissection(options.coordinates);
+  }
+  throw InvalidArgumentError("Solver: invalid ordering choice");
+}
+
+}  // namespace
+
+std::unique_ptr<FuExecutor> Solver::Impl::choose_executor() {
+  switch (options.mode) {
+    case SolverMode::Serial:
+      return std::make_unique<PolicyExecutor>(Policy::P1, options.executor);
+    case SolverMode::BaselineHybrid:
+      return std::make_unique<DispatchExecutor>(
+          make_baseline_hybrid(paper_thresholds(), options.executor));
+    case SolverMode::ModelHybrid: {
+      // Train on this matrix's own call distribution (the paper's
+      // methodology: learn from the observed timing data).
+      timer = std::make_unique<PolicyTimer>(options.executor);
+      const PolicyDataset dataset =
+          build_dataset(dims_from_symbolic(analysis->symbolic), *timer);
+      model = train_expected_time(dataset);
+      return std::make_unique<DispatchExecutor>(
+          make_model_hybrid(*model, options.executor));
+    }
+    case SolverMode::IdealHybrid:
+      timer = std::make_unique<PolicyTimer>(options.executor);
+      return std::make_unique<DispatchExecutor>(
+          make_ideal_hybrid(*timer, options.executor));
+  }
+  throw InvalidArgumentError("Solver: invalid mode");
+}
+
+Solver::Solver(const SparseSpd& a, const SolverOptions& options)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->matrix = &a;
+  impl_->options = options;
+  impl_->analysis = analyze(a, choose_ordering(a, options), options.analysis);
+
+  const auto executor = impl_->choose_executor();
+  FactorContext ctx;
+  if (options.mode != SolverMode::Serial) {
+    Device::Options device_options = options.device;
+    device_options.numeric = true;
+    impl_->device = std::make_unique<Device>(device_options);
+    ctx.device = impl_->device.get();
+  }
+  FactorizeResult result = factorize(*impl_->analysis, *executor, ctx);
+  impl_->factor = std::move(result.factor);
+  impl_->trace = std::move(result.trace);
+  impl_->factor_time = impl_->trace.total_time;
+}
+
+Solver::~Solver() = default;
+Solver::Solver(Solver&&) noexcept = default;
+Solver& Solver::operator=(Solver&&) noexcept = default;
+
+std::vector<double> Solver::solve(std::span<const double> b) const {
+  return solve_with_history(b).x;
+}
+
+Matrix<double> Solver::solve(const Matrix<double>& b) const {
+  MFGPU_CHECK(b.rows() == impl_->matrix->n(), "Solver::solve: rhs size");
+  Matrix<double> x(b.rows(), b.cols());
+  for (index_t j = 0; j < b.cols(); ++j) {
+    std::span<const double> column(b.data() + j * b.rows(),
+                                   static_cast<std::size_t>(b.rows()));
+    const std::vector<double> xj = solve(column);
+    for (index_t i = 0; i < b.rows(); ++i) x(i, j) = xj[static_cast<std::size_t>(i)];
+  }
+  return x;
+}
+
+RefineResult Solver::solve_with_history(std::span<const double> b) const {
+  return solve_with_refinement(*impl_->matrix, *impl_->analysis,
+                               *impl_->factor, b,
+                               impl_->options.max_refinement_steps,
+                               impl_->options.refinement_tolerance);
+}
+
+const Analysis& Solver::analysis() const noexcept { return *impl_->analysis; }
+const FactorizationTrace& Solver::trace() const noexcept {
+  return impl_->trace;
+}
+double Solver::factor_time() const noexcept { return impl_->factor_time; }
+
+double Solver::solve_time_estimate() const {
+  return estimated_solve_seconds(impl_->analysis->symbolic);
+}
+const TrainedPolicyModel* Solver::model() const noexcept {
+  return impl_->model.has_value() ? &*impl_->model : nullptr;
+}
+
+}  // namespace mfgpu

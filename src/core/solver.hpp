@@ -1,0 +1,83 @@
+// High-level solver facade: the one-stop API tying the whole system
+// together (ordering -> symbolic analysis -> hybrid numeric factorization
+// -> solve + refinement), in the spirit of the WSMP interface the paper
+// builds on.
+//
+//   SolverOptions options;
+//   options.mode = SolverMode::ModelHybrid;   // auto-tuned policy dispatch
+//   Solver solver(matrix, options);           // analyze + factor
+//   std::vector<double> x = solver.solve(b);  // refined solve
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "autotune/trainer.hpp"
+#include "multifrontal/factorization.hpp"
+#include "multifrontal/refine.hpp"
+#include "sparse/csc.hpp"
+#include "symbolic/symbolic_factor.hpp"
+
+namespace mfgpu {
+
+enum class OrderingChoice {
+  Natural,          ///< no reordering (debugging only; heavy fill)
+  MinimumDegree,    ///< quotient-graph MD — the general-purpose default
+  NestedDissection  ///< geometric ND — needs coordinates, best for meshes
+};
+
+enum class SolverMode {
+  Serial,          ///< policy P1 everywhere; double precision, no GPU
+  BaselineHybrid,  ///< op-count thresholds over P1..P4 (paper P_BH)
+  ModelHybrid,     ///< classifier trained on this matrix's calls (P_MH)
+  IdealHybrid      ///< retrospective per-call argmin (P_IH; analysis tool)
+};
+
+struct SolverOptions {
+  OrderingChoice ordering = OrderingChoice::MinimumDegree;
+  /// Required (and used) only for OrderingChoice::NestedDissection.
+  std::span<const std::array<index_t, 3>> coordinates = {};
+  SolverMode mode = SolverMode::BaselineHybrid;
+  ExecutorOptions executor;
+  AnalyzeOptions analysis;
+  Device::Options device;
+  int max_refinement_steps = 5;
+  double refinement_tolerance = 1e-14;
+};
+
+/// Owns the full pipeline state for one matrix. Thread-compatible (no
+/// internal synchronization); reuse the factorization across many solves.
+class Solver {
+ public:
+  /// Analyzes and factors immediately. Throws NotPositiveDefiniteError if
+  /// the matrix is not SPD.
+  Solver(const SparseSpd& a, const SolverOptions& options = {});
+  ~Solver();
+  Solver(Solver&&) noexcept;
+  Solver& operator=(Solver&&) noexcept;
+
+  /// Solve A x = b with iterative refinement.
+  std::vector<double> solve(std::span<const double> b) const;
+  /// Solve for several right-hand sides (columns of B, column-major).
+  Matrix<double> solve(const Matrix<double>& b) const;
+  /// Residual-history variant.
+  RefineResult solve_with_history(std::span<const double> b) const;
+
+  const Analysis& analysis() const noexcept;
+  const FactorizationTrace& trace() const noexcept;
+  /// Simulated seconds the factorization took under the chosen mode.
+  double factor_time() const noexcept;
+  /// Simulated host seconds per forward+backward solve (memory-bound
+  /// estimate; refinement multiplies this by 1 + #steps).
+  double solve_time_estimate() const;
+  /// The trained policy model (ModelHybrid mode only).
+  const TrainedPolicyModel* model() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace mfgpu

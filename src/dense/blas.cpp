@@ -1,0 +1,241 @@
+#include "dense/blas.hpp"
+
+#include <algorithm>
+
+namespace mfgpu {
+namespace {
+
+// Cache-blocking tile edge. Modest by design: the kernels are correctness
+// substrates for the simulator; wall-clock performance is not what the
+// benchmarks measure (they use the calibrated virtual clock).
+constexpr index_t kBlock = 64;
+
+// C(MxN) += alpha * A(MxK) * B(KxN), all plain column-major blocks.
+template <typename T>
+void gemm_nn_accum(T alpha, MatrixView<const T> a, MatrixView<const T> b,
+                   MatrixView<T> c) {
+  const index_t m = c.rows(), n = c.cols(), k = a.cols();
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t p = 0; p < k; ++p) {
+      const T scale = alpha * b(p, j);
+      if (scale == T{}) continue;
+      const T* __restrict__ acol = &a(0, p);
+      T* __restrict__ ccol = &c(0, j);
+      for (index_t i = 0; i < m; ++i) ccol[i] += scale * acol[i];
+    }
+  }
+}
+
+// C(MxN) += alpha * A(MxK) * B(NxK)^T.
+template <typename T>
+void gemm_nt_accum(T alpha, MatrixView<const T> a, MatrixView<const T> b,
+                   MatrixView<T> c) {
+  const index_t m = c.rows(), n = c.cols(), k = a.cols();
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t p = 0; p < k; ++p) {
+      const T scale = alpha * b(j, p);
+      if (scale == T{}) continue;
+      const T* __restrict__ acol = &a(0, p);
+      T* __restrict__ ccol = &c(0, j);
+      for (index_t i = 0; i < m; ++i) ccol[i] += scale * acol[i];
+    }
+  }
+}
+
+// C(MxN) += alpha * A(KxM)^T * B(KxN).
+template <typename T>
+void gemm_tn_accum(T alpha, MatrixView<const T> a, MatrixView<const T> b,
+                   MatrixView<T> c) {
+  const index_t m = c.rows(), n = c.cols(), k = b.rows();
+  for (index_t j = 0; j < n; ++j) {
+    const T* __restrict__ bcol = &b(0, j);
+    for (index_t i = 0; i < m; ++i) {
+      const T* __restrict__ acol = &a(0, i);
+      T sum{};
+      for (index_t p = 0; p < k; ++p) sum += acol[p] * bcol[p];
+      c(i, j) += alpha * sum;
+    }
+  }
+}
+
+// C(MxN) += alpha * A(KxM)^T * B(NxK)^T.
+template <typename T>
+void gemm_tt_accum(T alpha, MatrixView<const T> a, MatrixView<const T> b,
+                   MatrixView<T> c) {
+  const index_t m = c.rows(), n = c.cols(), k = a.rows();
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i = 0; i < m; ++i) {
+      const T* __restrict__ acol = &a(0, i);
+      T sum{};
+      for (index_t p = 0; p < k; ++p) sum += acol[p] * b(j, p);
+      c(i, j) += alpha * sum;
+    }
+  }
+}
+
+template <typename T>
+void scale_matrix(T beta, MatrixView<T> c) {
+  if (beta == T{1}) return;
+  for (index_t j = 0; j < c.cols(); ++j) {
+    T* __restrict__ col = &c(0, j);
+    if (beta == T{}) {
+      std::fill(col, col + c.rows(), T{});
+    } else {
+      for (index_t i = 0; i < c.rows(); ++i) col[i] *= beta;
+    }
+  }
+}
+
+}  // namespace
+
+template <typename T>
+void gemm(Trans trans_a, Trans trans_b, T alpha, MatrixView<const T> a,
+          MatrixView<const T> b, T beta, MatrixView<T> c) {
+  const index_t m = c.rows();
+  const index_t n = c.cols();
+  const index_t k = (trans_a == Trans::NoTrans) ? a.cols() : a.rows();
+  const index_t a_m = (trans_a == Trans::NoTrans) ? a.rows() : a.cols();
+  const index_t b_k = (trans_b == Trans::NoTrans) ? b.rows() : b.cols();
+  const index_t b_n = (trans_b == Trans::NoTrans) ? b.cols() : b.rows();
+  MFGPU_CHECK(a_m == m && b_k == k && b_n == n, "gemm: shape mismatch");
+
+  scale_matrix(beta, c);
+  if (m == 0 || n == 0 || k == 0 || alpha == T{}) return;
+
+  // Tile over (i, j, p) so panels of A and B stay cache resident.
+  for (index_t j0 = 0; j0 < n; j0 += kBlock) {
+    const index_t jb = std::min(kBlock, n - j0);
+    for (index_t p0 = 0; p0 < k; p0 += kBlock) {
+      const index_t pb = std::min(kBlock, k - p0);
+      for (index_t i0 = 0; i0 < m; i0 += kBlock) {
+        const index_t ib = std::min(kBlock, m - i0);
+        auto cb = c.block(i0, j0, ib, jb);
+        if (trans_a == Trans::NoTrans && trans_b == Trans::NoTrans) {
+          gemm_nn_accum(alpha, a.block(i0, p0, ib, pb), b.block(p0, j0, pb, jb),
+                        cb);
+        } else if (trans_a == Trans::NoTrans) {
+          gemm_nt_accum(alpha, a.block(i0, p0, ib, pb), b.block(j0, p0, jb, pb),
+                        cb);
+        } else if (trans_b == Trans::NoTrans) {
+          gemm_tn_accum(alpha, a.block(p0, i0, pb, ib), b.block(p0, j0, pb, jb),
+                        cb);
+        } else {
+          gemm_tt_accum(alpha, a.block(p0, i0, pb, ib), b.block(j0, p0, jb, pb),
+                        cb);
+        }
+      }
+    }
+  }
+}
+
+template <typename T>
+void syrk_lower(T alpha, MatrixView<const T> a, T beta, MatrixView<T> c) {
+  const index_t n = c.rows();
+  const index_t k = a.cols();
+  MFGPU_CHECK(c.cols() == n && a.rows() == n, "syrk_lower: shape mismatch");
+
+  // Scale the lower triangle only; the upper triangle is never referenced.
+  if (beta != T{1}) {
+    for (index_t j = 0; j < n; ++j) {
+      T* __restrict__ col = &c(0, j);
+      for (index_t i = j; i < n; ++i) {
+        col[i] = (beta == T{}) ? T{} : beta * col[i];
+      }
+    }
+  }
+  if (n == 0 || k == 0 || alpha == T{}) return;
+
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t p = 0; p < k; ++p) {
+      const T scale = alpha * a(j, p);
+      if (scale == T{}) continue;
+      const T* __restrict__ acol = &a(0, p);
+      T* __restrict__ ccol = &c(0, j);
+      for (index_t i = j; i < n; ++i) ccol[i] += scale * acol[i];
+    }
+  }
+}
+
+template <typename T>
+void trsm(Side side, Uplo uplo, Trans trans, Diag diag, T alpha,
+          MatrixView<const T> a, MatrixView<T> b) {
+  MFGPU_CHECK(a.rows() == a.cols(), "trsm: A must be square");
+  MFGPU_CHECK(uplo == Uplo::Lower, "trsm: only lower-triangular A supported");
+  const index_t n = a.rows();
+  scale_matrix(alpha, b);
+
+  if (side == Side::Right && trans == Trans::Transpose) {
+    // Solve X * L^T = B  =>  column sweep: x_j = (b_j - sum_{p<j} x_p l_jp)/l_jj.
+    MFGPU_CHECK(b.cols() == n, "trsm right: B column count must match A");
+    const index_t m = b.rows();
+    for (index_t j = 0; j < n; ++j) {
+      T* __restrict__ bj = &b(0, j);
+      for (index_t p = 0; p < j; ++p) {
+        const T l_jp = a(j, p);
+        if (l_jp == T{}) continue;
+        const T* __restrict__ bp = &b(0, p);
+        for (index_t i = 0; i < m; ++i) bj[i] -= l_jp * bp[i];
+      }
+      if (diag == Diag::NonUnit) {
+        const T inv = T{1} / a(j, j);
+        for (index_t i = 0; i < m; ++i) bj[i] *= inv;
+      }
+    }
+    return;
+  }
+
+  if (side == Side::Left && trans == Trans::NoTrans) {
+    // Solve L * X = B (forward substitution down the columns of B).
+    MFGPU_CHECK(b.rows() == n, "trsm left: B row count must match A");
+    for (index_t j = 0; j < b.cols(); ++j) {
+      T* __restrict__ x = &b(0, j);
+      for (index_t p = 0; p < n; ++p) {
+        if (diag == Diag::NonUnit) x[p] /= a(p, p);
+        const T xp = x[p];
+        if (xp == T{}) continue;
+        const T* __restrict__ lcol = &a(0, p);
+        for (index_t i = p + 1; i < n; ++i) x[i] -= lcol[i] * xp;
+      }
+    }
+    return;
+  }
+
+  if (side == Side::Left && trans == Trans::Transpose) {
+    // Solve L^T * X = B (backward substitution).
+    MFGPU_CHECK(b.rows() == n, "trsm left: B row count must match A");
+    for (index_t j = 0; j < b.cols(); ++j) {
+      T* __restrict__ x = &b(0, j);
+      for (index_t p = n - 1; p >= 0; --p) {
+        const T* __restrict__ lcol = &a(0, p);
+        T sum = x[p];
+        for (index_t i = p + 1; i < n; ++i) sum -= lcol[i] * x[i];
+        x[p] = (diag == Diag::NonUnit) ? sum / a(p, p) : sum;
+      }
+    }
+    return;
+  }
+
+  throw InvalidArgumentError("trsm: unsupported side/trans combination");
+}
+
+index_t potrf_ops(index_t k) { return k * k * k / 3; }
+index_t trsm_ops(index_t m, index_t k) { return m * k * k; }
+index_t syrk_ops(index_t m, index_t k) { return m * m * k; }
+index_t gemm_ops(index_t m, index_t n, index_t k) { return 2 * m * n * k; }
+
+// Explicit instantiations for the two precisions the system uses.
+template void gemm<float>(Trans, Trans, float, MatrixView<const float>,
+                          MatrixView<const float>, float, MatrixView<float>);
+template void gemm<double>(Trans, Trans, double, MatrixView<const double>,
+                           MatrixView<const double>, double,
+                           MatrixView<double>);
+template void syrk_lower<float>(float, MatrixView<const float>, float,
+                                MatrixView<float>);
+template void syrk_lower<double>(double, MatrixView<const double>, double,
+                                 MatrixView<double>);
+template void trsm<float>(Side, Uplo, Trans, Diag, float,
+                          MatrixView<const float>, MatrixView<float>);
+template void trsm<double>(Side, Uplo, Trans, Diag, double,
+                           MatrixView<const double>, MatrixView<double>);
+
+}  // namespace mfgpu

@@ -1,0 +1,49 @@
+// Level-3 BLAS kernels implemented from scratch (the paper offloads exactly
+// these to ATLAS on the host and CUBLAS on the GPU: gemm, syrk, trsm).
+//
+// Only the variants the multifrontal algorithm needs are implemented, but
+// each is implemented for the full shape range and validated against naive
+// reference versions in the test suite. All matrices are column-major.
+#pragma once
+
+#include "dense/matrix.hpp"
+#include "support/error.hpp"
+
+namespace mfgpu {
+
+enum class Trans { NoTrans, Transpose };
+enum class Uplo { Lower, Upper };
+enum class Side { Left, Right };
+enum class Diag { NonUnit, Unit };
+
+/// C := alpha * op(A) * op(B) + beta * C.
+/// op(A) is (M x K), op(B) is (K x N), C is (M x N).
+template <typename T>
+void gemm(Trans trans_a, Trans trans_b, T alpha, MatrixView<const T> a,
+          MatrixView<const T> b, T beta, MatrixView<T> c);
+
+/// Symmetric rank-k update, lower triangle only:
+/// C := alpha * A * A^T + beta * C with A (N x K), C (N x N).
+/// This is the paper's syrk kernel (U^n -= L2 * L2^T uses alpha = -1).
+template <typename T>
+void syrk_lower(T alpha, MatrixView<const T> a, T beta, MatrixView<T> c);
+
+/// Triangular solve with multiple right-hand sides.
+/// Side::Right, Trans::Transpose, Uplo::Lower solves X * L^T = B in place
+/// (the paper's trsm: L2 := L2 * L1^{-T}).
+/// Side::Left supports the supernodal forward (NoTrans) and backward
+/// (Transpose) substitution sweeps.
+template <typename T>
+void trsm(Side side, Uplo uplo, Trans trans, Diag diag, T alpha,
+          MatrixView<const T> a, MatrixView<T> b);
+
+/// Number of floating point operations for each kernel, following the
+/// paper's asymptotic counts (Section IV-B): potrf k^3/3, trsm m k^2,
+/// syrk m^2 k (counting multiply-add as 2 flops would double these; we keep
+/// the paper's convention so rates are comparable with Table III).
+index_t potrf_ops(index_t k);
+index_t trsm_ops(index_t m, index_t k);
+index_t syrk_ops(index_t m, index_t k);
+index_t gemm_ops(index_t m, index_t n, index_t k);
+
+}  // namespace mfgpu

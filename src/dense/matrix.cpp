@@ -1,0 +1,12 @@
+#include "dense/matrix.hpp"
+
+// Matrix and MatrixView are header-only templates; this translation unit
+// pins a few common instantiations so errors surface at library build time.
+namespace mfgpu {
+
+template class Matrix<float>;
+template class Matrix<double>;
+template class MatrixView<float>;
+template class MatrixView<double>;
+
+}  // namespace mfgpu

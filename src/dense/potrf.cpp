@@ -1,0 +1,56 @@
+#include "dense/potrf.hpp"
+
+#include <cmath>
+
+namespace mfgpu {
+
+template <typename T>
+void potrf_unblocked(MatrixView<T> a, index_t column_offset) {
+  MFGPU_CHECK(a.rows() == a.cols(), "potrf: matrix must be square");
+  const index_t n = a.rows();
+  for (index_t j = 0; j < n; ++j) {
+    T diag = a(j, j);
+    for (index_t p = 0; p < j; ++p) diag -= a(j, p) * a(j, p);
+    if (!(diag > T{})) {
+      throw NotPositiveDefiniteError(column_offset + j,
+                                     static_cast<double>(diag));
+    }
+    const T pivot = std::sqrt(diag);
+    a(j, j) = pivot;
+    const T inv = T{1} / pivot;
+    for (index_t i = j + 1; i < n; ++i) {
+      T value = a(i, j);
+      for (index_t p = 0; p < j; ++p) value -= a(i, p) * a(j, p);
+      a(i, j) = value * inv;
+    }
+  }
+}
+
+template <typename T>
+void potrf(MatrixView<T> a, index_t block, index_t column_offset) {
+  MFGPU_CHECK(a.rows() == a.cols(), "potrf: matrix must be square");
+  MFGPU_CHECK(block > 0, "potrf: block must be positive");
+  const index_t n = a.rows();
+  for (index_t j0 = 0; j0 < n; j0 += block) {
+    const index_t jb = std::min(block, n - j0);
+    auto pivot_block = a.block(j0, j0, jb, jb);
+    potrf_unblocked(pivot_block, column_offset + j0);
+
+    const index_t rest = n - j0 - jb;
+    if (rest == 0) continue;
+    auto below = a.block(j0 + jb, j0, rest, jb);
+    trsm<T>(Side::Right, Uplo::Lower, Trans::Transpose, Diag::NonUnit, T{1},
+            a.block(j0, j0, jb, jb), below);
+    syrk_lower<T>(T{-1},
+                  MatrixView<const T>(below.data(), below.rows(), below.cols(),
+                                      below.ld()),
+                  T{1}, a.block(j0 + jb, j0 + jb, rest, rest));
+  }
+}
+
+template void potrf_unblocked<float>(MatrixView<float>, index_t);
+template void potrf_unblocked<double>(MatrixView<double>, index_t);
+template void potrf<float>(MatrixView<float>, index_t, index_t);
+template void potrf<double>(MatrixView<double>, index_t, index_t);
+
+}  // namespace mfgpu

@@ -1,0 +1,32 @@
+// Virtual time. All performance numbers the benchmarks report are measured
+// on SimClock instances, never on wall clock: the paper's hardware (Xeon
+// 5160 + Tesla T10 over PCIe x8) is reproduced as a calibrated timing model,
+// which makes every experiment deterministic and machine-independent.
+#pragma once
+
+#include "support/error.hpp"
+
+namespace mfgpu {
+
+class SimClock {
+ public:
+  double now() const noexcept { return now_; }
+
+  /// Spend `seconds` of this clock's time.
+  void advance(double seconds) {
+    MFGPU_CHECK(seconds >= 0.0, "SimClock: cannot advance by negative time");
+    now_ += seconds;
+  }
+
+  /// Wait until `time` (no-op if already past it).
+  void advance_to(double time) {
+    if (time > now_) now_ = time;
+  }
+
+  void reset() noexcept { now_ = 0.0; }
+
+ private:
+  double now_ = 0.0;
+};
+
+}  // namespace mfgpu

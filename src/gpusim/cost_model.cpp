@@ -1,0 +1,45 @@
+#include "gpusim/cost_model.hpp"
+
+namespace mfgpu {
+
+double KernelRateModel::time(double ops, double min_dim) const {
+  MFGPU_CHECK(ops >= 0.0 && min_dim >= 0.0, "KernelRateModel: negative input");
+  if (ops == 0.0) return 0.0;
+  const double shape_eff =
+      (dim_half <= 0.0) ? 1.0 : min_dim / (min_dim + dim_half);
+  const double effective_peak = peak_flops * shape_eff;
+  return latency + (ops + ops_half) / effective_peak;
+}
+
+double KernelRateModel::rate(double ops, double min_dim) const {
+  if (ops == 0.0) return 0.0;
+  return ops / time(ops, min_dim);
+}
+
+ProcessorModel xeon5160_model() {
+  ProcessorModel m;
+  // Double-precision ATLAS on one 3.0 GHz Woodcrest core. Ramps quickly
+  // (good caches, no launch cost) and saturates at Table III's rates.
+  m.potrf = {8.9e9, 8e3, 3e-7, 12.0};
+  m.trsm = {9.35e9, 1e4, 3e-7, 12.0};
+  m.syrk = {10.15e9, 1e4, 3e-7, 12.0};
+  m.gemm = {10.6e9, 1e4, 3e-7, 12.0};
+  m.peak_flops = 12e9;
+  return m;
+}
+
+ProcessorModel tesla_t10_model() {
+  ProcessorModel m;
+  // Single-precision CUBLAS 2.3. Big launch latency, long utilization ramp,
+  // and strong sensitivity to the smallest dimension (tile shape).
+  m.potrf = {25e9, 5e4, 6e-6, 32.0};   // light-weight w x w panel kernel
+  m.trsm = {170e9, 1.0e6, 40e-6, 120.0};
+  m.syrk = {175e9, 1.0e5, 10e-6, 175.0};
+  m.gemm = {330e9, 2.0e5, 10e-6, 96.0};
+  m.peak_flops = 624e9;
+  return m;
+}
+
+TransferModel pcie_x8_model() { return TransferModel{}; }
+
+}  // namespace mfgpu

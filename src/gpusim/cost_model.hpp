@@ -1,0 +1,85 @@
+// Calibrated timing models for the paper's hardware.
+//
+// Host: one core of an Intel Xeon 5160 running ATLAS in double precision
+// (12 GFlops/s peak; Table III measures potrf 8.84, trsm 9.24, syrk 10.02
+// GFlops/s stabilized). GPU: Nvidia Tesla T10 running CUBLAS 2.3 in single
+// precision (624 GFlops/s peak; Table III measures trsm 153.7, syrk 159.69
+// GFlops/s stabilized), connected over PCIe x8 with an observed effective
+// bandwidth of ~1.4 GB/s for pageable transfers.
+//
+// Each kernel's time is modeled as
+//     t(N, d) = latency + (N + N_half) / (peak * d / (d + dim_half))
+// where N is the op count and d the smallest matrix dimension involved.
+// N_half captures the utilization ramp with op count the paper observes
+// ("utilization steadily increases with the number of operations and
+// stabilizes only for large counts"); dim_half captures the inefficiency of
+// narrow panels (tall-skinny trsm / low-rank syrk), which is what keeps the
+// composite on-GPU potrf of policy P4 well below the asymptotic kernel
+// rates (Table V). The constants are calibrated so the paper's measured
+// transition points emerge: trsm CPU->GPU at ~4e5 ops (no copy) / ~3e6 ops
+// (with copy), syrk at ~1.5e5 ops (no copy), and policy switches near
+// 2e6 / 1.5e7 / 9e10 ops. tests/gpusim/calibration_test.cpp pins these.
+#pragma once
+
+#include "support/error.hpp"
+
+namespace mfgpu {
+
+/// Affine-ramp rate model for one dense kernel on one processor.
+struct KernelRateModel {
+  double peak_flops = 1e9;   ///< asymptotic Flops/s
+  double ops_half = 0.0;     ///< op count at which half of peak is reached
+  double latency = 0.0;      ///< fixed per-call seconds (kernel launch etc.)
+  double dim_half = 0.0;     ///< min-dimension at which shape efficiency = 1/2
+
+  /// Seconds for `ops` operations whose smallest dimension is `min_dim`.
+  double time(double ops, double min_dim) const;
+  /// Effective rate in Flops/s (0 when ops == 0).
+  double rate(double ops, double min_dim) const;
+};
+
+/// The four dense kernels used by factor-update and its P4 panel variant.
+struct ProcessorModel {
+  KernelRateModel potrf;
+  KernelRateModel trsm;
+  KernelRateModel syrk;
+  KernelRateModel gemm;
+  double peak_flops = 0.0;  ///< theoretical peak for %-of-peak reporting
+};
+
+/// PCIe + memory-management model.
+struct TransferModel {
+  double sync_bandwidth = 1.4e9;    ///< B/s, pageable host memory
+  double sync_latency = 20e-6;      ///< s per transfer
+  double async_bandwidth = 3.0e9;   ///< B/s, pinned host memory
+  double async_latency = 8e-6;      ///< s per transfer
+  double enqueue_overhead = 2e-6;   ///< host-side cost of an async enqueue
+  double kernel_enqueue = 3e-6;     ///< host-side cost of a kernel launch
+
+  double pinned_alloc_latency = 400e-6;  ///< s per pinned allocation call
+  double pinned_alloc_per_byte = 2e-10;  ///< s/B (page-locking cost)
+  double device_alloc_latency = 150e-6;  ///< s per cudaMalloc-equivalent
+
+  double sync_copy_time(double bytes) const {
+    return sync_latency + bytes / sync_bandwidth;
+  }
+  double async_copy_time(double bytes) const {
+    return async_latency + bytes / async_bandwidth;
+  }
+  double pinned_alloc_time(double bytes) const {
+    return pinned_alloc_latency + bytes * pinned_alloc_per_byte;
+  }
+};
+
+/// Host model: Xeon 5160 single core, double precision (12 GFlops/s peak).
+ProcessorModel xeon5160_model();
+
+/// GPU model: Tesla T10, single precision (624 GFlops/s peak). `potrf` here
+/// is the "light-weight" w x w panel kernel of the paper's Fig. 9, not a
+/// full factorization (which P4 composes out of panel kernels).
+ProcessorModel tesla_t10_model();
+
+/// Default PCIe x8 transfer model matching the paper's observed 1.4 GB/s.
+TransferModel pcie_x8_model();
+
+}  // namespace mfgpu

@@ -1,0 +1,135 @@
+#include "gpusim/device.hpp"
+
+namespace mfgpu {
+namespace {
+
+double matrix_bytes(index_t rows, index_t cols) {
+  return static_cast<double>(rows) * static_cast<double>(cols) *
+         static_cast<double>(sizeof(float));
+}
+
+}  // namespace
+
+Device::Device() : Device(Options{}) {}
+
+Device::Device(Options options)
+    : options_(options),
+      streams_(3),
+      device_pool_("device", options.transfer.device_alloc_latency, 0.0,
+                   options.memory_bytes, options.pool_reuse),
+      pinned_pool_("pinned", options.transfer.pinned_alloc_latency,
+                   options.transfer.pinned_alloc_per_byte,
+                   // Pinned memory is host RAM; cap it generously.
+                   std::int64_t{32} * 1024 * 1024 * 1024,
+                   options.pool_reuse) {}
+
+DeviceMatrix Device::allocate(index_t rows, index_t cols,
+                              const std::string& slot, SimClock& host) {
+  MFGPU_CHECK(rows >= 0 && cols >= 0, "Device::allocate: negative dims");
+  const auto bytes = static_cast<std::int64_t>(matrix_bytes(rows, cols));
+  host.advance(device_pool_.acquire(slot, bytes));
+  DeviceMatrix m;
+  m.data = options_.numeric ? Matrix<float>(rows, cols, 0.0f)
+                            : Matrix<float>(0, 0);
+  m.shape_rows = rows;
+  m.shape_cols = cols;
+  m.available_at = host.now();
+  return m;
+}
+
+double Device::acquire_pinned(const std::string& slot, std::int64_t bytes,
+                              SimClock& host) {
+  const double cost = pinned_pool_.acquire(slot, bytes);
+  host.advance(cost);
+  return cost;
+}
+
+MatrixView<float> Device::device_block(DeviceMatrix& m, index_t i0, index_t j0,
+                                       index_t rows, index_t cols) const {
+  return m.data.view().block(i0, j0, rows, cols);
+}
+
+double Device::copy_to_device_sync(MatrixView<const double> src,
+                                   DeviceMatrix& dst, index_t i0, index_t j0,
+                                   SimClock& host) {
+  const double bytes = matrix_bytes(src.rows(), src.cols());
+  bytes_transferred_ += bytes;
+  if (options_.numeric) {
+    copy_into<float>(src, device_block(dst, i0, j0, src.rows(), src.cols()));
+  }
+  const double duration = transfer().sync_copy_time(bytes);
+  // A pageable copy blocks the host and serializes with prior device work
+  // touching the destination.
+  const double done = std::max(host.now(), dst.available_at) + duration;
+  host.advance_to(done);
+  dst.available_at = done;
+  return duration;
+}
+
+double Device::copy_from_device_sync(const DeviceMatrix& src, index_t i0,
+                                     index_t j0, MatrixView<double> dst,
+                                     SimClock& host) {
+  const double bytes = matrix_bytes(dst.rows(), dst.cols());
+  bytes_transferred_ += bytes;
+  if (options_.numeric) {
+    auto block = const_cast<DeviceMatrix&>(src).data.view().block(
+        i0, j0, dst.rows(), dst.cols());
+    copy_into<double>(
+        MatrixView<const float>(block.data(), block.rows(), block.cols(),
+                                block.ld()),
+        dst);
+  }
+  const double duration = transfer().sync_copy_time(bytes);
+  const double done = std::max(host.now(), src.available_at) + duration;
+  host.advance_to(done);
+  return duration;
+}
+
+double Device::copy_to_device_async(MatrixView<const double> src,
+                                    DeviceMatrix& dst, index_t i0, index_t j0,
+                                    Stream& stream, SimClock& host) {
+  const double bytes = matrix_bytes(src.rows(), src.cols());
+  bytes_transferred_ += bytes;
+  if (options_.numeric) {
+    copy_into<float>(src, device_block(dst, i0, j0, src.rows(), src.cols()));
+  }
+  host.advance(transfer().enqueue_overhead);
+  const double duration = transfer().async_copy_time(bytes);
+  const double earliest = std::max(host.now(), dst.available_at);
+  dst.available_at = stream.enqueue(earliest, duration);
+  return duration;
+}
+
+double Device::copy_from_device_async(const DeviceMatrix& src, index_t i0,
+                                      index_t j0, MatrixView<double> dst,
+                                      Stream& stream, SimClock& host) {
+  const double bytes = matrix_bytes(dst.rows(), dst.cols());
+  bytes_transferred_ += bytes;
+  if (options_.numeric) {
+    auto block = const_cast<DeviceMatrix&>(src).data.view().block(
+        i0, j0, dst.rows(), dst.cols());
+    copy_into<double>(
+        MatrixView<const float>(block.data(), block.rows(), block.cols(),
+                                block.ld()),
+        dst);
+  }
+  host.advance(transfer().enqueue_overhead);
+  const double duration = transfer().async_copy_time(bytes);
+  // Reads only: the copy waits for the producer but does not bump
+  // available_at (write-after-read hazards are not modeled).
+  stream.enqueue(std::max(host.now(), src.available_at), duration);
+  return duration;
+}
+
+void Device::synchronize(SimClock& host) {
+  for (const auto& s : streams_) host.advance_to(s.ready_at());
+}
+
+void Device::reset() {
+  for (auto& s : streams_) s.reset();
+  device_pool_.reset();
+  pinned_pool_.reset();
+  bytes_transferred_ = 0.0;
+}
+
+}  // namespace mfgpu

@@ -1,0 +1,104 @@
+// The simulated GPU: streams, device memory pools, and PCIe transfers.
+//
+// Device substitutes for the paper's Tesla T10. Numerics are real (kernels
+// execute on the host in single precision — the precision the paper uses on
+// the T10, trading accuracy for its 8x SP/DP throughput gap and recovering
+// it with iterative refinement); time is virtual, charged against the
+// calibrated cost models.
+//
+// All copy/allocate methods return the model *duration* of the operation in
+// seconds so executors can attribute component times in the trace; the
+// effect on the clocks/streams is applied internally.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gpusim/clock.hpp"
+#include "gpusim/cost_model.hpp"
+#include "gpusim/memory.hpp"
+#include "gpusim/stream.hpp"
+
+namespace mfgpu {
+
+class Device {
+ public:
+  struct Options {
+    ProcessorModel gpu = tesla_t10_model();
+    TransferModel transfer = pcie_x8_model();
+    std::int64_t memory_bytes = std::int64_t{4} * 1024 * 1024 * 1024;
+    bool pool_reuse = true;  ///< the paper's high-water-mark policy (§V-A2)
+    bool numeric = true;     ///< execute kernels numerically (off = dry runs)
+  };
+
+  Device();
+  explicit Device(Options options);
+
+  const ProcessorModel& model() const noexcept { return options_.gpu; }
+  const TransferModel& transfer() const noexcept { return options_.transfer; }
+  bool numeric() const noexcept { return options_.numeric; }
+
+  /// Default streams: compute, host-to-device copy, device-to-host copy.
+  Stream& compute_stream() noexcept { return streams_[0]; }
+  Stream& h2d_stream() noexcept { return streams_[1]; }
+  Stream& d2h_stream() noexcept { return streams_[2]; }
+
+  /// Allocate a device matrix in the named pool slot, charging the host
+  /// clock for the (possibly pooled-away) cudaMalloc-equivalent. Returns
+  /// the matrix; its contents are zero in numeric mode.
+  DeviceMatrix allocate(index_t rows, index_t cols, const std::string& slot,
+                        SimClock& host);
+
+  /// Charge the host for staging `bytes` of pinned memory in `slot`
+  /// (required for async copies; pooled like device memory). Returns the
+  /// seconds charged (0 when the high-water slot already fits).
+  double acquire_pinned(const std::string& slot, std::int64_t bytes,
+                        SimClock& host);
+
+  /// Synchronous pageable-memory copies: block the host clock. `dst`/`src`
+  /// name a block inside the device matrix at (i0, j0).
+  double copy_to_device_sync(MatrixView<const double> src, DeviceMatrix& dst,
+                             index_t i0, index_t j0, SimClock& host);
+  double copy_from_device_sync(const DeviceMatrix& src, index_t i0, index_t j0,
+                               MatrixView<double> dst, SimClock& host);
+
+  /// Asynchronous pinned-memory copies on `stream`: the host clock only
+  /// pays the enqueue overhead. Caller must have acquired pinned staging
+  /// and must synchronize before consuming the destination.
+  double copy_to_device_async(MatrixView<const double> src, DeviceMatrix& dst,
+                              index_t i0, index_t j0, Stream& stream,
+                              SimClock& host);
+  double copy_from_device_async(const DeviceMatrix& src, index_t i0,
+                                index_t j0, MatrixView<double> dst,
+                                Stream& stream, SimClock& host);
+
+  /// cudaEventRecord / cudaDeviceSynchronize equivalents.
+  Event record(const Stream& stream) const { return Event{stream.ready_at()}; }
+  void synchronize(SimClock& host);
+  void synchronize_stream(const Stream& stream, SimClock& host) {
+    host.advance_to(stream.ready_at());
+  }
+
+  const PoolStats& device_pool_stats() const noexcept {
+    return device_pool_.stats();
+  }
+  const PoolStats& pinned_pool_stats() const noexcept {
+    return pinned_pool_.stats();
+  }
+  /// Total bytes moved over the (simulated) PCIe link so far.
+  double bytes_transferred() const noexcept { return bytes_transferred_; }
+
+  void reset();
+
+ private:
+  MatrixView<float> device_block(DeviceMatrix& m, index_t i0, index_t j0,
+                                 index_t rows, index_t cols) const;
+
+  Options options_;
+  std::vector<Stream> streams_;
+  MemoryPool device_pool_;
+  MemoryPool pinned_pool_;
+  double bytes_transferred_ = 0.0;
+};
+
+}  // namespace mfgpu

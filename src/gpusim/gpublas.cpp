@@ -1,0 +1,168 @@
+#include "gpusim/gpublas.hpp"
+
+#include <algorithm>
+
+#include "dense/potrf.hpp"
+
+namespace mfgpu {
+namespace {
+
+/// Enqueue a kernel: pay the host launch overhead, start when the stream is
+/// free and every input matrix is available, mark outputs available at
+/// completion.
+void enqueue_kernel(const GpuExec& exec, double duration,
+                    std::initializer_list<const DeviceMatrix*> inputs,
+                    std::initializer_list<DeviceMatrix*> outputs) {
+  exec.host->advance(exec.device->transfer().kernel_enqueue);
+  double earliest = exec.host->now();
+  for (const DeviceMatrix* in : inputs) {
+    earliest = std::max(earliest, in->available_at);
+  }
+  for (DeviceMatrix* out : outputs) {
+    earliest = std::max(earliest, out->available_at);
+  }
+  const double done = exec.stream->enqueue(earliest, duration);
+  for (DeviceMatrix* out : outputs) out->available_at = done;
+}
+
+}  // namespace
+
+DevBlock dev_whole(DeviceMatrix& m) {
+  return DevBlock{&m, 0, 0, m.rows(), m.cols()};
+}
+
+DevBlock dev_block(DeviceMatrix& m, index_t i0, index_t j0, index_t rows,
+                   index_t cols) {
+  return DevBlock{&m, i0, j0, rows, cols};
+}
+
+double gpu_potrf(const GpuExec& exec, DevBlock a, index_t column_offset) {
+  MFGPU_CHECK(a.rows == a.cols, "gpu_potrf: block must be square");
+  const auto ops = static_cast<double>(potrf_ops(a.rows));
+  const double duration =
+      exec.device->model().potrf.time(ops, static_cast<double>(a.rows));
+  enqueue_kernel(exec, duration, {}, {a.mat});
+  if (exec.device->numeric()) {
+    potrf_unblocked<float>(a.view(), column_offset);
+  }
+  return duration;
+}
+
+double gpu_trsm(const GpuExec& exec, DevBlock tri, DevBlock rhs) {
+  MFGPU_CHECK(tri.rows == tri.cols && tri.cols == rhs.cols,
+              "gpu_trsm: shape mismatch");
+  const auto ops = static_cast<double>(trsm_ops(rhs.rows, rhs.cols));
+  const double min_dim = static_cast<double>(std::min(rhs.rows, rhs.cols));
+  const double duration = exec.device->model().trsm.time(ops, min_dim);
+  enqueue_kernel(exec, duration, {tri.mat}, {rhs.mat});
+  if (exec.device->numeric()) {
+    trsm<float>(Side::Right, Uplo::Lower, Trans::Transpose, Diag::NonUnit,
+                1.0f, tri.view(), rhs.view());
+  }
+  return duration;
+}
+
+double gpu_syrk(const GpuExec& exec, float alpha, DevBlock a, DevBlock c) {
+  MFGPU_CHECK(c.rows == c.cols && a.rows == c.rows, "gpu_syrk: shape mismatch");
+  const auto ops = static_cast<double>(syrk_ops(c.rows, a.cols));
+  const double min_dim = static_cast<double>(std::min(c.rows, a.cols));
+  const double duration = exec.device->model().syrk.time(ops, min_dim);
+  enqueue_kernel(exec, duration, {a.mat}, {c.mat});
+  if (exec.device->numeric()) {
+    syrk_lower<float>(alpha, a.view(), 1.0f, c.view());
+  }
+  return duration;
+}
+
+double gpu_gemm_nt(const GpuExec& exec, float alpha, DevBlock a, DevBlock b,
+                   DevBlock c) {
+  MFGPU_CHECK(a.rows == c.rows && b.rows == c.cols && a.cols == b.cols,
+              "gpu_gemm_nt: shape mismatch");
+  const auto ops = static_cast<double>(gemm_ops(c.rows, c.cols, a.cols));
+  const double min_dim =
+      static_cast<double>(std::min({c.rows, c.cols, a.cols}));
+  const double duration = exec.device->model().gemm.time(ops, min_dim);
+  enqueue_kernel(exec, duration, {a.mat, b.mat}, {c.mat});
+  if (exec.device->numeric()) {
+    gemm<float>(Trans::NoTrans, Trans::Transpose, alpha, a.view(), b.view(),
+                1.0f, c.view());
+  }
+  return duration;
+}
+
+double host_potrf(const HostExec& exec, MatrixView<double> a,
+                  index_t column_offset) {
+  const auto ops = static_cast<double>(potrf_ops(a.rows()));
+  const double duration =
+      exec.model->potrf.time(ops, static_cast<double>(a.rows()));
+  exec.clock->advance(duration);
+  if (exec.numeric) potrf<double>(a, 64, column_offset);
+  return duration;
+}
+
+double host_trsm(const HostExec& exec, MatrixView<const double> tri,
+                 MatrixView<double> rhs) {
+  const auto ops = static_cast<double>(trsm_ops(rhs.rows(), rhs.cols()));
+  const double min_dim =
+      static_cast<double>(std::min(rhs.rows(), rhs.cols()));
+  const double duration = exec.model->trsm.time(ops, min_dim);
+  exec.clock->advance(duration);
+  if (exec.numeric) {
+    trsm<double>(Side::Right, Uplo::Lower, Trans::Transpose, Diag::NonUnit,
+                 1.0, tri, rhs);
+  }
+  return duration;
+}
+
+double host_syrk(const HostExec& exec, double alpha,
+                 MatrixView<const double> a, MatrixView<double> c) {
+  const auto ops = static_cast<double>(syrk_ops(c.rows(), a.cols()));
+  const double min_dim = static_cast<double>(std::min(c.rows(), a.cols()));
+  const double duration = exec.model->syrk.time(ops, min_dim);
+  exec.clock->advance(duration);
+  if (exec.numeric) syrk_lower<double>(alpha, a, 1.0, c);
+  return duration;
+}
+
+double host_gemm_nt(const HostExec& exec, double alpha,
+                    MatrixView<const double> a, MatrixView<const double> b,
+                    MatrixView<double> c) {
+  const auto ops = static_cast<double>(gemm_ops(c.rows(), c.cols(), a.cols()));
+  const double min_dim =
+      static_cast<double>(std::min({c.rows(), c.cols(), a.cols()}));
+  const double duration = exec.model->gemm.time(ops, min_dim);
+  exec.clock->advance(duration);
+  if (exec.numeric) {
+    gemm<double>(Trans::NoTrans, Trans::Transpose, alpha, a, b, 1.0, c);
+  }
+  return duration;
+}
+
+double host_assembly_rate() { return 1.2e9; }
+
+double host_apply_update(const HostExec& exec,
+                         MatrixView<const double> product,
+                         MatrixView<double> c) {
+  MFGPU_CHECK(product.rows() == c.rows() && product.cols() == c.cols(),
+              "host_apply_update: shape mismatch");
+  const index_t n = c.rows();
+  const double entries =
+      0.5 * static_cast<double>(n) * static_cast<double>(n + 1);
+  const double duration = entries / host_assembly_rate();
+  exec.clock->advance(duration);
+  if (exec.numeric) {
+    for (index_t j = 0; j < c.cols(); ++j) {
+      for (index_t i = j; i < n; ++i) c(i, j) -= product(i, j);
+    }
+  }
+  return duration;
+}
+
+double host_assembly_cost(const HostExec& exec, double entries) {
+  MFGPU_CHECK(entries >= 0.0, "host_assembly_cost: negative entries");
+  const double duration = entries / host_assembly_rate();
+  exec.clock->advance(duration);
+  return duration;
+}
+
+}  // namespace mfgpu

@@ -1,0 +1,74 @@
+// CUBLAS-like kernels on the simulated device, and their host (ATLAS-like)
+// counterparts. Each call performs the real computation (float on device,
+// double on host, unless the execution is a dry run), charges the
+// calibrated model time to the right clock/stream, and returns the kernel's
+// model duration in seconds so callers can attribute component times.
+#pragma once
+
+#include "dense/blas.hpp"
+#include "dense/matrix.hpp"
+#include "gpusim/device.hpp"
+
+namespace mfgpu {
+
+/// A rectangular block of a device matrix, carrying the owning matrix for
+/// availability bookkeeping (dependencies are tracked per matrix).
+struct DevBlock {
+  DeviceMatrix* mat = nullptr;
+  index_t i0 = 0, j0 = 0, rows = 0, cols = 0;
+
+  MatrixView<float> view() const {
+    return mat->data.view().block(i0, j0, rows, cols);
+  }
+};
+
+DevBlock dev_whole(DeviceMatrix& m);
+DevBlock dev_block(DeviceMatrix& m, index_t i0, index_t j0, index_t rows,
+                   index_t cols);
+
+/// Execution context for device kernels: which device, which stream, and
+/// the host clock paying the enqueue overheads.
+struct GpuExec {
+  Device* device = nullptr;
+  Stream* stream = nullptr;
+  SimClock* host = nullptr;
+};
+
+/// Light-weight w x w Cholesky kernel (paper Fig. 9 panel step).
+double gpu_potrf(const GpuExec& exec, DevBlock a, index_t column_offset = 0);
+/// rhs := rhs * tri^{-T} (the paper's trsm; tri lower-triangular k x k,
+/// rhs m x k).
+double gpu_trsm(const GpuExec& exec, DevBlock tri, DevBlock rhs);
+/// c(lower) := c + alpha * a * a^T  (paper's syrk).
+double gpu_syrk(const GpuExec& exec, float alpha, DevBlock a, DevBlock c);
+/// c := c + alpha * a * b^T (panel update inside P4).
+double gpu_gemm_nt(const GpuExec& exec, float alpha, DevBlock a, DevBlock b,
+                   DevBlock c);
+
+/// Host execution context: the CPU clock plus its calibrated model.
+struct HostExec {
+  SimClock* clock = nullptr;
+  const ProcessorModel* model = nullptr;
+  bool numeric = true;
+};
+
+double host_potrf(const HostExec& exec, MatrixView<double> a,
+                  index_t column_offset = 0);
+double host_trsm(const HostExec& exec, MatrixView<const double> tri,
+                 MatrixView<double> rhs);
+double host_syrk(const HostExec& exec, double alpha,
+                 MatrixView<const double> a, MatrixView<double> c);
+double host_gemm_nt(const HostExec& exec, double alpha,
+                    MatrixView<const double> a, MatrixView<const double> b,
+                    MatrixView<double> c);
+/// c(lower) -= product, elementwise (host application of a device-computed
+/// L2 L2^T, charged at memory-bound speed).
+double host_apply_update(const HostExec& exec, MatrixView<const double> product,
+                         MatrixView<double> c);
+/// Charge generic memory-bound assembly work of `entries` moved entries.
+double host_assembly_cost(const HostExec& exec, double entries);
+
+/// Memory-bound host rate for assembly/apply operations (entries/s).
+double host_assembly_rate();
+
+}  // namespace mfgpu

@@ -1,0 +1,45 @@
+#include "gpusim/memory.hpp"
+
+#include <algorithm>
+
+namespace mfgpu {
+
+MemoryPool::MemoryPool(std::string name, double alloc_latency,
+                       double alloc_per_byte, std::int64_t capacity_bytes,
+                       bool reuse)
+    : name_(std::move(name)),
+      alloc_latency_(alloc_latency),
+      alloc_per_byte_(alloc_per_byte),
+      capacity_bytes_(capacity_bytes),
+      reuse_(reuse) {
+  MFGPU_CHECK(capacity_bytes_ > 0, "MemoryPool: capacity must be positive");
+}
+
+double MemoryPool::acquire(const std::string& slot, std::int64_t bytes) {
+  MFGPU_CHECK(bytes >= 0, "MemoryPool: negative size");
+  ++stats_.acquire_calls;
+  auto& high = high_water_[slot];
+  double cost = 0.0;
+  if (!reuse_ || bytes > high) {
+    cost = alloc_latency_ + static_cast<double>(bytes) * alloc_per_byte_;
+    ++stats_.charged_allocations;
+    high = std::max(high, bytes);
+  }
+  std::int64_t total = 0;
+  for (const auto& [key, value] : high_water_) total += value;
+  stats_.current_high_water_bytes = total;
+  stats_.peak_bytes = std::max(stats_.peak_bytes, total);
+  if (total > capacity_bytes_) {
+    throw DeviceOutOfMemoryError(name_ + ": pool exceeds capacity (" +
+                                 std::to_string(total) + " > " +
+                                 std::to_string(capacity_bytes_) + " bytes)");
+  }
+  return cost;
+}
+
+void MemoryPool::reset() {
+  high_water_.clear();
+  stats_ = PoolStats{};
+}
+
+}  // namespace mfgpu

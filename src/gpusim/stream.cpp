@@ -1,0 +1,3 @@
+#include "gpusim/stream.hpp"
+
+// Stream and Event are fully inline; this file pins the module in the build.

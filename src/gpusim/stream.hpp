@@ -1,0 +1,45 @@
+// CUDA-style streams and events on virtual time.
+//
+// A stream is an in-order queue: each enqueued operation starts when the
+// stream is free AND all of its input buffers are available. Distinct
+// streams overlap freely, which is how the paper's copy/compute overlap
+// (Section V-A2) is modeled.
+#pragma once
+
+#include <algorithm>
+
+#include "gpusim/clock.hpp"
+#include "support/error.hpp"
+
+namespace mfgpu {
+
+class Stream {
+ public:
+  /// Virtual time at which all enqueued work completes.
+  double ready_at() const noexcept { return ready_; }
+
+  /// Enqueue an operation of `duration` seconds that cannot start before
+  /// `earliest` (host enqueue time and input availability). Returns the
+  /// completion time.
+  double enqueue(double earliest, double duration) {
+    MFGPU_CHECK(duration >= 0.0, "Stream: negative duration");
+    const double start = std::max(ready_, earliest);
+    ready_ = start + duration;
+    return ready_;
+  }
+
+  /// Make subsequent work wait for `time` (cudaStreamWaitEvent).
+  void wait_until(double time) { ready_ = std::max(ready_, time); }
+
+  void reset() noexcept { ready_ = 0.0; }
+
+ private:
+  double ready_ = 0.0;
+};
+
+/// A recorded point in a stream's timeline (cudaEvent).
+struct Event {
+  double time = 0.0;
+};
+
+}  // namespace mfgpu

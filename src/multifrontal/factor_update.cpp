@@ -1,0 +1,18 @@
+#include "multifrontal/factor_update.hpp"
+
+#include <algorithm>
+
+namespace mfgpu {
+
+FrontBlocks make_shape_blocks(index_t m, index_t k, index_t global_col) {
+  FrontBlocks f;
+  f.m = m;
+  f.k = k;
+  f.global_col = global_col;
+  f.l1 = MatrixView<double>(nullptr, k, k, std::max<index_t>(k, 1));
+  f.l2 = MatrixView<double>(nullptr, m, k, std::max<index_t>(m, 1));
+  f.u = MatrixView<double>(nullptr, m, m, std::max<index_t>(m, 1));
+  return f;
+}
+
+}  // namespace mfgpu

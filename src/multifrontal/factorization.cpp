@@ -1,0 +1,155 @@
+#include "multifrontal/factorization.hpp"
+
+#include <algorithm>
+
+#include "multifrontal/frontal.hpp"
+#include "multifrontal/stack_arena.hpp"
+#include "symbolic/postorder.hpp"
+
+namespace mfgpu {
+
+std::int64_t Factorization::storage_bytes() const noexcept {
+  std::int64_t bytes = 0;
+  for (const auto& p : panels) {
+    bytes += static_cast<std::int64_t>(p.rows()) * p.cols() * 8;
+  }
+  for (const auto& p : panels32) {
+    bytes += static_cast<std::int64_t>(p.rows()) * p.cols() * 4;
+  }
+  return bytes;
+}
+
+FactorizeResult factorize(const Analysis& analysis, FuExecutor& executor,
+                          FactorContext& ctx,
+                          const FactorizeOptions& options) {
+  const SymbolicFactor& sym = analysis.symbolic;
+  const SparseSpd& a = analysis.permuted;
+  const index_t nsup = sym.num_supernodes();
+
+  FactorizeResult result;
+  result.factor.numeric = ctx.numeric;
+  if (options.store_factor && ctx.numeric) {
+    if (options.precision == FactorPrecision::Float32) {
+      result.factor.panels32.resize(static_cast<std::size_t>(nsup));
+    } else {
+      result.factor.panels.resize(static_cast<std::size_t>(nsup));
+    }
+  }
+  FactorizationTrace& trace = result.trace;
+
+  // Children lists over the supernode tree.
+  std::vector<index_t> snode_parent(static_cast<std::size_t>(nsup));
+  for (index_t s = 0; s < nsup; ++s) {
+    snode_parent[static_cast<std::size_t>(s)] =
+        sym.supernodes()[static_cast<std::size_t>(s)].parent;
+  }
+  const auto children = children_lists(snode_parent);
+
+  // Dry runs skip the numeric stack entirely (the assembly cost is charged
+  // from the symbolic sizes), so huge matrices can be timed cheaply.
+  StackArena stack(ctx.numeric ? sym.peak_update_stack_entries() : 0);
+  // Virtual time at which each pushed update matrix is safe to consume
+  // (device copies may complete after the executor returns).
+  std::vector<double> update_ready(static_cast<std::size_t>(nsup), 0.0);
+
+  const double start_time = ctx.host_clock.now();
+  HostExec host = ctx.host_exec();
+
+  // Size the executor's device/pinned pools once for the biggest front the
+  // symbolic analysis predicts (WSMP-style symbolic-driven preallocation).
+  {
+    index_t max_m = 0, max_k = 0;
+    for (const auto& sn : sym.supernodes()) {
+      max_m = std::max(max_m, sn.num_update_rows());
+      max_k = std::max(max_k, sn.width());
+    }
+    executor.prepare(max_m, max_k, ctx);
+  }
+
+  for (index_t s = 0; s < nsup; ++s) {
+    const SupernodeInfo& sn = sym.supernodes()[static_cast<std::size_t>(s)];
+    FrontalMatrix front(sn, ctx.numeric);
+
+    // Wait for in-flight copies of the children's update matrices.
+    const auto& kids = children[static_cast<std::size_t>(s)];
+    for (index_t c : kids) {
+      ctx.host_clock.advance_to(update_ready[static_cast<std::size_t>(c)]);
+    }
+
+    // Assembly: scatter A's entries, then extend-add children (topmost
+    // stack block belongs to the most recently processed = largest child).
+    double assembly_entries =
+        static_cast<double>(front.assemble_from_matrix(a, sn));
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      const SupernodeInfo& child =
+          sym.supernodes()[static_cast<std::size_t>(*it)];
+      if (ctx.numeric) {
+        assembly_entries += static_cast<double>(
+            front.extend_add(child.update_rows, stack.from_top(0)));
+        stack.pop();
+      } else {
+        assembly_entries += static_cast<double>(
+            packed_lower_size(child.num_update_rows()));
+      }
+    }
+    const double assembly_t0 = ctx.host_clock.now();
+    host_assembly_cost(host, assembly_entries);
+    trace.assembly_time += ctx.host_clock.now() - assembly_t0;
+
+    // Factor-update.
+    FrontBlocks blocks = make_shape_blocks(front.m(), front.k(), sn.first_col);
+    if (ctx.numeric) {
+      blocks.l1 = front.l1();
+      blocks.l2 = front.l2();
+      blocks.u = front.update();
+    }
+    FuOutcome outcome = executor.execute(blocks, ctx);
+    outcome.record.snode = s;
+    trace.calls.push_back(outcome.record);
+    trace.fu_time += outcome.record.t_total;
+
+    // Store the factor panel (columns of L for this supernode).
+    if (options.store_factor && ctx.numeric) {
+      const MatrixView<const double> source(front.full().data(), front.order(),
+                                            front.k(), front.full().ld());
+      if (options.precision == FactorPrecision::Float32) {
+        auto& panel = result.factor.panels32[static_cast<std::size_t>(s)];
+        panel = Matrix<float>(front.order(), front.k());
+        copy_into<float>(source, panel.view());
+      } else {
+        auto& panel = result.factor.panels[static_cast<std::size_t>(s)];
+        panel = Matrix<double>(front.order(), front.k());
+        copy_into<double>(source, panel.view());
+      }
+    }
+    {
+      const double t0 = ctx.host_clock.now();
+      host_assembly_cost(
+          host, static_cast<double>(front.order()) * static_cast<double>(front.k()));
+      trace.assembly_time += ctx.host_clock.now() - t0;
+    }
+
+    // Hand the update matrix to the parent via the stack.
+    if (sn.parent != -1) {
+      if (ctx.numeric) {
+        auto block = stack.push(packed_lower_size(front.m()));
+        front.pack_update(block);
+      }
+      const double t0 = ctx.host_clock.now();
+      host_assembly_cost(
+          host, static_cast<double>(packed_lower_size(front.m())));
+      trace.assembly_time += ctx.host_clock.now() - t0;
+      update_ready[static_cast<std::size_t>(s)] =
+          std::max(outcome.update_ready_at, ctx.host_clock.now());
+    } else {
+      MFGPU_CHECK(front.m() == 0, "factorize: root supernode with update rows");
+      ctx.host_clock.advance_to(outcome.update_ready_at);
+    }
+  }
+
+  if (ctx.device != nullptr) ctx.device->synchronize(ctx.host_clock);
+  trace.total_time = ctx.host_clock.now() - start_time;
+  return result;
+}
+
+}  // namespace mfgpu

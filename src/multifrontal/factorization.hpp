@@ -1,0 +1,61 @@
+// The multifrontal Cholesky driver: postorder traversal of the supernodal
+// assembly tree, frontal assembly (extend-add), factor-update execution via
+// a pluggable policy executor, and supernodal factor storage.
+#pragma once
+
+#include <vector>
+
+#include "dense/matrix.hpp"
+#include "multifrontal/factor_update.hpp"
+#include "multifrontal/trace.hpp"
+#include "sparse/csc.hpp"
+#include "symbolic/symbolic_factor.hpp"
+
+namespace mfgpu {
+
+/// The numeric factor L in supernodal storage: panel s holds the (k+m) x k
+/// factor columns of supernode s (L1 in the top k rows — lower triangle
+/// valid — and L2 below); row i of the panel corresponds to global permuted
+/// index (cols ++ update_rows)[i] from the symbolic structure.
+///
+/// Panels are stored in double by default, or in single precision when the
+/// factorization was run with FactorPrecision::Float32 — halving the factor
+/// memory at the cost of ~half the digits, which iterative refinement
+/// recovers (the storage-side counterpart of the paper's single-precision
+/// GPU arithmetic).
+struct Factorization {
+  std::vector<Matrix<double>> panels;
+  std::vector<Matrix<float>> panels32;
+  bool numeric = true;
+
+  bool single_precision() const noexcept { return !panels32.empty(); }
+  index_t num_panels() const noexcept {
+    return static_cast<index_t>(single_precision() ? panels32.size()
+                                                   : panels.size());
+  }
+  /// Bytes used by the stored factor.
+  std::int64_t storage_bytes() const noexcept;
+};
+
+struct FactorizeResult {
+  Factorization factor;
+  FactorizationTrace trace;
+};
+
+enum class FactorPrecision { Float64, Float32 };
+
+struct FactorizeOptions {
+  /// Keep the numeric factor (disable for timing-only studies to save RAM).
+  bool store_factor = true;
+  /// Storage precision of the panels (solves always accumulate in double).
+  FactorPrecision precision = FactorPrecision::Float64;
+};
+
+/// Factor the permuted matrix using the symbolic structure in `analysis`.
+/// `executor` decides and executes the policy for each factor-update call;
+/// `ctx` carries the virtual clocks (and the device, for GPU policies).
+FactorizeResult factorize(const Analysis& analysis, FuExecutor& executor,
+                          FactorContext& ctx,
+                          const FactorizeOptions& options = {});
+
+}  // namespace mfgpu

@@ -1,0 +1,90 @@
+#include "multifrontal/frontal.hpp"
+
+#include <algorithm>
+
+#include "multifrontal/stack_arena.hpp"
+
+namespace mfgpu {
+
+FrontalMatrix::FrontalMatrix(const SupernodeInfo& sn, bool numeric)
+    : k_(sn.width()), m_(sn.num_update_rows()), numeric_(numeric) {
+  rows_.reserve(static_cast<std::size_t>(order()));
+  for (index_t j = sn.first_col; j < sn.last_col; ++j) rows_.push_back(j);
+  rows_.insert(rows_.end(), sn.update_rows.begin(), sn.update_rows.end());
+  if (numeric_) {
+    storage_ = Matrix<double>(order(), order(), 0.0);
+  }
+}
+
+MatrixView<double> FrontalMatrix::full() {
+  MFGPU_CHECK(numeric_, "FrontalMatrix: no storage in dry-run mode");
+  return storage_.view();
+}
+
+index_t FrontalMatrix::local_index(index_t global_row) const {
+  // Front rows = [first_col .. last_col) ++ update_rows; the first segment
+  // maps directly, the second via binary search (rows_ is sorted).
+  const auto it = std::lower_bound(rows_.begin(), rows_.end(), global_row);
+  MFGPU_CHECK(it != rows_.end() && *it == global_row,
+              "FrontalMatrix: row not part of this front");
+  return static_cast<index_t>(it - rows_.begin());
+}
+
+index_t FrontalMatrix::assemble_from_matrix(const SparseSpd& a,
+                                            const SupernodeInfo& sn) {
+  index_t moved = 0;
+  for (index_t j = sn.first_col; j < sn.last_col; ++j) {
+    const index_t local_col = j - sn.first_col;
+    const auto rows = a.column_rows(j);
+    const auto vals = a.column_values(j);
+    moved += static_cast<index_t>(rows.size());
+    if (!numeric_) continue;
+    for (std::size_t t = 0; t < rows.size(); ++t) {
+      storage_(local_index(rows[t]), local_col) += vals[t];
+    }
+  }
+  return moved;
+}
+
+index_t FrontalMatrix::extend_add(std::span<const index_t> child_rows,
+                                  std::span<const double> child_update_packed) {
+  const index_t mc = static_cast<index_t>(child_rows.size());
+  MFGPU_CHECK(static_cast<index_t>(child_update_packed.size()) ==
+                  packed_lower_size(mc),
+              "extend_add: packed size mismatch");
+  const index_t entries = packed_lower_size(mc);
+  if (!numeric_) return entries;
+
+  // Relative indices: child rows are a subset of this front's rows.
+  std::vector<index_t> rel(static_cast<std::size_t>(mc));
+  for (index_t t = 0; t < mc; ++t) {
+    rel[static_cast<std::size_t>(t)] = local_index(child_rows[static_cast<std::size_t>(t)]);
+  }
+  for (index_t j = 0; j < mc; ++j) {
+    const index_t cj = rel[static_cast<std::size_t>(j)];
+    for (index_t i = j; i < mc; ++i) {
+      const index_t ci = rel[static_cast<std::size_t>(i)];
+      // Both rel indices increase with their arguments, so ci >= cj and the
+      // target stays in the lower triangle.
+      storage_(ci, cj) +=
+          child_update_packed[static_cast<std::size_t>(packed_index(mc, i, j))];
+    }
+  }
+  return entries;
+}
+
+index_t FrontalMatrix::pack_update(std::span<double> out) const {
+  const index_t entries = packed_lower_size(m_);
+  MFGPU_CHECK(static_cast<index_t>(out.size()) == entries,
+              "pack_update: output size mismatch");
+  if (!numeric_) return entries;
+  for (index_t j = 0; j < m_; ++j) {
+    for (index_t i = j; i < m_; ++i) {
+      out[static_cast<std::size_t>(packed_index(m_, i, j))] =
+          storage_(k_ + i, k_ + j);
+    }
+  }
+  return entries;
+}
+
+}  // namespace mfgpu

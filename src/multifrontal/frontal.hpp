@@ -1,0 +1,56 @@
+// Frontal matrix assembly: scatter of original-matrix entries and
+// extend-add of children's update matrices via relative indices.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dense/matrix.hpp"
+#include "sparse/csc.hpp"
+#include "symbolic/symbolic_factor.hpp"
+
+namespace mfgpu {
+
+/// Dense working storage for one front: an s x s column-major square with
+/// s = k + m; only the lower triangle is referenced.
+/// Row/column i of the front corresponds to global (permuted) index
+/// rows()[i], where the first k entries are the supernode's own columns.
+class FrontalMatrix {
+ public:
+  FrontalMatrix(const SupernodeInfo& sn, bool numeric);
+
+  index_t k() const noexcept { return k_; }
+  index_t m() const noexcept { return m_; }
+  index_t order() const noexcept { return k_ + m_; }
+  std::span<const index_t> rows() const noexcept { return rows_; }
+
+  MatrixView<double> full();
+  MatrixView<double> l1() { return full().block(0, 0, k_, k_); }
+  MatrixView<double> l2() { return full().block(k_, 0, m_, k_); }
+  MatrixView<double> update() { return full().block(k_, k_, m_, m_); }
+
+  /// Scatter the supernode's columns of A (lower triangle) into the front.
+  /// Returns the number of entries moved (for assembly-cost charging).
+  index_t assemble_from_matrix(const SparseSpd& a, const SupernodeInfo& sn);
+
+  /// Extend-add a child's packed-lower update matrix. `child_rows` are the
+  /// child's update rows (global indices, sorted — a subset of this front's
+  /// rows). Returns entries added.
+  index_t extend_add(std::span<const index_t> child_rows,
+                     std::span<const double> child_update_packed);
+
+  /// Pack this front's update block (lower triangle) into `out`
+  /// (packed-lower layout). Returns entries moved.
+  index_t pack_update(std::span<double> out) const;
+
+ private:
+  index_t local_index(index_t global_row) const;
+
+  index_t k_ = 0;
+  index_t m_ = 0;
+  bool numeric_ = true;
+  std::vector<index_t> rows_;
+  Matrix<double> storage_;
+};
+
+}  // namespace mfgpu

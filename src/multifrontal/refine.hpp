@@ -1,0 +1,36 @@
+// Iterative refinement. The paper runs the GPU kernels in single precision
+// (the T10's double-precision rate is 8x lower) and notes the lost digits
+// "could be readily regained by one or two steps of iterative refinement
+// using double precision sparse matrix-vector multiplication" — this module
+// is that loop.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "multifrontal/solve.hpp"
+#include "sparse/csc.hpp"
+
+namespace mfgpu {
+
+struct RefineResult {
+  std::vector<double> x;
+  /// 2-norm of b - A x before refinement and after each step.
+  std::vector<double> residual_norms;
+  int iterations = 0;
+};
+
+/// Solve A x = b through the (possibly mixed-precision) factorization, then
+/// refine with double-precision residuals until the residual norm stops
+/// improving, drops below `tol * ||b||`, or `max_iterations` is reached.
+RefineResult solve_with_refinement(const SparseSpd& a_original,
+                                   const Analysis& analysis,
+                                   const Factorization& factor,
+                                   std::span<const double> b,
+                                   int max_iterations = 5, double tol = 1e-14);
+
+/// 2-norm of b - A x.
+double residual_norm(const SparseSpd& a, std::span<const double> x,
+                     std::span<const double> b);
+
+}  // namespace mfgpu

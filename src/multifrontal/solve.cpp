@@ -1,0 +1,126 @@
+#include "multifrontal/solve.hpp"
+
+#include <vector>
+
+#include "gpusim/gpublas.hpp"
+
+namespace mfgpu {
+
+double estimated_solve_seconds(const SymbolicFactor& sym) {
+  double entries = 2.0 * static_cast<double>(sym.factor_nnz());
+  for (const auto& sn : sym.supernodes()) {
+    entries += 2.0 * static_cast<double>(sn.num_update_rows());
+  }
+  return entries / host_assembly_rate();
+}
+namespace {
+
+/// Both sweeps are written generically over the panel scalar type so the
+/// same code serves double- and single-precision factors; the solution
+/// vector always accumulates in double.
+template <typename T>
+void forward_sweep(const SymbolicFactor& sym,
+                   const std::vector<Matrix<T>>& panels, std::span<double> x) {
+  for (index_t s = 0; s < sym.num_supernodes(); ++s) {
+    const SupernodeInfo& sn = sym.supernodes()[static_cast<std::size_t>(s)];
+    const auto& panel = panels[static_cast<std::size_t>(s)];
+    const index_t k = sn.width();
+    const index_t m = sn.num_update_rows();
+    double* seg = x.data() + sn.first_col;
+    // Forward substitution against the k x k pivot block.
+    for (index_t j = 0; j < k; ++j) {
+      seg[j] /= static_cast<double>(panel(j, j));
+      const double xj = seg[j];
+      for (index_t i = j + 1; i < k; ++i) {
+        seg[i] -= static_cast<double>(panel(i, j)) * xj;
+      }
+    }
+    // x[update_rows] -= L2 * seg.
+    for (index_t j = 0; j < k; ++j) {
+      const double xj = seg[j];
+      if (xj == 0.0) continue;
+      for (index_t t = 0; t < m; ++t) {
+        x[static_cast<std::size_t>(
+            sn.update_rows[static_cast<std::size_t>(t)])] -=
+            static_cast<double>(panel(k + t, j)) * xj;
+      }
+    }
+  }
+}
+
+template <typename T>
+void backward_sweep(const SymbolicFactor& sym,
+                    const std::vector<Matrix<T>>& panels,
+                    std::span<double> x) {
+  for (index_t s = sym.num_supernodes() - 1; s >= 0; --s) {
+    const SupernodeInfo& sn = sym.supernodes()[static_cast<std::size_t>(s)];
+    const auto& panel = panels[static_cast<std::size_t>(s)];
+    const index_t k = sn.width();
+    const index_t m = sn.num_update_rows();
+    double* seg = x.data() + sn.first_col;
+    // seg -= L2^T * x[update_rows].
+    for (index_t j = 0; j < k; ++j) {
+      double sum = 0.0;
+      for (index_t t = 0; t < m; ++t) {
+        sum += static_cast<double>(panel(k + t, j)) *
+               x[static_cast<std::size_t>(
+                   sn.update_rows[static_cast<std::size_t>(t)])];
+      }
+      seg[j] -= sum;
+    }
+    // Backward substitution against the pivot block.
+    for (index_t j = k - 1; j >= 0; --j) {
+      double sum = seg[j];
+      for (index_t i = j + 1; i < k; ++i) {
+        sum -= static_cast<double>(panel(i, j)) * seg[i];
+      }
+      seg[j] = sum / static_cast<double>(panel(j, j));
+    }
+  }
+}
+
+void check_solvable(const Analysis& analysis, const Factorization& factor,
+                    std::size_t x_size) {
+  MFGPU_CHECK(factor.numeric, "solve: factor has no numeric data");
+  MFGPU_CHECK(factor.num_panels() == analysis.symbolic.num_supernodes(),
+              "solve: factor does not match the analysis");
+  MFGPU_CHECK(static_cast<index_t>(x_size) == analysis.symbolic.n(),
+              "solve: size mismatch");
+}
+
+}  // namespace
+
+void forward_solve(const Analysis& analysis, const Factorization& factor,
+                   std::span<double> x) {
+  check_solvable(analysis, factor, x.size());
+  if (factor.single_precision()) {
+    forward_sweep(analysis.symbolic, factor.panels32, x);
+  } else {
+    forward_sweep(analysis.symbolic, factor.panels, x);
+  }
+}
+
+void backward_solve(const Analysis& analysis, const Factorization& factor,
+                    std::span<double> x) {
+  check_solvable(analysis, factor, x.size());
+  if (factor.single_precision()) {
+    backward_sweep(analysis.symbolic, factor.panels32, x);
+  } else {
+    backward_sweep(analysis.symbolic, factor.panels, x);
+  }
+}
+
+std::vector<double> solve(const Analysis& analysis, const Factorization& factor,
+                          std::span<const double> b) {
+  const index_t n = analysis.symbolic.n();
+  MFGPU_CHECK(static_cast<index_t>(b.size()) == n, "solve: size mismatch");
+  std::vector<double> permuted(static_cast<std::size_t>(n));
+  analysis.perm.apply(b, permuted);
+  forward_solve(analysis, factor, permuted);
+  backward_solve(analysis, factor, permuted);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  analysis.perm.apply_inverse(permuted, x);
+  return x;
+}
+
+}  // namespace mfgpu

@@ -1,0 +1,30 @@
+// Supernodal triangular solves using the panel factor storage.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "multifrontal/factorization.hpp"
+#include "symbolic/symbolic_factor.hpp"
+
+namespace mfgpu {
+
+/// In-place forward substitution L y = b on an already permuted rhs.
+void forward_solve(const Analysis& analysis, const Factorization& factor,
+                   std::span<double> x);
+
+/// In-place backward substitution L^T x = y on a permuted vector.
+void backward_solve(const Analysis& analysis, const Factorization& factor,
+                    std::span<double> x);
+
+/// Full solve of A x = b in the ORIGINAL ordering (applies the permutation,
+/// both sweeps, and the inverse permutation).
+std::vector<double> solve(const Analysis& analysis, const Factorization& factor,
+                          std::span<const double> b);
+
+/// Simulated host seconds for one forward + backward solve: the sweeps are
+/// memory bound — every stored factor entry is streamed twice, plus the
+/// gather/scatter of each supernode's update rows.
+double estimated_solve_seconds(const SymbolicFactor& sym);
+
+}  // namespace mfgpu

@@ -1,0 +1,54 @@
+#include "multifrontal/trace.hpp"
+
+#include <ostream>
+
+#include "dense/blas.hpp"
+
+namespace mfgpu {
+
+double FuCallRecord::ops_potrf() const {
+  return static_cast<double>(mfgpu::potrf_ops(k));
+}
+double FuCallRecord::ops_trsm() const {
+  return static_cast<double>(mfgpu::trsm_ops(m, k));
+}
+double FuCallRecord::ops_syrk() const {
+  return static_cast<double>(mfgpu::syrk_ops(m, k));
+}
+
+void FactorizationTrace::clear() {
+  calls.clear();
+  total_time = assembly_time = fu_time = 0.0;
+}
+
+double FactorizationTrace::total_potrf() const {
+  double sum = 0.0;
+  for (const auto& c : calls) sum += c.t_potrf;
+  return sum;
+}
+double FactorizationTrace::total_trsm() const {
+  double sum = 0.0;
+  for (const auto& c : calls) sum += c.t_trsm;
+  return sum;
+}
+double FactorizationTrace::total_syrk() const {
+  double sum = 0.0;
+  for (const auto& c : calls) sum += c.t_syrk;
+  return sum;
+}
+double FactorizationTrace::total_copy() const {
+  double sum = 0.0;
+  for (const auto& c : calls) sum += c.t_copy;
+  return sum;
+}
+
+void FactorizationTrace::write_csv(std::ostream& os) const {
+  os << "snode,m,k,policy,t_potrf,t_trsm,t_syrk,t_copy,t_total,ops\n";
+  for (const auto& c : calls) {
+    os << c.snode << ',' << c.m << ',' << c.k << ',' << c.policy << ','
+       << c.t_potrf << ',' << c.t_trsm << ',' << c.t_syrk << ',' << c.t_copy
+       << ',' << c.t_total << ',' << c.ops_total() << '\n';
+  }
+}
+
+}  // namespace mfgpu

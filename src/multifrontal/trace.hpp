@@ -1,0 +1,51 @@
+// Per-call timing trace of a factorization. The paper's entire analysis
+// (Figs. 2-8, Tables III-V) is retrospective analysis of exactly this data:
+// one record per factor-update call with its dimensions and component times.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace mfgpu {
+
+/// Component timings of one factor-update call (simulated seconds).
+struct FuCallRecord {
+  index_t snode = -1;
+  index_t m = 0;  ///< update-matrix order
+  index_t k = 0;  ///< supernode width (pivot block order)
+  int policy = 0; ///< Policy that executed the call (1..4)
+
+  double t_potrf = 0.0;
+  double t_trsm = 0.0;
+  double t_syrk = 0.0;
+  double t_copy = 0.0;   ///< host-visible transfer time (sync + waits)
+  double t_total = 0.0;  ///< wall (host-clock) duration of the whole call
+
+  /// Paper's asymptotic op counts (Section IV-B).
+  double ops_potrf() const;
+  double ops_trsm() const;
+  double ops_syrk() const;
+  double ops_total() const {
+    return ops_potrf() + ops_trsm() + ops_syrk();
+  }
+};
+
+struct FactorizationTrace {
+  std::vector<FuCallRecord> calls;
+  double total_time = 0.0;     ///< end-to-end factorization (host clock)
+  double assembly_time = 0.0;  ///< extend-add + scatter/gather
+  double fu_time = 0.0;        ///< sum of per-call totals
+
+  void clear();
+  /// Aggregate totals for each component.
+  double total_potrf() const;
+  double total_trsm() const;
+  double total_syrk() const;
+  double total_copy() const;
+
+  void write_csv(std::ostream& os) const;
+};
+
+}  // namespace mfgpu

@@ -1,0 +1,239 @@
+#include "ordering/minimum_degree.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+namespace mfgpu {
+namespace {
+
+/// Lazy min-heap entry: (degree at push time, vertex). Stale entries are
+/// skipped at pop time by comparing against the current degree.
+using HeapEntry = std::pair<index_t, index_t>;
+
+class QuotientGraph {
+ public:
+  explicit QuotientGraph(const SymmetricGraph& g)
+      : n_(g.n),
+        adj_vars_(static_cast<std::size_t>(g.n)),
+        adj_elems_(static_cast<std::size_t>(g.n)),
+        elem_vars_(static_cast<std::size_t>(g.n)),
+        degree_(static_cast<std::size_t>(g.n)),
+        weight_(static_cast<std::size_t>(g.n), 1),
+        members_(static_cast<std::size_t>(g.n)),
+        eliminated_(static_cast<std::size_t>(g.n), 0),
+        absorbed_(static_cast<std::size_t>(g.n), 0),
+        marker_(static_cast<std::size_t>(g.n), 0) {
+    for (index_t v = 0; v < n_; ++v) {
+      const auto nbrs = g.neighbors(v);
+      adj_vars_[static_cast<std::size_t>(v)].assign(nbrs.begin(), nbrs.end());
+      degree_[static_cast<std::size_t>(v)] = static_cast<index_t>(nbrs.size());
+      members_[static_cast<std::size_t>(v)].push_back(v);
+    }
+  }
+
+  index_t degree(index_t v) const { return degree_[static_cast<std::size_t>(v)]; }
+  index_t weight(index_t v) const { return weight_[static_cast<std::size_t>(v)]; }
+  bool gone(index_t v) const {
+    return eliminated_[static_cast<std::size_t>(v)] != 0;
+  }
+  /// The original vertices this supervariable represents (itself included).
+  const std::vector<index_t>& members(index_t v) const {
+    return members_[static_cast<std::size_t>(v)];
+  }
+
+  /// Eliminate pivot `p`; returns the surviving variables whose structure
+  /// changed (the pivot structure Lp).
+  const std::vector<index_t>& eliminate(index_t p) {
+    eliminated_[static_cast<std::size_t>(p)] = 1;
+
+    // Pivot structure Lp: remaining variable neighbours of p plus the
+    // variables of every adjacent element (those elements get absorbed).
+    ++stamp_;
+    marker_[static_cast<std::size_t>(p)] = stamp_;
+    pivot_structure_.clear();
+    auto absorb_var = [&](index_t u) {
+      if (gone(u)) return;
+      if (marker_[static_cast<std::size_t>(u)] != stamp_) {
+        marker_[static_cast<std::size_t>(u)] = stamp_;
+        pivot_structure_.push_back(u);
+      }
+    };
+    for (index_t u : adj_vars_[static_cast<std::size_t>(p)]) absorb_var(u);
+    for (index_t e : adj_elems_[static_cast<std::size_t>(p)]) {
+      for (index_t u : elem_vars_[static_cast<std::size_t>(e)]) absorb_var(u);
+      elem_vars_[static_cast<std::size_t>(e)].clear();  // absorbed into p
+      elem_vars_[static_cast<std::size_t>(e)].shrink_to_fit();
+      absorbed_[static_cast<std::size_t>(e)] = 1;
+    }
+    elem_vars_[static_cast<std::size_t>(p)] = pivot_structure_;
+
+    // Update each variable in Lp: its variable list drops members of Lp and
+    // p itself (now represented by element p); its element list drops the
+    // absorbed elements and gains p.
+    for (index_t u : pivot_structure_) {
+      auto& vars = adj_vars_[static_cast<std::size_t>(u)];
+      std::erase_if(vars, [&](index_t w) {
+        return w == p || marker_[static_cast<std::size_t>(w)] == stamp_ ||
+               gone(w);
+      });
+      auto& elems = adj_elems_[static_cast<std::size_t>(u)];
+      std::erase_if(elems, [&](index_t e) {
+        return absorbed_[static_cast<std::size_t>(e)] != 0;
+      });
+      elems.push_back(p);
+    }
+    return pivot_structure_;
+  }
+
+  /// Exact weighted external degree of `u`.
+  index_t compute_degree(index_t u) {
+    ++stamp_;
+    marker_[static_cast<std::size_t>(u)] = stamp_;
+    index_t deg = 0;
+    auto count = [&](index_t w) {
+      if (!gone(w) && marker_[static_cast<std::size_t>(w)] != stamp_) {
+        marker_[static_cast<std::size_t>(w)] = stamp_;
+        deg += weight_[static_cast<std::size_t>(w)];
+      }
+    };
+    for (index_t w : adj_vars_[static_cast<std::size_t>(u)]) count(w);
+    for (index_t e : adj_elems_[static_cast<std::size_t>(u)]) {
+      for (index_t w : elem_vars_[static_cast<std::size_t>(e)]) count(w);
+    }
+    degree_[static_cast<std::size_t>(u)] = deg;
+    return deg;
+  }
+
+  /// Merge indistinguishable variables within the pivot structure; merged
+  /// variables disappear from the graph (their neighbour sets are identical
+  /// to the survivor's, so no list surgery is needed). Returns the
+  /// survivors of `candidates`.
+  std::vector<index_t> merge_indistinguishable(
+      const std::vector<index_t>& candidates) {
+    // Bucket by a cheap structure signature, then confirm exactly.
+    std::vector<std::pair<std::uint64_t, index_t>> keyed;
+    keyed.reserve(candidates.size());
+    for (index_t u : candidates) {
+      if (gone(u)) continue;
+      keyed.emplace_back(signature(u), u);
+    }
+    std::sort(keyed.begin(), keyed.end());
+
+    std::vector<index_t> survivors;
+    survivors.reserve(keyed.size());
+    for (std::size_t i = 0; i < keyed.size();) {
+      std::size_t j = i;
+      while (j < keyed.size() && keyed[j].first == keyed[i].first) ++j;
+      // Pairwise-confirm within the signature bucket.
+      for (std::size_t a = i; a < j; ++a) {
+        const index_t u = keyed[a].second;
+        if (gone(u)) continue;
+        for (std::size_t b = a + 1; b < j; ++b) {
+          const index_t w = keyed[b].second;
+          if (gone(w)) continue;
+          if (structures_equal(u, w)) merge_into(u, w);
+        }
+        survivors.push_back(u);
+      }
+      i = j;
+    }
+    return survivors;
+  }
+
+ private:
+  std::uint64_t signature(index_t u) {
+    std::uint64_t h = 0;
+    for (index_t w : adj_vars_[static_cast<std::size_t>(u)]) {
+      if (!gone(w)) h += 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(w + 1);
+    }
+    for (index_t e : adj_elems_[static_cast<std::size_t>(u)]) {
+      h ^= 0xc2b2ae3d27d4eb4fULL * static_cast<std::uint64_t>(e + 1);
+    }
+    return h;
+  }
+
+  /// Exact indistinguishability: identical element lists and identical
+  /// variable neighbour sets modulo {u, w} themselves.
+  bool structures_equal(index_t u, index_t w) {
+    auto sorted_elems = [&](index_t v) {
+      std::vector<index_t> e = adj_elems_[static_cast<std::size_t>(v)];
+      std::sort(e.begin(), e.end());
+      e.erase(std::unique(e.begin(), e.end()), e.end());
+      return e;
+    };
+    if (sorted_elems(u) != sorted_elems(w)) return false;
+    auto sorted_vars = [&](index_t v, index_t other) {
+      std::vector<index_t> vars;
+      for (index_t x : adj_vars_[static_cast<std::size_t>(v)]) {
+        if (!gone(x) && x != other && x != v) vars.push_back(x);
+      }
+      std::sort(vars.begin(), vars.end());
+      vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+      return vars;
+    };
+    return sorted_vars(u, w) == sorted_vars(w, u);
+  }
+
+  void merge_into(index_t survivor, index_t merged) {
+    weight_[static_cast<std::size_t>(survivor)] +=
+        weight_[static_cast<std::size_t>(merged)];
+    auto& into = members_[static_cast<std::size_t>(survivor)];
+    auto& from = members_[static_cast<std::size_t>(merged)];
+    into.insert(into.end(), from.begin(), from.end());
+    from.clear();
+    from.shrink_to_fit();
+    eliminated_[static_cast<std::size_t>(merged)] = 2;  // merged, not pivot
+    adj_vars_[static_cast<std::size_t>(merged)].clear();
+    adj_elems_[static_cast<std::size_t>(merged)].clear();
+  }
+
+  index_t n_;
+  std::vector<std::vector<index_t>> adj_vars_;
+  std::vector<std::vector<index_t>> adj_elems_;
+  std::vector<std::vector<index_t>> elem_vars_;
+  std::vector<index_t> degree_;
+  std::vector<index_t> weight_;
+  std::vector<std::vector<index_t>> members_;
+  std::vector<char> eliminated_;
+  std::vector<char> absorbed_;
+  std::vector<index_t> marker_;
+  index_t stamp_ = 0;
+  std::vector<index_t> pivot_structure_;
+};
+
+}  // namespace
+
+Permutation minimum_degree(const SymmetricGraph& g,
+                           const MinimumDegreeOptions& options) {
+  const index_t n = g.n;
+  QuotientGraph qg(g);
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+  for (index_t v = 0; v < n; ++v) heap.emplace(qg.degree(v), v);
+
+  std::vector<index_t> order;
+  order.reserve(static_cast<std::size_t>(n));
+  while (!heap.empty()) {
+    const auto [deg, v] = heap.top();
+    heap.pop();
+    if (qg.gone(v) || deg != qg.degree(v)) continue;  // stale entry
+    // Emit the whole supervariable consecutively (its members share the
+    // factor-column structure, so they seed one supernode).
+    const auto& members = qg.members(v);
+    order.insert(order.end(), members.begin(), members.end());
+
+    std::vector<index_t> touched = qg.eliminate(v);
+    if (options.supervariables) {
+      touched = qg.merge_indistinguishable(touched);
+    }
+    for (index_t u : touched) {
+      if (!qg.gone(u)) heap.emplace(qg.compute_degree(u), u);
+    }
+  }
+  MFGPU_CHECK(static_cast<index_t>(order.size()) == n,
+              "minimum_degree: not all vertices eliminated");
+  return Permutation::from_elimination_order(std::move(order));
+}
+
+}  // namespace mfgpu

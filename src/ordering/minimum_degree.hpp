@@ -1,0 +1,30 @@
+// Quotient-graph minimum-degree ordering with element absorption and
+// supervariable (indistinguishable-node) merging.
+//
+// This is the general-purpose fill-reducing ordering used when no geometry
+// is available (the paper's WSMP substrate uses its own MD/ND orderings).
+// The implementation maintains the classical quotient graph: eliminated
+// vertices become *elements*; a variable's structure is the union of its
+// remaining variable neighbours and the variables of its adjacent elements.
+// External degrees are recomputed exactly (in supervariable weights) for
+// the variables touched by each elimination; elements reachable from the
+// pivot are absorbed; and variables with identical structure are merged
+// into supervariables — which both accelerates the ordering and emits dof
+// blocks (e.g. the 3 unknowns of an elasticity node) consecutively, feeding
+// larger supernodes to the factorization.
+#pragma once
+
+#include "ordering/permutation.hpp"
+#include "sparse/csc.hpp"
+
+namespace mfgpu {
+
+struct MinimumDegreeOptions {
+  /// Merge indistinguishable variables (disable for the ablation bench).
+  bool supervariables = true;
+};
+
+Permutation minimum_degree(const SymmetricGraph& g,
+                           const MinimumDegreeOptions& options = {});
+
+}  // namespace mfgpu

@@ -1,0 +1,63 @@
+#include "ordering/permutation.hpp"
+
+#include <numeric>
+
+namespace mfgpu {
+
+Permutation::Permutation(std::vector<index_t> new_of_old)
+    : new_of_old_(std::move(new_of_old)) {
+  build_inverse();
+}
+
+Permutation Permutation::identity(index_t n) {
+  std::vector<index_t> p(static_cast<std::size_t>(n));
+  std::iota(p.begin(), p.end(), index_t{0});
+  return Permutation(std::move(p));
+}
+
+Permutation Permutation::from_elimination_order(std::vector<index_t> old_of_new) {
+  const index_t n = static_cast<index_t>(old_of_new.size());
+  std::vector<index_t> new_of_old(static_cast<std::size_t>(n), -1);
+  for (index_t p = 0; p < n; ++p) {
+    const index_t old = old_of_new[static_cast<std::size_t>(p)];
+    MFGPU_CHECK(old >= 0 && old < n, "elimination order: index out of range");
+    MFGPU_CHECK(new_of_old[static_cast<std::size_t>(old)] == -1,
+                "elimination order: duplicate index");
+    new_of_old[static_cast<std::size_t>(old)] = p;
+  }
+  return Permutation(std::move(new_of_old));
+}
+
+void Permutation::build_inverse() {
+  const index_t n = static_cast<index_t>(new_of_old_.size());
+  old_of_new_.assign(static_cast<std::size_t>(n), -1);
+  for (index_t i = 0; i < n; ++i) {
+    const index_t p = new_of_old_[static_cast<std::size_t>(i)];
+    MFGPU_CHECK(p >= 0 && p < n, "permutation: value out of range");
+    MFGPU_CHECK(old_of_new_[static_cast<std::size_t>(p)] == -1,
+                "permutation: not a bijection");
+    old_of_new_[static_cast<std::size_t>(p)] = i;
+  }
+}
+
+void Permutation::apply(std::span<const double> in,
+                        std::span<double> out) const {
+  MFGPU_CHECK(static_cast<index_t>(in.size()) == n() && in.size() == out.size(),
+              "Permutation::apply: size mismatch");
+  for (index_t i = 0; i < n(); ++i) {
+    out[static_cast<std::size_t>(new_of_old_[static_cast<std::size_t>(i)])] =
+        in[static_cast<std::size_t>(i)];
+  }
+}
+
+void Permutation::apply_inverse(std::span<const double> in,
+                                std::span<double> out) const {
+  MFGPU_CHECK(static_cast<index_t>(in.size()) == n() && in.size() == out.size(),
+              "Permutation::apply_inverse: size mismatch");
+  for (index_t i = 0; i < n(); ++i) {
+    out[static_cast<std::size_t>(old_of_new_[static_cast<std::size_t>(i)])] =
+        in[static_cast<std::size_t>(i)];
+  }
+}
+
+}  // namespace mfgpu

@@ -1,0 +1,41 @@
+// Fill-reducing permutations and their bookkeeping.
+//
+// Convention used across mfgpu: `new_of_old[i]` is the position of original
+// unknown i in the permuted matrix, and `old_of_new[p]` is its inverse. The
+// factorization always works on B = P A P^T.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace mfgpu {
+
+class Permutation {
+ public:
+  Permutation() = default;
+  /// Construct from the old->new map; the inverse is derived and validated.
+  explicit Permutation(std::vector<index_t> new_of_old);
+
+  static Permutation identity(index_t n);
+  /// Construct from an elimination order: order[p] = old index eliminated
+  /// at step p (i.e. this is old_of_new).
+  static Permutation from_elimination_order(std::vector<index_t> old_of_new);
+
+  index_t n() const noexcept { return static_cast<index_t>(new_of_old_.size()); }
+  std::span<const index_t> new_of_old() const noexcept { return new_of_old_; }
+  std::span<const index_t> old_of_new() const noexcept { return old_of_new_; }
+
+  /// Permute a vector of unknowns: out[new] = in[old].
+  void apply(std::span<const double> in, std::span<double> out) const;
+  /// Inverse permute: out[old] = in[new].
+  void apply_inverse(std::span<const double> in, std::span<double> out) const;
+
+ private:
+  void build_inverse();
+  std::vector<index_t> new_of_old_;
+  std::vector<index_t> old_of_new_;
+};
+
+}  // namespace mfgpu

@@ -1,0 +1,109 @@
+#include "ordering/rcm.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace mfgpu {
+namespace {
+
+/// BFS from `root`; returns the visit order and the last level's vertices.
+struct BfsResult {
+  std::vector<index_t> order;
+  index_t eccentricity = 0;
+  index_t last_level_min_degree_vertex = -1;
+};
+
+BfsResult bfs_levels(const SymmetricGraph& g, index_t root,
+                     std::vector<index_t>& level,
+                     std::vector<char>& visited_scratch) {
+  BfsResult result;
+  std::queue<index_t> queue;
+  queue.push(root);
+  visited_scratch[static_cast<std::size_t>(root)] = 1;
+  level[static_cast<std::size_t>(root)] = 0;
+  index_t best_degree = -1;
+  while (!queue.empty()) {
+    const index_t v = queue.front();
+    queue.pop();
+    result.order.push_back(v);
+    const index_t lv = level[static_cast<std::size_t>(v)];
+    if (lv > result.eccentricity) {
+      result.eccentricity = lv;
+      best_degree = -1;
+    }
+    if (lv == result.eccentricity) {
+      const auto deg = static_cast<index_t>(g.neighbors(v).size());
+      if (best_degree < 0 || deg < best_degree) {
+        best_degree = deg;
+        result.last_level_min_degree_vertex = v;
+      }
+    }
+    for (index_t u : g.neighbors(v)) {
+      if (!visited_scratch[static_cast<std::size_t>(u)]) {
+        visited_scratch[static_cast<std::size_t>(u)] = 1;
+        level[static_cast<std::size_t>(u)] = lv + 1;
+        queue.push(u);
+      }
+    }
+  }
+  for (index_t v : result.order) visited_scratch[static_cast<std::size_t>(v)] = 0;
+  return result;
+}
+
+/// George-Liu style pseudo-peripheral vertex search.
+index_t pseudo_peripheral(const SymmetricGraph& g, index_t start,
+                          std::vector<index_t>& level,
+                          std::vector<char>& visited) {
+  index_t root = start;
+  BfsResult bfs = bfs_levels(g, root, level, visited);
+  for (int iter = 0; iter < 8; ++iter) {
+    const index_t candidate = bfs.last_level_min_degree_vertex;
+    if (candidate < 0 || candidate == root) break;
+    BfsResult next = bfs_levels(g, candidate, level, visited);
+    if (next.eccentricity <= bfs.eccentricity) break;
+    root = candidate;
+    bfs = std::move(next);
+  }
+  return root;
+}
+
+}  // namespace
+
+Permutation reverse_cuthill_mckee(const SymmetricGraph& g) {
+  const index_t n = g.n;
+  std::vector<index_t> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<char> placed(static_cast<std::size_t>(n), 0);
+  std::vector<char> visited(static_cast<std::size_t>(n), 0);
+  std::vector<index_t> level(static_cast<std::size_t>(n), 0);
+
+  for (index_t seed = 0; seed < n; ++seed) {
+    if (placed[static_cast<std::size_t>(seed)]) continue;
+    const index_t root = pseudo_peripheral(g, seed, level, visited);
+    // Cuthill-McKee BFS with neighbours sorted by increasing degree.
+    std::queue<index_t> queue;
+    queue.push(root);
+    placed[static_cast<std::size_t>(root)] = 1;
+    std::vector<index_t> buffer;
+    while (!queue.empty()) {
+      const index_t v = queue.front();
+      queue.pop();
+      order.push_back(v);
+      buffer.clear();
+      for (index_t u : g.neighbors(v)) {
+        if (!placed[static_cast<std::size_t>(u)]) {
+          placed[static_cast<std::size_t>(u)] = 1;
+          buffer.push_back(u);
+        }
+      }
+      std::sort(buffer.begin(), buffer.end(), [&](index_t a, index_t b) {
+        return g.neighbors(a).size() < g.neighbors(b).size();
+      });
+      for (index_t u : buffer) queue.push(u);
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return Permutation::from_elimination_order(std::move(order));
+}
+
+}  // namespace mfgpu

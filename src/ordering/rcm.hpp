@@ -1,0 +1,14 @@
+// Reverse Cuthill-McKee ordering (bandwidth reduction). Included both as a
+// baseline for the ordering-quality ablation and as a cheap deterministic
+// ordering for tests.
+#pragma once
+
+#include "ordering/permutation.hpp"
+#include "sparse/csc.hpp"
+
+namespace mfgpu {
+
+/// RCM starting from a pseudo-peripheral vertex of each connected component.
+Permutation reverse_cuthill_mckee(const SymmetricGraph& g);
+
+}  // namespace mfgpu

@@ -1,0 +1,397 @@
+#include "policy/executors.hpp"
+
+#include <algorithm>
+
+#include "policy/p4_gpu_potrf.hpp"
+
+namespace mfgpu {
+namespace {
+
+std::int64_t float_bytes(index_t rows, index_t cols) {
+  return static_cast<std::int64_t>(rows) * static_cast<std::int64_t>(cols) *
+         static_cast<std::int64_t>(sizeof(float));
+}
+
+}  // namespace
+
+PolicyExecutor::PolicyExecutor(Policy policy, ExecutorOptions options)
+    : policy_(policy), options_(options), name_(policy_name(policy)) {}
+
+void PolicyExecutor::prepare(index_t max_m, index_t max_k,
+                             FactorContext& ctx) {
+  // Record the symbolic maximum; the pools are sized lazily at this
+  // policy's first actual use, so a dispatcher that never routes a call
+  // here pays nothing.
+  (void)ctx;
+  prepared_m_ = max_m;
+  prepared_k_ = max_k;
+  prepared_applied_ = false;
+}
+
+void PolicyExecutor::ensure_prepared(FactorContext& ctx) {
+  if (prepared_applied_ || prepared_m_ < 0 || ctx.device == nullptr ||
+      policy_ == Policy::P1) {
+    return;
+  }
+  prepared_applied_ = true;
+  Device& dev = *ctx.device;
+  SimClock& clock = ctx.host_clock;
+  const index_t m = prepared_m_, k = prepared_k_;
+  switch (policy_) {
+    case Policy::P1:
+      break;
+    case Policy::P2:
+      dev.allocate(m, k, "p2.l2", clock);
+      dev.allocate(m, m, "p2.prod", clock);
+      dev.acquire_pinned("p2.l2", float_bytes(m, k), clock);
+      dev.acquire_pinned("p2.prod", float_bytes(m, m), clock);
+      break;
+    case Policy::P3:
+      dev.allocate(k, k, "p3.l1", clock);
+      dev.allocate(m, k, "p3.l2", clock);
+      dev.allocate(m, m, "p3.prod", clock);
+      dev.acquire_pinned("p3.l1", float_bytes(k, k), clock);
+      dev.acquire_pinned("p3.l2", float_bytes(m, k), clock);
+      dev.acquire_pinned("p3.prod", float_bytes(m, m), clock);
+      break;
+    case Policy::P4:
+      dev.allocate(k + m, k, "p4.panel", clock);
+      dev.allocate(m, m, "p4.prod", clock);
+      dev.acquire_pinned("p4.panel", float_bytes(k + m, k), clock);
+      dev.acquire_pinned("p4.prod", float_bytes(m, m), clock);
+      break;
+  }
+}
+
+MatrixView<double> PolicyExecutor::product_view(index_t m, bool numeric) {
+  if (!numeric) {
+    return MatrixView<double>(nullptr, m, m, std::max<index_t>(m, 1));
+  }
+  if (product_scratch_.rows() < m) {
+    product_scratch_ = Matrix<double>(m, m);
+  }
+  return product_scratch_.view().block(0, 0, m, m);
+}
+
+FuOutcome PolicyExecutor::execute(FrontBlocks front, FactorContext& ctx) {
+  MFGPU_CHECK(front.k > 0, "PolicyExecutor: empty pivot block");
+  MFGPU_CHECK(policy_ == Policy::P1 || ctx.device != nullptr,
+              "PolicyExecutor: GPU policy requires a device");
+  MFGPU_CHECK(ctx.device == nullptr || ctx.device->numeric() == ctx.numeric,
+              "PolicyExecutor: context and device must agree on numeric vs "
+              "dry-run mode");
+  ensure_prepared(ctx);
+  switch (policy_) {
+    case Policy::P1: return run_p1(front, ctx);
+    case Policy::P2: return run_p2(front, ctx);
+    case Policy::P3: return run_p3(front, ctx);
+    case Policy::P4: return run_p4(front, ctx);
+  }
+  throw InvalidArgumentError("PolicyExecutor: invalid policy");
+}
+
+FuOutcome PolicyExecutor::run_p1(const FrontBlocks& f, FactorContext& ctx) {
+  HostExec host = ctx.host_exec();
+  FuOutcome out;
+  out.record.m = f.m;
+  out.record.k = f.k;
+  out.record.policy = 1;
+  const double t0 = ctx.host_clock.now();
+
+  out.record.t_potrf = host_potrf(host, f.l1, f.global_col);
+  if (f.m > 0) {
+    out.record.t_trsm = host_trsm(host, f.l1, f.l2);
+    out.record.t_syrk = host_syrk(host, -1.0, f.l2, f.u);
+  }
+  out.record.t_total = ctx.host_clock.now() - t0;
+  out.update_ready_at = ctx.host_clock.now();
+  return out;
+}
+
+FuOutcome PolicyExecutor::run_p2(const FrontBlocks& f, FactorContext& ctx) {
+  HostExec host = ctx.host_exec();
+  Device& dev = *ctx.device;
+  SimClock& clock = ctx.host_clock;
+  FuOutcome out;
+  out.record.m = f.m;
+  out.record.k = f.k;
+  out.record.policy = 2;
+  const double t0 = clock.now();
+
+  out.record.t_potrf = host_potrf(host, f.l1, f.global_col);
+  if (f.m > 0) {
+    out.record.t_trsm = host_trsm(host, f.l1, f.l2);
+
+    DeviceMatrix l2_d = dev.allocate(f.m, f.k, "p2.l2", clock);
+    DeviceMatrix prod_d = dev.allocate(f.m, f.m, "p2.prod", clock);
+    MatrixView<double> prod = product_view(f.m, ctx.numeric);
+    if (options_.overlapped_copies) {
+      out.record.t_copy +=
+          dev.acquire_pinned("p2.l2", float_bytes(f.m, f.k), clock);
+      out.record.t_copy +=
+          dev.acquire_pinned("p2.prod", float_bytes(f.m, f.m), clock);
+      out.record.t_copy +=
+          dev.copy_to_device_async(f.l2, l2_d, 0, 0, dev.h2d_stream(), clock);
+      out.record.t_syrk = gpu_syrk(ctx.gpu_exec(dev.compute_stream()), 1.0f,
+                                   dev_whole(l2_d), dev_whole(prod_d));
+      out.record.t_copy += dev.copy_from_device_async(
+          prod_d, 0, 0, prod, dev.d2h_stream(), clock);
+      dev.synchronize_stream(dev.d2h_stream(), clock);
+    } else {
+      out.record.t_copy += dev.copy_to_device_sync(f.l2, l2_d, 0, 0, clock);
+      out.record.t_syrk = gpu_syrk(ctx.gpu_exec(dev.compute_stream()), 1.0f,
+                                   dev_whole(l2_d), dev_whole(prod_d));
+      out.record.t_copy += dev.copy_from_device_sync(prod_d, 0, 0, prod, clock);
+    }
+    out.record.t_syrk += host_apply_update(
+        host,
+        MatrixView<const double>(prod.data(), prod.rows(), prod.cols(),
+                                 prod.ld()),
+        f.u);
+  }
+  out.record.t_total = clock.now() - t0;
+  out.update_ready_at = clock.now();
+  return out;
+}
+
+FuOutcome PolicyExecutor::run_p3(const FrontBlocks& f, FactorContext& ctx) {
+  HostExec host = ctx.host_exec();
+  Device& dev = *ctx.device;
+  SimClock& clock = ctx.host_clock;
+  FuOutcome out;
+  out.record.m = f.m;
+  out.record.k = f.k;
+  out.record.policy = 3;
+  const double t0 = clock.now();
+
+  if (f.m == 0) {
+    // Nothing to offload: P3 degenerates to the host potrf.
+    out.record.t_potrf = host_potrf(host, f.l1, f.global_col);
+    out.record.t_total = clock.now() - t0;
+    out.update_ready_at = clock.now();
+    return out;
+  }
+
+  DeviceMatrix l1_d = dev.allocate(f.k, f.k, "p3.l1", clock);
+  DeviceMatrix l2_d = dev.allocate(f.m, f.k, "p3.l2", clock);
+  DeviceMatrix prod_d = dev.allocate(f.m, f.m, "p3.prod", clock);
+  MatrixView<double> prod = product_view(f.m, ctx.numeric);
+  GpuExec compute = ctx.gpu_exec(dev.compute_stream());
+
+  if (options_.overlapped_copies) {
+    out.record.t_copy +=
+        dev.acquire_pinned("p3.l1", float_bytes(f.k, f.k), clock);
+    out.record.t_copy +=
+        dev.acquire_pinned("p3.l2", float_bytes(f.m, f.k), clock);
+    out.record.t_copy +=
+        dev.acquire_pinned("p3.prod", float_bytes(f.m, f.m), clock);
+    // Ship the unsolved L2 while the host factors the pivot block (§V-A2).
+    out.record.t_copy +=
+        dev.copy_to_device_async(f.l2, l2_d, 0, 0, dev.h2d_stream(), clock);
+    out.record.t_potrf = host_potrf(host, f.l1, f.global_col);
+    out.record.t_copy +=
+        dev.copy_to_device_async(f.l1, l1_d, 0, 0, dev.h2d_stream(), clock);
+    out.record.t_trsm = gpu_trsm(compute, dev_whole(l1_d), dev_whole(l2_d));
+    // Solved L2 streams back while the syrk runs.
+    out.record.t_copy += dev.copy_from_device_async(l2_d, 0, 0, f.l2,
+                                                    dev.d2h_stream(), clock);
+    out.record.t_syrk =
+        gpu_syrk(compute, 1.0f, dev_whole(l2_d), dev_whole(prod_d));
+    out.record.t_copy += dev.copy_from_device_async(prod_d, 0, 0, prod,
+                                                    dev.d2h_stream(), clock);
+    dev.synchronize_stream(dev.d2h_stream(), clock);
+  } else {
+    // Basic implementation (paper Section IV): pageable synchronous copies.
+    out.record.t_potrf = host_potrf(host, f.l1, f.global_col);
+    out.record.t_copy += dev.copy_to_device_sync(f.l1, l1_d, 0, 0, clock);
+    out.record.t_copy += dev.copy_to_device_sync(f.l2, l2_d, 0, 0, clock);
+    out.record.t_trsm = gpu_trsm(compute, dev_whole(l1_d), dev_whole(l2_d));
+    out.record.t_copy += dev.copy_from_device_sync(l2_d, 0, 0, f.l2, clock);
+    out.record.t_syrk =
+        gpu_syrk(compute, 1.0f, dev_whole(l2_d), dev_whole(prod_d));
+    out.record.t_copy += dev.copy_from_device_sync(prod_d, 0, 0, prod, clock);
+  }
+  out.record.t_syrk += host_apply_update(
+      host,
+      MatrixView<const double>(prod.data(), prod.rows(), prod.cols(),
+                               prod.ld()),
+      f.u);
+  out.record.t_total = clock.now() - t0;
+  out.update_ready_at = clock.now();
+  return out;
+}
+
+FuOutcome PolicyExecutor::run_p4(const FrontBlocks& f, FactorContext& ctx) {
+  HostExec host = ctx.host_exec();
+  Device& dev = *ctx.device;
+  SimClock& clock = ctx.host_clock;
+  FuOutcome out;
+  out.record.m = f.m;
+  out.record.k = f.k;
+  out.record.policy = 4;
+  const double t0 = clock.now();
+
+  DeviceMatrix panel_d = dev.allocate(f.k + f.m, f.k, "p4.panel", clock);
+  DeviceMatrix prod_d =
+      (f.m > 0) ? dev.allocate(f.m, f.m, "p4.prod", clock) : DeviceMatrix{};
+  MatrixView<double> prod = product_view(f.m, ctx.numeric);
+  GpuExec compute = ctx.gpu_exec(dev.compute_stream());
+  const index_t w = (options_.p4_panel_width > 0)
+                        ? options_.p4_panel_width
+                        : p4_auto_panel_width(f.k, f.m);
+  const bool async = options_.overlapped_copies || options_.copy_optimized_p4;
+
+  // Upload L1 and L2 into the combined panel.
+  if (async) {
+    out.record.t_copy +=
+        dev.acquire_pinned("p4.panel", float_bytes(f.k + f.m, f.k), clock);
+    if (f.m > 0) {
+      out.record.t_copy +=
+          dev.acquire_pinned("p4.prod", float_bytes(f.m, f.m), clock);
+    }
+    out.record.t_copy +=
+        dev.copy_to_device_async(f.l1, panel_d, 0, 0, dev.h2d_stream(), clock);
+    if (f.m > 0) {
+      out.record.t_copy += dev.copy_to_device_async(f.l2, panel_d, f.k, 0,
+                                                    dev.h2d_stream(), clock);
+    }
+  } else {
+    out.record.t_copy += dev.copy_to_device_sync(f.l1, panel_d, 0, 0, clock);
+    if (f.m > 0) {
+      out.record.t_copy +=
+          dev.copy_to_device_sync(f.l2, panel_d, f.k, 0, clock);
+    }
+  }
+
+  const P4KernelTimes times =
+      p4_factor_on_gpu(compute, panel_d, (f.m > 0) ? &prod_d : nullptr, f.m,
+                       f.k, w, f.global_col);
+  out.record.t_potrf = times.potrf;
+  out.record.t_trsm = times.trsm + times.gemm;
+  out.record.t_syrk = times.syrk;
+
+  if (options_.copy_optimized_p4 && f.m > 0) {
+    // Wait only for the update matrix; the factored panel streams back
+    // behind it while the host proceeds to the next front.
+    out.record.t_copy += dev.copy_from_device_async(prod_d, 0, 0, prod,
+                                                    dev.d2h_stream(), clock);
+    const Event prod_done = dev.record(dev.d2h_stream());
+    out.record.t_copy += dev.copy_from_device_async(panel_d, 0, 0, f.l1,
+                                                    dev.d2h_stream(), clock);
+    out.record.t_copy += dev.copy_from_device_async(panel_d, f.k, 0, f.l2,
+                                                    dev.d2h_stream(), clock);
+    clock.advance_to(prod_done.time);
+    out.record.t_syrk += host_apply_update(
+        host,
+        MatrixView<const double>(prod.data(), prod.rows(), prod.cols(),
+                                 prod.ld()),
+        f.u);
+    out.update_ready_at = clock.now();
+  } else if (async) {
+    out.record.t_copy += dev.copy_from_device_async(panel_d, 0, 0, f.l1,
+                                                    dev.d2h_stream(), clock);
+    if (f.m > 0) {
+      out.record.t_copy += dev.copy_from_device_async(panel_d, f.k, 0, f.l2,
+                                                      dev.d2h_stream(), clock);
+      out.record.t_copy += dev.copy_from_device_async(prod_d, 0, 0, prod,
+                                                      dev.d2h_stream(), clock);
+    }
+    dev.synchronize_stream(dev.d2h_stream(), clock);
+    if (f.m > 0) {
+      out.record.t_syrk += host_apply_update(
+          host,
+          MatrixView<const double>(prod.data(), prod.rows(), prod.cols(),
+                                   prod.ld()),
+          f.u);
+    }
+    out.update_ready_at = clock.now();
+  } else {
+    out.record.t_copy += dev.copy_from_device_sync(panel_d, 0, 0, f.l1, clock);
+    if (f.m > 0) {
+      out.record.t_copy +=
+          dev.copy_from_device_sync(panel_d, f.k, 0, f.l2, clock);
+      out.record.t_copy +=
+          dev.copy_from_device_sync(prod_d, 0, 0, prod, clock);
+      out.record.t_syrk += host_apply_update(
+          host,
+          MatrixView<const double>(prod.data(), prod.rows(), prod.cols(),
+                                   prod.ld()),
+          f.u);
+    }
+    out.update_ready_at = clock.now();
+  }
+  out.record.t_total = clock.now() - t0;
+  return out;
+}
+
+DispatchExecutor::DispatchExecutor(std::string name, Chooser chooser,
+                                   ExecutorOptions options)
+    : name_(std::move(name)), chooser_(std::move(chooser)) {
+  for (int p = 1; p <= 4; ++p) {
+    executors_[static_cast<std::size_t>(p - 1)] =
+        std::make_unique<PolicyExecutor>(policy_from_index(p), options);
+  }
+}
+
+void DispatchExecutor::prepare(index_t max_m, index_t max_k,
+                               FactorContext& ctx) {
+  for (auto& exec : executors_) exec->prepare(max_m, max_k, ctx);
+}
+
+FuOutcome DispatchExecutor::execute(FrontBlocks front, FactorContext& ctx) {
+  Policy choice = chooser_(front.m, front.k);
+  if (ctx.device == nullptr) choice = Policy::P1;
+  return executors_[static_cast<std::size_t>(static_cast<int>(choice) - 1)]
+      ->execute(front, ctx);
+}
+
+PolicyTimer::PolicyTimer(ExecutorOptions options, ProcessorModel host,
+                         Device::Options device_options, bool warm_pools) {
+  device_options.numeric = false;
+  device_ = std::make_unique<Device>(device_options);
+  ctx_.host_model = host;
+  ctx_.device = device_.get();
+  ctx_.numeric = false;
+  for (int p = 1; p <= 4; ++p) {
+    executors_[static_cast<std::size_t>(p - 1)] =
+        std::make_unique<PolicyExecutor>(policy_from_index(p), options);
+  }
+  if (warm_pools) warm_up(10000, 10000);
+}
+
+void PolicyTimer::warm_up(index_t m, index_t k) {
+  for (int p = 1; p <= 4; ++p) {
+    (void)time(policy_from_index(p), m, k);
+  }
+}
+
+FuCallRecord PolicyTimer::record(Policy policy, index_t m, index_t k) {
+  // Drain in-flight transfers left by the previous measurement (e.g. the
+  // copy-optimized P4's deferred panel copy) so each call is timed in
+  // isolation.
+  device_->synchronize(ctx_.host_clock);
+  FrontBlocks blocks = make_shape_blocks(m, k);
+  auto& exec =
+      *executors_[static_cast<std::size_t>(static_cast<int>(policy) - 1)];
+  const FuOutcome out = exec.execute(blocks, ctx_);
+  return out.record;
+}
+
+double PolicyTimer::time(Policy policy, index_t m, index_t k) {
+  return record(policy, m, k).t_total;
+}
+
+Policy PolicyTimer::best_policy(index_t m, index_t k) {
+  Policy best = Policy::P1;
+  double best_time = time(Policy::P1, m, k);
+  for (Policy p : {Policy::P2, Policy::P3, Policy::P4}) {
+    const double t = time(p, m, k);
+    if (t < best_time) {
+      best_time = t;
+      best = p;
+    }
+  }
+  return best;
+}
+
+}  // namespace mfgpu

@@ -1,0 +1,105 @@
+// Factor-update executors for the four policies and the per-call
+// dispatchers built on top of them.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "multifrontal/factor_update.hpp"
+#include "policy/policy.hpp"
+
+namespace mfgpu {
+
+struct ExecutorOptions {
+  /// Async pinned-memory copies overlapped with computation (paper §V-A2).
+  /// false = pageable synchronous copies — the Section IV "basic GPU
+  /// implementation" and the ablation baseline.
+  bool overlapped_copies = true;
+  /// The multi-GPU-era P4 copy optimizations (paper §VI-C, Table VII last
+  /// columns): the host waits only for the update-matrix transfer; the
+  /// factored panel streams back while the host moves on.
+  bool copy_optimized_p4 = false;
+  /// 0 = p4_auto_panel_width(k).
+  index_t p4_panel_width = 0;
+};
+
+/// Executes a fixed policy for every call.
+class PolicyExecutor : public FuExecutor {
+ public:
+  explicit PolicyExecutor(Policy policy, ExecutorOptions options = {});
+
+  FuOutcome execute(FrontBlocks front, FactorContext& ctx) override;
+  void prepare(index_t max_m, index_t max_k, FactorContext& ctx) override;
+  const char* name() const override { return name_.c_str(); }
+  Policy policy() const noexcept { return policy_; }
+
+ private:
+  void ensure_prepared(FactorContext& ctx);
+  FuOutcome run_p1(const FrontBlocks& f, FactorContext& ctx);
+  FuOutcome run_p2(const FrontBlocks& f, FactorContext& ctx);
+  FuOutcome run_p3(const FrontBlocks& f, FactorContext& ctx);
+  FuOutcome run_p4(const FrontBlocks& f, FactorContext& ctx);
+  /// m x m host staging for device-computed L2 L2^T products.
+  MatrixView<double> product_view(index_t m, bool numeric);
+
+  Policy policy_;
+  ExecutorOptions options_;
+  std::string name_;
+  Matrix<double> product_scratch_;
+  index_t prepared_m_ = -1;
+  index_t prepared_k_ = -1;
+  bool prepared_applied_ = false;
+};
+
+/// Chooses a policy per call from (m, k) — the hybrid schemes plug in here.
+class DispatchExecutor : public FuExecutor {
+ public:
+  using Chooser = std::function<Policy(index_t m, index_t k)>;
+
+  DispatchExecutor(std::string name, Chooser chooser,
+                   ExecutorOptions options = {});
+
+  FuOutcome execute(FrontBlocks front, FactorContext& ctx) override;
+  void prepare(index_t max_m, index_t max_k, FactorContext& ctx) override;
+  const char* name() const override { return name_.c_str(); }
+
+ private:
+  std::string name_;
+  Chooser chooser_;
+  std::array<std::unique_ptr<PolicyExecutor>, 4> executors_;
+};
+
+/// Dry-run timing oracle: simulates one F-U call of each policy on a
+/// private device/clock and reports its cost. This is the "observed
+/// timings" source for the ideal hybrid, the baseline thresholds, and the
+/// classifier's training data.
+class PolicyTimer {
+ public:
+  /// By default the pools are warmed with one maximal call per policy so
+  /// reported times reflect the steady state of the paper's high-water
+  /// allocation policy (a cold timer would charge every pool growth to the
+  /// call that triggered it).
+  explicit PolicyTimer(ExecutorOptions options = {},
+                       ProcessorModel host = xeon5160_model(),
+                       Device::Options device_options = {},
+                       bool warm_pools = true);
+
+  /// Run one dry call of every policy at (m, k) to size the pools.
+  void warm_up(index_t m, index_t k);
+
+  /// Host-visible duration (seconds) of one F-U call under `policy`.
+  double time(Policy policy, index_t m, index_t k);
+  /// Full component record of one simulated call.
+  FuCallRecord record(Policy policy, index_t m, index_t k);
+  /// The fastest policy for (m, k) — the paper's ideal hybrid P_IH.
+  Policy best_policy(index_t m, index_t k);
+
+ private:
+  FactorContext ctx_;
+  std::unique_ptr<Device> device_;
+  std::array<std::unique_ptr<PolicyExecutor>, 4> executors_;
+};
+
+}  // namespace mfgpu

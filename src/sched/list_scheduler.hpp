@@ -1,0 +1,77 @@
+// Deterministic list-scheduling simulation of a parallel multifrontal
+// factorization on W workers (threads), each optionally driving its own
+// GPU — the configuration of the paper's 4-thread and "2 CPU threads +
+// 2 GPUs" runs (Table VII).
+//
+// Tasks (supernodes) become ready when all children finish; the scheduler
+// picks the ready task with the longest bottom-level (critical-path
+// priority) and places it on the earliest-available compatible worker.
+// Near the root the tree narrows and large fronts serialize; WSMP splits
+// those fronts across threads, which we model with *moldable* tasks: when
+// idle workers outnumber ready tasks, a large task gangs them with an
+// Amdahl-style efficiency (parallel fraction of the task's work).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "policy/executors.hpp"
+#include "sched/task_graph.hpp"
+
+namespace mfgpu {
+
+struct WorkerSpec {
+  bool has_gpu = false;
+};
+
+/// Inter-worker communication model — the paper's stated future work is a
+/// distributed-memory (cluster) version of the solver; this models workers
+/// as nodes connected by a link. bandwidth == 0 means shared memory: a
+/// child's update matrix is free to consume from any worker.
+struct InterconnectModel {
+  double bandwidth = 0.0;  ///< B/s between distinct workers (0 = shared mem)
+  double latency = 0.0;    ///< s per transfer
+
+  bool enabled() const { return bandwidth > 0.0; }
+  /// Seconds to ship an m x m packed update matrix (doubles) across.
+  double transfer_time(index_t m) const;
+};
+
+struct ScheduleOptions {
+  ExecutorOptions exec;
+  /// Policy used on GPU workers (e.g. a trained model); null = the paper's
+  /// baseline hybrid thresholds. CPU-only workers always run P1.
+  std::function<Policy(index_t m, index_t k)> gpu_chooser;
+  bool moldable = true;
+  /// Fraction of a front's work that scales across ganged workers.
+  double parallel_fraction = 0.92;
+  /// Tasks smaller than this many ops never gang.
+  double moldable_min_ops = 2e5;
+  /// Distributed-memory extension: cost of moving update matrices between
+  /// workers. Default = shared memory (free).
+  InterconnectModel interconnect;
+  /// Greedy = earliest-finish placement (best for shared memory);
+  /// Proportional = subtree-to-worker mapping (locality for clusters, see
+  /// sched/proportional_map.hpp).
+  enum class Placement { Greedy, Proportional };
+  Placement placement = Placement::Greedy;
+};
+
+struct ScheduleResult {
+  double makespan = 0.0;
+  std::vector<double> worker_busy;  ///< busy seconds per worker
+  double total_task_time = 0.0;     ///< sum of scheduled task durations
+
+  double utilization() const {
+    if (makespan <= 0.0 || worker_busy.empty()) return 0.0;
+    double busy = 0.0;
+    for (double b : worker_busy) busy += b;
+    return busy / (makespan * static_cast<double>(worker_busy.size()));
+  }
+};
+
+ScheduleResult simulate_schedule(const TaskGraph& graph,
+                                 const std::vector<WorkerSpec>& workers,
+                                 const ScheduleOptions& options = {});
+
+}  // namespace mfgpu

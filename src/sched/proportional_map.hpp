@@ -1,0 +1,25 @@
+// Proportional mapping of the assembly tree onto workers — the classic
+// subtree-to-subcube assignment used by distributed multifrontal codes
+// (Gupta/Karypis/Kumar; the parallel WSMP the paper builds on): each node
+// of the tree owns a contiguous worker range, and children split their
+// parent's range proportionally to subtree work. Subtrees then execute
+// entirely on their own workers, so only separator update matrices ever
+// cross the interconnect.
+#pragma once
+
+#include <vector>
+
+#include "sched/task_graph.hpp"
+
+namespace mfgpu {
+
+/// Returns preferred_worker[task] in [0, num_workers). Roots own the full
+/// range; a task whose range narrows to one worker pins its whole subtree
+/// there.
+std::vector<int> proportional_mapping(const TaskGraph& graph, int num_workers);
+
+/// Total factor-update flops in each task's subtree (helper, exposed for
+/// tests and work-balance reporting).
+std::vector<double> subtree_work(const TaskGraph& graph);
+
+}  // namespace mfgpu

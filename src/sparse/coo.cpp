@@ -1,0 +1,76 @@
+#include "sparse/coo.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sparse/csc.hpp"
+
+namespace mfgpu {
+
+void Coo::add(index_t i, index_t j, double v) {
+  MFGPU_CHECK(i >= 0 && i < n_ && j >= 0 && j < n_, "Coo::add: out of range");
+  if (i < j) std::swap(i, j);  // keep the lower-triangle copy
+  rows_.push_back(i);
+  cols_.push_back(j);
+  values_.push_back(v);
+}
+
+SparseSpd Coo::to_csc() const {
+  const std::size_t nt = rows_.size();
+  // Counting sort by (col, row): first bucket by column...
+  std::vector<index_t> col_count(static_cast<std::size_t>(n_) + 1, 0);
+  for (std::size_t t = 0; t < nt; ++t) {
+    ++col_count[static_cast<std::size_t>(cols_[t]) + 1];
+  }
+  std::partial_sum(col_count.begin(), col_count.end(), col_count.begin());
+
+  std::vector<std::size_t> order(nt);
+  {
+    std::vector<index_t> next = col_count;
+    for (std::size_t t = 0; t < nt; ++t) {
+      order[static_cast<std::size_t>(next[static_cast<std::size_t>(cols_[t])]++)] = t;
+    }
+  }
+  // ...then sort each column's triplets by row (columns are short).
+  for (index_t j = 0; j < n_; ++j) {
+    auto begin = order.begin() + col_count[static_cast<std::size_t>(j)];
+    auto end = order.begin() + col_count[static_cast<std::size_t>(j) + 1];
+    std::sort(begin, end,
+              [&](std::size_t a, std::size_t b) { return rows_[a] < rows_[b]; });
+  }
+
+  // Deduplicate by summation and require a diagonal in every column.
+  std::vector<index_t> col_ptr(static_cast<std::size_t>(n_) + 1, 0);
+  std::vector<index_t> row_idx;
+  std::vector<double> values;
+  row_idx.reserve(nt);
+  values.reserve(nt);
+  for (index_t j = 0; j < n_; ++j) {
+    const index_t begin = col_count[static_cast<std::size_t>(j)];
+    const index_t end = col_count[static_cast<std::size_t>(j) + 1];
+    bool has_diag = false;
+    for (index_t t = begin; t < end; ++t) {
+      const std::size_t id = order[static_cast<std::size_t>(t)];
+      const index_t i = rows_[id];
+      if (!row_idx.empty() &&
+          static_cast<index_t>(row_idx.size()) > col_ptr[static_cast<std::size_t>(j)] &&
+          row_idx.back() == i) {
+        values.back() += values_[id];
+      } else {
+        if (i == j && !has_diag) has_diag = true;
+        row_idx.push_back(i);
+        values.push_back(values_[id]);
+      }
+    }
+    if (!has_diag) {
+      throw InvalidArgumentError("Coo::to_csc: column " + std::to_string(j) +
+                                 " has no diagonal entry");
+    }
+    col_ptr[static_cast<std::size_t>(j) + 1] =
+        static_cast<index_t>(row_idx.size());
+  }
+  return SparseSpd(n_, std::move(col_ptr), std::move(row_idx),
+                   std::move(values));
+}
+
+}  // namespace mfgpu

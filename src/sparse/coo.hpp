@@ -1,0 +1,40 @@
+// Coordinate-format accumulator for building symmetric sparse matrices.
+//
+// Generators and file readers push (i, j, v) triplets here; duplicates are
+// summed when converting to the compressed lower-triangular format used by
+// the factorization (SparseSpd). Only the lower triangle is stored: pushing
+// (i, j) with i < j records the mirrored entry (j, i).
+#pragma once
+
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace mfgpu {
+
+class SparseSpd;
+
+class Coo {
+ public:
+  explicit Coo(index_t n) : n_(n) {
+    MFGPU_CHECK(n >= 0, "Coo: negative dimension");
+  }
+
+  index_t n() const noexcept { return n_; }
+  std::size_t num_triplets() const noexcept { return rows_.size(); }
+
+  /// Record A(i, j) += v (symmetric: only the lower-triangle copy is kept).
+  void add(index_t i, index_t j, double v);
+
+  /// Compress into sorted, deduplicated lower-triangular CSC.
+  /// Every column must end up with a diagonal entry.
+  SparseSpd to_csc() const;
+
+ private:
+  index_t n_;
+  std::vector<index_t> rows_;
+  std::vector<index_t> cols_;
+  std::vector<double> values_;
+};
+
+}  // namespace mfgpu

@@ -1,0 +1,78 @@
+#include "sparse/dense_convert.hpp"
+
+#include <cmath>
+
+#include "dense/blas.hpp"
+#include "dense/potrf.hpp"
+#include "sparse/coo.hpp"
+
+namespace mfgpu {
+
+Matrix<double> to_dense(const SparseSpd& a) {
+  const index_t n = a.n();
+  Matrix<double> dense(n, n, 0.0);
+  for (index_t j = 0; j < n; ++j) {
+    const auto rows = a.column_rows(j);
+    const auto vals = a.column_values(j);
+    for (std::size_t t = 0; t < rows.size(); ++t) {
+      dense(rows[t], j) = vals[t];
+      dense(j, rows[t]) = vals[t];
+    }
+  }
+  return dense;
+}
+
+bool is_positive_definite(const SparseSpd& a) {
+  Matrix<double> dense = to_dense(a);
+  try {
+    potrf<double>(dense.view());
+  } catch (const NotPositiveDefiniteError&) {
+    return false;
+  }
+  return true;
+}
+
+Matrix<double> random_dense(index_t rows, index_t cols, Rng& rng) {
+  Matrix<double> m(rows, cols);
+  for (index_t j = 0; j < cols; ++j) {
+    for (index_t i = 0; i < rows; ++i) m(i, j) = rng.uniform(-1.0, 1.0);
+  }
+  return m;
+}
+
+Matrix<double> random_spd_dense(index_t n, Rng& rng) {
+  const Matrix<double> g = random_dense(n, n, rng);
+  Matrix<double> a(n, n, 0.0);
+  gemm<double>(Trans::NoTrans, Trans::Transpose, 1.0, g.view(), g.view(), 0.0,
+               a.view());
+  for (index_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+SparseSpd sparse_from_dense(const Matrix<double>& a, double drop_tolerance) {
+  MFGPU_CHECK(a.rows() == a.cols(), "sparse_from_dense: matrix must be square");
+  MFGPU_CHECK(drop_tolerance >= 0.0, "sparse_from_dense: negative tolerance");
+  Coo coo(a.rows());
+  for (index_t j = 0; j < a.cols(); ++j) {
+    coo.add(j, j, a(j, j));
+    for (index_t i = j + 1; i < a.rows(); ++i) {
+      if (std::abs(a(i, j)) > drop_tolerance) coo.add(i, j, a(i, j));
+    }
+  }
+  return coo.to_csc();
+}
+
+double max_abs_error(const SparseSpd& a, const Matrix<double>& dense) {
+  MFGPU_CHECK(a.n() == dense.rows() && a.n() == dense.cols(),
+              "max_abs_error: shape mismatch");
+  const Matrix<double> densified = to_dense(a);
+  double best = 0.0;
+  for (index_t j = 0; j < a.n(); ++j) {
+    for (index_t i = j; i < a.n(); ++i) {
+      best = std::max(best, std::abs(densified(i, j) - dense(i, j)));
+    }
+  }
+  return best;
+}
+
+}  // namespace mfgpu

@@ -1,0 +1,33 @@
+// Conversions between the symmetric sparse storage and dense matrices,
+// plus small dense SPD generators. Used by tests, benches and debugging
+// tools; kept out of the hot path.
+#pragma once
+
+#include "dense/matrix.hpp"
+#include "sparse/csc.hpp"
+#include "support/rng.hpp"
+
+namespace mfgpu {
+
+/// Densify the full symmetric matrix (both triangles filled).
+Matrix<double> to_dense(const SparseSpd& a);
+
+/// Lower-triangular dense factor check: true iff the matrix is SPD
+/// (attempts a dense Cholesky on a copy).
+bool is_positive_definite(const SparseSpd& a);
+
+/// Dense random matrix with entries uniform in [-1, 1).
+Matrix<double> random_dense(index_t rows, index_t cols, Rng& rng);
+
+/// Dense random SPD matrix A = G G^T + n I (well conditioned).
+Matrix<double> random_spd_dense(index_t n, Rng& rng);
+
+/// Build a SparseSpd from the lower triangle of a dense symmetric matrix,
+/// dropping entries with |a_ij| <= drop_tolerance (diagonal always kept).
+SparseSpd sparse_from_dense(const Matrix<double>& a,
+                            double drop_tolerance = 0.0);
+
+/// Max |A_sparse - A_dense| over the lower triangle.
+double max_abs_error(const SparseSpd& a, const Matrix<double>& dense);
+
+}  // namespace mfgpu

@@ -1,0 +1,187 @@
+#include "sparse/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sparse/coo.hpp"
+
+namespace mfgpu {
+namespace {
+
+index_t node_id(index_t x, index_t y, index_t z, index_t nx, index_t ny) {
+  return x + nx * (y + ny * z);
+}
+
+std::vector<std::array<index_t, 3>> node_coords(index_t nx, index_t ny,
+                                                index_t nz, index_t dof) {
+  std::vector<std::array<index_t, 3>> coords;
+  coords.reserve(static_cast<std::size_t>(nx * ny * nz * dof));
+  for (index_t z = 0; z < nz; ++z) {
+    for (index_t y = 0; y < ny; ++y) {
+      for (index_t x = 0; x < nx; ++x) {
+        for (index_t d = 0; d < dof; ++d) coords.push_back({x, y, z});
+      }
+    }
+  }
+  return coords;
+}
+
+}  // namespace
+
+GridProblem make_laplacian_3d(index_t nx, index_t ny, index_t nz) {
+  MFGPU_CHECK(nx > 0 && ny > 0 && nz > 0, "laplacian: grid dims positive");
+  const index_t n = nx * ny * nz;
+  Coo coo(n);
+  for (index_t z = 0; z < nz; ++z) {
+    for (index_t y = 0; y < ny; ++y) {
+      for (index_t x = 0; x < nx; ++x) {
+        const index_t v = node_id(x, y, z, nx, ny);
+        coo.add(v, v, 6.0 + 1e-2);  // shifted so boundary rows stay SPD-safe
+        if (x + 1 < nx) coo.add(node_id(x + 1, y, z, nx, ny), v, -1.0);
+        if (y + 1 < ny) coo.add(node_id(x, y + 1, z, nx, ny), v, -1.0);
+        if (z + 1 < nz) coo.add(node_id(x, y, z + 1, nx, ny), v, -1.0);
+      }
+    }
+  }
+  GridProblem p;
+  p.matrix = coo.to_csc();
+  p.name = "laplacian3d";
+  p.nx = nx; p.ny = ny; p.nz = nz; p.dof = 1;
+  p.coords = node_coords(nx, ny, nz, 1);
+  return p;
+}
+
+GridProblem make_laplacian_2d_9pt(index_t nx, index_t ny) {
+  MFGPU_CHECK(nx > 0 && ny > 0, "laplacian2d: grid dims positive");
+  const index_t n = nx * ny;
+  Coo coo(n);
+  for (index_t y = 0; y < ny; ++y) {
+    for (index_t x = 0; x < nx; ++x) {
+      const index_t v = node_id(x, y, 0, nx, ny);
+      coo.add(v, v, 8.0 + 1e-2);
+      for (index_t dy = -1; dy <= 1; ++dy) {
+        for (index_t dx = -1; dx <= 1; ++dx) {
+          if (dx == 0 && dy == 0) continue;
+          const index_t ux = x + dx, uy = y + dy;
+          if (ux < 0 || ux >= nx || uy < 0 || uy >= ny) continue;
+          const index_t u = node_id(ux, uy, 0, nx, ny);
+          if (u > v) coo.add(u, v, -1.0);
+        }
+      }
+    }
+  }
+  GridProblem p;
+  p.matrix = coo.to_csc();
+  p.name = "laplacian2d9";
+  p.nx = nx; p.ny = ny; p.nz = 1; p.dof = 1;
+  p.coords = node_coords(nx, ny, 1, 1);
+  return p;
+}
+
+GridProblem make_elasticity_3d(index_t nx, index_t ny, index_t nz, index_t dof,
+                               Rng& rng) {
+  MFGPU_CHECK(nx > 0 && ny > 0 && nz > 0 && dof > 0,
+              "elasticity: dims and dof positive");
+  const index_t nodes = nx * ny * nz;
+  const index_t n = nodes * dof;
+  Coo coo(n);
+  // Small diagonal shift keeps the assembled edge-Laplacian strictly SPD.
+  for (index_t v = 0; v < n; ++v) coo.add(v, v, 1e-2);
+
+  std::vector<double> block(static_cast<std::size_t>(dof * dof));
+  std::vector<double> m_entries(static_cast<std::size_t>(dof * dof));
+  for (index_t z = 0; z < nz; ++z) {
+    for (index_t y = 0; y < ny; ++y) {
+      for (index_t x = 0; x < nx; ++x) {
+        const index_t u = node_id(x, y, z, nx, ny);
+        // 27-point stencil: visit each undirected edge once via dz,dy,dx > 0
+        // lexicographic ordering.
+        for (index_t dz = 0; dz <= 1; ++dz) {
+          for (index_t dy = (dz == 0) ? 0 : -1; dy <= 1; ++dy) {
+            for (index_t dx = (dz == 0 && dy == 0) ? 1 : -1; dx <= 1; ++dx) {
+              const index_t vx = x + dx, vy = y + dy, vz = z + dz;
+              if (vx < 0 || vx >= nx || vy < 0 || vy >= ny || vz >= nz) {
+                continue;
+              }
+              const index_t v = node_id(vx, vy, vz, nx, ny);
+              // Per-edge SPD coupling block C = M^T M (+tiny ridge).
+              for (auto& e : m_entries) e = rng.uniform(-1.0, 1.0);
+              for (index_t a = 0; a < dof; ++a) {
+                for (index_t b = 0; b < dof; ++b) {
+                  double sum = (a == b) ? 1e-3 : 0.0;
+                  for (index_t p = 0; p < dof; ++p) {
+                    sum += m_entries[static_cast<std::size_t>(p * dof + a)] *
+                           m_entries[static_cast<std::size_t>(p * dof + b)];
+                  }
+                  block[static_cast<std::size_t>(a * dof + b)] = sum;
+                }
+              }
+              // Assemble the edge term [C -C; -C C] (PSD).
+              for (index_t a = 0; a < dof; ++a) {
+                for (index_t b = 0; b < dof; ++b) {
+                  const double c = block[static_cast<std::size_t>(a * dof + b)];
+                  const index_t ua = u * dof + a, ub = u * dof + b;
+                  const index_t va = v * dof + a, vb = v * dof + b;
+                  if (ua >= ub) coo.add(ua, ub, c);
+                  if (va >= vb) coo.add(va, vb, c);
+                  coo.add(std::max(ua, vb), std::min(ua, vb), -c);
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  GridProblem p;
+  p.matrix = coo.to_csc();
+  p.name = "elasticity3d";
+  p.nx = nx; p.ny = ny; p.nz = nz; p.dof = dof;
+  p.coords = node_coords(nx, ny, nz, dof);
+  return p;
+}
+
+SparseSpd make_random_spd(index_t n, index_t avg_degree, Rng& rng) {
+  MFGPU_CHECK(n > 0 && avg_degree >= 0, "random_spd: bad parameters");
+  Coo coo(n);
+  std::vector<double> row_sum(static_cast<std::size_t>(n), 0.0);
+  const index_t edges = n * avg_degree / 2;
+  for (index_t e = 0; e < edges; ++e) {
+    const index_t i = rng.uniform_int(0, n - 1);
+    const index_t j = rng.uniform_int(0, n - 1);
+    if (i == j) continue;
+    const double v = -rng.uniform(0.1, 1.0);
+    coo.add(i, j, v);
+    row_sum[static_cast<std::size_t>(i)] += std::abs(v);
+    row_sum[static_cast<std::size_t>(j)] += std::abs(v);
+  }
+  for (index_t i = 0; i < n; ++i) {
+    coo.add(i, i, row_sum[static_cast<std::size_t>(i)] + 1.0);
+  }
+  return coo.to_csc();
+}
+
+std::vector<GridProblem> make_paper_testset(double scale) {
+  MFGPU_CHECK(scale > 0.0 && scale <= 1.0, "testset: scale in (0, 1]");
+  auto dim = [scale](index_t full) {
+    return std::max<index_t>(2, static_cast<index_t>(std::lround(full * scale)));
+  };
+  Rng rng(2011);  // paper year; fixed so the test set is reproducible
+  std::vector<GridProblem> set;
+  // Five stand-ins with distinct shapes/dof so their elimination trees give
+  // distinct supernode-size distributions (cf. paper Table II). Base sizes
+  // are chosen so full symbolic analysis of each takes about a second.
+  set.push_back(make_elasticity_3d(dim(36), dim(36), dim(36), 3, rng));
+  set.back().name = "audikw1_s";
+  set.push_back(make_laplacian_3d(dim(52), dim(52), dim(52)));
+  set.back().name = "kyushu_s";  // kyushu has a low nnz/n ratio, like a scalar stencil
+  set.push_back(make_elasticity_3d(dim(28), dim(38), dim(30), 3, rng));
+  set.back().name = "lmco_s";
+  set.push_back(make_elasticity_3d(dim(44), dim(40), dim(24), 3, rng));
+  set.back().name = "nastranb_s";
+  set.push_back(make_elasticity_3d(dim(42), dim(38), dim(26), 3, rng));
+  set.back().name = "sgi_s";
+  return set;
+}
+
+}  // namespace mfgpu

@@ -1,0 +1,55 @@
+// Synthetic SPD problem generators.
+//
+// The paper evaluates on five proprietary 3-D structural matrices
+// (Table II: audikw_1, kyushu, lmco, nastran-b, sgi_1M). Those are not
+// redistributable, so this module generates the closest synthetic
+// equivalents: 3-D grid elasticity-like operators (3 dof per node, 27-point
+// block stencil — the pattern class of automotive/metal-forming models) and
+// 3-D/2-D Laplacians. What the experiments actually consume from a matrix is
+// the distribution of frontal sizes (m, k) its elimination tree induces, and
+// scaled 3-D grids induce the same qualitative distribution.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "sparse/csc.hpp"
+#include "support/rng.hpp"
+
+namespace mfgpu {
+
+/// A generated problem: the matrix plus per-unknown grid coordinates
+/// (consumed by geometric nested dissection).
+struct GridProblem {
+  SparseSpd matrix;
+  std::string name;
+  index_t nx = 0, ny = 0, nz = 0;
+  index_t dof = 1;  ///< unknowns per grid node
+  std::vector<std::array<index_t, 3>> coords;  ///< per unknown
+};
+
+/// 7-point Laplacian on an nx x ny x nz grid (nz = 1 gives the 5-point
+/// 2-D operator). Always SPD (diagonally dominant with positive diagonal).
+GridProblem make_laplacian_3d(index_t nx, index_t ny, index_t nz);
+
+/// 9-point 2-D operator (the paper's closing remark contrasts 2-D problems,
+/// whose fronts stay small, with the 3-D ones it evaluates).
+GridProblem make_laplacian_2d_9pt(index_t nx, index_t ny);
+
+/// Elasticity-like operator: `dof` unknowns per node, 27-point node stencil,
+/// random SPD coupling block per edge assembled as a block edge-Laplacian
+/// plus a small diagonal shift. SPD by construction.
+GridProblem make_elasticity_3d(index_t nx, index_t ny, index_t nz,
+                               index_t dof, Rng& rng);
+
+/// Random sparse SPD matrix: `avg_degree` off-diagonals per row placed
+/// uniformly, symmetrized, made diagonally dominant.
+SparseSpd make_random_spd(index_t n, index_t avg_degree, Rng& rng);
+
+/// The five named stand-ins for the paper's Table II matrices, scaled so a
+/// full symbolic analysis runs in seconds. `scale` in (0, 1] shrinks every
+/// grid dimension proportionally (tests use small scales).
+std::vector<GridProblem> make_paper_testset(double scale = 1.0);
+
+}  // namespace mfgpu

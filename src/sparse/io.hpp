@@ -1,0 +1,22 @@
+// Minimal Matrix Market I/O (coordinate, real, symmetric) so examples can
+// exchange matrices with standard tools.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/csc.hpp"
+
+namespace mfgpu {
+
+/// Write the symmetric matrix in MatrixMarket coordinate format
+/// ("%%MatrixMarket matrix coordinate real symmetric", lower triangle).
+void write_matrix_market(std::ostream& os, const SparseSpd& a);
+void write_matrix_market(const std::string& path, const SparseSpd& a);
+
+/// Read a real symmetric coordinate MatrixMarket file. General (unsymmetric)
+/// headers are rejected; pattern files get unit values on the diagonal scale.
+SparseSpd read_matrix_market(std::istream& is);
+SparseSpd read_matrix_market(const std::string& path);
+
+}  // namespace mfgpu

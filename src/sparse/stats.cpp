@@ -1,0 +1,32 @@
+#include "sparse/stats.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace mfgpu {
+
+MatrixStats compute_stats(const SparseSpd& a) {
+  MatrixStats s;
+  s.n = a.n();
+  s.nnz_full = a.nnz_full();
+  s.avg_nnz_per_row =
+      (s.n > 0) ? static_cast<double>(s.nnz_full) / static_cast<double>(s.n)
+                : 0.0;
+  for (index_t j = 0; j < a.n(); ++j) {
+    const auto rows = a.column_rows(j);
+    s.max_column_degree =
+        std::max(s.max_column_degree, static_cast<index_t>(rows.size()));
+    if (!rows.empty()) {
+      s.bandwidth = std::max(s.bandwidth, rows.back() - j);
+    }
+  }
+  return s;
+}
+
+std::ostream& operator<<(std::ostream& os, const MatrixStats& s) {
+  return os << "n=" << s.n << " nnz=" << s.nnz_full
+            << " nnz/row=" << s.avg_nnz_per_row
+            << " maxdeg=" << s.max_column_degree << " bw=" << s.bandwidth;
+}
+
+}  // namespace mfgpu

@@ -1,0 +1,22 @@
+// Matrix statistics used by Table II and by the ordering-quality ablations.
+#pragma once
+
+#include <iosfwd>
+
+#include "sparse/csc.hpp"
+
+namespace mfgpu {
+
+struct MatrixStats {
+  index_t n = 0;
+  index_t nnz_full = 0;        ///< both triangles + diagonal (paper convention)
+  double avg_nnz_per_row = 0.0;
+  index_t max_column_degree = 0;  ///< densest column of the lower triangle
+  index_t bandwidth = 0;          ///< max |i - j| over stored entries
+};
+
+MatrixStats compute_stats(const SparseSpd& a);
+
+std::ostream& operator<<(std::ostream& os, const MatrixStats& s);
+
+}  // namespace mfgpu

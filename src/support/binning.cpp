@@ -1,0 +1,106 @@
+#include "support/binning.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+namespace mfgpu {
+
+namespace {
+index_t checked_bins(index_t extent, index_t bin) {
+  MFGPU_CHECK(extent > 0 && bin > 0,
+              "Grid2D: extents and bin size must be positive");
+  return (extent + bin - 1) / bin;
+}
+}  // namespace
+
+Grid2D::Grid2D(index_t extent_x, index_t extent_y, index_t bin)
+    : bins_x_(checked_bins(extent_x, bin)),
+      bins_y_(checked_bins(extent_y, bin)),
+      bin_(bin) {
+  weight_.assign(static_cast<std::size_t>(bins_x_ * bins_y_), 0.0);
+  count_.assign(weight_.size(), 0);
+}
+
+std::size_t Grid2D::flat(index_t bx, index_t by) const {
+  MFGPU_CHECK(bx >= 0 && bx < bins_x_ && by >= 0 && by < bins_y_,
+              "Grid2D: bin index out of range");
+  return static_cast<std::size_t>(by * bins_x_ + bx);
+}
+
+void Grid2D::add(index_t x, index_t y, double weight) {
+  const index_t bx = std::min(std::max<index_t>(x, 0) / bin_, bins_x_ - 1);
+  const index_t by = std::min(std::max<index_t>(y, 0) / bin_, bins_y_ - 1);
+  const std::size_t i = flat(bx, by);
+  weight_[i] += weight;
+  count_[i] += 1;
+  total_ += weight;
+}
+
+double Grid2D::at(index_t bx, index_t by) const { return weight_[flat(bx, by)]; }
+
+index_t Grid2D::count_at(index_t bx, index_t by) const {
+  return count_[flat(bx, by)];
+}
+
+double Grid2D::mean_at(index_t bx, index_t by, double empty_value) const {
+  const std::size_t i = flat(bx, by);
+  if (count_[i] == 0) return empty_value;
+  return weight_[i] / static_cast<double>(count_[i]);
+}
+
+void Grid2D::normalize() {
+  if (total_ == 0.0) return;
+  for (double& w : weight_) w /= total_;
+  total_ = 1.0;
+}
+
+void Grid2D::write_csv(std::ostream& os, bool means) const {
+  os << "k\\m";
+  for (index_t bx = 0; bx < bins_x_; ++bx) os << ',' << bx * bin_;
+  os << '\n';
+  for (index_t by = 0; by < bins_y_; ++by) {
+    os << by * bin_;
+    for (index_t bx = 0; bx < bins_x_; ++bx) {
+      os << ',' << (means ? mean_at(bx, by) : at(bx, by));
+    }
+    os << '\n';
+  }
+}
+
+void Grid2D::print_ascii(std::ostream& os, bool means) const {
+  static const char kRamp[] = " .:-=+*#%@";
+  double max_value = 0.0;
+  for (index_t by = 0; by < bins_y_; ++by) {
+    for (index_t bx = 0; bx < bins_x_; ++bx) {
+      max_value = std::max(max_value, means ? mean_at(bx, by, 0.0) : at(bx, by));
+    }
+  }
+  // Row 0 at the bottom so the plot reads like the paper's axes (k upward).
+  for (index_t by = bins_y_ - 1; by >= 0; --by) {
+    os << '|';
+    for (index_t bx = 0; bx < bins_x_; ++bx) {
+      const double v = means ? mean_at(bx, by, 0.0) : at(bx, by);
+      int level = 0;
+      if (max_value > 0.0 && v > 0.0) {
+        level = 1 + static_cast<int>(std::floor(v / max_value * 8.999));
+      }
+      os << kRamp[std::min(level, 9)];
+    }
+    os << "|\n";
+  }
+  os << '+' << std::string(static_cast<std::size_t>(bins_x_), '-') << "+ (m ->)\n";
+}
+
+void Grid2D::print_label_map(
+    std::ostream& os, index_t bins_x, index_t bins_y,
+    const std::function<char(index_t, index_t)>& labeler) {
+  for (index_t by = bins_y - 1; by >= 0; --by) {
+    os << '|';
+    for (index_t bx = 0; bx < bins_x; ++bx) os << labeler(bx, by);
+    os << "|\n";
+  }
+  os << '+' << std::string(static_cast<std::size_t>(bins_x), '-') << "+ (m ->)\n";
+}
+
+}  // namespace mfgpu

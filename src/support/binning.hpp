@@ -1,0 +1,58 @@
+// 2-D binning over the (m, k) plane — the paper analyses the distribution of
+// factor-update calls using 500x500 (Fig. 2) and 250x250 (Fig. 14) bins.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace mfgpu {
+
+/// Accumulates weighted samples into a regular 2-D grid of bins and renders
+/// the grid as CSV or a coarse ASCII heat map.
+class Grid2D {
+ public:
+  /// Bins cover [0, extent_x) x [0, extent_y) with square bins of `bin` size.
+  Grid2D(index_t extent_x, index_t extent_y, index_t bin);
+
+  /// Add `weight` to the bin containing (x, y). Out-of-range samples clamp
+  /// into the last bin (the paper's plots saturate at the axis limit).
+  void add(index_t x, index_t y, double weight);
+  /// Mark a bin as observed without weight (used for "has data" masks).
+  void touch(index_t x, index_t y) { add(x, y, 0.0); }
+
+  index_t bins_x() const noexcept { return bins_x_; }
+  index_t bins_y() const noexcept { return bins_y_; }
+  index_t bin_size() const noexcept { return bin_; }
+  double at(index_t bx, index_t by) const;
+  index_t count_at(index_t bx, index_t by) const;
+  /// Mean weight per sample in a bin; `empty_value` when the bin has no samples.
+  double mean_at(index_t bx, index_t by, double empty_value = -1.0) const;
+  double total() const noexcept { return total_; }
+
+  /// Divide every bin by the grand total (turns weights into fractions).
+  void normalize();
+
+  /// CSV: header row of x-bin lower edges, then one row per y bin.
+  void write_csv(std::ostream& os, bool means = false) const;
+  /// Coarse ASCII heat map using a density ramp " .:-=+*#%@".
+  void print_ascii(std::ostream& os, bool means = false) const;
+  /// ASCII map where each bin prints the single character produced by
+  /// `labeler(bx, by)` (used for the best-policy maps of Figs. 12-13).
+  static void print_label_map(std::ostream& os, index_t bins_x, index_t bins_y,
+                              const std::function<char(index_t, index_t)>& labeler);
+
+ private:
+  std::size_t flat(index_t bx, index_t by) const;
+
+  index_t bins_x_;
+  index_t bins_y_;
+  index_t bin_;
+  std::vector<double> weight_;
+  std::vector<index_t> count_;
+  double total_ = 0.0;
+};
+
+}  // namespace mfgpu

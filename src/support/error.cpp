@@ -1,0 +1,26 @@
+#include "support/error.hpp"
+
+#include <sstream>
+
+namespace mfgpu {
+
+NotPositiveDefiniteError::NotPositiveDefiniteError(std::int64_t column,
+                                                   double pivot)
+    : Error([&] {
+        std::ostringstream os;
+        os << "matrix is not positive definite: pivot " << pivot
+           << " at column " << column;
+        return os.str();
+      }()),
+      column_(column),
+      pivot_(pivot) {}
+
+void fail_check(const char* expr, const char* file, int line,
+                const std::string& message) {
+  std::ostringstream os;
+  os << "check failed: (" << expr << ") at " << file << ":" << line << " — "
+     << message;
+  throw InvalidArgumentError(os.str());
+}
+
+}  // namespace mfgpu

@@ -1,0 +1,74 @@
+// Error handling primitives shared by all mfgpu modules.
+//
+// We follow the C++ Core Guidelines: report errors that the immediate caller
+// cannot reasonably be expected to handle via exceptions (E.2), and use a
+// project-wide assertion macro for preconditions that indicate programming
+// errors (I.6).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace mfgpu {
+
+/// Base class for all errors thrown by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a matrix expected to be SPD turns out not to be
+/// (non-positive pivot during Cholesky).
+class NotPositiveDefiniteError : public Error {
+ public:
+  NotPositiveDefiniteError(std::int64_t column, double pivot);
+
+  /// Global column index (in the permuted matrix) of the offending pivot.
+  std::int64_t column() const noexcept { return column_; }
+  /// The non-positive pivot value encountered.
+  double pivot() const noexcept { return pivot_; }
+
+ private:
+  std::int64_t column_;
+  double pivot_;
+};
+
+/// Thrown on malformed input (bad dimensions, unsorted indices, ...).
+class InvalidArgumentError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown when the simulated device runs out of memory.
+class DeviceOutOfMemoryError : public Error {
+ public:
+  using Error::Error;
+};
+
+[[noreturn]] void fail_check(const char* expr, const char* file, int line,
+                             const std::string& message);
+
+/// Precondition / invariant check that is always on (cheap checks only).
+#define MFGPU_CHECK(expr, message)                                    \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::mfgpu::fail_check(#expr, __FILE__, __LINE__, (message));      \
+    }                                                                 \
+  } while (false)
+
+/// Narrowing cast that throws if the value does not fit the target type.
+template <typename To, typename From>
+To checked_cast(From value) {
+  const auto widened = static_cast<std::int64_t>(value);
+  if (widened < static_cast<std::int64_t>(std::numeric_limits<To>::min()) ||
+      widened > static_cast<std::int64_t>(std::numeric_limits<To>::max())) {
+    throw InvalidArgumentError("checked_cast: value out of range");
+  }
+  return static_cast<To>(value);
+}
+
+using index_t = std::int64_t;  ///< Signed index type used across the library.
+
+}  // namespace mfgpu

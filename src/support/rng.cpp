@@ -1,0 +1,41 @@
+#include "support/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace mfgpu {
+
+double Rng::uniform(double lo, double hi) {
+  MFGPU_CHECK(lo <= hi, "uniform: lo must be <= hi");
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+index_t Rng::uniform_int(index_t lo, index_t hi) {
+  MFGPU_CHECK(lo <= hi, "uniform_int: lo must be <= hi");
+  return std::uniform_int_distribution<index_t>(lo, hi)(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+double Rng::log_uniform(double lo, double hi) {
+  MFGPU_CHECK(lo > 0.0 && lo <= hi, "log_uniform: need 0 < lo <= hi");
+  return std::exp(uniform(std::log(lo), std::log(hi)));
+}
+
+bool Rng::bernoulli(double p) {
+  MFGPU_CHECK(p >= 0.0 && p <= 1.0, "bernoulli: p must be in [0, 1]");
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+std::vector<index_t> Rng::permutation(index_t n) {
+  MFGPU_CHECK(n >= 0, "permutation: n must be non-negative");
+  std::vector<index_t> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), index_t{0});
+  std::shuffle(perm.begin(), perm.end(), engine_);
+  return perm;
+}
+
+}  // namespace mfgpu

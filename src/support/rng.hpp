@@ -1,0 +1,37 @@
+// Deterministic random number generation used by generators, tests and the
+// auto-tuning dataset builder. A thin wrapper around std::mt19937_64 so all
+// call sites share one seeding convention and reproducible streams.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace mfgpu {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0);
+  /// Uniform integer in [lo, hi] inclusive.
+  index_t uniform_int(index_t lo, index_t hi);
+  /// Standard normal draw.
+  double normal(double mean = 0.0, double stddev = 1.0);
+  /// Log-uniform draw in [lo, hi); lo must be > 0.
+  double log_uniform(double lo, double hi);
+  /// Bernoulli draw with probability p of true.
+  bool bernoulli(double p);
+  /// Random permutation of {0, ..., n-1}.
+  std::vector<index_t> permutation(index_t n);
+
+  std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace mfgpu

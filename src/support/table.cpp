@@ -1,0 +1,101 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace mfgpu {
+
+Table::Table(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers)) {
+  MFGPU_CHECK(!headers_.empty(), "Table: need at least one column");
+}
+
+Table& Table::add_row(std::vector<Cell> cells) {
+  MFGPU_CHECK(cells.size() == headers_.size(),
+              "Table: row width does not match header count");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::format_cell(const Cell& cell) {
+  if (const auto* text = std::get_if<std::string>(&cell)) return *text;
+  if (const auto* integer = std::get_if<index_t>(&cell)) {
+    return std::to_string(*integer);
+  }
+  const double value = std::get<double>(cell);
+  std::ostringstream os;
+  const double magnitude = std::abs(value);
+  if (value != 0.0 && (magnitude >= 1e6 || magnitude < 1e-3)) {
+    os << std::scientific << std::setprecision(3) << value;
+  } else {
+    os << std::fixed << std::setprecision(3) << value;
+  }
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      cells.push_back(format_cell(row[c]));
+      widths[c] = std::max(widths[c], cells.back().size());
+    }
+    rendered.push_back(std::move(cells));
+  }
+
+  os << "== " << title_ << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[c]))
+         << std::left << cells[c];
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& cells : rendered) print_row(cells);
+}
+
+void Table::write_csv(std::ostream& os) const {
+  auto quote = [](const std::string& text) {
+    if (text.find_first_of(",\"\n") == std::string::npos) return text;
+    std::string out = "\"";
+    for (char ch : text) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << (c == 0 ? "" : ",") << quote(headers_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : ",") << quote(format_cell(row[c]));
+    }
+    os << '\n';
+  }
+}
+
+std::string format_sci(double value, int digits) {
+  std::ostringstream os;
+  os << std::scientific << std::setprecision(digits) << value;
+  return os.str();
+}
+
+}  // namespace mfgpu

@@ -1,0 +1,43 @@
+// ASCII table / CSV emission used by the benchmark harness to print the
+// paper's tables and figure series in a uniform, machine-parseable way.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace mfgpu {
+
+/// A cell is either text, an integer, or a double (formatted compactly).
+using Cell = std::variant<std::string, index_t, double>;
+
+/// Column-aligned ASCII table with a title, used by bench binaries so every
+/// reproduced paper table/figure has a consistent, greppable rendering.
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> headers);
+
+  Table& add_row(std::vector<Cell> cells);
+  /// Number of data rows added so far.
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+
+  /// Render with box-drawing-free ASCII alignment.
+  void print(std::ostream& os) const;
+  /// Render as CSV (headers + rows), no title line.
+  void write_csv(std::ostream& os) const;
+
+  static std::string format_cell(const Cell& cell);
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+/// Engineering-style formatting for op counts / rates ("1.54e+07").
+std::string format_sci(double value, int digits = 3);
+
+}  // namespace mfgpu

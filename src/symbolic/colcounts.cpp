@@ -1,0 +1,57 @@
+#include "symbolic/colcounts.hpp"
+
+#include <algorithm>
+
+namespace mfgpu {
+
+std::vector<index_t> factor_column_counts(const SparseSpd& a,
+                                          std::span<const index_t> parent) {
+  const index_t n = a.n();
+  MFGPU_CHECK(static_cast<index_t>(parent.size()) == n,
+              "colcounts: parent size mismatch");
+  std::vector<index_t> count(static_cast<std::size_t>(n), 1);  // diagonal
+  std::vector<index_t> mark(static_cast<std::size_t>(n), -1);
+
+  // Row subtree traversal: for each row i, walk up from every j with
+  // A(i, j) != 0 (j < i) until reaching a column already marked for row i.
+  // Every column visited gains an entry in row i of L. The total work is
+  // O(nnz(L)) because the walked paths tile the row subtree exactly.
+  // Build row lists once (entries (i, j), j < i).
+  std::vector<index_t> row_ptr(static_cast<std::size_t>(n) + 1, 0);
+  for (index_t j = 0; j < n; ++j) {
+    const auto rows = a.column_rows(j);
+    for (std::size_t t = 1; t < rows.size(); ++t) {
+      ++row_ptr[static_cast<std::size_t>(rows[t]) + 1];
+    }
+  }
+  for (index_t i = 0; i < n; ++i) {
+    row_ptr[static_cast<std::size_t>(i) + 1] += row_ptr[static_cast<std::size_t>(i)];
+  }
+  std::vector<index_t> row_cols(static_cast<std::size_t>(row_ptr.back()));
+  {
+    std::vector<index_t> next(row_ptr.begin(), row_ptr.end() - 1);
+    for (index_t j = 0; j < n; ++j) {
+      const auto rows = a.column_rows(j);
+      for (std::size_t t = 1; t < rows.size(); ++t) {
+        row_cols[static_cast<std::size_t>(next[static_cast<std::size_t>(rows[t])]++)] = j;
+      }
+    }
+  }
+
+  std::fill(mark.begin(), mark.end(), index_t{-1});
+  for (index_t i = 0; i < n; ++i) {
+    mark[static_cast<std::size_t>(i)] = i;
+    for (index_t t = row_ptr[static_cast<std::size_t>(i)];
+         t < row_ptr[static_cast<std::size_t>(i) + 1]; ++t) {
+      index_t j = row_cols[static_cast<std::size_t>(t)];
+      while (j != -1 && j < i && mark[static_cast<std::size_t>(j)] != i) {
+        mark[static_cast<std::size_t>(j)] = i;
+        ++count[static_cast<std::size_t>(j)];
+        j = parent[static_cast<std::size_t>(j)];
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace mfgpu

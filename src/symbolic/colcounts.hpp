@@ -1,0 +1,18 @@
+// Column counts of the Cholesky factor L (number of stored entries per
+// column, diagonal included), computed without forming L: each row i of A
+// induces a "row subtree" of the elimination tree, and column j of L has an
+// entry in row i exactly when j lies on that subtree.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse/csc.hpp"
+
+namespace mfgpu {
+
+/// Requires a postordered matrix/etree pair. O(nnz(L)) time.
+std::vector<index_t> factor_column_counts(const SparseSpd& a,
+                                          std::span<const index_t> parent);
+
+}  // namespace mfgpu

@@ -1,0 +1,44 @@
+#include "symbolic/etree.hpp"
+
+namespace mfgpu {
+
+std::vector<index_t> elimination_tree(const SparseSpd& a) {
+  const index_t n = a.n();
+  std::vector<index_t> parent(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> ancestor(static_cast<std::size_t>(n), -1);
+
+  // Liu's algorithm consumes the *upper* triangle row-wise: when processing
+  // column j it needs every i < j with A(i, j) != 0. With lower-triangular
+  // column storage, entry (i2, i) with i2 > i serves column j = i2, row i.
+  // Iterating columns i in increasing order visits each (row j, i < j) pair
+  // in increasing i, which is all the algorithm requires — but entries for a
+  // given j arrive interleaved with other columns, so we must keep per-j
+  // state in `parent`/`ancestor` only. The standard formulation processes
+  // rows; we gather row lists first for clarity.
+  std::vector<std::vector<index_t>> row_entries(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    const auto rows = a.column_rows(i);
+    for (std::size_t t = 1; t < rows.size(); ++t) {
+      row_entries[static_cast<std::size_t>(rows[t])].push_back(i);
+    }
+  }
+
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t i : row_entries[static_cast<std::size_t>(j)]) {
+      // Walk from i to the root of its current subtree, compressing paths.
+      index_t v = i;
+      while (v != -1 && v < j) {
+        const index_t next = ancestor[static_cast<std::size_t>(v)];
+        ancestor[static_cast<std::size_t>(v)] = j;
+        if (next == -1) {
+          parent[static_cast<std::size_t>(v)] = j;
+          break;
+        }
+        v = next;
+      }
+    }
+  }
+  return parent;
+}
+
+}  // namespace mfgpu

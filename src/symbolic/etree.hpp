@@ -1,0 +1,15 @@
+// Elimination tree of a symmetric matrix (Liu's algorithm with path
+// compression). parent[j] is the first off-diagonal row of column j of the
+// Cholesky factor L; the tree drives all multifrontal data flow.
+#pragma once
+
+#include <vector>
+
+#include "sparse/csc.hpp"
+
+namespace mfgpu {
+
+/// Returns parent[j] for each column (-1 for roots).
+std::vector<index_t> elimination_tree(const SparseSpd& a);
+
+}  // namespace mfgpu

@@ -1,0 +1,92 @@
+// Symbolic factorization driver: ordering composition, elimination tree,
+// postorder, supernode formation (fundamental + relaxed), and per-supernode
+// row structure. The result fully determines the multifrontal numeric phase
+// and the (m, k) of every factor-update call — the quantities the paper's
+// analysis and auto-tuner operate on.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ordering/permutation.hpp"
+#include "sparse/csc.hpp"
+#include "symbolic/supernodes.hpp"
+
+namespace mfgpu {
+
+/// One supernode of the assembly tree.
+struct SupernodeInfo {
+  index_t first_col = 0;  ///< column range [first_col, last_col)
+  index_t last_col = 0;
+  index_t parent = -1;  ///< parent supernode, -1 for roots
+  /// Row indices strictly below the supernode's columns (sorted ascending,
+  /// global permuted indices). m = update_rows.size(), k = width: these are
+  /// exactly the paper's F-U dimensions.
+  std::vector<index_t> update_rows;
+
+  index_t width() const noexcept { return last_col - first_col; }   ///< k
+  index_t num_update_rows() const noexcept {                        ///< m
+    return static_cast<index_t>(update_rows.size());
+  }
+  index_t front_order() const noexcept {                            ///< s = k+m
+    return width() + num_update_rows();
+  }
+};
+
+struct AnalyzeOptions {
+  RelaxOptions relax;
+};
+
+/// Full symbolic analysis of an already-permuted matrix whose etree is
+/// postordered (use `analyze` below for the end-to-end path).
+class SymbolicFactor {
+ public:
+  SymbolicFactor(const SparseSpd& a_permuted, const AnalyzeOptions& options);
+
+  index_t n() const noexcept { return n_; }
+  std::span<const index_t> column_parent() const noexcept { return col_parent_; }
+  std::span<const SupernodeInfo> supernodes() const noexcept { return snodes_; }
+  index_t num_supernodes() const noexcept {
+    return static_cast<index_t>(snodes_.size());
+  }
+  index_t snode_of_col(index_t j) const {
+    return snode_of_col_[static_cast<std::size_t>(j)];
+  }
+
+  /// Entries of L (supernodal storage, explicit zeros from relaxation
+  /// included).
+  index_t factor_nnz() const noexcept { return factor_nnz_; }
+  /// Total F-U flops over all supernodes: sum of k^3/3 + m k^2 + m^2 k.
+  double factor_flops() const noexcept { return factor_flops_; }
+  /// Peak number of update-matrix doubles simultaneously live on the
+  /// postorder stack (sizing for StackArena).
+  index_t peak_update_stack_entries() const noexcept { return peak_stack_; }
+
+ private:
+  void compute_structures(const SparseSpd& a, const SupernodePartition& part);
+  void amalgamate(const RelaxOptions& relax);
+  void finalize_metrics();
+
+  index_t n_ = 0;
+  std::vector<index_t> col_parent_;
+  std::vector<SupernodeInfo> snodes_;
+  std::vector<index_t> snode_of_col_;
+  index_t factor_nnz_ = 0;
+  double factor_flops_ = 0.0;
+  index_t peak_stack_ = 0;
+};
+
+/// End-to-end analysis result: the composed permutation (fill ordering +
+/// etree postorder), the permuted matrix, and its symbolic factorization.
+struct Analysis {
+  Permutation perm;
+  SparseSpd permuted;
+  SymbolicFactor symbolic;
+};
+
+/// Orders with `fill_perm` (e.g. minimum_degree / nested_dissection), then
+/// composes the etree postorder so the multifrontal stack discipline holds.
+Analysis analyze(const SparseSpd& a, const Permutation& fill_perm,
+                 const AnalyzeOptions& options = {});
+
+}  // namespace mfgpu

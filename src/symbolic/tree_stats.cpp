@@ -1,0 +1,51 @@
+#include "symbolic/tree_stats.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "dense/blas.hpp"
+
+namespace mfgpu {
+
+TreeStats supernode_tree_stats(const SymbolicFactor& sym) {
+  TreeStats stats;
+  stats.num_supernodes = sym.num_supernodes();
+  const auto snodes = sym.supernodes();
+
+  std::vector<char> has_child(static_cast<std::size_t>(stats.num_supernodes), 0);
+  std::vector<index_t> depth(static_cast<std::size_t>(stats.num_supernodes), 0);
+  std::vector<double> path_flops(static_cast<std::size_t>(stats.num_supernodes),
+                                 0.0);
+
+  // Supernodes are postordered (children before parents), so a reverse
+  // sweep propagates depth/path data root-to-leaf.
+  for (index_t s = stats.num_supernodes - 1; s >= 0; --s) {
+    const SupernodeInfo& sn = snodes[static_cast<std::size_t>(s)];
+    const double flops = static_cast<double>(potrf_ops(sn.width())) +
+                         static_cast<double>(trsm_ops(sn.num_update_rows(),
+                                                      sn.width())) +
+                         static_cast<double>(syrk_ops(sn.num_update_rows(),
+                                                      sn.width()));
+    stats.total_flops += flops;
+    stats.max_front_order =
+        std::max(stats.max_front_order, sn.front_order());
+    if (sn.parent != -1) {
+      has_child[static_cast<std::size_t>(sn.parent)] = 1;
+      depth[static_cast<std::size_t>(s)] =
+          depth[static_cast<std::size_t>(sn.parent)] + 1;
+      path_flops[static_cast<std::size_t>(s)] =
+          path_flops[static_cast<std::size_t>(sn.parent)] + flops;
+    } else {
+      path_flops[static_cast<std::size_t>(s)] = flops;
+    }
+    stats.height = std::max(stats.height, depth[static_cast<std::size_t>(s)]);
+    stats.critical_path_flops =
+        std::max(stats.critical_path_flops, path_flops[static_cast<std::size_t>(s)]);
+  }
+  for (char c : has_child) {
+    if (!c) ++stats.num_leaves;
+  }
+  return stats;
+}
+
+}  // namespace mfgpu

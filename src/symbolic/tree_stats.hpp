@@ -1,0 +1,30 @@
+// Assembly-tree statistics: shape and available parallelism of the
+// supernodal elimination tree. These drive scheduling decisions and the
+// reports the benches print (e.g. why 3-D problems parallelize/offload
+// better than 2-D ones — the paper's closing remark).
+#pragma once
+
+#include "symbolic/symbolic_factor.hpp"
+
+namespace mfgpu {
+
+struct TreeStats {
+  index_t num_supernodes = 0;
+  index_t num_leaves = 0;
+  index_t height = 0;  ///< edges on the longest root-to-leaf path
+  index_t max_front_order = 0;
+  double total_flops = 0.0;
+  /// Factor-update flops along the heaviest root-to-leaf path: a lower
+  /// bound on any tree-parallel schedule.
+  double critical_path_flops = 0.0;
+
+  /// Upper bound on tree-level speedup: total work / critical path.
+  double tree_parallelism() const {
+    return (critical_path_flops > 0.0) ? total_flops / critical_path_flops
+                                       : 1.0;
+  }
+};
+
+TreeStats supernode_tree_stats(const SymbolicFactor& sym);
+
+}  // namespace mfgpu

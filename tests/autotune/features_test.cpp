@@ -1,0 +1,74 @@
+#include "autotune/features.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mfgpu {
+namespace {
+
+TEST(FeaturesTest, RawFeaturesMatchPaperDefinition) {
+  // [m, k, m/k, m^2, mk, k^2, k^3, mk^2]
+  const FeatureVector f = raw_features(6, 3);
+  EXPECT_DOUBLE_EQ(f[0], 6.0);
+  EXPECT_DOUBLE_EQ(f[1], 3.0);
+  EXPECT_DOUBLE_EQ(f[2], 2.0);
+  EXPECT_DOUBLE_EQ(f[3], 36.0);
+  EXPECT_DOUBLE_EQ(f[4], 18.0);
+  EXPECT_DOUBLE_EQ(f[5], 9.0);
+  EXPECT_DOUBLE_EQ(f[6], 27.0);
+  EXPECT_DOUBLE_EQ(f[7], 54.0);
+}
+
+TEST(FeaturesTest, MZeroIsValid) {
+  const FeatureVector f = raw_features(0, 5);
+  EXPECT_DOUBLE_EQ(f[0], 0.0);
+  EXPECT_DOUBLE_EQ(f[2], 0.0);
+}
+
+TEST(FeaturesTest, KZeroThrows) {
+  EXPECT_THROW(raw_features(5, 0), InvalidArgumentError);
+}
+
+TEST(FeatureScalerTest, StandardizesToZeroMeanUnitVar) {
+  std::vector<FeatureVector> samples;
+  // Vary shape as well as size so no feature is constant (m/k would be).
+  for (index_t m = 1; m <= 20; ++m) samples.push_back(raw_features(m, m + 3));
+  const FeatureScaler scaler = FeatureScaler::fit(samples);
+  for (int f = 0; f < kNumFeatures; ++f) {
+    double mean = 0.0, var = 0.0;
+    for (const auto& s : samples) {
+      const double z = scaler.apply(s)[static_cast<std::size_t>(f)];
+      mean += z;
+      var += z * z;
+    }
+    mean /= static_cast<double>(samples.size());
+    var /= static_cast<double>(samples.size());
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    EXPECT_NEAR(var, 1.0, 1e-9);
+  }
+}
+
+TEST(FeatureScalerTest, ConstantFeatureDoesNotDivideByZero) {
+  std::vector<FeatureVector> samples(5, raw_features(4, 2));
+  const FeatureScaler scaler = FeatureScaler::fit(samples);
+  const FeatureVector z = scaler.apply(samples[0]);
+  for (double v : z) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(FeatureScalerTest, DefaultIsIdentity) {
+  const FeatureScaler scaler;
+  const FeatureVector raw = raw_features(3, 2);
+  const FeatureVector out = scaler.apply(raw);
+  for (int f = 0; f < kNumFeatures; ++f) {
+    EXPECT_DOUBLE_EQ(out[static_cast<std::size_t>(f)],
+                     raw[static_cast<std::size_t>(f)]);
+  }
+}
+
+TEST(FeatureScalerTest, EmptyFitThrows) {
+  EXPECT_THROW(FeatureScaler::fit({}), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace mfgpu

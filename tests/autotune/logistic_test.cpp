@@ -1,0 +1,62 @@
+#include "autotune/logistic_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mfgpu {
+namespace {
+
+TEST(LogisticTest, ZeroWeightsGiveUniformProbabilities) {
+  MultinomialLogistic model(3, 4);
+  const std::vector<double> x = {1.0, -1.0, 0.5};
+  const auto p = model.probabilities(x);
+  for (double v : p) EXPECT_NEAR(v, 0.25, 1e-12);
+}
+
+TEST(LogisticTest, ScoresAreLinear) {
+  MultinomialLogistic model(2, 2);
+  model.weight(0, 0) = 2.0;
+  model.weight(1, 0) = -1.0;
+  model.weight(2, 0) = 0.5;  // bias
+  const std::vector<double> x = {3.0, 4.0};
+  const auto s = model.scores(x);
+  EXPECT_DOUBLE_EQ(s[0], 2.0 * 3.0 - 1.0 * 4.0 + 0.5);
+  EXPECT_DOUBLE_EQ(s[1], 0.0);
+}
+
+TEST(LogisticTest, PredictIsArgmax) {
+  MultinomialLogistic model(1, 3);
+  model.weight(0, 2) = 5.0;
+  EXPECT_EQ(model.predict(std::vector<double>{1.0}), 2);
+  EXPECT_EQ(model.predict(std::vector<double>{-1.0}), 0);  // tie 0/1 -> first
+}
+
+TEST(LogisticTest, SoftmaxIsStableForHugeScores) {
+  MultinomialLogistic model(1, 2);
+  model.weight(0, 0) = 1000.0;
+  const auto p = model.probabilities(std::vector<double>{1.0});
+  EXPECT_NEAR(p[0], 1.0, 1e-12);
+  EXPECT_TRUE(std::isfinite(p[1]));
+}
+
+TEST(LogisticTest, ProbabilitiesSumToOne) {
+  MultinomialLogistic model(2, 4);
+  model.weight(0, 1) = 0.3;
+  model.weight(1, 2) = -0.7;
+  const auto p = model.probabilities(std::vector<double>{0.2, 0.9});
+  double sum = 0.0;
+  for (double v : p) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(LogisticTest, DimensionChecks) {
+  EXPECT_THROW(MultinomialLogistic(0, 2), InvalidArgumentError);
+  EXPECT_THROW(MultinomialLogistic(2, 1), InvalidArgumentError);
+  MultinomialLogistic model(2, 2);
+  EXPECT_THROW(model.scores(std::vector<double>{1.0}), InvalidArgumentError);
+  EXPECT_THROW(model.weight(3, 0), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace mfgpu

@@ -1,0 +1,73 @@
+#include "autotune/model_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "autotune/dataset.hpp"
+
+namespace mfgpu {
+namespace {
+
+TrainedPolicyModel small_model() {
+  PolicyTimer timer;
+  const auto dims = log_grid_dims(2000, 2000, 6);
+  const PolicyDataset ds = build_dataset(dims, timer);
+  return train_expected_time(ds);
+}
+
+TEST(ModelIoTest, RoundTripPreservesDecisions) {
+  const TrainedPolicyModel model = small_model();
+  std::stringstream buffer;
+  save_policy_model(buffer, model);
+  const TrainedPolicyModel loaded = load_policy_model(buffer);
+  // Identical decisions and probabilities on a grid of queries.
+  for (index_t k : {1, 10, 100, 1000, 5000}) {
+    for (index_t m : {0, 5, 50, 500, 5000}) {
+      EXPECT_EQ(loaded.choose(m, k), model.choose(m, k))
+          << "m=" << m << " k=" << k;
+      const FeatureVector x = model.scaler(m, k);
+      const FeatureVector x2 = loaded.scaler(m, k);
+      for (int f = 0; f < kNumFeatures; ++f) {
+        EXPECT_DOUBLE_EQ(x[static_cast<std::size_t>(f)],
+                         x2[static_cast<std::size_t>(f)]);
+      }
+    }
+  }
+}
+
+TEST(ModelIoTest, RejectsBadHeader) {
+  std::stringstream buffer("not-a-model 1\n");
+  EXPECT_THROW(load_policy_model(buffer), InvalidArgumentError);
+}
+
+TEST(ModelIoTest, RejectsWrongVersion) {
+  std::stringstream buffer("mfgpu-policy-model 99\nfeatures 8 classes 4\n");
+  EXPECT_THROW(load_policy_model(buffer), InvalidArgumentError);
+}
+
+TEST(ModelIoTest, RejectsTruncatedWeights) {
+  const TrainedPolicyModel model = small_model();
+  std::stringstream buffer;
+  save_policy_model(buffer, model);
+  std::string text = buffer.str();
+  text.resize(text.size() / 2);
+  std::stringstream truncated(text);
+  EXPECT_THROW(load_policy_model(truncated), InvalidArgumentError);
+}
+
+TEST(ModelIoTest, RejectsNonPositiveStd) {
+  std::stringstream buffer(
+      "mfgpu-policy-model 1\nfeatures 8 classes 4\n"
+      "scaler_means 0 0 0 0 0 0 0 0\n"
+      "scaler_stds 1 1 1 0 1 1 1 1\n");
+  EXPECT_THROW(load_policy_model(buffer), InvalidArgumentError);
+}
+
+TEST(ModelIoTest, MissingFileThrows) {
+  EXPECT_THROW(load_policy_model(std::string("/nonexistent/model.txt")),
+               InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace mfgpu

@@ -1,0 +1,148 @@
+#include "core/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "multifrontal/refine.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/generators.hpp"
+
+namespace mfgpu {
+namespace {
+
+std::vector<double> rhs_for_ones(const SparseSpd& a) {
+  std::vector<double> ones(static_cast<std::size_t>(a.n()), 1.0);
+  std::vector<double> b(ones.size());
+  a.multiply(ones, b);
+  return b;
+}
+
+class SolverModes : public ::testing::TestWithParam<SolverMode> {};
+
+TEST_P(SolverModes, SolvesLaplacianToMachinePrecision) {
+  const GridProblem p = make_laplacian_3d(6, 6, 5);
+  SolverOptions options;
+  options.mode = GetParam();
+  const Solver solver(p.matrix, options);
+  const auto b = rhs_for_ones(p.matrix);
+  const auto x = solver.solve(b);
+  for (double v : x) EXPECT_NEAR(v, 1.0, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, SolverModes,
+                         ::testing::Values(SolverMode::Serial,
+                                           SolverMode::BaselineHybrid,
+                                           SolverMode::ModelHybrid,
+                                           SolverMode::IdealHybrid));
+
+TEST(SolverTest, NestedDissectionOrderingUsesCoordinates) {
+  const GridProblem p = make_laplacian_3d(6, 5, 4);
+  SolverOptions options;
+  options.ordering = OrderingChoice::NestedDissection;
+  options.coordinates = p.coords;
+  const Solver solver(p.matrix, options);
+  const auto b = rhs_for_ones(p.matrix);
+  const auto x = solver.solve(b);
+  for (double v : x) EXPECT_NEAR(v, 1.0, 1e-8);
+}
+
+TEST(SolverTest, NestedDissectionWithoutCoordinatesThrows) {
+  const GridProblem p = make_laplacian_3d(3, 3, 3);
+  SolverOptions options;
+  options.ordering = OrderingChoice::NestedDissection;
+  EXPECT_THROW(Solver(p.matrix, options), InvalidArgumentError);
+}
+
+TEST(SolverTest, MultipleRhsSolve) {
+  Rng rng(3);
+  const GridProblem p = make_laplacian_3d(5, 5, 4);
+  const Solver solver(p.matrix);
+  const index_t n = p.matrix.n();
+  Matrix<double> x_true(n, 3);
+  for (index_t j = 0; j < 3; ++j) {
+    for (index_t i = 0; i < n; ++i) x_true(i, j) = rng.uniform(-1.0, 1.0);
+  }
+  Matrix<double> b(n, 3);
+  for (index_t j = 0; j < 3; ++j) {
+    std::vector<double> col(static_cast<std::size_t>(n));
+    std::vector<double> out(static_cast<std::size_t>(n));
+    for (index_t i = 0; i < n; ++i) col[static_cast<std::size_t>(i)] = x_true(i, j);
+    p.matrix.multiply(col, out);
+    for (index_t i = 0; i < n; ++i) b(i, j) = out[static_cast<std::size_t>(i)];
+  }
+  const Matrix<double> x = solver.solve(b);
+  EXPECT_LT(max_abs_diff<double>(x.view(), x_true.view()), 1e-8);
+}
+
+TEST(SolverTest, TraceAndTimeExposed) {
+  const GridProblem p = make_laplacian_3d(5, 5, 3);
+  const Solver solver(p.matrix);
+  EXPECT_GT(solver.factor_time(), 0.0);
+  EXPECT_EQ(static_cast<index_t>(solver.trace().calls.size()),
+            solver.analysis().symbolic.num_supernodes());
+  // A solve streams the factor twice: cheaper than factoring, positive,
+  // and growing with the factor size.
+  EXPECT_GT(solver.solve_time_estimate(), 0.0);
+  EXPECT_LT(solver.solve_time_estimate(), solver.factor_time());
+  const GridProblem bigger = make_laplacian_3d(8, 8, 6);
+  const Solver solver2(bigger.matrix);
+  EXPECT_GT(solver2.solve_time_estimate(), solver.solve_time_estimate());
+}
+
+TEST(SolverTest, ModelHybridExposesTrainedModel) {
+  const GridProblem p = make_laplacian_3d(6, 6, 4);
+  SolverOptions options;
+  options.mode = SolverMode::ModelHybrid;
+  const Solver solver(p.matrix, options);
+  ASSERT_NE(solver.model(), nullptr);
+  // The trained model must pick the serial policy for tiny calls.
+  EXPECT_EQ(solver.model()->choose(8, 4), Policy::P1);
+
+  SolverOptions serial;
+  serial.mode = SolverMode::Serial;
+  const Solver plain(p.matrix, serial);
+  EXPECT_EQ(plain.model(), nullptr);
+}
+
+TEST(SolverTest, HybridIsNotSlowerThanSerial) {
+  // Large enough that the one-time GPU pool setup (~2 ms simulated)
+  // amortizes; on truly tiny systems serial wins, which is honest.
+  Rng rng(5);
+  const GridProblem p = make_elasticity_3d(12, 12, 10, 3, rng);
+  SolverOptions serial;
+  serial.mode = SolverMode::Serial;
+  SolverOptions hybrid;
+  hybrid.mode = SolverMode::IdealHybrid;
+  const Solver s1(p.matrix, serial);
+  const Solver s2(p.matrix, hybrid);
+  EXPECT_LE(s2.factor_time(), s1.factor_time() * 1.0001);
+}
+
+TEST(SolverTest, IndefiniteMatrixThrowsAtConstruction) {
+  Coo coo(2);
+  coo.add(0, 0, 1.0);
+  coo.add(1, 1, 1.0);
+  coo.add(1, 0, 5.0);
+  EXPECT_THROW(Solver solver(coo.to_csc()), NotPositiveDefiniteError);
+}
+
+TEST(SolverTest, RefinementHistoryAvailable) {
+  const GridProblem p = make_laplacian_3d(4, 4, 4);
+  SolverOptions options;
+  options.mode = SolverMode::BaselineHybrid;
+  const Solver solver(p.matrix, options);
+  const auto b = rhs_for_ones(p.matrix);
+  const RefineResult r = solver.solve_with_history(b);
+  EXPECT_FALSE(r.residual_norms.empty());
+  EXPECT_LT(r.residual_norms.back(), 1e-8);
+}
+
+TEST(SolverTest, MoveSemantics) {
+  const GridProblem p = make_laplacian_3d(4, 4, 3);
+  Solver a(p.matrix);
+  const double t = a.factor_time();
+  Solver b_solver(std::move(a));
+  EXPECT_DOUBLE_EQ(b_solver.factor_time(), t);
+}
+
+}  // namespace
+}  // namespace mfgpu

@@ -1,0 +1,69 @@
+#include "dense/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mfgpu {
+namespace {
+
+TEST(MatrixTest, ColumnMajorIndexing) {
+  Matrix<double> m(3, 2);
+  m(0, 0) = 1.0;
+  m(2, 1) = 5.0;
+  EXPECT_EQ(m.data()[0], 1.0);
+  EXPECT_EQ(m.data()[5], 5.0);  // column 1, row 2 => 2 + 1*3
+}
+
+TEST(MatrixTest, BlockViewAliasesStorage) {
+  Matrix<double> m(4, 4, 0.0);
+  auto block = m.block(1, 2, 2, 2);
+  block(0, 0) = 7.0;
+  EXPECT_EQ(m(1, 2), 7.0);
+  EXPECT_EQ(block.ld(), 4);
+}
+
+TEST(MatrixTest, BlockOutOfRangeThrows) {
+  Matrix<double> m(3, 3);
+  EXPECT_THROW(m.view().block(2, 2, 2, 2), InvalidArgumentError);
+}
+
+TEST(MatrixTest, ViewConvertsToConst) {
+  Matrix<double> m(2, 2, 1.5);
+  MatrixView<const double> cv = m.view();
+  EXPECT_EQ(cv(1, 1), 1.5);
+}
+
+TEST(MatrixTest, CopyIntoConvertsPrecision) {
+  Matrix<double> d(2, 2);
+  d(0, 0) = 1.00000000001;
+  d(1, 1) = -2.0;
+  Matrix<float> f(2, 2);
+  copy_into<float>(d.view(), f.view());
+  EXPECT_FLOAT_EQ(f(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(f(1, 1), -2.0f);
+}
+
+TEST(MatrixTest, FrobeniusNorm) {
+  Matrix<double> m(2, 2, 0.0);
+  m(0, 0) = 3.0;
+  m(1, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(frobenius_norm<double>(m.view()), 5.0);
+}
+
+TEST(MatrixTest, MaxAbsDiff) {
+  Matrix<double> a(2, 2, 1.0), b(2, 2, 1.0);
+  b(1, 0) = 1.25;
+  EXPECT_DOUBLE_EQ(max_abs_diff<double>(a.view(), b.view()), 0.25);
+}
+
+TEST(MatrixTest, NegativeDimensionsThrow) {
+  EXPECT_THROW(Matrix<double>(-1, 2), InvalidArgumentError);
+  EXPECT_THROW(MatrixView<double>(nullptr, 2, 2, 1), InvalidArgumentError);
+}
+
+TEST(MatrixTest, EmptyMatrixIsEmpty) {
+  Matrix<double> m(0, 5);
+  EXPECT_TRUE(m.view().empty());
+}
+
+}  // namespace
+}  // namespace mfgpu

@@ -1,0 +1,196 @@
+// Pins the calibration of the simulated hardware to the paper's measured
+// behaviour. These tests are the contract that makes every downstream
+// experiment reproduce the paper's *shapes*: per-kernel CPU/GPU transition
+// points (Figs. 7-8) and the ordering of the four policies with op count
+// (Figs. 10-11).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "policy/baseline_hybrid.hpp"
+#include "policy/executors.hpp"
+
+namespace mfgpu {
+namespace {
+
+/// Op count where `use_gpu(time)` first beats the CPU along m = 2k, found
+/// by log-spaced scan. Returns the geometric mid of the bracketing pair.
+template <typename CpuTime, typename GpuTime>
+double crossover(CpuTime cpu_time, GpuTime gpu_time, double lo, double hi) {
+  double last_cpu = lo, first_gpu = hi;
+  const int steps = 400;
+  for (int i = 0; i <= steps; ++i) {
+    const double ops = lo * std::pow(hi / lo, static_cast<double>(i) / steps);
+    if (gpu_time(ops) < cpu_time(ops)) {
+      first_gpu = std::min(first_gpu, ops);
+    } else {
+      last_cpu = std::max(last_cpu, ops);
+    }
+  }
+  return std::sqrt(last_cpu * first_gpu);
+}
+
+/// Dimensions along the m = 2k line for a given trsm op count m*k^2 = 2k^3.
+void trsm_dims(double ops, index_t& m, index_t& k) {
+  k = std::max<index_t>(1, static_cast<index_t>(std::cbrt(ops / 2.0)));
+  m = 2 * k;
+}
+
+/// Dimensions along m = 2k for a syrk op count m^2*k = 4k^3.
+void syrk_dims(double ops, index_t& m, index_t& k) {
+  k = std::max<index_t>(1, static_cast<index_t>(std::cbrt(ops / 4.0)));
+  m = 2 * k;
+}
+
+class CalibrationTest : public ::testing::Test {
+ protected:
+  ProcessorModel cpu_ = xeon5160_model();
+  ProcessorModel gpu_ = tesla_t10_model();
+  TransferModel pcie_ = pcie_x8_model();
+};
+
+TEST_F(CalibrationTest, TrsmTransitionWithoutCopy) {
+  // Paper Fig. 7: ~4e5 ops. Accept a factor-of-3 band around it.
+  const double x = crossover(
+      [&](double ops) {
+        index_t m, k;
+        trsm_dims(ops, m, k);
+        return cpu_.trsm.time(static_cast<double>(trsm_ops(m, k)),
+                              static_cast<double>(k));
+      },
+      [&](double ops) {
+        index_t m, k;
+        trsm_dims(ops, m, k);
+        return gpu_.trsm.time(static_cast<double>(trsm_ops(m, k)),
+                              static_cast<double>(k));
+      },
+      1e3, 1e10);
+  EXPECT_GT(x, 4e5 / 3.0);
+  EXPECT_LT(x, 4e5 * 3.0);
+}
+
+TEST_F(CalibrationTest, TrsmTransitionWithCopy) {
+  // Paper Fig. 7: ~3e6 ops when the L1/L2 transfers are charged.
+  const double x = crossover(
+      [&](double ops) {
+        index_t m, k;
+        trsm_dims(ops, m, k);
+        return cpu_.trsm.time(static_cast<double>(trsm_ops(m, k)),
+                              static_cast<double>(k));
+      },
+      [&](double ops) {
+        index_t m, k;
+        trsm_dims(ops, m, k);
+        const double words =
+            static_cast<double>(k) * k + 2.0 * static_cast<double>(m) * k;
+        return gpu_.trsm.time(static_cast<double>(trsm_ops(m, k)),
+                              static_cast<double>(k)) +
+               pcie_.sync_copy_time(words * sizeof(float)) +
+               2 * pcie_.sync_latency;
+      },
+      1e3, 1e10);
+  EXPECT_GT(x, 3e6 / 3.0);
+  EXPECT_LT(x, 3e6 * 3.0);
+}
+
+TEST_F(CalibrationTest, SyrkTransitionWithoutCopy) {
+  // Paper Fig. 8: ~1.5e5 ops.
+  const double x = crossover(
+      [&](double ops) {
+        index_t m, k;
+        syrk_dims(ops, m, k);
+        return cpu_.syrk.time(static_cast<double>(syrk_ops(m, k)),
+                              static_cast<double>(k));
+      },
+      [&](double ops) {
+        index_t m, k;
+        syrk_dims(ops, m, k);
+        return gpu_.syrk.time(static_cast<double>(syrk_ops(m, k)),
+                              static_cast<double>(k));
+      },
+      1e3, 1e10);
+  EXPECT_GT(x, 1.5e5 / 3.0);
+  EXPECT_LT(x, 1.5e5 * 3.0);
+}
+
+TEST_F(CalibrationTest, SyrkWithCopyTransitionsLater) {
+  // Paper Fig. 8: with copy costs the transition moves into the 1e6-1e7
+  // band — "optimizing the copy costs is critical".
+  const double no_copy = crossover(
+      [&](double ops) {
+        index_t m, k;
+        syrk_dims(ops, m, k);
+        return cpu_.syrk.time(static_cast<double>(syrk_ops(m, k)),
+                              static_cast<double>(k));
+      },
+      [&](double ops) {
+        index_t m, k;
+        syrk_dims(ops, m, k);
+        return gpu_.syrk.time(static_cast<double>(syrk_ops(m, k)),
+                              static_cast<double>(k));
+      },
+      1e3, 1e10);
+  const double with_copy = crossover(
+      [&](double ops) {
+        index_t m, k;
+        syrk_dims(ops, m, k);
+        return cpu_.syrk.time(static_cast<double>(syrk_ops(m, k)),
+                              static_cast<double>(k));
+      },
+      [&](double ops) {
+        index_t m, k;
+        syrk_dims(ops, m, k);
+        const double words = static_cast<double>(m) * k +
+                             static_cast<double>(m) * m;
+        return gpu_.syrk.time(static_cast<double>(syrk_ops(m, k)),
+                              static_cast<double>(k)) +
+               pcie_.sync_copy_time(words * sizeof(float));
+      },
+      1e3, 1e10);
+  EXPECT_GT(with_copy, 3.0 * no_copy);
+  EXPECT_GT(with_copy, 1e6);
+  EXPECT_LT(with_copy, 3e7);
+}
+
+TEST_F(CalibrationTest, PolicyOrderingMatchesFig10) {
+  // The baseline thresholds derived from our own policy timings must be
+  // ordered and lie within an order of magnitude of the paper's 2e6 /
+  // 1.5e7 / 9e10.
+  PolicyTimer timer;
+  const BaselineThresholds t = derive_thresholds(timer);
+  EXPECT_LT(t.p1_to_p2, t.p2_to_p3);
+  EXPECT_LT(t.p2_to_p3, t.p3_to_p4);
+  EXPECT_GT(t.p1_to_p2, 2e6 / 10.0);
+  EXPECT_LT(t.p1_to_p2, 2e6 * 10.0);
+  EXPECT_GT(t.p2_to_p3, 1.5e7 / 10.0);
+  EXPECT_LT(t.p2_to_p3, 1.5e7 * 10.0);
+  EXPECT_GT(t.p3_to_p4, 9e10 / 30.0);
+  EXPECT_LT(t.p3_to_p4, 9e10 * 30.0);
+}
+
+TEST_F(CalibrationTest, EachPolicyWinsSomewhere) {
+  PolicyTimer timer;
+  // Small call: P1 wins.
+  EXPECT_EQ(timer.best_policy(40, 20), Policy::P1);
+  // Huge call: a GPU policy wins by a wide margin.
+  const double p1 = timer.time(Policy::P1, 8000, 4000);
+  const double p3 = timer.time(Policy::P3, 8000, 4000);
+  EXPECT_LT(p3, p1 / 4.0);
+}
+
+TEST_F(CalibrationTest, LargeCallSpeedupInPaperRange) {
+  // Paper Fig. 14: hybrid speedups reach 12-13x on the largest fronts.
+  PolicyTimer timer;
+  const index_t m = 10000, k = 5000;
+  const double p1 = timer.time(Policy::P1, m, k);
+  double best = p1;
+  for (Policy p : {Policy::P2, Policy::P3, Policy::P4}) {
+    best = std::min(best, timer.time(p, m, k));
+  }
+  const double speedup = p1 / best;
+  EXPECT_GT(speedup, 8.0);
+  EXPECT_LT(speedup, 20.0);
+}
+
+}  // namespace
+}  // namespace mfgpu

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "gpusim/clock.hpp"
+#include "gpusim/stream.hpp"
+
+namespace mfgpu {
+namespace {
+
+TEST(SimClockTest, AdvanceAccumulates) {
+  SimClock c;
+  EXPECT_DOUBLE_EQ(c.now(), 0.0);
+  c.advance(1.5);
+  c.advance(0.5);
+  EXPECT_DOUBLE_EQ(c.now(), 2.0);
+}
+
+TEST(SimClockTest, AdvanceToNeverGoesBackwards) {
+  SimClock c;
+  c.advance(5.0);
+  c.advance_to(3.0);
+  EXPECT_DOUBLE_EQ(c.now(), 5.0);
+  c.advance_to(7.0);
+  EXPECT_DOUBLE_EQ(c.now(), 7.0);
+}
+
+TEST(SimClockTest, NegativeAdvanceThrows) {
+  SimClock c;
+  EXPECT_THROW(c.advance(-1.0), InvalidArgumentError);
+}
+
+TEST(StreamTest, InOrderExecution) {
+  Stream s;
+  EXPECT_DOUBLE_EQ(s.enqueue(0.0, 2.0), 2.0);
+  // Second op enqueued at t=1 still waits for the first.
+  EXPECT_DOUBLE_EQ(s.enqueue(1.0, 3.0), 5.0);
+}
+
+TEST(StreamTest, IdleStreamStartsAtEarliest) {
+  Stream s;
+  EXPECT_DOUBLE_EQ(s.enqueue(10.0, 1.0), 11.0);
+}
+
+TEST(StreamTest, WaitUntilDelaysFutureWork) {
+  Stream s;
+  s.wait_until(4.0);
+  EXPECT_DOUBLE_EQ(s.enqueue(0.0, 1.0), 5.0);
+}
+
+TEST(StreamTest, TwoStreamsOverlap) {
+  Stream a, b;
+  const double done_a = a.enqueue(0.0, 10.0);
+  const double done_b = b.enqueue(0.0, 10.0);
+  // Independent streams run concurrently in virtual time.
+  EXPECT_DOUBLE_EQ(done_a, 10.0);
+  EXPECT_DOUBLE_EQ(done_b, 10.0);
+}
+
+TEST(StreamTest, EventCapturesTimeline) {
+  Stream s;
+  s.enqueue(0.0, 2.5);
+  const Event e{s.ready_at()};
+  EXPECT_DOUBLE_EQ(e.time, 2.5);
+}
+
+}  // namespace
+}  // namespace mfgpu

@@ -1,0 +1,74 @@
+#include "gpusim/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mfgpu {
+namespace {
+
+TEST(KernelRateModelTest, RateRampsWithOps) {
+  const KernelRateModel m{100e9, 1e6, 10e-6, 0.0};
+  // Utilization grows monotonically with op count (paper Section IV-B).
+  const double r1 = m.rate(1e4, 1e3);
+  const double r2 = m.rate(1e6, 1e3);
+  const double r3 = m.rate(1e9, 1e3);
+  EXPECT_LT(r1, r2);
+  EXPECT_LT(r2, r3);
+  // Asymptotically approaches peak.
+  EXPECT_GT(m.rate(1e12, 1e6), 0.99 * 100e9);
+}
+
+TEST(KernelRateModelTest, NarrowShapesAreSlower) {
+  const KernelRateModel m{100e9, 0.0, 0.0, 100.0};
+  EXPECT_LT(m.rate(1e9, 50.0), m.rate(1e9, 5000.0));
+  EXPECT_NEAR(m.rate(1e9, 100.0), 50e9, 1e6);  // d == dim_half -> half peak
+}
+
+TEST(KernelRateModelTest, ZeroOpsCostNothing) {
+  const KernelRateModel m{100e9, 1e6, 10e-6, 10.0};
+  EXPECT_DOUBLE_EQ(m.time(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.rate(0.0, 10.0), 0.0);
+}
+
+TEST(KernelRateModelTest, NegativeInputsThrow) {
+  const KernelRateModel m;
+  EXPECT_THROW(m.time(-1.0, 0.0), InvalidArgumentError);
+}
+
+TEST(ProcessorModelsTest, StabilizedRatesMatchTableIII) {
+  // Paper Table III: CPU potrf 8.84, trsm 9.24, syrk 10.02 GF/s (double);
+  // GPU trsm 153.7, syrk 159.69 GF/s (single). Our calibrated models must
+  // reproduce those asymptotic rates within 10% at large, square-ish calls.
+  const ProcessorModel cpu = xeon5160_model();
+  const ProcessorModel gpu = tesla_t10_model();
+  const double big_ops = 1e12, big_dim = 4000;
+  EXPECT_NEAR(cpu.potrf.rate(big_ops, big_dim), 8.84e9, 0.1 * 8.84e9);
+  EXPECT_NEAR(cpu.trsm.rate(big_ops, big_dim), 9.24e9, 0.1 * 9.24e9);
+  EXPECT_NEAR(cpu.syrk.rate(big_ops, big_dim), 10.02e9, 0.1 * 10.02e9);
+  EXPECT_NEAR(gpu.trsm.rate(big_ops, big_dim), 153.7e9, 0.1 * 153.7e9);
+  EXPECT_NEAR(gpu.syrk.rate(big_ops, big_dim), 159.69e9, 0.1 * 159.69e9);
+}
+
+TEST(ProcessorModelsTest, PeaksMatchTableI) {
+  EXPECT_DOUBLE_EQ(xeon5160_model().peak_flops, 12e9);    // DP, single core
+  EXPECT_DOUBLE_EQ(tesla_t10_model().peak_flops, 624e9);  // SP
+}
+
+TEST(TransferModelTest, ObservedPcieBandwidth) {
+  const TransferModel t = pcie_x8_model();
+  // Paper Section IV-B: beta approximately 1.4 GB/s on the PCIe x8 link.
+  EXPECT_DOUBLE_EQ(t.sync_bandwidth, 1.4e9);
+  EXPECT_GT(t.async_bandwidth, t.sync_bandwidth);  // pinned is faster
+  // 1 MB sync copy takes about latency + 1MB/1.4GB/s.
+  EXPECT_NEAR(t.sync_copy_time(1e6), t.sync_latency + 1e6 / 1.4e9, 1e-9);
+}
+
+TEST(TransferModelTest, PinnedAllocationIsExpensive) {
+  const TransferModel t = pcie_x8_model();
+  // The paper calls per-call pinned allocation "prohibitively expensive":
+  // allocating 1 MB of pinned memory must cost much more than enqueueing a
+  // copy.
+  EXPECT_GT(t.pinned_alloc_time(1 << 20), 20 * t.enqueue_overhead);
+}
+
+}  // namespace
+}  // namespace mfgpu

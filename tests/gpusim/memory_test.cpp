@@ -1,0 +1,62 @@
+#include "gpusim/memory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mfgpu {
+namespace {
+
+TEST(MemoryPoolTest, FirstAcquireCharges) {
+  MemoryPool pool("test", 1e-4, 1e-9, 1 << 20);
+  const double cost = pool.acquire("slot", 1000);
+  EXPECT_NEAR(cost, 1e-4 + 1000 * 1e-9, 1e-12);
+  EXPECT_EQ(pool.stats().charged_allocations, 1);
+}
+
+TEST(MemoryPoolTest, HighWaterMarkReuseIsFree) {
+  // The paper's §V-A2 policy: reallocate only when the previous maximum is
+  // insufficient.
+  MemoryPool pool("test", 1e-4, 0.0, 1 << 20);
+  pool.acquire("slot", 1000);
+  EXPECT_DOUBLE_EQ(pool.acquire("slot", 800), 0.0);
+  EXPECT_DOUBLE_EQ(pool.acquire("slot", 1000), 0.0);
+  EXPECT_GT(pool.acquire("slot", 1001), 0.0);
+  EXPECT_EQ(pool.stats().acquire_calls, 4);
+  EXPECT_EQ(pool.stats().charged_allocations, 2);
+}
+
+TEST(MemoryPoolTest, ReuseDisabledChargesEveryCall) {
+  MemoryPool pool("test", 1e-4, 0.0, 1 << 20, /*reuse=*/false);
+  pool.acquire("slot", 100);
+  EXPECT_GT(pool.acquire("slot", 50), 0.0);
+  EXPECT_EQ(pool.stats().charged_allocations, 2);
+}
+
+TEST(MemoryPoolTest, SlotsAreIndependent) {
+  MemoryPool pool("test", 1e-4, 0.0, 1 << 20);
+  pool.acquire("a", 1000);
+  EXPECT_GT(pool.acquire("b", 10), 0.0);  // different slot pays again
+}
+
+TEST(MemoryPoolTest, CapacityOverflowThrows) {
+  MemoryPool pool("test", 0.0, 0.0, 1000);
+  pool.acquire("a", 600);
+  EXPECT_THROW(pool.acquire("b", 600), DeviceOutOfMemoryError);
+}
+
+TEST(MemoryPoolTest, ResetClearsHighWater) {
+  MemoryPool pool("test", 1e-4, 0.0, 1 << 20);
+  pool.acquire("slot", 1000);
+  pool.reset();
+  EXPECT_GT(pool.acquire("slot", 100), 0.0);
+  EXPECT_EQ(pool.stats().charged_allocations, 1);
+}
+
+TEST(MemoryPoolTest, PeakTracksTotalOverSlots) {
+  MemoryPool pool("test", 0.0, 0.0, 1 << 20);
+  pool.acquire("a", 300);
+  pool.acquire("b", 500);
+  EXPECT_EQ(pool.stats().peak_bytes, 800);
+}
+
+}  // namespace
+}  // namespace mfgpu

@@ -1,0 +1,101 @@
+// Failure injection: resource exhaustion and numerical breakdown must
+// surface as typed exceptions with actionable context, never as silent
+// corruption.
+#include <gtest/gtest.h>
+
+#include "multifrontal/factorization.hpp"
+#include "multifrontal/stack_arena.hpp"
+#include "ordering/minimum_degree.hpp"
+#include "policy/executors.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/dense_convert.hpp"
+#include "sparse/generators.hpp"
+
+namespace mfgpu {
+namespace {
+
+TEST(FailureInjectionTest, DeviceOutOfMemoryPropagates) {
+  Rng rng(3);
+  const GridProblem p = make_elasticity_3d(4, 4, 4, 3, rng);
+  const Analysis an = analyze(p.matrix, minimum_degree(build_graph(p.matrix)));
+
+  PolicyExecutor p4(Policy::P4);
+  FactorContext ctx;
+  Device::Options tiny;
+  tiny.memory_bytes = 1024;  // nothing fits
+  Device device(tiny);
+  ctx.device = &device;
+  EXPECT_THROW(factorize(an, p4, ctx), DeviceOutOfMemoryError);
+}
+
+TEST(FailureInjectionTest, OomMessageNamesThePool) {
+  Device::Options tiny;
+  tiny.memory_bytes = 100;
+  tiny.numeric = false;
+  Device device(tiny);
+  SimClock clock;
+  try {
+    device.allocate(100, 100, "front", clock);
+    FAIL() << "expected DeviceOutOfMemoryError";
+  } catch (const DeviceOutOfMemoryError& e) {
+    EXPECT_NE(std::string(e.what()).find("device"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("capacity"), std::string::npos);
+  }
+}
+
+TEST(FailureInjectionTest, PivotBreakdownReportsPermutedColumn) {
+  // A matrix that is SPD except for one late, slightly negative pivot.
+  const index_t n = 6;
+  Matrix<double> a(n, n, 0.0);
+  for (index_t i = 0; i < n; ++i) a(i, i) = 1.0;
+  a(5, 4) = a(4, 5) = 2.0;  // makes the trailing 2x2 block indefinite
+  const SparseSpd sparse = sparse_from_dense(a);
+  const Analysis an = analyze(sparse, Permutation::identity(n));
+  PolicyExecutor p1(Policy::P1);
+  FactorContext ctx;
+  try {
+    factorize(an, p1, ctx);
+    FAIL() << "expected NotPositiveDefiniteError";
+  } catch (const NotPositiveDefiniteError& e) {
+    EXPECT_GE(e.column(), 4);
+    EXPECT_LT(e.column(), n);
+    EXPECT_LE(e.pivot(), 0.0);
+  }
+}
+
+TEST(FailureInjectionTest, ThrowingChooserPropagates) {
+  const GridProblem p = make_laplacian_3d(3, 3, 3);
+  const Analysis an = analyze(p.matrix, Permutation::identity(p.matrix.n()));
+  DispatchExecutor broken("broken", [](index_t, index_t) -> Policy {
+    throw InvalidArgumentError("chooser exploded");
+  });
+  FactorContext ctx;
+  Device device;
+  ctx.device = &device;
+  EXPECT_THROW(factorize(an, broken, ctx), InvalidArgumentError);
+}
+
+TEST(FailureInjectionTest, StackArenaViolationIsCaught) {
+  // A deliberately undersized arena must fail loudly, not scribble.
+  StackArena arena(4);
+  arena.push(3);
+  EXPECT_THROW(arena.push(2), InvalidArgumentError);
+}
+
+TEST(FailureInjectionTest, MarginallySpdMatrixStillFactorsInDouble) {
+  // Diagonally dominant with dominance margin 1e-8: fine in double (P1).
+  const index_t n = 30;
+  Coo coo(n);
+  for (index_t i = 0; i < n; ++i) {
+    coo.add(i, i, 2.0 + 1e-8);
+  }
+  for (index_t i = 1; i < n; ++i) coo.add(i, i - 1, -1.0);
+  const SparseSpd a = coo.to_csc();
+  const Analysis an = analyze(a, Permutation::identity(n));
+  PolicyExecutor p1(Policy::P1);
+  FactorContext ctx;
+  EXPECT_NO_THROW(factorize(an, p1, ctx));
+}
+
+}  // namespace
+}  // namespace mfgpu

@@ -1,0 +1,119 @@
+#include "multifrontal/frontal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "multifrontal/stack_arena.hpp"
+#include "sparse/coo.hpp"
+
+namespace mfgpu {
+namespace {
+
+SupernodeInfo make_snode(index_t first, index_t last,
+                         std::vector<index_t> rows) {
+  SupernodeInfo sn;
+  sn.first_col = first;
+  sn.last_col = last;
+  sn.update_rows = std::move(rows);
+  return sn;
+}
+
+TEST(FrontalTest, DimensionsAndRows) {
+  const SupernodeInfo sn = make_snode(2, 4, {5, 7});
+  FrontalMatrix front(sn, /*numeric=*/true);
+  EXPECT_EQ(front.k(), 2);
+  EXPECT_EQ(front.m(), 2);
+  EXPECT_EQ(front.order(), 4);
+  ASSERT_EQ(front.rows().size(), 4u);
+  EXPECT_EQ(front.rows()[0], 2);
+  EXPECT_EQ(front.rows()[3], 7);
+}
+
+TEST(FrontalTest, AssembleFromMatrixScatters) {
+  // 3x3 matrix, supernode covering column 0 with update rows {1, 2}.
+  Coo coo(3);
+  coo.add(0, 0, 4.0);
+  coo.add(1, 0, -1.0);
+  coo.add(2, 0, -2.0);
+  coo.add(1, 1, 4.0);
+  coo.add(2, 2, 4.0);
+  const SparseSpd a = coo.to_csc();
+  const SupernodeInfo sn = make_snode(0, 1, {1, 2});
+  FrontalMatrix front(sn, true);
+  const index_t moved = front.assemble_from_matrix(a, sn);
+  EXPECT_EQ(moved, 3);
+  EXPECT_DOUBLE_EQ(front.l1()(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(front.l2()(0, 0), -1.0);
+  EXPECT_DOUBLE_EQ(front.l2()(1, 0), -2.0);
+  EXPECT_DOUBLE_EQ(front.update()(0, 0), 0.0);
+}
+
+TEST(FrontalTest, ExtendAddMapsRelativeIndices) {
+  // Parent front: columns {4,5}, update rows {7, 9}.
+  const SupernodeInfo parent = make_snode(4, 6, {7, 9});
+  FrontalMatrix front(parent, true);
+  // Child update over global rows {5, 7, 9} (packed lower 3x3).
+  const std::vector<index_t> child_rows = {5, 7, 9};
+  std::vector<double> packed(6);
+  // Entries: (5,5)=1, (7,5)=2, (9,5)=3, (7,7)=4, (9,7)=5, (9,9)=6.
+  for (std::size_t i = 0; i < 6; ++i) packed[i] = static_cast<double>(i + 1);
+  front.extend_add(child_rows, packed);
+  // Local indices: 5 -> 1 (second column of snode), 7 -> 2, 9 -> 3.
+  auto full = front.full();
+  EXPECT_DOUBLE_EQ(full(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(full(2, 1), 2.0);
+  EXPECT_DOUBLE_EQ(full(3, 1), 3.0);
+  EXPECT_DOUBLE_EQ(full(2, 2), 4.0);
+  EXPECT_DOUBLE_EQ(full(3, 2), 5.0);
+  EXPECT_DOUBLE_EQ(full(3, 3), 6.0);
+}
+
+TEST(FrontalTest, ExtendAddAccumulates) {
+  const SupernodeInfo parent = make_snode(0, 1, {1});
+  FrontalMatrix front(parent, true);
+  const std::vector<index_t> child_rows = {1};
+  const std::vector<double> packed = {2.5};
+  front.extend_add(child_rows, packed);
+  front.extend_add(child_rows, packed);
+  EXPECT_DOUBLE_EQ(front.update()(0, 0), 5.0);
+}
+
+TEST(FrontalTest, PackUpdateRoundTrips) {
+  const SupernodeInfo sn = make_snode(0, 1, {1, 2});
+  FrontalMatrix front(sn, true);
+  front.update()(0, 0) = 1.0;
+  front.update()(1, 0) = 2.0;
+  front.update()(1, 1) = 3.0;
+  std::vector<double> packed(3);
+  front.pack_update(packed);
+  EXPECT_DOUBLE_EQ(packed[0], 1.0);
+  EXPECT_DOUBLE_EQ(packed[1], 2.0);
+  EXPECT_DOUBLE_EQ(packed[2], 3.0);
+}
+
+TEST(FrontalTest, ForeignRowThrows) {
+  const SupernodeInfo sn = make_snode(0, 1, {2});
+  FrontalMatrix front(sn, true);
+  const std::vector<index_t> bad_rows = {3};
+  const std::vector<double> packed = {1.0};
+  EXPECT_THROW(front.extend_add(bad_rows, packed), InvalidArgumentError);
+}
+
+TEST(FrontalTest, PackedSizeMismatchThrows) {
+  const SupernodeInfo sn = make_snode(0, 1, {1, 2});
+  FrontalMatrix front(sn, true);
+  const std::vector<index_t> rows = {1, 2};
+  const std::vector<double> wrong(2);
+  EXPECT_THROW(front.extend_add(rows, wrong), InvalidArgumentError);
+}
+
+TEST(FrontalTest, DryModeCountsWithoutStorage) {
+  const SupernodeInfo sn = make_snode(0, 2, {3, 4, 5});
+  FrontalMatrix front(sn, /*numeric=*/false);
+  const std::vector<index_t> rows = {3, 4};
+  const std::vector<double> packed(3);
+  EXPECT_EQ(front.extend_add(rows, packed), 3);
+  EXPECT_THROW(front.full(), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace mfgpu

@@ -1,0 +1,71 @@
+#include "multifrontal/stack_arena.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mfgpu {
+namespace {
+
+TEST(StackArenaTest, PushPopLifo) {
+  StackArena arena(100);
+  auto a = arena.push(10);
+  auto b = arena.push(20);
+  EXPECT_EQ(arena.num_blocks(), 2);
+  EXPECT_EQ(arena.used_entries(), 30);
+  EXPECT_EQ(arena.from_top(0).size(), 20u);
+  EXPECT_EQ(arena.from_top(1).size(), 10u);
+  arena.pop();
+  EXPECT_EQ(arena.used_entries(), 10);
+  EXPECT_EQ(arena.from_top(0).size(), 10u);
+  (void)a;
+  (void)b;
+}
+
+TEST(StackArenaTest, BlocksZeroInitialized) {
+  StackArena arena(50);
+  auto block = arena.push(5);
+  for (double v : block) EXPECT_DOUBLE_EQ(v, 0.0);
+  block[0] = 3.0;
+  arena.pop();
+  auto again = arena.push(5);
+  EXPECT_DOUBLE_EQ(again[0], 0.0);  // re-zeroed on push
+}
+
+TEST(StackArenaTest, PeakTracksHighWater) {
+  StackArena arena(100);
+  arena.push(40);
+  arena.push(30);
+  arena.pop();
+  arena.push(10);
+  EXPECT_EQ(arena.peak_entries(), 70);
+}
+
+TEST(StackArenaTest, OverflowThrows) {
+  StackArena arena(10);
+  arena.push(8);
+  EXPECT_THROW(arena.push(3), InvalidArgumentError);
+}
+
+TEST(StackArenaTest, PopEmptyThrows) {
+  StackArena arena(10);
+  EXPECT_THROW(arena.pop(), InvalidArgumentError);
+}
+
+TEST(StackArenaTest, ZeroSizeBlockAllowed) {
+  StackArena arena(10);
+  auto b = arena.push(0);
+  EXPECT_TRUE(b.empty());
+  arena.pop();
+}
+
+TEST(PackedLowerTest, IndexFormula) {
+  // 3x3 packed lower: col 0 rows {0,1,2}, col 1 rows {1,2}, col 2 rows {2}.
+  EXPECT_EQ(packed_lower_size(3), 6);
+  EXPECT_EQ(packed_index(3, 0, 0), 0);
+  EXPECT_EQ(packed_index(3, 2, 0), 2);
+  EXPECT_EQ(packed_index(3, 1, 1), 3);
+  EXPECT_EQ(packed_index(3, 2, 1), 4);
+  EXPECT_EQ(packed_index(3, 2, 2), 5);
+}
+
+}  // namespace
+}  // namespace mfgpu

@@ -1,0 +1,69 @@
+#include "multifrontal/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mfgpu {
+namespace {
+
+TEST(TraceTest, OpsFollowPaperConventions) {
+  FuCallRecord r;
+  r.m = 6;
+  r.k = 3;
+  EXPECT_DOUBLE_EQ(r.ops_potrf(), 9.0);     // k^3/3
+  EXPECT_DOUBLE_EQ(r.ops_trsm(), 54.0);     // m k^2
+  EXPECT_DOUBLE_EQ(r.ops_syrk(), 108.0);    // m^2 k
+  EXPECT_DOUBLE_EQ(r.ops_total(), 171.0);
+}
+
+TEST(TraceTest, ComponentTotalsSum) {
+  FactorizationTrace trace;
+  for (int i = 0; i < 3; ++i) {
+    FuCallRecord r;
+    r.m = 4;
+    r.k = 2;
+    r.t_potrf = 0.1;
+    r.t_trsm = 0.2;
+    r.t_syrk = 0.3;
+    r.t_copy = 0.05;
+    trace.calls.push_back(r);
+  }
+  EXPECT_NEAR(trace.total_potrf(), 0.3, 1e-12);
+  EXPECT_NEAR(trace.total_trsm(), 0.6, 1e-12);
+  EXPECT_NEAR(trace.total_syrk(), 0.9, 1e-12);
+  EXPECT_NEAR(trace.total_copy(), 0.15, 1e-12);
+}
+
+TEST(TraceTest, CsvHasHeaderAndOneRowPerCall) {
+  FactorizationTrace trace;
+  FuCallRecord r;
+  r.snode = 7;
+  r.m = 10;
+  r.k = 5;
+  r.policy = 3;
+  r.t_total = 1.5;
+  trace.calls.push_back(r);
+  std::ostringstream os;
+  trace.write_csv(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("snode,m,k,policy"), std::string::npos);
+  EXPECT_NE(text.find("7,10,5,3"), std::string::npos);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+}
+
+TEST(TraceTest, ClearResets) {
+  FactorizationTrace trace;
+  trace.calls.emplace_back();
+  trace.total_time = 1.0;
+  trace.fu_time = 0.5;
+  trace.assembly_time = 0.25;
+  trace.clear();
+  EXPECT_TRUE(trace.calls.empty());
+  EXPECT_DOUBLE_EQ(trace.total_time, 0.0);
+  EXPECT_DOUBLE_EQ(trace.fu_time, 0.0);
+  EXPECT_DOUBLE_EQ(trace.assembly_time, 0.0);
+}
+
+}  // namespace
+}  // namespace mfgpu

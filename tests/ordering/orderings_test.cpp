@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "ordering/minimum_degree.hpp"
+#include "ordering/nested_dissection.hpp"
+#include "ordering/rcm.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/stats.hpp"
+#include "symbolic/colcounts.hpp"
+#include "symbolic/etree.hpp"
+#include "symbolic/postorder.hpp"
+
+namespace mfgpu {
+namespace {
+
+/// nnz(L) for a permuted matrix (via etree + column counts after
+/// postordering).
+index_t fill_of(const SparseSpd& a, const Permutation& perm) {
+  SparseSpd b = a.permuted(perm.new_of_old());
+  auto parent = elimination_tree(b);
+  const auto post = postorder_forest(parent);
+  // Compose postorder so the counts routine's precondition holds.
+  std::vector<index_t> composed(static_cast<std::size_t>(a.n()));
+  const Permutation post_perm =
+      Permutation::from_elimination_order(std::vector<index_t>(post));
+  for (index_t i = 0; i < a.n(); ++i) {
+    composed[static_cast<std::size_t>(i)] =
+        post_perm.new_of_old()[static_cast<std::size_t>(
+            perm.new_of_old()[static_cast<std::size_t>(i)])];
+  }
+  b = a.permuted(composed);
+  parent = elimination_tree(b);
+  const auto counts = factor_column_counts(b, parent);
+  index_t total = 0;
+  for (index_t c : counts) total += c;
+  return total;
+}
+
+TEST(RcmTest, ReducesBandwidthOnShuffledGrid) {
+  const GridProblem p = make_laplacian_3d(6, 6, 4);
+  Rng rng(42);
+  const Permutation shuffle(rng.permutation(p.matrix.n()));
+  const SparseSpd shuffled = p.matrix.permuted(shuffle.new_of_old());
+
+  const SymmetricGraph g = build_graph(shuffled);
+  const Permutation rcm = reverse_cuthill_mckee(g);
+  const SparseSpd reordered = shuffled.permuted(rcm.new_of_old());
+  EXPECT_LT(compute_stats(reordered).bandwidth,
+            compute_stats(shuffled).bandwidth);
+}
+
+TEST(RcmTest, HandlesDisconnectedComponents) {
+  // Two disjoint paths.
+  Coo coo(6);
+  for (index_t i = 0; i < 6; ++i) coo.add(i, i, 2.0);
+  coo.add(1, 0, -1.0);
+  coo.add(2, 1, -1.0);
+  coo.add(4, 3, -1.0);
+  coo.add(5, 4, -1.0);
+  const SparseSpd a = coo.to_csc();
+  const Permutation p = reverse_cuthill_mckee(build_graph(a));
+  EXPECT_EQ(p.n(), 6);  // bijection checked internally
+}
+
+TEST(MinimumDegreeTest, BeatsNaturalOrderOnGrid) {
+  const GridProblem p = make_laplacian_3d(5, 5, 5);
+  const SymmetricGraph g = build_graph(p.matrix);
+  const Permutation md = minimum_degree(g);
+  const index_t fill_md = fill_of(p.matrix, md);
+  const index_t fill_nat = fill_of(p.matrix, Permutation::identity(p.matrix.n()));
+  EXPECT_LT(fill_md, fill_nat);
+}
+
+TEST(MinimumDegreeTest, CompletePermutationOnElasticity) {
+  Rng rng(5);
+  const GridProblem p = make_elasticity_3d(3, 3, 2, 3, rng);
+  const Permutation md = minimum_degree(build_graph(p.matrix));
+  EXPECT_EQ(md.n(), p.matrix.n());
+}
+
+TEST(MinimumDegreeTest, SupervariablesKeepDofBlocksTogether) {
+  // The 3 dof of an elasticity node are indistinguishable; supervariable
+  // merging must emit them consecutively.
+  Rng rng(6);
+  const GridProblem p = make_elasticity_3d(3, 3, 3, 3, rng);
+  const Permutation md = minimum_degree(build_graph(p.matrix));
+  index_t adjacent_blocks = 0;
+  const index_t nodes = p.matrix.n() / 3;
+  for (index_t node = 0; node < nodes; ++node) {
+    const auto pos0 = md.new_of_old()[static_cast<std::size_t>(3 * node)];
+    const auto pos1 = md.new_of_old()[static_cast<std::size_t>(3 * node + 1)];
+    const auto pos2 = md.new_of_old()[static_cast<std::size_t>(3 * node + 2)];
+    const index_t lo = std::min({pos0, pos1, pos2});
+    const index_t hi = std::max({pos0, pos1, pos2});
+    if (hi - lo == 2) ++adjacent_blocks;
+  }
+  // The vast majority of dof triples must be contiguous in the ordering.
+  EXPECT_GT(adjacent_blocks * 10, nodes * 8);
+}
+
+TEST(MinimumDegreeTest, SupervariablesDoNotHurtFill) {
+  Rng rng(7);
+  const GridProblem p = make_elasticity_3d(4, 4, 3, 3, rng);
+  const SymmetricGraph g = build_graph(p.matrix);
+  MinimumDegreeOptions no_supervars;
+  no_supervars.supervariables = false;
+  const index_t fill_with = fill_of(p.matrix, minimum_degree(g));
+  const index_t fill_without =
+      fill_of(p.matrix, minimum_degree(g, no_supervars));
+  // Supervariable merging is a tie-grouping heuristic: fill should stay in
+  // the same ballpark (within 25%) while the ordering gets cheaper and the
+  // supernodes larger.
+  EXPECT_LT(static_cast<double>(fill_with),
+            1.25 * static_cast<double>(fill_without));
+}
+
+TEST(MinimumDegreeTest, IsolatedVerticesOrderedFirst) {
+  Coo coo(4);
+  for (index_t i = 0; i < 4; ++i) coo.add(i, i, 1.0);
+  coo.add(3, 2, -1.0);  // only one edge
+  const Permutation md = minimum_degree(build_graph(coo.to_csc()));
+  // Degree-0 vertices (0, 1) must be eliminated before the degree-1 pair.
+  EXPECT_LT(md.new_of_old()[0], 2);
+  EXPECT_LT(md.new_of_old()[1], 2);
+}
+
+TEST(NestedDissectionTest, SeparatorOrderedLast) {
+  const GridProblem p = make_laplacian_3d(9, 3, 3);
+  const Permutation nd = nested_dissection(p.coords);
+  // The longest axis is x; the middle plane x == 4 must occupy the final
+  // positions of the ordering.
+  const index_t n = p.matrix.n();
+  index_t plane_size = 0;
+  for (const auto& c : p.coords) plane_size += (c[0] == 4) ? 1 : 0;
+  for (index_t i = 0; i < n; ++i) {
+    if (p.coords[static_cast<std::size_t>(i)][0] == 4) {
+      EXPECT_GE(nd.new_of_old()[static_cast<std::size_t>(i)], n - plane_size);
+    }
+  }
+}
+
+TEST(NestedDissectionTest, BeatsNaturalOrderFillOn3d) {
+  const GridProblem p = make_laplacian_3d(7, 7, 7);
+  const Permutation nd = nested_dissection(p.coords);
+  EXPECT_LT(fill_of(p.matrix, nd),
+            fill_of(p.matrix, Permutation::identity(p.matrix.n())));
+}
+
+TEST(NestedDissectionTest, KeepsDofGroupsAdjacent) {
+  Rng rng(9);
+  const GridProblem p = make_elasticity_3d(4, 4, 4, 3, rng);
+  const Permutation nd = nested_dissection(p.coords);
+  // All 3 dof of a node must land on consecutive positions.
+  for (index_t node = 0; node < p.matrix.n() / 3; ++node) {
+    const index_t base = nd.new_of_old()[static_cast<std::size_t>(3 * node)];
+    EXPECT_EQ(nd.new_of_old()[static_cast<std::size_t>(3 * node + 1)], base + 1);
+    EXPECT_EQ(nd.new_of_old()[static_cast<std::size_t>(3 * node + 2)], base + 2);
+  }
+}
+
+}  // namespace
+}  // namespace mfgpu

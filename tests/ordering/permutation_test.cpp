@@ -1,0 +1,57 @@
+#include "ordering/permutation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mfgpu {
+namespace {
+
+TEST(PermutationTest, IdentityMapsToSelf) {
+  const Permutation p = Permutation::identity(4);
+  for (index_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(p.new_of_old()[static_cast<std::size_t>(i)], i);
+    EXPECT_EQ(p.old_of_new()[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(PermutationTest, InverseIsConsistent) {
+  const Permutation p({2, 0, 1});
+  EXPECT_EQ(p.old_of_new()[0], 1);
+  EXPECT_EQ(p.old_of_new()[1], 2);
+  EXPECT_EQ(p.old_of_new()[2], 0);
+}
+
+TEST(PermutationTest, FromEliminationOrder) {
+  // Eliminate old vertex 2 first, then 0, then 1.
+  const Permutation p = Permutation::from_elimination_order({2, 0, 1});
+  EXPECT_EQ(p.new_of_old()[2], 0);
+  EXPECT_EQ(p.new_of_old()[0], 1);
+  EXPECT_EQ(p.new_of_old()[1], 2);
+}
+
+TEST(PermutationTest, ApplyAndInverseRoundTrip) {
+  const Permutation p({1, 2, 0});
+  const std::vector<double> x = {10.0, 20.0, 30.0};
+  std::vector<double> y(3), z(3);
+  p.apply(x, y);
+  EXPECT_DOUBLE_EQ(y[1], 10.0);
+  EXPECT_DOUBLE_EQ(y[2], 20.0);
+  EXPECT_DOUBLE_EQ(y[0], 30.0);
+  p.apply_inverse(y, z);
+  for (int i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(z[static_cast<std::size_t>(i)], x[static_cast<std::size_t>(i)]);
+}
+
+TEST(PermutationTest, RejectsNonBijection) {
+  EXPECT_THROW(Permutation({0, 0, 1}), InvalidArgumentError);
+  EXPECT_THROW(Permutation({0, 3, 1}), InvalidArgumentError);
+  EXPECT_THROW(Permutation::from_elimination_order({1, 1, 2}),
+               InvalidArgumentError);
+}
+
+TEST(PermutationTest, SizeMismatchOnApplyThrows) {
+  const Permutation p = Permutation::identity(3);
+  std::vector<double> x(2), y(3);
+  EXPECT_THROW(p.apply(x, y), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace mfgpu

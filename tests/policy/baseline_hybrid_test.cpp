@@ -1,0 +1,54 @@
+#include "policy/baseline_hybrid.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mfgpu {
+namespace {
+
+TEST(BaselineHybridTest, PaperThresholdValues) {
+  const BaselineThresholds t = paper_thresholds();
+  EXPECT_DOUBLE_EQ(t.p1_to_p2, 2.0e6);
+  EXPECT_DOUBLE_EQ(t.p2_to_p3, 1.5e7);
+  EXPECT_DOUBLE_EQ(t.p3_to_p4, 9.0e10);
+}
+
+TEST(BaselineHybridTest, ChoiceFollowsOpCount) {
+  const BaselineThresholds t = paper_thresholds();
+  EXPECT_EQ(baseline_choice(t, 50, 20), Policy::P1);     // ~6e4 ops
+  EXPECT_EQ(baseline_choice(t, 300, 100), Policy::P2);   // ~1.2e7 ops
+  EXPECT_EQ(baseline_choice(t, 2000, 500), Policy::P3);  // ~2.5e9 ops
+  EXPECT_EQ(baseline_choice(t, 40000, 20000), Policy::P4);
+}
+
+TEST(BaselineHybridTest, BoundariesAreHalfOpen) {
+  BaselineThresholds t;
+  t.p1_to_p2 = fu_total_ops(10, 10);
+  // Exactly at the threshold: not strictly below, so P2.
+  EXPECT_EQ(baseline_choice(t, 10, 10), Policy::P2);
+}
+
+TEST(BaselineHybridTest, DerivedThresholdsAreOrdered) {
+  PolicyTimer timer;
+  const BaselineThresholds t = derive_thresholds(timer);
+  EXPECT_GT(t.p1_to_p2, 0.0);
+  EXPECT_LT(t.p1_to_p2, t.p2_to_p3);
+  EXPECT_LT(t.p2_to_p3, t.p3_to_p4);
+}
+
+TEST(BaselineHybridTest, ExecutorUsesThresholds) {
+  const BaselineThresholds t = paper_thresholds();
+  DispatchExecutor exec = make_baseline_hybrid(t);
+  FactorContext ctx;
+  Device::Options dry;
+  dry.numeric = false;
+  Device device(dry);
+  ctx.device = &device;
+  ctx.numeric = false;
+  const FuOutcome small = exec.execute(make_shape_blocks(50, 20), ctx);
+  EXPECT_EQ(small.record.policy, 1);
+  const FuOutcome big = exec.execute(make_shape_blocks(2000, 500), ctx);
+  EXPECT_EQ(big.record.policy, 3);
+}
+
+}  // namespace
+}  // namespace mfgpu

@@ -1,0 +1,128 @@
+// Semantics of the copy-optimized P4 (paper §VI-C): identical numerics,
+// but the host stops waiting for the factored panel's transfer — only the
+// update matrix gates the return.
+#include <gtest/gtest.h>
+
+#include "multifrontal/factorization.hpp"
+#include "policy/executors.hpp"
+#include "sparse/dense_convert.hpp"
+#include "sparse/generators.hpp"
+
+namespace mfgpu {
+namespace {
+
+struct Front {
+  Matrix<double> storage;
+  index_t m, k;
+
+  FrontBlocks blocks() {
+    FrontBlocks f;
+    f.m = m;
+    f.k = k;
+    f.l1 = storage.view().block(0, 0, k, k);
+    f.l2 = storage.view().block(k, 0, m, k);
+    f.u = storage.view().block(k, k, m, m);
+    return f;
+  }
+};
+
+Front make_front(index_t m, index_t k, std::uint64_t seed) {
+  Rng rng(seed);
+  Front front;
+  front.m = m;
+  front.k = k;
+  front.storage = random_spd_dense(m + k, rng);
+  return front;
+}
+
+TEST(CopyOptimizedP4Test, NumericsMatchStandardP4) {
+  ExecutorOptions standard;
+  ExecutorOptions copy_opt;
+  copy_opt.copy_optimized_p4 = true;
+
+  Front a = make_front(24, 16, 5);
+  Front b = a;  // identical input
+
+  PolicyExecutor p4_standard(Policy::P4, standard);
+  PolicyExecutor p4_copyopt(Policy::P4, copy_opt);
+  FactorContext ctx1, ctx2;
+  Device d1, d2;
+  ctx1.device = &d1;
+  ctx2.device = &d2;
+  p4_standard.execute(a.blocks(), ctx1);
+  p4_copyopt.execute(b.blocks(), ctx2);
+  EXPECT_LT(max_abs_diff<double>(a.storage.view(), b.storage.view()), 1e-12);
+}
+
+TEST(CopyOptimizedP4Test, HostReturnsBeforePanelCopyCompletes) {
+  ExecutorOptions copy_opt;
+  copy_opt.copy_optimized_p4 = true;
+  PolicyExecutor p4(Policy::P4, copy_opt);
+  FactorContext ctx;
+  Device::Options dry;
+  dry.numeric = false;
+  Device device(dry);
+  ctx.device = &device;
+  ctx.numeric = false;
+
+  const FuOutcome out = p4.execute(make_shape_blocks(3000, 1500), ctx);
+  // The d2h stream still holds the in-flight panel transfer when the host
+  // resumes: that is the overlap the optimization buys.
+  EXPECT_GT(device.d2h_stream().ready_at(), ctx.host_clock.now());
+  EXPECT_LE(out.update_ready_at, ctx.host_clock.now());
+}
+
+TEST(CopyOptimizedP4Test, NeverSlowerAcrossAWholeFactorization) {
+  // Our default P4 already overlaps the panel copy-back with the trailing
+  // syrk inside each call (it IS "copy-optimized" by 2011 standards, see
+  // EXPERIMENTS.md), so the explicit deferral can only help — typically
+  // when a call has little trailing compute to hide behind. It must never
+  // hurt.
+  const GridProblem p = make_laplacian_3d(10, 10, 8);
+  const Analysis an =
+      analyze(p.matrix, Permutation::identity(p.matrix.n()));
+
+  auto total_time = [&an](bool copy_optimized) {
+    ExecutorOptions options;
+    options.copy_optimized_p4 = copy_optimized;
+    PolicyExecutor p4(Policy::P4, options);
+    FactorContext ctx;
+    ctx.numeric = false;
+    Device::Options dry;
+    dry.numeric = false;
+    Device device(dry);
+    ctx.device = &device;
+    FactorizeOptions fopt;
+    fopt.store_factor = false;
+    return factorize(an, p4, ctx, fopt).trace.total_time;
+  };
+  const double standard = total_time(false);
+  const double copy_opt = total_time(true);
+  EXPECT_LE(copy_opt, standard * (1.0 + 1e-9));
+}
+
+TEST(CopyOptimizedP4Test, ShiftsTheP3P4CrossoverEarlier) {
+  ExecutorOptions standard;
+  ExecutorOptions copy_opt;
+  copy_opt.copy_optimized_p4 = true;
+  PolicyTimer t_standard(standard);
+  PolicyTimer t_copyopt(copy_opt);
+  // Find the smallest k (m = 2k sweep) where P4 beats P3 under each option.
+  auto crossover_k = [](PolicyTimer& timer) {
+    for (index_t k = 250; k <= 16000; k += 250) {
+      if (timer.time(Policy::P4, 2 * k, k) < timer.time(Policy::P3, 2 * k, k)) {
+        return k;
+      }
+    }
+    return index_t{-1};
+  };
+  const index_t k_standard = crossover_k(t_standard);
+  const index_t k_copyopt = crossover_k(t_copyopt);
+  ASSERT_GT(k_copyopt, 0);
+  if (k_standard > 0) {
+    EXPECT_LE(k_copyopt, k_standard);
+  }
+}
+
+}  // namespace
+}  // namespace mfgpu

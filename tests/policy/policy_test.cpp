@@ -1,0 +1,41 @@
+#include "policy/policy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mfgpu {
+namespace {
+
+TEST(PolicyTest, NamesMatchPaper) {
+  EXPECT_STREQ(policy_name(Policy::P1), "P1");
+  EXPECT_STREQ(policy_name(Policy::P2), "P2");
+  EXPECT_STREQ(policy_name(Policy::P3), "P3");
+  EXPECT_STREQ(policy_name(Policy::P4), "P4");
+}
+
+TEST(PolicyTest, FromIndexRoundTrips) {
+  for (int i = 1; i <= 4; ++i) {
+    EXPECT_EQ(static_cast<int>(policy_from_index(i)), i);
+  }
+  EXPECT_THROW(policy_from_index(0), InvalidArgumentError);
+  EXPECT_THROW(policy_from_index(5), InvalidArgumentError);
+}
+
+TEST(PolicyTest, TotalOpsFormula) {
+  // k^3/3 + m k^2 + m^2 k with m=6, k=3: 9 + 54 + 108 = 171.
+  EXPECT_DOUBLE_EQ(fu_total_ops(6, 3), 171.0);
+  EXPECT_DOUBLE_EQ(fu_total_ops(0, 3), 9.0);
+}
+
+TEST(PolicyTest, CopyBytesEquation2) {
+  // N_D(L1,L2) = k^2 + 2mk words, N_D(L2 L2^T) = m^2 words, 4 B each.
+  EXPECT_DOUBLE_EQ(fu_copy_bytes_basic(2, 3), (9 + 12 + 4) * 4.0);
+}
+
+TEST(PolicyTest, AllPoliciesListed) {
+  EXPECT_EQ(kAllPolicies.size(), 4u);
+  EXPECT_EQ(kAllPolicies.front(), Policy::P1);
+  EXPECT_EQ(kAllPolicies.back(), Policy::P4);
+}
+
+}  // namespace
+}  // namespace mfgpu

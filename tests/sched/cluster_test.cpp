@@ -1,0 +1,156 @@
+// Tests for the distributed-memory (cluster) extension of the scheduler —
+// the paper's stated future work.
+#include <gtest/gtest.h>
+
+#include "ordering/nested_dissection.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/proportional_map.hpp"
+#include "sparse/generators.hpp"
+#include "symbolic/symbolic_factor.hpp"
+
+namespace mfgpu {
+namespace {
+
+TaskGraph test_graph() {
+  const GridProblem p = make_laplacian_3d(8, 8, 6);
+  static Analysis an = analyze(p.matrix, nested_dissection(p.coords));
+  return build_task_graph(an.symbolic, an.permuted);
+}
+
+TEST(InterconnectModelTest, SharedMemoryIsFree) {
+  const InterconnectModel shared;
+  EXPECT_FALSE(shared.enabled());
+  EXPECT_DOUBLE_EQ(shared.transfer_time(1000), 0.0);
+}
+
+TEST(InterconnectModelTest, TransferTimeScalesWithUpdateSize) {
+  const InterconnectModel link{1e9, 1e-5};
+  const double t_small = link.transfer_time(100);
+  const double t_big = link.transfer_time(1000);
+  EXPECT_GT(t_big, t_small);
+  // m=1000 packed lower = 1000*1001/2 doubles = ~4 MB -> ~4 ms + latency.
+  EXPECT_NEAR(t_big, 1e-5 + 1000.0 * 1001 / 2 * 8 / 1e9, 1e-9);
+}
+
+TEST(ClusterSchedulerTest, SlowLinkNeverBeatsSharedMemory) {
+  const TaskGraph g = test_graph();
+  ScheduleOptions shared;
+  ScheduleOptions slow;
+  slow.interconnect = InterconnectModel{1e8, 50e-6};
+  for (int workers : {2, 4}) {
+    const double t_shared =
+        simulate_schedule(g, std::vector<WorkerSpec>(
+                                 static_cast<std::size_t>(workers)),
+                          shared)
+            .makespan;
+    const double t_slow =
+        simulate_schedule(g, std::vector<WorkerSpec>(
+                                 static_cast<std::size_t>(workers)),
+                          slow)
+            .makespan;
+    EXPECT_GE(t_slow, t_shared * 0.999) << workers << " workers";
+  }
+}
+
+TEST(ClusterSchedulerTest, FasterLinkHelps) {
+  const TaskGraph g = test_graph();
+  ScheduleOptions fast;
+  fast.interconnect = InterconnectModel{1e10, 1e-6};
+  ScheduleOptions slow;
+  slow.interconnect = InterconnectModel{1e7, 1e-3};
+  const auto workers = std::vector<WorkerSpec>(4);
+  EXPECT_LE(simulate_schedule(g, workers, fast).makespan,
+            simulate_schedule(g, workers, slow).makespan);
+}
+
+TEST(ClusterSchedulerTest, OneWorkerUnaffectedByLink) {
+  const TaskGraph g = test_graph();
+  ScheduleOptions shared;
+  ScheduleOptions slow;
+  slow.interconnect = InterconnectModel{1e6, 1e-2};
+  const auto one = std::vector<WorkerSpec>(1);
+  EXPECT_DOUBLE_EQ(simulate_schedule(g, one, shared).makespan,
+                   simulate_schedule(g, one, slow).makespan);
+}
+
+TEST(ClusterSchedulerTest, ProportionalMappingTamesTheWire) {
+  // Greedy earliest-finish placement scatters sibling subtrees across
+  // workers and pays for every update transfer; proportional subtree
+  // mapping keeps subtrees local so only separator updates cross the link.
+  const TaskGraph g = test_graph();
+  ScheduleOptions greedy;
+  greedy.interconnect = InterconnectModel{1e7, 1e-3};
+  ScheduleOptions proportional = greedy;
+  proportional.placement = ScheduleOptions::Placement::Proportional;
+
+  const auto four = std::vector<WorkerSpec>(4);
+  const double t_greedy = simulate_schedule(g, four, greedy).makespan;
+  const double t_prop = simulate_schedule(g, four, proportional).makespan;
+  EXPECT_LT(t_prop, t_greedy);
+}
+
+TEST(ClusterSchedulerTest, ProportionalScalesOnAReasonableLink) {
+  // On a 1 GB/s link, 4 nodes with subtree locality must still deliver a
+  // real speedup over one node (the cluster-version feasibility the paper
+  // wanted to establish).
+  const TaskGraph g = test_graph();
+  ScheduleOptions options;
+  options.interconnect = InterconnectModel{1e9, 5e-6};
+  options.placement = ScheduleOptions::Placement::Proportional;
+  const double serial =
+      simulate_schedule(g, std::vector<WorkerSpec>(1), options).makespan;
+  const double four =
+      simulate_schedule(g, std::vector<WorkerSpec>(4), options).makespan;
+  EXPECT_GT(serial / four, 1.3);
+}
+
+TEST(ProportionalMapTest, SubtreeWorkAccumulates) {
+  const TaskGraph g = test_graph();
+  const std::vector<double> work = subtree_work(g);
+  // Any root's subtree work equals the total over its descendants; the sum
+  // over roots equals the sum of per-task work.
+  double roots = 0.0, per_task = 0.0;
+  for (index_t t = 0; t < g.num_tasks; ++t) {
+    per_task += fu_total_ops(g.ms[static_cast<std::size_t>(t)],
+                             g.ks[static_cast<std::size_t>(t)]) +
+                g.assembly_entries[static_cast<std::size_t>(t)];
+    if (g.parent[static_cast<std::size_t>(t)] == -1) {
+      roots += work[static_cast<std::size_t>(t)];
+    }
+  }
+  EXPECT_NEAR(roots, per_task, 1e-6 * per_task);
+}
+
+TEST(ProportionalMapTest, RootsOwnWorkerZeroAndRangesAreValid) {
+  const TaskGraph g = test_graph();
+  for (int workers : {1, 3, 8}) {
+    const std::vector<int> map = proportional_mapping(g, workers);
+    for (index_t t = 0; t < g.num_tasks; ++t) {
+      EXPECT_GE(map[static_cast<std::size_t>(t)], 0);
+      EXPECT_LT(map[static_cast<std::size_t>(t)], workers);
+    }
+  }
+  // One worker: everything maps to it.
+  const std::vector<int> one = proportional_mapping(g, 1);
+  for (int w : one) EXPECT_EQ(w, 0);
+}
+
+TEST(ProportionalMapTest, BalancesWorkAcrossWorkers) {
+  const TaskGraph g = test_graph();
+  const std::vector<int> map = proportional_mapping(g, 2);
+  const std::vector<double> work = subtree_work(g);
+  double per_worker[2] = {0.0, 0.0};
+  for (index_t t = 0; t < g.num_tasks; ++t) {
+    per_worker[map[static_cast<std::size_t>(t)]] +=
+        fu_total_ops(g.ms[static_cast<std::size_t>(t)],
+                     g.ks[static_cast<std::size_t>(t)]);
+  }
+  // Neither worker should get less than ~15% of the leaf-level work (the
+  // top separators are inherently on worker 0).
+  const double total = per_worker[0] + per_worker[1];
+  EXPECT_GT(per_worker[0] / total, 0.15);
+  EXPECT_GT(per_worker[1] / total, 0.15);
+}
+
+}  // namespace
+}  // namespace mfgpu

@@ -1,0 +1,117 @@
+#include "sched/list_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ordering/nested_dissection.hpp"
+#include "sparse/generators.hpp"
+#include "symbolic/symbolic_factor.hpp"
+
+namespace mfgpu {
+namespace {
+
+TaskGraph grid_graph() {
+  const GridProblem p = make_laplacian_3d(10, 10, 6);
+  static Analysis an = analyze(p.matrix, nested_dissection(p.coords));
+  return build_task_graph(an.symbolic, an.permuted);
+}
+
+TEST(TaskGraphTest, StructureMirrorsSupernodes) {
+  const GridProblem p = make_laplacian_3d(5, 5, 3);
+  const Analysis an = analyze(p.matrix, nested_dissection(p.coords));
+  const TaskGraph g = build_task_graph(an.symbolic, an.permuted);
+  EXPECT_EQ(g.num_tasks, an.symbolic.num_supernodes());
+  for (index_t t = 0; t < g.num_tasks; ++t) {
+    EXPECT_GT(g.assembly_entries[static_cast<std::size_t>(t)], 0.0);
+    if (g.parent[static_cast<std::size_t>(t)] != -1) {
+      EXPECT_GT(g.parent[static_cast<std::size_t>(t)], t);
+    }
+  }
+}
+
+TEST(SchedulerTest, OneWorkerMatchesSerialSum) {
+  const TaskGraph g = grid_graph();
+  const ScheduleResult r = simulate_schedule(g, {WorkerSpec{false}});
+  EXPECT_NEAR(r.makespan, r.total_task_time, 1e-9);
+  EXPECT_NEAR(r.worker_busy[0], r.makespan, 1e-9);
+}
+
+TEST(SchedulerTest, MoreCpuWorkersReduceMakespan) {
+  const TaskGraph g = grid_graph();
+  const double t1 =
+      simulate_schedule(g, std::vector<WorkerSpec>(1)).makespan;
+  const double t2 =
+      simulate_schedule(g, std::vector<WorkerSpec>(2)).makespan;
+  const double t4 =
+      simulate_schedule(g, std::vector<WorkerSpec>(4)).makespan;
+  EXPECT_LT(t2, t1);
+  EXPECT_LT(t4, t2);
+  // Speedup bounded by worker count.
+  EXPECT_GE(t4 * 4.0 + 1e-12, t1 * 0.999);
+}
+
+TEST(SchedulerTest, FourThreadSpeedupInPaperRange) {
+  // Paper Table VII: 4-thread WSMP achieves ~2.7-4.3x over one thread on
+  // their 3-D matrices. Accept 2-4x for our grid.
+  const TaskGraph g = grid_graph();
+  const double t1 = simulate_schedule(g, std::vector<WorkerSpec>(1)).makespan;
+  const double t4 = simulate_schedule(g, std::vector<WorkerSpec>(4)).makespan;
+  const double speedup = t1 / t4;
+  EXPECT_GT(speedup, 2.0);
+  EXPECT_LE(speedup, 4.0);
+}
+
+TEST(SchedulerTest, GpuWorkersBeatCpuWorkers) {
+  // Needs fronts big enough to cross the GPU-offload thresholds.
+  Rng rng(6);
+  const GridProblem p = make_elasticity_3d(10, 10, 8, 3, rng);
+  const Analysis an = analyze(p.matrix, nested_dissection(p.coords));
+  const TaskGraph g = build_task_graph(an.symbolic, an.permuted);
+  ScheduleOptions opt;
+  const double cpu2 =
+      simulate_schedule(g, std::vector<WorkerSpec>(2), opt).makespan;
+  const double gpu2 =
+      simulate_schedule(g, {WorkerSpec{true}, WorkerSpec{true}}, opt).makespan;
+  EXPECT_LT(gpu2, cpu2);
+}
+
+TEST(SchedulerTest, GpuChooserControlsPolicy) {
+  const TaskGraph g = grid_graph();
+  ScheduleOptions always_p4;
+  always_p4.gpu_chooser = [](index_t, index_t) { return Policy::P4; };
+  ScheduleOptions always_p1;
+  always_p1.gpu_chooser = [](index_t, index_t) { return Policy::P1; };
+  const double t_p4 =
+      simulate_schedule(g, {WorkerSpec{true}}, always_p4).makespan;
+  const double t_p1 =
+      simulate_schedule(g, {WorkerSpec{true}}, always_p1).makespan;
+  EXPECT_NE(t_p4, t_p1);
+}
+
+TEST(SchedulerTest, MoldableHelpsAtTheRoot) {
+  const TaskGraph g = grid_graph();
+  ScheduleOptions moldable;
+  moldable.moldable = true;
+  moldable.moldable_min_ops = 1e4;  // this grid's root fronts are small
+  ScheduleOptions rigid;
+  rigid.moldable = false;
+  const double with_mold =
+      simulate_schedule(g, std::vector<WorkerSpec>(4), moldable).makespan;
+  const double without =
+      simulate_schedule(g, std::vector<WorkerSpec>(4), rigid).makespan;
+  EXPECT_LT(with_mold, without);
+}
+
+TEST(SchedulerTest, NoWorkersThrows) {
+  const TaskGraph g = grid_graph();
+  EXPECT_THROW(simulate_schedule(g, {}), InvalidArgumentError);
+}
+
+TEST(SchedulerTest, UtilizationIsAFraction) {
+  const TaskGraph g = grid_graph();
+  const ScheduleResult r = simulate_schedule(g, std::vector<WorkerSpec>(3));
+  EXPECT_GT(r.utilization(), 0.0);
+  EXPECT_LE(r.utilization(), 1.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace mfgpu

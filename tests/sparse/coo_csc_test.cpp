@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "sparse/coo.hpp"
+#include "sparse/csc.hpp"
+
+namespace mfgpu {
+namespace {
+
+SparseSpd tiny_matrix() {
+  // [ 4 -1  0]
+  // [-1  4 -1]
+  // [ 0 -1  4]
+  Coo coo(3);
+  coo.add(0, 0, 4.0);
+  coo.add(1, 1, 4.0);
+  coo.add(2, 2, 4.0);
+  coo.add(1, 0, -1.0);
+  coo.add(2, 1, -1.0);
+  return coo.to_csc();
+}
+
+TEST(CooTest, BuildsSortedLowerCsc) {
+  const SparseSpd a = tiny_matrix();
+  EXPECT_EQ(a.n(), 3);
+  EXPECT_EQ(a.nnz_lower(), 5);
+  EXPECT_EQ(a.nnz_full(), 7);
+  const auto rows0 = a.column_rows(0);
+  ASSERT_EQ(rows0.size(), 2u);
+  EXPECT_EQ(rows0[0], 0);
+  EXPECT_EQ(rows0[1], 1);
+}
+
+TEST(CooTest, UpperTriangleEntriesMirror) {
+  Coo coo(2);
+  coo.add(0, 0, 1.0);
+  coo.add(1, 1, 1.0);
+  coo.add(0, 1, -0.5);  // upper entry mirrors to (1, 0)
+  const SparseSpd a = coo.to_csc();
+  EXPECT_EQ(a.column_rows(0)[1], 1);
+  EXPECT_DOUBLE_EQ(a.column_values(0)[1], -0.5);
+}
+
+TEST(CooTest, DuplicatesAreSummed) {
+  Coo coo(2);
+  coo.add(0, 0, 1.0);
+  coo.add(0, 0, 2.0);
+  coo.add(1, 1, 1.0);
+  coo.add(1, 0, -0.25);
+  coo.add(0, 1, -0.25);
+  const SparseSpd a = coo.to_csc();
+  EXPECT_EQ(a.nnz_lower(), 3);
+  EXPECT_DOUBLE_EQ(a.column_values(0)[0], 3.0);
+  EXPECT_DOUBLE_EQ(a.column_values(0)[1], -0.5);
+}
+
+TEST(CooTest, MissingDiagonalThrows) {
+  Coo coo(2);
+  coo.add(0, 0, 1.0);
+  coo.add(1, 0, -1.0);  // column 1 never gets a diagonal
+  EXPECT_THROW(coo.to_csc(), InvalidArgumentError);
+}
+
+TEST(CooTest, OutOfRangeThrows) {
+  Coo coo(2);
+  EXPECT_THROW(coo.add(2, 0, 1.0), InvalidArgumentError);
+  EXPECT_THROW(coo.add(-1, 0, 1.0), InvalidArgumentError);
+}
+
+TEST(CscTest, SymmetricMultiply) {
+  const SparseSpd a = tiny_matrix();
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  std::vector<double> y(3);
+  a.multiply(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 4.0 * 1 - 1 * 2);
+  EXPECT_DOUBLE_EQ(y[1], -1 * 1 + 4 * 2 - 1 * 3);
+  EXPECT_DOUBLE_EQ(y[2], -1 * 2 + 4 * 3);
+}
+
+TEST(CscTest, PermutedPreservesValues) {
+  const SparseSpd a = tiny_matrix();
+  // Reverse permutation.
+  const std::vector<index_t> perm = {2, 1, 0};
+  const SparseSpd b = a.permuted(perm);
+  EXPECT_EQ(b.nnz_lower(), a.nnz_lower());
+  // B(new_i, new_j) = A(i, j): A(1,0) = -1 maps to B(1,2), stored in
+  // column 1 (row 2); A(1,1) = 4 maps to the diagonal B(1,1).
+  const auto rows1 = b.column_rows(1);
+  ASSERT_EQ(rows1.size(), 2u);
+  EXPECT_DOUBLE_EQ(b.column_values(1)[0], 4.0);
+  EXPECT_EQ(rows1[1], 2);
+  EXPECT_DOUBLE_EQ(b.column_values(1)[1], -1.0);
+  // Multiply must commute with permutation.
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  std::vector<double> y(3), xp(3), yp(3), y2(3);
+  a.multiply(x, y);
+  for (index_t i = 0; i < 3; ++i) {
+    xp[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])] =
+        x[static_cast<std::size_t>(i)];
+  }
+  b.multiply(xp, yp);
+  for (index_t i = 0; i < 3; ++i) {
+    y2[static_cast<std::size_t>(i)] =
+        yp[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])];
+  }
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(y[static_cast<std::size_t>(i)], y2[static_cast<std::size_t>(i)], 1e-14);
+}
+
+TEST(CscTest, BuildGraphBothTriangles) {
+  const SparseSpd a = tiny_matrix();
+  const SymmetricGraph g = build_graph(a);
+  EXPECT_EQ(g.n, 3);
+  ASSERT_EQ(g.neighbors(1).size(), 2u);
+  EXPECT_EQ(g.neighbors(1)[0], 0);
+  EXPECT_EQ(g.neighbors(1)[1], 2);
+  EXPECT_EQ(g.neighbors(0).size(), 1u);
+}
+
+TEST(CscTest, ValidationRejectsBadStructure) {
+  // col_ptr wrong size.
+  EXPECT_THROW(SparseSpd(2, {0, 1}, {0}, {1.0}), InvalidArgumentError);
+  // first entry not diagonal.
+  EXPECT_THROW(SparseSpd(2, {0, 1, 2}, {1, 1}, {1.0, 1.0}),
+               InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace mfgpu

@@ -1,0 +1,67 @@
+#include "sparse/dense_convert.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sparse/generators.hpp"
+
+namespace mfgpu {
+namespace {
+
+TEST(DenseConvertTest, ToDenseFillsBothTriangles) {
+  const GridProblem p = make_laplacian_3d(3, 2, 2);
+  const Matrix<double> dense = to_dense(p.matrix);
+  for (index_t j = 0; j < dense.cols(); ++j) {
+    for (index_t i = 0; i < dense.rows(); ++i) {
+      EXPECT_DOUBLE_EQ(dense(i, j), dense(j, i));
+    }
+  }
+  EXPECT_DOUBLE_EQ(max_abs_error(p.matrix, dense), 0.0);
+}
+
+TEST(DenseConvertTest, SparseFromDenseRoundTrips) {
+  Rng rng(2);
+  const Matrix<double> spd = random_spd_dense(12, rng);
+  const SparseSpd sparse = sparse_from_dense(spd);
+  EXPECT_DOUBLE_EQ(max_abs_error(sparse, spd), 0.0);
+  EXPECT_EQ(sparse.n(), 12);
+}
+
+TEST(DenseConvertTest, DropToleranceSparsifies) {
+  Matrix<double> a(3, 3, 0.0);
+  a(0, 0) = a(1, 1) = a(2, 2) = 4.0;
+  a(1, 0) = a(0, 1) = 1e-12;
+  a(2, 0) = a(0, 2) = -0.5;
+  const SparseSpd kept = sparse_from_dense(a, 0.0);
+  const SparseSpd dropped = sparse_from_dense(a, 1e-9);
+  EXPECT_EQ(kept.nnz_lower(), 5);
+  EXPECT_EQ(dropped.nnz_lower(), 4);
+  // Diagonal survives any tolerance.
+  EXPECT_DOUBLE_EQ(dropped.column_values(1)[0], 4.0);
+}
+
+TEST(DenseConvertTest, IsPositiveDefinite) {
+  const GridProblem p = make_laplacian_3d(3, 3, 2);
+  EXPECT_TRUE(is_positive_definite(p.matrix));
+
+  Matrix<double> indefinite(2, 2, 0.0);
+  indefinite(0, 0) = 1.0;
+  indefinite(1, 1) = 1.0;
+  indefinite(1, 0) = indefinite(0, 1) = 5.0;
+  EXPECT_FALSE(is_positive_definite(sparse_from_dense(indefinite)));
+}
+
+TEST(DenseConvertTest, RandomSpdDenseFactors) {
+  Rng rng(7);
+  for (index_t n : {1, 5, 30}) {
+    const Matrix<double> a = random_spd_dense(n, rng);
+    EXPECT_TRUE(is_positive_definite(sparse_from_dense(a)));
+  }
+}
+
+TEST(DenseConvertTest, NonSquareThrows) {
+  Matrix<double> rect(2, 3);
+  EXPECT_THROW(sparse_from_dense(rect), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace mfgpu

@@ -1,0 +1,57 @@
+#include "sparse/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sparse/generators.hpp"
+
+namespace mfgpu {
+namespace {
+
+TEST(IoTest, RoundTripPreservesMatrix) {
+  const GridProblem p = make_laplacian_3d(3, 3, 2);
+  std::stringstream buffer;
+  write_matrix_market(buffer, p.matrix);
+  const SparseSpd back = read_matrix_market(buffer);
+  ASSERT_EQ(back.n(), p.matrix.n());
+  ASSERT_EQ(back.nnz_lower(), p.matrix.nnz_lower());
+  for (index_t j = 0; j < back.n(); ++j) {
+    const auto rows_a = p.matrix.column_rows(j);
+    const auto rows_b = back.column_rows(j);
+    ASSERT_EQ(rows_a.size(), rows_b.size());
+    for (std::size_t t = 0; t < rows_a.size(); ++t) {
+      EXPECT_EQ(rows_a[t], rows_b[t]);
+      EXPECT_DOUBLE_EQ(p.matrix.column_values(j)[t], back.column_values(j)[t]);
+    }
+  }
+}
+
+TEST(IoTest, RejectsGeneralHeader) {
+  std::stringstream buffer(
+      "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(buffer), InvalidArgumentError);
+}
+
+TEST(IoTest, RejectsTruncatedEntries) {
+  std::stringstream buffer(
+      "%%MatrixMarket matrix coordinate real symmetric\n2 2 3\n1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(buffer), InvalidArgumentError);
+}
+
+TEST(IoTest, SkipsCommentLines) {
+  std::stringstream buffer(
+      "%%MatrixMarket matrix coordinate real symmetric\n% comment\n"
+      "2 2 2\n1 1 2.0\n2 2 2.0\n");
+  const SparseSpd a = read_matrix_market(buffer);
+  EXPECT_EQ(a.n(), 2);
+  EXPECT_DOUBLE_EQ(a.column_values(0)[0], 2.0);
+}
+
+TEST(IoTest, MissingFileThrows) {
+  EXPECT_THROW(read_matrix_market(std::string("/nonexistent/x.mtx")),
+               InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace mfgpu

@@ -1,0 +1,76 @@
+#include "support/binning.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mfgpu {
+namespace {
+
+TEST(Grid2DTest, BinPlacement) {
+  Grid2D g(1000, 1000, 500);
+  EXPECT_EQ(g.bins_x(), 2);
+  EXPECT_EQ(g.bins_y(), 2);
+  g.add(100, 600, 2.0);
+  EXPECT_DOUBLE_EQ(g.at(0, 1), 2.0);
+  EXPECT_EQ(g.count_at(0, 1), 1);
+  EXPECT_DOUBLE_EQ(g.at(0, 0), 0.0);
+}
+
+TEST(Grid2DTest, OutOfRangeClampsToLastBin) {
+  Grid2D g(1000, 1000, 500);
+  g.add(5000, 5000, 1.0);
+  EXPECT_DOUBLE_EQ(g.at(1, 1), 1.0);
+}
+
+TEST(Grid2DTest, NormalizeTurnsWeightsIntoFractions) {
+  Grid2D g(100, 100, 50);
+  g.add(10, 10, 3.0);
+  g.add(60, 60, 1.0);
+  g.normalize();
+  EXPECT_DOUBLE_EQ(g.at(0, 0), 0.75);
+  EXPECT_DOUBLE_EQ(g.at(1, 1), 0.25);
+  EXPECT_DOUBLE_EQ(g.total(), 1.0);
+}
+
+TEST(Grid2DTest, MeanUsesEmptyValue) {
+  Grid2D g(100, 100, 50);
+  EXPECT_DOUBLE_EQ(g.mean_at(0, 0), -1.0);
+  g.add(10, 10, 4.0);
+  g.add(20, 20, 2.0);
+  EXPECT_DOUBLE_EQ(g.mean_at(0, 0), 3.0);
+}
+
+TEST(Grid2DTest, CsvHasHeaderAndRows) {
+  Grid2D g(100, 100, 50);
+  g.add(0, 0, 1.0);
+  std::ostringstream os;
+  g.write_csv(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("k\\m,0,50"), std::string::npos);
+}
+
+TEST(Grid2DTest, AsciiRendersRamp) {
+  Grid2D g(100, 100, 50);
+  g.add(0, 0, 10.0);
+  std::ostringstream os;
+  g.print_ascii(os);
+  EXPECT_NE(os.str().find('@'), std::string::npos);
+}
+
+TEST(Grid2DTest, LabelMap) {
+  std::ostringstream os;
+  Grid2D::print_label_map(os, 3, 2, [](index_t bx, index_t by) {
+    return static_cast<char>('0' + bx + by);
+  });
+  EXPECT_NE(os.str().find("|123|"), std::string::npos);
+  EXPECT_NE(os.str().find("|012|"), std::string::npos);
+}
+
+TEST(Grid2DTest, InvalidConstructionThrows) {
+  EXPECT_THROW(Grid2D(0, 10, 5), InvalidArgumentError);
+  EXPECT_THROW(Grid2D(10, 10, 0), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace mfgpu

@@ -1,0 +1,46 @@
+#include "support/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mfgpu {
+namespace {
+
+TEST(ErrorTest, CheckMacroThrowsWithContext) {
+  try {
+    MFGPU_CHECK(1 == 2, "one is not two");
+    FAIL() << "expected throw";
+  } catch (const InvalidArgumentError& e) {
+    EXPECT_NE(std::string(e.what()).find("one is not two"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, CheckMacroPassesSilently) {
+  EXPECT_NO_THROW(MFGPU_CHECK(2 + 2 == 4, "math"));
+}
+
+TEST(ErrorTest, NotPositiveDefiniteCarriesData) {
+  NotPositiveDefiniteError e(42, -1.5);
+  EXPECT_EQ(e.column(), 42);
+  EXPECT_DOUBLE_EQ(e.pivot(), -1.5);
+  EXPECT_NE(std::string(e.what()).find("42"), std::string::npos);
+}
+
+TEST(ErrorTest, CheckedCastInRange) {
+  EXPECT_EQ(checked_cast<int>(std::int64_t{123}), 123);
+}
+
+TEST(ErrorTest, CheckedCastOutOfRangeThrows) {
+  EXPECT_THROW(checked_cast<std::int8_t>(std::int64_t{1000}),
+               InvalidArgumentError);
+  EXPECT_THROW(checked_cast<std::uint8_t>(std::int64_t{-1}),
+               InvalidArgumentError);
+}
+
+TEST(ErrorTest, ErrorsDeriveFromBase) {
+  EXPECT_THROW(throw DeviceOutOfMemoryError("x"), Error);
+  EXPECT_THROW(throw InvalidArgumentError("x"), Error);
+}
+
+}  // namespace
+}  // namespace mfgpu

@@ -1,0 +1,78 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace mfgpu {
+namespace {
+
+TEST(RngTest, DeterministicWithSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const index_t v = rng.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == 0);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, LogUniformStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.log_uniform(1e2, 1e8);
+    EXPECT_GE(v, 1e2 * (1 - 1e-12));
+    EXPECT_LE(v, 1e8);
+  }
+}
+
+TEST(RngTest, LogUniformRejectsNonPositive) {
+  Rng rng(1);
+  EXPECT_THROW(rng.log_uniform(0.0, 1.0), InvalidArgumentError);
+}
+
+TEST(RngTest, NormalHasRoughlyZeroMean) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.normal();
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+}
+
+TEST(RngTest, PermutationIsBijection) {
+  Rng rng(13);
+  auto p = rng.permutation(50);
+  std::sort(p.begin(), p.end());
+  for (index_t i = 0; i < 50; ++i) EXPECT_EQ(p[static_cast<std::size_t>(i)], i);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(15);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace mfgpu

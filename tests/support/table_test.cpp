@@ -1,0 +1,54 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mfgpu {
+namespace {
+
+TEST(TableTest, PrintsHeaderAndRows) {
+  Table t("Demo", {"name", "value"});
+  t.add_row({std::string("alpha"), index_t{42}});
+  t.add_row({std::string("beta"), 3.5});
+  std::ostringstream os;
+  t.print(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("== Demo =="), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+  EXPECT_NE(text.find("3.500"), std::string::npos);
+}
+
+TEST(TableTest, RowWidthMismatchThrows) {
+  Table t("T", {"a", "b"});
+  EXPECT_THROW(t.add_row({std::string("only one")}), InvalidArgumentError);
+}
+
+TEST(TableTest, CsvQuotesSpecialChars) {
+  Table t("T", {"a"});
+  t.add_row({std::string("x,y\"z")});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_NE(os.str().find("\"x,y\"\"z\""), std::string::npos);
+}
+
+TEST(TableTest, ScientificFormattingForExtremes) {
+  EXPECT_EQ(Table::format_cell(Cell{1.5e9}), "1.500e+09");
+  EXPECT_EQ(Table::format_cell(Cell{2.0e-6}), "2.000e-06");
+  EXPECT_EQ(Table::format_cell(Cell{0.0}), "0.000");
+}
+
+TEST(TableTest, FormatSci) {
+  EXPECT_EQ(format_sci(123456.0, 2), "1.23e+05");
+}
+
+TEST(TableTest, NumRows) {
+  Table t("T", {"a"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.add_row({index_t{1}});
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+}  // namespace
+}  // namespace mfgpu

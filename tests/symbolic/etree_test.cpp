@@ -1,0 +1,53 @@
+#include "symbolic/etree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sparse/coo.hpp"
+
+namespace mfgpu {
+namespace {
+
+TEST(EtreeTest, TridiagonalIsAChain) {
+  Coo coo(5);
+  for (index_t i = 0; i < 5; ++i) coo.add(i, i, 2.0);
+  for (index_t i = 1; i < 5; ++i) coo.add(i, i - 1, -1.0);
+  const auto parent = elimination_tree(coo.to_csc());
+  for (index_t i = 0; i < 4; ++i) EXPECT_EQ(parent[static_cast<std::size_t>(i)], i + 1);
+  EXPECT_EQ(parent[4], -1);
+}
+
+TEST(EtreeTest, DiagonalMatrixIsAForestOfRoots) {
+  Coo coo(4);
+  for (index_t i = 0; i < 4; ++i) coo.add(i, i, 1.0);
+  const auto parent = elimination_tree(coo.to_csc());
+  for (index_t i = 0; i < 4; ++i) EXPECT_EQ(parent[static_cast<std::size_t>(i)], -1);
+}
+
+TEST(EtreeTest, ArrowheadMatrixAllPointToLast) {
+  // Dense last row/column: every vertex's parent is n-1... actually the
+  // etree of an arrowhead (only connections to the last) is a star: each
+  // column's first below-diagonal nonzero is n-1.
+  const index_t n = 6;
+  Coo coo(n);
+  for (index_t i = 0; i < n; ++i) coo.add(i, i, 4.0);
+  for (index_t i = 0; i < n - 1; ++i) coo.add(n - 1, i, -1.0);
+  const auto parent = elimination_tree(coo.to_csc());
+  for (index_t i = 0; i < n - 1; ++i) EXPECT_EQ(parent[static_cast<std::size_t>(i)], n - 1);
+  EXPECT_EQ(parent[static_cast<std::size_t>(n - 1)], -1);
+}
+
+TEST(EtreeTest, FillPathsFollowed) {
+  // Matrix: edges (0,1), (0,2): eliminating 0 creates fill (1,2), so
+  // parent(0)=1 and parent(1)=2 (through the fill path), parent(2)=-1.
+  Coo coo(3);
+  for (index_t i = 0; i < 3; ++i) coo.add(i, i, 4.0);
+  coo.add(1, 0, -1.0);
+  coo.add(2, 0, -1.0);
+  const auto parent = elimination_tree(coo.to_csc());
+  EXPECT_EQ(parent[0], 1);
+  EXPECT_EQ(parent[1], 2);
+  EXPECT_EQ(parent[2], -1);
+}
+
+}  // namespace
+}  // namespace mfgpu

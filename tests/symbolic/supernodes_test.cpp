@@ -1,0 +1,98 @@
+#include "symbolic/supernodes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sparse/coo.hpp"
+#include "symbolic/colcounts.hpp"
+#include "symbolic/etree.hpp"
+
+namespace mfgpu {
+namespace {
+
+TEST(SupernodesTest, DenseMatrixIsOneSupernode) {
+  const index_t n = 6;
+  Coo coo(n);
+  for (index_t j = 0; j < n; ++j) {
+    coo.add(j, j, 10.0);
+    for (index_t i = j + 1; i < n; ++i) coo.add(i, j, -0.1);
+  }
+  const SparseSpd a = coo.to_csc();
+  const auto parent = elimination_tree(a);
+  const auto counts = factor_column_counts(a, parent);
+  const auto part = fundamental_supernodes(parent, counts);
+  EXPECT_EQ(part.count(), 1);
+  EXPECT_EQ(part.width(0), n);
+}
+
+TEST(SupernodesTest, DiagonalMatrixIsAllSingletons) {
+  const index_t n = 5;
+  Coo coo(n);
+  for (index_t i = 0; i < n; ++i) coo.add(i, i, 1.0);
+  const SparseSpd a = coo.to_csc();
+  const auto parent = elimination_tree(a);
+  const auto counts = factor_column_counts(a, parent);
+  const auto part = fundamental_supernodes(parent, counts);
+  EXPECT_EQ(part.count(), n);
+}
+
+TEST(SupernodesTest, TridiagonalSingletonChain) {
+  // Tridiagonal: every column's count is 2 (diag + subdiag) except the
+  // last; parent(j)=j+1 but counts don't shrink by one, so each column is
+  // its own fundamental supernode... except count[j+1] == count[j] - 1 only
+  // at the final pair.
+  const index_t n = 4;
+  Coo coo(n);
+  for (index_t i = 0; i < n; ++i) coo.add(i, i, 2.0);
+  for (index_t i = 1; i < n; ++i) coo.add(i, i - 1, -1.0);
+  const SparseSpd a = coo.to_csc();
+  const auto parent = elimination_tree(a);
+  const auto counts = factor_column_counts(a, parent);
+  const auto part = fundamental_supernodes(parent, counts);
+  // counts = [2, 2, 2, 1]: only columns 2 and 3 merge.
+  EXPECT_EQ(part.count(), n - 1);
+  EXPECT_EQ(part.width(part.count() - 1), 2);
+}
+
+TEST(SupernodesTest, ColumnWithTwoChildrenBreaksSupernode) {
+  // Star into vertex 2 from 0 and 1: counts [2, 2, 1], parent 0->2, 1->2;
+  // vertex 2 has two children so cannot chain with 1.
+  Coo coo(3);
+  for (index_t i = 0; i < 3; ++i) coo.add(i, i, 4.0);
+  coo.add(2, 0, -1.0);
+  coo.add(2, 1, -1.0);
+  const SparseSpd a = coo.to_csc();
+  const auto parent = elimination_tree(a);
+  const auto counts = factor_column_counts(a, parent);
+  const auto part = fundamental_supernodes(parent, counts);
+  EXPECT_EQ(part.count(), 3);
+}
+
+TEST(SupernodesTest, FrontNnzFormula) {
+  EXPECT_EQ(front_factor_nnz(3, 0), 6);
+  EXPECT_EQ(front_factor_nnz(2, 5), 13);
+}
+
+TEST(AmalgamationRuleTest, TinyWidthAlwaysMerges) {
+  RelaxOptions opt;
+  EXPECT_TRUE(should_amalgamate(1, 8, 2, 7, 20, opt));  // merged width 3 <= 4
+}
+
+TEST(AmalgamationRuleTest, DisabledNeverMerges) {
+  RelaxOptions opt;
+  opt.enabled = false;
+  EXPECT_FALSE(should_amalgamate(1, 1, 1, 0, 0, opt));
+}
+
+TEST(AmalgamationRuleTest, ZeroFractionGates) {
+  RelaxOptions opt;
+  // Perfect merge (child rows == parent cols + parent rows): no new zeros.
+  // k_c=10, m_c=30, k_p=20, m_p=10, merged rows=10:
+  // old = 55+300 + 210+200 = 765; new = k=30 -> 465+300=765 -> 0 zeros.
+  EXPECT_TRUE(should_amalgamate(10, 30, 20, 10, 10, opt));
+  // Disjoint structures force many zeros: merged rows = 40.
+  // new = 465 + 40*30 = 1665, zeros = 900/1665 = 0.54 > 0.1 at width 30.
+  EXPECT_FALSE(should_amalgamate(10, 30, 20, 10, 40, opt));
+}
+
+}  // namespace
+}  // namespace mfgpu

@@ -1,0 +1,58 @@
+#include "symbolic/tree_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ordering/nested_dissection.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/generators.hpp"
+
+namespace mfgpu {
+namespace {
+
+TEST(TreeStatsTest, ChainTreeHasNoParallelism) {
+  // Tridiagonal: supernode tree is a chain.
+  const index_t n = 12;
+  Coo coo(n);
+  for (index_t i = 0; i < n; ++i) coo.add(i, i, 2.0);
+  for (index_t i = 1; i < n; ++i) coo.add(i, i - 1, -1.0);
+  AnalyzeOptions opt;
+  opt.relax.enabled = false;
+  const Analysis an = analyze(coo.to_csc(), Permutation::identity(n), opt);
+  const TreeStats stats = supernode_tree_stats(an.symbolic);
+  EXPECT_EQ(stats.num_leaves, 1);
+  EXPECT_EQ(stats.height, stats.num_supernodes - 1);
+  EXPECT_NEAR(stats.tree_parallelism(), 1.0, 1e-12);
+}
+
+TEST(TreeStatsTest, DiagonalForestIsAllLeaves) {
+  const index_t n = 6;
+  Coo coo(n);
+  for (index_t i = 0; i < n; ++i) coo.add(i, i, 1.0);
+  const Analysis an = analyze(coo.to_csc(), Permutation::identity(n));
+  const TreeStats stats = supernode_tree_stats(an.symbolic);
+  EXPECT_EQ(stats.num_leaves, stats.num_supernodes);
+  EXPECT_EQ(stats.height, 0);
+}
+
+TEST(TreeStatsTest, GridTreeShowsParallelism) {
+  const GridProblem p = make_laplacian_3d(8, 8, 8);
+  const Analysis an = analyze(p.matrix, nested_dissection(p.coords));
+  const TreeStats stats = supernode_tree_stats(an.symbolic);
+  EXPECT_GT(stats.num_leaves, 4);
+  EXPECT_GT(stats.tree_parallelism(), 1.2);
+  EXPECT_GT(stats.total_flops, stats.critical_path_flops);
+  EXPECT_DOUBLE_EQ(stats.total_flops, an.symbolic.factor_flops());
+  EXPECT_GT(stats.max_front_order, 0);
+}
+
+TEST(TreeStatsTest, ThreeDTreeMoreParallelThanChainLike) {
+  // The paper's closing remark implies 3-D trees have the big, deep fronts
+  // worth offloading; the tree-parallelism bound should exceed a 1-D chain.
+  const GridProblem p3 = make_laplacian_3d(6, 6, 6);
+  const Analysis an3 = analyze(p3.matrix, nested_dissection(p3.coords));
+  const TreeStats s3 = supernode_tree_stats(an3.symbolic);
+  EXPECT_GT(s3.tree_parallelism(), 1.0);
+}
+
+}  // namespace
+}  // namespace mfgpu
