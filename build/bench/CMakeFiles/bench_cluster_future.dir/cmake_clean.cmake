@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cluster_future.dir/bench_cluster_future.cpp.o"
+  "CMakeFiles/bench_cluster_future.dir/bench_cluster_future.cpp.o.d"
+  "bench_cluster_future"
+  "bench_cluster_future.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cluster_future.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

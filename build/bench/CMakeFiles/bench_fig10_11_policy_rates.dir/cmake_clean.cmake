@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_11_policy_rates.dir/bench_fig10_11_policy_rates.cpp.o"
+  "CMakeFiles/bench_fig10_11_policy_rates.dir/bench_fig10_11_policy_rates.cpp.o.d"
+  "bench_fig10_11_policy_rates"
+  "bench_fig10_11_policy_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_11_policy_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

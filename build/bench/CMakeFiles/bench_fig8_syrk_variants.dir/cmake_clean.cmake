@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_syrk_variants.dir/bench_fig8_syrk_variants.cpp.o"
+  "CMakeFiles/bench_fig8_syrk_variants.dir/bench_fig8_syrk_variants.cpp.o.d"
+  "bench_fig8_syrk_variants"
+  "bench_fig8_syrk_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_syrk_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

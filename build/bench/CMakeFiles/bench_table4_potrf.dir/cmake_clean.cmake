@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_potrf.dir/bench_table4_potrf.cpp.o"
+  "CMakeFiles/bench_table4_potrf.dir/bench_table4_potrf.cpp.o.d"
+  "bench_table4_potrf"
+  "bench_table4_potrf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_potrf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

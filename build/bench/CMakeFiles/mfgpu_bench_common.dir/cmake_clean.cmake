@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfgpu_bench_common.dir/common.cpp.o"
+  "CMakeFiles/mfgpu_bench_common.dir/common.cpp.o.d"
+  "libmfgpu_bench_common.a"
+  "libmfgpu_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfgpu_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

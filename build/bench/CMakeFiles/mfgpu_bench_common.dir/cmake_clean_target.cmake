@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmfgpu_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotune_policies.dir/autotune_policies.cpp.o"
+  "CMakeFiles/autotune_policies.dir/autotune_policies.cpp.o.d"
+  "autotune_policies"
+  "autotune_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotune_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

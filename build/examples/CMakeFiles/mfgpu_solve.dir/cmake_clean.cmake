@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfgpu_solve.dir/mfgpu_solve.cpp.o"
+  "CMakeFiles/mfgpu_solve.dir/mfgpu_solve.cpp.o.d"
+  "mfgpu_solve"
+  "mfgpu_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfgpu_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multigpu_schedule.dir/multigpu_schedule.cpp.o"
+  "CMakeFiles/multigpu_schedule.dir/multigpu_schedule.cpp.o.d"
+  "multigpu_schedule"
+  "multigpu_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multigpu_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autotune/dataset.cpp" "src/CMakeFiles/mfgpu.dir/autotune/dataset.cpp.o" "gcc" "src/CMakeFiles/mfgpu.dir/autotune/dataset.cpp.o.d"
+  "/root/repo/src/autotune/features.cpp" "src/CMakeFiles/mfgpu.dir/autotune/features.cpp.o" "gcc" "src/CMakeFiles/mfgpu.dir/autotune/features.cpp.o.d"
+  "/root/repo/src/autotune/hybrid.cpp" "src/CMakeFiles/mfgpu.dir/autotune/hybrid.cpp.o" "gcc" "src/CMakeFiles/mfgpu.dir/autotune/hybrid.cpp.o.d"
+  "/root/repo/src/autotune/logistic_model.cpp" "src/CMakeFiles/mfgpu.dir/autotune/logistic_model.cpp.o" "gcc" "src/CMakeFiles/mfgpu.dir/autotune/logistic_model.cpp.o.d"
+  "/root/repo/src/autotune/model_io.cpp" "src/CMakeFiles/mfgpu.dir/autotune/model_io.cpp.o" "gcc" "src/CMakeFiles/mfgpu.dir/autotune/model_io.cpp.o.d"
+  "/root/repo/src/autotune/trainer.cpp" "src/CMakeFiles/mfgpu.dir/autotune/trainer.cpp.o" "gcc" "src/CMakeFiles/mfgpu.dir/autotune/trainer.cpp.o.d"
+  "/root/repo/src/core/solver.cpp" "src/CMakeFiles/mfgpu.dir/core/solver.cpp.o" "gcc" "src/CMakeFiles/mfgpu.dir/core/solver.cpp.o.d"
+  "/root/repo/src/dense/blas.cpp" "src/CMakeFiles/mfgpu.dir/dense/blas.cpp.o" "gcc" "src/CMakeFiles/mfgpu.dir/dense/blas.cpp.o.d"
+  "/root/repo/src/dense/matrix.cpp" "src/CMakeFiles/mfgpu.dir/dense/matrix.cpp.o" "gcc" "src/CMakeFiles/mfgpu.dir/dense/matrix.cpp.o.d"
+  "/root/repo/src/dense/potrf.cpp" "src/CMakeFiles/mfgpu.dir/dense/potrf.cpp.o" "gcc" "src/CMakeFiles/mfgpu.dir/dense/potrf.cpp.o.d"
+  "/root/repo/src/gpusim/clock.cpp" "src/CMakeFiles/mfgpu.dir/gpusim/clock.cpp.o" "gcc" "src/CMakeFiles/mfgpu.dir/gpusim/clock.cpp.o.d"
+  "/root/repo/src/gpusim/cost_model.cpp" "src/CMakeFiles/mfgpu.dir/gpusim/cost_model.cpp.o" "gcc" "src/CMakeFiles/mfgpu.dir/gpusim/cost_model.cpp.o.d"
+  "/root/repo/src/gpusim/device.cpp" "src/CMakeFiles/mfgpu.dir/gpusim/device.cpp.o" "gcc" "src/CMakeFiles/mfgpu.dir/gpusim/device.cpp.o.d"
+  "/root/repo/src/gpusim/gpublas.cpp" "src/CMakeFiles/mfgpu.dir/gpusim/gpublas.cpp.o" "gcc" "src/CMakeFiles/mfgpu.dir/gpusim/gpublas.cpp.o.d"
+  "/root/repo/src/gpusim/memory.cpp" "src/CMakeFiles/mfgpu.dir/gpusim/memory.cpp.o" "gcc" "src/CMakeFiles/mfgpu.dir/gpusim/memory.cpp.o.d"
+  "/root/repo/src/gpusim/stream.cpp" "src/CMakeFiles/mfgpu.dir/gpusim/stream.cpp.o" "gcc" "src/CMakeFiles/mfgpu.dir/gpusim/stream.cpp.o.d"
+  "/root/repo/src/multifrontal/factor_update.cpp" "src/CMakeFiles/mfgpu.dir/multifrontal/factor_update.cpp.o" "gcc" "src/CMakeFiles/mfgpu.dir/multifrontal/factor_update.cpp.o.d"
+  "/root/repo/src/multifrontal/factorization.cpp" "src/CMakeFiles/mfgpu.dir/multifrontal/factorization.cpp.o" "gcc" "src/CMakeFiles/mfgpu.dir/multifrontal/factorization.cpp.o.d"
+  "/root/repo/src/multifrontal/frontal.cpp" "src/CMakeFiles/mfgpu.dir/multifrontal/frontal.cpp.o" "gcc" "src/CMakeFiles/mfgpu.dir/multifrontal/frontal.cpp.o.d"
+  "/root/repo/src/multifrontal/refine.cpp" "src/CMakeFiles/mfgpu.dir/multifrontal/refine.cpp.o" "gcc" "src/CMakeFiles/mfgpu.dir/multifrontal/refine.cpp.o.d"
+  "/root/repo/src/multifrontal/solve.cpp" "src/CMakeFiles/mfgpu.dir/multifrontal/solve.cpp.o" "gcc" "src/CMakeFiles/mfgpu.dir/multifrontal/solve.cpp.o.d"
+  "/root/repo/src/multifrontal/stack_arena.cpp" "src/CMakeFiles/mfgpu.dir/multifrontal/stack_arena.cpp.o" "gcc" "src/CMakeFiles/mfgpu.dir/multifrontal/stack_arena.cpp.o.d"
+  "/root/repo/src/multifrontal/trace.cpp" "src/CMakeFiles/mfgpu.dir/multifrontal/trace.cpp.o" "gcc" "src/CMakeFiles/mfgpu.dir/multifrontal/trace.cpp.o.d"
+  "/root/repo/src/multifrontal/trace_stats.cpp" "src/CMakeFiles/mfgpu.dir/multifrontal/trace_stats.cpp.o" "gcc" "src/CMakeFiles/mfgpu.dir/multifrontal/trace_stats.cpp.o.d"
+  "/root/repo/src/ordering/minimum_degree.cpp" "src/CMakeFiles/mfgpu.dir/ordering/minimum_degree.cpp.o" "gcc" "src/CMakeFiles/mfgpu.dir/ordering/minimum_degree.cpp.o.d"
+  "/root/repo/src/ordering/nested_dissection.cpp" "src/CMakeFiles/mfgpu.dir/ordering/nested_dissection.cpp.o" "gcc" "src/CMakeFiles/mfgpu.dir/ordering/nested_dissection.cpp.o.d"
+  "/root/repo/src/ordering/permutation.cpp" "src/CMakeFiles/mfgpu.dir/ordering/permutation.cpp.o" "gcc" "src/CMakeFiles/mfgpu.dir/ordering/permutation.cpp.o.d"
+  "/root/repo/src/ordering/rcm.cpp" "src/CMakeFiles/mfgpu.dir/ordering/rcm.cpp.o" "gcc" "src/CMakeFiles/mfgpu.dir/ordering/rcm.cpp.o.d"
+  "/root/repo/src/policy/baseline_hybrid.cpp" "src/CMakeFiles/mfgpu.dir/policy/baseline_hybrid.cpp.o" "gcc" "src/CMakeFiles/mfgpu.dir/policy/baseline_hybrid.cpp.o.d"
+  "/root/repo/src/policy/executors.cpp" "src/CMakeFiles/mfgpu.dir/policy/executors.cpp.o" "gcc" "src/CMakeFiles/mfgpu.dir/policy/executors.cpp.o.d"
+  "/root/repo/src/policy/p4_gpu_potrf.cpp" "src/CMakeFiles/mfgpu.dir/policy/p4_gpu_potrf.cpp.o" "gcc" "src/CMakeFiles/mfgpu.dir/policy/p4_gpu_potrf.cpp.o.d"
+  "/root/repo/src/policy/policy.cpp" "src/CMakeFiles/mfgpu.dir/policy/policy.cpp.o" "gcc" "src/CMakeFiles/mfgpu.dir/policy/policy.cpp.o.d"
+  "/root/repo/src/sched/list_scheduler.cpp" "src/CMakeFiles/mfgpu.dir/sched/list_scheduler.cpp.o" "gcc" "src/CMakeFiles/mfgpu.dir/sched/list_scheduler.cpp.o.d"
+  "/root/repo/src/sched/proportional_map.cpp" "src/CMakeFiles/mfgpu.dir/sched/proportional_map.cpp.o" "gcc" "src/CMakeFiles/mfgpu.dir/sched/proportional_map.cpp.o.d"
+  "/root/repo/src/sched/task_graph.cpp" "src/CMakeFiles/mfgpu.dir/sched/task_graph.cpp.o" "gcc" "src/CMakeFiles/mfgpu.dir/sched/task_graph.cpp.o.d"
+  "/root/repo/src/sparse/coo.cpp" "src/CMakeFiles/mfgpu.dir/sparse/coo.cpp.o" "gcc" "src/CMakeFiles/mfgpu.dir/sparse/coo.cpp.o.d"
+  "/root/repo/src/sparse/csc.cpp" "src/CMakeFiles/mfgpu.dir/sparse/csc.cpp.o" "gcc" "src/CMakeFiles/mfgpu.dir/sparse/csc.cpp.o.d"
+  "/root/repo/src/sparse/dense_convert.cpp" "src/CMakeFiles/mfgpu.dir/sparse/dense_convert.cpp.o" "gcc" "src/CMakeFiles/mfgpu.dir/sparse/dense_convert.cpp.o.d"
+  "/root/repo/src/sparse/generators.cpp" "src/CMakeFiles/mfgpu.dir/sparse/generators.cpp.o" "gcc" "src/CMakeFiles/mfgpu.dir/sparse/generators.cpp.o.d"
+  "/root/repo/src/sparse/io.cpp" "src/CMakeFiles/mfgpu.dir/sparse/io.cpp.o" "gcc" "src/CMakeFiles/mfgpu.dir/sparse/io.cpp.o.d"
+  "/root/repo/src/sparse/stats.cpp" "src/CMakeFiles/mfgpu.dir/sparse/stats.cpp.o" "gcc" "src/CMakeFiles/mfgpu.dir/sparse/stats.cpp.o.d"
+  "/root/repo/src/support/binning.cpp" "src/CMakeFiles/mfgpu.dir/support/binning.cpp.o" "gcc" "src/CMakeFiles/mfgpu.dir/support/binning.cpp.o.d"
+  "/root/repo/src/support/error.cpp" "src/CMakeFiles/mfgpu.dir/support/error.cpp.o" "gcc" "src/CMakeFiles/mfgpu.dir/support/error.cpp.o.d"
+  "/root/repo/src/support/rng.cpp" "src/CMakeFiles/mfgpu.dir/support/rng.cpp.o" "gcc" "src/CMakeFiles/mfgpu.dir/support/rng.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "src/CMakeFiles/mfgpu.dir/support/table.cpp.o" "gcc" "src/CMakeFiles/mfgpu.dir/support/table.cpp.o.d"
+  "/root/repo/src/symbolic/colcounts.cpp" "src/CMakeFiles/mfgpu.dir/symbolic/colcounts.cpp.o" "gcc" "src/CMakeFiles/mfgpu.dir/symbolic/colcounts.cpp.o.d"
+  "/root/repo/src/symbolic/etree.cpp" "src/CMakeFiles/mfgpu.dir/symbolic/etree.cpp.o" "gcc" "src/CMakeFiles/mfgpu.dir/symbolic/etree.cpp.o.d"
+  "/root/repo/src/symbolic/postorder.cpp" "src/CMakeFiles/mfgpu.dir/symbolic/postorder.cpp.o" "gcc" "src/CMakeFiles/mfgpu.dir/symbolic/postorder.cpp.o.d"
+  "/root/repo/src/symbolic/supernodes.cpp" "src/CMakeFiles/mfgpu.dir/symbolic/supernodes.cpp.o" "gcc" "src/CMakeFiles/mfgpu.dir/symbolic/supernodes.cpp.o.d"
+  "/root/repo/src/symbolic/symbolic_factor.cpp" "src/CMakeFiles/mfgpu.dir/symbolic/symbolic_factor.cpp.o" "gcc" "src/CMakeFiles/mfgpu.dir/symbolic/symbolic_factor.cpp.o.d"
+  "/root/repo/src/symbolic/tree_stats.cpp" "src/CMakeFiles/mfgpu.dir/symbolic/tree_stats.cpp.o" "gcc" "src/CMakeFiles/mfgpu.dir/symbolic/tree_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/autotune/features_test.cpp" "tests/CMakeFiles/mfgpu_tests.dir/autotune/features_test.cpp.o" "gcc" "tests/CMakeFiles/mfgpu_tests.dir/autotune/features_test.cpp.o.d"
+  "/root/repo/tests/autotune/hybrid_test.cpp" "tests/CMakeFiles/mfgpu_tests.dir/autotune/hybrid_test.cpp.o" "gcc" "tests/CMakeFiles/mfgpu_tests.dir/autotune/hybrid_test.cpp.o.d"
+  "/root/repo/tests/autotune/logistic_test.cpp" "tests/CMakeFiles/mfgpu_tests.dir/autotune/logistic_test.cpp.o" "gcc" "tests/CMakeFiles/mfgpu_tests.dir/autotune/logistic_test.cpp.o.d"
+  "/root/repo/tests/autotune/model_io_test.cpp" "tests/CMakeFiles/mfgpu_tests.dir/autotune/model_io_test.cpp.o" "gcc" "tests/CMakeFiles/mfgpu_tests.dir/autotune/model_io_test.cpp.o.d"
+  "/root/repo/tests/autotune/trainer_test.cpp" "tests/CMakeFiles/mfgpu_tests.dir/autotune/trainer_test.cpp.o" "gcc" "tests/CMakeFiles/mfgpu_tests.dir/autotune/trainer_test.cpp.o.d"
+  "/root/repo/tests/core/solver_test.cpp" "tests/CMakeFiles/mfgpu_tests.dir/core/solver_test.cpp.o" "gcc" "tests/CMakeFiles/mfgpu_tests.dir/core/solver_test.cpp.o.d"
+  "/root/repo/tests/dense/blas_test.cpp" "tests/CMakeFiles/mfgpu_tests.dir/dense/blas_test.cpp.o" "gcc" "tests/CMakeFiles/mfgpu_tests.dir/dense/blas_test.cpp.o.d"
+  "/root/repo/tests/dense/matrix_test.cpp" "tests/CMakeFiles/mfgpu_tests.dir/dense/matrix_test.cpp.o" "gcc" "tests/CMakeFiles/mfgpu_tests.dir/dense/matrix_test.cpp.o.d"
+  "/root/repo/tests/dense/potrf_test.cpp" "tests/CMakeFiles/mfgpu_tests.dir/dense/potrf_test.cpp.o" "gcc" "tests/CMakeFiles/mfgpu_tests.dir/dense/potrf_test.cpp.o.d"
+  "/root/repo/tests/gpusim/calibration_test.cpp" "tests/CMakeFiles/mfgpu_tests.dir/gpusim/calibration_test.cpp.o" "gcc" "tests/CMakeFiles/mfgpu_tests.dir/gpusim/calibration_test.cpp.o.d"
+  "/root/repo/tests/gpusim/clock_stream_test.cpp" "tests/CMakeFiles/mfgpu_tests.dir/gpusim/clock_stream_test.cpp.o" "gcc" "tests/CMakeFiles/mfgpu_tests.dir/gpusim/clock_stream_test.cpp.o.d"
+  "/root/repo/tests/gpusim/cost_model_test.cpp" "tests/CMakeFiles/mfgpu_tests.dir/gpusim/cost_model_test.cpp.o" "gcc" "tests/CMakeFiles/mfgpu_tests.dir/gpusim/cost_model_test.cpp.o.d"
+  "/root/repo/tests/gpusim/device_test.cpp" "tests/CMakeFiles/mfgpu_tests.dir/gpusim/device_test.cpp.o" "gcc" "tests/CMakeFiles/mfgpu_tests.dir/gpusim/device_test.cpp.o.d"
+  "/root/repo/tests/gpusim/gpublas_test.cpp" "tests/CMakeFiles/mfgpu_tests.dir/gpusim/gpublas_test.cpp.o" "gcc" "tests/CMakeFiles/mfgpu_tests.dir/gpusim/gpublas_test.cpp.o.d"
+  "/root/repo/tests/gpusim/memory_test.cpp" "tests/CMakeFiles/mfgpu_tests.dir/gpusim/memory_test.cpp.o" "gcc" "tests/CMakeFiles/mfgpu_tests.dir/gpusim/memory_test.cpp.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cpp" "tests/CMakeFiles/mfgpu_tests.dir/integration/end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/mfgpu_tests.dir/integration/end_to_end_test.cpp.o.d"
+  "/root/repo/tests/integration/failure_injection_test.cpp" "tests/CMakeFiles/mfgpu_tests.dir/integration/failure_injection_test.cpp.o" "gcc" "tests/CMakeFiles/mfgpu_tests.dir/integration/failure_injection_test.cpp.o.d"
+  "/root/repo/tests/integration/paper_properties_test.cpp" "tests/CMakeFiles/mfgpu_tests.dir/integration/paper_properties_test.cpp.o" "gcc" "tests/CMakeFiles/mfgpu_tests.dir/integration/paper_properties_test.cpp.o.d"
+  "/root/repo/tests/integration/randomized_property_test.cpp" "tests/CMakeFiles/mfgpu_tests.dir/integration/randomized_property_test.cpp.o" "gcc" "tests/CMakeFiles/mfgpu_tests.dir/integration/randomized_property_test.cpp.o.d"
+  "/root/repo/tests/multifrontal/factorization_test.cpp" "tests/CMakeFiles/mfgpu_tests.dir/multifrontal/factorization_test.cpp.o" "gcc" "tests/CMakeFiles/mfgpu_tests.dir/multifrontal/factorization_test.cpp.o.d"
+  "/root/repo/tests/multifrontal/frontal_test.cpp" "tests/CMakeFiles/mfgpu_tests.dir/multifrontal/frontal_test.cpp.o" "gcc" "tests/CMakeFiles/mfgpu_tests.dir/multifrontal/frontal_test.cpp.o.d"
+  "/root/repo/tests/multifrontal/mixed_precision_test.cpp" "tests/CMakeFiles/mfgpu_tests.dir/multifrontal/mixed_precision_test.cpp.o" "gcc" "tests/CMakeFiles/mfgpu_tests.dir/multifrontal/mixed_precision_test.cpp.o.d"
+  "/root/repo/tests/multifrontal/solve_refine_test.cpp" "tests/CMakeFiles/mfgpu_tests.dir/multifrontal/solve_refine_test.cpp.o" "gcc" "tests/CMakeFiles/mfgpu_tests.dir/multifrontal/solve_refine_test.cpp.o.d"
+  "/root/repo/tests/multifrontal/stack_arena_test.cpp" "tests/CMakeFiles/mfgpu_tests.dir/multifrontal/stack_arena_test.cpp.o" "gcc" "tests/CMakeFiles/mfgpu_tests.dir/multifrontal/stack_arena_test.cpp.o.d"
+  "/root/repo/tests/multifrontal/trace_stats_test.cpp" "tests/CMakeFiles/mfgpu_tests.dir/multifrontal/trace_stats_test.cpp.o" "gcc" "tests/CMakeFiles/mfgpu_tests.dir/multifrontal/trace_stats_test.cpp.o.d"
+  "/root/repo/tests/multifrontal/trace_test.cpp" "tests/CMakeFiles/mfgpu_tests.dir/multifrontal/trace_test.cpp.o" "gcc" "tests/CMakeFiles/mfgpu_tests.dir/multifrontal/trace_test.cpp.o.d"
+  "/root/repo/tests/ordering/orderings_test.cpp" "tests/CMakeFiles/mfgpu_tests.dir/ordering/orderings_test.cpp.o" "gcc" "tests/CMakeFiles/mfgpu_tests.dir/ordering/orderings_test.cpp.o.d"
+  "/root/repo/tests/ordering/permutation_test.cpp" "tests/CMakeFiles/mfgpu_tests.dir/ordering/permutation_test.cpp.o" "gcc" "tests/CMakeFiles/mfgpu_tests.dir/ordering/permutation_test.cpp.o.d"
+  "/root/repo/tests/policy/baseline_hybrid_test.cpp" "tests/CMakeFiles/mfgpu_tests.dir/policy/baseline_hybrid_test.cpp.o" "gcc" "tests/CMakeFiles/mfgpu_tests.dir/policy/baseline_hybrid_test.cpp.o.d"
+  "/root/repo/tests/policy/copy_optimized_test.cpp" "tests/CMakeFiles/mfgpu_tests.dir/policy/copy_optimized_test.cpp.o" "gcc" "tests/CMakeFiles/mfgpu_tests.dir/policy/copy_optimized_test.cpp.o.d"
+  "/root/repo/tests/policy/executors_test.cpp" "tests/CMakeFiles/mfgpu_tests.dir/policy/executors_test.cpp.o" "gcc" "tests/CMakeFiles/mfgpu_tests.dir/policy/executors_test.cpp.o.d"
+  "/root/repo/tests/policy/p4_test.cpp" "tests/CMakeFiles/mfgpu_tests.dir/policy/p4_test.cpp.o" "gcc" "tests/CMakeFiles/mfgpu_tests.dir/policy/p4_test.cpp.o.d"
+  "/root/repo/tests/policy/policy_test.cpp" "tests/CMakeFiles/mfgpu_tests.dir/policy/policy_test.cpp.o" "gcc" "tests/CMakeFiles/mfgpu_tests.dir/policy/policy_test.cpp.o.d"
+  "/root/repo/tests/sched/cluster_test.cpp" "tests/CMakeFiles/mfgpu_tests.dir/sched/cluster_test.cpp.o" "gcc" "tests/CMakeFiles/mfgpu_tests.dir/sched/cluster_test.cpp.o.d"
+  "/root/repo/tests/sched/scheduler_test.cpp" "tests/CMakeFiles/mfgpu_tests.dir/sched/scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/mfgpu_tests.dir/sched/scheduler_test.cpp.o.d"
+  "/root/repo/tests/sparse/coo_csc_test.cpp" "tests/CMakeFiles/mfgpu_tests.dir/sparse/coo_csc_test.cpp.o" "gcc" "tests/CMakeFiles/mfgpu_tests.dir/sparse/coo_csc_test.cpp.o.d"
+  "/root/repo/tests/sparse/dense_convert_test.cpp" "tests/CMakeFiles/mfgpu_tests.dir/sparse/dense_convert_test.cpp.o" "gcc" "tests/CMakeFiles/mfgpu_tests.dir/sparse/dense_convert_test.cpp.o.d"
+  "/root/repo/tests/sparse/generators_test.cpp" "tests/CMakeFiles/mfgpu_tests.dir/sparse/generators_test.cpp.o" "gcc" "tests/CMakeFiles/mfgpu_tests.dir/sparse/generators_test.cpp.o.d"
+  "/root/repo/tests/sparse/io_test.cpp" "tests/CMakeFiles/mfgpu_tests.dir/sparse/io_test.cpp.o" "gcc" "tests/CMakeFiles/mfgpu_tests.dir/sparse/io_test.cpp.o.d"
+  "/root/repo/tests/support/binning_test.cpp" "tests/CMakeFiles/mfgpu_tests.dir/support/binning_test.cpp.o" "gcc" "tests/CMakeFiles/mfgpu_tests.dir/support/binning_test.cpp.o.d"
+  "/root/repo/tests/support/error_test.cpp" "tests/CMakeFiles/mfgpu_tests.dir/support/error_test.cpp.o" "gcc" "tests/CMakeFiles/mfgpu_tests.dir/support/error_test.cpp.o.d"
+  "/root/repo/tests/support/rng_test.cpp" "tests/CMakeFiles/mfgpu_tests.dir/support/rng_test.cpp.o" "gcc" "tests/CMakeFiles/mfgpu_tests.dir/support/rng_test.cpp.o.d"
+  "/root/repo/tests/support/table_test.cpp" "tests/CMakeFiles/mfgpu_tests.dir/support/table_test.cpp.o" "gcc" "tests/CMakeFiles/mfgpu_tests.dir/support/table_test.cpp.o.d"
+  "/root/repo/tests/symbolic/etree_test.cpp" "tests/CMakeFiles/mfgpu_tests.dir/symbolic/etree_test.cpp.o" "gcc" "tests/CMakeFiles/mfgpu_tests.dir/symbolic/etree_test.cpp.o.d"
+  "/root/repo/tests/symbolic/postorder_test.cpp" "tests/CMakeFiles/mfgpu_tests.dir/symbolic/postorder_test.cpp.o" "gcc" "tests/CMakeFiles/mfgpu_tests.dir/symbolic/postorder_test.cpp.o.d"
+  "/root/repo/tests/symbolic/supernodes_test.cpp" "tests/CMakeFiles/mfgpu_tests.dir/symbolic/supernodes_test.cpp.o" "gcc" "tests/CMakeFiles/mfgpu_tests.dir/symbolic/supernodes_test.cpp.o.d"
+  "/root/repo/tests/symbolic/symbolic_factor_test.cpp" "tests/CMakeFiles/mfgpu_tests.dir/symbolic/symbolic_factor_test.cpp.o" "gcc" "tests/CMakeFiles/mfgpu_tests.dir/symbolic/symbolic_factor_test.cpp.o.d"
+  "/root/repo/tests/symbolic/tree_stats_test.cpp" "tests/CMakeFiles/mfgpu_tests.dir/symbolic/tree_stats_test.cpp.o" "gcc" "tests/CMakeFiles/mfgpu_tests.dir/symbolic/tree_stats_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mfgpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
