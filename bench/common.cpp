@@ -5,7 +5,14 @@
 #include <fstream>
 #include <iostream>
 
+#include "obs/obs.hpp"
+
 namespace mfgpu::bench {
+
+// Benchmarks honor the same MFGPU_TRACE / MFGPU_METRICS env toggles as the
+// solver binaries; exports are written at process exit. Inert (one relaxed
+// atomic load per instrumentation site) when neither variable is set.
+const obs::ObsScope bench_obs_scope = obs::ObsScope::from_env();
 
 double bench_scale() {
   if (const char* env = std::getenv("MFGPU_BENCH_SCALE")) {

@@ -16,6 +16,7 @@
 
 #include "autotune/model_io.hpp"
 #include "core/solver.hpp"
+#include "obs/obs.hpp"
 #include "multifrontal/refine.hpp"
 #include "multifrontal/trace_stats.hpp"
 #include "sparse/generators.hpp"
@@ -105,6 +106,21 @@ OrderingChoice parse_ordering(const std::string& ordering) {
 int main(int argc, char** argv) {
   try {
     const CliOptions cli = parse(argc, argv);
+
+    // MFGPU_TRACE=out.json / MFGPU_METRICS=m.json activate the observability
+    // layer for the whole run; files are written when the scope closes.
+    obs::ObsScope obs_scope = obs::ObsScope::from_env();
+    if (obs_scope.active()) {
+      if (!obs_scope.config().trace_path.empty()) {
+        std::printf("observability: trace -> %s\n",
+                    obs_scope.config().trace_path.c_str());
+      }
+      if (!obs_scope.config().metrics_json_path.empty()) {
+        std::printf("observability: metrics -> %s, %s\n",
+                    obs_scope.config().metrics_json_path.c_str(),
+                    obs_scope.config().metrics_csv_path.c_str());
+      }
+    }
 
     // Input system.
     GridProblem problem;

@@ -2,6 +2,7 @@
 
 #include "autotune/hybrid.hpp"
 #include "multifrontal/solve.hpp"
+#include "obs/obs.hpp"
 #include "ordering/minimum_degree.hpp"
 #include "ordering/nested_dissection.hpp"
 #include "policy/baseline_hybrid.hpp"
@@ -50,6 +51,7 @@ std::unique_ptr<FuExecutor> Solver::Impl::choose_executor() {
     case SolverMode::ModelHybrid: {
       // Train on this matrix's own call distribution (the paper's
       // methodology: learn from the observed timing data).
+      obs::ScopedSpan span("solver", "train_policy_model");
       timer = std::make_unique<PolicyTimer>(options.executor);
       const PolicyDataset dataset =
           build_dataset(dims_from_symbolic(analysis->symbolic), *timer);
@@ -69,7 +71,11 @@ Solver::Solver(const SparseSpd& a, const SolverOptions& options)
     : impl_(std::make_unique<Impl>()) {
   impl_->matrix = &a;
   impl_->options = options;
-  impl_->analysis = analyze(a, choose_ordering(a, options), options.analysis);
+  {
+    obs::ScopedSpan span("solver", "analyze");
+    span.set_arg(0, "n", a.n());
+    impl_->analysis = analyze(a, choose_ordering(a, options), options.analysis);
+  }
 
   const auto executor = impl_->choose_executor();
   FactorContext ctx;
@@ -79,6 +85,7 @@ Solver::Solver(const SparseSpd& a, const SolverOptions& options)
     impl_->device = std::make_unique<Device>(device_options);
     ctx.device = impl_->device.get();
   }
+  obs::ScopedSpan span("solver", "numeric_factorization", &ctx.host_clock);
   FactorizeResult result = factorize(*impl_->analysis, *executor, ctx);
   impl_->factor = std::move(result.factor);
   impl_->trace = std::move(result.trace);
@@ -106,6 +113,7 @@ Matrix<double> Solver::solve(const Matrix<double>& b) const {
 }
 
 RefineResult Solver::solve_with_history(std::span<const double> b) const {
+  obs::ScopedSpan span("solve", "solve_with_refinement");
   return solve_with_refinement(*impl_->matrix, *impl_->analysis,
                                *impl_->factor, b,
                                impl_->options.max_refinement_steps,

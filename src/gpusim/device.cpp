@@ -1,7 +1,19 @@
 #include "gpusim/device.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace mfgpu {
 namespace {
+
+/// PCIe accounting shared by all four copy paths.
+void count_transfer(const char* direction, double bytes, double duration) {
+  if (!mfgpu::obs::enabled()) return;
+  auto& metrics = mfgpu::obs::MetricsRegistry::global();
+  metrics.add("gpusim.pcie.bytes", bytes);
+  metrics.add("gpusim.pcie.seconds", duration);
+  metrics.add(std::string("gpusim.pcie.") + direction + ".bytes", bytes);
+  metrics.increment(std::string("gpusim.pcie.") + direction + ".copies");
+}
 
 double matrix_bytes(index_t rows, index_t cols) {
   return static_cast<double>(rows) * static_cast<double>(cols) *
@@ -58,6 +70,7 @@ double Device::copy_to_device_sync(MatrixView<const double> src,
     copy_into<float>(src, device_block(dst, i0, j0, src.rows(), src.cols()));
   }
   const double duration = transfer().sync_copy_time(bytes);
+  count_transfer("h2d", bytes, duration);
   // A pageable copy blocks the host and serializes with prior device work
   // touching the destination.
   const double done = std::max(host.now(), dst.available_at) + duration;
@@ -80,6 +93,7 @@ double Device::copy_from_device_sync(const DeviceMatrix& src, index_t i0,
         dst);
   }
   const double duration = transfer().sync_copy_time(bytes);
+  count_transfer("d2h", bytes, duration);
   const double done = std::max(host.now(), src.available_at) + duration;
   host.advance_to(done);
   return duration;
@@ -95,6 +109,7 @@ double Device::copy_to_device_async(MatrixView<const double> src,
   }
   host.advance(transfer().enqueue_overhead);
   const double duration = transfer().async_copy_time(bytes);
+  count_transfer("h2d", bytes, duration);
   const double earliest = std::max(host.now(), dst.available_at);
   dst.available_at = stream.enqueue(earliest, duration);
   return duration;
@@ -115,6 +130,7 @@ double Device::copy_from_device_async(const DeviceMatrix& src, index_t i0,
   }
   host.advance(transfer().enqueue_overhead);
   const double duration = transfer().async_copy_time(bytes);
+  count_transfer("d2h", bytes, duration);
   // Reads only: the copy waits for the producer but does not bump
   // available_at (write-after-read hazards are not modeled).
   stream.enqueue(std::max(host.now(), src.available_at), duration);

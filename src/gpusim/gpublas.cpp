@@ -1,11 +1,24 @@
 #include "gpusim/gpublas.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "dense/potrf.hpp"
+#include "obs/metrics.hpp"
 
 namespace mfgpu {
 namespace {
+
+/// Per-kernel-class accounting: flops executed, simulated seconds charged,
+/// and call counts, keyed as kernel.<prefix>.{flops,seconds,calls}.
+void count_kernel(const char* prefix, double ops, double duration) {
+  if (!obs::enabled()) return;
+  auto& metrics = obs::MetricsRegistry::global();
+  const std::string base = std::string("kernel.") + prefix;
+  metrics.add(base + ".flops", ops);
+  metrics.add(base + ".seconds", duration);
+  metrics.increment(base + ".calls");
+}
 
 /// Enqueue a kernel: pay the host launch overhead, start when the stream is
 /// free and every input matrix is available, mark outputs available at
@@ -42,6 +55,7 @@ double gpu_potrf(const GpuExec& exec, DevBlock a, index_t column_offset) {
   const double duration =
       exec.device->model().potrf.time(ops, static_cast<double>(a.rows));
   enqueue_kernel(exec, duration, {}, {a.mat});
+  count_kernel("gpu.potrf", ops, duration);
   if (exec.device->numeric()) {
     potrf_unblocked<float>(a.view(), column_offset);
   }
@@ -55,6 +69,7 @@ double gpu_trsm(const GpuExec& exec, DevBlock tri, DevBlock rhs) {
   const double min_dim = static_cast<double>(std::min(rhs.rows, rhs.cols));
   const double duration = exec.device->model().trsm.time(ops, min_dim);
   enqueue_kernel(exec, duration, {tri.mat}, {rhs.mat});
+  count_kernel("gpu.trsm", ops, duration);
   if (exec.device->numeric()) {
     trsm<float>(Side::Right, Uplo::Lower, Trans::Transpose, Diag::NonUnit,
                 1.0f, tri.view(), rhs.view());
@@ -68,6 +83,7 @@ double gpu_syrk(const GpuExec& exec, float alpha, DevBlock a, DevBlock c) {
   const double min_dim = static_cast<double>(std::min(c.rows, a.cols));
   const double duration = exec.device->model().syrk.time(ops, min_dim);
   enqueue_kernel(exec, duration, {a.mat}, {c.mat});
+  count_kernel("gpu.syrk", ops, duration);
   if (exec.device->numeric()) {
     syrk_lower<float>(alpha, a.view(), 1.0f, c.view());
   }
@@ -83,6 +99,7 @@ double gpu_gemm_nt(const GpuExec& exec, float alpha, DevBlock a, DevBlock b,
       static_cast<double>(std::min({c.rows, c.cols, a.cols}));
   const double duration = exec.device->model().gemm.time(ops, min_dim);
   enqueue_kernel(exec, duration, {a.mat, b.mat}, {c.mat});
+  count_kernel("gpu.gemm", ops, duration);
   if (exec.device->numeric()) {
     gemm<float>(Trans::NoTrans, Trans::Transpose, alpha, a.view(), b.view(),
                 1.0f, c.view());
@@ -96,6 +113,7 @@ double host_potrf(const HostExec& exec, MatrixView<double> a,
   const double duration =
       exec.model->potrf.time(ops, static_cast<double>(a.rows()));
   exec.clock->advance(duration);
+  count_kernel("host.potrf", ops, duration);
   if (exec.numeric) potrf<double>(a, 64, column_offset);
   return duration;
 }
@@ -107,6 +125,7 @@ double host_trsm(const HostExec& exec, MatrixView<const double> tri,
       static_cast<double>(std::min(rhs.rows(), rhs.cols()));
   const double duration = exec.model->trsm.time(ops, min_dim);
   exec.clock->advance(duration);
+  count_kernel("host.trsm", ops, duration);
   if (exec.numeric) {
     trsm<double>(Side::Right, Uplo::Lower, Trans::Transpose, Diag::NonUnit,
                  1.0, tri, rhs);
@@ -120,6 +139,7 @@ double host_syrk(const HostExec& exec, double alpha,
   const double min_dim = static_cast<double>(std::min(c.rows(), a.cols()));
   const double duration = exec.model->syrk.time(ops, min_dim);
   exec.clock->advance(duration);
+  count_kernel("host.syrk", ops, duration);
   if (exec.numeric) syrk_lower<double>(alpha, a, 1.0, c);
   return duration;
 }
@@ -132,6 +152,7 @@ double host_gemm_nt(const HostExec& exec, double alpha,
       static_cast<double>(std::min({c.rows(), c.cols(), a.cols()}));
   const double duration = exec.model->gemm.time(ops, min_dim);
   exec.clock->advance(duration);
+  count_kernel("host.gemm", ops, duration);
   if (exec.numeric) {
     gemm<double>(Trans::NoTrans, Trans::Transpose, alpha, a, b, 1.0, c);
   }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace mfgpu {
 
 MemoryPool::MemoryPool(std::string name, double alloc_latency,
@@ -29,6 +31,16 @@ double MemoryPool::acquire(const std::string& slot, std::int64_t bytes) {
   for (const auto& [key, value] : high_water_) total += value;
   stats_.current_high_water_bytes = total;
   stats_.peak_bytes = std::max(stats_.peak_bytes, total);
+  if (obs::enabled()) {
+    auto& metrics = obs::MetricsRegistry::global();
+    metrics.increment("gpusim.pool." + name_ + ".acquires");
+    if (cost > 0.0) {
+      metrics.increment("gpusim.pool." + name_ + ".charged_allocations");
+      metrics.add("gpusim.pool." + name_ + ".alloc_seconds", cost);
+    }
+    metrics.gauge_max("gpusim.pool." + name_ + ".high_water_bytes",
+                      static_cast<double>(total));
+  }
   if (total > capacity_bytes_) {
     throw DeviceOutOfMemoryError(name_ + ": pool exceeds capacity (" +
                                  std::to_string(total) + " > " +

@@ -1,3 +1,21 @@
 #include "gpusim/stream.hpp"
 
-// Stream and Event are fully inline; this file pins the module in the build.
+#include "obs/metrics.hpp"
+
+namespace mfgpu {
+
+double Stream::enqueue(double earliest, double duration) {
+  MFGPU_CHECK(duration >= 0.0, "Stream: negative duration");
+  const double start = std::max(ready_, earliest);
+  if (obs::enabled()) {
+    auto& metrics = obs::MetricsRegistry::global();
+    metrics.increment("gpusim.stream.ops");
+    metrics.add("gpusim.stream.busy_seconds", duration);
+    // Simulated time the stream sat idle waiting for inputs/enqueue.
+    metrics.add("gpusim.stream.idle_gap_seconds", start - ready_);
+  }
+  ready_ = start + duration;
+  return ready_;
+}
+
+}  // namespace mfgpu

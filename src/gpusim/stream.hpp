@@ -20,13 +20,9 @@ class Stream {
 
   /// Enqueue an operation of `duration` seconds that cannot start before
   /// `earliest` (host enqueue time and input availability). Returns the
-  /// completion time.
-  double enqueue(double earliest, double duration) {
-    MFGPU_CHECK(duration >= 0.0, "Stream: negative duration");
-    const double start = std::max(ready_, earliest);
-    ready_ = start + duration;
-    return ready_;
-  }
+  /// completion time. Records stream occupancy/idle-gap metrics when the
+  /// observability layer is enabled.
+  double enqueue(double earliest, double duration);
 
   /// Make subsequent work wait for `time` (cudaStreamWaitEvent).
   void wait_until(double time) { ready_ = std::max(ready_, time); }

@@ -4,6 +4,7 @@
 
 #include "multifrontal/frontal.hpp"
 #include "multifrontal/stack_arena.hpp"
+#include "obs/obs.hpp"
 #include "symbolic/postorder.hpp"
 
 namespace mfgpu {
@@ -25,6 +26,10 @@ FactorizeResult factorize(const Analysis& analysis, FuExecutor& executor,
   const SymbolicFactor& sym = analysis.symbolic;
   const SparseSpd& a = analysis.permuted;
   const index_t nsup = sym.num_supernodes();
+
+  obs::ScopedSpan factorize_span("multifrontal", "factorize",
+                                 &ctx.host_clock);
+  factorize_span.set_arg(0, "supernodes", nsup);
 
   FactorizeResult result;
   result.factor.numeric = ctx.numeric;
@@ -103,10 +108,17 @@ FactorizeResult factorize(const Analysis& analysis, FuExecutor& executor,
       blocks.l2 = front.l2();
       blocks.u = front.update();
     }
-    FuOutcome outcome = executor.execute(blocks, ctx);
+    FuOutcome outcome;
+    {
+      obs::ScopedSpan fu_span("multifrontal", "factor_update",
+                              &ctx.host_clock);
+      outcome = executor.execute(blocks, ctx);
+      fu_span.set_arg(0, "m", front.m());
+      fu_span.set_arg(1, "k", front.k());
+      fu_span.set_arg(2, "policy", outcome.record.policy);
+    }
     outcome.record.snode = s;
-    trace.calls.push_back(outcome.record);
-    trace.fu_time += outcome.record.t_total;
+    trace.record_call(outcome.record);
 
     // Store the factor panel (columns of L for this supernode).
     if (options.store_factor && ctx.numeric) {
@@ -149,6 +161,26 @@ FactorizeResult factorize(const Analysis& analysis, FuExecutor& executor,
 
   if (ctx.device != nullptr) ctx.device->synchronize(ctx.host_clock);
   trace.total_time = ctx.host_clock.now() - start_time;
+
+  if (obs::enabled()) {
+    auto& metrics = obs::MetricsRegistry::global();
+    metrics.add("multifrontal.assembly.seconds", trace.assembly_time);
+    metrics.add("multifrontal.factorize.seconds", trace.total_time);
+    metrics.add("multifrontal.supernodes", static_cast<double>(nsup));
+    metrics.gauge_max("multifrontal.stack_arena.peak_entries",
+                      static_cast<double>(stack.peak_entries()));
+    metrics.gauge_max(
+        "multifrontal.stack_arena.peak_bytes",
+        static_cast<double>(stack.peak_entries()) * sizeof(double));
+    if (ctx.device != nullptr) {
+      metrics.gauge_max(
+          "gpusim.pool.device.peak_bytes",
+          static_cast<double>(ctx.device->device_pool_stats().peak_bytes));
+      metrics.gauge_max(
+          "gpusim.pool.pinned.peak_bytes",
+          static_cast<double>(ctx.device->pinned_pool_stats().peak_bytes));
+    }
+  }
   return result;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace mfgpu {
 
 StackArena::StackArena(index_t capacity_entries) {
@@ -19,6 +21,11 @@ std::span<double> StackArena::push(index_t entries) {
   std::fill(block.begin(), block.end(), 0.0);
   top_ += entries;
   peak_ = std::max(peak_, top_);
+  if (obs::enabled()) {
+    obs::MetricsRegistry::global().gauge_max(
+        "multifrontal.stack_arena.live_peak_entries",
+        static_cast<double>(peak_));
+  }
   return block;
 }
 

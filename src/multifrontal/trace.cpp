@@ -1,8 +1,11 @@
 #include "multifrontal/trace.hpp"
 
+#include <limits>
 #include <ostream>
+#include <string>
 
 #include "dense/blas.hpp"
+#include "obs/metrics.hpp"
 
 namespace mfgpu {
 
@@ -14,6 +17,25 @@ double FuCallRecord::ops_trsm() const {
 }
 double FuCallRecord::ops_syrk() const {
   return static_cast<double>(mfgpu::syrk_ops(m, k));
+}
+
+void FactorizationTrace::record_call(const FuCallRecord& record) {
+  calls.push_back(record);
+  fu_time += record.t_total;
+  if (obs::enabled()) {
+    auto& metrics = obs::MetricsRegistry::global();
+    metrics.increment("fu.calls");
+    metrics.add("fu.time.potrf", record.t_potrf);
+    metrics.add("fu.time.trsm", record.t_trsm);
+    metrics.add("fu.time.syrk", record.t_syrk);
+    metrics.add("fu.time.copy", record.t_copy);
+    metrics.add("fu.time.total", record.t_total);
+    metrics.add("fu.flops.potrf", record.ops_potrf());
+    metrics.add("fu.flops.trsm", record.ops_trsm());
+    metrics.add("fu.flops.syrk", record.ops_syrk());
+    metrics.add("fu.policy.p" + std::to_string(record.policy) + ".calls", 1.0);
+    metrics.observe("fu.front_order", static_cast<double>(record.m + record.k));
+  }
 }
 
 void FactorizationTrace::clear() {
@@ -43,12 +65,16 @@ double FactorizationTrace::total_copy() const {
 }
 
 void FactorizationTrace::write_csv(std::ostream& os) const {
+  // Full round-trip precision: the default 6 significant digits truncate
+  // small per-kernel times.
+  const auto saved = os.precision(std::numeric_limits<double>::max_digits10);
   os << "snode,m,k,policy,t_potrf,t_trsm,t_syrk,t_copy,t_total,ops\n";
   for (const auto& c : calls) {
     os << c.snode << ',' << c.m << ',' << c.k << ',' << c.policy << ','
        << c.t_potrf << ',' << c.t_trsm << ',' << c.t_syrk << ',' << c.t_copy
        << ',' << c.t_total << ',' << c.ops_total() << '\n';
   }
+  os.precision(saved);
 }
 
 }  // namespace mfgpu

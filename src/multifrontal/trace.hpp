@@ -38,6 +38,11 @@ struct FactorizationTrace {
   double assembly_time = 0.0;  ///< extend-add + scatter/gather
   double fu_time = 0.0;        ///< sum of per-call totals
 
+  /// Record one finished F-U call: appends it, accumulates fu_time, and
+  /// publishes the per-kernel time/flop/policy counters to the obs metrics
+  /// registry (the trace is one consumer of that shared emission point).
+  void record_call(const FuCallRecord& record);
+
   void clear();
   /// Aggregate totals for each component.
   double total_potrf() const;

@@ -1,0 +1,33 @@
+// Exporters for the observability layer.
+//
+// - write_chrome_trace: Chrome trace-event JSON (the format Perfetto and
+//   chrome://tracing load). Spans become "X" complete events on pid 1
+//   (host wall clock); spans that carried a simulated clock are mirrored
+//   as a second timeline on pid 2 (simulated seconds), so both time
+//   domains are visible in one file.
+// - write_metrics_json / write_metrics_csv: dumps of the metrics registry.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace_session.hpp"
+
+namespace mfgpu::obs {
+
+void write_chrome_trace(std::ostream& os, const std::vector<SpanEvent>& events);
+
+/// Convenience: export the global session's current events.
+void write_chrome_trace(std::ostream& os);
+
+void write_metrics_json(std::ostream& os,
+                        const MetricsRegistry::Snapshot& snapshot);
+void write_metrics_csv(std::ostream& os,
+                       const MetricsRegistry::Snapshot& snapshot);
+
+/// JSON string escaping (shared with the writers; exposed for tests).
+std::string json_escape(std::string_view text);
+
+}  // namespace mfgpu::obs

@@ -1,0 +1,108 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+
+namespace mfgpu::obs {
+
+int HistogramData::bucket_of(double value) noexcept {
+  if (!(value > 1.0)) return 0;
+  const int b = static_cast<int>(std::ceil(std::log2(value)));
+  return std::clamp(b, 0, kBuckets - 1);
+}
+
+void HistogramData::observe(double value) noexcept {
+  ++buckets[static_cast<std::size_t>(bucket_of(value))];
+  if (count == 0) {
+    min = max = value;
+  } else {
+    min = std::min(min, value);
+    max = std::max(max, value);
+  }
+  ++count;
+  sum += value;
+}
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mu;
+  std::map<std::string, double, std::less<>> counters;
+  std::map<std::string, double, std::less<>> gauges;
+  std::map<std::string, HistogramData, std::less<>> histograms;
+};
+
+MetricsRegistry::MetricsRegistry() : impl_(new Impl) {}
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Leaked on purpose: metrics may be written from static destructors.
+  static MetricsRegistry* registry = new MetricsRegistry;
+  return *registry;
+}
+
+void MetricsRegistry::add(std::string_view name, double value) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->counters.find(name);
+  if (it == impl_->counters.end()) {
+    impl_->counters.emplace(std::string(name), value);
+  } else {
+    it->second += value;
+  }
+}
+
+void MetricsRegistry::gauge_set(std::string_view name, double value) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->gauges.insert_or_assign(std::string(name), value);
+}
+
+void MetricsRegistry::gauge_max(std::string_view name, double value) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->gauges.find(name);
+  if (it == impl_->gauges.end()) {
+    impl_->gauges.emplace(std::string(name), value);
+  } else {
+    it->second = std::max(it->second, value);
+  }
+}
+
+void MetricsRegistry::observe(std::string_view name, double value) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  auto it = impl_->histograms.find(name);
+  if (it == impl_->histograms.end()) {
+    it = impl_->histograms.emplace(std::string(name), HistogramData{}).first;
+  }
+  it->second.observe(value);
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  Snapshot snap;
+  snap.counters.insert(impl_->counters.begin(), impl_->counters.end());
+  snap.gauges.insert(impl_->gauges.begin(), impl_->gauges.end());
+  snap.histograms.insert(impl_->histograms.begin(), impl_->histograms.end());
+  return snap;
+}
+
+double MetricsRegistry::counter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const auto it = impl_->counters.find(name);
+  return it == impl_->counters.end() ? 0.0 : it->second;
+}
+
+double MetricsRegistry::gauge(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  const auto it = impl_->gauges.find(name);
+  return it == impl_->gauges.end() ? 0.0 : it->second;
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->counters.clear();
+  impl_->gauges.clear();
+  impl_->histograms.clear();
+}
+
+}  // namespace mfgpu::obs

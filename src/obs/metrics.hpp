@@ -1,0 +1,69 @@
+// Named metrics for the observability layer: monotonically accumulating
+// counters (seconds, flops, bytes, calls), last-value / high-water gauges
+// (pool and stack peaks), and log2-bucketed histograms (queue depths,
+// front sizes). All updates are no-ops while obs is disabled.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "obs/trace_session.hpp"
+
+namespace mfgpu::obs {
+
+/// Log2-bucketed histogram: bucket i counts values v with 2^(i-1) < v <= 2^i
+/// (bucket 0 counts v <= 1). Tracks count/sum/min/max exactly.
+struct HistogramData {
+  static constexpr int kBuckets = 64;
+  std::array<std::int64_t, kBuckets> buckets{};
+  std::int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+
+  static int bucket_of(double value) noexcept;
+  void observe(double value) noexcept;
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global();
+
+  /// Counter: name += value (value may be fractional, e.g. seconds).
+  void add(std::string_view name, double value);
+  void increment(std::string_view name) { add(name, 1.0); }
+
+  /// Gauge: last-written value wins / high-water maximum.
+  void gauge_set(std::string_view name, double value);
+  void gauge_max(std::string_view name, double value);
+
+  /// Histogram sample.
+  void observe(std::string_view name, double value);
+
+  struct Snapshot {
+    std::map<std::string, double> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistogramData> histograms;
+  };
+  Snapshot snapshot() const;
+
+  /// Current value of one counter (0 if never written). For tests/reports.
+  double counter(std::string_view name) const;
+  /// Current value of one gauge (0 if never written).
+  double gauge(std::string_view name) const;
+
+  void clear();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+ private:
+  MetricsRegistry();
+  struct Impl;
+  Impl* impl_;  // leaked singleton state: safe during static destruction
+};
+
+}  // namespace mfgpu::obs

@@ -1,0 +1,96 @@
+#include "obs/obs.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <utility>
+
+namespace mfgpu::obs {
+namespace {
+
+/// "out.json" -> "out" (any other name is returned unchanged).
+std::string strip_json_ext(const std::string& path) {
+  const std::string ext = ".json";
+  if (path.size() > ext.size() &&
+      path.compare(path.size() - ext.size(), ext.size(), ext) == 0) {
+    return path.substr(0, path.size() - ext.size());
+  }
+  return path;
+}
+
+void write_file(const std::string& path, auto&& writer) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "obs: cannot open " << path << " for writing\n";
+    return;
+  }
+  writer(os);
+}
+
+}  // namespace
+
+ObsConfig config_from_env() {
+  ObsConfig config;
+  if (const char* trace = std::getenv("MFGPU_TRACE");
+      trace != nullptr && trace[0] != '\0') {
+    config.trace_path = trace;
+    const std::string base = strip_json_ext(config.trace_path);
+    config.metrics_json_path = base + ".metrics.json";
+    config.metrics_csv_path = base + ".metrics.csv";
+  }
+  if (const char* metrics = std::getenv("MFGPU_METRICS");
+      metrics != nullptr && metrics[0] != '\0') {
+    config.metrics_json_path = metrics;
+    config.metrics_csv_path = strip_json_ext(metrics) + ".csv";
+  }
+  return config;
+}
+
+ObsScope::ObsScope(ObsConfig config) : config_(std::move(config)) {
+  if (!config_.any()) return;
+  active_ = true;
+  TraceSession::global().clear();
+  MetricsRegistry::global().clear();
+  enable();
+}
+
+ObsScope::ObsScope(ObsScope&& other) noexcept
+    : active_(std::exchange(other.active_, false)),
+      config_(std::move(other.config_)) {}
+
+ObsScope& ObsScope::operator=(ObsScope&& other) noexcept {
+  if (this != &other) {
+    finish();
+    active_ = std::exchange(other.active_, false);
+    config_ = std::move(other.config_);
+  }
+  return *this;
+}
+
+ObsScope::~ObsScope() { finish(); }
+
+void ObsScope::finish() {
+  if (!active_) return;
+  active_ = false;
+  disable();
+  if (!config_.trace_path.empty()) {
+    write_file(config_.trace_path, [](std::ostream& os) {
+      write_chrome_trace(os);
+    });
+  }
+  if (!config_.metrics_json_path.empty() || !config_.metrics_csv_path.empty()) {
+    const MetricsRegistry::Snapshot snap = MetricsRegistry::global().snapshot();
+    if (!config_.metrics_json_path.empty()) {
+      write_file(config_.metrics_json_path,
+                 [&](std::ostream& os) { write_metrics_json(os, snap); });
+    }
+    if (!config_.metrics_csv_path.empty()) {
+      write_file(config_.metrics_csv_path,
+                 [&](std::ostream& os) { write_metrics_csv(os, snap); });
+    }
+  }
+  TraceSession::global().clear();
+  MetricsRegistry::global().clear();
+}
+
+}  // namespace mfgpu::obs

@@ -1,0 +1,61 @@
+// Umbrella header for the observability layer, plus the environment-driven
+// activation used by every binary:
+//
+//   MFGPU_TRACE=out.json   -> record spans + metrics; at scope exit write
+//                             out.json            (Chrome trace events)
+//                             out.metrics.json    (metrics registry dump)
+//                             out.metrics.csv
+//   MFGPU_METRICS=m.json   -> metrics only (m.json and m.csv)
+//
+// Binaries hold one ObsScope for the duration of main(); with neither
+// variable set the scope is inert and every instrumentation site costs a
+// single relaxed atomic load.
+#pragma once
+
+#include <string>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_session.hpp"
+
+namespace mfgpu::obs {
+
+struct ObsConfig {
+  std::string trace_path;         ///< Chrome trace JSON ("" = no trace file)
+  std::string metrics_json_path;  ///< "" = no metrics JSON
+  std::string metrics_csv_path;   ///< "" = no metrics CSV
+
+  bool any() const {
+    return !trace_path.empty() || !metrics_json_path.empty() ||
+           !metrics_csv_path.empty();
+  }
+};
+
+/// Reads MFGPU_TRACE / MFGPU_METRICS into an ObsConfig.
+ObsConfig config_from_env();
+
+/// RAII activation: enables recording on construction (clearing any stale
+/// spans/metrics), exports the configured files on destruction, then
+/// disables recording again. Inert when the config is empty.
+class ObsScope {
+ public:
+  ObsScope() = default;  ///< inert
+  explicit ObsScope(ObsConfig config);
+  static ObsScope from_env() { return ObsScope(config_from_env()); }
+
+  ~ObsScope();
+  ObsScope(ObsScope&& other) noexcept;
+  ObsScope& operator=(ObsScope&& other) noexcept;
+
+  bool active() const noexcept { return active_; }
+  const ObsConfig& config() const noexcept { return config_; }
+
+  /// Export now instead of at destruction (idempotent).
+  void finish();
+
+ private:
+  bool active_ = false;
+  ObsConfig config_;
+};
+
+}  // namespace mfgpu::obs

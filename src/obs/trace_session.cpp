@@ -1,0 +1,123 @@
+#include "obs/trace_session.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+namespace mfgpu::obs {
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+using Clock = std::chrono::steady_clock;
+
+std::atomic<std::int64_t> g_epoch_ns{0};
+
+std::int64_t wall_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+void enable() {
+  g_epoch_ns.store(wall_ns(), std::memory_order_relaxed);
+  g_enabled.store(true, std::memory_order_release);
+}
+
+void disable() { g_enabled.store(false, std::memory_order_release); }
+
+struct TraceSession::Impl {
+  struct ThreadBuf {
+    std::uint32_t tid = 0;
+    std::vector<SpanEvent> events;
+  };
+
+  std::mutex mu;  // guards registration and snapshot/clear
+  std::vector<std::unique_ptr<ThreadBuf>> buffers;
+
+  ThreadBuf& local() {
+    thread_local ThreadBuf* buf = nullptr;
+    if (buf == nullptr) {
+      auto owned = std::make_unique<ThreadBuf>();
+      buf = owned.get();
+      std::lock_guard<std::mutex> lock(mu);
+      buf->tid = static_cast<std::uint32_t>(buffers.size());
+      buffers.push_back(std::move(owned));
+    }
+    return *buf;
+  }
+};
+
+TraceSession::TraceSession() : impl_(new Impl) {}
+
+TraceSession& TraceSession::global() {
+  // Leaked on purpose: spans may be recorded from static destructors.
+  static TraceSession* session = new TraceSession;
+  return *session;
+}
+
+void TraceSession::record(const SpanEvent& ev) {
+  Impl::ThreadBuf& buf = impl_->local();
+  SpanEvent copy = ev;
+  copy.tid = buf.tid;
+  buf.events.push_back(copy);
+}
+
+std::vector<SpanEvent> TraceSession::events() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::vector<SpanEvent> merged;
+  std::size_t total = 0;
+  for (const auto& buf : impl_->buffers) total += buf->events.size();
+  merged.reserve(total);
+  for (const auto& buf : impl_->buffers) {
+    merged.insert(merged.end(), buf->events.begin(), buf->events.end());
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const SpanEvent& a, const SpanEvent& b) {
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+                     return a.end_ns > b.end_ns;
+                   });
+  return merged;
+}
+
+void TraceSession::clear() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (auto& buf : impl_->buffers) buf->events.clear();
+}
+
+std::int64_t TraceSession::now_ns() const noexcept {
+  return wall_ns() - g_epoch_ns.load(std::memory_order_relaxed);
+}
+
+int& TraceSession::thread_depth() noexcept {
+  thread_local int depth = 0;
+  return depth;
+}
+
+void ScopedSpan::begin(const char* category, const char* name,
+                       const SimClock* sim) {
+  active_ = true;
+  sim_ = sim;
+  ev_.name = name;
+  ev_.category = category;
+  ev_.start_ns = TraceSession::global().now_ns();
+  if (sim != nullptr) ev_.sim_start = sim->now();
+  ev_.depth = TraceSession::thread_depth()++;
+}
+
+void ScopedSpan::finish() {
+  --TraceSession::thread_depth();
+  ev_.end_ns = TraceSession::global().now_ns();
+  if (sim_ != nullptr) ev_.sim_end = sim_->now();
+  // The session may have been disabled mid-span; keep the event anyway so
+  // begun spans are always balanced in the output.
+  TraceSession::global().record(ev_);
+}
+
+}  // namespace mfgpu::obs

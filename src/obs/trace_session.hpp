@@ -1,0 +1,117 @@
+// Process-wide span recording for the observability layer.
+//
+// A span is one timed region of the pipeline (ordering, a symbolic phase,
+// one factor-update call, one simulated kernel, ...). Spans are recorded
+// per thread into thread-local buffers — appending never takes a lock — and
+// merged on export. Each span carries its host wall-clock interval (for the
+// Perfetto timeline) and, where a virtual clock was in scope, the simulated
+// start/end times as well, so one trace shows both time domains.
+//
+// Everything is a no-op while the layer is disabled (see obs/obs.hpp): the
+// span constructor is one relaxed atomic load and a branch.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/clock.hpp"
+
+namespace mfgpu::obs {
+
+/// Returns true when span/metric recording is on (relaxed load; safe to
+/// call from any thread at any frequency).
+bool enabled() noexcept;
+/// Turn recording on/off process-wide. enable() also (re)stamps the wall
+/// clock epoch that span timestamps are relative to.
+void enable();
+void disable();
+
+/// One recorded span. `name` and `category` must be string literals (or
+/// otherwise outlive the session) — recording never copies or allocates
+/// per-event beyond the buffer slot itself.
+struct SpanEvent {
+  struct Arg {
+    const char* name = nullptr;  ///< null = slot unused
+    std::int64_t value = 0;
+  };
+
+  const char* name = "";
+  const char* category = "";
+  std::uint32_t tid = 0;   ///< dense thread id assigned on first record
+  int depth = 0;           ///< nesting depth within the recording thread
+  std::int64_t start_ns = 0;  ///< host wall clock, relative to session epoch
+  std::int64_t end_ns = 0;
+  double sim_start = -1.0;  ///< simulated seconds; < 0 = no sim clock in scope
+  double sim_end = -1.0;
+  Arg args[3];
+};
+
+/// The process-wide collection of recorded spans. Thread buffers register
+/// themselves on a thread's first record (one mutex acquisition per thread
+/// lifetime); `events()` merges them and must only be called while no other
+/// thread is actively recording (the pipeline is quiescent).
+class TraceSession {
+ public:
+  static TraceSession& global();
+
+  /// Append one finished span to the calling thread's buffer (lock-free).
+  void record(const SpanEvent& ev);
+
+  /// Merged snapshot of all buffers, sorted by (tid, start, -end) so parent
+  /// spans precede their children.
+  std::vector<SpanEvent> events() const;
+
+  /// Drop all recorded spans (buffers stay registered with their threads).
+  void clear();
+
+  /// Nanoseconds of host wall clock since the session epoch.
+  std::int64_t now_ns() const noexcept;
+
+  /// Nesting depth counter of the calling thread (managed by ScopedSpan).
+  static int& thread_depth() noexcept;
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+ private:
+  TraceSession();
+  struct Impl;
+  Impl* impl_;  // leaked singleton state: safe during static destruction
+};
+
+/// RAII span: records [construction, destruction) into the global session.
+/// Passing the in-scope SimClock also captures simulated start/end times.
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* category, const char* name,
+             const SimClock* sim = nullptr) {
+    if (!obs::enabled()) return;
+    begin(category, name, sim);
+  }
+  ~ScopedSpan() {
+    if (active_) finish();
+  }
+
+  /// Attach up to three named integer arguments (names must be literals).
+  void set_arg(int slot, const char* arg_name, std::int64_t value) noexcept {
+    if (active_ && slot >= 0 && slot < 3) {
+      ev_.args[slot] = SpanEvent::Arg{arg_name, value};
+    }
+  }
+
+  bool active() const noexcept { return active_; }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  void begin(const char* category, const char* name, const SimClock* sim);
+  void finish();
+
+  bool active_ = false;
+  const SimClock* sim_ = nullptr;
+  SpanEvent ev_;
+};
+
+}  // namespace mfgpu::obs

@@ -4,6 +4,8 @@
 #include <queue>
 #include <vector>
 
+#include "obs/trace_session.hpp"
+
 namespace mfgpu {
 namespace {
 
@@ -206,6 +208,8 @@ class QuotientGraph {
 
 Permutation minimum_degree(const SymmetricGraph& g,
                            const MinimumDegreeOptions& options) {
+  obs::ScopedSpan span("ordering", "minimum_degree");
+  span.set_arg(0, "n", g.n);
   const index_t n = g.n;
   QuotientGraph qg(g);
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/trace_session.hpp"
+
 namespace mfgpu {
 namespace {
 
@@ -17,6 +19,8 @@ Permutation nested_dissection(std::span<const std::array<index_t, 3>> coords,
                               const NestedDissectionOptions& options) {
   const index_t n = static_cast<index_t>(coords.size());
   MFGPU_CHECK(options.leaf_size > 0, "nested_dissection: leaf_size positive");
+  obs::ScopedSpan span("ordering", "nested_dissection");
+  span.set_arg(0, "n", n);
 
   std::vector<index_t> work(static_cast<std::size_t>(n));
   for (index_t i = 0; i < n; ++i) work[static_cast<std::size_t>(i)] = i;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <queue>
 
+#include "obs/trace_session.hpp"
+
 namespace mfgpu {
 namespace {
 
@@ -70,6 +72,8 @@ index_t pseudo_peripheral(const SymmetricGraph& g, index_t start,
 }  // namespace
 
 Permutation reverse_cuthill_mckee(const SymmetricGraph& g) {
+  obs::ScopedSpan span("ordering", "reverse_cuthill_mckee");
+  span.set_arg(0, "n", g.n);
   const index_t n = g.n;
   std::vector<index_t> order;
   order.reserve(static_cast<std::size_t>(n));

@@ -1,7 +1,9 @@
 #include "policy/executors.hpp"
 
 #include <algorithm>
+#include <string>
 
+#include "obs/metrics.hpp"
 #include "policy/p4_gpu_potrf.hpp"
 
 namespace mfgpu {
@@ -341,6 +343,10 @@ void DispatchExecutor::prepare(index_t max_m, index_t max_k,
 FuOutcome DispatchExecutor::execute(FrontBlocks front, FactorContext& ctx) {
   Policy choice = chooser_(front.m, front.k);
   if (ctx.device == nullptr) choice = Policy::P1;
+  if (obs::enabled()) {
+    obs::MetricsRegistry::global().increment(
+        "policy.selected.p" + std::to_string(static_cast<int>(choice)));
+  }
   return executors_[static_cast<std::size_t>(static_cast<int>(choice) - 1)]
       ->execute(front, ctx);
 }

@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "gpusim/gpublas.hpp"
+#include "obs/obs.hpp"
 #include "policy/baseline_hybrid.hpp"
 #include "sched/proportional_map.hpp"
 
@@ -33,6 +34,10 @@ ScheduleResult simulate_schedule(const TaskGraph& graph,
   const index_t n = graph.num_tasks;
   const int num_workers = static_cast<int>(workers.size());
   MFGPU_CHECK(num_workers > 0, "simulate_schedule: need at least one worker");
+
+  obs::ScopedSpan span("sched", "simulate_schedule");
+  span.set_arg(0, "tasks", n);
+  span.set_arg(1, "workers", num_workers);
 
   // Per-worker-kind dry-run timers (CPU workers share one; GPU workers each
   // get their own so device pool warm-up is per GPU).
@@ -118,8 +123,13 @@ ScheduleResult simulate_schedule(const TaskGraph& graph,
     mapping = proportional_mapping(graph, num_workers);
   }
 
+  const bool observing = obs::enabled();
   index_t scheduled = 0;
   while (!ready.empty()) {
+    if (observing) {
+      obs::MetricsRegistry::global().observe(
+          "sched.ready_queue_depth", static_cast<double>(ready.size()));
+    }
     const index_t t = ready.top();
     ready.pop();
     ++scheduled;
@@ -163,6 +173,14 @@ ScheduleResult simulate_schedule(const TaskGraph& graph,
                  gang_speedup(options.parallel_fraction, gang);
     }
 
+    if (observing) {
+      auto& metrics = obs::MetricsRegistry::global();
+      metrics.increment("sched.tasks_scheduled");
+      if (gang > 1) {
+        metrics.increment("sched.gang_tasks");
+        metrics.observe("sched.gang_size", static_cast<double>(gang));
+      }
+    }
     const double finish = best_start + duration;
     free_at[static_cast<std::size_t>(best_worker)] = finish;
     result.worker_busy[static_cast<std::size_t>(best_worker)] += duration;
@@ -188,6 +206,11 @@ ScheduleResult simulate_schedule(const TaskGraph& graph,
     }
   }
   MFGPU_CHECK(scheduled == n, "simulate_schedule: not all tasks scheduled");
+  if (observing) {
+    auto& metrics = obs::MetricsRegistry::global();
+    metrics.add("sched.makespan_seconds", result.makespan);
+    metrics.gauge_set("sched.utilization", result.utilization());
+  }
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "dense/blas.hpp"
+#include "obs/metrics.hpp"
 #include "symbolic/colcounts.hpp"
 #include "symbolic/etree.hpp"
 #include "symbolic/postorder.hpp"
@@ -13,12 +14,26 @@ namespace mfgpu {
 SymbolicFactor::SymbolicFactor(const SparseSpd& a_permuted,
                                const AnalyzeOptions& options)
     : n_(a_permuted.n()) {
-  col_parent_ = elimination_tree(a_permuted);
+  obs::ScopedSpan span("symbolic", "symbolic_factor");
+  span.set_arg(0, "n", n_);
+  {
+    obs::ScopedSpan etree_span("symbolic", "elimination_tree");
+    col_parent_ = elimination_tree(a_permuted);
+  }
   MFGPU_CHECK(is_postordered(col_parent_),
               "SymbolicFactor: matrix must be postordered (use analyze())");
-  const auto counts = factor_column_counts(a_permuted, col_parent_);
-  const auto part = fundamental_supernodes(col_parent_, counts);
-  compute_structures(a_permuted, part);
+  const auto counts = [&] {
+    obs::ScopedSpan counts_span("symbolic", "column_counts");
+    return factor_column_counts(a_permuted, col_parent_);
+  }();
+  const auto part = [&] {
+    obs::ScopedSpan snode_span("symbolic", "fundamental_supernodes");
+    return fundamental_supernodes(col_parent_, counts);
+  }();
+  {
+    obs::ScopedSpan structures_span("symbolic", "row_structures");
+    compute_structures(a_permuted, part);
+  }
 
   // Sanity: the fundamental supernode structure must reproduce the column
   // counts exactly (update rows + remaining columns of the supernode).
@@ -29,8 +44,20 @@ SymbolicFactor::SymbolicFactor(const SparseSpd& a_permuted,
                 "SymbolicFactor: supernode structure disagrees with column counts");
   }
 
-  amalgamate(options.relax);
+  {
+    obs::ScopedSpan relax_span("symbolic", "amalgamate");
+    amalgamate(options.relax);
+  }
   finalize_metrics();
+  if (obs::enabled()) {
+    auto& metrics = obs::MetricsRegistry::global();
+    metrics.gauge_set("symbolic.supernodes",
+                      static_cast<double>(num_supernodes()));
+    metrics.gauge_set("symbolic.factor_nnz", static_cast<double>(factor_nnz_));
+    metrics.gauge_set("symbolic.factor_flops", factor_flops_);
+    metrics.gauge_set("symbolic.peak_update_stack_entries",
+                      static_cast<double>(peak_stack_));
+  }
 }
 
 void SymbolicFactor::compute_structures(const SparseSpd& a,
@@ -179,6 +206,8 @@ void SymbolicFactor::finalize_metrics() {
 Analysis analyze(const SparseSpd& a, const Permutation& fill_perm,
                  const AnalyzeOptions& options) {
   MFGPU_CHECK(fill_perm.n() == a.n(), "analyze: permutation size mismatch");
+  obs::ScopedSpan span("symbolic", "analyze");
+  span.set_arg(0, "n", a.n());
   SparseSpd permuted = a.permuted(fill_perm.new_of_old());
 
   // Postorder the elimination tree and fold it into the permutation; the

@@ -3,6 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace mfgpu {
 namespace {
@@ -50,6 +54,75 @@ TEST(TraceTest, CsvHasHeaderAndOneRowPerCall) {
   EXPECT_NE(text.find("snode,m,k,policy"), std::string::npos);
   EXPECT_NE(text.find("7,10,5,3"), std::string::npos);
   EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+}
+
+TEST(TraceTest, CsvRoundTripsDoublesAtFullPrecision) {
+  FactorizationTrace trace;
+  FuCallRecord r;
+  r.snode = 0;
+  r.m = 11;
+  r.k = 7;
+  r.policy = 2;
+  r.t_potrf = 1.0 / 3.0;
+  r.t_trsm = 2.3283064365386963e-10;  // 2^-32: tiny per-kernel time
+  r.t_syrk = 0.1;                     // not exactly representable
+  r.t_copy = 1e-300;
+  r.t_total = r.t_potrf + r.t_trsm + r.t_syrk + r.t_copy;
+  trace.calls.push_back(r);
+
+  std::ostringstream os;
+  trace.write_csv(os);
+  // Default stream precision restored for later writers on the same stream.
+  EXPECT_EQ(os.precision(), 6);
+
+  std::istringstream is(os.str());
+  std::string header, row;
+  ASSERT_TRUE(std::getline(is, header));
+  ASSERT_TRUE(std::getline(is, row));
+  std::vector<std::string> fields;
+  std::istringstream row_stream(row);
+  for (std::string field; std::getline(row_stream, field, ',');) {
+    fields.push_back(field);
+  }
+  ASSERT_EQ(fields.size(), 10u);
+  EXPECT_DOUBLE_EQ(std::stod(fields[4]), r.t_potrf);
+  EXPECT_DOUBLE_EQ(std::stod(fields[5]), r.t_trsm);
+  EXPECT_DOUBLE_EQ(std::stod(fields[6]), r.t_syrk);
+  EXPECT_DOUBLE_EQ(std::stod(fields[7]), r.t_copy);
+  EXPECT_DOUBLE_EQ(std::stod(fields[8]), r.t_total);
+}
+
+TEST(TraceTest, RecordCallAccumulatesAndPublishesMetrics) {
+  obs::MetricsRegistry::global().clear();
+  obs::enable();
+  FactorizationTrace trace;
+  FuCallRecord r;
+  r.m = 8;
+  r.k = 4;
+  r.policy = 3;
+  r.t_potrf = 0.25;
+  r.t_total = 1.0;
+  trace.record_call(r);
+  trace.record_call(r);
+  obs::disable();
+
+  EXPECT_EQ(trace.calls.size(), 2u);
+  EXPECT_DOUBLE_EQ(trace.fu_time, 2.0);
+  auto& metrics = obs::MetricsRegistry::global();
+  EXPECT_DOUBLE_EQ(metrics.counter("fu.calls"), 2.0);
+  EXPECT_DOUBLE_EQ(metrics.counter("fu.time.potrf"), 0.5);
+  EXPECT_DOUBLE_EQ(metrics.counter("fu.time.total"), 2.0);
+  EXPECT_DOUBLE_EQ(metrics.counter("fu.policy.p3.calls"), 2.0);
+  metrics.clear();
+}
+
+TEST(TraceTest, RecordCallSkipsMetricsWhenDisabled) {
+  obs::disable();
+  obs::MetricsRegistry::global().clear();
+  FactorizationTrace trace;
+  trace.record_call(FuCallRecord{});
+  EXPECT_EQ(trace.calls.size(), 1u);
+  EXPECT_DOUBLE_EQ(obs::MetricsRegistry::global().counter("fu.calls"), 0.0);
 }
 
 TEST(TraceTest, ClearResets) {

@@ -1,0 +1,396 @@
+// End-to-end validation of the observability exporters: a real solve runs
+// under an ObsScope, and the emitted Chrome trace JSON is checked with a
+// small self-contained JSON parser (no external dependencies).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/solver.hpp"
+#include "obs/obs.hpp"
+#include "sparse/generators.hpp"
+
+namespace mfgpu {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON parser (objects, arrays, strings, numbers,
+// booleans, null). Throws std::runtime_error on malformed input.
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Object, Array };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<std::pair<std::string, JsonValue>> members;  // Object
+  std::vector<JsonValue> items;                            // Array
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [name, value] : members) {
+      if (name == key) return &value;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("JSON parse error at offset " +
+                             std::to_string(pos_) + ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return parse_string();
+      case 't': return parse_literal("true", true);
+      case 'f': return parse_literal("false", false);
+      case 'n': return parse_literal("null", false);
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_literal(const std::string& word, bool boolean) {
+    JsonValue value;
+    if (word != "null") {
+      value.kind = JsonValue::Kind::Bool;
+      value.boolean = boolean;
+    }
+    skip_ws();
+    if (text_.compare(pos_, word.size(), word) != 0) fail("bad literal");
+    pos_ += word.size();
+    return value;
+  }
+
+  JsonValue parse_object() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::Object;
+    expect('{');
+    if (peek() == '}') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      JsonValue key = parse_string();
+      expect(':');
+      value.members.emplace_back(key.text, parse_value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return value;
+    }
+  }
+
+  JsonValue parse_array() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::Array;
+    expect('[');
+    if (peek() == ']') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      value.items.push_back(parse_value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return value;
+    }
+  }
+
+  JsonValue parse_string() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::String;
+    expect('"');
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return value;
+      if (c != '\\') {
+        value.text += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': value.text += '"'; break;
+        case '\\': value.text += '\\'; break;
+        case '/': value.text += '/'; break;
+        case 'b': value.text += '\b'; break;
+        case 'f': value.text += '\f'; break;
+        case 'n': value.text += '\n'; break;
+        case 'r': value.text += '\r'; break;
+        case 't': value.text += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+          const unsigned code =
+              static_cast<unsigned>(std::stoul(text_.substr(pos_, 4), nullptr, 16));
+          pos_ += 4;
+          if (code < 0x80) {
+            value.text += static_cast<char>(code);
+          } else {
+            value.text += '?';  // non-ASCII is irrelevant for these tests
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    JsonValue value;
+    value.kind = JsonValue::Kind::Number;
+    value.number = std::stod(text_.substr(start, pos_ - start));
+    return value;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+JsonValue parse_file(const std::string& path) {
+  std::ifstream is(path);
+  EXPECT_TRUE(is.good()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  const std::string text = buffer.str();
+  return JsonParser(text).parse();
+}
+
+double relative_tolerance(double reference) {
+  return 1e-9 * (1.0 + std::abs(reference));
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(ObsConfigTest, TracePathDerivesMetricsPaths) {
+  ::setenv("MFGPU_TRACE", "/tmp/run.json", 1);
+  ::unsetenv("MFGPU_METRICS");
+  const obs::ObsConfig config = obs::config_from_env();
+  EXPECT_EQ(config.trace_path, "/tmp/run.json");
+  EXPECT_EQ(config.metrics_json_path, "/tmp/run.metrics.json");
+  EXPECT_EQ(config.metrics_csv_path, "/tmp/run.metrics.csv");
+  ::unsetenv("MFGPU_TRACE");
+}
+
+TEST(ObsConfigTest, MetricsOnlyEnvLeavesTraceOff) {
+  ::unsetenv("MFGPU_TRACE");
+  ::setenv("MFGPU_METRICS", "/tmp/m.json", 1);
+  const obs::ObsConfig config = obs::config_from_env();
+  EXPECT_TRUE(config.trace_path.empty());
+  EXPECT_EQ(config.metrics_json_path, "/tmp/m.json");
+  EXPECT_EQ(config.metrics_csv_path, "/tmp/m.csv");
+  ::unsetenv("MFGPU_METRICS");
+}
+
+TEST(ObsConfigTest, EmptyEnvIsInert) {
+  ::unsetenv("MFGPU_TRACE");
+  ::unsetenv("MFGPU_METRICS");
+  EXPECT_FALSE(obs::config_from_env().any());
+  const obs::ObsScope scope = obs::ObsScope::from_env();
+  EXPECT_FALSE(scope.active());
+  EXPECT_FALSE(obs::enabled());
+}
+
+TEST(ChromeTraceTest, EndToEndSolveProducesValidTraceAndMatchingMetrics) {
+  const std::string dir = ::testing::TempDir();
+  obs::ObsConfig config;
+  config.trace_path = dir + "mfgpu_obs_trace.json";
+  config.metrics_json_path = dir + "mfgpu_obs_metrics.json";
+  config.metrics_csv_path = dir + "mfgpu_obs_metrics.csv";
+
+  FactorizationTrace trace;
+  obs::MetricsRegistry::Snapshot live;
+  {
+    obs::ObsScope scope(config);
+    ASSERT_TRUE(scope.active());
+    ASSERT_TRUE(obs::enabled());
+
+    GridProblem problem = make_laplacian_3d(6, 6, 4);
+    SolverOptions options;
+    options.mode = SolverMode::BaselineHybrid;
+    options.ordering = OrderingChoice::NestedDissection;
+    options.coordinates = problem.coords;
+    const Solver solver(problem.matrix, options);
+
+    std::vector<double> x_true(static_cast<std::size_t>(problem.matrix.n()),
+                               1.0);
+    std::vector<double> b(x_true.size());
+    problem.matrix.multiply(x_true, b);
+    (void)solver.solve_with_history(b);
+
+    trace = solver.trace();
+    live = obs::MetricsRegistry::global().snapshot();
+    scope.finish();
+  }
+  EXPECT_FALSE(obs::enabled());
+
+  // --- Counter totals agree with the FactorizationTrace aggregates. ---
+  ASSERT_FALSE(trace.calls.empty());
+  EXPECT_DOUBLE_EQ(live.counters.at("fu.calls"),
+                   static_cast<double>(trace.calls.size()));
+  EXPECT_NEAR(live.counters.at("fu.time.potrf"), trace.total_potrf(),
+              relative_tolerance(trace.total_potrf()));
+  EXPECT_NEAR(live.counters.at("fu.time.trsm"), trace.total_trsm(),
+              relative_tolerance(trace.total_trsm()));
+  EXPECT_NEAR(live.counters.at("fu.time.syrk"), trace.total_syrk(),
+              relative_tolerance(trace.total_syrk()));
+  EXPECT_NEAR(live.counters.at("fu.time.copy"), trace.total_copy(),
+              relative_tolerance(trace.total_copy()));
+  EXPECT_NEAR(live.counters.at("fu.time.total"), trace.fu_time,
+              relative_tolerance(trace.fu_time));
+
+  double flops_potrf = 0.0, flops_trsm = 0.0, flops_syrk = 0.0;
+  std::array<double, 5> policy_calls{};
+  for (const auto& call : trace.calls) {
+    flops_potrf += call.ops_potrf();
+    flops_trsm += call.ops_trsm();
+    flops_syrk += call.ops_syrk();
+    ASSERT_GE(call.policy, 1);
+    ASSERT_LE(call.policy, 4);
+    policy_calls[static_cast<std::size_t>(call.policy)] += 1.0;
+  }
+  EXPECT_NEAR(live.counters.at("fu.flops.potrf"), flops_potrf,
+              relative_tolerance(flops_potrf));
+  EXPECT_NEAR(live.counters.at("fu.flops.trsm"), flops_trsm,
+              relative_tolerance(flops_trsm));
+  EXPECT_NEAR(live.counters.at("fu.flops.syrk"), flops_syrk,
+              relative_tolerance(flops_syrk));
+  for (int p = 1; p <= 4; ++p) {
+    const std::string name = "fu.policy.p" + std::to_string(p) + ".calls";
+    const auto it = live.counters.find(name);
+    const double recorded = (it != live.counters.end()) ? it->second : 0.0;
+    EXPECT_DOUBLE_EQ(recorded, policy_calls[static_cast<std::size_t>(p)])
+        << name;
+  }
+  const auto front_hist = live.histograms.find("fu.front_order");
+  ASSERT_NE(front_hist, live.histograms.end());
+  EXPECT_EQ(front_hist->second.count,
+            static_cast<std::int64_t>(trace.calls.size()));
+
+  // --- The trace file is valid Chrome trace-event JSON. ---
+  JsonValue root;
+  ASSERT_NO_THROW(root = parse_file(config.trace_path));
+  ASSERT_EQ(root.kind, JsonValue::Kind::Object);
+  const JsonValue* events = root.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, JsonValue::Kind::Array);
+  ASSERT_FALSE(events->items.empty());
+
+  std::set<std::string> categories;
+  for (const JsonValue& event : events->items) {
+    ASSERT_EQ(event.kind, JsonValue::Kind::Object);
+    const JsonValue* ph = event.find("ph");
+    ASSERT_NE(ph, nullptr);
+    ASSERT_EQ(ph->kind, JsonValue::Kind::String);
+    // Only complete ("X") and metadata ("M") events are emitted, so the
+    // trace is balanced by construction.
+    ASSERT_TRUE(ph->text == "X" || ph->text == "M") << "ph=" << ph->text;
+    const JsonValue* pid = event.find("pid");
+    ASSERT_NE(pid, nullptr);
+    EXPECT_EQ(pid->kind, JsonValue::Kind::Number);
+    if (ph->text == "M") continue;
+
+    const JsonValue* name = event.find("name");
+    const JsonValue* cat = event.find("cat");
+    const JsonValue* ts = event.find("ts");
+    const JsonValue* dur = event.find("dur");
+    const JsonValue* tid = event.find("tid");
+    ASSERT_NE(name, nullptr);
+    ASSERT_NE(cat, nullptr);
+    ASSERT_NE(ts, nullptr);
+    ASSERT_NE(dur, nullptr);
+    ASSERT_NE(tid, nullptr);
+    EXPECT_EQ(name->kind, JsonValue::Kind::String);
+    ASSERT_EQ(cat->kind, JsonValue::Kind::String);
+    ASSERT_EQ(ts->kind, JsonValue::Kind::Number);
+    ASSERT_EQ(dur->kind, JsonValue::Kind::Number);
+    EXPECT_GE(ts->number, 0.0);
+    EXPECT_GE(dur->number, 0.0);
+    categories.insert(cat->text);
+  }
+  // Spans from at least five distinct subsystems showed up in one solve.
+  EXPECT_GE(categories.size(), 5u) << [&] {
+    std::string got;
+    for (const auto& c : categories) got += c + " ";
+    return got;
+  }();
+  for (const char* expected : {"solver", "ordering", "symbolic",
+                               "multifrontal", "solve"}) {
+    EXPECT_TRUE(categories.count(expected) == 1)
+        << "missing category " << expected;
+  }
+
+  // --- The metrics JSON parses and mirrors the live snapshot. ---
+  JsonValue metrics_root;
+  ASSERT_NO_THROW(metrics_root = parse_file(config.metrics_json_path));
+  ASSERT_EQ(metrics_root.kind, JsonValue::Kind::Object);
+  const JsonValue* counters = metrics_root.find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_EQ(counters->kind, JsonValue::Kind::Object);
+  const JsonValue* fu_calls = counters->find("fu.calls");
+  ASSERT_NE(fu_calls, nullptr);
+  EXPECT_DOUBLE_EQ(fu_calls->number, static_cast<double>(trace.calls.size()));
+
+  // The finished scope cleared the global registry and session.
+  EXPECT_TRUE(obs::MetricsRegistry::global().snapshot().counters.empty());
+  EXPECT_TRUE(obs::TraceSession::global().events().empty());
+}
+
+}  // namespace
+}  // namespace mfgpu

@@ -1,0 +1,136 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/export.hpp"
+
+namespace mfgpu {
+namespace {
+
+struct MetricsGuard {
+  MetricsGuard() {
+    obs::MetricsRegistry::global().clear();
+    obs::enable();
+  }
+  ~MetricsGuard() {
+    obs::disable();
+    obs::MetricsRegistry::global().clear();
+  }
+};
+
+TEST(MetricsTest, DisabledUpdatesAreNoOps) {
+  obs::disable();
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.clear();
+  metrics.add("c", 3.0);
+  metrics.gauge_set("g", 5.0);
+  metrics.observe("h", 7.0);
+  const auto snapshot = metrics.snapshot();
+  EXPECT_TRUE(snapshot.counters.empty());
+  EXPECT_TRUE(snapshot.gauges.empty());
+  EXPECT_TRUE(snapshot.histograms.empty());
+}
+
+TEST(MetricsTest, CountersAccumulate) {
+  MetricsGuard guard;
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.add("fu.time", 0.5);
+  metrics.add("fu.time", 0.25);
+  metrics.increment("fu.calls");
+  metrics.increment("fu.calls");
+  metrics.increment("fu.calls");
+  EXPECT_DOUBLE_EQ(metrics.counter("fu.time"), 0.75);
+  EXPECT_DOUBLE_EQ(metrics.counter("fu.calls"), 3.0);
+  EXPECT_DOUBLE_EQ(metrics.counter("never.written"), 0.0);
+}
+
+TEST(MetricsTest, GaugesSetAndHighWater) {
+  MetricsGuard guard;
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.gauge_set("util", 0.7);
+  metrics.gauge_set("util", 0.4);
+  EXPECT_DOUBLE_EQ(metrics.gauge("util"), 0.4);  // last write wins
+  metrics.gauge_max("peak", 10.0);
+  metrics.gauge_max("peak", 4.0);
+  metrics.gauge_max("peak", 25.0);
+  EXPECT_DOUBLE_EQ(metrics.gauge("peak"), 25.0);  // high water wins
+}
+
+TEST(MetricsTest, HistogramBucketsAreLog2) {
+  EXPECT_EQ(obs::HistogramData::bucket_of(0.0), 0);
+  EXPECT_EQ(obs::HistogramData::bucket_of(1.0), 0);
+  EXPECT_EQ(obs::HistogramData::bucket_of(2.0), 1);
+  EXPECT_EQ(obs::HistogramData::bucket_of(3.0), 2);
+  EXPECT_EQ(obs::HistogramData::bucket_of(4.0), 2);
+  EXPECT_EQ(obs::HistogramData::bucket_of(1024.0), 10);
+  EXPECT_EQ(obs::HistogramData::bucket_of(1025.0), 11);
+}
+
+TEST(MetricsTest, HistogramTracksMoments) {
+  MetricsGuard guard;
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.observe("depth", 1.0);
+  metrics.observe("depth", 4.0);
+  metrics.observe("depth", 16.0);
+  const auto snapshot = metrics.snapshot();
+  const auto it = snapshot.histograms.find("depth");
+  ASSERT_NE(it, snapshot.histograms.end());
+  EXPECT_EQ(it->second.count, 3);
+  EXPECT_DOUBLE_EQ(it->second.sum, 21.0);
+  EXPECT_DOUBLE_EQ(it->second.min, 1.0);
+  EXPECT_DOUBLE_EQ(it->second.max, 16.0);
+  EXPECT_EQ(it->second.buckets[obs::HistogramData::bucket_of(4.0)], 1);
+}
+
+TEST(MetricsTest, SnapshotExportsToJsonAndCsv) {
+  MetricsGuard guard;
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.add("kernel.gpu.syrk.flops", 1.0e9);
+  metrics.gauge_set("sched.utilization", 0.875);
+  metrics.observe("sched.ready_queue_depth", 3.0);
+  const auto snapshot = metrics.snapshot();
+
+  std::ostringstream json;
+  obs::write_metrics_json(json, snapshot);
+  const std::string json_text = json.str();
+  EXPECT_NE(json_text.find("\"kernel.gpu.syrk.flops\""), std::string::npos);
+  EXPECT_NE(json_text.find("\"sched.utilization\""), std::string::npos);
+  EXPECT_NE(json_text.find("\"sched.ready_queue_depth\""), std::string::npos);
+
+  std::ostringstream csv;
+  obs::write_metrics_csv(csv, snapshot);
+  const std::string csv_text = csv.str();
+  EXPECT_NE(csv_text.find("kind,name,value,count,sum,min,max"),
+            std::string::npos);
+  EXPECT_NE(csv_text.find("counter,kernel.gpu.syrk.flops"), std::string::npos);
+  EXPECT_NE(csv_text.find("gauge,sched.utilization"), std::string::npos);
+  EXPECT_NE(csv_text.find("histogram,sched.ready_queue_depth"),
+            std::string::npos);
+}
+
+TEST(MetricsTest, JsonEscapeHandlesSpecials) {
+  EXPECT_EQ(obs::json_escape("plain"), "plain");
+  EXPECT_EQ(obs::json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(obs::json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(MetricsTest, ClearEmptiesEverything) {
+  MetricsGuard guard;
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.add("c", 1.0);
+  metrics.gauge_set("g", 2.0);
+  metrics.observe("h", 3.0);
+  metrics.clear();
+  const auto snapshot = metrics.snapshot();
+  EXPECT_TRUE(snapshot.counters.empty());
+  EXPECT_TRUE(snapshot.gauges.empty());
+  EXPECT_TRUE(snapshot.histograms.empty());
+}
+
+}  // namespace
+}  // namespace mfgpu

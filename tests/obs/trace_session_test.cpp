@@ -1,0 +1,142 @@
+#include "obs/trace_session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "gpusim/clock.hpp"
+
+namespace mfgpu {
+namespace {
+
+/// Enables span recording for one test and restores the disabled state
+/// (the suite-wide default) afterwards.
+struct RecordingGuard {
+  RecordingGuard() {
+    obs::TraceSession::global().clear();
+    obs::enable();
+  }
+  ~RecordingGuard() {
+    obs::disable();
+    obs::TraceSession::global().clear();
+  }
+};
+
+TEST(TraceSessionTest, DisabledSpansRecordNothing) {
+  obs::disable();
+  obs::TraceSession::global().clear();
+  {
+    obs::ScopedSpan span("test", "ignored");
+    EXPECT_FALSE(span.active());
+    span.set_arg(0, "n", 7);  // must be a safe no-op
+  }
+  EXPECT_TRUE(obs::TraceSession::global().events().empty());
+}
+
+TEST(TraceSessionTest, NestedSpansKeepDepthAndContainment) {
+  RecordingGuard guard;
+  {
+    obs::ScopedSpan outer("test", "outer");
+    ASSERT_TRUE(outer.active());
+    { obs::ScopedSpan inner("test", "inner_a"); }
+    { obs::ScopedSpan inner("test", "inner_b"); }
+  }
+  const auto events = obs::TraceSession::global().events();
+  ASSERT_EQ(events.size(), 3u);
+
+  // Sorted by (tid, start, -end): the parent precedes its children.
+  EXPECT_STREQ(events[0].name, "outer");
+  EXPECT_STREQ(events[1].name, "inner_a");
+  EXPECT_STREQ(events[2].name, "inner_b");
+  EXPECT_EQ(events[0].depth, 0);
+  EXPECT_EQ(events[1].depth, 1);
+  EXPECT_EQ(events[2].depth, 1);
+
+  // Children are contained in the parent and siblings do not overlap.
+  for (int i = 1; i <= 2; ++i) {
+    EXPECT_GE(events[i].start_ns, events[0].start_ns);
+    EXPECT_LE(events[i].end_ns, events[0].end_ns);
+    EXPECT_LE(events[i].start_ns, events[i].end_ns);
+  }
+  EXPECT_LE(events[1].end_ns, events[2].start_ns);
+  for (const auto& ev : events) EXPECT_STREQ(ev.category, "test");
+}
+
+TEST(TraceSessionTest, ArgsAndSimClockAreCaptured) {
+  RecordingGuard guard;
+  SimClock clock;
+  clock.advance(1.5);
+  {
+    obs::ScopedSpan span("test", "timed", &clock);
+    span.set_arg(0, "m", 128);
+    span.set_arg(1, "k", 64);
+    clock.advance(0.25);
+  }
+  const auto events = obs::TraceSession::global().events();
+  ASSERT_EQ(events.size(), 1u);
+  const auto& ev = events[0];
+  EXPECT_DOUBLE_EQ(ev.sim_start, 1.5);
+  EXPECT_DOUBLE_EQ(ev.sim_end, 1.75);
+  ASSERT_NE(ev.args[0].name, nullptr);
+  EXPECT_STREQ(ev.args[0].name, "m");
+  EXPECT_EQ(ev.args[0].value, 128);
+  ASSERT_NE(ev.args[1].name, nullptr);
+  EXPECT_STREQ(ev.args[1].name, "k");
+  EXPECT_EQ(ev.args[1].value, 64);
+  EXPECT_EQ(ev.args[2].name, nullptr);
+}
+
+TEST(TraceSessionTest, SpansWithoutSimClockMarkSimTimesNegative) {
+  RecordingGuard guard;
+  { obs::ScopedSpan span("test", "host_only"); }
+  const auto events = obs::TraceSession::global().events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_LT(events[0].sim_start, 0.0);
+  EXPECT_LT(events[0].sim_end, 0.0);
+}
+
+TEST(TraceSessionTest, ThreadsRecordIndependentlyWithoutLoss) {
+  RecordingGuard guard;
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        obs::ScopedSpan span("test", "worker_span");
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  const auto events = obs::TraceSession::global().events();
+  ASSERT_EQ(events.size(),
+            static_cast<std::size_t>(kThreads * kSpansPerThread));
+  std::set<std::uint32_t> tids;
+  for (const auto& ev : events) tids.insert(ev.tid);
+  EXPECT_EQ(tids.size(), static_cast<std::size_t>(kThreads));
+
+  // Within each thread the merged snapshot is ordered by start time.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    if (events[i].tid == events[i - 1].tid) {
+      EXPECT_GE(events[i].start_ns, events[i - 1].start_ns);
+    }
+  }
+}
+
+TEST(TraceSessionTest, ClearDropsEventsButKeepsRecordingUsable) {
+  RecordingGuard guard;
+  { obs::ScopedSpan span("test", "before_clear"); }
+  obs::TraceSession::global().clear();
+  EXPECT_TRUE(obs::TraceSession::global().events().empty());
+  { obs::ScopedSpan span("test", "after_clear"); }
+  const auto events = obs::TraceSession::global().events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "after_clear");
+}
+
+}  // namespace
+}  // namespace mfgpu
