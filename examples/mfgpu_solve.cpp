@@ -4,8 +4,14 @@
 //   mfgpu_solve [--matrix FILE.mtx | --grid NX NY NZ [--elasticity]]
 //               [--mode serial|baseline|model|ideal]
 //               [--ordering natural|md|nd]
+//               [--threads N] [--workers SPEC] [--nondeterministic]
 //               [--save-model FILE] [--load-model FILE]
 //               [--out FILE.mtx]
+//
+// --threads N runs the numeric phase on N work-stealing CPU workers;
+// --workers SPEC gives an explicit worker list instead, e.g. "cgg" = one
+// CPU worker plus two GPU workers (each with a private simulated device).
+// Parallel runs are bitwise-reproducible unless --nondeterministic.
 //
 // Reads (or generates) an SPD system, factors it under the chosen policy
 // mode, solves for a manufactured right-hand side, reports simulated
@@ -32,7 +38,8 @@ namespace {
   std::fprintf(stderr,
                "usage: %s [--matrix FILE.mtx | --grid NX NY NZ "
                "[--elasticity]] [--mode serial|baseline|model|ideal] "
-               "[--ordering natural|md|nd] [--save-model FILE] "
+               "[--ordering natural|md|nd] [--threads N] [--workers SPEC] "
+               "[--nondeterministic] [--save-model FILE] "
                "[--load-model FILE] [--out FILE.mtx]\n",
                argv0);
   std::exit(2);
@@ -44,6 +51,9 @@ struct CliOptions {
   bool elasticity = false;
   std::string mode = "baseline";
   std::string ordering = "nd";
+  int threads = 1;
+  std::string workers;  // e.g. "cgg": CPU + two GPU workers
+  bool deterministic = true;
   std::string save_model;
   std::string load_model;
   std::string out_path;
@@ -72,6 +82,12 @@ CliOptions parse(int argc, char** argv) {
       cli.mode = next("--mode");
     } else if (arg == "--ordering") {
       cli.ordering = next("--ordering");
+    } else if (arg == "--threads") {
+      cli.threads = std::atoi(next("--threads").c_str());
+    } else if (arg == "--workers") {
+      cli.workers = next("--workers");
+    } else if (arg == "--nondeterministic") {
+      cli.deterministic = false;
     } else if (arg == "--save-model") {
       cli.save_model = next("--save-model");
     } else if (arg == "--load-model") {
@@ -155,7 +171,20 @@ int main(int argc, char** argv) {
                            ? OrderingChoice::MinimumDegree
                            : parse_ordering(cli.ordering);
     options.coordinates = problem.coords;
-    const Solver solver(problem.matrix, options);
+    options.num_threads = cli.threads;
+    options.deterministic_reduction = cli.deterministic;
+    for (char c : cli.workers) {
+      if (c != 'c' && c != 'g') {
+        std::fprintf(stderr, "--workers wants a string of 'c'/'g'\n");
+        return 2;
+      }
+      options.workers.push_back(WorkerSpec{.has_gpu = (c == 'g')});
+    }
+
+    // Phase-split API: the symbolic handle is built once and could be
+    // refactored with new values (see examples/refactor_loop.cpp).
+    Solver solver = Solver::analyze(problem.matrix, options);
+    solver.factor();
 
     const TreeStats tree = supernode_tree_stats(solver.analysis().symbolic);
     std::printf(
@@ -169,8 +198,9 @@ int main(int argc, char** argv) {
     const PolicyBreakdown breakdown = policy_breakdown(solver.trace());
     std::printf(
         "factorization: %.4f simulated s under mode '%s' "
-        "(~%.4f s per solve)\n",
-        solver.factor_time(), cli.mode.c_str(), solver.solve_time_estimate());
+        "(%.4f wall s, ~%.4f s per solve)\n",
+        solver.factor_time(), cli.mode.c_str(), solver.factor_wall_seconds(),
+        solver.solve_time_estimate());
     for (int p = 1; p <= 4; ++p) {
       if (breakdown.calls[static_cast<std::size_t>(p)] == 0) continue;
       std::printf("  P%d: %lld calls, %.4f s\n", p,

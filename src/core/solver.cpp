@@ -1,6 +1,10 @@
 #include "core/solver.hpp"
 
+#include <algorithm>
+#include <chrono>
+
 #include "autotune/hybrid.hpp"
+#include "multifrontal/parallel.hpp"
 #include "multifrontal/solve.hpp"
 #include "obs/obs.hpp"
 #include "ordering/minimum_degree.hpp"
@@ -9,9 +13,39 @@
 
 namespace mfgpu {
 
+namespace {
+
+/// Ideal-hybrid executor with its OWN timing oracle. PolicyTimer memoizes
+/// through a private simulated device and is not thread-safe, so each
+/// parallel GPU worker gets one of these instead of sharing the Solver's.
+class OwnedTimerIdealHybrid : public FuExecutor {
+ public:
+  explicit OwnedTimerIdealHybrid(const ExecutorOptions& options)
+      : timer_(std::make_unique<PolicyTimer>(options)),
+        inner_(make_ideal_hybrid(*timer_, options)) {}
+
+  FuOutcome execute(FrontBlocks front, FactorContext& ctx) override {
+    return inner_.execute(front, ctx);
+  }
+  void prepare(index_t max_m, index_t max_k, FactorContext& ctx) override {
+    inner_.prepare(max_m, max_k, ctx);
+  }
+  const char* name() const override { return inner_.name(); }
+
+ private:
+  std::unique_ptr<PolicyTimer> timer_;  // must outlive inner_
+  DispatchExecutor inner_;
+};
+
+}  // namespace
+
 struct Solver::Impl {
-  const SparseSpd* matrix = nullptr;
+  SparseSpd matrix;
   SolverOptions options;
+  /// Owned copy of options.coordinates: the phase-split API lets arbitrary
+  /// time pass between analyze() and later calls, so the caller's span must
+  /// not be retained.
+  std::vector<std::array<index_t, 3>> coordinates;
   std::optional<Analysis> analysis;
   std::optional<Factorization> factor;
   FactorizationTrace trace;
@@ -19,27 +53,40 @@ struct Solver::Impl {
   std::unique_ptr<Device> device;
   std::unique_ptr<PolicyTimer> timer;
   double factor_time = 0.0;
+  double factor_wall = 0.0;
+  bool factored = false;
 
+  Permutation choose_ordering() const;
   std::unique_ptr<FuExecutor> choose_executor();
+  void ensure_model();
+  WorkerExecutorFactory worker_factory();
+  void run_factor();
 };
 
-namespace {
-
-Permutation choose_ordering(const SparseSpd& a, const SolverOptions& options) {
+Permutation Solver::Impl::choose_ordering() const {
   switch (options.ordering) {
     case OrderingChoice::Natural:
-      return Permutation::identity(a.n());
+      return Permutation::identity(matrix.n());
     case OrderingChoice::MinimumDegree:
-      return minimum_degree(build_graph(a));
+      return minimum_degree(build_graph(matrix));
     case OrderingChoice::NestedDissection:
-      MFGPU_CHECK(static_cast<index_t>(options.coordinates.size()) == a.n(),
+      MFGPU_CHECK(static_cast<index_t>(coordinates.size()) == matrix.n(),
                   "Solver: nested dissection needs one coordinate per unknown");
-      return nested_dissection(options.coordinates);
+      return nested_dissection(coordinates);
   }
   throw InvalidArgumentError("Solver: invalid ordering choice");
 }
 
-}  // namespace
+void Solver::Impl::ensure_model() {
+  if (model.has_value()) return;
+  // Train on this matrix's own call distribution (the paper's methodology:
+  // learn from the observed timing data).
+  obs::ScopedSpan span("solver", "train_policy_model");
+  timer = std::make_unique<PolicyTimer>(options.executor);
+  const PolicyDataset dataset =
+      build_dataset(dims_from_symbolic(analysis->symbolic), *timer);
+  model = train_expected_time(dataset);
+}
 
 std::unique_ptr<FuExecutor> Solver::Impl::choose_executor() {
   switch (options.mode) {
@@ -48,17 +95,10 @@ std::unique_ptr<FuExecutor> Solver::Impl::choose_executor() {
     case SolverMode::BaselineHybrid:
       return std::make_unique<DispatchExecutor>(
           make_baseline_hybrid(paper_thresholds(), options.executor));
-    case SolverMode::ModelHybrid: {
-      // Train on this matrix's own call distribution (the paper's
-      // methodology: learn from the observed timing data).
-      obs::ScopedSpan span("solver", "train_policy_model");
-      timer = std::make_unique<PolicyTimer>(options.executor);
-      const PolicyDataset dataset =
-          build_dataset(dims_from_symbolic(analysis->symbolic), *timer);
-      model = train_expected_time(dataset);
+    case SolverMode::ModelHybrid:
+      ensure_model();
       return std::make_unique<DispatchExecutor>(
           make_model_hybrid(*model, options.executor));
-    }
     case SolverMode::IdealHybrid:
       timer = std::make_unique<PolicyTimer>(options.executor);
       return std::make_unique<DispatchExecutor>(
@@ -67,41 +107,137 @@ std::unique_ptr<FuExecutor> Solver::Impl::choose_executor() {
   throw InvalidArgumentError("Solver: invalid mode");
 }
 
-Solver::Solver(const SparseSpd& a, const SolverOptions& options)
-    : impl_(std::make_unique<Impl>()) {
-  impl_->matrix = &a;
-  impl_->options = options;
-  {
-    obs::ScopedSpan span("solver", "analyze");
-    span.set_arg(0, "n", a.n());
-    impl_->analysis = analyze(a, choose_ordering(a, options), options.analysis);
+/// Per-worker executor construction for the parallel numeric phase. CPU
+/// workers always run P1 in double; GPU workers run the mode's dispatcher
+/// against their private simulated device.
+WorkerExecutorFactory Solver::Impl::worker_factory() {
+  const ExecutorOptions executor_options = options.executor;
+  switch (options.mode) {
+    case SolverMode::Serial:
+      return [executor_options](const WorkerSpec&, int) {
+        return std::unique_ptr<FuExecutor>(
+            std::make_unique<PolicyExecutor>(Policy::P1, executor_options));
+      };
+    case SolverMode::BaselineHybrid:
+      return {};  // factorize_parallel's default is exactly P_BH on GPU, P1 on CPU
+    case SolverMode::ModelHybrid:
+      ensure_model();  // train once, serially; workers share the const model
+      return [this, executor_options](const WorkerSpec& spec,
+                                      int) -> std::unique_ptr<FuExecutor> {
+        if (!spec.has_gpu) {
+          return std::make_unique<PolicyExecutor>(Policy::P1, executor_options);
+        }
+        return std::make_unique<DispatchExecutor>(
+            make_model_hybrid(*model, executor_options));
+      };
+    case SolverMode::IdealHybrid:
+      return [executor_options](const WorkerSpec& spec,
+                                int) -> std::unique_ptr<FuExecutor> {
+        if (!spec.has_gpu) {
+          return std::make_unique<PolicyExecutor>(Policy::P1, executor_options);
+        }
+        return std::make_unique<OwnedTimerIdealHybrid>(executor_options);
+      };
   }
+  throw InvalidArgumentError("Solver: invalid mode");
+}
 
-  const auto executor = impl_->choose_executor();
-  FactorContext ctx;
-  if (options.mode != SolverMode::Serial) {
-    Device::Options device_options = options.device;
-    device_options.numeric = true;
-    impl_->device = std::make_unique<Device>(device_options);
-    ctx.device = impl_->device.get();
+void Solver::Impl::run_factor() {
+  const bool parallel = !options.workers.empty() || options.num_threads > 1;
+  const auto wall_t0 = std::chrono::steady_clock::now();
+  FactorizeResult result;
+  if (parallel) {
+    ParallelFactorizeOptions parallel_options;
+    parallel_options.num_threads = options.num_threads;
+    parallel_options.workers = options.workers;
+    parallel_options.deterministic_reduction = options.deterministic_reduction;
+    parallel_options.executor = options.executor;
+    parallel_options.device = options.device;
+    obs::ScopedSpan span("solver", "numeric_factorization");
+    result = factorize_parallel(*analysis, parallel_options, worker_factory());
+  } else {
+    const auto executor = choose_executor();
+    FactorContext ctx;
+    if (options.mode != SolverMode::Serial) {
+      Device::Options device_options = options.device;
+      device_options.numeric = true;
+      device = std::make_unique<Device>(device_options);
+      ctx.device = device.get();
+    }
+    obs::ScopedSpan span("solver", "numeric_factorization", &ctx.host_clock);
+    result = factorize(*analysis, *executor, ctx);
   }
-  obs::ScopedSpan span("solver", "numeric_factorization", &ctx.host_clock);
-  FactorizeResult result = factorize(*impl_->analysis, *executor, ctx);
-  impl_->factor = std::move(result.factor);
-  impl_->trace = std::move(result.trace);
-  impl_->factor_time = impl_->trace.total_time;
+  factor = std::move(result.factor);
+  trace = std::move(result.trace);
+  factor_time = trace.total_time;
+  factor_wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_t0)
+          .count();
+  factored = true;
+}
+
+Solver::Solver() : impl_(std::make_unique<Impl>()) {}
+
+Solver Solver::analyze(const SparseSpd& a, const SolverOptions& options) {
+  Solver solver;
+  Impl& impl = *solver.impl_;
+  impl.matrix = a;
+  impl.options = options;
+  impl.coordinates.assign(options.coordinates.begin(),
+                          options.coordinates.end());
+  impl.options.coordinates = {};  // always read the owned copy
+  obs::ScopedSpan span("solver", "analyze");
+  span.set_arg(0, "n", a.n());
+  impl.analysis =
+      mfgpu::analyze(impl.matrix, impl.choose_ordering(), options.analysis);
+  return solver;
+}
+
+Solver::Solver(const SparseSpd& a, const SolverOptions& options)
+    : Solver(analyze(a, options)) {
+  impl_->run_factor();
 }
 
 Solver::~Solver() = default;
 Solver::Solver(Solver&&) noexcept = default;
 Solver& Solver::operator=(Solver&&) noexcept = default;
 
+void Solver::factor() { impl_->run_factor(); }
+
+void Solver::refactor(const SparseSpd& a) {
+  Impl& impl = *impl_;
+  if (a.n() != impl.matrix.n()) {
+    throw InvalidArgumentError("Solver::refactor: dimension mismatch");
+  }
+  const auto same = [](std::span<const index_t> x, std::span<const index_t> y) {
+    return std::equal(x.begin(), x.end(), y.begin(), y.end());
+  };
+  if (!same(a.col_ptr(), impl.matrix.col_ptr()) ||
+      !same(a.row_idx(), impl.matrix.row_idx())) {
+    throw InvalidArgumentError(
+        "Solver::refactor: sparsity pattern differs from the analyzed matrix");
+  }
+  impl.matrix = a;
+  // Same pattern => the composed permutation and symbolic structure are
+  // still exact; only the permuted values need recomputing.
+  impl.analysis->permuted =
+      impl.matrix.permuted(impl.analysis->perm.new_of_old());
+  impl.factored = false;
+  impl.run_factor();
+}
+
+bool Solver::factored() const noexcept { return impl_->factored; }
+
 std::vector<double> Solver::solve(std::span<const double> b) const {
   return solve_with_history(b).x;
 }
 
 Matrix<double> Solver::solve(const Matrix<double>& b) const {
-  MFGPU_CHECK(b.rows() == impl_->matrix->n(), "Solver::solve: rhs size");
+  if (b.rows() != impl_->matrix.n()) {
+    throw InvalidArgumentError(
+        "Solver::solve: rhs has " + std::to_string(b.rows()) +
+        " rows, matrix dimension is " + std::to_string(impl_->matrix.n()));
+  }
   Matrix<double> x(b.rows(), b.cols());
   for (index_t j = 0; j < b.cols(); ++j) {
     std::span<const double> column(b.data() + j * b.rows(),
@@ -113,8 +249,17 @@ Matrix<double> Solver::solve(const Matrix<double>& b) const {
 }
 
 RefineResult Solver::solve_with_history(std::span<const double> b) const {
+  if (!impl_->factored) {
+    throw InvalidStateError(
+        "Solver::solve: factor() has not been called (analyze-only handle)");
+  }
+  if (static_cast<index_t>(b.size()) != impl_->matrix.n()) {
+    throw InvalidArgumentError(
+        "Solver::solve: rhs has " + std::to_string(b.size()) +
+        " entries, matrix dimension is " + std::to_string(impl_->matrix.n()));
+  }
   obs::ScopedSpan span("solve", "solve_with_refinement");
-  return solve_with_refinement(*impl_->matrix, *impl_->analysis,
+  return solve_with_refinement(impl_->matrix, *impl_->analysis,
                                *impl_->factor, b,
                                impl_->options.max_refinement_steps,
                                impl_->options.refinement_tolerance);
@@ -125,6 +270,9 @@ const FactorizationTrace& Solver::trace() const noexcept {
   return impl_->trace;
 }
 double Solver::factor_time() const noexcept { return impl_->factor_time; }
+double Solver::factor_wall_seconds() const noexcept {
+  return impl_->factor_wall;
+}
 
 double Solver::solve_time_estimate() const {
   return estimated_solve_seconds(impl_->analysis->symbolic);

@@ -3,10 +3,33 @@
 // -> solve + refinement), in the spirit of the WSMP interface the paper
 // builds on.
 //
+// The pipeline is phase-split (analyze / factor / refactor / solve), so the
+// symbolic analysis — by far the most expensive reusable artifact — is a
+// first-class handle that can be factored many times:
+//
 //   SolverOptions options;
-//   options.mode = SolverMode::ModelHybrid;   // auto-tuned policy dispatch
-//   Solver solver(matrix, options);           // analyze + factor
-//   std::vector<double> x = solver.solve(b);  // refined solve
+//   options.mode = SolverMode::ModelHybrid;     // auto-tuned policy dispatch
+//   options.num_threads = 4;                    // task-parallel numeric phase
+//   Solver solver = Solver::analyze(matrix, options);  // symbolic only
+//   solver.factor();                            // numeric factorization
+//   std::vector<double> x = solver.solve(b);    // refined solve
+//   ...
+//   solver.refactor(matrix2);                   // same pattern, new values
+//   std::vector<double> y = solver.solve(b2);
+//
+// The classic one-shot constructor Solver(a, options) remains as a thin
+// wrapper equivalent to analyze(a, options) followed by factor().
+//
+// Migration notes (pre-phase-split code keeps compiling unchanged):
+//   - Solver(a, options) still analyzes AND factors in one step.
+//   - SolverOptions::coordinates is now COPIED during analyze(); callers no
+//     longer need to keep the coordinate array alive past construction.
+//   - solve() now validates the right-hand-side length and throws
+//     InvalidArgumentError on mismatch (previously out-of-bounds reads);
+//     calling solve() before factor() throws InvalidStateError.
+//   - New options: num_threads / workers / deterministic_reduction select
+//     the work-stealing parallel numeric phase (multifrontal/parallel.hpp);
+//     the defaults preserve the previous serial behavior exactly.
 #pragma once
 
 #include <memory>
@@ -17,6 +40,7 @@
 #include "autotune/trainer.hpp"
 #include "multifrontal/factorization.hpp"
 #include "multifrontal/refine.hpp"
+#include "sched/worker.hpp"
 #include "sparse/csc.hpp"
 #include "symbolic/symbolic_factor.hpp"
 
@@ -38,6 +62,7 @@ enum class SolverMode {
 struct SolverOptions {
   OrderingChoice ordering = OrderingChoice::MinimumDegree;
   /// Required (and used) only for OrderingChoice::NestedDissection.
+  /// Copied during analyze(); the span need not outlive the call.
   std::span<const std::array<index_t, 3>> coordinates = {};
   SolverMode mode = SolverMode::BaselineHybrid;
   ExecutorOptions executor;
@@ -45,20 +70,49 @@ struct SolverOptions {
   Device::Options device;
   int max_refinement_steps = 5;
   double refinement_tolerance = 1e-14;
+
+  /// Numeric-phase thread count (> 1 executes the assembly tree on the
+  /// work-stealing pool; 1 preserves the serial driver).
+  int num_threads = 1;
+  /// Explicit worker list for the parallel numeric phase — e.g.
+  /// {{.has_gpu=true}, {.has_gpu=true}} for the paper's 2-GPU runs.
+  /// Overrides num_threads when non-empty; CPU workers run P1, GPU workers
+  /// the mode's policy dispatch, each on a private simulated device.
+  std::vector<WorkerSpec> workers;
+  /// Fixed child-assembly order in the parallel phase: results are bitwise
+  /// identical to the serial factorization for any thread count. Off trades
+  /// that for assembling in completion order (roundoff-level differences).
+  bool deterministic_reduction = true;
 };
 
 /// Owns the full pipeline state for one matrix. Thread-compatible (no
 /// internal synchronization); reuse the factorization across many solves.
 class Solver {
  public:
-  /// Analyzes and factors immediately. Throws NotPositiveDefiniteError if
-  /// the matrix is not SPD.
+  /// One-shot: analyze(a, options) + factor(). Throws
+  /// NotPositiveDefiniteError if the matrix is not SPD.
   Solver(const SparseSpd& a, const SolverOptions& options = {});
   ~Solver();
   Solver(Solver&&) noexcept;
   Solver& operator=(Solver&&) noexcept;
 
-  /// Solve A x = b with iterative refinement.
+  /// Phase 1: ordering + symbolic analysis only (no numeric work). The
+  /// matrix values and coordinates are copied; `a` need not outlive the
+  /// returned Solver.
+  static Solver analyze(const SparseSpd& a, const SolverOptions& options = {});
+  /// Phase 2: numeric factorization of the analyzed matrix. May be called
+  /// again to refactor the same values.
+  void factor();
+  /// Refactor with new values on the SAME sparsity pattern (the symbolic
+  /// analysis is reused — the cheap path for time-stepping / Newton loops).
+  /// Throws InvalidArgumentError if the pattern differs.
+  void refactor(const SparseSpd& a);
+  /// True once factor()/refactor() (or the one-shot constructor) completed.
+  bool factored() const noexcept;
+
+  /// Solve A x = b with iterative refinement. Throws InvalidArgumentError
+  /// if b's size differs from the matrix dimension, InvalidStateError if
+  /// the solver has not been factored.
   std::vector<double> solve(std::span<const double> b) const;
   /// Solve for several right-hand sides (columns of B, column-major).
   Matrix<double> solve(const Matrix<double>& b) const;
@@ -67,8 +121,11 @@ class Solver {
 
   const Analysis& analysis() const noexcept;
   const FactorizationTrace& trace() const noexcept;
-  /// Simulated seconds the factorization took under the chosen mode.
+  /// Simulated seconds the factorization took under the chosen mode (the
+  /// virtual makespan over all workers for parallel runs).
   double factor_time() const noexcept;
+  /// Real seconds the last factor()/refactor() took on this machine.
+  double factor_wall_seconds() const noexcept;
   /// Simulated host seconds per forward+backward solve (memory-bound
   /// estimate; refinement multiplies this by 1 + #steps).
   double solve_time_estimate() const;
@@ -76,6 +133,8 @@ class Solver {
   const TrainedPolicyModel* model() const noexcept;
 
  private:
+  Solver();  ///< used by analyze()
+
   struct Impl;
   std::unique_ptr<Impl> impl_;
 };

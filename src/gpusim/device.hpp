@@ -9,6 +9,12 @@
 // All copy/allocate methods return the model *duration* of the operation in
 // seconds so executors can attribute component times in the trace; the
 // effect on the clocks/streams is applied internally.
+//
+// Thread affinity: a Device (with its streams, pools, and clocks) has no
+// internal synchronization and must be driven by one thread at a time. The
+// parallel numeric engine (multifrontal/parallel.hpp) therefore gives every
+// GPU-bearing worker a private Device instance — like one CUDA context per
+// host thread on the paper's hardware generation.
 #pragma once
 
 #include <string>

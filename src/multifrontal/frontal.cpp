@@ -8,17 +8,30 @@ namespace mfgpu {
 
 FrontalMatrix::FrontalMatrix(const SupernodeInfo& sn, bool numeric)
     : k_(sn.width()), m_(sn.num_update_rows()), numeric_(numeric) {
-  rows_.reserve(static_cast<std::size_t>(order()));
-  for (index_t j = sn.first_col; j < sn.last_col; ++j) rows_.push_back(j);
-  rows_.insert(rows_.end(), sn.update_rows.begin(), sn.update_rows.end());
+  build_rows(sn);
   if (numeric_) {
     storage_ = Matrix<double>(order(), order(), 0.0);
+    view_ = storage_.view();
   }
 }
 
-MatrixView<double> FrontalMatrix::full() {
+FrontalMatrix::FrontalMatrix(const SupernodeInfo& sn, std::span<double> storage)
+    : k_(sn.width()), m_(sn.num_update_rows()), numeric_(true) {
+  build_rows(sn);
+  MFGPU_CHECK(static_cast<index_t>(storage.size()) >= order() * order(),
+              "FrontalMatrix: external storage too small");
+  view_ = MatrixView<double>(storage.data(), order(), order(), order());
+}
+
+void FrontalMatrix::build_rows(const SupernodeInfo& sn) {
+  rows_.reserve(static_cast<std::size_t>(order()));
+  for (index_t j = sn.first_col; j < sn.last_col; ++j) rows_.push_back(j);
+  rows_.insert(rows_.end(), sn.update_rows.begin(), sn.update_rows.end());
+}
+
+MatrixView<double> FrontalMatrix::full() const {
   MFGPU_CHECK(numeric_, "FrontalMatrix: no storage in dry-run mode");
-  return storage_.view();
+  return view_;
 }
 
 index_t FrontalMatrix::local_index(index_t global_row) const {
@@ -40,7 +53,7 @@ index_t FrontalMatrix::assemble_from_matrix(const SparseSpd& a,
     moved += static_cast<index_t>(rows.size());
     if (!numeric_) continue;
     for (std::size_t t = 0; t < rows.size(); ++t) {
-      storage_(local_index(rows[t]), local_col) += vals[t];
+      view_(local_index(rows[t]), local_col) += vals[t];
     }
   }
   return moved;
@@ -66,7 +79,7 @@ index_t FrontalMatrix::extend_add(std::span<const index_t> child_rows,
       const index_t ci = rel[static_cast<std::size_t>(i)];
       // Both rel indices increase with their arguments, so ci >= cj and the
       // target stays in the lower triangle.
-      storage_(ci, cj) +=
+      view_(ci, cj) +=
           child_update_packed[static_cast<std::size_t>(packed_index(mc, i, j))];
     }
   }
@@ -81,7 +94,7 @@ index_t FrontalMatrix::pack_update(std::span<double> out) const {
   for (index_t j = 0; j < m_; ++j) {
     for (index_t i = j; i < m_; ++i) {
       out[static_cast<std::size_t>(packed_index(m_, i, j))] =
-          storage_(k_ + i, k_ + j);
+          view_(k_ + i, k_ + j);
     }
   }
   return entries;

@@ -18,13 +18,17 @@ namespace mfgpu {
 class FrontalMatrix {
  public:
   FrontalMatrix(const SupernodeInfo& sn, bool numeric);
+  /// Places the front in caller-provided storage (>= order()^2 doubles,
+  /// already zeroed — e.g. a block pushed onto a worker's StackArena) instead
+  /// of allocating. The storage must outlive this object.
+  FrontalMatrix(const SupernodeInfo& sn, std::span<double> storage);
 
   index_t k() const noexcept { return k_; }
   index_t m() const noexcept { return m_; }
   index_t order() const noexcept { return k_ + m_; }
   std::span<const index_t> rows() const noexcept { return rows_; }
 
-  MatrixView<double> full();
+  MatrixView<double> full() const;
   MatrixView<double> l1() { return full().block(0, 0, k_, k_); }
   MatrixView<double> l2() { return full().block(k_, 0, m_, k_); }
   MatrixView<double> update() { return full().block(k_, k_, m_, m_); }
@@ -46,11 +50,14 @@ class FrontalMatrix {
  private:
   index_t local_index(index_t global_row) const;
 
+  void build_rows(const SupernodeInfo& sn);
+
   index_t k_ = 0;
   index_t m_ = 0;
   bool numeric_ = true;
   std::vector<index_t> rows_;
-  Matrix<double> storage_;
+  Matrix<double> storage_;     ///< owning case; empty with external storage
+  MatrixView<double> view_;    ///< the front, wherever it lives
 };
 
 }  // namespace mfgpu

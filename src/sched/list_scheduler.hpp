@@ -10,6 +10,10 @@
 // those fronts across threads, which we model with *moldable* tasks: when
 // idle workers outnumber ready tasks, a large task gangs them with an
 // Amdahl-style efficiency (parallel fraction of the task's work).
+//
+// This module predicts schedules in simulated time; the real-thread
+// execution of the same task graph lives in sched/thread_pool.hpp +
+// multifrontal/parallel.hpp (see EXPERIMENTS.md for how the two compare).
 #pragma once
 
 #include <functional>
@@ -17,12 +21,9 @@
 
 #include "policy/executors.hpp"
 #include "sched/task_graph.hpp"
+#include "sched/worker.hpp"
 
 namespace mfgpu {
-
-struct WorkerSpec {
-  bool has_gpu = false;
-};
 
 /// Inter-worker communication model — the paper's stated future work is a
 /// distributed-memory (cluster) version of the solver; this models workers

@@ -1,0 +1,20 @@
+// Worker descriptions shared by the scheduling simulator
+// (sched/list_scheduler.hpp) and the real-thread execution engine
+// (sched/thread_pool.hpp + multifrontal/parallel.hpp): the paper's Table VII
+// configurations are lists of these (4 CPU threads; 2 threads + 2 GPUs).
+#pragma once
+
+#include <vector>
+
+namespace mfgpu {
+
+struct WorkerSpec {
+  bool has_gpu = false;
+};
+
+/// `count` CPU-only workers (the plain multithreaded configurations).
+inline std::vector<WorkerSpec> cpu_workers(int count) {
+  return std::vector<WorkerSpec>(static_cast<std::size_t>(count > 0 ? count : 0));
+}
+
+}  // namespace mfgpu

@@ -41,6 +41,13 @@ class InvalidArgumentError : public Error {
   using Error::Error;
 };
 
+/// Thrown when an operation is called in the wrong phase (e.g. solving
+/// through a Solver that was analyzed but never factored).
+class InvalidStateError : public Error {
+ public:
+  using Error::Error;
+};
+
 /// Thrown when the simulated device runs out of memory.
 class DeviceOutOfMemoryError : public Error {
  public:

@@ -144,5 +144,124 @@ TEST(SolverTest, MoveSemantics) {
   EXPECT_DOUBLE_EQ(b_solver.factor_time(), t);
 }
 
+TEST(SolverPhases, AnalyzeThenFactorThenSolve) {
+  const GridProblem p = make_laplacian_3d(6, 5, 4);
+  Solver solver = Solver::analyze(p.matrix);
+  EXPECT_FALSE(solver.factored());
+  // The symbolic handle is live before any numeric work...
+  EXPECT_GT(solver.analysis().symbolic.num_supernodes(), 0);
+  // ...but solving through it is a phase error.
+  const auto b = rhs_for_ones(p.matrix);
+  EXPECT_THROW(solver.solve(b), InvalidStateError);
+
+  solver.factor();
+  EXPECT_TRUE(solver.factored());
+  EXPECT_GT(solver.factor_time(), 0.0);
+  EXPECT_GE(solver.factor_wall_seconds(), 0.0);
+  const auto x = solver.solve(b);
+  for (double v : x) EXPECT_NEAR(v, 1.0, 1e-8);
+}
+
+TEST(SolverPhases, OneShotConstructorEqualsAnalyzePlusFactor) {
+  const GridProblem p = make_laplacian_3d(5, 5, 4);
+  const Solver one_shot(p.matrix);
+  Solver split = Solver::analyze(p.matrix);
+  split.factor();
+  // Same ordering, same symbolic structure, same (deterministic) numeric
+  // factorization: the virtual factor time must agree exactly.
+  EXPECT_DOUBLE_EQ(split.factor_time(), one_shot.factor_time());
+  EXPECT_EQ(split.trace().calls.size(), one_shot.trace().calls.size());
+}
+
+TEST(SolverPhases, RefactorReusesAnalysisForNewValues) {
+  const GridProblem p = make_laplacian_3d(5, 5, 4);
+  Solver solver(p.matrix);
+  const auto b = rhs_for_ones(p.matrix);
+
+  // Same pattern, scaled values: A2 = 2 A, so A2 x = b gives x = 1/2.
+  std::vector<double> scaled(p.matrix.values().begin(),
+                             p.matrix.values().end());
+  for (double& v : scaled) v *= 2.0;
+  std::vector<index_t> col_ptr(p.matrix.col_ptr().begin(),
+                               p.matrix.col_ptr().end());
+  std::vector<index_t> row_idx(p.matrix.row_idx().begin(),
+                               p.matrix.row_idx().end());
+  const SparseSpd a2(p.matrix.n(), std::move(col_ptr), std::move(row_idx),
+                     std::move(scaled));
+  solver.refactor(a2);
+  const auto x = solver.solve(b);
+  for (double v : x) EXPECT_NEAR(v, 0.5, 1e-8);
+}
+
+TEST(SolverPhases, RefactorRejectsDifferentPattern) {
+  const GridProblem p = make_laplacian_3d(4, 4, 4);
+  Solver solver(p.matrix);
+  const GridProblem other_size = make_laplacian_3d(4, 4, 3);
+  EXPECT_THROW(solver.refactor(other_size.matrix), InvalidArgumentError);
+  const GridProblem other_pattern = make_laplacian_2d_9pt(8, 8);
+  ASSERT_EQ(other_pattern.matrix.n(), p.matrix.n());
+  EXPECT_THROW(solver.refactor(other_pattern.matrix), InvalidArgumentError);
+}
+
+TEST(SolverPhases, CoordinatesNeedNotOutliveAnalyze) {
+  const GridProblem p = make_laplacian_3d(5, 4, 4);
+  Solver solver = [&] {
+    // The coordinate array dies with this scope; analyze() must have copied
+    // it (the old API captured the span and dangled here).
+    std::vector<std::array<index_t, 3>> coords = p.coords;
+    SolverOptions options;
+    options.ordering = OrderingChoice::NestedDissection;
+    options.coordinates = coords;
+    return Solver::analyze(p.matrix, options);
+  }();
+  solver.factor();
+  const auto x = solver.solve(rhs_for_ones(p.matrix));
+  for (double v : x) EXPECT_NEAR(v, 1.0, 1e-8);
+}
+
+TEST(SolverValidation, RhsSizeMismatchThrows) {
+  const GridProblem p = make_laplacian_3d(4, 4, 3);
+  const Solver solver(p.matrix);
+  const std::vector<double> short_rhs(static_cast<std::size_t>(p.matrix.n()) - 1,
+                                      1.0);
+  const std::vector<double> long_rhs(static_cast<std::size_t>(p.matrix.n()) + 5,
+                                     1.0);
+  EXPECT_THROW(solver.solve(short_rhs), InvalidArgumentError);
+  EXPECT_THROW(solver.solve(long_rhs), InvalidArgumentError);
+  EXPECT_THROW(solver.solve_with_history(short_rhs), InvalidArgumentError);
+  const Matrix<double> bad_block(p.matrix.n() - 1, 2);
+  EXPECT_THROW(solver.solve(bad_block), InvalidArgumentError);
+}
+
+TEST(SolverParallel, ThreadedFactorizationIsBitwiseSerial) {
+  const GridProblem p = make_laplacian_3d(7, 6, 5);
+  SolverOptions serial_options;
+  serial_options.mode = SolverMode::Serial;
+  const Solver serial(p.matrix, serial_options);
+  SolverOptions threaded_options;
+  threaded_options.mode = SolverMode::Serial;
+  threaded_options.num_threads = 4;  // deterministic_reduction defaults on
+  const Solver threaded(p.matrix, threaded_options);
+  // Deterministic reduction: the executed schedule produces the exact
+  // serial factor, so refined solves agree bitwise too.
+  const auto b = rhs_for_ones(p.matrix);
+  const auto xs = serial.solve(b);
+  const auto xt = threaded.solve(b);
+  ASSERT_EQ(xs.size(), xt.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) EXPECT_EQ(xs[i], xt[i]);
+}
+
+TEST(SolverParallel, GpuWorkerListSolvesAccurately) {
+  const GridProblem p = make_laplacian_3d(6, 6, 5);
+  SolverOptions options;
+  options.mode = SolverMode::BaselineHybrid;
+  options.workers = {{.has_gpu = true}, {.has_gpu = true},
+                     {.has_gpu = false}, {.has_gpu = false}};
+  const Solver solver(p.matrix, options);
+  const auto x = solver.solve(rhs_for_ones(p.matrix));
+  for (double v : x) EXPECT_NEAR(v, 1.0, 1e-8);
+  EXPECT_GT(solver.factor_time(), 0.0);
+}
+
 }  // namespace
 }  // namespace mfgpu

@@ -1,0 +1,164 @@
+#include "multifrontal/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "multifrontal/solve.hpp"
+#include "ordering/minimum_degree.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/generators.hpp"
+#include "support/rng.hpp"
+
+namespace mfgpu {
+namespace {
+
+Analysis analyze_md(const SparseSpd& a) {
+  return analyze(a, minimum_degree(build_graph(a)));
+}
+
+FactorizeResult factorize_serial(const Analysis& analysis) {
+  PolicyExecutor executor(Policy::P1);
+  FactorContext ctx;
+  return factorize(analysis, executor, ctx);
+}
+
+/// True iff every panel of `a` and `b` is bitwise identical.
+::testing::AssertionResult panels_bitwise_equal(const Factorization& a,
+                                                const Factorization& b) {
+  if (a.num_panels() != b.num_panels()) {
+    return ::testing::AssertionFailure()
+           << "panel count " << a.num_panels() << " vs " << b.num_panels();
+  }
+  for (std::size_t s = 0; s < a.panels.size(); ++s) {
+    const Matrix<double>& pa = a.panels[s];
+    const Matrix<double>& pb = b.panels[s];
+    if (pa.rows() != pb.rows() || pa.cols() != pb.cols()) {
+      return ::testing::AssertionFailure() << "panel " << s << " shape";
+    }
+    for (index_t j = 0; j < pa.cols(); ++j) {
+      for (index_t i = j; i < pa.rows(); ++i) {
+        if (pa(i, j) != pb(i, j)) {
+          return ::testing::AssertionFailure()
+                 << "panel " << s << " entry (" << i << ", " << j << "): "
+                 << pa(i, j) << " != " << pb(i, j);
+        }
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+double solve_residual(const SparseSpd& a, const Analysis& analysis,
+                      const Factorization& factor) {
+  const index_t n = a.n();
+  std::vector<double> ones(static_cast<std::size_t>(n), 1.0);
+  std::vector<double> b(static_cast<std::size_t>(n));
+  a.multiply(ones, b);
+  const std::vector<double> x = solve(analysis, factor, b);
+  double err = 0.0;
+  for (double v : x) err = std::max(err, std::abs(v - 1.0));
+  return err;
+}
+
+class ParallelFactorize : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelFactorize, BitwiseEqualToSerialWithDeterministicReduction) {
+  const int threads = GetParam();
+  Rng rng(11);
+  const GridProblem p = make_elasticity_3d(7, 6, 5, 3, rng);
+  const Analysis analysis = analyze_md(p.matrix);
+  const FactorizeResult serial = factorize_serial(analysis);
+
+  ParallelFactorizeOptions options;
+  options.num_threads = threads;
+  options.deterministic_reduction = true;
+  const FactorizeResult parallel = factorize_parallel(analysis, options);
+
+  EXPECT_TRUE(panels_bitwise_equal(serial.factor, parallel.factor));
+  EXPECT_EQ(serial.trace.calls.size(), parallel.trace.calls.size());
+}
+
+TEST_P(ParallelFactorize, NonDeterministicReductionStaysAccurate) {
+  const int threads = GetParam();
+  const GridProblem p = make_laplacian_3d(8, 7, 6);
+  const Analysis analysis = analyze_md(p.matrix);
+
+  ParallelFactorizeOptions options;
+  options.num_threads = threads;
+  options.deterministic_reduction = false;
+  const FactorizeResult result = factorize_parallel(analysis, options);
+  // Completion-order assembly reorders sums: not bitwise, but a plain
+  // (unrefined) solve must still hit near machine precision.
+  EXPECT_LT(solve_residual(p.matrix, analysis, result.factor), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ParallelFactorize,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(ParallelFactorizeTest, GpuWorkersMatchSerialHybridTolerance) {
+  // 2 CPU + 2 GPU workers, each GPU with its own simulated device. GPU
+  // policies round through float, so compare through the solve like the
+  // mixed-precision tests do.
+  Rng rng(3);
+  const GridProblem p = make_elasticity_3d(6, 6, 5, 3, rng);
+  const Analysis analysis = analyze_md(p.matrix);
+  ParallelFactorizeOptions options;
+  options.workers = {{.has_gpu = false}, {.has_gpu = false},
+                     {.has_gpu = true}, {.has_gpu = true}};
+  const FactorizeResult result = factorize_parallel(analysis, options);
+  EXPECT_LT(solve_residual(p.matrix, analysis, result.factor), 1e-3);
+  EXPECT_GT(result.trace.total_time, 0.0);
+}
+
+TEST(ParallelFactorizeTest, VirtualMakespanShrinksWithWorkers) {
+  // Large enough that the run spans many OS scheduling quanta: every worker
+  // then really executes part of the tree (even on a single hardware core),
+  // and the virtual makespan must beat the one-worker serial sum.
+  Rng rng(5);
+  const GridProblem p = make_elasticity_3d(12, 12, 10, 3, rng);
+  const Analysis analysis = analyze_md(p.matrix);
+  ParallelFactorizeOptions one;
+  one.num_threads = 1;
+  ParallelFactorizeOptions four;
+  four.num_threads = 4;
+  const double t1 = factorize_parallel(analysis, one).trace.total_time;
+  const double t4 = factorize_parallel(analysis, four).trace.total_time;
+  EXPECT_GT(t1, 0.0);
+  // The virtual makespan over 4 workers must beat 1 worker (the tree has
+  // ample independent subtrees at this size).
+  EXPECT_LT(t4, t1);
+}
+
+TEST(ParallelFactorizeTest, SingleThreadMatchesSerialTrace) {
+  const GridProblem p = make_laplacian_3d(6, 6, 4);
+  const Analysis analysis = analyze_md(p.matrix);
+  const FactorizeResult serial = factorize_serial(analysis);
+  const FactorizeResult parallel = factorize_parallel(analysis, {});
+  EXPECT_TRUE(panels_bitwise_equal(serial.factor, parallel.factor));
+  // One worker runs the exact serial schedule: same calls, same per-call
+  // policies.
+  ASSERT_EQ(serial.trace.calls.size(), parallel.trace.calls.size());
+  for (std::size_t i = 0; i < serial.trace.calls.size(); ++i) {
+    EXPECT_EQ(serial.trace.calls[i].snode, parallel.trace.calls[i].snode);
+    EXPECT_EQ(serial.trace.calls[i].policy, parallel.trace.calls[i].policy);
+  }
+}
+
+TEST(ParallelFactorizeTest, IndefiniteMatrixThrowsFromWorkerThread) {
+  // A matrix that fails Cholesky partway: the NotPositiveDefiniteError must
+  // cross the pool back to the caller no matter which worker hits it.
+  Coo coo(4);
+  for (index_t i = 0; i < 4; ++i) coo.add(i, i, 1.0);
+  coo.add(3, 0, 5.0);
+  const SparseSpd bad = coo.to_csc();
+  const Analysis analysis = analyze(bad, Permutation::identity(4));
+  ParallelFactorizeOptions options;
+  options.num_threads = 4;
+  EXPECT_THROW(factorize_parallel(analysis, options),
+               NotPositiveDefiniteError);
+}
+
+}  // namespace
+}  // namespace mfgpu
