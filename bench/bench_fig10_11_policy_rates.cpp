@@ -42,5 +42,24 @@ int main() {
   transitions.add_row({std::string("P2 -> P3"), derived.p2_to_p3, 1.5e7});
   transitions.add_row({std::string("P3 -> P4"), derived.p3_to_p4, 9.0e10});
   bench::emit(transitions, "fig10_11_transitions.csv");
+
+  // Dry-run timings are fully deterministic: the transition points pin the
+  // derived P_BH thresholds exactly, the peak best-policy speedup gates the
+  // hybrid headroom at the top of the sweep.
+  obs::BenchRecord record = bench::make_bench_record("fig10_11_policy_rates");
+  const auto exact = mfgpu::obs::MetricDirection::Exact;
+  record.add_metric("transition_p1_to_p2_ops", derived.p1_to_p2, exact);
+  record.add_metric("transition_p2_to_p3_ops", derived.p2_to_p3, exact);
+  record.add_metric("transition_p3_to_p4_ops", derived.p3_to_p4, exact);
+  {
+    const index_t k = 2000, m = 2 * k;
+    const double t1 = timer.time(Policy::P1, m, k);
+    const double best =
+        std::min({t1, timer.time(Policy::P2, m, k),
+                  timer.time(Policy::P3, m, k), timer.time(Policy::P4, m, k)});
+    record.add_metric("best_speedup_k2000", t1 / best,
+                      mfgpu::obs::MetricDirection::HigherIsBetter);
+  }
+  bench::emit_bench_record(record);
   return 0;
 }

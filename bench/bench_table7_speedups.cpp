@@ -36,6 +36,9 @@ int main() {
   Table table("Table VII — speedup of policies w.r.t. single-thread CPU run",
               {"matrix", "P2", "P3", "P4", "Ideal", "Model", "Baseline",
                "4-Thread", "copy-opt Model 1GPU", "copy-opt Model 2GPU"});
+  // All of Table VII is simulated time, so every speedup is deterministic
+  // and can be gated against a baseline.
+  obs::BenchRecord record = bench::make_bench_record("table7_speedups");
 
   for (const auto& bm : testset) {
     PolicyExecutor p1(Policy::P1);
@@ -69,12 +72,28 @@ int main() {
                           two_gpu_opt)
             .makespan;
 
-    table.add_row({bm.problem.name, speedup_of(p2), speedup_of(p3),
-                   speedup_of(p4), speedup_of(ideal), speedup_of(model_exec),
-                   speedup_of(baseline), sched1 / sched4,
-                   speedup_of(copy_exec), sched1 / sched_2gpu});
+    const double s_p2 = speedup_of(p2), s_p3 = speedup_of(p3),
+                 s_p4 = speedup_of(p4);
+    const double s_ideal = speedup_of(ideal), s_model = speedup_of(model_exec),
+                 s_baseline = speedup_of(baseline);
+    const double s_4t = sched1 / sched4, s_copy = speedup_of(copy_exec),
+                 s_2gpu = sched1 / sched_2gpu;
+    table.add_row({bm.problem.name, s_p2, s_p3, s_p4, s_ideal, s_model,
+                   s_baseline, s_4t, s_copy, s_2gpu});
+    const std::string& mat = bm.problem.name;
+    const auto higher = mfgpu::obs::MetricDirection::HigherIsBetter;
+    record.add_metric(mat + ".speedup_p2", s_p2, higher);
+    record.add_metric(mat + ".speedup_p3", s_p3, higher);
+    record.add_metric(mat + ".speedup_p4", s_p4, higher);
+    record.add_metric(mat + ".speedup_ideal", s_ideal, higher);
+    record.add_metric(mat + ".speedup_model", s_model, higher);
+    record.add_metric(mat + ".speedup_baseline", s_baseline, higher);
+    record.add_metric(mat + ".speedup_4thread", s_4t, higher);
+    record.add_metric(mat + ".speedup_copyopt_1gpu", s_copy, higher);
+    record.add_metric(mat + ".speedup_copyopt_2gpu", s_2gpu, higher);
   }
   bench::emit(table, "table7_speedups.csv");
+  bench::emit_bench_record(record);
   std::printf(
       "paper ranges: P2 2.3-2.6, P3 3.9-6.1, P4 3.2-7.3, Ideal 5.4-9.6, "
       "Model 5.3-9.5, Baseline 4.9-8.7, 4-Thread 2.7-4.3, copy-opt 1GPU "

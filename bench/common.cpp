@@ -85,4 +85,20 @@ void emit_text(const std::string& text, const std::string& file_name) {
   os << text;
 }
 
+obs::BenchRecord make_bench_record(const std::string& name) {
+  obs::BenchRecord record;
+  record.name = name;
+  record.git_sha = obs::current_git_sha();
+  record.set_config("scale", std::to_string(bench_scale()));
+  return record;
+}
+
+void emit_bench_record(const obs::BenchRecord& record) {
+  MFGPU_CHECK(!record.name.empty(), "emit_bench_record: unnamed record");
+  const std::string file_name = "BENCH_" + record.name + ".json";
+  std::ofstream os(out_dir() / file_name);
+  obs::write_bench_json(os, record);
+  std::cout << "wrote bench_out/" << file_name << "\n";
+}
+
 }  // namespace mfgpu::bench

@@ -9,6 +9,7 @@
 
 #include "autotune/hybrid.hpp"
 #include "multifrontal/factorization.hpp"
+#include "obs/bench_json.hpp"
 #include "ordering/nested_dissection.hpp"
 #include "sparse/generators.hpp"
 #include "support/table.hpp"
@@ -44,5 +45,15 @@ void emit(const Table& table, const std::string& csv_name);
 
 /// Write arbitrary text (heat maps etc.) next to the CSVs.
 void emit_text(const std::string& text, const std::string& file_name);
+
+/// Standard bench-result skeleton: git sha plus the scale configuration.
+/// Add metrics, then pass to emit_bench_record. Only simulated/virtual
+/// quantities should be gated (LowerIsBetter/HigherIsBetter/Exact) — host
+/// wall clocks go in as Info.
+obs::BenchRecord make_bench_record(const std::string& name);
+
+/// Write the record to bench_out/BENCH_<record.name>.json (the file the
+/// tools/bench_compare regression gate consumes).
+void emit_bench_record(const obs::BenchRecord& record);
 
 }  // namespace mfgpu::bench

@@ -7,17 +7,28 @@
 //               [--threads N] [--workers SPEC] [--nondeterministic]
 //               [--save-model FILE] [--load-model FILE]
 //               [--out FILE.mtx]
+//               [--trace FILE] [--metrics FILE] [--report FILE]
 //
 // --threads N runs the numeric phase on N work-stealing CPU workers;
 // --workers SPEC gives an explicit worker list instead, e.g. "cgg" = one
 // CPU worker plus two GPU workers (each with a private simulated device).
 // Parallel runs are bitwise-reproducible unless --nondeterministic.
 //
+// Observability: --trace and --metrics take the same values as the
+// MFGPU_TRACE / MFGPU_METRICS environment variables and WIN over them when
+// both are given. When trace and metrics are both set, the trace file gets
+// the spans and the metrics files go to the metrics path. --report enables
+// recording for the run (even without a trace file), prints the profiler
+// tables, and writes the report JSON to FILE.
+//
 // Reads (or generates) an SPD system, factors it under the chosen policy
 // mode, solves for a manufactured right-hand side, reports simulated
 // timings and accuracy, and can persist/reuse a trained policy model.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iostream>
 #include <string>
 
 #include "autotune/model_io.hpp"
@@ -40,7 +51,13 @@ namespace {
                "[--elasticity]] [--mode serial|baseline|model|ideal] "
                "[--ordering natural|md|nd] [--threads N] [--workers SPEC] "
                "[--nondeterministic] [--save-model FILE] "
-               "[--load-model FILE] [--out FILE.mtx]\n",
+               "[--load-model FILE] [--out FILE.mtx] [--trace FILE] "
+               "[--metrics FILE] [--report FILE]\n"
+               "observability precedence: --trace/--metrics override the "
+               "MFGPU_TRACE/MFGPU_METRICS environment variables; with both "
+               "trace and metrics set, spans go to the trace file and the "
+               "metrics JSON/CSV to the metrics path. --report implies "
+               "recording and writes the profiler report JSON to FILE.\n",
                argv0);
   std::exit(2);
 }
@@ -57,6 +74,9 @@ struct CliOptions {
   std::string save_model;
   std::string load_model;
   std::string out_path;
+  std::string trace_path;    // overrides MFGPU_TRACE
+  std::string metrics_path;  // overrides MFGPU_METRICS
+  std::string report_path;   // profiler report JSON
 };
 
 CliOptions parse(int argc, char** argv) {
@@ -94,6 +114,19 @@ CliOptions parse(int argc, char** argv) {
       cli.load_model = next("--load-model");
     } else if (arg == "--out") {
       cli.out_path = next("--out");
+    } else if (arg == "--trace" || arg.rfind("--trace=", 0) == 0) {
+      cli.trace_path =
+          arg == "--trace" ? next("--trace") : arg.substr(std::strlen("--trace="));
+    } else if (arg == "--metrics" || arg.rfind("--metrics=", 0) == 0) {
+      cli.metrics_path = arg == "--metrics"
+                             ? next("--metrics")
+                             : arg.substr(std::strlen("--metrics="));
+    } else if (arg == "--report" || arg.rfind("--report=", 0) == 0) {
+      cli.report_path = arg == "--report"
+                            ? next("--report")
+                            : arg.substr(std::strlen("--report="));
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       usage(argv[0]);
@@ -125,7 +158,18 @@ int main(int argc, char** argv) {
 
     // MFGPU_TRACE=out.json / MFGPU_METRICS=m.json activate the observability
     // layer for the whole run; files are written when the scope closes.
-    obs::ObsScope obs_scope = obs::ObsScope::from_env();
+    // --trace/--metrics override the env vars; --report forces recording so
+    // the profiler has spans and decisions to aggregate.
+    const char* env_trace = std::getenv("MFGPU_TRACE");
+    const char* env_metrics = std::getenv("MFGPU_METRICS");
+    obs::ObsConfig obs_config = obs::make_config(
+        !cli.trace_path.empty() ? cli.trace_path
+                                : (env_trace != nullptr ? env_trace : ""),
+        !cli.metrics_path.empty()
+            ? cli.metrics_path
+            : (env_metrics != nullptr ? env_metrics : ""));
+    if (!cli.report_path.empty()) obs_config.record = true;
+    obs::ObsScope obs_scope(obs_config);
     if (obs_scope.active()) {
       if (!obs_scope.config().trace_path.empty()) {
         std::printf("observability: trace -> %s\n",
@@ -236,6 +280,21 @@ int main(int argc, char** argv) {
                 "max |x - 1| = %.3e\n",
                 solution.residual_norms.front(),
                 solution.residual_norms.back(), solution.iterations, max_err);
+
+    // Profiler report: aggregate while the ObsScope is still recording
+    // (finishing the scope clears the span and decision logs).
+    if (!cli.report_path.empty()) {
+      const obs::ProfileReport report = solver.profile_report();
+      report.print(std::cout);
+      std::ofstream report_os(cli.report_path);
+      if (!report_os) {
+        std::fprintf(stderr, "cannot write --report file %s\n",
+                     cli.report_path.c_str());
+        return 2;
+      }
+      report.write_json(report_os);
+      std::printf("wrote profiler report to %s\n", cli.report_path.c_str());
+    }
     return (max_err < 1e-6) ? 0 : 1;
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -7,18 +7,37 @@ namespace mfgpu {
 
 DispatchExecutor make_ideal_hybrid(PolicyTimer& timer,
                                    ExecutorOptions options) {
-  auto cache = std::make_shared<std::map<std::pair<index_t, index_t>, Policy>>();
-  return DispatchExecutor(
+  // One memoized dry-run argmin per (m, k), shared between the chooser and
+  // the decision-log predictor so each unique shape is simulated once.
+  struct BestCall {
+    Policy policy = Policy::P1;
+    double seconds = 0.0;
+  };
+  auto cache =
+      std::make_shared<std::map<std::pair<index_t, index_t>, BestCall>>();
+  auto best_of = [&timer, cache](index_t m, index_t k) -> const BestCall& {
+    const auto key = std::make_pair(m, k);
+    auto it = cache->find(key);
+    if (it == cache->end()) {
+      BestCall best;
+      best.policy = timer.best_policy(m, k);
+      best.seconds = timer.time(best.policy, m, k);
+      it = cache->emplace(key, best).first;
+    }
+    return it->second;
+  };
+  DispatchExecutor executor(
       "P_IH",
-      [&timer, cache](index_t m, index_t k) {
-        const auto key = std::make_pair(m, k);
-        auto it = cache->find(key);
-        if (it == cache->end()) {
-          it = cache->emplace(key, timer.best_policy(m, k)).first;
-        }
-        return it->second;
-      },
+      [best_of](index_t m, index_t k) { return best_of(m, k).policy; },
       options);
+  executor.set_predictor([best_of](index_t m, index_t k, Policy chosen) {
+    const BestCall& best = best_of(m, k);
+    // The dispatcher always executes its own argmin; if the device was
+    // absent and P1 was forced instead, the oracle's prediction does not
+    // apply to what ran.
+    return chosen == best.policy ? best.seconds : -1.0;
+  });
+  return executor;
 }
 
 DispatchExecutor make_model_hybrid(const TrainedPolicyModel& model,

@@ -52,6 +52,8 @@ struct Solver::Impl {
   std::optional<TrainedPolicyModel> model;
   std::unique_ptr<Device> device;
   std::unique_ptr<PolicyTimer> timer;
+  PoolRunStats pool_stats;
+  double pool_wall = 0.0;
   double factor_time = 0.0;
   double factor_wall = 0.0;
   bool factored = false;
@@ -169,6 +171,8 @@ void Solver::Impl::run_factor() {
   }
   factor = std::move(result.factor);
   trace = std::move(result.trace);
+  pool_stats = std::move(result.pool_stats);
+  pool_wall = result.pool_wall_seconds;
   factor_time = trace.total_time;
   factor_wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_t0)
@@ -279,6 +283,21 @@ double Solver::solve_time_estimate() const {
 }
 const TrainedPolicyModel* Solver::model() const noexcept {
   return impl_->model.has_value() ? &*impl_->model : nullptr;
+}
+
+obs::ProfileReport Solver::profile_report() const {
+  if (!impl_->factored) {
+    throw InvalidStateError("Solver::profile_report: not factored");
+  }
+  obs::ProfileReportInputs inputs;
+  inputs.trace = &impl_->trace;
+  inputs.supernodes = impl_->analysis->symbolic.supernodes();
+  if (impl_->pool_stats.num_workers() > 0) {
+    inputs.pool_stats = &impl_->pool_stats;
+    inputs.pool_wall_seconds = impl_->pool_wall;
+  }
+  inputs.executor_options = impl_->options.executor;
+  return obs::build_profile_report(inputs);
 }
 
 }  // namespace mfgpu

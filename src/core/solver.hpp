@@ -40,6 +40,7 @@
 #include "autotune/trainer.hpp"
 #include "multifrontal/factorization.hpp"
 #include "multifrontal/refine.hpp"
+#include "obs/profile.hpp"
 #include "sched/worker.hpp"
 #include "sparse/csc.hpp"
 #include "symbolic/symbolic_factor.hpp"
@@ -131,6 +132,13 @@ class Solver {
   double solve_time_estimate() const;
   /// The trained policy model (ModelHybrid mode only).
   const TrainedPolicyModel* model() const noexcept;
+
+  /// Aggregated profile of the last factor()/refactor() (phase breakdown,
+  /// worker utilization, (m, k) bins, policy audit vs P_IH). Span- and
+  /// decision-derived sections need obs recording active during the run
+  /// (ObsScope / MFGPU_TRACE); call before the enclosing scope finishes.
+  /// Throws InvalidStateError if the solver has not been factored.
+  obs::ProfileReport profile_report() const;
 
  private:
   Solver();  ///< used by analyze()

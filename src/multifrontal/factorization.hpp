@@ -8,6 +8,7 @@
 #include "dense/matrix.hpp"
 #include "multifrontal/factor_update.hpp"
 #include "multifrontal/trace.hpp"
+#include "sched/thread_pool.hpp"
 #include "sparse/csc.hpp"
 #include "symbolic/symbolic_factor.hpp"
 
@@ -40,6 +41,11 @@ struct Factorization {
 struct FactorizeResult {
   Factorization factor;
   FactorizationTrace trace;
+  /// Work-stealing pool statistics of the run (empty for the serial driver)
+  /// and the real seconds the pool spent executing the tree — the profiler's
+  /// per-worker utilization source.
+  PoolRunStats pool_stats;
+  double pool_wall_seconds = 0.0;
 };
 
 enum class FactorPrecision { Float64, Float32 };

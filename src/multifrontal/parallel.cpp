@@ -250,6 +250,8 @@ FactorizeResult factorize_parallel(const Analysis& analysis,
   }
   trace.assembly_time = assembly_total;
   trace.total_time = makespan;
+  result.pool_stats = stats;
+  result.pool_wall_seconds = wall_seconds;
 
   if (obs::enabled()) {
     auto& metrics = obs::MetricsRegistry::global();

@@ -1,0 +1,104 @@
+// Standardized benchmark result records — the bench-regression pipeline.
+//
+// Every bench binary emits one BENCH_<name>.json per run (name, config,
+// git sha, metrics); tools/bench_compare diffs two such files against
+// relative thresholds and exits nonzero on regression, which CI runs as a
+// smoke-bench gate against checked-in baselines (bench/baselines/).
+//
+// Gating only makes sense for metrics that are stable across machines:
+// simulated/virtual quantities (the gpusim cost models are deterministic)
+// gate with tight thresholds, host wall-clock numbers are recorded as
+// Info and never gated.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace mfgpu::obs {
+
+/// How a metric is judged when compared against a baseline.
+enum class MetricDirection {
+  LowerIsBetter,   ///< regression when current exceeds baseline by > tol
+  HigherIsBetter,  ///< regression when current falls below baseline by > tol
+  Exact,           ///< regression when it moved either way by > tol
+  Info             ///< recorded, never gated (wall clocks, counts)
+};
+
+struct BenchMetric {
+  std::string name;
+  double value = 0.0;
+  MetricDirection direction = MetricDirection::Info;
+};
+
+/// One bench run's result record.
+struct BenchRecord {
+  std::string name;     ///< bench identifier ("table7_speedups", ...)
+  std::string git_sha;  ///< see current_git_sha()
+  /// Ordered configuration key/values (problem size, scale, thread count).
+  std::vector<std::pair<std::string, std::string>> config;
+  std::vector<BenchMetric> metrics;
+
+  void set_config(std::string key, std::string value) {
+    config.emplace_back(std::move(key), std::move(value));
+  }
+  void add_metric(std::string metric_name, double value,
+                  MetricDirection direction) {
+    metrics.push_back({std::move(metric_name), value, direction});
+  }
+  /// nullptr when no metric of that name exists.
+  const BenchMetric* find_metric(std::string_view metric_name) const;
+};
+
+void write_bench_json(std::ostream& os, const BenchRecord& record);
+/// Parses a record produced by write_bench_json (throws
+/// InvalidArgumentError on malformed input).
+BenchRecord parse_bench_json(std::string_view text);
+/// Reads and parses one bench JSON file (throws InvalidArgumentError on a
+/// missing/unreadable file).
+BenchRecord read_bench_file(const std::string& path);
+
+/// The sha recorded in emitted files: $MFGPU_GIT_SHA when set (CI exports
+/// it), otherwise "unknown" — the emitters never shell out.
+std::string current_git_sha();
+
+struct CompareOptions {
+  /// Relative threshold applied to gated metrics with no override.
+  double default_tolerance = 0.10;
+  /// Per-metric relative threshold overrides (exact name match).
+  std::vector<std::pair<std::string, double>> tolerance_overrides;
+
+  double tolerance_for(std::string_view metric_name) const;
+};
+
+struct MetricComparison {
+  std::string name;
+  double baseline = 0.0;
+  double current = 0.0;
+  /// (current - baseline) / |baseline|; 0 when the baseline is zero.
+  double relative_change = 0.0;
+  double tolerance = 0.0;
+  MetricDirection direction = MetricDirection::Info;
+  bool regression = false;
+};
+
+struct BenchComparison {
+  std::vector<MetricComparison> metrics;
+  /// Structural problems (metric missing from the current run, name
+  /// mismatch) — these also count as regressions.
+  std::vector<std::string> notes;
+  bool regressed = false;
+};
+
+/// Compares every gated baseline metric against the current record. A
+/// gated metric missing from `current` is a regression; metrics only in
+/// `current` are noted but do not gate. When a baseline value is zero the
+/// threshold is applied as an absolute difference.
+BenchComparison compare_bench(const BenchRecord& baseline,
+                              const BenchRecord& current,
+                              const CompareOptions& options = {});
+
+}  // namespace mfgpu::obs

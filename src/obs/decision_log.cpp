@@ -1,0 +1,66 @@
+#include "obs/decision_log.hpp"
+
+#include <memory>
+#include <mutex>
+
+namespace mfgpu::obs {
+
+struct DecisionLog::Impl {
+  struct ThreadBuf {
+    std::vector<PolicyDecision> decisions;
+  };
+
+  std::mutex mu;  // guards registration and snapshot/clear
+  std::vector<std::unique_ptr<ThreadBuf>> buffers;
+
+  ThreadBuf& local() {
+    thread_local ThreadBuf* buf = nullptr;
+    if (buf == nullptr) {
+      auto owned = std::make_unique<ThreadBuf>();
+      buf = owned.get();
+      std::lock_guard<std::mutex> lock(mu);
+      buffers.push_back(std::move(owned));
+    }
+    return *buf;
+  }
+};
+
+DecisionLog::DecisionLog() : impl_(new Impl) {}
+
+DecisionLog& DecisionLog::global() {
+  // Leaked on purpose: decisions may be recorded from static destructors.
+  static DecisionLog* log = new DecisionLog;
+  return *log;
+}
+
+void DecisionLog::record(const PolicyDecision& decision) {
+  impl_->local().decisions.push_back(decision);
+}
+
+std::vector<PolicyDecision> DecisionLog::decisions() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::vector<PolicyDecision> merged;
+  std::size_t total = 0;
+  for (const auto& buf : impl_->buffers) total += buf->decisions.size();
+  merged.reserve(total);
+  for (const auto& buf : impl_->buffers) {
+    merged.insert(merged.end(), buf->decisions.begin(), buf->decisions.end());
+  }
+  return merged;
+}
+
+std::int64_t DecisionLog::size() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::int64_t total = 0;
+  for (const auto& buf : impl_->buffers) {
+    total += static_cast<std::int64_t>(buf->decisions.size());
+  }
+  return total;
+}
+
+void DecisionLog::clear() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (auto& buf : impl_->buffers) buf->decisions.clear();
+}
+
+}  // namespace mfgpu::obs

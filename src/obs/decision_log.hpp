@@ -1,0 +1,64 @@
+// Lock-free per-thread log of policy dispatch decisions.
+//
+// Every factor-update call routed through a hybrid dispatcher
+// (DispatchExecutor) records what was decided and what it cost: the call
+// dimensions, the chosen policy, the dispatcher's predicted time (when its
+// strategy produces one — the ideal hybrid's dry-run oracle does, the
+// classifier does not), and the measured (simulated) execution time. The
+// profiler post-processes the log into the paper's Figs. 12-13 style audit:
+// per-call regret against the retrospective ideal P_IH and the
+// decision-agreement rate.
+//
+// Recording mirrors TraceSession: thread-local buffers registered once per
+// thread, appends never take a lock, and the merge happens at report time
+// while the pipeline is quiescent. All recording is gated on obs::enabled().
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace mfgpu::obs {
+
+/// One dispatcher decision for a factor-update call.
+struct PolicyDecision {
+  index_t m = 0;  ///< update-matrix order
+  index_t k = 0;  ///< supernode width
+  int policy = 0; ///< policy that actually executed (1..4)
+  /// Dispatcher's predicted call time in seconds; < 0 = the strategy does
+  /// not predict times (baseline thresholds, plain classifier).
+  double predicted_seconds = -1.0;
+  /// Host-visible (simulated) duration the executed call reported.
+  double measured_seconds = 0.0;
+};
+
+/// Process-wide decision log. Same threading contract as TraceSession:
+/// record() is lock-free after a thread's first call; decisions() and
+/// clear() must run while no thread is recording.
+class DecisionLog {
+ public:
+  static DecisionLog& global();
+
+  /// Append one decision to the calling thread's buffer (lock-free).
+  void record(const PolicyDecision& decision);
+
+  /// Merged snapshot of all thread buffers (thread registration order).
+  std::vector<PolicyDecision> decisions() const;
+
+  /// Total recorded decisions across all threads.
+  std::int64_t size() const;
+
+  /// Drop all recorded decisions (buffers stay registered).
+  void clear();
+
+  DecisionLog(const DecisionLog&) = delete;
+  DecisionLog& operator=(const DecisionLog&) = delete;
+
+ private:
+  DecisionLog();
+  struct Impl;
+  Impl* impl_;  // leaked singleton state: safe during static destruction
+};
+
+}  // namespace mfgpu::obs

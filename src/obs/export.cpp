@@ -98,8 +98,8 @@ std::string json_escape(std::string_view text) {
   return out;
 }
 
-void write_chrome_trace(std::ostream& os,
-                        const std::vector<SpanEvent>& events) {
+void write_chrome_trace(std::ostream& os, const std::vector<SpanEvent>& events,
+                        const std::vector<std::string>& thread_names) {
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
   bool first = true;
   auto sep = [&] {
@@ -120,9 +120,16 @@ void write_chrome_trace(std::ostream& os,
     write_metadata(os, 2, "process_name", -1, "mfgpu (simulated time)");
   }
   for (const std::uint32_t tid : tids) {
+    const bool named =
+        tid < thread_names.size() && !thread_names[tid].empty();
+    const std::string label =
+        named ? thread_names[tid] : "thread " + std::to_string(tid);
     sep();
-    write_metadata(os, 1, "thread_name", tid,
-                   "thread " + std::to_string(tid));
+    write_metadata(os, 1, "thread_name", tid, label);
+    if (any_sim) {
+      sep();
+      write_metadata(os, 2, "thread_name", tid, label);
+    }
   }
 
   for (const auto& ev : events) {
@@ -137,7 +144,8 @@ void write_chrome_trace(std::ostream& os,
 }
 
 void write_chrome_trace(std::ostream& os) {
-  write_chrome_trace(os, TraceSession::global().events());
+  write_chrome_trace(os, TraceSession::global().events(),
+                     TraceSession::global().thread_names());
 }
 
 void write_metrics_json(std::ostream& os,

@@ -17,9 +17,12 @@
 
 namespace mfgpu::obs {
 
-void write_chrome_trace(std::ostream& os, const std::vector<SpanEvent>& events);
+/// `thread_names` (optional, indexed by dense tid) labels the per-thread
+/// lanes via thread_name metadata events; unnamed tids render "thread N".
+void write_chrome_trace(std::ostream& os, const std::vector<SpanEvent>& events,
+                        const std::vector<std::string>& thread_names = {});
 
-/// Convenience: export the global session's current events.
+/// Convenience: export the global session's current events and lane names.
 void write_chrome_trace(std::ostream& os);
 
 void write_metrics_json(std::ostream& os,

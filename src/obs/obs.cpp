@@ -29,21 +29,27 @@ void write_file(const std::string& path, auto&& writer) {
 
 }  // namespace
 
-ObsConfig config_from_env() {
+ObsConfig make_config(const std::string& trace_path,
+                      const std::string& metrics_path) {
   ObsConfig config;
-  if (const char* trace = std::getenv("MFGPU_TRACE");
-      trace != nullptr && trace[0] != '\0') {
-    config.trace_path = trace;
+  if (!trace_path.empty()) {
+    config.trace_path = trace_path;
     const std::string base = strip_json_ext(config.trace_path);
     config.metrics_json_path = base + ".metrics.json";
     config.metrics_csv_path = base + ".metrics.csv";
   }
-  if (const char* metrics = std::getenv("MFGPU_METRICS");
-      metrics != nullptr && metrics[0] != '\0') {
-    config.metrics_json_path = metrics;
-    config.metrics_csv_path = strip_json_ext(metrics) + ".csv";
+  if (!metrics_path.empty()) {
+    config.metrics_json_path = metrics_path;
+    config.metrics_csv_path = strip_json_ext(metrics_path) + ".csv";
   }
   return config;
+}
+
+ObsConfig config_from_env() {
+  const char* trace = std::getenv("MFGPU_TRACE");
+  const char* metrics = std::getenv("MFGPU_METRICS");
+  return make_config(trace != nullptr ? trace : "",
+                     metrics != nullptr ? metrics : "");
 }
 
 ObsScope::ObsScope(ObsConfig config) : config_(std::move(config)) {
@@ -51,6 +57,7 @@ ObsScope::ObsScope(ObsConfig config) : config_(std::move(config)) {
   active_ = true;
   TraceSession::global().clear();
   MetricsRegistry::global().clear();
+  DecisionLog::global().clear();
   enable();
 }
 
@@ -63,6 +70,8 @@ ObsScope& ObsScope::operator=(ObsScope&& other) noexcept {
     finish();
     active_ = std::exchange(other.active_, false);
     config_ = std::move(other.config_);
+    // finish() disabled recording; the adopted session is still live.
+    if (active_) enable();
   }
   return *this;
 }
@@ -91,6 +100,7 @@ void ObsScope::finish() {
   }
   TraceSession::global().clear();
   MetricsRegistry::global().clear();
+  DecisionLog::global().clear();
 }
 
 }  // namespace mfgpu::obs

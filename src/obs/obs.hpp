@@ -7,6 +7,10 @@
 //                             out.metrics.csv
 //   MFGPU_METRICS=m.json   -> metrics only (m.json and m.csv)
 //
+// When BOTH are set, MFGPU_TRACE wins the recording decision (spans are
+// recorded and the trace file is written) while the metrics files go to the
+// MFGPU_METRICS-derived paths instead of the trace-derived defaults.
+//
 // Binaries hold one ObsScope for the duration of main(); with neither
 // variable set the scope is inert and every instrumentation site costs a
 // single relaxed atomic load.
@@ -14,6 +18,7 @@
 
 #include <string>
 
+#include "obs/decision_log.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_session.hpp"
@@ -24,14 +29,26 @@ struct ObsConfig {
   std::string trace_path;         ///< Chrome trace JSON ("" = no trace file)
   std::string metrics_json_path;  ///< "" = no metrics JSON
   std::string metrics_csv_path;   ///< "" = no metrics CSV
+  /// Record spans/metrics/decisions even with no output file configured —
+  /// for in-process consumers (Solver::profile_report(), tests).
+  bool record = false;
 
   bool any() const {
-    return !trace_path.empty() || !metrics_json_path.empty() ||
+    return record || !trace_path.empty() || !metrics_json_path.empty() ||
            !metrics_csv_path.empty();
   }
 };
 
-/// Reads MFGPU_TRACE / MFGPU_METRICS into an ObsConfig.
+/// Builds the config from explicit trace/metrics destinations ("" = unset)
+/// under the standard precedence: a trace path enables span recording and
+/// derives default "<trace>.metrics.*" paths; a metrics path overrides the
+/// metrics JSON/CSV destinations (trace recording is unaffected).
+ObsConfig make_config(const std::string& trace_path,
+                      const std::string& metrics_path);
+
+/// Reads MFGPU_TRACE / MFGPU_METRICS into an ObsConfig (make_config's
+/// precedence: when both are set the trace is recorded and written to
+/// MFGPU_TRACE while the metrics files go to the MFGPU_METRICS paths).
 ObsConfig config_from_env();
 
 /// RAII activation: enables recording on construction (clearing any stale

@@ -1,0 +1,454 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <string_view>
+#include <utility>
+
+#include "obs/decision_log.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_session.hpp"
+#include "support/table.hpp"
+
+namespace mfgpu::obs {
+namespace {
+
+std::string full_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g",
+                std::numeric_limits<double>::max_digits10, value);
+  return buf;
+}
+
+double span_wall(const SpanEvent& ev) {
+  return static_cast<double>(std::max<std::int64_t>(0, ev.end_ns - ev.start_ns)) /
+         1e9;
+}
+
+bool is_name(const SpanEvent& ev, const char* category, const char* name) {
+  return std::string_view(ev.category) == category &&
+         std::string_view(ev.name) == name;
+}
+
+/// True when `inner` is contained in `outer` on the same thread — used to
+/// avoid double counting model training that runs nested inside the numeric
+/// span (the parallel path trains lazily from the worker factory).
+bool contained_in(const SpanEvent& inner, const SpanEvent& outer) {
+  return inner.tid == outer.tid && outer.start_ns <= inner.start_ns &&
+         inner.end_ns <= outer.end_ns;
+}
+
+/// Aggregates the recorded spans into the pipeline phases.
+void build_phases(ProfileReport& report, const std::vector<SpanEvent>& events) {
+  PhaseTime ordering{"ordering"};
+  PhaseTime symbolic{"symbolic"};
+  PhaseTime train{"train"};
+  PhaseTime numeric{"numeric"};
+  PhaseTime solve{"solve"};
+
+  std::vector<const SpanEvent*> numeric_spans;
+  std::vector<const SpanEvent*> train_spans;
+  for (const SpanEvent& ev : events) {
+    const std::string_view category = ev.category;
+    if (category == "ordering") {
+      ordering.wall_seconds += span_wall(ev);
+    } else if (is_name(ev, "symbolic", "analyze")) {
+      symbolic.wall_seconds += span_wall(ev);
+    } else if (is_name(ev, "solver", "train_policy_model")) {
+      train.wall_seconds += span_wall(ev);
+      train_spans.push_back(&ev);
+    } else if (is_name(ev, "solver", "numeric_factorization")) {
+      numeric.wall_seconds += span_wall(ev);
+      numeric_spans.push_back(&ev);
+      if (ev.sim_start >= 0.0) {
+        if (numeric.sim_seconds < 0.0) numeric.sim_seconds = 0.0;
+        numeric.sim_seconds += std::max(0.0, ev.sim_end - ev.sim_start);
+      }
+    }
+  }
+  // Direct multifrontal drivers (no Solver wrapper) stand in for the
+  // numeric phase when no solver span was recorded.
+  if (numeric_spans.empty()) {
+    for (const SpanEvent& ev : events) {
+      if (is_name(ev, "multifrontal", "factorize") ||
+          is_name(ev, "multifrontal", "parallel_factorize")) {
+        numeric.wall_seconds += span_wall(ev);
+        if (ev.sim_start >= 0.0) {
+          if (numeric.sim_seconds < 0.0) numeric.sim_seconds = 0.0;
+          numeric.sim_seconds += std::max(0.0, ev.sim_end - ev.sim_start);
+        }
+      }
+    }
+  }
+  // Training nested inside the numeric span counts as "train", not both.
+  for (const SpanEvent* t : train_spans) {
+    for (const SpanEvent* n : numeric_spans) {
+      if (contained_in(*t, *n)) {
+        numeric.wall_seconds -= span_wall(*t);
+        break;
+      }
+    }
+  }
+  // The solve category may grow nested spans; count only the outermost.
+  int solve_min_depth = std::numeric_limits<int>::max();
+  for (const SpanEvent& ev : events) {
+    if (std::string_view(ev.category) == "solve") {
+      solve_min_depth = std::min(solve_min_depth, ev.depth);
+    }
+  }
+  for (const SpanEvent& ev : events) {
+    if (std::string_view(ev.category) == "solve" &&
+        ev.depth == solve_min_depth) {
+      solve.wall_seconds += span_wall(ev);
+    }
+  }
+
+  report.phases = {std::move(ordering), std::move(symbolic), std::move(train),
+                   std::move(numeric), std::move(solve)};
+  report.phases_total_seconds = 0.0;
+  for (const PhaseTime& phase : report.phases) {
+    report.phases_total_seconds += phase.wall_seconds;
+  }
+}
+
+void build_workers(ProfileReport& report, const PoolRunStats& stats,
+                   double pool_wall_seconds) {
+  const int num_workers = stats.num_workers();
+  report.workers.reserve(static_cast<std::size_t>(num_workers));
+  double busy_total = 0.0;
+  double wall_max = 0.0;
+  for (int w = 0; w < num_workers; ++w) {
+    const auto i = static_cast<std::size_t>(w);
+    WorkerProfile profile;
+    profile.worker = w;
+    profile.tasks = stats.executed[i];
+    profile.steals = stats.steals[i];
+    profile.failed_steals = stats.failed_steals[i];
+    profile.busy_seconds = stats.busy_seconds[i];
+    profile.idle_seconds = stats.idle_seconds[i];
+    profile.wall_seconds = stats.wall_seconds[i];
+    profile.utilization = profile.wall_seconds > 0.0
+                              ? profile.busy_seconds / profile.wall_seconds
+                              : 0.0;
+    busy_total += profile.busy_seconds;
+    wall_max = std::max(wall_max, profile.wall_seconds);
+    report.workers.push_back(profile);
+  }
+  report.pool_wall_seconds =
+      pool_wall_seconds > 0.0 ? pool_wall_seconds : wall_max;
+  report.total_steals = stats.total_steals();
+  report.total_failed_steals = stats.total_failed_steals();
+  if (num_workers > 0 && report.pool_wall_seconds > 0.0) {
+    report.pool_utilization =
+        busy_total / (report.pool_wall_seconds * num_workers);
+  }
+}
+
+void build_trace_sections(ProfileReport& report,
+                          const FactorizationTrace& trace,
+                          std::span<const SupernodeInfo> supernodes,
+                          index_t mk_bin) {
+  report.fu_calls = static_cast<index_t>(trace.calls.size());
+  report.fu_seconds = trace.fu_time;
+  report.assembly_seconds = trace.assembly_time;
+  report.makespan_seconds = trace.total_time;
+
+  // Etree levels: 0 at the roots, increasing toward the leaves. Supernode
+  // arrays are postordered (parent > child), so one reverse sweep suffices.
+  if (!supernodes.empty()) {
+    std::vector<index_t> level(supernodes.size(), 0);
+    index_t max_level = 0;
+    for (index_t s = static_cast<index_t>(supernodes.size()) - 1; s >= 0; --s) {
+      const index_t p = supernodes[static_cast<std::size_t>(s)].parent;
+      if (p != -1) {
+        level[static_cast<std::size_t>(s)] =
+            level[static_cast<std::size_t>(p)] + 1;
+      }
+      max_level = std::max(max_level, level[static_cast<std::size_t>(s)]);
+    }
+    report.levels.assign(static_cast<std::size_t>(max_level) + 1, {});
+    for (index_t l = 0; l <= max_level; ++l) {
+      report.levels[static_cast<std::size_t>(l)].level = l;
+    }
+    for (const FuCallRecord& call : trace.calls) {
+      if (call.snode < 0 ||
+          call.snode >= static_cast<index_t>(supernodes.size())) {
+        continue;
+      }
+      LevelProfile& lp =
+          report.levels[static_cast<std::size_t>(
+              level[static_cast<std::size_t>(call.snode)])];
+      ++lp.calls;
+      lp.fu_seconds += call.t_total;
+      lp.ops += call.ops_total();
+    }
+  }
+
+  // (m, k) heat map: x = k, y = m, one sample per call.
+  index_t max_m = 0, max_k = 0;
+  for (const FuCallRecord& call : trace.calls) {
+    max_m = std::max(max_m, call.m);
+    max_k = std::max(max_k, call.k);
+  }
+  const index_t bin = std::max<index_t>(1, mk_bin);
+  report.mk_seconds = Grid2D(max_k + 1, max_m + 1, bin);
+  for (const FuCallRecord& call : trace.calls) {
+    report.mk_seconds.add(call.k, call.m, call.t_total);
+  }
+  report.mk_binned_calls = 0;
+  for (index_t by = 0; by < report.mk_seconds.bins_y(); ++by) {
+    for (index_t bx = 0; bx < report.mk_seconds.bins_x(); ++bx) {
+      report.mk_binned_calls += report.mk_seconds.count_at(bx, by);
+    }
+  }
+}
+
+void build_audit(PolicyAudit& audit, const ExecutorOptions& options) {
+  const std::vector<PolicyDecision> decisions =
+      DecisionLog::global().decisions();
+  audit.decisions = static_cast<std::int64_t>(decisions.size());
+  if (decisions.empty()) return;
+
+  // Dry-run oracle priced under the run's executor options. One lazily
+  // filled entry per unique (m, k); the best-policy time is shared with the
+  // chosen-policy time when they coincide, so an ideal-hybrid run audits to
+  // exactly zero regret.
+  PolicyTimer timer(options);
+  struct ShapeCost {
+    int best = 0;  ///< 1..4, 0 = not yet computed
+    double best_seconds = 0.0;
+    std::array<double, 4> seconds{-1.0, -1.0, -1.0, -1.0};
+  };
+  std::map<std::pair<index_t, index_t>, ShapeCost> shapes;
+
+  for (const PolicyDecision& d : decisions) {
+    if (d.policy < 1 || d.policy > 4) continue;
+    ShapeCost& shape = shapes[{d.m, d.k}];
+    if (shape.best == 0) {
+      const Policy best = timer.best_policy(d.m, d.k);
+      shape.best = static_cast<int>(best);
+      shape.best_seconds = timer.time(best, d.m, d.k);
+      shape.seconds[static_cast<std::size_t>(shape.best - 1)] =
+          shape.best_seconds;
+    }
+    double& chosen_seconds = shape.seconds[static_cast<std::size_t>(d.policy - 1)];
+    if (chosen_seconds < 0.0) {
+      chosen_seconds = timer.time(static_cast<Policy>(d.policy), d.m, d.k);
+    }
+    const double regret = std::max(0.0, chosen_seconds - shape.best_seconds);
+    audit.chosen_seconds += chosen_seconds;
+    audit.ideal_seconds += shape.best_seconds;
+    audit.regret_total_seconds += regret;
+    audit.regret_max_seconds = std::max(audit.regret_max_seconds, regret);
+    if (d.policy == shape.best) ++audit.agreements;
+    audit.measured_seconds += d.measured_seconds;
+    if (d.predicted_seconds >= 0.0) {
+      ++audit.predicted_calls;
+      audit.prediction_abs_error_seconds +=
+          std::abs(d.predicted_seconds - d.measured_seconds);
+    }
+    ++audit.policy_counts[static_cast<std::size_t>(d.policy - 1)];
+  }
+  audit.agreement_rate = static_cast<double>(audit.agreements) /
+                         static_cast<double>(audit.decisions);
+  audit.regret_mean_seconds =
+      audit.regret_total_seconds / static_cast<double>(audit.decisions);
+}
+
+void publish_gauges(const ProfileReport& report) {
+  auto& metrics = MetricsRegistry::global();
+  for (const PhaseTime& phase : report.phases) {
+    metrics.gauge_set("profile.phase." + phase.name + "_seconds",
+                      phase.wall_seconds);
+  }
+  metrics.gauge_set("profile.total_seconds", report.phases_total_seconds);
+  metrics.gauge_set("profile.fu_calls", static_cast<double>(report.fu_calls));
+  metrics.gauge_set("profile.fu_seconds", report.fu_seconds);
+  metrics.gauge_set("profile.makespan_seconds", report.makespan_seconds);
+  if (!report.workers.empty()) {
+    metrics.gauge_set("profile.pool.workers",
+                      static_cast<double>(report.workers.size()));
+    metrics.gauge_set("profile.pool.utilization", report.pool_utilization);
+    metrics.gauge_set("profile.pool.failed_steals",
+                      static_cast<double>(report.total_failed_steals));
+  }
+  const PolicyAudit& audit = report.audit;
+  metrics.gauge_set("policy.decisions", static_cast<double>(audit.decisions));
+  if (audit.decisions > 0) {
+    metrics.gauge_set("policy.agreement_rate", audit.agreement_rate);
+    metrics.gauge_set("policy.regret_total_seconds",
+                      audit.regret_total_seconds);
+    metrics.gauge_set("policy.regret_mean_seconds", audit.regret_mean_seconds);
+    metrics.gauge_set("policy.regret_max_seconds", audit.regret_max_seconds);
+    metrics.gauge_set("policy.ideal_seconds", audit.ideal_seconds);
+    metrics.gauge_set("policy.chosen_seconds", audit.chosen_seconds);
+  }
+}
+
+}  // namespace
+
+ProfileReport build_profile_report(const ProfileReportInputs& inputs) {
+  ProfileReport report;
+  build_phases(report, TraceSession::global().events());
+  if (inputs.pool_stats != nullptr && inputs.pool_stats->num_workers() > 0) {
+    build_workers(report, *inputs.pool_stats, inputs.pool_wall_seconds);
+  }
+  if (inputs.trace != nullptr) {
+    build_trace_sections(report, *inputs.trace, inputs.supernodes,
+                         inputs.mk_bin);
+  }
+  if (inputs.audit_policies) {
+    build_audit(report.audit, inputs.executor_options);
+  }
+  if (enabled()) publish_gauges(report);
+  return report;
+}
+
+void ProfileReport::write_json(std::ostream& os) const {
+  os << "{\n  \"phases\": [";
+  bool first = true;
+  for (const PhaseTime& phase : phases) {
+    os << (first ? "\n" : ",\n") << "    {\"name\": \""
+       << json_escape(phase.name)
+       << "\", \"wall_seconds\": " << full_double(phase.wall_seconds)
+       << ", \"sim_seconds\": " << full_double(phase.sim_seconds) << "}";
+    first = false;
+  }
+  os << "\n  ],\n  \"phases_total_seconds\": "
+     << full_double(phases_total_seconds);
+
+  os << ",\n  \"pool\": {\"wall_seconds\": " << full_double(pool_wall_seconds)
+     << ", \"total_steals\": " << total_steals
+     << ", \"total_failed_steals\": " << total_failed_steals
+     << ", \"utilization\": " << full_double(pool_utilization)
+     << ", \"workers\": [";
+  first = true;
+  for (const WorkerProfile& w : workers) {
+    os << (first ? "\n" : ",\n") << "    {\"worker\": " << w.worker
+       << ", \"tasks\": " << w.tasks << ", \"steals\": " << w.steals
+       << ", \"failed_steals\": " << w.failed_steals
+       << ", \"busy_seconds\": " << full_double(w.busy_seconds)
+       << ", \"idle_seconds\": " << full_double(w.idle_seconds)
+       << ", \"wall_seconds\": " << full_double(w.wall_seconds)
+       << ", \"utilization\": " << full_double(w.utilization) << "}";
+    first = false;
+  }
+  os << (workers.empty() ? "]}" : "\n  ]}");
+
+  os << ",\n  \"fu\": {\"calls\": " << fu_calls
+     << ", \"seconds\": " << full_double(fu_seconds)
+     << ", \"assembly_seconds\": " << full_double(assembly_seconds)
+     << ", \"makespan_seconds\": " << full_double(makespan_seconds) << "}";
+
+  os << ",\n  \"levels\": [";
+  first = true;
+  for (const LevelProfile& level : levels) {
+    os << (first ? "\n" : ",\n") << "    {\"level\": " << level.level
+       << ", \"calls\": " << level.calls
+       << ", \"fu_seconds\": " << full_double(level.fu_seconds)
+       << ", \"ops\": " << full_double(level.ops) << "}";
+    first = false;
+  }
+  os << (levels.empty() ? "]" : "\n  ]");
+
+  os << ",\n  \"mk\": {\"bin\": " << mk_seconds.bin_size()
+     << ", \"bins_x\": " << mk_seconds.bins_x()
+     << ", \"bins_y\": " << mk_seconds.bins_y()
+     << ", \"binned_calls\": " << mk_binned_calls << ", \"cells\": [";
+  first = true;
+  for (index_t by = 0; by < mk_seconds.bins_y(); ++by) {
+    for (index_t bx = 0; bx < mk_seconds.bins_x(); ++bx) {
+      if (mk_seconds.count_at(bx, by) == 0) continue;
+      os << (first ? "\n" : ",\n") << "    {\"kx\": " << bx
+         << ", \"my\": " << by << ", \"calls\": " << mk_seconds.count_at(bx, by)
+         << ", \"seconds\": " << full_double(mk_seconds.at(bx, by)) << "}";
+      first = false;
+    }
+  }
+  os << (first ? "]}" : "\n  ]}");
+
+  os << ",\n  \"policy_audit\": {\"decisions\": " << audit.decisions
+     << ", \"agreements\": " << audit.agreements
+     << ", \"agreement_rate\": " << full_double(audit.agreement_rate)
+     << ", \"chosen_seconds\": " << full_double(audit.chosen_seconds)
+     << ", \"ideal_seconds\": " << full_double(audit.ideal_seconds)
+     << ", \"regret_total_seconds\": "
+     << full_double(audit.regret_total_seconds)
+     << ", \"regret_mean_seconds\": " << full_double(audit.regret_mean_seconds)
+     << ", \"regret_max_seconds\": " << full_double(audit.regret_max_seconds)
+     << ", \"measured_seconds\": " << full_double(audit.measured_seconds)
+     << ", \"predicted_calls\": " << audit.predicted_calls
+     << ", \"prediction_abs_error_seconds\": "
+     << full_double(audit.prediction_abs_error_seconds)
+     << ", \"policy_counts\": [" << audit.policy_counts[0] << ", "
+     << audit.policy_counts[1] << ", " << audit.policy_counts[2] << ", "
+     << audit.policy_counts[3] << "]}";
+  os << "\n}\n";
+}
+
+void ProfileReport::print(std::ostream& os) const {
+  {
+    Table table("Profile: pipeline phases", {"phase", "wall_s", "share"});
+    for (const PhaseTime& phase : phases) {
+      const double share = phases_total_seconds > 0.0
+                               ? phase.wall_seconds / phases_total_seconds
+                               : 0.0;
+      table.add_row({phase.name, phase.wall_seconds, share});
+    }
+    table.add_row({std::string("total"), phases_total_seconds, 1.0});
+    table.print(os);
+  }
+  if (!workers.empty()) {
+    Table table("Profile: pool workers",
+                {"worker", "tasks", "steals", "failed", "busy_s", "idle_s",
+                 "wall_s", "util"});
+    for (const WorkerProfile& w : workers) {
+      table.add_row({static_cast<index_t>(w.worker), w.tasks, w.steals,
+                     w.failed_steals, w.busy_seconds, w.idle_seconds,
+                     w.wall_seconds, w.utilization});
+    }
+    table.print(os);
+    os << "pool wall " << full_double(pool_wall_seconds) << " s, utilization "
+       << full_double(pool_utilization) << ", steals " << total_steals
+       << " (+" << total_failed_steals << " failed)\n";
+  }
+  if (!levels.empty()) {
+    Table table("Profile: etree levels (0 = roots)",
+                {"level", "calls", "fu_s", "ops"});
+    for (const LevelProfile& level : levels) {
+      table.add_row({level.level, level.calls, level.fu_seconds,
+                     format_sci(level.ops)});
+    }
+    table.print(os);
+  }
+  if (fu_calls > 0) {
+    os << "F-U time by (m, k), bin " << mk_seconds.bin_size()
+       << " (x = k, y = m):\n";
+    mk_seconds.print_ascii(os);
+  }
+  {
+    Table table("Profile: policy audit vs P_IH", {"quantity", "value"});
+    table.add_row({std::string("decisions"), audit.decisions});
+    table.add_row({std::string("agreement_rate"), audit.agreement_rate});
+    table.add_row({std::string("chosen_seconds"), audit.chosen_seconds});
+    table.add_row({std::string("ideal_seconds"), audit.ideal_seconds});
+    table.add_row(
+        {std::string("regret_total_seconds"), audit.regret_total_seconds});
+    table.add_row(
+        {std::string("regret_mean_seconds"), audit.regret_mean_seconds});
+    table.add_row(
+        {std::string("regret_max_seconds"), audit.regret_max_seconds});
+    for (int p = 0; p < 4; ++p) {
+      table.add_row({"calls_P" + std::to_string(p + 1),
+                     audit.policy_counts[static_cast<std::size_t>(p)]});
+    }
+    table.print(os);
+  }
+}
+
+}  // namespace mfgpu::obs

@@ -39,6 +39,7 @@ struct TraceSession::Impl {
 
   std::mutex mu;  // guards registration and snapshot/clear
   std::vector<std::unique_ptr<ThreadBuf>> buffers;
+  std::vector<std::string> names;  ///< lane name per tid ("" = unnamed)
 
   ThreadBuf& local() {
     thread_local ThreadBuf* buf = nullptr;
@@ -89,6 +90,18 @@ std::vector<SpanEvent> TraceSession::events() const {
 void TraceSession::clear() {
   std::lock_guard<std::mutex> lock(impl_->mu);
   for (auto& buf : impl_->buffers) buf->events.clear();
+}
+
+void TraceSession::set_current_thread_name(std::string name) {
+  const std::uint32_t tid = impl_->local().tid;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (impl_->names.size() <= tid) impl_->names.resize(tid + 1);
+  impl_->names[tid] = std::move(name);
+}
+
+std::vector<std::string> TraceSession::thread_names() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->names;
 }
 
 std::int64_t TraceSession::now_ns() const noexcept {

@@ -13,6 +13,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "gpusim/clock.hpp"
@@ -63,7 +64,18 @@ class TraceSession {
   std::vector<SpanEvent> events() const;
 
   /// Drop all recorded spans (buffers stay registered with their threads).
+  /// Thread lane names persist — they describe the threads, not one run.
   void clear();
+
+  /// Label the calling thread's trace lane (e.g. "pool worker 3"); the
+  /// Chrome exporter emits it as thread_name metadata so the thread's spans
+  /// land in a named tid row. Takes the registration mutex — call once per
+  /// thread role, not per span.
+  void set_current_thread_name(std::string name);
+
+  /// Snapshot of the registered lane names, indexed by dense tid ("" =
+  /// unnamed; the exporter falls back to "thread N").
+  std::vector<std::string> thread_names() const;
 
   /// Nanoseconds of host wall clock since the session epoch.
   std::int64_t now_ns() const noexcept;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/decision_log.hpp"
 #include "obs/metrics.hpp"
 #include "policy/p4_gpu_potrf.hpp"
 
@@ -343,12 +344,24 @@ void DispatchExecutor::prepare(index_t max_m, index_t max_k,
 FuOutcome DispatchExecutor::execute(FrontBlocks front, FactorContext& ctx) {
   Policy choice = chooser_(front.m, front.k);
   if (ctx.device == nullptr) choice = Policy::P1;
-  if (obs::enabled()) {
+  const bool audited = obs::enabled();
+  if (audited) {
     obs::MetricsRegistry::global().increment(
         "policy.selected.p" + std::to_string(static_cast<int>(choice)));
   }
-  return executors_[static_cast<std::size_t>(static_cast<int>(choice) - 1)]
-      ->execute(front, ctx);
+  FuOutcome outcome =
+      executors_[static_cast<std::size_t>(static_cast<int>(choice) - 1)]
+          ->execute(front, ctx);
+  if (audited) {
+    obs::PolicyDecision decision;
+    decision.m = front.m;
+    decision.k = front.k;
+    decision.policy = static_cast<int>(choice);
+    if (predictor_) decision.predicted_seconds = predictor_(front.m, front.k, choice);
+    decision.measured_seconds = outcome.record.t_total;
+    obs::DecisionLog::global().record(decision);
+  }
+  return outcome;
 }
 
 PolicyTimer::PolicyTimer(ExecutorOptions options, ProcessorModel host,

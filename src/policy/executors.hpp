@@ -54,12 +54,25 @@ class PolicyExecutor : public FuExecutor {
 };
 
 /// Chooses a policy per call from (m, k) — the hybrid schemes plug in here.
+/// When the observability layer is active, every execute() appends one
+/// obs::PolicyDecision (m, k, executed policy, predicted time, measured
+/// time) to the global decision log — the profiler's policy-audit source.
 class DispatchExecutor : public FuExecutor {
  public:
   using Chooser = std::function<Policy(index_t m, index_t k)>;
+  /// Optional: the dispatcher's own estimate of the chosen call's time in
+  /// seconds (the ideal hybrid's dry-run oracle provides one; threshold and
+  /// classifier strategies do not predict times and leave it unset).
+  using TimePredictor =
+      std::function<double(index_t m, index_t k, Policy chosen)>;
 
   DispatchExecutor(std::string name, Chooser chooser,
                    ExecutorOptions options = {});
+
+  /// Attach a predicted-time source for the decision log.
+  void set_predictor(TimePredictor predictor) {
+    predictor_ = std::move(predictor);
+  }
 
   FuOutcome execute(FrontBlocks front, FactorContext& ctx) override;
   void prepare(index_t max_m, index_t max_k, FactorContext& ctx) override;
@@ -68,6 +81,7 @@ class DispatchExecutor : public FuExecutor {
  private:
   std::string name_;
   Chooser chooser_;
+  TimePredictor predictor_;
   std::array<std::unique_ptr<PolicyExecutor>, 4> executors_;
 };
 

@@ -6,6 +6,7 @@
 #include <condition_variable>
 #include <deque>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -73,19 +74,28 @@ struct Job {
 };
 
 void work(Job& job, int w, int num_workers) {
+  if (obs::enabled() && w > 0) {
+    // Helper threads exist only to be pool workers; naming their trace lane
+    // puts every sched.worker span of worker w in its own labelled tid row.
+    // Worker 0 is the calling thread and keeps its own lane name.
+    obs::TraceSession::global().set_current_thread_name(
+        "pool worker " + std::to_string(w));
+  }
   obs::ScopedSpan span("sched", "worker");
   span.set_arg(0, "worker", w);
   int starved = 0;
   index_t executed = 0;
   std::int64_t steals = 0;
+  std::int64_t failed_steals = 0;
   double busy = 0.0;
+  const auto enter = std::chrono::steady_clock::now();
   while (!job.done()) {
     index_t t = -1;
     bool got = job.deques[static_cast<std::size_t>(w)].pop_bottom(&t);
     for (int i = 1; !got && i < num_workers; ++i) {
       got = job.deques[static_cast<std::size_t>((w + i) % num_workers)]
                 .steal_top(&t);
-      if (got) ++steals;
+      if (got) ++steals; else ++failed_steals;
     }
     if (!got) {
       // Starved: everything runnable is executing elsewhere. Yield briefly,
@@ -116,9 +126,16 @@ void work(Job& job, int w, int num_workers) {
     }
     job.remaining.fetch_sub(1, std::memory_order_acq_rel);
   }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - enter)
+          .count();
   job.stats.executed[static_cast<std::size_t>(w)] = executed;
   job.stats.steals[static_cast<std::size_t>(w)] = steals;
+  job.stats.failed_steals[static_cast<std::size_t>(w)] = failed_steals;
   job.stats.busy_seconds[static_cast<std::size_t>(w)] = busy;
+  job.stats.wall_seconds[static_cast<std::size_t>(w)] = wall;
+  job.stats.idle_seconds[static_cast<std::size_t>(w)] =
+      std::max(0.0, wall - busy);
 }
 
 }  // namespace
@@ -193,7 +210,10 @@ PoolRunStats ThreadPool::run_tree(
   job.pending = std::vector<std::atomic<index_t>>(static_cast<std::size_t>(n));
   job.stats.executed.assign(static_cast<std::size_t>(W), 0);
   job.stats.steals.assign(static_cast<std::size_t>(W), 0);
+  job.stats.failed_steals.assign(static_cast<std::size_t>(W), 0);
   job.stats.busy_seconds.assign(static_cast<std::size_t>(W), 0.0);
+  job.stats.idle_seconds.assign(static_cast<std::size_t>(W), 0.0);
+  job.stats.wall_seconds.assign(static_cast<std::size_t>(W), 0.0);
   if (n == 0) return job.stats;
 
   std::vector<index_t> children(static_cast<std::size_t>(n), 0);
@@ -255,14 +275,19 @@ PoolRunStats ThreadPool::run_tree(
   if (obs::enabled()) {
     auto& metrics = obs::MetricsRegistry::global();
     double busy = 0.0;
+    double idle = 0.0;
     std::int64_t executed = 0;
     for (int w = 0; w < W; ++w) {
       busy += job.stats.busy_seconds[static_cast<std::size_t>(w)];
+      idle += job.stats.idle_seconds[static_cast<std::size_t>(w)];
       executed += job.stats.executed[static_cast<std::size_t>(w)];
     }
     metrics.add("sched.steal_count",
                 static_cast<double>(job.stats.total_steals()));
+    metrics.add("sched.steal_failed_count",
+                static_cast<double>(job.stats.total_failed_steals()));
     metrics.add("sched.worker_busy_seconds", busy);
+    metrics.add("sched.worker_idle_seconds", idle);
     metrics.add("sched.pool.tasks_executed", static_cast<double>(executed));
     metrics.gauge_set("sched.pool.workers", static_cast<double>(W));
   }

@@ -41,11 +41,26 @@ struct TreeDag {
 struct PoolRunStats {
   std::vector<std::int64_t> executed;  ///< tasks run by each worker
   std::vector<std::int64_t> steals;    ///< successful steals by each worker
+  /// Steal attempts that found the victim's deque empty (a measure of how
+  /// starved the run was; failed sweeps also accrue idle_seconds).
+  std::vector<std::int64_t> failed_steals;
   std::vector<double> busy_seconds;    ///< wall-clock seconds inside task bodies
+  /// Wall-clock seconds the worker spent in the run loop without a task
+  /// (deque misses, failed steal sweeps, yields/backoff sleeps). By
+  /// construction busy_seconds + idle_seconds == wall_seconds per worker.
+  std::vector<double> idle_seconds;
+  std::vector<double> wall_seconds;    ///< total seconds inside the run loop
+
+  int num_workers() const noexcept { return static_cast<int>(executed.size()); }
 
   std::int64_t total_steals() const noexcept {
     std::int64_t total = 0;
     for (std::int64_t s : steals) total += s;
+    return total;
+  }
+  std::int64_t total_failed_steals() const noexcept {
+    std::int64_t total = 0;
+    for (std::int64_t s : failed_steals) total += s;
     return total;
   }
 };

@@ -1,0 +1,54 @@
+// Minimal JSON value model + recursive-descent parser. Just enough for the
+// tooling side of the repo (bench result files, profiler reports in tests):
+// objects, arrays, strings (with escapes), numbers, booleans, null. Writing
+// stays with the dedicated emitters (obs/export, obs/bench_json) — this is
+// the read path.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace mfgpu {
+
+/// One parsed JSON value. Object member order is preserved.
+class JsonValue {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  /// Parses one JSON document (throws InvalidArgumentError on malformed
+  /// input or trailing garbage).
+  static JsonValue parse(std::string_view text);
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::Null; }
+  bool is_object() const noexcept { return type_ == Type::Object; }
+  bool is_array() const noexcept { return type_ == Type::Array; }
+
+  /// Typed accessors throw InvalidArgumentError on a type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& items() const;  ///< array elements
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+  /// Object member lookup; null if absent (or not an object).
+  const JsonValue* find(std::string_view key) const;
+  /// Object member lookup that throws InvalidArgumentError when missing.
+  const JsonValue& at(std::string_view key) const;
+
+ private:
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+
+  friend class JsonParser;
+};
+
+}  // namespace mfgpu

@@ -1,0 +1,202 @@
+#include "obs/bench_json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace mfgpu {
+namespace {
+
+obs::BenchRecord sample_record() {
+  obs::BenchRecord record;
+  record.name = "sample_bench";
+  record.git_sha = "abc123";
+  record.set_config("scale", "0.25");
+  record.set_config("threads", "4");
+  record.add_metric("factor_seconds", 2.0, obs::MetricDirection::LowerIsBetter);
+  record.add_metric("speedup", 3.5, obs::MetricDirection::HigherIsBetter);
+  record.add_metric("transitions", 2.0, obs::MetricDirection::Exact);
+  record.add_metric("wall_seconds", 0.8, obs::MetricDirection::Info);
+  return record;
+}
+
+TEST(BenchJsonTest, WriteParseRoundTrip) {
+  const obs::BenchRecord original = sample_record();
+  std::ostringstream os;
+  obs::write_bench_json(os, original);
+  const obs::BenchRecord parsed = obs::parse_bench_json(os.str());
+  EXPECT_EQ(parsed.name, original.name);
+  EXPECT_EQ(parsed.git_sha, original.git_sha);
+  ASSERT_EQ(parsed.config.size(), original.config.size());
+  EXPECT_EQ(parsed.config[0].first, "scale");
+  EXPECT_EQ(parsed.config[0].second, "0.25");
+  ASSERT_EQ(parsed.metrics.size(), original.metrics.size());
+  for (std::size_t i = 0; i < parsed.metrics.size(); ++i) {
+    EXPECT_EQ(parsed.metrics[i].name, original.metrics[i].name);
+    EXPECT_DOUBLE_EQ(parsed.metrics[i].value, original.metrics[i].value);
+    EXPECT_EQ(parsed.metrics[i].direction, original.metrics[i].direction);
+  }
+  const obs::BenchMetric* metric = parsed.find_metric("speedup");
+  ASSERT_NE(metric, nullptr);
+  EXPECT_DOUBLE_EQ(metric->value, 3.5);
+  EXPECT_EQ(parsed.find_metric("nonexistent"), nullptr);
+}
+
+TEST(BenchJsonTest, ParseRejectsMalformedRecords) {
+  EXPECT_THROW(obs::parse_bench_json("not json"), InvalidArgumentError);
+  EXPECT_THROW(obs::parse_bench_json("{}"), InvalidArgumentError);
+  EXPECT_THROW(obs::read_bench_file("/nonexistent/path/bench.json"),
+               InvalidArgumentError);
+}
+
+TEST(BenchCompareTest, DetectsTwentyPercentSlowdown) {
+  const obs::BenchRecord baseline = sample_record();
+  obs::BenchRecord current = sample_record();
+  current.metrics[0].value = 2.4;  // factor_seconds +20% > 10% tolerance
+
+  const obs::BenchComparison cmp = obs::compare_bench(baseline, current);
+  EXPECT_TRUE(cmp.regressed);
+  bool found = false;
+  for (const auto& m : cmp.metrics) {
+    if (m.name == "factor_seconds") {
+      found = true;
+      EXPECT_TRUE(m.regression);
+      EXPECT_NEAR(m.relative_change, 0.20, 1e-12);
+    } else {
+      EXPECT_FALSE(m.regression) << m.name;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(BenchCompareTest, IdenticalRecordsPass) {
+  const obs::BenchComparison cmp =
+      obs::compare_bench(sample_record(), sample_record());
+  EXPECT_FALSE(cmp.regressed);
+  EXPECT_TRUE(cmp.notes.empty());
+}
+
+TEST(BenchCompareTest, DirectionSemantics) {
+  const obs::BenchRecord baseline = sample_record();
+
+  // HigherIsBetter: a drop beyond tolerance regresses, a gain never does.
+  obs::BenchRecord slower = sample_record();
+  slower.metrics[1].value = 3.5 * 0.8;  // speedup -20%
+  EXPECT_TRUE(obs::compare_bench(baseline, slower).regressed);
+  obs::BenchRecord faster = sample_record();
+  faster.metrics[1].value = 3.5 * 2.0;
+  EXPECT_FALSE(obs::compare_bench(baseline, faster).regressed);
+
+  // LowerIsBetter: an improvement (drop) never regresses.
+  obs::BenchRecord improved = sample_record();
+  improved.metrics[0].value = 1.0;
+  EXPECT_FALSE(obs::compare_bench(baseline, improved).regressed);
+
+  // Exact: movement in either direction beyond tolerance regresses.
+  obs::BenchRecord shifted = sample_record();
+  shifted.metrics[2].value = 2.5;  // transitions moved 25%
+  EXPECT_TRUE(obs::compare_bench(baseline, shifted).regressed);
+
+  // Info: never gated, however large the change.
+  obs::BenchRecord wall = sample_record();
+  wall.metrics[3].value = 100.0;
+  EXPECT_FALSE(obs::compare_bench(baseline, wall).regressed);
+}
+
+TEST(BenchCompareTest, MissingGatedMetricIsRegression) {
+  const obs::BenchRecord baseline = sample_record();
+  obs::BenchRecord current = sample_record();
+  current.metrics.erase(current.metrics.begin());  // drop factor_seconds
+  const obs::BenchComparison cmp = obs::compare_bench(baseline, current);
+  EXPECT_TRUE(cmp.regressed);
+  EXPECT_FALSE(cmp.notes.empty());
+}
+
+TEST(BenchCompareTest, ExtraCurrentMetricIsNotedNotGated) {
+  const obs::BenchRecord baseline = sample_record();
+  obs::BenchRecord current = sample_record();
+  current.add_metric("new_metric", 1.0, obs::MetricDirection::LowerIsBetter);
+  const obs::BenchComparison cmp = obs::compare_bench(baseline, current);
+  EXPECT_FALSE(cmp.regressed);
+  EXPECT_FALSE(cmp.notes.empty());
+}
+
+TEST(BenchCompareTest, NameMismatchIsRegression) {
+  const obs::BenchRecord baseline = sample_record();
+  obs::BenchRecord current = sample_record();
+  current.name = "other_bench";
+  EXPECT_TRUE(obs::compare_bench(baseline, current).regressed);
+}
+
+TEST(BenchCompareTest, ZeroBaselineUsesAbsoluteThreshold) {
+  obs::BenchRecord baseline;
+  baseline.name = "zero";
+  baseline.add_metric("count", 0.0, obs::MetricDirection::Exact);
+  obs::BenchRecord current = baseline;
+  current.metrics[0].value = 0.05;  // within |delta| <= 0.10 absolute
+  EXPECT_FALSE(obs::compare_bench(baseline, current).regressed);
+  current.metrics[0].value = 0.5;
+  EXPECT_TRUE(obs::compare_bench(baseline, current).regressed);
+}
+
+TEST(BenchCompareTest, ToleranceOverrides) {
+  const obs::BenchRecord baseline = sample_record();
+  obs::BenchRecord current = sample_record();
+  current.metrics[0].value = 2.4;  // +20%
+
+  obs::CompareOptions loose;
+  loose.tolerance_overrides.emplace_back("factor_seconds", 0.30);
+  EXPECT_FALSE(obs::compare_bench(baseline, current, loose).regressed);
+
+  obs::CompareOptions strict;
+  strict.default_tolerance = 0.30;
+  strict.tolerance_overrides.emplace_back("factor_seconds", 0.05);
+  EXPECT_TRUE(obs::compare_bench(baseline, current, strict).regressed);
+  EXPECT_DOUBLE_EQ(strict.tolerance_for("factor_seconds"), 0.05);
+  EXPECT_DOUBLE_EQ(strict.tolerance_for("speedup"), 0.30);
+}
+
+#ifdef BENCH_COMPARE_BIN
+std::string write_fixture(const std::string& path,
+                          const obs::BenchRecord& record) {
+  std::ofstream os(path);
+  obs::write_bench_json(os, record);
+  return path;
+}
+
+TEST(BenchCompareCliTest, ExitCodesReflectRegressions) {
+  const std::string dir = testing::TempDir();
+  const std::string baseline_path =
+      write_fixture(dir + "bench_baseline.json", sample_record());
+  obs::BenchRecord slow = sample_record();
+  slow.metrics[0].value = 2.4;  // injected 20% slowdown
+  const std::string slow_path = write_fixture(dir + "bench_slow.json", slow);
+
+  const std::string binary = BENCH_COMPARE_BIN;
+  const int ok_status = std::system(
+      (binary + " " + baseline_path + " " + baseline_path +
+       " > /dev/null 2>&1").c_str());
+  EXPECT_EQ(WEXITSTATUS(ok_status), 0);
+
+  const int slow_status = std::system(
+      (binary + " " + baseline_path + " " + slow_path +
+       " > /dev/null 2>&1").c_str());
+  EXPECT_EQ(WEXITSTATUS(slow_status), 1);
+
+  // The injected slowdown passes under a widened CLI tolerance.
+  const int loose_status = std::system(
+      (binary + " --tolerance=0.5 " + baseline_path + " " + slow_path +
+       " > /dev/null 2>&1").c_str());
+  EXPECT_EQ(WEXITSTATUS(loose_status), 0);
+
+  const int usage_status =
+      std::system((binary + " > /dev/null 2>&1").c_str());
+  EXPECT_EQ(WEXITSTATUS(usage_status), 2);
+}
+#endif  // BENCH_COMPARE_BIN
+
+}  // namespace
+}  // namespace mfgpu

@@ -1,0 +1,92 @@
+#include "obs/decision_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace mfgpu {
+namespace {
+
+struct LogGuard {
+  LogGuard() { obs::DecisionLog::global().clear(); }
+  ~LogGuard() { obs::DecisionLog::global().clear(); }
+};
+
+TEST(DecisionLogTest, RecordsAndMerges) {
+  LogGuard guard;
+  auto& log = obs::DecisionLog::global();
+  EXPECT_EQ(log.size(), 0);
+  log.record({.m = 100, .k = 20, .policy = 2,
+              .predicted_seconds = 0.5, .measured_seconds = 0.6});
+  log.record({.m = 7, .k = 3, .policy = 1,
+              .predicted_seconds = -1.0, .measured_seconds = 0.01});
+  EXPECT_EQ(log.size(), 2);
+  const auto decisions = log.decisions();
+  ASSERT_EQ(decisions.size(), 2u);
+  EXPECT_EQ(decisions[0].m, 100);
+  EXPECT_EQ(decisions[0].k, 20);
+  EXPECT_EQ(decisions[0].policy, 2);
+  EXPECT_DOUBLE_EQ(decisions[0].predicted_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(decisions[0].measured_seconds, 0.6);
+  EXPECT_EQ(decisions[1].policy, 1);
+  EXPECT_LT(decisions[1].predicted_seconds, 0.0);
+}
+
+TEST(DecisionLogTest, ClearDropsEverything) {
+  LogGuard guard;
+  auto& log = obs::DecisionLog::global();
+  log.record({.m = 1, .k = 1, .policy = 1});
+  ASSERT_GT(log.size(), 0);
+  log.clear();
+  EXPECT_EQ(log.size(), 0);
+  EXPECT_TRUE(log.decisions().empty());
+  // The thread buffer stays registered: recording again still works.
+  log.record({.m = 2, .k = 2, .policy = 3});
+  EXPECT_EQ(log.size(), 1);
+  EXPECT_EQ(log.decisions()[0].policy, 3);
+}
+
+TEST(DecisionLogTest, ConcurrentAppendsAllSurvive) {
+  LogGuard guard;
+  auto& log = obs::DecisionLog::global();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log.record({.m = t, .k = i, .policy = 1 + (i % 4),
+                    .measured_seconds = 1.0});
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(log.size(), static_cast<std::int64_t>(kThreads) * kPerThread);
+  const auto decisions = log.decisions();
+  ASSERT_EQ(decisions.size(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+  // Per-thread buffers preserve each thread's append order.
+  std::vector<std::vector<index_t>> per_thread(kThreads);
+  double total_measured = 0.0;
+  for (const auto& d : decisions) {
+    ASSERT_GE(d.m, 0);
+    ASSERT_LT(d.m, kThreads);
+    per_thread[static_cast<std::size_t>(d.m)].push_back(d.k);
+    total_measured += d.measured_seconds;
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_EQ(per_thread[static_cast<std::size_t>(t)].size(),
+              static_cast<std::size_t>(kPerThread));
+    for (int i = 0; i < kPerThread; ++i) {
+      EXPECT_EQ(per_thread[static_cast<std::size_t>(t)]
+                          [static_cast<std::size_t>(i)],
+                i);
+    }
+  }
+  EXPECT_DOUBLE_EQ(total_measured, 1.0 * kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace mfgpu

@@ -1,0 +1,74 @@
+#include "support/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mfgpu {
+namespace {
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(JsonValue::parse("null").is_null());
+  EXPECT_TRUE(JsonValue::parse("true").as_bool());
+  EXPECT_FALSE(JsonValue::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(JsonValue::parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("-2.5e3").as_number(), -2500.0);
+  EXPECT_EQ(JsonValue::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonTest, ParsesNestedStructures) {
+  const JsonValue root = JsonValue::parse(
+      R"({"name": "bench", "metrics": [{"value": 1.5}, {"value": 2}],
+          "empty_obj": {}, "empty_arr": []})");
+  ASSERT_TRUE(root.is_object());
+  EXPECT_EQ(root.at("name").as_string(), "bench");
+  const auto& metrics = root.at("metrics").items();
+  ASSERT_EQ(metrics.size(), 2u);
+  EXPECT_DOUBLE_EQ(metrics[0].at("value").as_number(), 1.5);
+  EXPECT_DOUBLE_EQ(metrics[1].at("value").as_number(), 2.0);
+  EXPECT_TRUE(root.at("empty_obj").members().empty());
+  EXPECT_TRUE(root.at("empty_arr").items().empty());
+}
+
+TEST(JsonTest, PreservesMemberOrder) {
+  const JsonValue root = JsonValue::parse(R"({"z": 1, "a": 2, "m": 3})");
+  const auto& members = root.members();
+  ASSERT_EQ(members.size(), 3u);
+  EXPECT_EQ(members[0].first, "z");
+  EXPECT_EQ(members[1].first, "a");
+  EXPECT_EQ(members[2].first, "m");
+}
+
+TEST(JsonTest, DecodesEscapes) {
+  const JsonValue value =
+      JsonValue::parse(R"("a\"b\\c\nd\teA")");
+  EXPECT_EQ(value.as_string(), "a\"b\\c\nd\teA");
+}
+
+TEST(JsonTest, FindReturnsNullForMissingKeys) {
+  const JsonValue root = JsonValue::parse(R"({"x": 1})");
+  EXPECT_NE(root.find("x"), nullptr);
+  EXPECT_EQ(root.find("y"), nullptr);
+  EXPECT_THROW(root.at("y"), InvalidArgumentError);
+}
+
+TEST(JsonTest, TypeMismatchesThrow) {
+  const JsonValue number = JsonValue::parse("1");
+  EXPECT_THROW(number.as_string(), InvalidArgumentError);
+  EXPECT_THROW(number.as_bool(), InvalidArgumentError);
+  EXPECT_THROW(number.items(), InvalidArgumentError);
+  EXPECT_THROW(number.members(), InvalidArgumentError);
+}
+
+TEST(JsonTest, MalformedInputThrows) {
+  EXPECT_THROW(JsonValue::parse(""), InvalidArgumentError);
+  EXPECT_THROW(JsonValue::parse("{"), InvalidArgumentError);
+  EXPECT_THROW(JsonValue::parse("[1,]"), InvalidArgumentError);
+  EXPECT_THROW(JsonValue::parse("{\"a\" 1}"), InvalidArgumentError);
+  EXPECT_THROW(JsonValue::parse("nul"), InvalidArgumentError);
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), InvalidArgumentError);
+  EXPECT_THROW(JsonValue::parse("1 2"), InvalidArgumentError);  // trailing
+}
+
+}  // namespace
+}  // namespace mfgpu

@@ -1,0 +1,114 @@
+// bench_compare: diff two bench result JSONs (see obs/bench_json.hpp) and
+// exit nonzero when the current run regressed past the thresholds — the CI
+// smoke-bench gate.
+//
+//   bench_compare BASELINE.json CURRENT.json [--tolerance=0.10]
+//                 [--metric-tolerance=NAME=TOL]...
+//
+// Gating follows each baseline metric's recorded direction: LowerIsBetter /
+// HigherIsBetter fail on a worsening move beyond the relative tolerance,
+// Exact fails on any move beyond it, Info is never gated. A gated metric
+// missing from the current file is a failure; metrics without a baseline
+// are reported but do not gate.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/bench_json.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s BASELINE.json CURRENT.json [--tolerance=FRACTION] "
+               "[--metric-tolerance=NAME=FRACTION]...\n",
+               argv0);
+}
+
+const char* direction_label(mfgpu::obs::MetricDirection direction) {
+  using mfgpu::obs::MetricDirection;
+  switch (direction) {
+    case MetricDirection::LowerIsBetter: return "lower";
+    case MetricDirection::HigherIsBetter: return "higher";
+    case MetricDirection::Exact: return "exact";
+    case MetricDirection::Info: return "info";
+  }
+  return "info";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  mfgpu::obs::CompareOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--tolerance=", 0) == 0) {
+      options.default_tolerance =
+          std::atof(std::string(arg.substr(12)).c_str());
+      if (options.default_tolerance <= 0.0) {
+        std::fprintf(stderr, "bench_compare: invalid %s\n", argv[i]);
+        return 2;
+      }
+    } else if (arg.rfind("--metric-tolerance=", 0) == 0) {
+      const std::string_view spec = arg.substr(19);
+      const std::size_t eq = spec.rfind('=');
+      if (eq == std::string_view::npos || eq == 0) {
+        std::fprintf(stderr, "bench_compare: expected NAME=TOL in %s\n",
+                     argv[i]);
+        return 2;
+      }
+      options.tolerance_overrides.emplace_back(
+          std::string(spec.substr(0, eq)),
+          std::atof(std::string(spec.substr(eq + 1)).c_str()));
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "bench_compare: unknown option %s\n", argv[i]);
+      usage(argv[0]);
+      return 2;
+    } else {
+      paths.emplace_back(arg);
+    }
+  }
+  if (paths.size() != 2) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  mfgpu::obs::BenchComparison comparison;
+  try {
+    const mfgpu::obs::BenchRecord baseline =
+        mfgpu::obs::read_bench_file(paths[0]);
+    const mfgpu::obs::BenchRecord current =
+        mfgpu::obs::read_bench_file(paths[1]);
+    std::printf("bench %s: baseline sha %s, current sha %s\n",
+                current.name.c_str(), baseline.git_sha.c_str(),
+                current.git_sha.c_str());
+    comparison = mfgpu::obs::compare_bench(baseline, current, options);
+  } catch (const mfgpu::Error& e) {
+    std::fprintf(stderr, "bench_compare: %s\n", e.what());
+    return 2;
+  }
+
+  for (const auto& metric : comparison.metrics) {
+    std::printf("%s %-40s %-7s base %.6g cur %.6g (%+.2f%%, tol %.0f%%)\n",
+                metric.regression ? "FAIL" : "  ok", metric.name.c_str(),
+                direction_label(metric.direction), metric.baseline,
+                metric.current, 100.0 * metric.relative_change,
+                100.0 * metric.tolerance);
+  }
+  for (const auto& note : comparison.notes) {
+    std::printf("note: %s\n", note.c_str());
+  }
+  if (comparison.regressed) {
+    std::printf("REGRESSION: thresholds exceeded\n");
+    return 1;
+  }
+  std::printf("no regression\n");
+  return 0;
+}
