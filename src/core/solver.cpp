@@ -41,6 +41,10 @@ class OwnedTimerIdealHybrid : public FuExecutor {
 
 struct Solver::Impl {
   SparseSpd matrix;
+  /// Cached SparseSpd::pattern_fingerprint() of `matrix`, computed once at
+  /// analyze time; refactor() compares against it instead of walking the
+  /// index arrays.
+  std::uint64_t pattern_fp = 0;
   SolverOptions options;
   /// Owned copy of options.coordinates: the phase-split API lets arbitrary
   /// time pass between analyze() and later calls, so the caller's span must
@@ -180,12 +184,30 @@ void Solver::Impl::run_factor() {
   factored = true;
 }
 
+PatternAnalysis::PatternAnalysis(std::uint64_t fingerprint_in,
+                                 Permutation perm_in,
+                                 SymbolicFactor symbolic_in,
+                                 AnalyzeOptions analysis_in)
+    : fingerprint(fingerprint_in),
+      perm(std::move(perm_in)),
+      symbolic(std::move(symbolic_in)),
+      analysis_options(analysis_in) {
+  std::size_t bytes = sizeof(PatternAnalysis);
+  bytes += 2 * static_cast<std::size_t>(perm.n()) * sizeof(index_t);  // perm
+  bytes += 2 * static_cast<std::size_t>(symbolic.n()) * sizeof(index_t);
+  for (const SupernodeInfo& sn : symbolic.supernodes()) {
+    bytes += sizeof(SupernodeInfo) + sn.update_rows.size() * sizeof(index_t);
+  }
+  approx_bytes = bytes;
+}
+
 Solver::Solver() : impl_(std::make_unique<Impl>()) {}
 
 Solver Solver::analyze(const SparseSpd& a, const SolverOptions& options) {
   Solver solver;
   Impl& impl = *solver.impl_;
   impl.matrix = a;
+  impl.pattern_fp = a.pattern_fingerprint();
   impl.options = options;
   impl.coordinates.assign(options.coordinates.begin(),
                           options.coordinates.end());
@@ -195,6 +217,46 @@ Solver Solver::analyze(const SparseSpd& a, const SolverOptions& options) {
   impl.analysis =
       mfgpu::analyze(impl.matrix, impl.choose_ordering(), options.analysis);
   return solver;
+}
+
+Solver Solver::analyze(const SparseSpd& a,
+                       std::shared_ptr<const PatternAnalysis> shared,
+                       const SolverOptions& options) {
+  MFGPU_CHECK(shared != nullptr, "Solver::analyze: null shared analysis");
+  const std::uint64_t fingerprint = a.pattern_fingerprint();
+  if (fingerprint != shared->fingerprint) {
+    throw InvalidArgumentError(
+        "Solver::analyze: matrix pattern fingerprint differs from the "
+        "shared analysis");
+  }
+  Solver solver;
+  Impl& impl = *solver.impl_;
+  impl.matrix = a;
+  impl.pattern_fp = fingerprint;
+  impl.options = options;
+  impl.options.coordinates = {};  // the ordering is already decided
+  impl.options.analysis = shared->analysis_options;
+  obs::ScopedSpan span("solver", "analyze_shared");
+  span.set_arg(0, "n", a.n());
+  // Adoption copies the immutable structures and permutes the new values —
+  // no ordering / etree / symbolic recomputation.
+  impl.analysis.emplace(
+      Analysis{shared->perm, a.permuted(shared->perm.new_of_old()),
+               shared->symbolic});
+  return solver;
+}
+
+std::shared_ptr<const PatternAnalysis> Solver::share_analysis() const {
+  const Impl& impl = *impl_;
+  MFGPU_CHECK(impl.analysis.has_value(),
+              "Solver::share_analysis: not analyzed");
+  return std::make_shared<const PatternAnalysis>(
+      impl.pattern_fp, impl.analysis->perm, impl.analysis->symbolic,
+      impl.options.analysis);
+}
+
+std::uint64_t Solver::pattern_fingerprint() const noexcept {
+  return impl_->pattern_fp;
 }
 
 Solver::Solver(const SparseSpd& a, const SolverOptions& options)
@@ -213,11 +275,9 @@ void Solver::refactor(const SparseSpd& a) {
   if (a.n() != impl.matrix.n()) {
     throw InvalidArgumentError("Solver::refactor: dimension mismatch");
   }
-  const auto same = [](std::span<const index_t> x, std::span<const index_t> y) {
-    return std::equal(x.begin(), x.end(), y.begin(), y.end());
-  };
-  if (!same(a.col_ptr(), impl.matrix.col_ptr()) ||
-      !same(a.row_idx(), impl.matrix.row_idx())) {
+  // The pattern fingerprint covers (n, col_ptr, row_idx), so one hash pass
+  // replaces the old element-wise index comparison.
+  if (a.pattern_fingerprint() != impl.pattern_fp) {
     throw InvalidArgumentError(
         "Solver::refactor: sparsity pattern differs from the analyzed matrix");
   }

@@ -32,6 +32,7 @@
 //     the defaults preserve the previous serial behavior exactly.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <span>
@@ -86,6 +87,25 @@ struct SolverOptions {
   bool deterministic_reduction = true;
 };
 
+/// The values-independent half of an Analysis: the composed fill ordering
+/// and the symbolic factorization of one sparsity pattern. Immutable and
+/// shareable — every matrix with the same pattern fingerprint can adopt it
+/// through Solver::analyze(a, shared, options) instead of repeating the
+/// ordering + symbolic work. This is what the serving layer's
+/// AnalysisCache stores.
+struct PatternAnalysis {
+  PatternAnalysis(std::uint64_t fingerprint_in, Permutation perm_in,
+                  SymbolicFactor symbolic_in, AnalyzeOptions analysis_in);
+
+  std::uint64_t fingerprint;  ///< SparseSpd::pattern_fingerprint() of the pattern
+  Permutation perm;
+  SymbolicFactor symbolic;
+  /// Options the symbolic analysis was built with (adopters must match).
+  AnalyzeOptions analysis_options;
+  /// Approximate heap footprint — the unit of AnalysisCache byte budgets.
+  std::size_t approx_bytes = 0;
+};
+
 /// Owns the full pipeline state for one matrix. Thread-compatible (no
 /// internal synchronization); reuse the factorization across many solves.
 class Solver {
@@ -101,6 +121,20 @@ class Solver {
   /// matrix values and coordinates are copied; `a` need not outlive the
   /// returned Solver.
   static Solver analyze(const SparseSpd& a, const SolverOptions& options = {});
+  /// Phase 1, skipping the expensive part: adopt a previously computed
+  /// PatternAnalysis for a matrix with the SAME sparsity pattern (new
+  /// values welcome). Costs one structure copy plus the value permutation —
+  /// no ordering, elimination tree, or symbolic factorization is rerun.
+  /// Throws InvalidArgumentError when `a`'s pattern fingerprint differs
+  /// from `shared->fingerprint`.
+  static Solver analyze(const SparseSpd& a,
+                        std::shared_ptr<const PatternAnalysis> shared,
+                        const SolverOptions& options = {});
+  /// Export this solver's ordering + symbolic analysis as a shareable
+  /// artifact (copied out once; the solver keeps its own state).
+  std::shared_ptr<const PatternAnalysis> share_analysis() const;
+  /// Pattern fingerprint of the analyzed matrix.
+  std::uint64_t pattern_fingerprint() const noexcept;
   /// Phase 2: numeric factorization of the analyzed matrix. May be called
   /// again to refactor the same values.
   void factor();

@@ -13,6 +13,20 @@ double estimated_solve_seconds(const SymbolicFactor& sym) {
   }
   return entries / host_assembly_rate();
 }
+
+double estimated_solve_seconds(const SymbolicFactor& sym, index_t num_rhs) {
+  MFGPU_CHECK(num_rhs >= 1, "estimated_solve_seconds: num_rhs must be >= 1");
+  // Factor panels are streamed once per blocked pass; the per-rhs cost is
+  // the gather/scatter of each supernode's update rows. With num_rhs == 1
+  // this reproduces the single-rhs estimate above exactly.
+  double update_rows = 0.0;
+  for (const auto& sn : sym.supernodes()) {
+    update_rows += 2.0 * static_cast<double>(sn.num_update_rows());
+  }
+  const double stream = 2.0 * static_cast<double>(sym.factor_nnz());
+  return (stream + static_cast<double>(num_rhs) * update_rows) /
+         host_assembly_rate();
+}
 namespace {
 
 /// Both sweeps are written generically over the panel scalar type so the

@@ -27,4 +27,12 @@ std::vector<double> solve(const Analysis& analysis, const Factorization& factor,
 /// gather/scatter of each supernode's update rows.
 double estimated_solve_seconds(const SymbolicFactor& sym);
 
+/// Simulated host seconds for a BLOCKED solve of `num_rhs` right-hand
+/// sides in one pass: the factor panels are streamed once for the whole
+/// block, while the per-rhs gather/scatter traffic still scales with the
+/// block width. estimated_solve_seconds(sym, 1) == estimated_solve_seconds
+/// (sym); the gap to num_rhs * estimated_solve_seconds(sym) is the
+/// serving layer's batching win.
+double estimated_solve_seconds(const SymbolicFactor& sym, index_t num_rhs);
+
 }  // namespace mfgpu

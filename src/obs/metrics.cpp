@@ -24,6 +24,23 @@ void HistogramData::observe(double value) noexcept {
   sum += value;
 }
 
+double HistogramData::percentile(double q) const noexcept {
+  if (count <= 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th sample (1-based, nearest-rank definition).
+  const auto rank = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::ceil(q * static_cast<double>(count))));
+  std::int64_t cumulative = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    cumulative += buckets[static_cast<std::size_t>(b)];
+    if (cumulative >= rank) {
+      const double upper = std::ldexp(1.0, b);  // bucket edge 2^b
+      return std::clamp(upper, min, max);
+    }
+  }
+  return max;
+}
+
 struct MetricsRegistry::Impl {
   mutable std::mutex mu;
   std::map<std::string, double, std::less<>> counters;

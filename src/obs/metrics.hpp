@@ -26,6 +26,12 @@ struct HistogramData {
 
   static int bucket_of(double value) noexcept;
   void observe(double value) noexcept;
+
+  /// Bucketed quantile estimate for q in [0, 1]: the upper edge (2^i) of
+  /// the bucket holding the q-th sample, clamped to the exact [min, max]
+  /// range. Resolution is the log2 bucketing — good enough for p50/p99
+  /// latency gauges (serve.* uses this); 0 when the histogram is empty.
+  double percentile(double q) const noexcept;
 };
 
 class MetricsRegistry {

@@ -1,0 +1,99 @@
+#include "serve/analysis_cache.hpp"
+
+#include <list>
+#include <unordered_map>
+
+#include "obs/metrics.hpp"
+
+namespace mfgpu::serve {
+
+struct AnalysisCache::Impl {
+  struct Entry {
+    std::uint64_t fingerprint = 0;
+    std::shared_ptr<const PatternAnalysis> analysis;
+  };
+  /// Front = most recently used.
+  std::list<Entry> lru;
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> by_key;
+};
+
+AnalysisCache::AnalysisCache(std::size_t budget_bytes)
+    : budget_(budget_bytes), impl_(std::make_unique<Impl>()) {
+  MFGPU_CHECK(budget_bytes > 0, "AnalysisCache: byte budget must be positive");
+}
+
+AnalysisCache::~AnalysisCache() = default;
+
+std::shared_ptr<const PatternAnalysis> AnalysisCache::lookup(
+    std::uint64_t fingerprint) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = impl_->by_key.find(fingerprint);
+  if (it == impl_->by_key.end()) {
+    ++stats_.misses;
+    obs::MetricsRegistry::global().increment("serve.cache.misses");
+    return nullptr;
+  }
+  impl_->lru.splice(impl_->lru.begin(), impl_->lru, it->second);
+  ++stats_.hits;
+  obs::MetricsRegistry::global().increment("serve.cache.hits");
+  return it->second->analysis;
+}
+
+void AnalysisCache::insert(std::shared_ptr<const PatternAnalysis> analysis) {
+  MFGPU_CHECK(analysis != nullptr, "AnalysisCache::insert: null analysis");
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t key = analysis->fingerprint;
+  const auto it = impl_->by_key.find(key);
+  if (it != impl_->by_key.end()) {
+    stats_.bytes -= it->second->analysis->approx_bytes;
+    stats_.bytes += analysis->approx_bytes;
+    it->second->analysis = std::move(analysis);
+    impl_->lru.splice(impl_->lru.begin(), impl_->lru, it->second);
+  } else {
+    impl_->lru.push_front(Impl::Entry{key, std::move(analysis)});
+    impl_->by_key.emplace(key, impl_->lru.begin());
+    stats_.bytes += impl_->lru.front().analysis->approx_bytes;
+    stats_.entries = impl_->lru.size();
+  }
+  ++stats_.insertions;
+  obs::MetricsRegistry::global().increment("serve.cache.insertions");
+  evict_over_budget_locked();
+  publish_gauges_locked();
+}
+
+void AnalysisCache::evict_over_budget_locked() {
+  // Never evict the sole remaining entry: the working pattern must stay
+  // resident even when it alone exceeds the budget.
+  while (stats_.bytes > budget_ && impl_->lru.size() > 1) {
+    const Impl::Entry& victim = impl_->lru.back();
+    stats_.bytes -= victim.analysis->approx_bytes;
+    impl_->by_key.erase(victim.fingerprint);
+    impl_->lru.pop_back();
+    ++stats_.evictions;
+    obs::MetricsRegistry::global().increment("serve.cache.evictions");
+  }
+  stats_.entries = impl_->lru.size();
+}
+
+void AnalysisCache::publish_gauges_locked() {
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.gauge_set("serve.cache.bytes", static_cast<double>(stats_.bytes));
+  metrics.gauge_set("serve.cache.entries",
+                    static_cast<double>(stats_.entries));
+}
+
+AnalysisCache::Stats AnalysisCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void AnalysisCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  impl_->lru.clear();
+  impl_->by_key.clear();
+  stats_.bytes = 0;
+  stats_.entries = 0;
+  publish_gauges_locked();
+}
+
+}  // namespace mfgpu::serve

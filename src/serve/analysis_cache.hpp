@@ -1,0 +1,72 @@
+// Pattern-keyed cache of shared symbolic analyses — the artifact that makes
+// repeated-factorization serving cheap. Keyed by
+// SparseSpd::pattern_fingerprint(); every matrix with the same sparsity
+// pattern shares one PatternAnalysis (ordering + symbolic factorization),
+// so same-pattern requests skip straight to the numeric refactor path.
+//
+// LRU eviction under a configurable byte budget (PatternAnalysis::
+// approx_bytes). The most recently inserted entry is always retained, even
+// when it alone exceeds the budget — a cache that cannot hold the working
+// pattern would silently degrade every request to a full analyze.
+//
+// Thread-safe: all operations take one internal mutex; the returned
+// artifacts are immutable shared_ptrs, safe to adopt from any session.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "core/solver.hpp"
+
+namespace mfgpu::serve {
+
+class AnalysisCache {
+ public:
+  explicit AnalysisCache(std::size_t budget_bytes);
+  ~AnalysisCache();
+
+  AnalysisCache(const AnalysisCache&) = delete;
+  AnalysisCache& operator=(const AnalysisCache&) = delete;
+
+  /// The cached analysis for this pattern fingerprint (bumped to most
+  /// recently used), or nullptr on a miss. Counts a hit or a miss.
+  std::shared_ptr<const PatternAnalysis> lookup(std::uint64_t fingerprint);
+
+  /// Insert (or refresh) the artifact under its own fingerprint, then evict
+  /// least-recently-used entries until the budget holds (the new entry is
+  /// never evicted by its own insertion).
+  void insert(std::shared_ptr<const PatternAnalysis> analysis);
+
+  struct Stats {
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t insertions = 0;
+    std::int64_t evictions = 0;
+    std::size_t bytes = 0;    ///< current footprint
+    std::size_t entries = 0;  ///< current entry count
+
+    double hit_rate() const noexcept {
+      const std::int64_t total = hits + misses;
+      return total > 0 ? static_cast<double>(hits) /
+                             static_cast<double>(total)
+                       : 0.0;
+    }
+  };
+  Stats stats() const;
+
+  std::size_t budget_bytes() const noexcept { return budget_; }
+  void clear();
+
+ private:
+  void evict_over_budget_locked();
+  void publish_gauges_locked();
+
+  const std::size_t budget_;
+  mutable std::mutex mutex_;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  Stats stats_;
+};
+
+}  // namespace mfgpu::serve

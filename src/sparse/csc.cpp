@@ -1,9 +1,33 @@
 #include "sparse/csc.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <numeric>
 
 namespace mfgpu {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffsetBasis = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv1a_bytes(const void* data, std::size_t len,
+                          std::uint64_t hash) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    hash ^= bytes[i];
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+template <typename T>
+std::uint64_t fnv1a_span(std::span<const T> values,
+                         std::uint64_t hash) noexcept {
+  return fnv1a_bytes(values.data(), values.size() * sizeof(T), hash);
+}
+
+}  // namespace
 
 SparseSpd::SparseSpd(index_t n, std::vector<index_t> col_ptr,
                      std::vector<index_t> row_idx, std::vector<double> values)
@@ -110,6 +134,18 @@ SparseSpd SparseSpd::permuted(std::span<const index_t> new_of_old) const {
   }
   return SparseSpd(n_, std::move(col_ptr), std::move(row_idx),
                    std::move(values));
+}
+
+std::uint64_t SparseSpd::pattern_fingerprint() const noexcept {
+  std::uint64_t hash = kFnvOffsetBasis;
+  hash = fnv1a_bytes(&n_, sizeof(n_), hash);
+  hash = fnv1a_span<index_t>(col_ptr_, hash);
+  hash = fnv1a_span<index_t>(row_idx_, hash);
+  return hash;
+}
+
+std::uint64_t SparseSpd::values_fingerprint() const noexcept {
+  return fnv1a_span<double>(values_, kFnvOffsetBasis);
 }
 
 SymmetricGraph build_graph(const SparseSpd& a) {

@@ -3,6 +3,7 @@
 // and symbolic analysis.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -42,6 +43,17 @@ class SparseSpd {
   /// Symmetric permutation B = P A P^T where new index = perm_inverse[old]
   /// is given as `new_of_old` (i.e. B(new_of_old[i], new_of_old[j]) = A(i,j)).
   SparseSpd permuted(std::span<const index_t> new_of_old) const;
+
+  /// FNV-1a hash of the sparsity pattern (n, col_ptr, row_idx) — values are
+  /// NOT included, so all matrices sharing one pattern share one
+  /// fingerprint. This is the key of the serving layer's analysis cache and
+  /// of Solver::refactor's pattern compatibility check. O(nnz) per call;
+  /// callers on hot paths should hash once and keep the result.
+  std::uint64_t pattern_fingerprint() const noexcept;
+  /// FNV-1a hash of the numeric values only (pattern excluded). Two
+  /// matrices with equal pattern AND values fingerprints are byte-identical,
+  /// letting the serving layer reuse an existing factorization outright.
+  std::uint64_t values_fingerprint() const noexcept;
 
  private:
   index_t n_ = 0;

@@ -1,5 +1,8 @@
 #include "core/solver.hpp"
 
+#include <atomic>
+#include <thread>
+
 #include <gtest/gtest.h>
 
 #include "multifrontal/refine.hpp"
@@ -231,6 +234,85 @@ TEST(SolverValidation, RhsSizeMismatchThrows) {
   EXPECT_THROW(solver.solve_with_history(short_rhs), InvalidArgumentError);
   const Matrix<double> bad_block(p.matrix.n() - 1, 2);
   EXPECT_THROW(solver.solve(bad_block), InvalidArgumentError);
+}
+
+TEST(SolverPhases, SharedAnalysisAdoptionMatchesFreshAnalyze) {
+  const GridProblem p = make_laplacian_3d(6, 5, 4);
+  Solver first(p.matrix);
+  const std::shared_ptr<const PatternAnalysis> shared = first.share_analysis();
+  ASSERT_NE(shared, nullptr);
+  EXPECT_EQ(shared->fingerprint, p.matrix.pattern_fingerprint());
+  EXPECT_EQ(shared->fingerprint, first.pattern_fingerprint());
+  EXPECT_GT(shared->approx_bytes, 0u);
+
+  // Adopt for a same-pattern matrix with different values: 2A x = b gives
+  // x = 1/2, and the factorization must be bitwise identical to a fresh
+  // end-to-end solver on the same matrix (same ordering, same symbolic).
+  std::vector<double> scaled(p.matrix.values().begin(),
+                             p.matrix.values().end());
+  for (double& v : scaled) v *= 2.0;
+  const SparseSpd a2(p.matrix.n(),
+                     {p.matrix.col_ptr().begin(), p.matrix.col_ptr().end()},
+                     {p.matrix.row_idx().begin(), p.matrix.row_idx().end()},
+                     std::move(scaled));
+  Solver adopted = Solver::analyze(a2, shared);
+  adopted.factor();
+  const Solver fresh(a2);
+  const auto b = rhs_for_ones(p.matrix);
+  const auto xa = adopted.solve(b);
+  const auto xf = fresh.solve(b);
+  ASSERT_EQ(xa.size(), xf.size());
+  for (std::size_t i = 0; i < xa.size(); ++i) EXPECT_EQ(xa[i], xf[i]);
+  EXPECT_DOUBLE_EQ(adopted.factor_time(), fresh.factor_time());
+}
+
+TEST(SolverPhases, SharedAnalysisRejectsDifferentPattern) {
+  const GridProblem p = make_laplacian_3d(4, 4, 4);
+  const Solver solver(p.matrix);
+  const auto shared = solver.share_analysis();
+  const GridProblem other = make_laplacian_2d_9pt(8, 8);
+  ASSERT_EQ(other.matrix.n(), p.matrix.n());
+  EXPECT_THROW(Solver::analyze(other.matrix, shared), InvalidArgumentError);
+}
+
+TEST(SolverParallel, ConcurrentSolvesShareOneFactorization) {
+  // Solver documents thread-compatibility: after factor(), any number of
+  // threads may call the const solve() paths concurrently. Hammer one
+  // factored solver from several threads (this runs under the TSan CI job)
+  // and require every result to be bitwise identical to the serial answer.
+  const GridProblem p = make_laplacian_3d(6, 6, 5);
+  const Solver solver(p.matrix);
+  const auto b = rhs_for_ones(p.matrix);
+  const std::vector<double> reference = solver.solve(b);
+
+  constexpr int kThreads = 6;
+  constexpr int kSolvesPerThread = 4;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int s = 0; s < kSolvesPerThread; ++s) {
+        // Mix the plain, history, and multi-rhs entry points.
+        std::vector<double> x;
+        if ((t + s) % 3 == 0) {
+          x = solver.solve_with_history(b).x;
+        } else if ((t + s) % 3 == 1) {
+          Matrix<double> rhs(p.matrix.n(), 1);
+          for (index_t i = 0; i < p.matrix.n(); ++i) {
+            rhs(i, 0) = b[static_cast<std::size_t>(i)];
+          }
+          const Matrix<double> sol = solver.solve(rhs);
+          x.assign(sol.data(), sol.data() + sol.rows());
+        } else {
+          x = solver.solve(b);
+        }
+        if (x != reference) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 TEST(SolverParallel, ThreadedFactorizationIsBitwiseSerial) {

@@ -85,6 +85,25 @@ TEST(MetricsTest, HistogramTracksMoments) {
   EXPECT_EQ(it->second.buckets[obs::HistogramData::bucket_of(4.0)], 1);
 }
 
+TEST(MetricsTest, PercentileIsNearestRankOnBucketEdges) {
+  obs::HistogramData h;
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);  // empty histogram
+  // 100 samples: 1..100. Bucketed quantiles land on the upper power-of-two
+  // edge of the sample's bucket, clamped to the exact [min, max] range.
+  for (int v = 1; v <= 100; ++v) h.observe(static_cast<double>(v));
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);   // clamped up to min
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 64.0);  // p50 sample 50 -> bucket (32,64]
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 100.0);  // edge 128 clamps to max
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 100.0);
+}
+
+TEST(MetricsTest, PercentileOfSingleValueIsExact) {
+  obs::HistogramData h;
+  h.observe(0.0375);  // a latency-like fractional value
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0375);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 0.0375);
+}
+
 TEST(MetricsTest, SnapshotExportsToJsonAndCsv) {
   MetricsGuard guard;
   auto& metrics = obs::MetricsRegistry::global();

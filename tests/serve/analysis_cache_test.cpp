@@ -1,0 +1,111 @@
+#include "serve/analysis_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sparse/generators.hpp"
+
+namespace mfgpu::serve {
+namespace {
+
+std::shared_ptr<const PatternAnalysis> analysis_of(const SparseSpd& a) {
+  return Solver::analyze(a).share_analysis();
+}
+
+TEST(ServeAnalysisCache, MissThenHit) {
+  AnalysisCache cache(64u << 20);
+  const GridProblem p = make_laplacian_3d(5, 5, 4);
+  const std::uint64_t fp = p.matrix.pattern_fingerprint();
+  EXPECT_EQ(cache.lookup(fp), nullptr);
+
+  auto shared = analysis_of(p.matrix);
+  cache.insert(shared);
+  const auto found = cache.lookup(fp);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found.get(), shared.get());  // same artifact, not a copy
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.insertions, 1);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.bytes, shared->approx_bytes);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+}
+
+TEST(ServeAnalysisCache, ApproxBytesTracksSymbolicSize) {
+  const GridProblem small = make_laplacian_3d(4, 4, 3);
+  const GridProblem big = make_laplacian_3d(9, 9, 8);
+  const auto a_small = analysis_of(small.matrix);
+  const auto a_big = analysis_of(big.matrix);
+  EXPECT_GT(a_small->approx_bytes, 0u);
+  EXPECT_GT(a_big->approx_bytes, a_small->approx_bytes);
+}
+
+TEST(ServeAnalysisCache, EvictsLeastRecentlyUsedUnderBudget) {
+  const GridProblem p1 = make_laplacian_3d(5, 5, 4);
+  const GridProblem p2 = make_laplacian_3d(6, 5, 4);
+  const GridProblem p3 = make_laplacian_3d(7, 5, 4);
+  const auto a1 = analysis_of(p1.matrix);
+  const auto a2 = analysis_of(p2.matrix);
+  const auto a3 = analysis_of(p3.matrix);
+
+  // Budget fits exactly two of the three artifacts.
+  AnalysisCache cache(a1->approx_bytes + a2->approx_bytes +
+                      a3->approx_bytes / 2);
+  cache.insert(a1);
+  cache.insert(a2);
+  // Touch a1 so a2 becomes the LRU victim.
+  ASSERT_NE(cache.lookup(a1->fingerprint), nullptr);
+  cache.insert(a3);
+
+  EXPECT_NE(cache.lookup(a1->fingerprint), nullptr);
+  EXPECT_EQ(cache.lookup(a2->fingerprint), nullptr);
+  EXPECT_NE(cache.lookup(a3->fingerprint), nullptr);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.bytes, a1->approx_bytes + a3->approx_bytes);
+}
+
+TEST(ServeAnalysisCache, NeverEvictsTheSoleEntry) {
+  const GridProblem p = make_laplacian_3d(6, 6, 5);
+  const auto shared = analysis_of(p.matrix);
+  AnalysisCache cache(1);  // budget smaller than any artifact
+  cache.insert(shared);
+  EXPECT_NE(cache.lookup(shared->fingerprint), nullptr);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().evictions, 0);
+}
+
+TEST(ServeAnalysisCache, ReinsertRefreshesInsteadOfDuplicating) {
+  const GridProblem p = make_laplacian_3d(5, 5, 4);
+  const auto first = analysis_of(p.matrix);
+  const auto second = analysis_of(p.matrix);
+  AnalysisCache cache(64u << 20);
+  cache.insert(first);
+  cache.insert(second);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.insertions, 2);
+  EXPECT_EQ(stats.bytes, second->approx_bytes);
+  EXPECT_EQ(cache.lookup(p.matrix.pattern_fingerprint()).get(), second.get());
+}
+
+TEST(ServeAnalysisCache, ClearEmptiesEverything) {
+  const GridProblem p = make_laplacian_3d(5, 5, 4);
+  AnalysisCache cache(64u << 20);
+  cache.insert(analysis_of(p.matrix));
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+  EXPECT_EQ(cache.lookup(p.matrix.pattern_fingerprint()), nullptr);
+}
+
+TEST(ServeAnalysisCache, RejectsZeroBudgetAndNullInsert) {
+  EXPECT_THROW(AnalysisCache(0), Error);
+  AnalysisCache cache(1u << 20);
+  EXPECT_THROW(cache.insert(nullptr), Error);
+}
+
+}  // namespace
+}  // namespace mfgpu::serve

@@ -1,0 +1,115 @@
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sparse/csc.hpp"
+#include "sparse/generators.hpp"
+#include "support/rng.hpp"
+
+namespace mfgpu {
+namespace {
+
+/// Copy of `a` with every value scaled by `factor` (same pattern).
+SparseSpd scaled_values(const SparseSpd& a, double factor) {
+  std::vector<index_t> col_ptr(a.col_ptr().begin(), a.col_ptr().end());
+  std::vector<index_t> row_idx(a.row_idx().begin(), a.row_idx().end());
+  std::vector<double> values(a.values().begin(), a.values().end());
+  for (double& v : values) v *= factor;
+  return SparseSpd(a.n(), std::move(col_ptr), std::move(row_idx),
+                   std::move(values));
+}
+
+TEST(PatternFingerprint, StableAcrossCallsAndCopies) {
+  const GridProblem p = make_laplacian_3d(6, 5, 4);
+  const std::uint64_t fp = p.matrix.pattern_fingerprint();
+  EXPECT_EQ(fp, p.matrix.pattern_fingerprint());
+  const SparseSpd copy = p.matrix;
+  EXPECT_EQ(fp, copy.pattern_fingerprint());
+}
+
+TEST(PatternFingerprint, IgnoresValuesButValuesFingerprintDoesNot) {
+  const GridProblem p = make_laplacian_3d(5, 5, 4);
+  const SparseSpd scaled = scaled_values(p.matrix, 3.0);
+  EXPECT_EQ(p.matrix.pattern_fingerprint(), scaled.pattern_fingerprint());
+  EXPECT_NE(p.matrix.values_fingerprint(), scaled.values_fingerprint());
+  EXPECT_EQ(scaled.values_fingerprint(),
+            scaled_values(p.matrix, 3.0).values_fingerprint());
+}
+
+TEST(PatternFingerprint, DistinguishesPatternsAcrossGeneratorSuite) {
+  // Collision sanity: every structurally distinct matrix the generator
+  // suite produces must hash to a distinct pattern fingerprint.
+  Rng rng(7);
+  std::vector<SparseSpd> matrices;
+  for (index_t nx = 2; nx <= 6; ++nx) {
+    for (index_t ny = 2; ny <= 5; ++ny) {
+      matrices.push_back(make_laplacian_3d(nx, ny, 3).matrix);
+      matrices.push_back(make_laplacian_2d_9pt(nx + 3, ny + 3).matrix);
+    }
+  }
+  matrices.push_back(make_elasticity_3d(4, 3, 3, 3, rng).matrix);
+  matrices.push_back(make_elasticity_3d(4, 4, 3, 3, rng).matrix);
+  for (int seed = 0; seed < 8; ++seed) {
+    Rng r(100 + seed);
+    matrices.push_back(make_random_spd(200 + 17 * seed, 6, r));
+  }
+  for (const auto& problem : make_paper_testset(0.12)) {
+    matrices.push_back(problem.matrix);
+  }
+
+  // Some generator outputs legitimately share a pattern (e.g. two testset
+  // stand-ins rounding to the same scaled grid), so compare against the
+  // number of structurally distinct patterns, not the number of matrices.
+  std::set<std::vector<index_t>> structures;
+  std::set<std::uint64_t> fingerprints;
+  for (const SparseSpd& a : matrices) {
+    std::vector<index_t> structure;
+    structure.push_back(a.n());
+    structure.insert(structure.end(), a.col_ptr().begin(), a.col_ptr().end());
+    structure.insert(structure.end(), a.row_idx().begin(), a.row_idx().end());
+    structures.insert(std::move(structure));
+    fingerprints.insert(a.pattern_fingerprint());
+  }
+  EXPECT_GE(structures.size(), matrices.size() - 2);  // suite stays diverse
+  EXPECT_EQ(fingerprints.size(), structures.size());  // no collisions
+}
+
+TEST(PatternFingerprint, SensitiveToSingleEntryAndToPermutation) {
+  const GridProblem p = make_laplacian_3d(4, 4, 4);
+  // Dropping one off-diagonal entry changes the pattern.
+  std::vector<index_t> col_ptr(p.matrix.col_ptr().begin(),
+                               p.matrix.col_ptr().end());
+  std::vector<index_t> row_idx(p.matrix.row_idx().begin(),
+                               p.matrix.row_idx().end());
+  std::vector<double> values(p.matrix.values().begin(),
+                             p.matrix.values().end());
+  // Find a column with an off-diagonal entry and drop its last entry.
+  for (index_t j = p.matrix.n(); j-- > 0;) {
+    const auto begin = static_cast<std::size_t>(col_ptr[static_cast<std::size_t>(j)]);
+    const auto end = static_cast<std::size_t>(col_ptr[static_cast<std::size_t>(j) + 1]);
+    if (end - begin < 2) continue;
+    row_idx.erase(row_idx.begin() + static_cast<std::ptrdiff_t>(end) - 1);
+    values.erase(values.begin() + static_cast<std::ptrdiff_t>(end) - 1);
+    for (std::size_t t = static_cast<std::size_t>(j) + 1; t < col_ptr.size();
+         ++t) {
+      --col_ptr[t];
+    }
+    break;
+  }
+  const SparseSpd dropped(p.matrix.n(), std::move(col_ptr), std::move(row_idx),
+                          std::move(values));
+  EXPECT_NE(p.matrix.pattern_fingerprint(), dropped.pattern_fingerprint());
+
+  // A nontrivial symmetric permutation relabels the pattern. (A rotation —
+  // index reversal would be a grid automorphism and leave it unchanged.)
+  std::vector<index_t> new_of_old(static_cast<std::size_t>(p.matrix.n()));
+  for (std::size_t i = 0; i < new_of_old.size(); ++i) {
+    new_of_old[i] = static_cast<index_t>((i + 1) % new_of_old.size());
+  }
+  const SparseSpd permuted = p.matrix.permuted(new_of_old);
+  EXPECT_NE(p.matrix.pattern_fingerprint(), permuted.pattern_fingerprint());
+}
+
+}  // namespace
+}  // namespace mfgpu

@@ -1,17 +1,25 @@
-// bench_compare: diff two bench result JSONs (see obs/bench_json.hpp) and
+// bench_compare: diff bench result JSONs (see obs/bench_json.hpp) and
 // exit nonzero when the current run regressed past the thresholds — the CI
 // smoke-bench gate.
 //
 //   bench_compare BASELINE.json CURRENT.json [--tolerance=0.10]
 //                 [--metric-tolerance=NAME=TOL]...
+//   bench_compare --dir BASELINE_DIR CURRENT_DIR [options...]
+//
+// Directory mode gates every BENCH_*.json found in BASELINE_DIR against the
+// same-named file in CURRENT_DIR; a baseline with no current counterpart is
+// a failure (the bench stopped running), while extra current files are
+// ignored (a new bench has no baseline yet).
 //
 // Gating follows each baseline metric's recorded direction: LowerIsBetter /
 // HigherIsBetter fail on a worsening move beyond the relative tolerance,
 // Exact fails on any move beyond it, Info is never gated. A gated metric
 // missing from the current file is a failure; metrics without a baseline
 // are reported but do not gate.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -24,8 +32,9 @@ namespace {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s BASELINE.json CURRENT.json [--tolerance=FRACTION] "
-               "[--metric-tolerance=NAME=FRACTION]...\n",
-               argv0);
+               "[--metric-tolerance=NAME=FRACTION]...\n"
+               "       %s --dir BASELINE_DIR CURRENT_DIR [options...]\n",
+               argv0, argv0);
 }
 
 const char* direction_label(mfgpu::obs::MetricDirection direction) {
@@ -39,14 +48,50 @@ const char* direction_label(mfgpu::obs::MetricDirection direction) {
   return "info";
 }
 
+/// Compare one baseline/current file pair. Returns 0 (clean), 1
+/// (regression), or 2 (structural error: unreadable/malformed file).
+int compare_files(const std::string& baseline_path,
+                  const std::string& current_path,
+                  const mfgpu::obs::CompareOptions& options) {
+  mfgpu::obs::BenchComparison comparison;
+  try {
+    const mfgpu::obs::BenchRecord baseline =
+        mfgpu::obs::read_bench_file(baseline_path);
+    const mfgpu::obs::BenchRecord current =
+        mfgpu::obs::read_bench_file(current_path);
+    std::printf("bench %s: baseline sha %s, current sha %s\n",
+                current.name.c_str(), baseline.git_sha.c_str(),
+                current.git_sha.c_str());
+    comparison = mfgpu::obs::compare_bench(baseline, current, options);
+  } catch (const mfgpu::Error& e) {
+    std::fprintf(stderr, "bench_compare: %s\n", e.what());
+    return 2;
+  }
+
+  for (const auto& metric : comparison.metrics) {
+    std::printf("%s %-40s %-7s base %.6g cur %.6g (%+.2f%%, tol %.0f%%)\n",
+                metric.regression ? "FAIL" : "  ok", metric.name.c_str(),
+                direction_label(metric.direction), metric.baseline,
+                metric.current, 100.0 * metric.relative_change,
+                100.0 * metric.tolerance);
+  }
+  for (const auto& note : comparison.notes) {
+    std::printf("note: %s\n", note.c_str());
+  }
+  return comparison.regressed ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> paths;
+  bool dir_mode = false;
   mfgpu::obs::CompareOptions options;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
-    if (arg.rfind("--tolerance=", 0) == 0) {
+    if (arg == "--dir") {
+      dir_mode = true;
+    } else if (arg.rfind("--tolerance=", 0) == 0) {
       options.default_tolerance =
           std::atof(std::string(arg.substr(12)).c_str());
       if (options.default_tolerance <= 0.0) {
@@ -80,35 +125,54 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  mfgpu::obs::BenchComparison comparison;
+  if (!dir_mode) {
+    const int status = compare_files(paths[0], paths[1], options);
+    if (status == 1) std::printf("REGRESSION: thresholds exceeded\n");
+    if (status == 0) std::printf("no regression\n");
+    return status;
+  }
+
+  // Directory mode: every baseline must have a clean current counterpart.
+  namespace fs = std::filesystem;
+  std::vector<std::string> names;
   try {
-    const mfgpu::obs::BenchRecord baseline =
-        mfgpu::obs::read_bench_file(paths[0]);
-    const mfgpu::obs::BenchRecord current =
-        mfgpu::obs::read_bench_file(paths[1]);
-    std::printf("bench %s: baseline sha %s, current sha %s\n",
-                current.name.c_str(), baseline.git_sha.c_str(),
-                current.git_sha.c_str());
-    comparison = mfgpu::obs::compare_bench(baseline, current, options);
-  } catch (const mfgpu::Error& e) {
+    for (const auto& entry : fs::directory_iterator(paths[0])) {
+      const std::string name = entry.path().filename().string();
+      if (entry.is_regular_file() && name.rfind("BENCH_", 0) == 0 &&
+          name.size() > 5 && name.ends_with(".json")) {
+        names.push_back(name);
+      }
+    }
+  } catch (const fs::filesystem_error& e) {
     std::fprintf(stderr, "bench_compare: %s\n", e.what());
     return 2;
   }
+  if (names.empty()) {
+    std::fprintf(stderr, "bench_compare: no BENCH_*.json under %s\n",
+                 paths[0].c_str());
+    return 2;
+  }
+  std::sort(names.begin(), names.end());
 
-  for (const auto& metric : comparison.metrics) {
-    std::printf("%s %-40s %-7s base %.6g cur %.6g (%+.2f%%, tol %.0f%%)\n",
-                metric.regression ? "FAIL" : "  ok", metric.name.c_str(),
-                direction_label(metric.direction), metric.baseline,
-                metric.current, 100.0 * metric.relative_change,
-                100.0 * metric.tolerance);
+  int worst = 0;
+  for (const std::string& name : names) {
+    const std::string baseline_path = (fs::path(paths[0]) / name).string();
+    const std::string current_path = (fs::path(paths[1]) / name).string();
+    if (!fs::exists(current_path)) {
+      std::fprintf(stderr,
+                   "bench_compare: %s has no current run under %s (bench "
+                   "not executed?)\n",
+                   name.c_str(), paths[1].c_str());
+      worst = std::max(worst, 2);
+      continue;
+    }
+    worst = std::max(worst, compare_files(baseline_path, current_path,
+                                          options));
   }
-  for (const auto& note : comparison.notes) {
-    std::printf("note: %s\n", note.c_str());
+  if (worst == 0) {
+    std::printf("no regression across %zu bench files\n", names.size());
+  } else {
+    std::printf("REGRESSION: one or more bench files failed the gate\n");
   }
-  if (comparison.regressed) {
-    std::printf("REGRESSION: thresholds exceeded\n");
-    return 1;
-  }
-  std::printf("no regression\n");
-  return 0;
+  return worst;
 }
