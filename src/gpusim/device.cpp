@@ -1,5 +1,7 @@
 #include "gpusim/device.hpp"
 
+#include <limits>
+
 #include "obs/metrics.hpp"
 
 namespace mfgpu {
@@ -20,6 +22,11 @@ double matrix_bytes(index_t rows, index_t cols) {
          static_cast<double>(sizeof(float));
 }
 
+[[noreturn]] void throw_transfer_death() {
+  throw DeviceFaultError("gpusim: device died during transfer",
+                         /*sticky=*/true);
+}
+
 }  // namespace
 
 Device::Device() : Device(Options{}) {}
@@ -33,11 +40,26 @@ Device::Device(Options options)
                    options.transfer.pinned_alloc_per_byte,
                    // Pinned memory is host RAM; cap it generously.
                    std::int64_t{32} * 1024 * 1024 * 1024,
-                   options.pool_reuse) {}
+                   options.pool_reuse),
+      injector_(options.faults) {}
+
+void Device::check_alloc_fault(const char* what) {
+  switch (injector_.sample(FaultSite::Alloc)) {
+    case FaultKind::DeviceDeath:
+      throw DeviceFaultError(std::string(what) + ": device died",
+                             /*sticky=*/true);
+    case FaultKind::SpuriousOom:
+      throw DeviceOutOfMemoryError(std::string(what) +
+                                   ": injected spurious out-of-memory");
+    default:
+      break;
+  }
+}
 
 DeviceMatrix Device::allocate(index_t rows, index_t cols,
                               const std::string& slot, SimClock& host) {
   MFGPU_CHECK(rows >= 0 && cols >= 0, "Device::allocate: negative dims");
+  check_alloc_fault("Device::allocate");
   const auto bytes = static_cast<std::int64_t>(matrix_bytes(rows, cols));
   host.advance(device_pool_.acquire(slot, bytes));
   DeviceMatrix m;
@@ -51,6 +73,7 @@ DeviceMatrix Device::allocate(index_t rows, index_t cols,
 
 double Device::acquire_pinned(const std::string& slot, std::int64_t bytes,
                               SimClock& host) {
+  check_alloc_fault("Device::acquire_pinned");
   const double cost = pinned_pool_.acquire(slot, bytes);
   host.advance(cost);
   return cost;
@@ -64,10 +87,17 @@ MatrixView<float> Device::device_block(DeviceMatrix& m, index_t i0, index_t j0,
 double Device::copy_to_device_sync(MatrixView<const double> src,
                                    DeviceMatrix& dst, index_t i0, index_t j0,
                                    SimClock& host) {
+  const FaultKind fault = injector_.sample(FaultSite::Transfer);
+  if (fault == FaultKind::DeviceDeath) throw_transfer_death();
   const double bytes = matrix_bytes(src.rows(), src.cols());
   bytes_transferred_ += bytes;
   if (options_.numeric) {
-    copy_into<float>(src, device_block(dst, i0, j0, src.rows(), src.cols()));
+    auto block = device_block(dst, i0, j0, src.rows(), src.cols());
+    copy_into<float>(src, block);
+    if (fault == FaultKind::TransferCorruption && block.rows() > 0 &&
+        block.cols() > 0) {
+      block(0, 0) = std::numeric_limits<float>::quiet_NaN();
+    }
   }
   const double duration = transfer().sync_copy_time(bytes);
   count_transfer("h2d", bytes, duration);
@@ -82,6 +112,8 @@ double Device::copy_to_device_sync(MatrixView<const double> src,
 double Device::copy_from_device_sync(const DeviceMatrix& src, index_t i0,
                                      index_t j0, MatrixView<double> dst,
                                      SimClock& host) {
+  const FaultKind fault = injector_.sample(FaultSite::Transfer);
+  if (fault == FaultKind::DeviceDeath) throw_transfer_death();
   const double bytes = matrix_bytes(dst.rows(), dst.cols());
   bytes_transferred_ += bytes;
   if (options_.numeric) {
@@ -91,6 +123,10 @@ double Device::copy_from_device_sync(const DeviceMatrix& src, index_t i0,
         MatrixView<const float>(block.data(), block.rows(), block.cols(),
                                 block.ld()),
         dst);
+    if (fault == FaultKind::TransferCorruption && dst.rows() > 0 &&
+        dst.cols() > 0) {
+      dst(0, 0) = std::numeric_limits<double>::quiet_NaN();
+    }
   }
   const double duration = transfer().sync_copy_time(bytes);
   count_transfer("d2h", bytes, duration);
@@ -102,10 +138,17 @@ double Device::copy_from_device_sync(const DeviceMatrix& src, index_t i0,
 double Device::copy_to_device_async(MatrixView<const double> src,
                                     DeviceMatrix& dst, index_t i0, index_t j0,
                                     Stream& stream, SimClock& host) {
+  const FaultKind fault = injector_.sample(FaultSite::Transfer);
+  if (fault == FaultKind::DeviceDeath) throw_transfer_death();
   const double bytes = matrix_bytes(src.rows(), src.cols());
   bytes_transferred_ += bytes;
   if (options_.numeric) {
-    copy_into<float>(src, device_block(dst, i0, j0, src.rows(), src.cols()));
+    auto block = device_block(dst, i0, j0, src.rows(), src.cols());
+    copy_into<float>(src, block);
+    if (fault == FaultKind::TransferCorruption && block.rows() > 0 &&
+        block.cols() > 0) {
+      block(0, 0) = std::numeric_limits<float>::quiet_NaN();
+    }
   }
   host.advance(transfer().enqueue_overhead);
   const double duration = transfer().async_copy_time(bytes);
@@ -118,6 +161,8 @@ double Device::copy_to_device_async(MatrixView<const double> src,
 double Device::copy_from_device_async(const DeviceMatrix& src, index_t i0,
                                       index_t j0, MatrixView<double> dst,
                                       Stream& stream, SimClock& host) {
+  const FaultKind fault = injector_.sample(FaultSite::Transfer);
+  if (fault == FaultKind::DeviceDeath) throw_transfer_death();
   const double bytes = matrix_bytes(dst.rows(), dst.cols());
   bytes_transferred_ += bytes;
   if (options_.numeric) {
@@ -127,6 +172,10 @@ double Device::copy_from_device_async(const DeviceMatrix& src, index_t i0,
         MatrixView<const float>(block.data(), block.rows(), block.cols(),
                                 block.ld()),
         dst);
+    if (fault == FaultKind::TransferCorruption && dst.rows() > 0 &&
+        dst.cols() > 0) {
+      dst(0, 0) = std::numeric_limits<double>::quiet_NaN();
+    }
   }
   host.advance(transfer().enqueue_overhead);
   const double duration = transfer().async_copy_time(bytes);
@@ -145,6 +194,7 @@ void Device::reset() {
   for (auto& s : streams_) s.reset();
   device_pool_.reset();
   pinned_pool_.reset();
+  injector_.reset();
   bytes_transferred_ = 0.0;
 }
 

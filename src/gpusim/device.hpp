@@ -22,6 +22,7 @@
 
 #include "gpusim/clock.hpp"
 #include "gpusim/cost_model.hpp"
+#include "gpusim/fault_injector.hpp"
 #include "gpusim/memory.hpp"
 #include "gpusim/stream.hpp"
 
@@ -35,6 +36,8 @@ class Device {
     std::int64_t memory_bytes = std::int64_t{4} * 1024 * 1024 * 1024;
     bool pool_reuse = true;  ///< the paper's high-water-mark policy (§V-A2)
     bool numeric = true;     ///< execute kernels numerically (off = dry runs)
+    /// Deterministic fault injection (all rates 0 = no faults, no overhead).
+    FaultInjectorOptions faults;
   };
 
   Device();
@@ -43,6 +46,12 @@ class Device {
   const ProcessorModel& model() const noexcept { return options_.gpu; }
   const TransferModel& transfer() const noexcept { return options_.transfer; }
   bool numeric() const noexcept { return options_.numeric; }
+
+  /// This device's fault source. All gpublas kernel launches, transfers,
+  /// and pool acquires sample it; see gpusim/fault_injector.hpp for the
+  /// determinism contract.
+  FaultInjector& fault_injector() noexcept { return injector_; }
+  const FaultInjector& fault_injector() const noexcept { return injector_; }
 
   /// Default streams: compute, host-to-device copy, device-to-host copy.
   Stream& compute_stream() noexcept { return streams_[0]; }
@@ -100,10 +109,15 @@ class Device {
   MatrixView<float> device_block(DeviceMatrix& m, index_t i0, index_t j0,
                                  index_t rows, index_t cols) const;
 
+  /// Draw the fault outcome for one pool acquire; throws on injected OOM
+  /// or device death.
+  void check_alloc_fault(const char* what);
+
   Options options_;
   std::vector<Stream> streams_;
   MemoryPool device_pool_;
   MemoryPool pinned_pool_;
+  FaultInjector injector_;
   double bytes_transferred_ = 0.0;
 };
 

@@ -1,0 +1,108 @@
+#include "gpusim/fault_injector.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace mfgpu {
+namespace {
+
+/// splitmix64 finalizer: a cheap, well-mixed 64-bit hash.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+void count_fault(FaultKind kind) {
+  if (!obs::enabled()) return;
+  obs::MetricsRegistry::global().increment(
+      std::string("fault.injected.") + fault_kind_name(kind));
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::None: return "none";
+    case FaultKind::TransientKernel: return "transient_kernel";
+    case FaultKind::TransferCorruption: return "transfer_corruption";
+    case FaultKind::SpuriousOom: return "spurious_oom";
+    case FaultKind::DeviceDeath: return "device_death";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(FaultInjectorOptions options)
+    : options_(options), enabled_(options.any()) {
+  MFGPU_CHECK(options_.transient_kernel_rate >= 0.0 &&
+                  options_.transient_kernel_rate < 1.0,
+              "FaultInjector: transient_kernel_rate must be in [0, 1)");
+  MFGPU_CHECK(options_.transfer_corruption_rate >= 0.0 &&
+                  options_.transfer_corruption_rate < 1.0,
+              "FaultInjector: transfer_corruption_rate must be in [0, 1)");
+  MFGPU_CHECK(options_.spurious_oom_rate >= 0.0 &&
+                  options_.spurious_oom_rate < 1.0,
+              "FaultInjector: spurious_oom_rate must be in [0, 1)");
+  MFGPU_CHECK(options_.device_death_rate >= 0.0 &&
+                  options_.device_death_rate < 1.0,
+              "FaultInjector: device_death_rate must be in [0, 1)");
+}
+
+double FaultInjector::uniform(std::uint64_t seed, std::uint64_t scope,
+                              std::uint64_t op) noexcept {
+  const std::uint64_t h = mix64(seed ^ mix64(scope ^ mix64(op)));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+double FaultInjector::draw() noexcept {
+  return uniform(options_.seed, scope_, op_index_++);
+}
+
+FaultKind FaultInjector::sample(FaultSite site) {
+  if (!enabled_ || suppress_depth_ > 0) return FaultKind::None;
+  if (dead_) return FaultKind::DeviceDeath;
+  ++stats_.sampled_ops;
+  const double u = draw();
+  // Stacked thresholds: death (usually rarest) claims the bottom of the
+  // unit interval, the site-specific kind the band above it.
+  if (u < options_.device_death_rate) {
+    dead_ = true;
+    ++stats_.device_death;
+    count_fault(FaultKind::DeviceDeath);
+    return FaultKind::DeviceDeath;
+  }
+  const double v = u - options_.device_death_rate;
+  switch (site) {
+    case FaultSite::Kernel:
+      if (v < options_.transient_kernel_rate) {
+        ++stats_.transient_kernel;
+        count_fault(FaultKind::TransientKernel);
+        return FaultKind::TransientKernel;
+      }
+      break;
+    case FaultSite::Transfer:
+      if (v < options_.transfer_corruption_rate) {
+        ++stats_.transfer_corruption;
+        count_fault(FaultKind::TransferCorruption);
+        return FaultKind::TransferCorruption;
+      }
+      break;
+    case FaultSite::Alloc:
+      if (v < options_.spurious_oom_rate) {
+        ++stats_.spurious_oom;
+        count_fault(FaultKind::SpuriousOom);
+        return FaultKind::SpuriousOom;
+      }
+      break;
+  }
+  return FaultKind::None;
+}
+
+void FaultInjector::reset() noexcept {
+  dead_ = false;
+  scope_ = 0;
+  op_index_ = 0;
+  stats_ = FaultInjectorStats{};
+}
+
+}  // namespace mfgpu

@@ -38,6 +38,23 @@ void enqueue_kernel(const GpuExec& exec, double duration,
   for (DeviceMatrix* out : outputs) out->available_at = done;
 }
 
+/// Sample the injector for one kernel launch. A faulted launch still charges
+/// its full enqueue + execution time (the wasted GPU time the fallback path
+/// pays for) but skips the numeric work and throws.
+void check_kernel_fault(const char* kernel, const GpuExec& exec, double ops,
+                        double duration,
+                        std::initializer_list<const DeviceMatrix*> inputs,
+                        std::initializer_list<DeviceMatrix*> outputs) {
+  const FaultKind fault =
+      exec.device->fault_injector().sample(FaultSite::Kernel);
+  if (fault == FaultKind::None) return;
+  enqueue_kernel(exec, duration, inputs, outputs);
+  count_kernel(kernel, ops, duration);
+  throw DeviceFaultError(
+      std::string(kernel) + ": injected " + fault_kind_name(fault),
+      /*sticky=*/fault == FaultKind::DeviceDeath);
+}
+
 }  // namespace
 
 DevBlock dev_whole(DeviceMatrix& m) {
@@ -54,6 +71,7 @@ double gpu_potrf(const GpuExec& exec, DevBlock a, index_t column_offset) {
   const auto ops = static_cast<double>(potrf_ops(a.rows));
   const double duration =
       exec.device->model().potrf.time(ops, static_cast<double>(a.rows));
+  check_kernel_fault("gpu.potrf", exec, ops, duration, {}, {a.mat});
   enqueue_kernel(exec, duration, {}, {a.mat});
   count_kernel("gpu.potrf", ops, duration);
   if (exec.device->numeric()) {
@@ -68,6 +86,7 @@ double gpu_trsm(const GpuExec& exec, DevBlock tri, DevBlock rhs) {
   const auto ops = static_cast<double>(trsm_ops(rhs.rows, rhs.cols));
   const double min_dim = static_cast<double>(std::min(rhs.rows, rhs.cols));
   const double duration = exec.device->model().trsm.time(ops, min_dim);
+  check_kernel_fault("gpu.trsm", exec, ops, duration, {tri.mat}, {rhs.mat});
   enqueue_kernel(exec, duration, {tri.mat}, {rhs.mat});
   count_kernel("gpu.trsm", ops, duration);
   if (exec.device->numeric()) {
@@ -82,6 +101,7 @@ double gpu_syrk(const GpuExec& exec, float alpha, DevBlock a, DevBlock c) {
   const auto ops = static_cast<double>(syrk_ops(c.rows, a.cols));
   const double min_dim = static_cast<double>(std::min(c.rows, a.cols));
   const double duration = exec.device->model().syrk.time(ops, min_dim);
+  check_kernel_fault("gpu.syrk", exec, ops, duration, {a.mat}, {c.mat});
   enqueue_kernel(exec, duration, {a.mat}, {c.mat});
   count_kernel("gpu.syrk", ops, duration);
   if (exec.device->numeric()) {
@@ -98,6 +118,8 @@ double gpu_gemm_nt(const GpuExec& exec, float alpha, DevBlock a, DevBlock b,
   const double min_dim =
       static_cast<double>(std::min({c.rows, c.cols, a.cols}));
   const double duration = exec.device->model().gemm.time(ops, min_dim);
+  check_kernel_fault("gpu.gemm", exec, ops, duration, {a.mat, b.mat},
+                     {c.mat});
   enqueue_kernel(exec, duration, {a.mat, b.mat}, {c.mat});
   count_kernel("gpu.gemm", ops, duration);
   if (exec.device->numeric()) {

@@ -19,16 +19,27 @@ MemoryPool::MemoryPool(std::string name, double alloc_latency,
 
 double MemoryPool::acquire(const std::string& slot, std::int64_t bytes) {
   MFGPU_CHECK(bytes >= 0, "MemoryPool: negative size");
-  ++stats_.acquire_calls;
-  auto& high = high_water_[slot];
-  double cost = 0.0;
-  if (!reuse_ || bytes > high) {
-    cost = alloc_latency_ + static_cast<double>(bytes) * alloc_per_byte_;
-    ++stats_.charged_allocations;
-    high = std::max(high, bytes);
-  }
-  std::int64_t total = 0;
+  // Strong exception guarantee: compute the prospective totals first and
+  // throw before touching the slot map or the stats, so a failed acquire
+  // leaves the pool exactly as it found it.
+  const auto it = high_water_.find(slot);
+  const std::int64_t old_high = (it != high_water_.end()) ? it->second : 0;
+  const std::int64_t new_high = std::max(old_high, bytes);
+  const bool charged = !reuse_ || bytes > old_high;
+  const double cost =
+      charged ? alloc_latency_ + static_cast<double>(bytes) * alloc_per_byte_
+              : 0.0;
+  std::int64_t total = new_high - old_high;
   for (const auto& [key, value] : high_water_) total += value;
+  if (total > capacity_bytes_) {
+    throw DeviceOutOfMemoryError(name_ + ": pool exceeds capacity (" +
+                                 std::to_string(total) + " > " +
+                                 std::to_string(capacity_bytes_) + " bytes)");
+  }
+
+  ++stats_.acquire_calls;
+  if (charged) ++stats_.charged_allocations;
+  high_water_[slot] = new_high;
   stats_.current_high_water_bytes = total;
   stats_.peak_bytes = std::max(stats_.peak_bytes, total);
   if (obs::enabled()) {
@@ -40,11 +51,6 @@ double MemoryPool::acquire(const std::string& slot, std::int64_t bytes) {
     }
     metrics.gauge_max("gpusim.pool." + name_ + ".high_water_bytes",
                       static_cast<double>(total));
-  }
-  if (total > capacity_bytes_) {
-    throw DeviceOutOfMemoryError(name_ + ": pool exceeds capacity (" +
-                                 std::to_string(total) + " > " +
-                                 std::to_string(capacity_bytes_) + " bytes)");
   }
   return cost;
 }

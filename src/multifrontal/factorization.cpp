@@ -161,6 +161,8 @@ FactorizeResult factorize(const Analysis& analysis, FuExecutor& executor,
 
   if (ctx.device != nullptr) ctx.device->synchronize(ctx.host_clock);
   trace.total_time = ctx.host_clock.now() - start_time;
+  result.faults_survived = executor.fault_count();
+  result.quarantined_workers = executor.quarantined() ? 1 : 0;
 
   if (obs::enabled()) {
     auto& metrics = obs::MetricsRegistry::global();

@@ -46,6 +46,11 @@ struct FactorizeResult {
   /// per-worker utilization source.
   PoolRunStats pool_stats;
   double pool_wall_seconds = 0.0;
+  /// Fault tolerance: device faults detected and survived by the run's
+  /// executors, and how many workers ended the run quarantined to CPU-only
+  /// (circuit breaker; see policy/executors.hpp).
+  std::int64_t faults_survived = 0;
+  int quarantined_workers = 0;
 };
 
 enum class FactorPrecision { Float64, Float32 };

@@ -242,6 +242,8 @@ FactorizeResult factorize_parallel(const Analysis& analysis,
     }
     makespan = std::max(makespan, state.ctx.host_clock.now());
     assembly_total += state.assembly_time;
+    result.faults_survived += state.executor->fault_count();
+    if (state.executor->quarantined()) ++result.quarantined_workers;
   }
 
   FactorizationTrace& trace = result.trace;
@@ -261,6 +263,14 @@ FactorizeResult factorize_parallel(const Analysis& analysis,
     metrics.add("sched.parallel.wall_seconds", wall_seconds);
     metrics.gauge_set("sched.parallel.workers",
                       static_cast<double>(num_workers));
+    if (result.faults_survived > 0) {
+      metrics.add("fault.run.survived",
+                  static_cast<double>(result.faults_survived));
+    }
+    if (result.quarantined_workers > 0) {
+      metrics.gauge_set("fault.workers.quarantined",
+                        static_cast<double>(result.quarantined_workers));
+    }
     double busy = 0.0;
     for (double b : stats.busy_seconds) busy += b;
     if (wall_seconds > 0.0) {

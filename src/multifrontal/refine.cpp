@@ -33,6 +33,13 @@ RefineResult solve_with_refinement(const SparseSpd& a_original,
   b_norm = std::sqrt(b_norm);
   const double target = tol * (b_norm > 0.0 ? b_norm : 1.0);
 
+  // A refinement step is not guaranteed to improve: with a factor of the
+  // wrong matrix (or a badly corrupted one) the correction diverges. Track
+  // the best iterate seen so the caller always gets the smallest-residual x,
+  // never a diverged final step.
+  std::vector<double> best_x = result.x;
+  double best_norm = result.residual_norms.back();
+
   std::vector<double> residual(n);
   for (int it = 0; it < max_iterations; ++it) {
     if (result.residual_norms.back() <= target) break;
@@ -44,12 +51,20 @@ RefineResult solve_with_refinement(const SparseSpd& a_original,
     for (std::size_t i = 0; i < n; ++i) result.x[i] += dx[i];
     const double norm = residual_norm(a_original, result.x, b);
     ++result.iterations;
+    if (norm < best_norm) {
+      best_norm = norm;
+      best_x = result.x;
+    }
     // Stop when refinement stagnates (no ~2x improvement).
     if (norm > 0.5 * result.residual_norms.back()) {
       result.residual_norms.push_back(norm);
       break;
     }
     result.residual_norms.push_back(norm);
+  }
+  if (best_norm < result.residual_norms.back()) {
+    result.x = std::move(best_x);
+    result.residual_norms.push_back(best_norm);
   }
   return result;
 }

@@ -14,8 +14,12 @@
 namespace mfgpu {
 
 struct RefineResult {
+  /// The smallest-residual iterate seen — not necessarily the last one, as
+  /// a refinement step can diverge when the factor mismatches the matrix.
   std::vector<double> x;
-  /// 2-norm of b - A x before refinement and after each step.
+  /// 2-norm of b - A x before refinement and after each step; when a later
+  /// step diverged, one final entry restates the returned iterate's norm
+  /// (so back() always matches x).
   std::vector<double> residual_norms;
   int iterations = 0;
 };
@@ -23,6 +27,7 @@ struct RefineResult {
 /// Solve A x = b through the (possibly mixed-precision) factorization, then
 /// refine with double-precision residuals until the residual norm stops
 /// improving, drops below `tol * ||b||`, or `max_iterations` is reached.
+/// Returns the best (smallest-residual) iterate encountered.
 RefineResult solve_with_refinement(const SparseSpd& a_original,
                                    const Analysis& analysis,
                                    const Factorization& factor,

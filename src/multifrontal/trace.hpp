@@ -23,6 +23,12 @@ struct FuCallRecord {
   double t_copy = 0.0;   ///< host-visible transfer time (sync + waits)
   double t_total = 0.0;  ///< wall (host-clock) duration of the whole call
 
+  /// Fault tolerance (policy/executors.cpp): device faults this call
+  /// survived and whether it ended on the host P1 fallback path. t_total
+  /// includes the wasted time of the failed on-device attempts.
+  int faults = 0;
+  bool fell_back = false;
+
   /// Paper's asymptotic op counts (Section IV-B).
   double ops_potrf() const;
   double ops_trsm() const;

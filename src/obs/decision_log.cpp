@@ -8,6 +8,7 @@ namespace mfgpu::obs {
 struct DecisionLog::Impl {
   struct ThreadBuf {
     std::vector<PolicyDecision> decisions;
+    std::vector<FaultEvent> faults;
   };
 
   std::mutex mu;  // guards registration and snapshot/clear
@@ -37,6 +38,22 @@ void DecisionLog::record(const PolicyDecision& decision) {
   impl_->local().decisions.push_back(decision);
 }
 
+void DecisionLog::record_fault(const FaultEvent& event) {
+  impl_->local().faults.push_back(event);
+}
+
+std::vector<FaultEvent> DecisionLog::fault_events() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::vector<FaultEvent> merged;
+  std::size_t total = 0;
+  for (const auto& buf : impl_->buffers) total += buf->faults.size();
+  merged.reserve(total);
+  for (const auto& buf : impl_->buffers) {
+    merged.insert(merged.end(), buf->faults.begin(), buf->faults.end());
+  }
+  return merged;
+}
+
 std::vector<PolicyDecision> DecisionLog::decisions() const {
   std::lock_guard<std::mutex> lock(impl_->mu);
   std::vector<PolicyDecision> merged;
@@ -60,7 +77,10 @@ std::int64_t DecisionLog::size() const {
 
 void DecisionLog::clear() {
   std::lock_guard<std::mutex> lock(impl_->mu);
-  for (auto& buf : impl_->buffers) buf->decisions.clear();
+  for (auto& buf : impl_->buffers) {
+    buf->decisions.clear();
+    buf->faults.clear();
+  }
 }
 
 }  // namespace mfgpu::obs

@@ -33,6 +33,21 @@ struct PolicyDecision {
   double measured_seconds = 0.0;
 };
 
+/// One device fault a dispatcher detected and survived (see
+/// policy/executors.cpp): which call faulted, what kind of fault, whether
+/// the front ended on the host fallback path, and the simulated time the
+/// failed on-device attempts wasted — the profiler's fault-regret source.
+struct FaultEvent {
+  index_t m = 0;
+  index_t k = 0;
+  int policy = 0;  ///< GPU policy whose attempt faulted (1..4)
+  int kind = 0;    ///< gpusim FaultKind the dispatcher observed (as int)
+  int attempt = 0; ///< 0 = first on-device try, 1 = on-device retry
+  bool fell_back = false;    ///< front re-executed on the host P1 path
+  bool quarantined = false;  ///< this fault tripped the worker's breaker
+  double wasted_seconds = 0.0;  ///< simulated time of the failed attempt
+};
+
 /// Process-wide decision log. Same threading contract as TraceSession:
 /// record() is lock-free after a thread's first call; decisions() and
 /// clear() must run while no thread is recording.
@@ -43,13 +58,19 @@ class DecisionLog {
   /// Append one decision to the calling thread's buffer (lock-free).
   void record(const PolicyDecision& decision);
 
+  /// Append one fault event to the calling thread's buffer (lock-free).
+  void record_fault(const FaultEvent& event);
+
   /// Merged snapshot of all thread buffers (thread registration order).
   std::vector<PolicyDecision> decisions() const;
+
+  /// Merged snapshot of all recorded fault events.
+  std::vector<FaultEvent> fault_events() const;
 
   /// Total recorded decisions across all threads.
   std::int64_t size() const;
 
-  /// Drop all recorded decisions (buffers stay registered).
+  /// Drop all recorded decisions and fault events (buffers stay registered).
   void clear();
 
   DecisionLog(const DecisionLog&) = delete;

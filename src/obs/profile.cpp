@@ -9,6 +9,7 @@
 #include <string_view>
 #include <utility>
 
+#include "gpusim/fault_injector.hpp"
 #include "obs/decision_log.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
@@ -260,6 +261,20 @@ void build_audit(PolicyAudit& audit, const ExecutorOptions& options) {
       audit.regret_total_seconds / static_cast<double>(audit.decisions);
 }
 
+void build_faults(FaultProfile& faults) {
+  const std::vector<FaultEvent> events = DecisionLog::global().fault_events();
+  faults.events = static_cast<std::int64_t>(events.size());
+  for (const FaultEvent& ev : events) {
+    if (ev.kind >= 0 &&
+        ev.kind < static_cast<int>(faults.kind_counts.size())) {
+      ++faults.kind_counts[static_cast<std::size_t>(ev.kind)];
+    }
+    ev.fell_back ? ++faults.fallbacks : ++faults.retries;
+    if (ev.quarantined) ++faults.quarantines;
+    faults.wasted_seconds += ev.wasted_seconds;
+  }
+}
+
 void publish_gauges(const ProfileReport& report) {
   auto& metrics = MetricsRegistry::global();
   for (const PhaseTime& phase : report.phases) {
@@ -288,6 +303,16 @@ void publish_gauges(const ProfileReport& report) {
     metrics.gauge_set("policy.ideal_seconds", audit.ideal_seconds);
     metrics.gauge_set("policy.chosen_seconds", audit.chosen_seconds);
   }
+  const FaultProfile& faults = report.faults;
+  if (faults.events > 0) {
+    metrics.gauge_set("profile.fault.events",
+                      static_cast<double>(faults.events));
+    metrics.gauge_set("profile.fault.fallbacks",
+                      static_cast<double>(faults.fallbacks));
+    metrics.gauge_set("profile.fault.quarantines",
+                      static_cast<double>(faults.quarantines));
+    metrics.gauge_set("profile.fault.wasted_seconds", faults.wasted_seconds);
+  }
 }
 
 }  // namespace
@@ -305,6 +330,7 @@ ProfileReport build_profile_report(const ProfileReportInputs& inputs) {
   if (inputs.audit_policies) {
     build_audit(report.audit, inputs.executor_options);
   }
+  build_faults(report.faults);
   if (enabled()) publish_gauges(report);
   return report;
 }
@@ -388,6 +414,22 @@ void ProfileReport::write_json(std::ostream& os) const {
      << ", \"policy_counts\": [" << audit.policy_counts[0] << ", "
      << audit.policy_counts[1] << ", " << audit.policy_counts[2] << ", "
      << audit.policy_counts[3] << "]}";
+
+  os << ",\n  \"fault_audit\": {\"events\": " << faults.events
+     << ", \"retries\": " << faults.retries
+     << ", \"fallbacks\": " << faults.fallbacks
+     << ", \"quarantines\": " << faults.quarantines
+     << ", \"wasted_seconds\": " << full_double(faults.wasted_seconds)
+     << ", \"kinds\": {";
+  first = true;
+  for (std::size_t i = 0; i < faults.kind_counts.size(); ++i) {
+    if (faults.kind_counts[i] == 0) continue;
+    os << (first ? "" : ", ") << "\""
+       << fault_kind_name(static_cast<FaultKind>(i))
+       << "\": " << faults.kind_counts[i];
+    first = false;
+  }
+  os << "}}";
   os << "\n}\n";
 }
 
@@ -447,6 +489,20 @@ void ProfileReport::print(std::ostream& os) const {
       table.add_row({"calls_P" + std::to_string(p + 1),
                      audit.policy_counts[static_cast<std::size_t>(p)]});
     }
+    table.print(os);
+  }
+  if (faults.events > 0) {
+    Table table("Profile: fault regret", {"quantity", "value"});
+    table.add_row({std::string("events"), faults.events});
+    for (std::size_t i = 0; i < faults.kind_counts.size(); ++i) {
+      if (faults.kind_counts[i] == 0) continue;
+      table.add_row({std::string(fault_kind_name(static_cast<FaultKind>(i))),
+                     faults.kind_counts[i]});
+    }
+    table.add_row({std::string("retries"), faults.retries});
+    table.add_row({std::string("fallbacks"), faults.fallbacks});
+    table.add_row({std::string("quarantines"), faults.quarantines});
+    table.add_row({std::string("wasted_seconds"), faults.wasted_seconds});
     table.print(os);
   }
 }

@@ -88,6 +88,19 @@ struct PolicyAudit {
   std::array<std::int64_t, 4> policy_counts{};  ///< executed P1..P4 histogram
 };
 
+/// Fault-tolerance audit from the decision log's FaultEvents: what injected
+/// device faults cost the run — the "fault regret" is the simulated device
+/// time thrown away on failed attempts, plus how the dispatcher answered
+/// (on-device retry, host fallback, worker quarantine).
+struct FaultProfile {
+  std::int64_t events = 0;                    ///< faults detected in-run
+  std::array<std::int64_t, 5> kind_counts{};  ///< indexed by gpusim FaultKind
+  std::int64_t retries = 0;      ///< answered by another on-device attempt
+  std::int64_t fallbacks = 0;    ///< answered by the host P1 redo
+  std::int64_t quarantines = 0;  ///< circuit-breaker trips
+  double wasted_seconds = 0.0;   ///< simulated device time thrown away
+};
+
 struct ProfileReport {
   /// Ordering / symbolic / train / numeric / solve (in pipeline order);
   /// phases with no recorded spans are present with zero time.
@@ -116,6 +129,7 @@ struct ProfileReport {
   index_t mk_binned_calls = 0;  ///< total samples across all bins
 
   PolicyAudit audit;
+  FaultProfile faults;
 
   /// Machine-readable dump (single JSON object).
   void write_json(std::ostream& os) const;

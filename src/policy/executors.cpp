@@ -1,6 +1,7 @@
 #include "policy/executors.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 
 #include "obs/decision_log.hpp"
@@ -13,6 +14,46 @@ namespace {
 std::int64_t float_bytes(index_t rows, index_t cols) {
   return static_cast<std::int64_t>(rows) * static_cast<std::int64_t>(cols) *
          static_cast<std::int64_t>(sizeof(float));
+}
+
+/// Finite check over the block's valid entries; lower_only limits the scan
+/// to the lower triangle (L1 and U carry garbage above the diagonal).
+bool block_finite(MatrixView<const double> v, bool lower_only) {
+  for (index_t j = 0; j < v.cols(); ++j) {
+    for (index_t i = lower_only ? j : 0; i < v.rows(); ++i) {
+      if (!std::isfinite(v(i, j))) return false;
+    }
+  }
+  return true;
+}
+
+MatrixView<const double> const_view(const MatrixView<double>& v) {
+  return MatrixView<const double>(v.data(), v.rows(), v.cols(), v.ld());
+}
+
+/// Validate the panels a GPU policy returned: corruption shows up as
+/// non-finite entries (transfer poisoning, NaN propagation through kernels).
+bool front_finite(const FrontBlocks& f) {
+  if (!block_finite(const_view(f.l1), /*lower_only=*/true)) return false;
+  if (f.m > 0) {
+    if (!block_finite(const_view(f.l2), /*lower_only=*/false)) return false;
+    if (!block_finite(const_view(f.u), /*lower_only=*/true)) return false;
+  }
+  return true;
+}
+
+void append_block(const MatrixView<const double>& v, std::vector<double>& buf) {
+  for (index_t j = 0; j < v.cols(); ++j) {
+    for (index_t i = 0; i < v.rows(); ++i) buf.push_back(v(i, j));
+  }
+}
+
+std::size_t restore_block(const MatrixView<double>& v,
+                          const std::vector<double>& buf, std::size_t at) {
+  for (index_t j = 0; j < v.cols(); ++j) {
+    for (index_t i = 0; i < v.rows(); ++i) v(i, j) = buf[at++];
+  }
+  return at;
 }
 
 }  // namespace
@@ -38,6 +79,10 @@ void PolicyExecutor::ensure_prepared(FactorContext& ctx) {
   }
   prepared_applied_ = true;
   Device& dev = *ctx.device;
+  // Pool warm-up happens on a worker's first use of this policy — a
+  // history-dependent moment. Suppress injection so it neither faults nor
+  // shifts the per-front fault schedule (see fault_injector.hpp).
+  FaultSuppressionGuard no_faults(&dev.fault_injector());
   SimClock& clock = ctx.host_clock;
   const index_t m = prepared_m_, k = prepared_k_;
   switch (policy_) {
@@ -329,7 +374,7 @@ FuOutcome PolicyExecutor::run_p4(const FrontBlocks& f, FactorContext& ctx) {
 
 DispatchExecutor::DispatchExecutor(std::string name, Chooser chooser,
                                    ExecutorOptions options)
-    : name_(std::move(name)), chooser_(std::move(chooser)) {
+    : name_(std::move(name)), chooser_(std::move(chooser)), options_(options) {
   for (int p = 1; p <= 4; ++p) {
     executors_[static_cast<std::size_t>(p - 1)] =
         std::make_unique<PolicyExecutor>(policy_from_index(p), options);
@@ -344,24 +389,149 @@ void DispatchExecutor::prepare(index_t max_m, index_t max_k,
 FuOutcome DispatchExecutor::execute(FrontBlocks front, FactorContext& ctx) {
   Policy choice = chooser_(front.m, front.k);
   if (ctx.device == nullptr) choice = Policy::P1;
+  const bool tolerant =
+      options_.fault_tolerance != FaultTolerance::Off &&
+      ctx.device != nullptr &&
+      (options_.fault_tolerance == FaultTolerance::On ||
+       ctx.device->fault_injector().enabled());
+  if (tolerant &&
+      (quarantined_ || ctx.device->fault_injector().dead())) {
+    // Circuit breaker tripped (or the device died): CPU-only from here on.
+    choice = Policy::P1;
+  }
   const bool audited = obs::enabled();
   if (audited) {
     obs::MetricsRegistry::global().increment(
         "policy.selected.p" + std::to_string(static_cast<int>(choice)));
   }
   FuOutcome outcome =
-      executors_[static_cast<std::size_t>(static_cast<int>(choice) - 1)]
-          ->execute(front, ctx);
+      (tolerant && choice != Policy::P1)
+          ? execute_tolerant(front, ctx, choice)
+          : executors_[static_cast<std::size_t>(static_cast<int>(choice) - 1)]
+                ->execute(front, ctx);
   if (audited) {
     obs::PolicyDecision decision;
     decision.m = front.m;
     decision.k = front.k;
-    decision.policy = static_cast<int>(choice);
+    decision.policy = outcome.record.policy;
     if (predictor_) decision.predicted_seconds = predictor_(front.m, front.k, choice);
     decision.measured_seconds = outcome.record.t_total;
     obs::DecisionLog::global().record(decision);
   }
   return outcome;
+}
+
+void DispatchExecutor::snapshot_front(const FrontBlocks& front) {
+  snapshot_.clear();
+  append_block(const_view(front.l1), snapshot_);
+  if (front.m > 0) {
+    append_block(const_view(front.l2), snapshot_);
+    append_block(const_view(front.u), snapshot_);
+  }
+}
+
+void DispatchExecutor::restore_front(const FrontBlocks& front) const {
+  std::size_t at = restore_block(front.l1, snapshot_, 0);
+  if (front.m > 0) {
+    at = restore_block(front.l2, snapshot_, at);
+    restore_block(front.u, snapshot_, at);
+  }
+}
+
+FuOutcome DispatchExecutor::execute_tolerant(const FrontBlocks& front,
+                                             FactorContext& ctx,
+                                             Policy choice) {
+  Device& dev = *ctx.device;
+  FaultInjector& injector = dev.fault_injector();
+  // Front-scoped sampling: the fault schedule depends on the front's
+  // identity, not on which worker or in what order it executes.
+  injector.begin_scope(static_cast<std::uint64_t>(front.global_col));
+  const bool numeric = ctx.numeric;
+  if (numeric) snapshot_front(front);
+
+  const bool audited = obs::enabled();
+  const double t0 = ctx.host_clock.now();
+  const auto exec_index = [](Policy p) {
+    return static_cast<std::size_t>(static_cast<int>(p) - 1);
+  };
+  int faults = 0;
+  const int max_device_attempts = 2;  // first try + one on-device retry
+  for (int attempt = 0; attempt < max_device_attempts; ++attempt) {
+    const double attempt_t0 = ctx.host_clock.now();
+    FaultKind observed = FaultKind::None;
+    bool retriable = true;
+    try {
+      FuOutcome out =
+          executors_[exec_index(choice)]->execute(front, ctx);
+      // Corruption can slip through without an exception — validate the
+      // returned panels before trusting them.
+      if (!numeric || front_finite(front)) {
+        out.record.faults = faults;
+        out.record.t_total = ctx.host_clock.now() - t0;
+        return out;
+      }
+      observed = FaultKind::TransferCorruption;
+    } catch (const NotPositiveDefiniteError& e) {
+      // A NaN pivot is injected corruption reaching the panel
+      // factorization; a finite non-positive pivot is a genuinely
+      // indefinite matrix and must propagate.
+      if (!std::isnan(e.pivot())) throw;
+      observed = FaultKind::TransferCorruption;
+    } catch (const DeviceFaultError& e) {
+      observed = e.sticky() ? FaultKind::DeviceDeath
+                            : FaultKind::TransientKernel;
+      retriable = !e.sticky();
+    } catch (const DeviceOutOfMemoryError&) {
+      observed = FaultKind::SpuriousOom;
+    }
+
+    // The attempt faulted. Drain in-flight device work (charging the
+    // wasted async time to the virtual clock) and restore the front.
+    dev.synchronize(ctx.host_clock);
+    const double wasted = ctx.host_clock.now() - attempt_t0;
+    if (numeric) restore_front(front);
+    ++faults;
+    ++fault_count_;
+    bool newly_quarantined = false;
+    if (options_.quarantine_after_faults > 0 && !quarantined_ &&
+        fault_count_ >= options_.quarantine_after_faults) {
+      quarantined_ = true;
+      newly_quarantined = true;
+    }
+    const bool will_retry = retriable && !injector.dead() &&
+                            !quarantined_ &&
+                            attempt + 1 < max_device_attempts;
+    if (audited) {
+      auto& metrics = obs::MetricsRegistry::global();
+      metrics.increment(std::string("fault.detected.") +
+                        fault_kind_name(observed));
+      metrics.add("fault.wasted_seconds", wasted);
+      metrics.increment(will_retry ? "fault.retries" : "fault.fallbacks");
+      if (newly_quarantined) metrics.increment("fault.quarantines");
+      obs::FaultEvent event;
+      event.m = front.m;
+      event.k = front.k;
+      event.policy = static_cast<int>(choice);
+      event.kind = static_cast<int>(observed);
+      event.attempt = attempt;
+      event.fell_back = !will_retry;
+      event.quarantined = newly_quarantined;
+      event.wasted_seconds = wasted;
+      obs::DecisionLog::global().record_fault(event);
+    }
+    if (!will_retry) break;
+  }
+
+  // On-device attempts exhausted: redo the whole front on the host P1
+  // path. The virtual clock already carries the wasted GPU time; the CPU
+  // redo now adds its full cost on top.
+  FuOutcome out =
+      executors_[exec_index(Policy::P1)]->execute(front, ctx);
+  out.record.faults = faults;
+  out.record.fell_back = true;
+  out.record.t_total = ctx.host_clock.now() - t0;
+  out.update_ready_at = std::max(out.update_ready_at, ctx.host_clock.now());
+  return out;
 }
 
 PolicyTimer::PolicyTimer(ExecutorOptions options, ProcessorModel host,

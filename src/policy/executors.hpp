@@ -6,11 +6,19 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "multifrontal/factor_update.hpp"
 #include "policy/policy.hpp"
 
 namespace mfgpu {
+
+/// When the hybrid dispatchers detect and survive device faults.
+enum class FaultTolerance {
+  Auto,  ///< active exactly when the context device injects faults
+  On,    ///< always validate GPU results and fall back on faults
+  Off    ///< never: faults propagate to the caller (pre-robustness behavior)
+};
 
 struct ExecutorOptions {
   /// Async pinned-memory copies overlapped with computation (paper §V-A2).
@@ -23,6 +31,16 @@ struct ExecutorOptions {
   bool copy_optimized_p4 = false;
   /// 0 = p4_auto_panel_width(k).
   index_t p4_panel_width = 0;
+  /// Fault tolerance of DispatchExecutor: validate GPU panels (finite
+  /// check), retry a faulted F-U once on-device, then redo the front on the
+  /// host P1 path. Auto keeps fault-free runs byte-identical to the
+  /// untolerant dispatcher.
+  FaultTolerance fault_tolerance = FaultTolerance::Auto;
+  /// Circuit breaker: after this many detected device faults the dispatcher
+  /// quarantines itself to CPU-only for the rest of the run (0 = never).
+  /// Quarantine changes which fronts run in which precision, so runs that
+  /// must stay bitwise-reproducible under work stealing leave this at 0.
+  int quarantine_after_faults = 0;
 };
 
 /// Executes a fixed policy for every call.
@@ -77,12 +95,24 @@ class DispatchExecutor : public FuExecutor {
   FuOutcome execute(FrontBlocks front, FactorContext& ctx) override;
   void prepare(index_t max_m, index_t max_k, FactorContext& ctx) override;
   const char* name() const override { return name_.c_str(); }
+  std::int64_t fault_count() const override { return fault_count_; }
+  bool quarantined() const override { return quarantined_; }
 
  private:
+  /// Fault-tolerant path: scoped injection, validate/retry/fallback.
+  FuOutcome execute_tolerant(const FrontBlocks& front, FactorContext& ctx,
+                             Policy choice);
+  void snapshot_front(const FrontBlocks& front);
+  void restore_front(const FrontBlocks& front) const;
+
   std::string name_;
   Chooser chooser_;
   TimePredictor predictor_;
+  ExecutorOptions options_;
   std::array<std::unique_ptr<PolicyExecutor>, 4> executors_;
+  std::int64_t fault_count_ = 0;
+  bool quarantined_ = false;
+  std::vector<double> snapshot_;  ///< pre-attempt copy of l1/l2/u
 };
 
 /// Dry-run timing oracle: simulates one F-U call of each policy on a

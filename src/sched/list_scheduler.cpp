@@ -51,18 +51,58 @@ ScheduleResult simulate_schedule(const TaskGraph& graph,
     }
   }
 
+  auto gpu_policy = [&](index_t t) {
+    const index_t m = graph.ms[static_cast<std::size_t>(t)];
+    const index_t k = graph.ks[static_cast<std::size_t>(t)];
+    return options.gpu_chooser ? options.gpu_chooser(m, k)
+                               : baseline_choice(paper_thresholds(), m, k);
+  };
+
+  // Deterministic per-task fault fate on a live GPU worker: one draw keyed
+  // on the task id alone, so the outcome is placement-independent and the
+  // simulated makespan is reproducible for a fixed seed.
+  enum class TaskFault { None, Transient, Death };
+  const bool faulty = options.faults.any();
+  auto task_fault = [&](index_t t) {
+    if (!faulty) return TaskFault::None;
+    const double u = FaultInjector::uniform(
+        options.faults.seed, static_cast<std::uint64_t>(t), 0);
+    if (u < options.faults.device_death_rate) return TaskFault::Death;
+    if (u - options.faults.device_death_rate <
+        options.faults.transient_kernel_rate) {
+      return TaskFault::Transient;
+    }
+    return TaskFault::None;
+  };
+
+  // Workers whose device died (or was quarantined) run host-only from then
+  // on; mutated only when a placement is committed, never during probing.
+  std::vector<char> gpu_lost(static_cast<std::size_t>(num_workers), 0);
+  std::vector<int> fault_count(static_cast<std::size_t>(num_workers), 0);
+
   auto task_duration = [&](index_t t, int worker) {
     const index_t m = graph.ms[static_cast<std::size_t>(t)];
     const index_t k = graph.ks[static_cast<std::size_t>(t)];
     const double assembly =
         graph.assembly_entries[static_cast<std::size_t>(t)] /
         host_assembly_rate();
-    if (workers[static_cast<std::size_t>(worker)].has_gpu) {
-      const Policy p = options.gpu_chooser
-                           ? options.gpu_chooser(m, k)
-                           : baseline_choice(paper_thresholds(), m, k);
-      return gpu_timers[static_cast<std::size_t>(worker)]->time(p, m, k) +
-             assembly;
+    if (workers[static_cast<std::size_t>(worker)].has_gpu &&
+        gpu_lost[static_cast<std::size_t>(worker)] == 0) {
+      const Policy p = gpu_policy(t);
+      const double gpu =
+          gpu_timers[static_cast<std::size_t>(worker)]->time(p, m, k);
+      if (p == Policy::P1) return gpu + assembly;  // no device op to fault
+      switch (task_fault(t)) {
+        case TaskFault::None:
+          break;
+        case TaskFault::Transient:
+          // One wasted on-device attempt, then the retry succeeds.
+          return 2.0 * gpu + assembly;
+        case TaskFault::Death:
+          // Wasted attempt, then the host P1 fallback redoes the front.
+          return gpu + cpu_timer.time(Policy::P1, m, k) + assembly;
+      }
+      return gpu + assembly;
     }
     return cpu_timer.time(Policy::P1, m, k) + assembly;
   };
@@ -198,6 +238,28 @@ ScheduleResult simulate_schedule(const TaskGraph& graph,
     task_finish[static_cast<std::size_t>(t)] = finish;
     task_worker[static_cast<std::size_t>(t)] = best_worker;
 
+    // Commit the placed task's fault fate: death turns the worker CPU-only
+    // immediately, and the circuit breaker quarantines it after N faults.
+    const std::size_t bw = static_cast<std::size_t>(best_worker);
+    if (faulty && workers[bw].has_gpu && gpu_lost[bw] == 0 &&
+        gpu_policy(t) != Policy::P1) {
+      const TaskFault fate = task_fault(t);
+      if (fate != TaskFault::None) {
+        ++result.faults;
+        if (fate == TaskFault::Death) {
+          gpu_lost[bw] = 1;
+          ++result.quarantined_workers;
+        } else {
+          ++fault_count[bw];
+          if (options.quarantine_after_faults > 0 &&
+              fault_count[bw] >= options.quarantine_after_faults) {
+            gpu_lost[bw] = 1;
+            ++result.quarantined_workers;
+          }
+        }
+      }
+    }
+
     const index_t parent = graph.parent[static_cast<std::size_t>(t)];
     if (parent != -1) {
       if (--pending[static_cast<std::size_t>(parent)] == 0) {
@@ -210,6 +272,13 @@ ScheduleResult simulate_schedule(const TaskGraph& graph,
     auto& metrics = obs::MetricsRegistry::global();
     metrics.add("sched.makespan_seconds", result.makespan);
     metrics.gauge_set("sched.utilization", result.utilization());
+    if (result.faults > 0) {
+      metrics.add("sched.fault.tasks", static_cast<double>(result.faults));
+    }
+    if (result.quarantined_workers > 0) {
+      metrics.gauge_set("sched.fault.workers_lost",
+                        static_cast<double>(result.quarantined_workers));
+    }
   }
   return result;
 }

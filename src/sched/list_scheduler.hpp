@@ -16,9 +16,11 @@
 // multifrontal/parallel.hpp (see EXPERIMENTS.md for how the two compare).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
+#include "gpusim/fault_injector.hpp"
 #include "policy/executors.hpp"
 #include "sched/task_graph.hpp"
 #include "sched/worker.hpp"
@@ -56,12 +58,30 @@ struct ScheduleOptions {
   /// sched/proportional_map.hpp).
   enum class Placement { Greedy, Proportional };
   Placement placement = Placement::Greedy;
+  /// Deterministic device-fault model mirroring the tolerant dispatcher
+  /// (policy/executors.cpp): each task placed on a live GPU worker draws
+  /// its fate from FaultInjector::uniform(faults.seed, task, 0), so the
+  /// outcome depends on the task, never on placement order.
+  /// device_death_rate kills the worker's device (the wasted on-device
+  /// attempt plus a host P1 redo is charged, and every later task on that
+  /// worker runs host-only); transient_kernel_rate stacked above it wastes
+  /// one attempt (the task is charged twice, the retry succeeds). Transfer
+  /// and alloc rates are ignored by this dry-run model.
+  FaultInjectorOptions faults;
+  /// Circuit breaker: quarantine a GPU worker (treat as CPU-only for all
+  /// later placements) after this many transient faults. 0 = never.
+  int quarantine_after_faults = 0;
 };
 
 struct ScheduleResult {
   double makespan = 0.0;
   std::vector<double> worker_busy;  ///< busy seconds per worker
   double total_task_time = 0.0;     ///< sum of scheduled task durations
+  /// Fault model outcomes (see ScheduleOptions::faults): faulted task
+  /// placements charged extra time, and GPU workers that ended the run
+  /// CPU-only (device death or quarantine).
+  std::int64_t faults = 0;
+  int quarantined_workers = 0;
 
   double utilization() const {
     if (makespan <= 0.0 || worker_busy.empty()) return 0.0;

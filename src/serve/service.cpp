@@ -1,5 +1,6 @@
 #include "serve/service.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 #include <utility>
@@ -23,6 +24,8 @@ struct Request {
   Clock::time_point enqueued{};
   Clock::time_point deadline{};
   bool has_deadline = false;
+  int retries_left = 0;
+  int attempts = 0;
   std::promise<SolveResult> promise;
 
   bool expired(Clock::time_point now) const noexcept {
@@ -166,6 +169,7 @@ void SolverService::Impl::run_session(int id) {
 
 void SolverService::Impl::process_batch(std::vector<Request>& batch,
                                         Session& session, int id) {
+  for (Request& request : batch) ++request.attempts;
   const Request& head = batch.front();
   const index_t n = head.matrix->n();
   const index_t k = static_cast<index_t>(batch.size());
@@ -270,6 +274,7 @@ void SolverService::Impl::process_batch(std::vector<Request>& batch,
       result.factor_reused = factor_reused;
       result.batch_size = static_cast<int>(k);
       result.simulated_seconds = sim_share;
+      result.attempts = request.attempts;
       metrics.observe(
           "serve.request.latency_seconds",
           std::chrono::duration<double>(now - request.enqueued).count());
@@ -282,15 +287,52 @@ void SolverService::Impl::process_batch(std::vector<Request>& batch,
     session.solver.reset();
     session.pattern_fp = 0;
     session.values_fp = 0;
+    // Requests with retry budget left go back to the queue for another
+    // attempt (possibly on a different session, against the rebuilt
+    // state); the rest fail. try_push never blocks a session thread and
+    // fails once the queue is closed or full, in which case the request
+    // fails like one with no budget.
+    std::int64_t failed = 0;
+    std::int64_t retried = 0;
+    std::int64_t exhausted = 0;
+    std::vector<std::size_t> failing;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      Request& request = batch[i];
+      if (request.retries_left > 0) {
+        --request.retries_left;
+        if (queue.try_push(request)) {
+          ++retried;
+          continue;
+        }
+      } else if (request.attempts > 1) {
+        ++exhausted;
+      }
+      ++failed;
+      failing.push_back(i);
+    }
     {
       std::lock_guard<std::mutex> lock(stats_mutex);
-      stats.failed += k;
+      stats.failed += failed;
+      stats.retries += retried;
+      stats.retry_exhausted += exhausted;
     }
-    obs::MetricsRegistry::global().add("serve.requests.failed",
-                                       static_cast<double>(k));
-    for (Request& request : batch) {
-      fulfill(request,
-              make_status_result(RequestStatus::Failed, e.what()));
+    auto& metrics = obs::MetricsRegistry::global();
+    if (failed > 0) {
+      metrics.add("serve.requests.failed", static_cast<double>(failed));
+    }
+    if (retried > 0) {
+      metrics.add("serve.retry.scheduled", static_cast<double>(retried));
+    }
+    if (exhausted > 0) {
+      metrics.add("serve.retry.exhausted", static_cast<double>(exhausted));
+    }
+    // Fulfill only after the stats/metrics are published: a caller blocked
+    // on the future must observe consistent counters once it wakes.
+    for (std::size_t i : failing) {
+      Request& request = batch[i];
+      SolveResult failure = make_status_result(RequestStatus::Failed, e.what());
+      failure.attempts = request.attempts;
+      fulfill(request, std::move(failure));
     }
   }
 }
@@ -324,6 +366,7 @@ std::future<SolveResult> SolverService::submit(
   request.values_fp = request.matrix->values_fingerprint();
   request.rhs = std::move(rhs);
   request.enqueued = Clock::now();
+  request.retries_left = std::max(0, options.max_retries);
   if (options.deadline_seconds > 0.0) {
     request.has_deadline = true;
     request.deadline =

@@ -31,6 +31,13 @@
 // budget. shutdown(true) drains queued and in-flight work; shutdown(false)
 // cancels what is still queued and finishes only in-flight batches.
 //
+// Fault handling: a batch whose execution throws (device fault that
+// exhausted its CPU fallbacks, non-SPD matrix, ...) fails only that batch;
+// the session drops its solver and rebuilds from a clean state on the next
+// request. Requests carrying a RequestOptions::max_retries budget are
+// re-enqueued instead of failed, with serve.retry.* metrics tracking the
+// budget's use.
+//
 // Observability: every stage emits serve.* counters/gauges/histograms
 // (queue depth, cache hit rate, admission rejects, batch widths, request
 // latency for p50/p99 via HistogramData::percentile) and "serve" spans per
@@ -66,6 +73,13 @@ struct RequestOptions {
   /// Max seconds the request may wait in the queue before execution starts
   /// (0 = no deadline). Checked when a session picks the request up.
   double deadline_seconds = 0.0;
+  /// Bounded retry budget: when a batch execution fails (e.g. a device
+  /// fault exhausted its CPU fallbacks), requests with budget left are
+  /// re-enqueued for another attempt — possibly on a different session —
+  /// instead of failing. 0 = fail on the first error. Retries keep the
+  /// original enqueue time, so their extra latency shows up in the
+  /// serve.request.latency_seconds histogram (p50/p99).
+  int max_retries = 0;
 };
 
 struct SolveResult {
@@ -79,6 +93,8 @@ struct SolveResult {
   /// analyze + factor + blocked-solve cost) — the unit of the service's
   /// deterministic throughput metrics.
   double simulated_seconds = 0.0;
+  /// Execution attempts this request consumed (1 = no retries).
+  int attempts = 1;
 
   bool ok() const noexcept { return status == RequestStatus::Ok; }
 };
@@ -118,6 +134,8 @@ struct ServiceStats {
   std::int64_t analysis_reuses = 0;  ///< batches served without a full analyze
   std::int64_t factorizations = 0;   ///< numeric factor/refactor runs
   std::int64_t factor_reuses = 0;    ///< batches reusing the current factor
+  std::int64_t retries = 0;          ///< failed requests re-enqueued
+  std::int64_t retry_exhausted = 0;  ///< requests that failed after retrying
   double sim_analyze_seconds = 0.0;
   double sim_factor_seconds = 0.0;
   double sim_solve_seconds = 0.0;

@@ -54,6 +54,21 @@ class DeviceOutOfMemoryError : public Error {
   using Error::Error;
 };
 
+/// Thrown when a simulated device operation faults (see
+/// gpusim/fault_injector.hpp). `sticky()` distinguishes a dead device —
+/// every subsequent operation will fault too, so retrying on-device is
+/// pointless — from a transient fault worth one retry.
+class DeviceFaultError : public Error {
+ public:
+  DeviceFaultError(const std::string& what, bool sticky)
+      : Error(what), sticky_(sticky) {}
+
+  bool sticky() const noexcept { return sticky_; }
+
+ private:
+  bool sticky_;
+};
+
 [[noreturn]] void fail_check(const char* expr, const char* file, int line,
                              const std::string& message);
 

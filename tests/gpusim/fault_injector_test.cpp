@@ -1,0 +1,170 @@
+#include "gpusim/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mfgpu {
+namespace {
+
+TEST(FaultInjectorTest, DisabledByDefault) {
+  FaultInjector injector;
+  EXPECT_FALSE(injector.enabled());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(injector.sample(FaultSite::Kernel), FaultKind::None);
+  }
+  EXPECT_EQ(injector.stats().sampled_ops, 0);
+}
+
+TEST(FaultInjectorTest, ZeroRatesNeverFire) {
+  FaultInjectorOptions options;
+  options.seed = 7;
+  EXPECT_FALSE(options.any());
+  FaultInjector injector(options);
+  EXPECT_FALSE(injector.enabled());
+}
+
+TEST(FaultInjectorTest, RejectsOutOfRangeRates) {
+  FaultInjectorOptions options;
+  options.transient_kernel_rate = 1.0;
+  EXPECT_THROW(FaultInjector{options}, InvalidArgumentError);
+  options.transient_kernel_rate = 0.0;
+  options.device_death_rate = -0.1;
+  EXPECT_THROW(FaultInjector{options}, InvalidArgumentError);
+}
+
+TEST(FaultInjectorTest, ScheduleIsDeterministicForSeedAndScope) {
+  FaultInjectorOptions options;
+  options.seed = 42;
+  options.transient_kernel_rate = 0.2;
+  FaultInjector a(options), b(options);
+  a.begin_scope(17);
+  b.begin_scope(17);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.sample(FaultSite::Kernel), b.sample(FaultSite::Kernel));
+  }
+  EXPECT_EQ(a.stats().transient_kernel, b.stats().transient_kernel);
+  EXPECT_GT(a.stats().transient_kernel, 0);
+}
+
+TEST(FaultInjectorTest, ScopeIsolatesTheSchedule) {
+  // The draws inside a scope must not depend on what was sampled before the
+  // scope opened — the property that makes per-front fault schedules
+  // independent of worker assignment.
+  FaultInjectorOptions options;
+  options.seed = 9;
+  options.transient_kernel_rate = 0.3;
+  FaultInjector fresh(options), warmed(options);
+  warmed.begin_scope(1);
+  for (int i = 0; i < 50; ++i) warmed.sample(FaultSite::Kernel);
+
+  fresh.begin_scope(5);
+  warmed.begin_scope(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(fresh.sample(FaultSite::Kernel), warmed.sample(FaultSite::Kernel));
+  }
+}
+
+TEST(FaultInjectorTest, DifferentSeedsGiveDifferentSchedules) {
+  FaultInjectorOptions a_options, b_options;
+  a_options.seed = 1;
+  b_options.seed = 2;
+  a_options.transient_kernel_rate = b_options.transient_kernel_rate = 0.5;
+  FaultInjector a(a_options), b(b_options);
+  a.begin_scope(3);
+  b.begin_scope(3);
+  bool differs = false;
+  for (int i = 0; i < 64 && !differs; ++i) {
+    differs = a.sample(FaultSite::Kernel) != b.sample(FaultSite::Kernel);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultInjectorTest, EmpiricalRateNearConfigured) {
+  FaultInjectorOptions options;
+  options.seed = 123;
+  options.transient_kernel_rate = 0.1;
+  FaultInjector injector(options);
+  const int trials = 20000;
+  injector.begin_scope(0);
+  for (int i = 0; i < trials; ++i) injector.sample(FaultSite::Kernel);
+  const double rate =
+      static_cast<double>(injector.stats().transient_kernel) / trials;
+  EXPECT_NEAR(rate, 0.1, 0.01);
+}
+
+TEST(FaultInjectorTest, SitesOnlySeeTheirKind) {
+  FaultInjectorOptions options;
+  options.seed = 5;
+  options.transient_kernel_rate = 0.5;
+  FaultInjector injector(options);
+  injector.begin_scope(0);
+  for (int i = 0; i < 100; ++i) {
+    // Kernel-rate faults never fire at transfer or alloc sites.
+    EXPECT_EQ(injector.sample(FaultSite::Transfer), FaultKind::None);
+    EXPECT_EQ(injector.sample(FaultSite::Alloc), FaultKind::None);
+  }
+}
+
+TEST(FaultInjectorTest, DeathIsSticky) {
+  FaultInjectorOptions options;
+  options.seed = 11;
+  options.device_death_rate = 0.05;
+  FaultInjector injector(options);
+  injector.begin_scope(0);
+  int i = 0;
+  while (injector.sample(FaultSite::Kernel) != FaultKind::DeviceDeath) {
+    ASSERT_LT(++i, 10000) << "death never drawn";
+  }
+  EXPECT_TRUE(injector.dead());
+  // Every later op at every site reports death; stats count the one event.
+  EXPECT_EQ(injector.sample(FaultSite::Kernel), FaultKind::DeviceDeath);
+  EXPECT_EQ(injector.sample(FaultSite::Transfer), FaultKind::DeviceDeath);
+  EXPECT_EQ(injector.sample(FaultSite::Alloc), FaultKind::DeviceDeath);
+  EXPECT_EQ(injector.stats().device_death, 1);
+}
+
+TEST(FaultInjectorTest, SuppressionGuardSkipsDraws) {
+  FaultInjectorOptions options;
+  options.seed = 21;
+  options.transient_kernel_rate = 0.4;
+  FaultInjector guarded(options), plain(options);
+  guarded.begin_scope(2);
+  plain.begin_scope(2);
+  {
+    FaultSuppressionGuard guard(&guarded);
+    for (int i = 0; i < 30; ++i) {
+      EXPECT_EQ(guarded.sample(FaultSite::Kernel), FaultKind::None);
+    }
+  }
+  // Suppressed samples consumed no op indices: the schedules still agree.
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_EQ(guarded.sample(FaultSite::Kernel), plain.sample(FaultSite::Kernel));
+  }
+  EXPECT_NO_THROW(FaultSuppressionGuard{nullptr});
+}
+
+TEST(FaultInjectorTest, ResetClearsDeathAndStats) {
+  FaultInjectorOptions options;
+  options.seed = 31;
+  options.device_death_rate = 0.5;
+  FaultInjector injector(options);
+  injector.begin_scope(0);
+  while (!injector.dead()) injector.sample(FaultSite::Kernel);
+  injector.reset();
+  EXPECT_FALSE(injector.dead());
+  EXPECT_EQ(injector.stats().sampled_ops, 0);
+  EXPECT_TRUE(injector.enabled());  // options survive
+}
+
+TEST(FaultInjectorTest, UniformIsPureAndInRange) {
+  for (std::uint64_t op = 0; op < 100; ++op) {
+    const double u = FaultInjector::uniform(3, 4, op);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    EXPECT_EQ(u, FaultInjector::uniform(3, 4, op));
+  }
+}
+
+}  // namespace
+}  // namespace mfgpu

@@ -58,5 +58,32 @@ TEST(MemoryPoolTest, PeakTracksTotalOverSlots) {
   EXPECT_EQ(pool.stats().peak_bytes, 800);
 }
 
+TEST(MemoryPoolTest, FailedAcquireLeavesStatsUnchanged) {
+  // Strong exception guarantee: an over-capacity acquire must leave the
+  // pool exactly as it found it — no counted call, no phantom slot.
+  MemoryPool pool("test", 1e-4, 1e-9, 1000);
+  pool.acquire("a", 600);
+  const PoolStats before = pool.stats();
+  EXPECT_THROW(pool.acquire("b", 600), DeviceOutOfMemoryError);
+  const PoolStats& after = pool.stats();
+  EXPECT_EQ(after.acquire_calls, before.acquire_calls);
+  EXPECT_EQ(after.charged_allocations, before.charged_allocations);
+  EXPECT_EQ(after.peak_bytes, before.peak_bytes);
+  EXPECT_EQ(after.current_high_water_bytes, before.current_high_water_bytes);
+  // The failed slot was never registered: a smaller acquire on it succeeds
+  // and pays the first-allocation cost.
+  EXPECT_GT(pool.acquire("b", 400), 0.0);
+  EXPECT_EQ(pool.stats().peak_bytes, 1000);
+}
+
+TEST(MemoryPoolTest, FailedGrowthKeepsOldHighWater) {
+  MemoryPool pool("test", 0.0, 0.0, 1000);
+  pool.acquire("a", 600);
+  EXPECT_THROW(pool.acquire("a", 1200), DeviceOutOfMemoryError);
+  // The slot still holds its previous high water, so reuse stays free.
+  EXPECT_DOUBLE_EQ(pool.acquire("a", 500), 0.0);
+  EXPECT_EQ(pool.stats().current_high_water_bytes, 600);
+}
+
 }  // namespace
 }  // namespace mfgpu

@@ -160,5 +160,48 @@ TEST(ParallelFactorizeTest, IndefiniteMatrixThrowsFromWorkerThread) {
                NotPositiveDefiniteError);
 }
 
+TEST(ParallelFactorizeTest, NpdMidRunLeavesNoDeadlockOrLeakedState) {
+  // A small indefinite block embedded alongside a healthy 3-D subtree: the
+  // bad pivot is hit by one worker while the others are mid-flight on real
+  // supernodes. The error must drain the pool cleanly — no deadlock, no
+  // leaked tasks — so the throw returns promptly every time, and a
+  // subsequent well-conditioned run with the same options still matches the
+  // serial factorization bitwise.
+  const GridProblem good = make_laplacian_3d(6, 6, 4);
+  const index_t n = good.matrix.n() + 2;
+  Coo coo(n);
+  // Indefinite 2x2 block in the first two columns (Schur complement of the
+  // (1,1) pivot is 1 - 25 < 0)...
+  coo.add(0, 0, 1.0);
+  coo.add(1, 0, 5.0);
+  coo.add(1, 1, 1.0);
+  // ...disconnected from a copy of the healthy laplacian.
+  const auto col_ptr = good.matrix.col_ptr();
+  const auto row_idx = good.matrix.row_idx();
+  const auto values = good.matrix.values();
+  for (index_t j = 0; j < good.matrix.n(); ++j) {
+    for (index_t p = col_ptr[static_cast<std::size_t>(j)];
+         p < col_ptr[static_cast<std::size_t>(j) + 1]; ++p) {
+      coo.add(row_idx[static_cast<std::size_t>(p)] + 2, j + 2,
+              values[static_cast<std::size_t>(p)]);
+    }
+  }
+  const SparseSpd bad = coo.to_csc();
+  const Analysis bad_analysis = analyze_md(bad);
+  ParallelFactorizeOptions options;
+  options.num_threads = 4;
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    EXPECT_THROW(factorize_parallel(bad_analysis, options),
+                 NotPositiveDefiniteError);
+  }
+
+  const Analysis good_analysis = analyze_md(good.matrix);
+  options.deterministic_reduction = true;
+  const FactorizeResult after = factorize_parallel(good_analysis, options);
+  const FactorizeResult serial = factorize_serial(good_analysis);
+  EXPECT_TRUE(panels_bitwise_equal(serial.factor, after.factor));
+  EXPECT_LT(solve_residual(good.matrix, good_analysis, after.factor), 1e-8);
+}
+
 }  // namespace
 }  // namespace mfgpu

@@ -114,6 +114,37 @@ TEST(RefineTest, AlreadyAccurateSolutionStopsEarly) {
   EXPECT_LE(r.iterations, 1);
 }
 
+TEST(RefineTest, DivergingCorrectionReturnsBestIterate) {
+  // Refine against 3M with a factor of M: every correction step doubles the
+  // residual. The result must be the initial (best) iterate, not the
+  // diverged final step, and back() must restate the returned x's norm.
+  const GridProblem p = make_laplacian_3d(4, 4, 3);
+  const SolveSetup s = factorize_p1(p.matrix);
+  std::vector<double> scaled(p.matrix.values().begin(),
+                             p.matrix.values().end());
+  for (double& v : scaled) v *= 3.0;
+  const SparseSpd a3(
+      p.matrix.n(),
+      std::vector<index_t>(p.matrix.col_ptr().begin(),
+                           p.matrix.col_ptr().end()),
+      std::vector<index_t>(p.matrix.row_idx().begin(),
+                           p.matrix.row_idx().end()),
+      std::move(scaled));
+  const std::vector<double> b(static_cast<std::size_t>(p.matrix.n()), 1.0);
+
+  const RefineResult r = solve_with_refinement(a3, s.analysis, s.factor, b);
+  ASSERT_GE(r.residual_norms.size(), 3u);
+  EXPECT_GT(r.residual_norms[1], r.residual_norms[0]);  // step diverged
+  // The returned iterate is the initial solve, bitwise.
+  const auto x0 = solve(s.analysis, s.factor, b);
+  ASSERT_EQ(r.x.size(), x0.size());
+  for (std::size_t i = 0; i < x0.size(); ++i) {
+    EXPECT_EQ(r.x[i], x0[i]) << "component " << i;
+  }
+  EXPECT_DOUBLE_EQ(r.residual_norms.back(), residual_norm(a3, r.x, b));
+  EXPECT_LE(r.residual_norms.back(), r.residual_norms.front());
+}
+
 TEST(SolveTest, SizeMismatchThrows) {
   const GridProblem p = make_laplacian_3d(3, 3, 2);
   const SolveSetup s = factorize_p1(p.matrix);

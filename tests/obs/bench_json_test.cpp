@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -140,6 +141,37 @@ TEST(BenchCompareTest, ZeroBaselineUsesAbsoluteThreshold) {
   EXPECT_FALSE(obs::compare_bench(baseline, current).regressed);
   current.metrics[0].value = 0.5;
   EXPECT_TRUE(obs::compare_bench(baseline, current).regressed);
+}
+
+TEST(BenchCompareTest, ZeroBaselineKeepsRelativeChangeFinite) {
+  // Division-by-zero guard: a zero baseline must never leak inf/NaN into
+  // the report — relative_change is pinned to 0 and the absolute-delta gate
+  // decides, for either gated direction.
+  obs::BenchRecord baseline;
+  baseline.name = "zero";
+  baseline.add_metric("faults", 0.0, obs::MetricDirection::LowerIsBetter);
+  baseline.add_metric("throughput", 0.0, obs::MetricDirection::HigherIsBetter);
+
+  obs::BenchRecord current = baseline;
+  current.metrics[0].value = 0.5;   // worse than a zero fault count
+  current.metrics[1].value = -0.5;  // worse than zero throughput
+  const obs::BenchComparison cmp = obs::compare_bench(baseline, current);
+  ASSERT_EQ(cmp.metrics.size(), 2u);
+  for (const auto& m : cmp.metrics) {
+    EXPECT_TRUE(std::isfinite(m.relative_change)) << m.name;
+    EXPECT_DOUBLE_EQ(m.relative_change, 0.0) << m.name;
+    EXPECT_TRUE(m.regression) << m.name;
+  }
+
+  // Movement in the good direction away from zero never regresses.
+  obs::BenchRecord better = baseline;
+  better.metrics[0].value = -0.5;
+  better.metrics[1].value = 0.5;
+  const obs::BenchComparison ok = obs::compare_bench(baseline, better);
+  EXPECT_FALSE(ok.regressed);
+  for (const auto& m : ok.metrics) {
+    EXPECT_TRUE(std::isfinite(m.relative_change)) << m.name;
+  }
 }
 
 TEST(BenchCompareTest, ToleranceOverrides) {

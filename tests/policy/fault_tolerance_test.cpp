@@ -1,0 +1,271 @@
+// Fault detection and graceful degradation in DispatchExecutor: injected
+// device faults must never corrupt results — the dispatcher retries on
+// device once, then redoes the front on the host P1 path, charging all
+// wasted time to the virtual clock.
+#include <gtest/gtest.h>
+
+#include "dense/potrf.hpp"
+#include "obs/decision_log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "policy/executors.hpp"
+#include "support/rng.hpp"
+
+namespace mfgpu {
+namespace {
+
+struct TestFront {
+  Matrix<double> storage;  ///< (k+m) x (k+m)
+  Matrix<double> reference;
+  index_t m, k;
+
+  FrontBlocks blocks(index_t global_col = 0) {
+    FrontBlocks f;
+    f.m = m;
+    f.k = k;
+    f.global_col = global_col;
+    f.l1 = storage.view().block(0, 0, k, k);
+    f.l2 = storage.view().block(k, 0, m, k);
+    f.u = storage.view().block(k, k, m, m);
+    return f;
+  }
+};
+
+TestFront make_front(index_t m, index_t k, std::uint64_t seed) {
+  Rng rng(seed);
+  const index_t s = m + k;
+  Matrix<double> g(s, s);
+  for (index_t j = 0; j < s; ++j) {
+    for (index_t i = 0; i < s; ++i) g(i, j) = rng.uniform(-1.0, 1.0);
+  }
+  TestFront front;
+  front.m = m;
+  front.k = k;
+  front.storage = Matrix<double>(s, s, 0.0);
+  gemm<double>(Trans::NoTrans, Trans::Transpose, 1.0, g.view(), g.view(), 0.0,
+               front.storage.view());
+  for (index_t i = 0; i < s; ++i) front.storage(i, i) += static_cast<double>(s);
+  front.reference = front.storage;
+  auto ref = front.reference.view();
+  potrf_unblocked<double>(ref.block(0, 0, k, k));
+  if (m > 0) {
+    trsm<double>(Side::Right, Uplo::Lower, Trans::Transpose, Diag::NonUnit,
+                 1.0, ref.block(0, 0, k, k), ref.block(k, 0, m, k));
+    syrk_lower<double>(-1.0, front.reference.view().block(k, 0, m, k), 1.0,
+                       ref.block(k, k, m, m));
+  }
+  return front;
+}
+
+Device make_faulty_device(double kernel_rate, double transfer_rate,
+                          double oom_rate, double death_rate,
+                          std::uint64_t seed) {
+  Device::Options options;
+  options.faults.seed = seed;
+  options.faults.transient_kernel_rate = kernel_rate;
+  options.faults.transfer_corruption_rate = transfer_rate;
+  options.faults.spurious_oom_rate = oom_rate;
+  options.faults.device_death_rate = death_rate;
+  return Device(options);
+}
+
+TEST(FaultToleranceTest, FaultedFrontsStillMatchReference) {
+  // Aggressive rates over several seeds: every execution must survive and
+  // return a numerically valid front (GPU float tolerance; host-fallback
+  // fronts are exact in double and land well inside it).
+  std::int64_t faults_seen = 0;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Device device = make_faulty_device(0.3, 0.3, 0.3, 0.0, seed);
+    DispatchExecutor dispatch("p3", [](index_t, index_t) { return Policy::P3; });
+    FactorContext ctx;
+    ctx.device = &device;
+    TestFront front = make_front(24, 12, 100 + seed);
+    const FuOutcome out = dispatch.execute(front.blocks(), ctx);
+    EXPECT_LT(
+        max_abs_diff<double>(front.storage.view(), front.reference.view()),
+        5e-3)
+        << "seed " << seed;
+    faults_seen += out.record.faults;
+  }
+  EXPECT_GT(faults_seen, 0) << "rates this high must fault at least once";
+}
+
+TEST(FaultToleranceTest, FallbackFrontIsExactDouble) {
+  // Sticky death on the first device op: the attempt is wasted, the host P1
+  // redo runs on the restored front — results exact in double precision.
+  Device device = make_faulty_device(0.0, 0.0, 0.0, 0.9, 1);
+  DispatchExecutor dispatch("p4", [](index_t, index_t) { return Policy::P4; });
+  FactorContext ctx;
+  ctx.device = &device;
+  TestFront front = make_front(16, 8, 7);
+  const FuOutcome out = dispatch.execute(front.blocks(), ctx);
+  EXPECT_EQ(out.record.policy, 1);
+  EXPECT_TRUE(out.record.fell_back);
+  EXPECT_GE(out.record.faults, 1);
+  EXPECT_LT(max_abs_diff<double>(front.storage.view(), front.reference.view()),
+            1e-10);
+  EXPECT_TRUE(device.fault_injector().dead());
+  EXPECT_GE(dispatch.fault_count(), 1);
+
+  // The device is dead: the next front routes straight to P1 (no new
+  // faults, no device traffic).
+  const std::int64_t faults_before = dispatch.fault_count();
+  TestFront next = make_front(12, 6, 8);
+  const FuOutcome out2 = dispatch.execute(next.blocks(5), ctx);
+  EXPECT_EQ(out2.record.policy, 1);
+  EXPECT_FALSE(out2.record.fell_back);
+  EXPECT_EQ(dispatch.fault_count(), faults_before);
+  EXPECT_LT(max_abs_diff<double>(next.storage.view(), next.reference.view()),
+            1e-10);
+}
+
+TEST(FaultToleranceTest, WastedAttemptTimeIsCharged) {
+  // Transfer corruption is only detected once the attempt ran, so its cost
+  // is real. With a 1-fault quarantine the run is exactly one wasted device
+  // attempt plus the host P1 redo — strictly more virtual time than the P1
+  // execution alone. The wasted attempt is charged, never rolled back.
+  ExecutorOptions options;
+  options.quarantine_after_faults = 1;
+  Device faulty = make_faulty_device(0.0, 0.9, 0.0, 0.0, 1);
+  DispatchExecutor dispatch(
+      "p4", [](index_t, index_t) { return Policy::P4; }, options);
+  FactorContext ctx;
+  ctx.device = &faulty;
+  TestFront front = make_front(16, 8, 7);
+  const FuOutcome faulted = dispatch.execute(front.blocks(), ctx);
+  ASSERT_EQ(faulted.record.faults, 1);
+  ASSERT_TRUE(faulted.record.fell_back);
+
+  PolicyExecutor p1(Policy::P1);
+  FactorContext clean_ctx;
+  TestFront clean = make_front(16, 8, 7);
+  const FuOutcome baseline = p1.execute(clean.blocks(), clean_ctx);
+  EXPECT_GT(faulted.record.t_total, baseline.record.t_total);
+}
+
+TEST(FaultToleranceTest, QuarantineTripsAfterConfiguredFaults) {
+  ExecutorOptions options;
+  options.quarantine_after_faults = 1;
+  Device device = make_faulty_device(0.9, 0.0, 0.0, 0.0, 3);
+  DispatchExecutor dispatch(
+      "p3", [](index_t, index_t) { return Policy::P3; }, options);
+  FactorContext ctx;
+  ctx.device = &device;
+
+  TestFront front = make_front(20, 10, 9);
+  const FuOutcome out = dispatch.execute(front.blocks(), ctx);
+  // The first fault trips the breaker: no on-device retry, host fallback.
+  EXPECT_TRUE(dispatch.quarantined());
+  EXPECT_EQ(out.record.policy, 1);
+  EXPECT_EQ(out.record.faults, 1);
+  EXPECT_LT(max_abs_diff<double>(front.storage.view(), front.reference.view()),
+            1e-10);
+
+  // Quarantined: later fronts run P1 directly, the device stays idle.
+  TestFront next = make_front(20, 10, 10);
+  const FuOutcome out2 = dispatch.execute(next.blocks(10), ctx);
+  EXPECT_EQ(out2.record.policy, 1);
+  EXPECT_EQ(dispatch.fault_count(), 1);
+}
+
+TEST(FaultToleranceTest, GenuineIndefiniteMatrixStillThrows) {
+  // Fault tolerance must not swallow a real NotPositiveDefiniteError: a
+  // finite non-positive pivot is the matrix's fault, not the device's.
+  const index_t k = 4;
+  TestFront front;
+  front.m = 0;
+  front.k = k;
+  front.storage = Matrix<double>(k, k, 0.0);
+  for (index_t i = 0; i < k; ++i) front.storage(i, i) = 1.0;
+  front.storage(k - 1, k - 1) = -1.0;
+  front.reference = front.storage;
+
+  ExecutorOptions options;
+  options.fault_tolerance = FaultTolerance::On;  // tolerant without injector
+  Device device;
+  DispatchExecutor dispatch(
+      "p4", [](index_t, index_t) { return Policy::P4; }, options);
+  FactorContext ctx;
+  ctx.device = &device;
+  EXPECT_THROW(dispatch.execute(front.blocks(), ctx),
+               NotPositiveDefiniteError);
+}
+
+TEST(FaultToleranceTest, FaultFreeRunsAreByteIdenticalToTolerantOff) {
+  // FaultTolerance::Auto with a disabled injector must not perturb the
+  // numeric path at all.
+  TestFront tolerant_front = make_front(18, 9, 21);
+  TestFront off_front = make_front(18, 9, 21);
+
+  Device tolerant_device;
+  DispatchExecutor tolerant(
+      "p3", [](index_t, index_t) { return Policy::P3; });
+  FactorContext tolerant_ctx;
+  tolerant_ctx.device = &tolerant_device;
+  tolerant.execute(tolerant_front.blocks(), tolerant_ctx);
+
+  ExecutorOptions off_options;
+  off_options.fault_tolerance = FaultTolerance::Off;
+  Device off_device;
+  DispatchExecutor off(
+      "p3", [](index_t, index_t) { return Policy::P3; }, off_options);
+  FactorContext off_ctx;
+  off_ctx.device = &off_device;
+  off.execute(off_front.blocks(), off_ctx);
+
+  EXPECT_EQ(max_abs_diff<double>(tolerant_front.storage.view(),
+                                 off_front.storage.view()),
+            0.0);
+}
+
+TEST(FaultToleranceTest, FaultEventsLandInDecisionLogAndMetrics) {
+  obs::MetricsRegistry::global().clear();
+  obs::DecisionLog::global().clear();
+  obs::enable();
+  Device device = make_faulty_device(0.0, 0.9, 0.0, 0.0, 1);
+  DispatchExecutor dispatch("p4", [](index_t, index_t) { return Policy::P4; });
+  FactorContext ctx;
+  ctx.device = &device;
+  TestFront front = make_front(16, 8, 7);
+  const FuOutcome out = dispatch.execute(front.blocks(), ctx);
+  obs::disable();
+  ASSERT_GE(out.record.faults, 1);
+
+  const auto events = obs::DecisionLog::global().fault_events();
+  ASSERT_GE(events.size(), 1u);
+  EXPECT_EQ(events[0].m, 16);
+  EXPECT_EQ(events[0].k, 8);
+  EXPECT_EQ(events[0].policy, 4);
+  EXPECT_EQ(events[0].kind, static_cast<int>(FaultKind::TransferCorruption));
+  // The first fault is retried on-device, not yet a fallback, and the
+  // corrupted attempt's full cost is recorded as wasted.
+  EXPECT_FALSE(events[0].fell_back);
+  EXPECT_GT(events[0].wasted_seconds, 0.0);
+
+  auto& metrics = obs::MetricsRegistry::global();
+  EXPECT_GE(metrics.counter("fault.detected.transfer_corruption"), 1.0);
+  EXPECT_GE(metrics.counter("fault.retries"), 1.0);
+  EXPECT_GT(metrics.counter("fault.wasted_seconds"), 0.0);
+  if (out.record.fell_back) {
+    EXPECT_GE(metrics.counter("fault.fallbacks"), 1.0);
+    EXPECT_TRUE(events.back().fell_back);
+  }
+  obs::DecisionLog::global().clear();
+  obs::MetricsRegistry::global().clear();
+}
+
+TEST(FaultToleranceTest, SpuriousOomFallsBackInsteadOfAborting) {
+  Device device = make_faulty_device(0.0, 0.0, 0.9, 0.0, 4);
+  DispatchExecutor dispatch("p2", [](index_t, index_t) { return Policy::P2; });
+  FactorContext ctx;
+  ctx.device = &device;
+  TestFront front = make_front(14, 7, 30);
+  FuOutcome out;
+  ASSERT_NO_THROW(out = dispatch.execute(front.blocks(), ctx));
+  EXPECT_GE(out.record.faults, 1);
+  EXPECT_LT(max_abs_diff<double>(front.storage.view(), front.reference.view()),
+            5e-3);
+}
+
+}  // namespace
+}  // namespace mfgpu

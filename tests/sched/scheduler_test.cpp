@@ -15,6 +15,16 @@ TaskGraph grid_graph() {
   return build_task_graph(an.symbolic, an.permuted);
 }
 
+/// Fronts large enough that the baseline hybrid routes them to the device
+/// and GPU workers genuinely beat CPU workers — needed by the fault-model
+/// tests so that losing a device costs makespan.
+TaskGraph gpu_graph() {
+  Rng rng(6);
+  const GridProblem p = make_elasticity_3d(10, 10, 8, 3, rng);
+  static Analysis an = analyze(p.matrix, nested_dissection(p.coords));
+  return build_task_graph(an.symbolic, an.permuted);
+}
+
 TEST(TaskGraphTest, StructureMirrorsSupernodes) {
   const GridProblem p = make_laplacian_3d(5, 5, 3);
   const Analysis an = analyze(p.matrix, nested_dissection(p.coords));
@@ -62,16 +72,70 @@ TEST(SchedulerTest, FourThreadSpeedupInPaperRange) {
 
 TEST(SchedulerTest, GpuWorkersBeatCpuWorkers) {
   // Needs fronts big enough to cross the GPU-offload thresholds.
-  Rng rng(6);
-  const GridProblem p = make_elasticity_3d(10, 10, 8, 3, rng);
-  const Analysis an = analyze(p.matrix, nested_dissection(p.coords));
-  const TaskGraph g = build_task_graph(an.symbolic, an.permuted);
+  const TaskGraph g = gpu_graph();
   ScheduleOptions opt;
   const double cpu2 =
       simulate_schedule(g, std::vector<WorkerSpec>(2), opt).makespan;
   const double gpu2 =
       simulate_schedule(g, {WorkerSpec{true}, WorkerSpec{true}}, opt).makespan;
   EXPECT_LT(gpu2, cpu2);
+}
+
+TEST(SchedulerTest, FaultModelChargesWastedAttemptsDeterministically) {
+  const TaskGraph g = gpu_graph();
+  const std::vector<WorkerSpec> gpus(2, WorkerSpec{true});
+  ScheduleOptions clean;
+  ScheduleOptions faulty;
+  faulty.faults.seed = 11;
+  faulty.faults.transient_kernel_rate = 0.6;
+
+  const ScheduleResult base = simulate_schedule(g, gpus, clean);
+  const ScheduleResult hit = simulate_schedule(g, gpus, faulty);
+  EXPECT_EQ(base.faults, 0);
+  ASSERT_GT(hit.faults, 0);
+  // Each transient fault charges one wasted on-device attempt; the extra
+  // time is accounted in the schedule, never rolled back.
+  EXPECT_GT(hit.total_task_time, base.total_task_time);
+  EXPECT_GE(hit.makespan, base.makespan);
+
+  // The fault model is a pure function of (seed, task): reruns are bitwise
+  // identical...
+  const ScheduleResult again = simulate_schedule(g, gpus, faulty);
+  EXPECT_EQ(hit.faults, again.faults);
+  EXPECT_DOUBLE_EQ(hit.makespan, again.makespan);
+  EXPECT_DOUBLE_EQ(hit.total_task_time, again.total_task_time);
+
+  // ...and the fault count ignores placement: a single GPU worker sees the
+  // same per-task fates as two.
+  const ScheduleResult solo = simulate_schedule(g, {WorkerSpec{true}}, faulty);
+  EXPECT_EQ(solo.faults, hit.faults);
+}
+
+TEST(SchedulerTest, DeviceDeathAndQuarantineDegradeToHostWorkers) {
+  const TaskGraph g = gpu_graph();
+  const std::vector<WorkerSpec> gpus(2, WorkerSpec{true});
+  const ScheduleResult base = simulate_schedule(g, gpus, {});
+
+  // Near-certain sticky death: both devices die early and the rest of the
+  // run degrades to host-only throughput, which this grid's fronts make
+  // strictly slower (see GpuWorkersBeatCpuWorkers).
+  ScheduleOptions lethal;
+  lethal.faults.seed = 2;
+  lethal.faults.device_death_rate = 0.9;
+  const ScheduleResult dead = simulate_schedule(g, gpus, lethal);
+  EXPECT_EQ(dead.quarantined_workers, 2);
+  EXPECT_GE(dead.faults, 2);
+  EXPECT_GT(dead.makespan, base.makespan);
+
+  // Circuit breaker: one transient fault retires the worker's device.
+  ScheduleOptions breaker;
+  breaker.faults.seed = 3;
+  breaker.faults.transient_kernel_rate = 0.9;
+  breaker.quarantine_after_faults = 1;
+  const ScheduleResult tripped = simulate_schedule(g, gpus, breaker);
+  EXPECT_GE(tripped.quarantined_workers, 1);
+  EXPECT_GE(tripped.faults, 1);
+  EXPECT_GT(tripped.makespan, base.makespan);
 }
 
 TEST(SchedulerTest, GpuChooserControlsPolicy) {

@@ -339,6 +339,77 @@ TEST(ServeService, DestructorDrainsOutstandingWork) {
   EXPECT_TRUE(future.get().ok());
 }
 
+TEST(ServeService, RetryBudgetReenqueuesThenExhausts) {
+  // A deterministically failing request with a 2-retry budget: the service
+  // re-enqueues it twice (possibly onto the same healed session) before
+  // giving up, and the stats account for every attempt.
+  const GridProblem p = make_laplacian_3d(4, 4, 3);
+  const auto bad = scaled_copy(p.matrix, -1.0);  // not SPD: factor throws
+  ServeOptions options;
+  options.num_sessions = 1;
+  SolverService service(options);
+
+  RequestOptions with_retries;
+  with_retries.max_retries = 2;
+  const SolveResult failed =
+      service.submit(bad, random_rhs(p.matrix.n(), 3), with_retries).get();
+  EXPECT_EQ(failed.status, RequestStatus::Failed);
+  EXPECT_EQ(failed.attempts, 3);  // first try + both retries
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.retries, 2);
+  EXPECT_EQ(stats.retry_exhausted, 1);
+  EXPECT_EQ(stats.failed, 1);  // the request fails once, not per attempt
+
+  // The retry churn left the session healthy.
+  const SolveResult ok =
+      service.submit(shared_matrix(p.matrix), random_rhs(p.matrix.n(), 4))
+          .get();
+  EXPECT_TRUE(ok.ok()) << ok.error;
+  EXPECT_EQ(ok.attempts, 1);
+}
+
+TEST(ServeService, ZeroRetryBudgetFailsOnFirstAttempt) {
+  const GridProblem p = make_laplacian_3d(4, 4, 3);
+  const auto bad = scaled_copy(p.matrix, -1.0);
+  ServeOptions options;
+  options.num_sessions = 1;
+  SolverService service(options);
+
+  const SolveResult failed =
+      service.submit(bad, random_rhs(p.matrix.n(), 5)).get();
+  EXPECT_EQ(failed.status, RequestStatus::Failed);
+  EXPECT_EQ(failed.attempts, 1);
+  EXPECT_EQ(service.stats().retries, 0);
+  EXPECT_EQ(service.stats().retry_exhausted, 0);
+}
+
+TEST(ServeService, RetriedRequestsKeepBatchmatesIndependent) {
+  // One poisoned request in a queued batch must not take healthy requests
+  // down with it: they were batched by fingerprint, so the bad matrix forms
+  // its own batch and only it burns retries.
+  const GridProblem p = make_laplacian_3d(4, 4, 3);
+  const auto good = shared_matrix(p.matrix);
+  const auto bad = scaled_copy(p.matrix, -1.0);
+  ServeOptions options;
+  options.num_sessions = 1;
+  options.start_paused = true;
+  SolverService service(options);
+
+  RequestOptions with_retries;
+  with_retries.max_retries = 1;
+  auto good_future = service.submit(good, random_rhs(p.matrix.n(), 6));
+  auto bad_future =
+      service.submit(bad, random_rhs(p.matrix.n(), 7), with_retries);
+  service.start();
+
+  EXPECT_TRUE(good_future.get().ok());
+  const SolveResult failed = bad_future.get();
+  EXPECT_EQ(failed.status, RequestStatus::Failed);
+  EXPECT_EQ(failed.attempts, 2);
+  EXPECT_EQ(service.stats().completed, 1);
+  EXPECT_EQ(service.stats().failed, 1);
+}
+
 // The acceptance gate of the serving layer: on a refactor-heavy workload
 // (one pattern, several value sets, repeated right-hand sides) a warm
 // service must beat per-request Solver construction by >= 3x in simulated
