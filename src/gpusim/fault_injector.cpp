@@ -1,6 +1,8 @@
 #include "gpusim/fault_injector.hpp"
 
 #include "obs/metrics.hpp"
+#include "obs/request_context.hpp"
+#include "obs/trace_session.hpp"
 
 namespace mfgpu {
 namespace {
@@ -17,6 +19,13 @@ void count_fault(FaultKind kind) {
   if (!obs::enabled()) return;
   obs::MetricsRegistry::global().increment(
       std::string("fault.injected.") + fault_kind_name(kind));
+  // Injection markers are request-tagged instants in the trace: when a
+  // serving request's work drew this fault, its causal tree shows exactly
+  // where chaos struck (fault_kind_name returns a literal, so the span
+  // name outlives the session).
+  const std::int64_t now = obs::TraceSession::global().now_ns();
+  obs::record_span("fault", fault_kind_name(kind), now, now,
+                   obs::current_request_id(), obs::current_parent_span());
 }
 
 }  // namespace

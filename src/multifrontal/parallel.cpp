@@ -7,6 +7,7 @@
 #include "multifrontal/frontal.hpp"
 #include "multifrontal/stack_arena.hpp"
 #include "obs/obs.hpp"
+#include "obs/request_context.hpp"
 #include "policy/baseline_hybrid.hpp"
 #include "sched/proportional_map.hpp"
 #include "sched/task_graph.hpp"
@@ -51,6 +52,10 @@ FactorizeResult factorize_parallel(const Analysis& analysis,
   obs::ScopedSpan factorize_span("multifrontal", "parallel_factorize");
   factorize_span.set_arg(0, "supernodes", nsup);
   factorize_span.set_arg(1, "workers", num_workers);
+  // Capture the serving request bound to the calling thread (if any) so the
+  // pool workers' spans, dispatch decisions, and fault events stay attributed
+  // to it across the thread hop.
+  const obs::RequestContext* request = obs::current_request();
 
   FactorizeResult result;
   result.factor.numeric = true;
@@ -116,6 +121,7 @@ FactorizeResult factorize_parallel(const Analysis& analysis,
   const bool deterministic = options.deterministic_reduction;
 
   auto body = [&](index_t s, int w) {
+    obs::RequestScope request_scope(request);
     WorkerState& state = states[static_cast<std::size_t>(w)];
     FactorContext& ctx = state.ctx;
     const SupernodeInfo& sn = sym.supernodes()[static_cast<std::size_t>(s)];

@@ -1,0 +1,162 @@
+#include "obs/alerts.hpp"
+
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace_session.hpp"
+
+namespace mfgpu::obs {
+
+const char* slo_metric_name(SloMetric metric) noexcept {
+  switch (metric) {
+    case SloMetric::ErrorRate: return "error_rate";
+    case SloMetric::RetryRate: return "retry_rate";
+    case SloMetric::BurnRate: return "burn_rate";
+    case SloMetric::SlowRate: return "slow_rate";
+    case SloMetric::LatencyP99Seconds: return "latency_p99_seconds";
+    case SloMetric::MeanQueueDepth: return "mean_queue_depth";
+    case SloMetric::RejectedCount: return "rejected_count";
+    case SloMetric::CacheHitRate: return "cache_hit_rate";
+  }
+  return "unknown";
+}
+
+double slo_metric_value(const WindowStats& stats, SloMetric metric) noexcept {
+  switch (metric) {
+    case SloMetric::ErrorRate: return stats.error_rate;
+    case SloMetric::RetryRate: return stats.retry_rate;
+    case SloMetric::BurnRate: return stats.budget_burn_rate;
+    case SloMetric::SlowRate: return stats.slow_rate;
+    case SloMetric::LatencyP99Seconds: return stats.p99_latency_seconds;
+    case SloMetric::MeanQueueDepth: return stats.mean_queue_depth;
+    case SloMetric::RejectedCount:
+      return static_cast<double>(stats.rejected);
+    case SloMetric::CacheHitRate: return stats.cache_hit_rate;
+  }
+  return 0.0;
+}
+
+AlertEngine::AlertEngine(std::vector<AlertRule> rules) {
+  states_.reserve(rules.size());
+  for (AlertRule& rule : rules) {
+    AlertState state;
+    state.rule = std::move(rule);
+    states_.push_back(std::move(state));
+  }
+}
+
+std::vector<AlertTransition> AlertEngine::evaluate(const WindowStats& stats) {
+  std::vector<AlertTransition> transitions;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (AlertState& state : states_) {
+    const AlertRule& rule = state.rule;
+    if (stats.total < rule.min_samples) continue;
+    const double value = slo_metric_value(stats, rule.metric);
+    state.last_value = value;
+    const bool breach =
+        rule.invert ? value <= rule.fire_above : value >= rule.fire_above;
+    const bool healthy =
+        rule.invert ? value > rule.clear_below : value < rule.clear_below;
+
+    if (breach) {
+      ++state.breach_streak;
+      state.clear_streak = 0;
+    } else {
+      state.breach_streak = 0;
+      if (healthy) {
+        ++state.clear_streak;
+      } else {
+        state.clear_streak = 0;  // hysteresis band: hold the current state
+      }
+    }
+
+    bool transitioned = false;
+    bool fired = false;
+    if (!state.firing && state.breach_streak >= rule.fire_after) {
+      state.firing = true;
+      state.since_ns = stats.window_end_ns;
+      transitioned = true;
+      fired = true;
+    } else if (state.firing && state.clear_streak >= rule.clear_after) {
+      state.firing = false;
+      transitioned = true;
+    }
+    if (!transitioned) continue;
+
+    transitions.push_back(AlertTransition{rule.name, fired,
+                                          stats.window_end_ns, value});
+    history_.push_back(transitions.back());
+    auto& metrics = MetricsRegistry::global();
+    metrics.increment(fired ? "slo.alert.fired" : "slo.alert.cleared");
+    metrics.increment(std::string(fired ? "slo.alert.fired."
+                                        : "slo.alert.cleared.") +
+                      rule.name);
+    // The firing is itself a logged event: a zero-length span in the
+    // trace, in the evaluating thread's lane. The name must outlive the
+    // session, so it is the literal; the rule and value ride as args.
+    const std::int64_t now = TraceSession::global().now_ns();
+    record_span("alert", fired ? "alert_fired" : "alert_cleared", now, now,
+                /*request_id=*/0, /*parent_span=*/0,
+                {SpanEvent::Arg{"metric", static_cast<std::int64_t>(
+                                              rule.metric)},
+                 SpanEvent::Arg{"value_x1e6",
+                                static_cast<std::int64_t>(value * 1e6)}});
+  }
+  std::int64_t firing_count = 0;
+  for (const AlertState& state : states_) {
+    if (state.firing) ++firing_count;
+  }
+  MetricsRegistry::global().gauge_set("slo.alerts.firing",
+                                      static_cast<double>(firing_count));
+  return transitions;
+}
+
+std::vector<AlertState> AlertEngine::states() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return states_;
+}
+
+std::vector<AlertTransition> AlertEngine::history() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return history_;
+}
+
+std::vector<std::string> AlertEngine::firing() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  for (const AlertState& state : states_) {
+    if (state.firing) names.push_back(state.rule.name);
+  }
+  return names;
+}
+
+std::vector<AlertRule> default_serve_alert_rules(std::size_t queue_capacity) {
+  std::vector<AlertRule> rules;
+  {
+    AlertRule rule;
+    rule.name = "slo_burn_rate_high";
+    rule.metric = SloMetric::BurnRate;
+    rule.fire_above = 2.0;  // budget consumed at 2x the sustainable pace
+    rule.clear_below = 1.0;
+    rules.push_back(std::move(rule));
+  }
+  {
+    AlertRule rule;
+    rule.name = "retry_storm";
+    rule.metric = SloMetric::RetryRate;
+    rule.fire_above = 0.25;
+    rule.clear_below = 0.05;
+    rules.push_back(std::move(rule));
+  }
+  {
+    AlertRule rule;
+    rule.name = "queue_backlog";
+    rule.metric = SloMetric::MeanQueueDepth;
+    rule.fire_above = 0.9 * static_cast<double>(queue_capacity);
+    rule.clear_below = 0.5 * static_cast<double>(queue_capacity);
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+}  // namespace mfgpu::obs

@@ -1,0 +1,104 @@
+// Alert rules over the rolling SLO window.
+//
+// Each rule watches one WindowStats quantity and carries hysteresis in
+// both value and time: the rule FIRES after `fire_after` consecutive
+// evaluations at/above `fire_above`, and CLEARS after `clear_after`
+// consecutive evaluations strictly below `clear_below` (which should sit
+// below fire_above, so a value oscillating around the threshold cannot
+// flap the alert). Every transition is itself a logged event: an
+// AlertTransition in the engine's history, a zero-length "alert" span in
+// the trace, and slo.alert.* counters/gauges — the chaos suite asserts an
+// injected fault storm trips the burn-rate rule and that recovery clears
+// it, end to end through these records.
+//
+// The engine is driven from one evaluator at a time (the service's health
+// monitor, or a test calling SolverService::sample_health()); a mutex
+// makes states()/history() safe to read from other threads.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/slo.hpp"
+
+namespace mfgpu::obs {
+
+/// Which WindowStats quantity a rule watches.
+enum class SloMetric {
+  ErrorRate,
+  RetryRate,
+  BurnRate,
+  SlowRate,
+  LatencyP99Seconds,
+  MeanQueueDepth,
+  RejectedCount,
+  CacheHitRate
+};
+
+const char* slo_metric_name(SloMetric metric) noexcept;
+double slo_metric_value(const WindowStats& stats, SloMetric metric) noexcept;
+
+struct AlertRule {
+  std::string name;
+  SloMetric metric = SloMetric::BurnRate;
+  /// Breach when value >= fire_above (invert=false) or <= fire_above
+  /// (invert=true, for "too low" rules like cache-hit collapse).
+  double fire_above = 1.0;
+  bool invert = false;
+  /// Hysteresis: clear only once the value is strictly on the healthy side
+  /// of clear_below (or above it when inverted).
+  double clear_below = 0.5;
+  int fire_after = 1;   ///< consecutive breaching evaluations to fire
+  int clear_after = 1;  ///< consecutive healthy evaluations to clear
+  /// Skip evaluation entirely when the window holds fewer samples (an
+  /// empty window's 0.0 error rate is absence of data, not health).
+  std::int64_t min_samples = 1;
+};
+
+/// One state transition (fired or cleared) of one rule.
+struct AlertTransition {
+  std::string rule;
+  bool fired = false;  ///< false = cleared
+  std::int64_t at_ns = 0;
+  double value = 0.0;  ///< metric value that caused the transition
+};
+
+struct AlertState {
+  AlertRule rule;
+  bool firing = false;
+  int breach_streak = 0;
+  int clear_streak = 0;
+  double last_value = 0.0;
+  std::int64_t since_ns = 0;  ///< when the current firing episode started
+};
+
+class AlertEngine {
+ public:
+  explicit AlertEngine(std::vector<AlertRule> rules);
+
+  /// Evaluate every rule against one window; returns this round's
+  /// transitions (also appended to history / metrics / trace).
+  std::vector<AlertTransition> evaluate(const WindowStats& stats);
+
+  std::vector<AlertState> states() const;
+  std::vector<AlertTransition> history() const;
+  /// Names of currently firing rules (the JSON health sample's alert list).
+  std::vector<std::string> firing() const;
+
+  AlertEngine(const AlertEngine&) = delete;
+  AlertEngine& operator=(const AlertEngine&) = delete;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<AlertState> states_;
+  std::vector<AlertTransition> history_;
+};
+
+/// The serving layer's default rule set: sustained burn-rate overspend,
+/// fault-storm retry churn, and a queue backlog rule scaled to the
+/// admission queue capacity.
+std::vector<AlertRule> default_serve_alert_rules(std::size_t queue_capacity);
+
+}  // namespace mfgpu::obs

@@ -31,6 +31,10 @@ struct PolicyDecision {
   double predicted_seconds = -1.0;
   /// Host-visible (simulated) duration the executed call reported.
   double measured_seconds = 0.0;
+  /// Serving request this dispatch executed for (obs::current_request_id();
+  /// 0 outside the serving layer) — lets the per-request trace tooling
+  /// attribute every F-U call to the request that paid for it.
+  std::uint64_t request_id = 0;
 };
 
 /// One device fault a dispatcher detected and survived (see
@@ -46,6 +50,8 @@ struct FaultEvent {
   bool fell_back = false;    ///< front re-executed on the host P1 path
   bool quarantined = false;  ///< this fault tripped the worker's breaker
   double wasted_seconds = 0.0;  ///< simulated time of the failed attempt
+  /// Serving request whose work faulted (0 outside the serving layer).
+  std::uint64_t request_id = 0;
 };
 
 /// Process-wide decision log. Same threading contract as TraceSession:

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <limits>
+#include <map>
 #include <ostream>
 #include <set>
 
@@ -39,6 +40,20 @@ void write_args(std::ostream& os, const SpanEvent& ev, bool sim_track) {
     if (arg.name == nullptr) continue;
     comma();
     os << '"' << json_escape(arg.name) << "\":" << arg.value;
+  }
+  // Request-scoped causality: parent-linked span ids let trace consumers
+  // rebuild each request's causal tree (the chaos tests do exactly that).
+  if (ev.span_id != 0) {
+    comma();
+    os << "\"span_id\":" << ev.span_id;
+  }
+  if (ev.parent_span != 0) {
+    comma();
+    os << "\"parent_span\":" << ev.parent_span;
+  }
+  if (ev.request_id != 0) {
+    comma();
+    os << "\"request_id\":" << ev.request_id;
   }
   if (ev.sim_start >= 0.0 && !sim_track) {
     comma();
@@ -139,6 +154,31 @@ void write_chrome_trace(std::ostream& os, const std::vector<SpanEvent>& events,
       sep();
       write_complete_event(os, ev, 2);
     }
+  }
+
+  // Flow events stitch a request's causal tree across thread lanes: for
+  // every span whose parent lives on a DIFFERENT thread (admission span ->
+  // session queue wait, failed batch -> retry pickup), emit an "s"/"f"
+  // arrow from the parent's end to the child's start. Same-thread links
+  // are already visible through nesting.
+  std::map<std::uint64_t, const SpanEvent*> by_span_id;
+  for (const auto& ev : events) {
+    if (ev.span_id != 0) by_span_id.emplace(ev.span_id, &ev);
+  }
+  for (const auto& ev : events) {
+    if (ev.parent_span == 0 || ev.request_id == 0) continue;
+    const auto parent_it = by_span_id.find(ev.parent_span);
+    if (parent_it == by_span_id.end()) continue;
+    const SpanEvent& parent = *parent_it->second;
+    if (parent.tid == ev.tid) continue;
+    sep();
+    os << "{\"ph\":\"s\",\"pid\":1,\"tid\":" << parent.tid
+       << ",\"name\":\"request\",\"cat\":\"request\",\"id\":" << ev.span_id
+       << ",\"ts\":" << us_from_ns(parent.end_ns) << '}';
+    sep();
+    os << "{\"ph\":\"f\",\"bp\":\"e\",\"pid\":1,\"tid\":" << ev.tid
+       << ",\"name\":\"request\",\"cat\":\"request\",\"id\":" << ev.span_id
+       << ",\"ts\":" << us_from_ns(ev.start_ns) << '}';
   }
   os << "\n]}\n";
 }

@@ -25,8 +25,13 @@ void HistogramData::observe(double value) noexcept {
 }
 
 double HistogramData::percentile(double q) const noexcept {
+  // Defined edges first: an empty histogram has no samples (0.0 by
+  // contract), q <= 0 is the exact minimum, q >= 1 the exact maximum —
+  // the nearest-rank scan below would only approximate them to a bucket
+  // edge. A NaN q lands in the q <= 0 branch (comparisons are false).
   if (count <= 0) return 0.0;
-  q = std::clamp(q, 0.0, 1.0);
+  if (!(q > 0.0)) return min;
+  if (q >= 1.0) return max;
   // Rank of the q-th sample (1-based, nearest-rank definition).
   const auto rank = std::max<std::int64_t>(
       1, static_cast<std::int64_t>(std::ceil(q * static_cast<double>(count))));

@@ -30,7 +30,9 @@ struct HistogramData {
   /// Bucketed quantile estimate for q in [0, 1]: the upper edge (2^i) of
   /// the bucket holding the q-th sample, clamped to the exact [min, max]
   /// range. Resolution is the log2 bucketing — good enough for p50/p99
-  /// latency gauges (serve.* uses this); 0 when the histogram is empty.
+  /// latency gauges (serve.* uses this). Defined edge cases: 0.0 for an
+  /// empty histogram, the exact min for q <= 0 (or NaN), the exact max
+  /// for q >= 1.
   double percentile(double q) const noexcept;
 };
 

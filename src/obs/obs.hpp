@@ -70,9 +70,22 @@ class ObsScope {
   /// Export now instead of at destruction (idempotent).
   void finish();
 
+  /// Re-export the configured files NOW without ending the scope: spans and
+  /// metrics recorded so far are written out, recording stays enabled, and
+  /// the buffers are NOT cleared (a later finish() rewrites the files with
+  /// the full picture). Call while the pipeline is quiescent — the same
+  /// contract as TraceSession::events().
+  void flush();
+
  private:
   bool active_ = false;
   ObsConfig config_;
 };
+
+/// Flush every active ObsScope (see ObsScope::flush). SolverService calls
+/// this after draining its sessions, so requests served during shutdown
+/// are present in MFGPU_TRACE/MFGPU_METRICS output even when the service
+/// outlives main()'s export or the process exits without unwinding.
+void flush_exports();
 
 }  // namespace mfgpu::obs

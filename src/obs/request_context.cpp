@@ -1,0 +1,61 @@
+#include "obs/request_context.hpp"
+
+#include <atomic>
+#include <vector>
+
+namespace mfgpu::obs {
+namespace {
+
+std::atomic<std::uint64_t> g_next_request_id{1};
+std::atomic<std::uint64_t> g_next_span_id{1};
+
+struct ThreadBinding {
+  const RequestContext* context = nullptr;
+  std::vector<std::uint64_t> open_spans;
+};
+
+ThreadBinding& binding() noexcept {
+  thread_local ThreadBinding b;
+  return b;
+}
+
+}  // namespace
+
+std::uint64_t next_request_id() noexcept {
+  return g_next_request_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t next_span_id() noexcept {
+  return g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+const RequestContext* current_request() noexcept { return binding().context; }
+
+std::uint64_t current_request_id() noexcept {
+  const RequestContext* context = binding().context;
+  return context != nullptr ? context->request_id : 0;
+}
+
+std::uint64_t current_parent_span() noexcept {
+  const ThreadBinding& b = binding();
+  if (!b.open_spans.empty()) return b.open_spans.back();
+  return b.context != nullptr ? b.context->root_span : 0;
+}
+
+RequestScope::RequestScope(const RequestContext* context) noexcept
+    : previous_(binding().context) {
+  binding().context = context;
+}
+
+RequestScope::~RequestScope() { binding().context = previous_; }
+
+void push_open_span(std::uint64_t span_id) {
+  binding().open_spans.push_back(span_id);
+}
+
+void pop_open_span() noexcept {
+  auto& spans = binding().open_spans;
+  if (!spans.empty()) spans.pop_back();
+}
+
+}  // namespace mfgpu::obs

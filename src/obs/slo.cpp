@@ -1,0 +1,276 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <ostream>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+
+namespace mfgpu::obs {
+namespace {
+
+/// Payload packing: three 64-bit words hold one RequestSample, so a slot
+/// can be published/read with relaxed atomic word ops (no formal data
+/// race for TSan, no torn fields for us; the surrounding seqlock sequence
+/// detects overwrites).
+std::uint64_t pack_floats(float a, float b) noexcept {
+  return static_cast<std::uint64_t>(std::bit_cast<std::uint32_t>(a)) |
+         (static_cast<std::uint64_t>(std::bit_cast<std::uint32_t>(b)) << 32);
+}
+
+std::uint64_t pack_flags(const RequestSample& s) noexcept {
+  return static_cast<std::uint64_t>(s.status) |
+         (static_cast<std::uint64_t>(s.cache_hit ? 1 : 0) << 8) |
+         (static_cast<std::uint64_t>(s.attempts) << 16);
+}
+
+RequestSample unpack(std::uint64_t w0, std::uint64_t w1,
+                     std::uint64_t w2) noexcept {
+  RequestSample s;
+  s.end_ns = static_cast<std::int64_t>(w0);
+  s.latency_seconds =
+      std::bit_cast<float>(static_cast<std::uint32_t>(w1 & 0xffffffffULL));
+  s.queue_depth = std::bit_cast<float>(static_cast<std::uint32_t>(w1 >> 32));
+  s.status = static_cast<SampleStatus>(w2 & 0xff);
+  s.cache_hit = ((w2 >> 8) & 1) != 0;
+  s.attempts = static_cast<std::uint8_t>((w2 >> 16) & 0xff);
+  return s;
+}
+
+double ratio(std::int64_t num, std::int64_t den) noexcept {
+  return den > 0 ? static_cast<double>(num) / static_cast<double>(den) : 0.0;
+}
+
+/// Nearest-rank percentile over an unsorted latency sample (mutates it).
+double exact_percentile(std::vector<double>& values, double q) noexcept {
+  if (values.empty()) return 0.0;
+  const auto rank = std::max<std::ptrdiff_t>(
+      1, static_cast<std::ptrdiff_t>(
+             std::ceil(q * static_cast<double>(values.size()))));
+  const auto nth = values.begin() + (rank - 1);
+  std::nth_element(values.begin(), nth, values.end());
+  return *nth;
+}
+
+}  // namespace
+
+struct SloAggregator::Slot {
+  /// 0 = never written; odd = write in progress; even = 2*(ticket+1).
+  std::atomic<std::uint64_t> seq{0};
+  std::atomic<std::uint64_t> w0{0};
+  std::atomic<std::uint64_t> w1{0};
+  std::atomic<std::uint64_t> w2{0};
+};
+
+SloAggregator::SloAggregator(SloOptions options) : options_(options) {
+  if (options_.capacity < 1) options_.capacity = 1;
+  if (options_.window_seconds <= 0.0) options_.window_seconds = 1.0;
+  if (options_.error_budget <= 0.0) options_.error_budget = 1e-9;
+  slots_ = std::make_unique<Slot[]>(options_.capacity);
+}
+
+SloAggregator::~SloAggregator() = default;
+
+std::int64_t SloAggregator::now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SloAggregator::record(const RequestSample& sample) noexcept {
+  const std::uint64_t ticket = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[ticket % options_.capacity];
+  // Seqlock write: odd while the payload words change, then the even value
+  // unique to this ticket. Readers that see either boundary move on.
+  slot.seq.store(2 * ticket + 1, std::memory_order_release);
+  slot.w0.store(static_cast<std::uint64_t>(sample.end_ns),
+                std::memory_order_relaxed);
+  slot.w1.store(pack_floats(sample.latency_seconds, sample.queue_depth),
+                std::memory_order_relaxed);
+  slot.w2.store(pack_flags(sample), std::memory_order_relaxed);
+  slot.seq.store(2 * ticket + 2, std::memory_order_release);
+}
+
+std::int64_t SloAggregator::recorded() const noexcept {
+  return static_cast<std::int64_t>(next_.load(std::memory_order_relaxed));
+}
+
+WindowStats SloAggregator::window(std::int64_t now) const {
+  if (now < 0) now = now_ns();
+  const auto window_ns = static_cast<std::int64_t>(
+      options_.window_seconds * 1e9);
+  WindowStats stats;
+  stats.window_end_ns = now;
+  stats.window_start_ns = now - window_ns;
+  stats.window_seconds = options_.window_seconds;
+
+  std::vector<double> latencies;
+  double queue_depth_sum = 0.0;
+  std::int64_t cache_hits = 0;
+  std::int64_t slow = 0;
+  for (std::size_t i = 0; i < options_.capacity; ++i) {
+    const Slot& slot = slots_[i];
+    const std::uint64_t before = slot.seq.load(std::memory_order_acquire);
+    if (before == 0 || (before & 1) != 0) continue;
+    const RequestSample s = unpack(slot.w0.load(std::memory_order_relaxed),
+                                   slot.w1.load(std::memory_order_relaxed),
+                                   slot.w2.load(std::memory_order_relaxed));
+    if (slot.seq.load(std::memory_order_acquire) != before) continue;
+    if (s.end_ns < stats.window_start_ns || s.end_ns > stats.window_end_ns) {
+      continue;
+    }
+    ++stats.total;
+    queue_depth_sum += static_cast<double>(s.queue_depth);
+    if (s.attempts > 1) {
+      ++stats.retried;
+      stats.extra_attempts += static_cast<std::int64_t>(s.attempts) - 1;
+    }
+    switch (s.status) {
+      case SampleStatus::Ok: {
+        ++stats.completed;
+        const auto latency = static_cast<double>(s.latency_seconds);
+        latencies.push_back(latency);
+        stats.max_latency_seconds = std::max(stats.max_latency_seconds,
+                                             latency);
+        if (s.cache_hit) ++cache_hits;
+        if (latency > options_.latency_slo_seconds) ++slow;
+        break;
+      }
+      case SampleStatus::Rejected: ++stats.rejected; break;
+      case SampleStatus::Cancelled: ++stats.cancelled; break;
+      case SampleStatus::DeadlineExceeded: ++stats.deadline_exceeded; break;
+      case SampleStatus::Failed: ++stats.failed; break;
+    }
+  }
+
+  stats.p50_latency_seconds = exact_percentile(latencies, 0.50);
+  stats.p99_latency_seconds = exact_percentile(latencies, 0.99);
+  stats.error_rate = ratio(stats.failed, stats.total);
+  stats.retry_rate = ratio(stats.retried, stats.total);
+  stats.cache_hit_rate = ratio(cache_hits, stats.completed);
+  stats.slow_rate = ratio(slow, stats.total);
+  stats.mean_queue_depth =
+      stats.total > 0 ? queue_depth_sum / static_cast<double>(stats.total)
+                      : 0.0;
+  // Deadline misses count as SLO violations alongside failures and slow
+  // completions: the user saw an unserved or late request either way.
+  const std::int64_t violations = stats.failed + stats.deadline_exceeded + slow;
+  stats.budget_burn_rate =
+      ratio(violations, stats.total) / options_.error_budget;
+  return stats;
+}
+
+void SloAggregator::publish(const WindowStats& stats) {
+  auto& metrics = MetricsRegistry::global();
+  metrics.gauge_set("slo.window.total", static_cast<double>(stats.total));
+  metrics.gauge_set("slo.window.completed",
+                    static_cast<double>(stats.completed));
+  metrics.gauge_set("slo.window.failed", static_cast<double>(stats.failed));
+  metrics.gauge_set("slo.window.rejected",
+                    static_cast<double>(stats.rejected));
+  metrics.gauge_set("slo.window.cancelled",
+                    static_cast<double>(stats.cancelled));
+  metrics.gauge_set("slo.window.deadline_exceeded",
+                    static_cast<double>(stats.deadline_exceeded));
+  metrics.gauge_set("slo.window.retried", static_cast<double>(stats.retried));
+  metrics.gauge_set("slo.latency.p50_seconds", stats.p50_latency_seconds);
+  metrics.gauge_set("slo.latency.p99_seconds", stats.p99_latency_seconds);
+  metrics.gauge_set("slo.latency.max_seconds", stats.max_latency_seconds);
+  metrics.gauge_set("slo.error_rate", stats.error_rate);
+  metrics.gauge_set("slo.retry_rate", stats.retry_rate);
+  metrics.gauge_set("slo.cache_hit_rate", stats.cache_hit_rate);
+  metrics.gauge_set("slo.slow_rate", stats.slow_rate);
+  metrics.gauge_set("slo.queue.depth_mean", stats.mean_queue_depth);
+  metrics.gauge_set("slo.burn_rate", stats.budget_burn_rate);
+}
+
+namespace {
+
+struct PromGauge {
+  const char* name;
+  const char* help;
+  double value;
+};
+
+}  // namespace
+
+void write_prometheus(std::ostream& os, const WindowStats& stats) {
+  const PromGauge gauges[] = {
+      {"mfgpu_slo_window_total", "requests finished in the trailing window",
+       static_cast<double>(stats.total)},
+      {"mfgpu_slo_window_completed", "requests completed Ok in the window",
+       static_cast<double>(stats.completed)},
+      {"mfgpu_slo_window_failed", "requests failed in the window",
+       static_cast<double>(stats.failed)},
+      {"mfgpu_slo_window_rejected", "requests rejected by admission control",
+       static_cast<double>(stats.rejected)},
+      {"mfgpu_slo_window_deadline_exceeded",
+       "requests expired in the queue in the window",
+       static_cast<double>(stats.deadline_exceeded)},
+      {"mfgpu_slo_window_retried", "requests that needed more than one attempt",
+       static_cast<double>(stats.retried)},
+      {"mfgpu_slo_latency_p50_seconds", "windowed median request latency",
+       stats.p50_latency_seconds},
+      {"mfgpu_slo_latency_p99_seconds", "windowed p99 request latency",
+       stats.p99_latency_seconds},
+      {"mfgpu_slo_latency_max_seconds", "windowed max request latency",
+       stats.max_latency_seconds},
+      {"mfgpu_slo_error_rate", "failed / total over the window",
+       stats.error_rate},
+      {"mfgpu_slo_retry_rate", "retried / total over the window",
+       stats.retry_rate},
+      {"mfgpu_slo_cache_hit_rate",
+       "completed requests that reused a symbolic analysis",
+       stats.cache_hit_rate},
+      {"mfgpu_slo_slow_rate", "completions above the latency SLO / total",
+       stats.slow_rate},
+      {"mfgpu_slo_queue_depth_mean", "mean queue depth seen at completion",
+       stats.mean_queue_depth},
+      {"mfgpu_slo_burn_rate", "SLO violation rate / error budget",
+       stats.budget_burn_rate},
+  };
+  char buf[64];
+  for (const PromGauge& g : gauges) {
+    os << "# HELP " << g.name << ' ' << g.help << '\n';
+    os << "# TYPE " << g.name << " gauge\n";
+    std::snprintf(buf, sizeof(buf), "%.17g", g.value);
+    os << g.name << ' ' << buf << '\n';
+  }
+}
+
+void write_health_sample_json(std::ostream& os, const WindowStats& stats,
+                              const std::vector<std::string>& firing_alerts) {
+  char buf[64];
+  const auto num = [&buf](double v) {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return std::string(buf);
+  };
+  os << "{\"t_ns\":" << stats.window_end_ns
+     << ",\"window_seconds\":" << num(stats.window_seconds)
+     << ",\"total\":" << stats.total << ",\"completed\":" << stats.completed
+     << ",\"failed\":" << stats.failed << ",\"rejected\":" << stats.rejected
+     << ",\"cancelled\":" << stats.cancelled
+     << ",\"deadline_exceeded\":" << stats.deadline_exceeded
+     << ",\"retried\":" << stats.retried
+     << ",\"p50_latency_seconds\":" << num(stats.p50_latency_seconds)
+     << ",\"p99_latency_seconds\":" << num(stats.p99_latency_seconds)
+     << ",\"max_latency_seconds\":" << num(stats.max_latency_seconds)
+     << ",\"error_rate\":" << num(stats.error_rate)
+     << ",\"retry_rate\":" << num(stats.retry_rate)
+     << ",\"cache_hit_rate\":" << num(stats.cache_hit_rate)
+     << ",\"slow_rate\":" << num(stats.slow_rate)
+     << ",\"mean_queue_depth\":" << num(stats.mean_queue_depth)
+     << ",\"burn_rate\":" << num(stats.budget_burn_rate) << ",\"alerts\":[";
+  bool first = true;
+  for (const std::string& name : firing_alerts) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(name) << '"';
+  }
+  os << "]}\n";
+}
+
+}  // namespace mfgpu::obs

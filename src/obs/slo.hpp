@@ -1,0 +1,135 @@
+// Rolling-window SLO telemetry for the serving layer.
+//
+// Sessions record one RequestSample per finished request (completed,
+// failed, rejected, cancelled, or deadline-expired) into a fixed-size
+// lock-free ring; window() scans the ring and aggregates every sample
+// whose completion time falls inside the trailing window into one
+// WindowStats: p50/p99/max latency, error / retry / cache-hit / slow
+// rates, mean queue depth, and the SLO budget burn rate.
+//
+// Lock-freedom: writers claim a slot with one fetch_add and publish the
+// payload as relaxed atomic words between two seqlock-style sequence
+// stores, so concurrent serve sessions never contend on a mutex and a
+// reader (the health monitor) detects and skips slots that are mid-write
+// or were overwritten while it looked. A full ring overwrites the oldest
+// samples — the window is bounded by both time and capacity.
+//
+// Burn rate: with an objective of `error_budget` violations allowed
+// (violation = failed request OR latency above latency_slo_seconds),
+//   burn = violation_rate / error_budget
+// so burn 1.0 consumes the budget exactly, > 1 eats into it (a sustained
+// burn of 2 exhausts a 30-day budget in 15 days), and the alert engine's
+// burn-rate rules fire on exactly this number.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mfgpu::obs {
+
+/// Outcome classes a sample can carry (numeric values match
+/// serve::RequestStatus so the serving layer can cast directly).
+enum class SampleStatus : std::uint8_t {
+  Ok = 0,
+  Rejected = 1,
+  Cancelled = 2,
+  DeadlineExceeded = 3,
+  Failed = 4
+};
+
+/// One finished request, as the SLO window sees it.
+struct RequestSample {
+  std::int64_t end_ns = 0;      ///< completion time (steady clock, ns)
+  float latency_seconds = 0.0F; ///< admission -> fulfillment
+  float queue_depth = 0.0F;     ///< queue depth observed at completion
+  SampleStatus status = SampleStatus::Ok;
+  bool cache_hit = false;       ///< request avoided a full symbolic analysis
+  std::uint8_t attempts = 1;    ///< executions consumed (>1 = retried)
+};
+
+struct SloOptions {
+  double window_seconds = 10.0;
+  std::size_t capacity = 4096;        ///< ring slots (power of two not required)
+  double latency_slo_seconds = 1.0;   ///< per-request latency objective
+  /// Fraction of requests allowed to violate the SLO (error budget).
+  double error_budget = 0.01;
+};
+
+/// Aggregates of every sample inside one trailing window.
+struct WindowStats {
+  std::int64_t window_start_ns = 0;
+  std::int64_t window_end_ns = 0;
+  double window_seconds = 0.0;
+
+  std::int64_t total = 0;      ///< samples in window (all outcomes)
+  std::int64_t completed = 0;  ///< status Ok
+  std::int64_t failed = 0;
+  std::int64_t rejected = 0;
+  std::int64_t cancelled = 0;
+  std::int64_t deadline_exceeded = 0;
+  std::int64_t retried = 0;    ///< finished with attempts > 1
+  std::int64_t extra_attempts = 0;  ///< sum of (attempts - 1)
+
+  double p50_latency_seconds = 0.0;  ///< over completed requests
+  double p99_latency_seconds = 0.0;
+  double max_latency_seconds = 0.0;
+
+  double error_rate = 0.0;      ///< failed / total
+  double retry_rate = 0.0;      ///< retried / total
+  double cache_hit_rate = 0.0;  ///< over completed requests
+  double slow_rate = 0.0;       ///< completed above the latency SLO / total
+  double mean_queue_depth = 0.0;
+
+  /// (failed + slow) / (total * error_budget); 0 when the window is empty.
+  double budget_burn_rate = 0.0;
+};
+
+class SloAggregator {
+ public:
+  explicit SloAggregator(SloOptions options = {});
+  ~SloAggregator();
+
+  SloAggregator(const SloAggregator&) = delete;
+  SloAggregator& operator=(const SloAggregator&) = delete;
+
+  const SloOptions& options() const noexcept { return options_; }
+
+  /// Record one finished request (lock-free, callable from any thread).
+  /// Unlike metrics, samples are always recorded — the health monitor
+  /// works with or without obs span/metric recording enabled.
+  void record(const RequestSample& sample) noexcept;
+
+  /// Steady-clock timestamp recorder threads and window() share.
+  static std::int64_t now_ns() noexcept;
+
+  /// Aggregate the trailing window ending at `now` (default: now_ns()).
+  WindowStats window(std::int64_t now = -1) const;
+
+  /// Total samples ever recorded (monotonic).
+  std::int64_t recorded() const noexcept;
+
+  /// Mirror one WindowStats as slo.* gauges in the global MetricsRegistry
+  /// (no-op while obs is disabled, like every other metric write).
+  static void publish(const WindowStats& stats);
+
+ private:
+  struct Slot;
+  SloOptions options_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> next_{0};
+};
+
+/// Prometheus text-format snapshot of one window (# HELP/# TYPE + gauges).
+void write_prometheus(std::ostream& os, const WindowStats& stats);
+
+/// One JSON-lines health sample: the window plus the currently firing
+/// alert names (empty list allowed) — the stream tools/mfgpu_top tails.
+void write_health_sample_json(std::ostream& os, const WindowStats& stats,
+                              const std::vector<std::string>& firing_alerts);
+
+}  // namespace mfgpu::obs

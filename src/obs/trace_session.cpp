@@ -5,6 +5,8 @@
 #include <memory>
 #include <mutex>
 
+#include "obs/request_context.hpp"
+
 namespace mfgpu::obs {
 namespace {
 
@@ -113,6 +115,17 @@ int& TraceSession::thread_depth() noexcept {
   return depth;
 }
 
+std::size_t TraceSession::current_thread_event_count() {
+  return impl_->local().events.size();
+}
+
+std::vector<SpanEvent> TraceSession::current_thread_events_since(
+    std::size_t mark) {
+  const std::vector<SpanEvent>& events = impl_->local().events;
+  if (mark >= events.size()) return {};
+  return {events.begin() + static_cast<std::ptrdiff_t>(mark), events.end()};
+}
+
 void ScopedSpan::begin(const char* category, const char* name,
                        const SimClock* sim) {
   active_ = true;
@@ -122,15 +135,45 @@ void ScopedSpan::begin(const char* category, const char* name,
   ev_.start_ns = TraceSession::global().now_ns();
   if (sim != nullptr) ev_.sim_start = sim->now();
   ev_.depth = TraceSession::thread_depth()++;
+  // Causal links: parent is the innermost open span on this thread, or the
+  // bound request's admission span when this is the thread's outermost one.
+  ev_.span_id = next_span_id();
+  ev_.parent_span = current_parent_span();
+  ev_.request_id = current_request_id();
+  push_open_span(ev_.span_id);
 }
 
 void ScopedSpan::finish() {
   --TraceSession::thread_depth();
+  pop_open_span();
   ev_.end_ns = TraceSession::global().now_ns();
   if (sim_ != nullptr) ev_.sim_end = sim_->now();
   // The session may have been disabled mid-span; keep the event anyway so
   // begun spans are always balanced in the output.
   TraceSession::global().record(ev_);
+}
+
+std::uint64_t record_span(const char* category, const char* name,
+                          std::int64_t start_ns, std::int64_t end_ns,
+                          std::uint64_t request_id, std::uint64_t parent_span,
+                          std::initializer_list<SpanEvent::Arg> args) {
+  if (!enabled()) return 0;
+  SpanEvent ev;
+  ev.name = name;
+  ev.category = category;
+  ev.start_ns = start_ns;
+  ev.end_ns = end_ns;
+  ev.depth = TraceSession::thread_depth();
+  ev.span_id = next_span_id();
+  ev.parent_span = parent_span;
+  ev.request_id = request_id;
+  int slot = 0;
+  for (const SpanEvent::Arg& arg : args) {
+    if (slot >= 3) break;
+    ev.args[slot++] = arg;
+  }
+  TraceSession::global().record(ev);
+  return ev.span_id;
 }
 
 }  // namespace mfgpu::obs

@@ -12,7 +12,9 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
@@ -45,6 +47,14 @@ struct SpanEvent {
   std::int64_t end_ns = 0;
   double sim_start = -1.0;  ///< simulated seconds; < 0 = no sim clock in scope
   double sim_end = -1.0;
+  /// Request-scoped causality (obs/request_context.hpp): every span gets a
+  /// process-unique id; parent_span links it to the innermost enclosing
+  /// span (same thread) or to the bound request's admission span (across
+  /// threads); request_id tags every span opened while a RequestContext is
+  /// bound. All 0 when no request tracing is in play.
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span = 0;
+  std::uint64_t request_id = 0;
   Arg args[3];
 };
 
@@ -80,6 +90,15 @@ class TraceSession {
   /// Nanoseconds of host wall clock since the session epoch.
   std::int64_t now_ns() const noexcept;
 
+  /// Number of events the CALLING thread has recorded so far. Reading your
+  /// own buffer is always race-free, so a thread can mark a position and
+  /// later collect its own spans with current_thread_events_since() — the
+  /// serving layer's per-request trace-dump path.
+  std::size_t current_thread_event_count();
+  /// Copy of the calling thread's events from `mark` (a prior
+  /// current_thread_event_count() value) to now.
+  std::vector<SpanEvent> current_thread_events_since(std::size_t mark);
+
   /// Nesting depth counter of the calling thread (managed by ScopedSpan).
   static int& thread_depth() noexcept;
 
@@ -114,6 +133,10 @@ class ScopedSpan {
 
   bool active() const noexcept { return active_; }
 
+  /// Process-unique id of this span (0 while inactive) — the parent link
+  /// for manually recorded child spans.
+  std::uint64_t id() const noexcept { return ev_.span_id; }
+
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
@@ -125,5 +148,17 @@ class ScopedSpan {
   const SimClock* sim_ = nullptr;
   SpanEvent ev_;
 };
+
+/// Record one already-timed span directly (no RAII): for intervals whose
+/// endpoints were observed at different places (a request's queue wait) or
+/// for instant markers (retry enqueues, alert firings — start == end).
+/// `request_id`/`parent_span` stamp the causal links explicitly; the span
+/// lands in the calling thread's lane. No-op (returns 0) while recording
+/// is off; otherwise returns the new span's id.
+std::uint64_t record_span(const char* category, const char* name,
+                          std::int64_t start_ns, std::int64_t end_ns,
+                          std::uint64_t request_id = 0,
+                          std::uint64_t parent_span = 0,
+                          std::initializer_list<SpanEvent::Arg> args = {});
 
 }  // namespace mfgpu::obs

@@ -6,6 +6,7 @@
 
 #include "obs/decision_log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/request_context.hpp"
 #include "policy/p4_gpu_potrf.hpp"
 
 namespace mfgpu {
@@ -416,6 +417,7 @@ FuOutcome DispatchExecutor::execute(FrontBlocks front, FactorContext& ctx) {
     decision.policy = outcome.record.policy;
     if (predictor_) decision.predicted_seconds = predictor_(front.m, front.k, choice);
     decision.measured_seconds = outcome.record.t_total;
+    decision.request_id = obs::current_request_id();
     obs::DecisionLog::global().record(decision);
   }
   return outcome;
@@ -517,6 +519,7 @@ FuOutcome DispatchExecutor::execute_tolerant(const FrontBlocks& front,
       event.fell_back = !will_retry;
       event.quarantined = newly_quarantined;
       event.wasted_seconds = wasted;
+      event.request_id = obs::current_request_id();
       obs::DecisionLog::global().record_fault(event);
     }
     if (!will_retry) break;

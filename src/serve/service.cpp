@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
+#include <fstream>
 #include <thread>
 #include <utility>
 
 #include "multifrontal/solve.hpp"
 #include "obs/obs.hpp"
+#include "obs/request_context.hpp"
 #include "sched/bounded_queue.hpp"
 #include "serve/cost.hpp"
 
@@ -26,6 +29,10 @@ struct Request {
   bool has_deadline = false;
   int retries_left = 0;
   int attempts = 0;
+  bool collect_trace = false;
+  /// Causal identity carried through sessions, Solver phases, executors,
+  /// and fault injection (see obs/request_context.hpp).
+  obs::RequestContext ctx;
   std::promise<SolveResult> promise;
 
   bool expired(Clock::time_point now) const noexcept {
@@ -34,6 +41,7 @@ struct Request {
 };
 
 void fulfill(Request& request, SolveResult result) {
+  result.request_id = request.ctx.request_id;
   request.promise.set_value(std::move(result));
 }
 
@@ -42,6 +50,10 @@ SolveResult make_status_result(RequestStatus status, std::string error = {}) {
   result.status = status;
   result.error = std::move(error);
   return result;
+}
+
+std::uint8_t clamped_attempts(int attempts) noexcept {
+  return static_cast<std::uint8_t>(std::clamp(attempts, 1, 255));
 }
 
 }  // namespace
@@ -61,7 +73,11 @@ struct SolverService::Impl {
   explicit Impl(ServeOptions options_in)
       : options(std::move(options_in)),
         cache(options.analysis_cache_bytes),
-        queue(options.queue_capacity) {
+        queue(options.queue_capacity),
+        slo(options.slo),
+        alerts(options.alert_rules.empty()
+                   ? obs::default_serve_alert_rules(options.queue_capacity)
+                   : options.alert_rules) {
     MFGPU_CHECK(options.max_batch_rhs >= 1,
                 "SolverService: max_batch_rhs must be >= 1");
     const int sessions = options.session_workers.empty()
@@ -72,6 +88,9 @@ struct SolverService::Impl {
     threads.reserve(static_cast<std::size_t>(sessions));
     for (int id = 0; id < sessions; ++id) {
       threads.emplace_back([this, id] { run_session(id); });
+    }
+    if (options.health_sample_seconds > 0.0) {
+      monitor = std::thread([this] { run_monitor(); });
     }
   }
 
@@ -97,10 +116,40 @@ struct SolverService::Impl {
   void finish_expired(Request& request);
   void cancel(Request& request);
 
+  /// One RequestSample per finished request. Always recorded (the health
+  /// monitor works with or without obs recording), so the steady-clock
+  /// latency is measured here, not derived from span timestamps.
+  void record_slo_sample(const Request& request, RequestStatus status,
+                         bool cache_hit) {
+    obs::RequestSample sample;
+    sample.end_ns = obs::SloAggregator::now_ns();
+    sample.latency_seconds = static_cast<float>(
+        std::chrono::duration<double>(Clock::now() - request.enqueued).count());
+    sample.queue_depth = static_cast<float>(queue.size());
+    sample.status = static_cast<obs::SampleStatus>(status);
+    sample.cache_hit = cache_hit;
+    sample.attempts = clamped_attempts(std::max(1, request.attempts));
+    slo.record(sample);
+  }
+
+  void run_monitor();
+  obs::WindowStats sample_health();
+
   ServeOptions options;
   AnalysisCache cache;
   BoundedQueue<Request> queue;
   std::vector<std::thread> threads;
+
+  obs::SloAggregator slo;
+  obs::AlertEngine alerts;
+
+  mutable std::mutex health_mutex;
+  obs::WindowStats last_health;
+
+  std::mutex monitor_mutex;
+  std::condition_variable monitor_cv;
+  bool monitor_stop = false;
+  std::thread monitor;
 
   mutable std::mutex stats_mutex;
   ServiceStats stats;
@@ -115,6 +164,10 @@ void SolverService::Impl::finish_expired(Request& request) {
     ++stats.deadline_exceeded;
   }
   obs::MetricsRegistry::global().increment("serve.requests.deadline_exceeded");
+  const std::int64_t now = obs::TraceSession::global().now_ns();
+  obs::record_span("request", "deadline_exceeded", now, now,
+                   request.ctx.request_id, request.ctx.root_span);
+  record_slo_sample(request, RequestStatus::DeadlineExceeded, false);
   fulfill(request, make_status_result(RequestStatus::DeadlineExceeded));
 }
 
@@ -124,6 +177,10 @@ void SolverService::Impl::cancel(Request& request) {
     ++stats.cancelled;
   }
   obs::MetricsRegistry::global().increment("serve.requests.cancelled");
+  const std::int64_t now = obs::TraceSession::global().now_ns();
+  obs::record_span("request", "cancelled", now, now, request.ctx.request_id,
+                   request.ctx.root_span);
+  record_slo_sample(request, RequestStatus::Cancelled, false);
   fulfill(request, make_status_result(RequestStatus::Cancelled));
 }
 
@@ -170,73 +227,122 @@ void SolverService::Impl::run_session(int id) {
 void SolverService::Impl::process_batch(std::vector<Request>& batch,
                                         Session& session, int id) {
   for (Request& request : batch) ++request.attempts;
-  const Request& head = batch.front();
+  Request& head = batch.front();
   const index_t n = head.matrix->n();
   const index_t k = static_cast<index_t>(batch.size());
 
-  obs::ScopedSpan span("serve", "request_batch");
-  span.set_arg(0, "n", n);
-  span.set_arg(1, "batch_rhs", k);
+  // Bind the head request's context to this session thread: every span the
+  // batch opens below — Solver phases, pool-worker F-U tasks (re-bound by
+  // factorize_parallel), dispatch decisions, injected faults — is stamped
+  // with its request id and parent-linked into its causal tree. Batched
+  // siblings share the head's execution tree; their own identity lives in
+  // their queue_wait/complete markers.
+  obs::RequestScope request_scope(&head.ctx);
+  obs::TraceSession& trace = obs::TraceSession::global();
+  const bool collect =
+      obs::enabled() && std::any_of(batch.begin(), batch.end(),
+                                    [](const Request& r) {
+                                      return r.collect_trace;
+                                    });
+  // Mark this thread's buffer position BEFORE recording anything for the
+  // batch: the per-request trace dump is everything the session thread
+  // records from here to fulfillment (own-buffer reads are race-free).
+  const std::size_t trace_mark = trace.current_thread_event_count();
+  {
+    // Queue wait as a real interval per request: admission -> pickup.
+    const std::int64_t now = trace.now_ns();
+    for (const Request& r : batch) {
+      obs::record_span("request", "queue_wait", r.ctx.admitted_ns, now,
+                       r.ctx.request_id, r.ctx.root_span,
+                       {{"attempt", r.attempts}});
+    }
+  }
 
   bool analysis_reused = false;
   bool factor_reused = false;
   double analyze_sim = 0.0;
   double factor_sim = 0.0;
-  try {
-    if (session.solver != nullptr && session.pattern_fp == head.pattern_fp) {
-      analysis_reused = true;
-      if (session.values_fp == head.values_fp) {
-        factor_reused = true;
-      } else {
-        obs::ScopedSpan refactor_span("serve", "refactor");
-        session.solver->refactor(*head.matrix);
-        factor_sim = session.solver->factor_time();
-      }
-    } else {
-      std::shared_ptr<const PatternAnalysis> shared =
-          cache.lookup(head.pattern_fp);
-      if (shared != nullptr) {
+  double solve_sim = 0.0;
+  Matrix<double> solution;
+  bool exec_failed = false;
+  std::string exec_error;
+  {
+    // The batch span closes at this block's end — BEFORE results are
+    // fulfilled — so a collect_trace dump taken afterwards contains the
+    // complete execution tree, not a still-open span.
+    obs::ScopedSpan span("serve", "request_batch");
+    span.set_arg(0, "n", n);
+    span.set_arg(1, "batch_rhs", k);
+    span.set_arg(2, "request",
+                 static_cast<std::int64_t>(head.ctx.request_id));
+    try {
+      if (session.solver != nullptr && session.pattern_fp == head.pattern_fp) {
         analysis_reused = true;
-        obs::ScopedSpan adopt_span("serve", "adopt_cached_analysis");
-        session.solver = std::make_unique<Solver>(Solver::analyze(
-            *head.matrix, std::move(shared), session_solver_options(id)));
+        if (session.values_fp == head.values_fp) {
+          factor_reused = true;
+        } else {
+          obs::ScopedSpan refactor_span("serve", "refactor");
+          session.solver->refactor(*head.matrix);
+          factor_sim = session.solver->factor_time();
+        }
       } else {
-        obs::ScopedSpan analyze_span("serve", "analyze_miss");
-        session.solver = std::make_unique<Solver>(
-            Solver::analyze(*head.matrix, session_solver_options(id)));
-        cache.insert(session.solver->share_analysis());
-        analyze_sim = estimated_analyze_seconds(
-            *head.matrix, session.solver->analysis().symbolic);
+        std::shared_ptr<const PatternAnalysis> shared =
+            cache.lookup(head.pattern_fp);
+        if (shared != nullptr) {
+          analysis_reused = true;
+          obs::ScopedSpan adopt_span("serve", "adopt_cached_analysis");
+          session.solver = std::make_unique<Solver>(Solver::analyze(
+              *head.matrix, std::move(shared), session_solver_options(id)));
+        } else {
+          obs::ScopedSpan analyze_span("serve", "analyze_miss");
+          session.solver = std::make_unique<Solver>(
+              Solver::analyze(*head.matrix, session_solver_options(id)));
+          cache.insert(session.solver->share_analysis());
+          analyze_sim = estimated_analyze_seconds(
+              *head.matrix, session.solver->analysis().symbolic);
+        }
+        {
+          obs::ScopedSpan factor_span("serve", "factor");
+          session.solver->factor();
+        }
+        factor_sim = session.solver->factor_time();
+        session.pattern_fp = head.pattern_fp;
+      }
+      session.values_fp = head.values_fp;
+
+      // One blocked pass over all coalesced right-hand sides. The
+      // per-column numeric path is the same refined solve a direct
+      // Solver::solve runs, so batched results stay bitwise identical to
+      // unbatched ones.
+      Matrix<double> block(n, k);
+      for (index_t j = 0; j < k; ++j) {
+        const std::vector<double>& rhs =
+            batch[static_cast<std::size_t>(j)].rhs;
+        for (index_t i = 0; i < n; ++i) {
+          block(i, j) = rhs[static_cast<std::size_t>(i)];
+        }
       }
       {
-        obs::ScopedSpan factor_span("serve", "factor");
-        session.solver->factor();
+        obs::ScopedSpan solve_span("serve", "batch_solve");
+        solve_span.set_arg(0, "batch_rhs", k);
+        solution = session.solver->solve(block);
       }
-      factor_sim = session.solver->factor_time();
-      session.pattern_fp = head.pattern_fp;
+      solve_sim =
+          estimated_solve_seconds(session.solver->analysis().symbolic, k);
+    } catch (const Error& e) {
+      // The session's solver may be mid-phase — drop it so the next request
+      // rebuilds from a clean state (the shared cache entry, if any, is
+      // unaffected: PatternAnalysis is immutable).
+      exec_failed = true;
+      exec_error = e.what();
+      session.solver.reset();
+      session.pattern_fp = 0;
+      session.values_fp = 0;
     }
-    session.values_fp = head.values_fp;
+  }
 
-    // One blocked pass over all coalesced right-hand sides. The per-column
-    // numeric path is the same refined solve a direct Solver::solve runs,
-    // so batched results stay bitwise identical to unbatched ones.
-    Matrix<double> block(n, k);
-    for (index_t j = 0; j < k; ++j) {
-      const std::vector<double>& rhs =
-          batch[static_cast<std::size_t>(j)].rhs;
-      for (index_t i = 0; i < n; ++i) {
-        block(i, j) = rhs[static_cast<std::size_t>(i)];
-      }
-    }
-    Matrix<double> solution;
-    {
-      obs::ScopedSpan solve_span("serve", "batch_solve");
-      solve_span.set_arg(0, "batch_rhs", k);
-      solution = session.solver->solve(block);
-    }
-    const double solve_sim =
-        estimated_solve_seconds(session.solver->analysis().symbolic, k);
-
+  auto& metrics = obs::MetricsRegistry::global();
+  if (!exec_failed) {
     {
       std::lock_guard<std::mutex> lock(stats_mutex);
       ++stats.batches;
@@ -247,7 +353,6 @@ void SolverService::Impl::process_batch(std::vector<Request>& batch,
       stats.sim_factor_seconds += factor_sim;
       stats.sim_solve_seconds += solve_sim;
     }
-    auto& metrics = obs::MetricsRegistry::global();
     metrics.increment("serve.batches");
     metrics.observe("serve.batch.rhs", static_cast<double>(k));
     metrics.add("serve.requests.completed", static_cast<double>(k));
@@ -262,6 +367,16 @@ void SolverService::Impl::process_batch(std::vector<Request>& batch,
     const double sim_share = (analyze_sim + factor_sim + solve_sim) /
                              static_cast<double>(k);
     const Clock::time_point now = Clock::now();
+    const std::int64_t now_ns = trace.now_ns();
+    for (const Request& request : batch) {
+      obs::record_span("request", "complete", now_ns, now_ns,
+                       request.ctx.request_id, request.ctx.root_span,
+                       {{"attempts", request.attempts}});
+    }
+    // Dump AFTER the completion markers so they are part of the slice.
+    std::vector<obs::SpanEvent> dumped;
+    if (collect) dumped = trace.current_thread_events_since(trace_mark);
+
     for (index_t j = 0; j < k; ++j) {
       Request& request = batch[static_cast<std::size_t>(j)];
       SolveResult result;
@@ -275,66 +390,122 @@ void SolverService::Impl::process_batch(std::vector<Request>& batch,
       result.batch_size = static_cast<int>(k);
       result.simulated_seconds = sim_share;
       result.attempts = request.attempts;
+      if (request.collect_trace) {
+        result.trace.reserve(dumped.size());
+        for (const obs::SpanEvent& ev : dumped) {
+          result.trace.push_back(RequestTraceSpan{
+              ev.category, ev.name, ev.start_ns, ev.end_ns, ev.span_id,
+              ev.parent_span});
+        }
+      }
       metrics.observe(
           "serve.request.latency_seconds",
           std::chrono::duration<double>(now - request.enqueued).count());
+      record_slo_sample(request, RequestStatus::Ok, analysis_reused);
       fulfill(request, std::move(result));
     }
-  } catch (const Error& e) {
-    // The session's solver may be mid-phase — drop it so the next request
-    // rebuilds from a clean state (the shared cache entry, if any, is
-    // unaffected: PatternAnalysis is immutable).
-    session.solver.reset();
-    session.pattern_fp = 0;
-    session.values_fp = 0;
-    // Requests with retry budget left go back to the queue for another
-    // attempt (possibly on a different session, against the rebuilt
-    // state); the rest fail. try_push never blocks a session thread and
-    // fails once the queue is closed or full, in which case the request
-    // fails like one with no budget.
-    std::int64_t failed = 0;
-    std::int64_t retried = 0;
-    std::int64_t exhausted = 0;
-    std::vector<std::size_t> failing;
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      Request& request = batch[i];
-      if (request.retries_left > 0) {
-        --request.retries_left;
-        if (queue.try_push(request)) {
-          ++retried;
-          continue;
-        }
-      } else if (request.attempts > 1) {
-        ++exhausted;
-      }
-      ++failed;
-      failing.push_back(i);
-    }
-    {
-      std::lock_guard<std::mutex> lock(stats_mutex);
-      stats.failed += failed;
-      stats.retries += retried;
-      stats.retry_exhausted += exhausted;
-    }
-    auto& metrics = obs::MetricsRegistry::global();
-    if (failed > 0) {
-      metrics.add("serve.requests.failed", static_cast<double>(failed));
-    }
-    if (retried > 0) {
-      metrics.add("serve.retry.scheduled", static_cast<double>(retried));
-    }
-    if (exhausted > 0) {
-      metrics.add("serve.retry.exhausted", static_cast<double>(exhausted));
-    }
-    // Fulfill only after the stats/metrics are published: a caller blocked
-    // on the future must observe consistent counters once it wakes.
-    for (std::size_t i : failing) {
-      Request& request = batch[i];
-      SolveResult failure = make_status_result(RequestStatus::Failed, e.what());
-      failure.attempts = request.attempts;
-      fulfill(request, std::move(failure));
-    }
+    return;
   }
+
+  // Execution failed. Requests with retry budget left go back to the queue
+  // for another attempt (possibly on a different session, against the
+  // rebuilt state); the rest fail. try_push never blocks a session thread
+  // and fails once the queue is closed or full, in which case the request
+  // fails like one with no budget.
+  std::int64_t failed = 0;
+  std::int64_t retried = 0;
+  std::int64_t exhausted = 0;
+  std::vector<std::size_t> failing;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Request& request = batch[i];
+    if (request.retries_left > 0) {
+      --request.retries_left;
+      // Marker first: try_push moves the request out on success.
+      const std::int64_t now_ns = trace.now_ns();
+      obs::record_span("request", "retry_enqueue", now_ns, now_ns,
+                       request.ctx.request_id, request.ctx.root_span,
+                       {{"attempt", request.attempts}});
+      if (queue.try_push(request)) {
+        ++retried;
+        continue;
+      }
+    } else if (request.attempts > 1) {
+      ++exhausted;
+    }
+    ++failed;
+    failing.push_back(i);
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex);
+    stats.failed += failed;
+    stats.retries += retried;
+    stats.retry_exhausted += exhausted;
+  }
+  if (failed > 0) {
+    metrics.add("serve.requests.failed", static_cast<double>(failed));
+  }
+  if (retried > 0) {
+    metrics.add("serve.retry.scheduled", static_cast<double>(retried));
+  }
+  if (exhausted > 0) {
+    metrics.add("serve.retry.exhausted", static_cast<double>(exhausted));
+  }
+  // The failure-path dump: queue waits, the partial execution tree, and
+  // the retry markers recorded above.
+  std::vector<obs::SpanEvent> dumped;
+  if (collect) dumped = trace.current_thread_events_since(trace_mark);
+  // Fulfill only after the stats/metrics are published: a caller blocked
+  // on the future must observe consistent counters once it wakes.
+  for (std::size_t i : failing) {
+    Request& request = batch[i];
+    SolveResult failure =
+        make_status_result(RequestStatus::Failed, exec_error);
+    failure.attempts = request.attempts;
+    if (request.collect_trace) {
+      failure.trace.reserve(dumped.size());
+      for (const obs::SpanEvent& ev : dumped) {
+        failure.trace.push_back(RequestTraceSpan{ev.category, ev.name,
+                                                 ev.start_ns, ev.end_ns,
+                                                 ev.span_id, ev.parent_span});
+      }
+    }
+    record_slo_sample(request, RequestStatus::Failed, false);
+    fulfill(request, std::move(failure));
+  }
+}
+
+void SolverService::Impl::run_monitor() {
+  std::unique_lock<std::mutex> lock(monitor_mutex);
+  const auto period = std::chrono::duration<double>(
+      std::max(1e-3, options.health_sample_seconds));
+  while (!monitor_stop) {
+    if (monitor_cv.wait_for(lock, period, [this] { return monitor_stop; })) {
+      break;
+    }
+    lock.unlock();
+    sample_health();
+    lock.lock();
+  }
+}
+
+obs::WindowStats SolverService::Impl::sample_health() {
+  obs::WindowStats window = slo.window();
+  obs::SloAggregator::publish(window);
+  alerts.evaluate(window);
+  const std::vector<std::string> firing = alerts.firing();
+  {
+    std::lock_guard<std::mutex> lock(health_mutex);
+    last_health = window;
+  }
+  if (!options.health_json_path.empty()) {
+    std::ofstream out(options.health_json_path, std::ios::app);
+    if (out) obs::write_health_sample_json(out, window, firing);
+  }
+  if (!options.prometheus_path.empty()) {
+    std::ofstream out(options.prometheus_path, std::ios::trunc);
+    if (out) obs::write_prometheus(out, window);
+  }
+  return window;
 }
 
 SolverService::SolverService(ServeOptions options)
@@ -367,6 +538,7 @@ std::future<SolveResult> SolverService::submit(
   request.rhs = std::move(rhs);
   request.enqueued = Clock::now();
   request.retries_left = std::max(0, options.max_retries);
+  request.collect_trace = options.collect_trace;
   if (options.deadline_seconds > 0.0) {
     request.has_deadline = true;
     request.deadline =
@@ -374,6 +546,27 @@ std::future<SolveResult> SolverService::submit(
         std::chrono::duration_cast<Clock::duration>(
             std::chrono::duration<double>(options.deadline_seconds));
   }
+
+  // Mint the request's causal identity at admission. The id is allocated
+  // unconditionally (it also keys SLO samples and SolveResult::request_id);
+  // the admission span only lands in the trace while recording is on.
+  obs::TraceSession& trace = obs::TraceSession::global();
+  request.ctx.request_id = obs::next_request_id();
+  request.ctx.tenant = options.tenant;
+  request.ctx.priority = options.priority;
+  request.ctx.admitted_ns = trace.now_ns();
+  if (request.has_deadline) {
+    request.ctx.deadline_ns =
+        request.ctx.admitted_ns +
+        static_cast<std::int64_t>(options.deadline_seconds * 1e9);
+  }
+  request.ctx.root_span = obs::record_span(
+      "request", "admit", request.ctx.admitted_ns, request.ctx.admitted_ns,
+      request.ctx.request_id, 0,
+      {{"tenant", static_cast<std::int64_t>(options.tenant)},
+       {"priority", options.priority},
+       {"max_retries", request.retries_left}});
+
   std::future<SolveResult> future = request.promise.get_future();
 
   const bool accepted = impl_->options.admission == AdmissionPolicy::Block
@@ -387,7 +580,11 @@ std::future<SolveResult> SolverService::submit(
       ++impl_->stats.rejected;
     }
     metrics.increment("serve.requests.rejected");
-    request.promise.set_value(make_status_result(RequestStatus::Rejected));
+    const std::int64_t now = trace.now_ns();
+    obs::record_span("request", "rejected", now, now, request.ctx.request_id,
+                     request.ctx.root_span);
+    impl_->record_slo_sample(request, RequestStatus::Rejected, false);
+    fulfill(request, make_status_result(RequestStatus::Rejected));
     return future;
   }
   {
@@ -418,7 +615,39 @@ void SolverService::shutdown(bool drain_queued) {
     }
     for (std::thread& thread : impl_->threads) thread.join();
     impl_->threads.clear();
+    if (impl_->monitor.joinable()) {
+      {
+        std::lock_guard<std::mutex> monitor_lock(impl_->monitor_mutex);
+        impl_->monitor_stop = true;
+      }
+      impl_->monitor_cv.notify_all();
+      impl_->monitor.join();
+    }
+    // Final health sample (captures the drained tail) and exporter flush:
+    // traces/metrics for work served during shutdown reach the configured
+    // MFGPU_TRACE/MFGPU_METRICS files even when this service outlives the
+    // scope that would export them, or the process exits without
+    // unwinding.
+    impl_->sample_health();
+    obs::flush_exports();
   }
+}
+
+obs::WindowStats SolverService::sample_health() {
+  return impl_->sample_health();
+}
+
+obs::WindowStats SolverService::health() const {
+  std::lock_guard<std::mutex> lock(impl_->health_mutex);
+  return impl_->last_health;
+}
+
+std::vector<obs::AlertTransition> SolverService::alert_history() const {
+  return impl_->alerts.history();
+}
+
+std::vector<std::string> SolverService::firing_alerts() const {
+  return impl_->alerts.firing();
 }
 
 ServiceStats SolverService::stats() const {

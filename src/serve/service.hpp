@@ -38,19 +38,34 @@
 // re-enqueued instead of failed, with serve.retry.* metrics tracking the
 // budget's use.
 //
-// Observability: every stage emits serve.* counters/gauges/histograms
-// (queue depth, cache hit rate, admission rejects, batch widths, request
-// latency for p50/p99 via HistogramData::percentile) and "serve" spans per
-// request batch, so traced runs extend profile_report()-style audits to
-// the service.
+// Observability. Three layers, from cheapest to richest:
+//   - serve.* counters/gauges/histograms per stage (queue depth, cache hit
+//     rate, admission rejects, batch widths, request latency), as before;
+//   - request-scoped tracing: every admitted request gets an
+//     obs::RequestContext (process-unique id, tenant, priority, admission
+//     span as causal root) that rides with it through sessions, Solver
+//     phases, DispatchExecutor decisions, retries, and injected faults.
+//     Spans recorded while the request is bound are parent-linked, so the
+//     Chrome-trace export renders each request's causal tree
+//     (queue wait -> analyze/factor -> per-front F-U calls -> solve ->
+//     retries); RequestOptions::collect_trace additionally returns the
+//     session-thread slice of that tree inline in the SolveResult;
+//   - rolling SLO telemetry: every finished request lands one sample in a
+//     lock-free obs::SloAggregator window (p50/p99 latency, error/retry/
+//     cache-hit rates, queue depth, budget burn rate), evaluated by an
+//     obs::AlertEngine and published as slo.* gauges, a Prometheus text
+//     snapshot, and JSON health samples that tools/mfgpu_top tails live.
 #pragma once
 
+#include <cstdint>
 #include <future>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/solver.hpp"
+#include "obs/alerts.hpp"
+#include "obs/slo.hpp"
 #include "serve/analysis_cache.hpp"
 
 namespace mfgpu::serve {
@@ -80,6 +95,28 @@ struct RequestOptions {
   /// original enqueue time, so their extra latency shows up in the
   /// serve.request.latency_seconds histogram (p50/p99).
   int max_retries = 0;
+  /// Caller-assigned tenant id carried on the request's trace spans
+  /// (0 = none).
+  std::uint64_t tenant = 0;
+  /// Caller-assigned priority class, recorded on the admission span.
+  int priority = 0;
+  /// Return the request's trace slice inline in SolveResult::trace: every
+  /// span the executing session thread recorded for this request's batch
+  /// (queue wait, analyze/factor/solve tree, fault and retry markers).
+  /// Requires obs recording to be on (an ObsScope / MFGPU_TRACE); the
+  /// vector stays empty otherwise.
+  bool collect_trace = false;
+};
+
+/// One span copied out of the trace for SolveResult::trace — an owned
+/// snapshot (strings copied) so it outlives the obs session.
+struct RequestTraceSpan {
+  std::string category;
+  std::string name;
+  std::int64_t start_ns = 0;  ///< relative to the obs session epoch
+  std::int64_t end_ns = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span = 0;  ///< 0 = root of this request's tree
 };
 
 struct SolveResult {
@@ -95,6 +132,15 @@ struct SolveResult {
   double simulated_seconds = 0.0;
   /// Execution attempts this request consumed (1 = no retries).
   int attempts = 1;
+  /// Process-unique request id (nonzero for every submitted request,
+  /// including rejected ones) — the key to find this request's spans in a
+  /// Chrome-trace export.
+  std::uint64_t request_id = 0;
+  /// Per-request trace dump (RequestOptions::collect_trace): the executing
+  /// session thread's spans for the batch that finished this request,
+  /// parent-linked via span_id/parent_span. Empty unless requested AND obs
+  /// recording was on.
+  std::vector<RequestTraceSpan> trace;
 
   bool ok() const noexcept { return status == RequestStatus::Ok; }
 };
@@ -117,6 +163,22 @@ struct ServeOptions {
   /// Construct with idle sessions; call start() to begin draining. Gives
   /// tests and benchmarks a deterministic queue composition.
   bool start_paused = false;
+
+  /// Rolling SLO window configuration (latency objective, error budget,
+  /// window length, ring capacity).
+  obs::SloOptions slo;
+  /// Alert rules the health monitor evaluates over each window sample.
+  /// Empty = obs::default_serve_alert_rules(queue_capacity).
+  std::vector<obs::AlertRule> alert_rules;
+  /// Period of the background health monitor thread; <= 0 disables the
+  /// thread (tests drive sampling deterministically via sample_health()).
+  double health_sample_seconds = 0.0;
+  /// Append one JSON health sample per evaluation to this file (JSONL —
+  /// the stream tools/mfgpu_top tails). "" = no file.
+  std::string health_json_path;
+  /// Rewrite a Prometheus text-format snapshot of the latest window on
+  /// each evaluation. "" = no file.
+  std::string prometheus_path;
 };
 
 /// Monotonic service counters (exact, independent of obs recording; the
@@ -179,8 +241,26 @@ class SolverService {
   /// Stop accepting work and wind down the sessions. drain_queued=true
   /// finishes everything already admitted; false cancels queued requests
   /// (futures resolve with Cancelled) and finishes only in-flight batches.
+  /// After the sessions join, takes one final health sample and flushes
+  /// every active ObsScope (obs::flush_exports()), so traces and metrics
+  /// for work served during shutdown reach their configured files.
   /// Idempotent; safe to call concurrently with submitters.
   void shutdown(bool drain_queued = true);
+
+  /// Evaluate the SLO window NOW: aggregates the trailing window, publishes
+  /// slo.* gauges, runs the alert rules, stores the result as health(), and
+  /// appends/rewrites the configured health/Prometheus files. The health
+  /// monitor thread calls this on its period; tests call it directly for
+  /// deterministic sampling.
+  obs::WindowStats sample_health();
+
+  /// The most recent sample_health() result (zero-valued before the first).
+  obs::WindowStats health() const;
+
+  /// Alert-engine views (thread-safe): full transition history and the
+  /// names of currently firing rules.
+  std::vector<obs::AlertTransition> alert_history() const;
+  std::vector<std::string> firing_alerts() const;
 
   ServiceStats stats() const;
   const AnalysisCache::Stats cache_stats() const;

@@ -5,15 +5,25 @@
 // precision iterative refinement.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
 #include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "multifrontal/parallel.hpp"
 #include "multifrontal/refine.hpp"
+#include "obs/obs.hpp"
 #include "ordering/minimum_degree.hpp"
 #include "policy/baseline_hybrid.hpp"
 #include "serve/service.hpp"
 #include "sparse/generators.hpp"
+#include "support/json.hpp"
 #include "support/rng.hpp"
 
 namespace mfgpu {
@@ -212,6 +222,208 @@ TEST(ChaosTest, ServiceSessionHealsAfterNpdAndKeepsServing) {
     EXPECT_EQ(after.x[i], before.x[i]) << "component " << i;
   }
   EXPECT_EQ(service.stats().failed, 1);
+}
+
+/// Integer arg lookup in a Chrome-trace event ("args" object), 0 if absent.
+std::uint64_t trace_arg(const JsonValue& ev, const char* key) {
+  const JsonValue* args = ev.find("args");
+  if (args == nullptr) return 0;
+  const JsonValue* value = args->find(key);
+  return value == nullptr ? 0
+                          : static_cast<std::uint64_t>(value->as_number());
+}
+
+TEST(ChaosTest, RequestTraceFollowsFaultedRetryToCompletion) {
+  // The tracing acceptance scenario: one request admitted, failed by an
+  // injected device fault (tolerance off: the fault propagates and fails
+  // the batch), re-enqueued by its retry budget, completed by the healthy
+  // CPU session — and the whole causal chain must be reconstructible from
+  // the Chrome-trace export via parent-linked span ids alone.
+  const std::string trace_path =
+      "chaos_request_trace_" +
+      std::to_string(
+          std::chrono::steady_clock::now().time_since_epoch().count()) +
+      ".json";
+  Rng rng(21);
+  // Large enough that the baseline-hybrid thresholds route fronts WITH
+  // update rows to the device (m = 0 roots skip the GPU entirely, so a
+  // grid whose only big front is the root never faults); see below.
+  const GridProblem p = make_elasticity_3d(7, 7, 7, 3, rng);
+  const auto a = std::make_shared<SparseSpd>(p.matrix);
+  const auto b1 = rhs_for_ones(p.matrix);
+  std::vector<double> b2(b1.size(), 0.5);
+
+  serve::SolveResult r1, r2;
+  {
+    obs::ObsScope scope(obs::make_config(trace_path, ""));
+    serve::ServeOptions options;
+    // One GPU session that faults on (nearly) every device op, one CPU
+    // session that never touches the device: whichever request lands on
+    // the GPU session fails, retries, and completes on the CPU session.
+    options.session_workers = {WorkerSpec{.has_gpu = true},
+                               WorkerSpec{.has_gpu = false}};
+    options.max_batch_rhs = 1;  // keep the two requests' fates independent
+    options.start_paused = true;
+    options.solver.executor.fault_tolerance = FaultTolerance::Off;
+    options.solver.device.faults.seed = 21;
+    options.solver.device.faults.transient_kernel_rate = 0.999;
+    serve::SolverService service(options);
+
+    serve::RequestOptions retryable;
+    retryable.max_retries = 20;
+    auto f1 = service.submit(a, b1, retryable);
+    auto f2 = service.submit(a, b2, retryable);
+    service.start();
+    r1 = f1.get();
+    r2 = f2.get();
+    EXPECT_GE(service.stats().retries, 1);
+    service.shutdown(true);
+  }  // scope end writes the Chrome trace
+
+  ASSERT_TRUE(r1.ok()) << r1.error;
+  ASSERT_TRUE(r2.ok()) << r2.error;
+  // At least one of the two first attempts ran on the faulty GPU session.
+  // If this fires with attempts == 1 on both, no front was device-routed
+  // and the grid below needs to grow.
+  const serve::SolveResult& retried = r1.attempts > 1 ? r1 : r2;
+  ASSERT_GT(retried.attempts, 1) << "no fault-induced retry happened";
+  const std::uint64_t rid = retried.request_id;
+  ASSERT_NE(rid, 0u);
+
+  std::ifstream in(trace_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const JsonValue doc = JsonValue::parse(buffer.str());
+  const auto& events = doc.at("traceEvents").items();
+
+  // Index the wall-clock track by span id and pull out this request's story.
+  std::map<std::uint64_t, const JsonValue*> by_span;
+  const JsonValue* admit = nullptr;
+  const JsonValue* complete = nullptr;
+  const JsonValue* fault = nullptr;
+  int queue_waits = 0;
+  int retry_markers = 0;
+  bool saw_first_attempt = false;
+  bool saw_final_attempt = false;
+  int flow_starts = 0;
+  int flow_finishes = 0;
+  for (const JsonValue& ev : events) {
+    const JsonValue* ph = ev.find("ph");
+    if (ph == nullptr) continue;
+    if (ph->as_string() == "s") ++flow_starts;
+    if (ph->as_string() == "f") ++flow_finishes;
+    if (ph->as_string() != "X" ||
+        static_cast<int>(ev.at("pid").as_number()) != 1) {
+      continue;
+    }
+    const std::uint64_t span_id = trace_arg(ev, "span_id");
+    if (span_id != 0) by_span.emplace(span_id, &ev);
+    if (trace_arg(ev, "request_id") != rid) continue;
+    const std::string& name = ev.at("name").as_string();
+    if (name == "admit") admit = &ev;
+    if (name == "complete") complete = &ev;
+    if (ev.at("cat").as_string() == "fault" && fault == nullptr) fault = &ev;
+    if (name == "queue_wait") {
+      ++queue_waits;
+      const std::uint64_t attempt = trace_arg(ev, "attempt");
+      saw_first_attempt = saw_first_attempt || attempt == 1;
+      saw_final_attempt =
+          saw_final_attempt ||
+          attempt == static_cast<std::uint64_t>(retried.attempts);
+    }
+    if (name == "retry_enqueue") ++retry_markers;
+  }
+
+  // Admission root: the only span of the request without a parent.
+  ASSERT_NE(admit, nullptr);
+  const std::uint64_t root = trace_arg(*admit, "span_id");
+  ASSERT_NE(root, 0u);
+  EXPECT_EQ(trace_arg(*admit, "parent_span"), 0u);
+
+  // One queue_wait per attempt, covering the first and final attempts, and
+  // a retry marker per extra attempt — all hanging off the admission root.
+  EXPECT_EQ(queue_waits, retried.attempts);
+  EXPECT_TRUE(saw_first_attempt);
+  EXPECT_TRUE(saw_final_attempt);
+  EXPECT_EQ(retry_markers, retried.attempts - 1);
+  ASSERT_NE(complete, nullptr);
+  EXPECT_EQ(trace_arg(*complete, "parent_span"), root);
+
+  // The injected fault is stamped with the request id, and its parent chain
+  // walks all the way back to the admission span — the "causal tree" the
+  // export promises.
+  ASSERT_NE(fault, nullptr) << "no fault span carries request " << rid;
+  const JsonValue* cursor = fault;
+  int hops = 0;
+  while (trace_arg(*cursor, "parent_span") != 0) {
+    ASSERT_LT(++hops, 64) << "parent chain does not terminate";
+    const auto it = by_span.find(trace_arg(*cursor, "parent_span"));
+    ASSERT_NE(it, by_span.end()) << "dangling parent_span";
+    cursor = it->second;
+  }
+  EXPECT_EQ(cursor->at("name").as_string(), "admit");
+  EXPECT_EQ(trace_arg(*cursor, "request_id"), rid);
+
+  // Cross-thread links (admission -> session pickup) are also stitched as
+  // Chrome flow events.
+  EXPECT_GT(flow_starts, 0);
+  EXPECT_EQ(flow_starts, flow_finishes);
+  std::remove(trace_path.c_str());
+}
+
+TEST(ChaosTest, FaultStormTripsAndClearsBurnRateAlert) {
+  // The SLO acceptance scenario: an injected fault storm burns the error
+  // budget far above the default burn-rate threshold, the alert fires;
+  // after the storm ages out of the rolling window and healthy traffic
+  // flows, it clears.
+  Rng rng(23);
+  const GridProblem storm = make_elasticity_3d(7, 7, 7, 3, rng);
+  const GridProblem calm = make_laplacian_3d(4, 4, 3);
+  const auto stormy = std::make_shared<SparseSpd>(storm.matrix);
+  const auto calm_a = std::make_shared<SparseSpd>(calm.matrix);
+
+  serve::ServeOptions options;
+  options.session_workers = {WorkerSpec{.has_gpu = true}};
+  options.max_batch_rhs = 1;
+  options.solver.executor.fault_tolerance = FaultTolerance::Off;
+  options.solver.device.faults.seed = 23;
+  options.solver.device.faults.transient_kernel_rate = 0.999;
+  options.slo.window_seconds = 0.25;  // short window so the storm ages out
+  options.slo.error_budget = 0.01;
+  serve::SolverService service(options);
+
+  // Storm: the big matrix routes fronts to the faulting device, so every
+  // request fails (no retry budget).
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(service.submit(stormy, rhs_for_ones(storm.matrix)).get().status,
+              serve::RequestStatus::Failed)
+        << "request " << i
+        << " did not fault: grid too small for device routing?";
+  }
+  const obs::WindowStats during = service.sample_health();
+  EXPECT_GT(during.budget_burn_rate, 2.0);
+  std::vector<std::string> firing = service.firing_alerts();
+  ASSERT_EQ(firing.size(), 1u);
+  EXPECT_EQ(firing[0], "slo_burn_rate_high");
+
+  // Recovery: wait out the window, then serve small CPU-only requests that
+  // never sample the injector.
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        service.submit(calm_a, rhs_for_ones(calm.matrix)).get().ok());
+  }
+  const obs::WindowStats after = service.sample_health();
+  EXPECT_EQ(after.failed, 0);
+  EXPECT_LT(after.budget_burn_rate, 1.0);
+  EXPECT_TRUE(service.firing_alerts().empty());
+
+  const auto history = service.alert_history();
+  ASSERT_EQ(history.size(), 2u);
+  EXPECT_EQ(history[0].rule, "slo_burn_rate_high");
+  EXPECT_TRUE(history[0].fired);
+  EXPECT_FALSE(history[1].fired);
 }
 
 }  // namespace

@@ -1,0 +1,187 @@
+#include "obs/alerts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace_session.hpp"
+
+namespace mfgpu {
+namespace {
+
+obs::WindowStats stats_with(double burn, std::int64_t total = 100,
+                            std::int64_t at_ns = 0) {
+  obs::WindowStats stats;
+  stats.total = total;
+  stats.budget_burn_rate = burn;
+  stats.window_end_ns = at_ns;
+  return stats;
+}
+
+obs::AlertRule burn_rule(double fire = 2.0, double clear = 1.0,
+                         int fire_after = 1, int clear_after = 1) {
+  obs::AlertRule rule;
+  rule.name = "burn";
+  rule.metric = obs::SloMetric::BurnRate;
+  rule.fire_above = fire;
+  rule.clear_below = clear;
+  rule.fire_after = fire_after;
+  rule.clear_after = clear_after;
+  return rule;
+}
+
+TEST(AlertEngineTest, FiresAndClearsWithValueHysteresis) {
+  obs::AlertEngine engine({burn_rule(2.0, 1.0)});
+  EXPECT_TRUE(engine.evaluate(stats_with(0.5)).empty());
+  EXPECT_TRUE(engine.firing().empty());
+
+  auto transitions = engine.evaluate(stats_with(3.0, 100, 42));
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_TRUE(transitions[0].fired);
+  EXPECT_EQ(transitions[0].rule, "burn");
+  EXPECT_DOUBLE_EQ(transitions[0].value, 3.0);
+  EXPECT_EQ(transitions[0].at_ns, 42);
+  ASSERT_EQ(engine.firing().size(), 1u);
+  EXPECT_EQ(engine.firing()[0], "burn");
+
+  // 1.5 sits inside the hysteresis band [clear_below, fire_above): the
+  // alert holds, it neither re-fires nor clears.
+  EXPECT_TRUE(engine.evaluate(stats_with(1.5)).empty());
+  EXPECT_EQ(engine.firing().size(), 1u);
+
+  transitions = engine.evaluate(stats_with(0.2));
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_FALSE(transitions[0].fired);
+  EXPECT_TRUE(engine.firing().empty());
+
+  const auto history = engine.history();
+  ASSERT_EQ(history.size(), 2u);
+  EXPECT_TRUE(history[0].fired);
+  EXPECT_FALSE(history[1].fired);
+}
+
+TEST(AlertEngineTest, ConsecutiveStreaksGateTransitions) {
+  obs::AlertEngine engine({burn_rule(2.0, 1.0, /*fire_after=*/3,
+                                     /*clear_after=*/2)});
+  EXPECT_TRUE(engine.evaluate(stats_with(5.0)).empty());
+  EXPECT_TRUE(engine.evaluate(stats_with(5.0)).empty());
+  // A healthy evaluation resets the breach streak.
+  EXPECT_TRUE(engine.evaluate(stats_with(0.1)).empty());
+  EXPECT_TRUE(engine.evaluate(stats_with(5.0)).empty());
+  EXPECT_TRUE(engine.evaluate(stats_with(5.0)).empty());
+  EXPECT_EQ(engine.evaluate(stats_with(5.0)).size(), 1u);  // third in a row
+  EXPECT_EQ(engine.firing().size(), 1u);
+
+  EXPECT_TRUE(engine.evaluate(stats_with(0.1)).empty());
+  // A breach mid-recovery resets the clear streak.
+  EXPECT_TRUE(engine.evaluate(stats_with(5.0)).empty());
+  EXPECT_TRUE(engine.evaluate(stats_with(0.1)).empty());
+  EXPECT_EQ(engine.evaluate(stats_with(0.1)).size(), 1u);
+  EXPECT_TRUE(engine.firing().empty());
+}
+
+TEST(AlertEngineTest, MinSamplesSkipsThinWindows) {
+  obs::AlertRule rule = burn_rule();
+  rule.min_samples = 10;
+  obs::AlertEngine engine({rule});
+  // A huge burn rate over 3 samples is noise, not an incident.
+  EXPECT_TRUE(engine.evaluate(stats_with(100.0, /*total=*/3)).empty());
+  EXPECT_TRUE(engine.firing().empty());
+  EXPECT_EQ(engine.evaluate(stats_with(100.0, /*total=*/10)).size(), 1u);
+}
+
+TEST(AlertEngineTest, InvertedRuleFiresOnTooLowValues) {
+  obs::AlertRule rule;
+  rule.name = "cache_collapse";
+  rule.metric = obs::SloMetric::CacheHitRate;
+  rule.invert = true;
+  rule.fire_above = 0.2;   // fire when hit rate <= 0.2
+  rule.clear_below = 0.5;  // clear once hit rate > 0.5
+  obs::AlertEngine engine({rule});
+
+  obs::WindowStats healthy;
+  healthy.total = 50;
+  healthy.cache_hit_rate = 0.9;
+  EXPECT_TRUE(engine.evaluate(healthy).empty());
+
+  obs::WindowStats collapsed = healthy;
+  collapsed.cache_hit_rate = 0.1;
+  ASSERT_EQ(engine.evaluate(collapsed).size(), 1u);
+  EXPECT_EQ(engine.firing().size(), 1u);
+
+  obs::WindowStats middling = healthy;
+  middling.cache_hit_rate = 0.4;  // inside the inverted hold band
+  EXPECT_TRUE(engine.evaluate(middling).empty());
+  EXPECT_EQ(engine.firing().size(), 1u);
+
+  ASSERT_EQ(engine.evaluate(healthy).size(), 1u);
+  EXPECT_TRUE(engine.firing().empty());
+}
+
+TEST(AlertEngineTest, TransitionsEmitMetricsAndTraceEvents) {
+  obs::TraceSession::global().clear();
+  obs::MetricsRegistry::global().clear();
+  obs::enable();
+  {
+    obs::AlertEngine engine({burn_rule()});
+    engine.evaluate(stats_with(5.0));
+    auto& metrics = obs::MetricsRegistry::global();
+    EXPECT_DOUBLE_EQ(metrics.counter("slo.alert.fired"), 1.0);
+    EXPECT_DOUBLE_EQ(metrics.counter("slo.alert.fired.burn"), 1.0);
+    EXPECT_DOUBLE_EQ(metrics.gauge("slo.alerts.firing"), 1.0);
+    engine.evaluate(stats_with(0.1));
+    EXPECT_DOUBLE_EQ(metrics.counter("slo.alert.cleared"), 1.0);
+    EXPECT_DOUBLE_EQ(metrics.gauge("slo.alerts.firing"), 0.0);
+
+    const auto events = obs::TraceSession::global().events();
+    int fired = 0;
+    int cleared = 0;
+    for (const auto& ev : events) {
+      if (std::string(ev.name) == "alert_fired") ++fired;
+      if (std::string(ev.name) == "alert_cleared") ++cleared;
+    }
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(cleared, 1);
+  }
+  obs::disable();
+  obs::TraceSession::global().clear();
+  obs::MetricsRegistry::global().clear();
+}
+
+TEST(AlertEngineTest, DefaultServeRulesCoverBurnRetryAndBacklog) {
+  const auto rules = obs::default_serve_alert_rules(64);
+  ASSERT_EQ(rules.size(), 3u);
+  EXPECT_EQ(rules[0].name, "slo_burn_rate_high");
+  EXPECT_EQ(rules[0].metric, obs::SloMetric::BurnRate);
+  EXPECT_EQ(rules[1].name, "retry_storm");
+  EXPECT_EQ(rules[2].name, "queue_backlog");
+  EXPECT_DOUBLE_EQ(rules[2].fire_above, 0.9 * 64.0);
+  EXPECT_GT(rules[0].fire_above, rules[0].clear_below);
+  EXPECT_GT(rules[1].fire_above, rules[1].clear_below);
+  EXPECT_GT(rules[2].fire_above, rules[2].clear_below);
+}
+
+/// TSan-facing: states()/history()/firing() readers racing one evaluator.
+TEST(AlertEngineTest, ConcurrentReadersAreSafe) {
+  obs::AlertEngine engine({burn_rule()});
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)engine.states();
+      (void)engine.history();
+      (void)engine.firing();
+    }
+  });
+  for (int i = 0; i < 2000; ++i) {
+    engine.evaluate(stats_with((i % 2) == 0 ? 5.0 : 0.1, 100, i));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_EQ(engine.history().size(), 2000u);
+}
+
+}  // namespace
+}  // namespace mfgpu

@@ -338,13 +338,16 @@ TEST(ChromeTraceTest, EndToEndSolveProducesValidTraceAndMatchingMetrics) {
     const JsonValue* ph = event.find("ph");
     ASSERT_NE(ph, nullptr);
     ASSERT_EQ(ph->kind, JsonValue::Kind::String);
-    // Only complete ("X") and metadata ("M") events are emitted, so the
-    // trace is balanced by construction.
-    ASSERT_TRUE(ph->text == "X" || ph->text == "M") << "ph=" << ph->text;
+    // Complete ("X"), metadata ("M"), and request-flow binding ("s"/"f")
+    // events are emitted; all are balanced by construction (flows are
+    // emitted as start/finish pairs).
+    ASSERT_TRUE(ph->text == "X" || ph->text == "M" || ph->text == "s" ||
+                ph->text == "f")
+        << "ph=" << ph->text;
     const JsonValue* pid = event.find("pid");
     ASSERT_NE(pid, nullptr);
     EXPECT_EQ(pid->kind, JsonValue::Kind::Number);
-    if (ph->text == "M") continue;
+    if (ph->text != "X") continue;
 
     const JsonValue* name = event.find("name");
     const JsonValue* cat = event.find("cat");

@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cmath>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "obs/export.hpp"
 
@@ -104,6 +108,32 @@ TEST(MetricsTest, PercentileOfSingleValueIsExact) {
   EXPECT_DOUBLE_EQ(h.percentile(0.99), 0.0375);
 }
 
+TEST(MetricsTest, PercentileEdgeCasesAreDefined) {
+  obs::HistogramData empty;
+  // An empty histogram returns 0.0 for EVERY q, including the edges and
+  // out-of-range inputs — never a stale min/max or an out-of-bounds scan.
+  EXPECT_DOUBLE_EQ(empty.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.percentile(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.percentile(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.percentile(2.0), 0.0);
+
+  obs::HistogramData h;
+  h.observe(3.0);
+  h.observe(7.0);
+  h.observe(300.0);
+  // q <= 0 is the exact minimum; q >= 1 the exact maximum — not the
+  // power-of-two bucket edges (4, 512) the rank scan would produce.
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(h.percentile(-0.5), 3.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 300.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.5), 300.0);
+  // NaN q lands on the q <= 0 branch (defined, no UB), returning min.
+  EXPECT_DOUBLE_EQ(h.percentile(std::nan("")), 3.0);
+  // Interior quantiles keep the nearest-rank bucket-edge behavior.
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 8.0);  // sample 7 -> bucket (4, 8]
+}
+
 TEST(MetricsTest, SnapshotExportsToJsonAndCsv) {
   MetricsGuard guard;
   auto& metrics = obs::MetricsRegistry::global();
@@ -136,6 +166,60 @@ TEST(MetricsTest, JsonEscapeHandlesSpecials) {
   EXPECT_EQ(obs::json_escape("a\\b"), "a\\\\b");
   EXPECT_EQ(obs::json_escape("a\nb"), "a\\nb");
   EXPECT_EQ(obs::json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+/// TSan-facing hammer: counters, gauges, and histograms written from many
+/// threads at once, with a snapshotting reader racing them. The registry is
+/// mutex-guarded — this pins that contract against regressions (e.g. a
+/// "fast path" that skips the lock).
+TEST(MetricsRegistryConcurrency, ConcurrentWritersAndSnapshotsAreClean) {
+  MetricsGuard guard;
+  auto& metrics = obs::MetricsRegistry::global();
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 2000;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto snapshot = metrics.snapshot();
+      // Shared-counter value only grows (mutex-serialized adds).
+      const auto it = snapshot.counters.find("hammer.shared");
+      if (it != snapshot.counters.end()) EXPECT_GE(it->second, 0.0);
+      (void)metrics.counter("hammer.shared");
+      (void)metrics.gauge("hammer.gauge.0");
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&metrics, t] {
+      const std::string own_counter =
+          "hammer.own." + std::to_string(t);
+      const std::string gauge = "hammer.gauge." + std::to_string(t % 2);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        metrics.increment("hammer.shared");
+        metrics.add(own_counter, 1.0);
+        metrics.gauge_set(gauge, static_cast<double>(i));
+        metrics.gauge_max("hammer.peak", static_cast<double>(i));
+        metrics.observe("hammer.hist", static_cast<double>(i % 64));
+      }
+    });
+  }
+  for (auto& thread : writers) thread.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  EXPECT_DOUBLE_EQ(metrics.counter("hammer.shared"),
+                   static_cast<double>(kThreads * kOpsPerThread));
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_DOUBLE_EQ(metrics.counter("hammer.own." + std::to_string(t)),
+                     static_cast<double>(kOpsPerThread));
+  }
+  EXPECT_DOUBLE_EQ(metrics.gauge("hammer.peak"),
+                   static_cast<double>(kOpsPerThread - 1));
+  const auto snapshot = metrics.snapshot();
+  const auto it = snapshot.histograms.find("hammer.hist");
+  ASSERT_NE(it, snapshot.histograms.end());
+  EXPECT_EQ(it->second.count,
+            static_cast<std::int64_t>(kThreads) * kOpsPerThread);
 }
 
 TEST(MetricsTest, ClearEmptiesEverything) {

@@ -1,0 +1,229 @@
+#include "obs/slo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace_session.hpp"
+#include "support/json.hpp"
+
+namespace mfgpu {
+namespace {
+
+obs::RequestSample make_sample(std::int64_t end_ns, double latency,
+                               obs::SampleStatus status,
+                               bool cache_hit = false, int attempts = 1,
+                               double queue_depth = 0.0) {
+  obs::RequestSample s;
+  s.end_ns = end_ns;
+  s.latency_seconds = static_cast<float>(latency);
+  s.queue_depth = static_cast<float>(queue_depth);
+  s.status = status;
+  s.cache_hit = cache_hit;
+  s.attempts = static_cast<std::uint8_t>(attempts);
+  return s;
+}
+
+TEST(SloAggregatorTest, EmptyWindowIsAllZeros) {
+  obs::SloAggregator slo;
+  const obs::WindowStats stats = slo.window(1'000'000'000);
+  EXPECT_EQ(stats.total, 0);
+  EXPECT_EQ(stats.completed, 0);
+  EXPECT_DOUBLE_EQ(stats.error_rate, 0.0);
+  EXPECT_DOUBLE_EQ(stats.budget_burn_rate, 0.0);
+  EXPECT_DOUBLE_EQ(stats.p50_latency_seconds, 0.0);
+  EXPECT_EQ(slo.recorded(), 0);
+}
+
+TEST(SloAggregatorTest, CountsOutcomesAndRates) {
+  obs::SloOptions options;
+  options.window_seconds = 10.0;
+  options.latency_slo_seconds = 1.0;
+  options.error_budget = 0.1;
+  obs::SloAggregator slo(options);
+
+  const std::int64_t now = 20'000'000'000;  // all samples inside the window
+  slo.record(make_sample(now - 1, 0.10, obs::SampleStatus::Ok, true));
+  slo.record(make_sample(now - 2, 0.20, obs::SampleStatus::Ok, false));
+  slo.record(make_sample(now - 3, 2.00, obs::SampleStatus::Ok, true));  // slow
+  slo.record(make_sample(now - 4, 0.50, obs::SampleStatus::Failed, false, 3));
+  slo.record(make_sample(now - 5, 0.00, obs::SampleStatus::Rejected));
+  slo.record(make_sample(now - 6, 0.00, obs::SampleStatus::Cancelled));
+  slo.record(
+      make_sample(now - 7, 0.00, obs::SampleStatus::DeadlineExceeded));
+
+  const obs::WindowStats stats = slo.window(now);
+  EXPECT_EQ(stats.total, 7);
+  EXPECT_EQ(stats.completed, 3);
+  EXPECT_EQ(stats.failed, 1);
+  EXPECT_EQ(stats.rejected, 1);
+  EXPECT_EQ(stats.cancelled, 1);
+  EXPECT_EQ(stats.deadline_exceeded, 1);
+  EXPECT_EQ(stats.retried, 1);
+  EXPECT_EQ(stats.extra_attempts, 2);
+  EXPECT_DOUBLE_EQ(stats.error_rate, 1.0 / 7.0);
+  EXPECT_DOUBLE_EQ(stats.retry_rate, 1.0 / 7.0);
+  EXPECT_DOUBLE_EQ(stats.cache_hit_rate, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(stats.slow_rate, 1.0 / 7.0);
+  EXPECT_DOUBLE_EQ(stats.max_latency_seconds, 2.0);
+  // Violations: 1 failed + 1 deadline + 1 slow of 7 total, budget 0.1.
+  EXPECT_NEAR(stats.budget_burn_rate, (3.0 / 7.0) / 0.1, 1e-12);
+  EXPECT_EQ(slo.recorded(), 7);
+}
+
+TEST(SloAggregatorTest, WindowExcludesOldAndFutureSamples) {
+  obs::SloOptions options;
+  options.window_seconds = 1.0;
+  obs::SloAggregator slo(options);
+  const std::int64_t now = 10'000'000'000;
+  slo.record(make_sample(now - 2'000'000'000, 0.1, obs::SampleStatus::Ok));
+  slo.record(make_sample(now - 500'000'000, 0.1, obs::SampleStatus::Ok));
+  slo.record(make_sample(now + 500'000'000, 0.1, obs::SampleStatus::Ok));
+  const obs::WindowStats stats = slo.window(now);
+  EXPECT_EQ(stats.total, 1);
+}
+
+TEST(SloAggregatorTest, PercentilesAreNearestRankExact) {
+  obs::SloAggregator slo;
+  const std::int64_t now = 10'000'000'000;
+  for (int i = 1; i <= 100; ++i) {
+    slo.record(
+        make_sample(now - i, static_cast<double>(i), obs::SampleStatus::Ok));
+  }
+  const obs::WindowStats stats = slo.window(now);
+  EXPECT_DOUBLE_EQ(stats.p50_latency_seconds, 50.0);
+  EXPECT_DOUBLE_EQ(stats.p99_latency_seconds, 99.0);
+  EXPECT_DOUBLE_EQ(stats.max_latency_seconds, 100.0);
+}
+
+TEST(SloAggregatorTest, RingOverwriteKeepsNewestSamples) {
+  obs::SloOptions options;
+  options.capacity = 8;
+  obs::SloAggregator slo(options);
+  const std::int64_t now = 10'000'000'000;
+  for (int i = 0; i < 100; ++i) {
+    slo.record(make_sample(now - i, 0.1, obs::SampleStatus::Ok));
+  }
+  const obs::WindowStats stats = slo.window(now);
+  EXPECT_EQ(stats.total, 8);  // only the ring's worth survives
+  EXPECT_EQ(slo.recorded(), 100);
+}
+
+TEST(SloAggregatorTest, PublishMirrorsGaugesWhenEnabled) {
+  obs::enable();
+  obs::MetricsRegistry::global().clear();
+  obs::SloAggregator slo;
+  const std::int64_t now = 10'000'000'000;
+  slo.record(make_sample(now - 1, 0.25, obs::SampleStatus::Ok, true));
+  slo.record(make_sample(now - 2, 0.75, obs::SampleStatus::Failed));
+  obs::SloAggregator::publish(slo.window(now));
+  auto& metrics = obs::MetricsRegistry::global();
+  EXPECT_DOUBLE_EQ(metrics.gauge("slo.window.total"), 2.0);
+  EXPECT_DOUBLE_EQ(metrics.gauge("slo.window.completed"), 1.0);
+  EXPECT_DOUBLE_EQ(metrics.gauge("slo.window.failed"), 1.0);
+  EXPECT_DOUBLE_EQ(metrics.gauge("slo.error_rate"), 0.5);
+  EXPECT_DOUBLE_EQ(metrics.gauge("slo.cache_hit_rate"), 1.0);
+  obs::disable();
+  obs::MetricsRegistry::global().clear();
+}
+
+TEST(SloAggregatorTest, RecordsEvenWhileObsDisabled) {
+  obs::disable();
+  obs::SloAggregator slo;
+  const std::int64_t now = 10'000'000'000;
+  slo.record(make_sample(now - 1, 0.1, obs::SampleStatus::Ok));
+  EXPECT_EQ(slo.window(now).total, 1);
+}
+
+TEST(SloAggregatorTest, PrometheusSnapshotHasAllGauges) {
+  obs::SloAggregator slo;
+  const std::int64_t now = 10'000'000'000;
+  slo.record(make_sample(now - 1, 0.1, obs::SampleStatus::Ok));
+  std::ostringstream out;
+  obs::write_prometheus(out, slo.window(now));
+  const std::string text = out.str();
+  for (const char* name :
+       {"mfgpu_slo_window_total", "mfgpu_slo_window_completed",
+        "mfgpu_slo_latency_p50_seconds", "mfgpu_slo_latency_p99_seconds",
+        "mfgpu_slo_error_rate", "mfgpu_slo_retry_rate",
+        "mfgpu_slo_cache_hit_rate", "mfgpu_slo_queue_depth_mean",
+        "mfgpu_slo_burn_rate"}) {
+    EXPECT_NE(text.find(std::string("# TYPE ") + name + " gauge"),
+              std::string::npos)
+        << name;
+  }
+  EXPECT_NE(text.find("mfgpu_slo_window_total 1"), std::string::npos);
+}
+
+TEST(SloAggregatorTest, HealthSampleJsonRoundTrips) {
+  obs::SloAggregator slo;
+  const std::int64_t now = 10'000'000'000;
+  slo.record(make_sample(now - 1, 0.5, obs::SampleStatus::Ok, true, 2, 3.0));
+  slo.record(make_sample(now - 2, 0.5, obs::SampleStatus::Failed));
+  std::ostringstream out;
+  obs::write_health_sample_json(out, slo.window(now),
+                                {"slo_burn_rate_high", "retry_storm"});
+  const JsonValue parsed = JsonValue::parse(out.str());
+  EXPECT_DOUBLE_EQ(parsed.at("total").as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(parsed.at("completed").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(parsed.at("failed").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(parsed.at("retried").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(parsed.at("error_rate").as_number(), 0.5);
+  EXPECT_DOUBLE_EQ(parsed.at("p50_latency_seconds").as_number(), 0.5);
+  ASSERT_TRUE(parsed.at("alerts").is_array());
+  ASSERT_EQ(parsed.at("alerts").items().size(), 2u);
+  EXPECT_EQ(parsed.at("alerts").items()[0].as_string(), "slo_burn_rate_high");
+}
+
+/// TSan-facing hammer: concurrent writers against a reader polling
+/// window(). The seqlock ring must stay free of data races and the reader
+/// must never see torn samples (e.g. a latency no writer produced).
+TEST(SloAggregatorConcurrency, ConcurrentRecordAndWindowAreClean) {
+  obs::SloOptions options;
+  options.capacity = 64;  // small ring: force overwrites under the reader
+  options.window_seconds = 3600.0;
+  obs::SloAggregator slo(options);
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 5000;
+  std::atomic<bool> stop{false};
+
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const obs::WindowStats stats = slo.window();
+      // Writers only produce latencies 0.125 or 0.25: anything else (or a
+      // negative count) would be a torn read the seqlock failed to catch.
+      EXPECT_GE(stats.total, 0);
+      EXPECT_LE(stats.max_latency_seconds, 0.25);
+      for (double p : {stats.p50_latency_seconds, stats.p99_latency_seconds}) {
+        if (stats.completed > 0) {
+          EXPECT_TRUE(p == 0.0 || p == 0.125 || p == 0.25) << p;
+        }
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&slo, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        slo.record(make_sample(obs::SloAggregator::now_ns(),
+                               (i % 2) == 0 ? 0.125 : 0.25,
+                               obs::SampleStatus::Ok, (i % 3) == 0,
+                               1 + (i % 2), static_cast<double>(w)));
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_EQ(slo.recorded(), kWriters * kPerWriter);
+  const obs::WindowStats stats = slo.window();
+  EXPECT_EQ(stats.total, 64);  // the full ring, all inside the huge window
+}
+
+}  // namespace
+}  // namespace mfgpu

@@ -1,0 +1,96 @@
+// CLI contract of tools/mfgpu_top: renders the latest health sample from a
+// JSONL stream (--once), skips torn lines, and reports the documented exit
+// codes. The fixture stream is produced by the same emitter SolverService
+// uses (obs::write_health_sample_json), so format drift breaks this test.
+#include <gtest/gtest.h>
+
+#ifdef MFGPU_TOP_BIN
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/slo.hpp"
+
+namespace mfgpu {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int run(const std::string& args, const std::string& stdout_path) {
+  const std::string command = std::string(MFGPU_TOP_BIN) + " " + args + " > " +
+                              stdout_path + " 2>/dev/null";
+  return WEXITSTATUS(std::system(command.c_str()));
+}
+
+TEST(MfgpuTopCliTest, RendersLatestSampleOnce) {
+  const std::string dir = testing::TempDir();
+  const std::string samples = dir + "mfgpu_top_health.jsonl";
+  {
+    obs::SloAggregator slo;
+    const std::int64_t now = 10'000'000'000;
+    obs::RequestSample ok;
+    ok.end_ns = now - 1;
+    ok.latency_seconds = 0.25f;
+    ok.status = obs::SampleStatus::Ok;
+    ok.cache_hit = true;
+    ok.attempts = 1;
+    slo.record(ok);
+    obs::RequestSample failed = ok;
+    failed.status = obs::SampleStatus::Failed;
+    failed.cache_hit = false;
+    failed.attempts = 2;
+    slo.record(failed);
+
+    std::ofstream out(samples);
+    // An early quiet sample, then the interesting one the tool must show.
+    obs::write_health_sample_json(out, obs::WindowStats{}, {});
+    obs::write_health_sample_json(out, slo.window(now),
+                                  {"slo_burn_rate_high"});
+    out << "{ torn partial li";  // mid-append tail: must be skipped
+  }
+
+  const std::string rendered = dir + "mfgpu_top_out.txt";
+  ASSERT_EQ(run("--once " + samples, rendered), 0);
+  const std::string text = slurp(rendered);
+  EXPECT_NE(text.find("mfgpu_top"), std::string::npos);
+  EXPECT_NE(text.find("total"), std::string::npos);
+  EXPECT_NE(text.find("FIRING: slo_burn_rate_high"), std::string::npos);
+  EXPECT_NE(text.find("(over budget)"), std::string::npos) << text;
+  std::remove(samples.c_str());
+  std::remove(rendered.c_str());
+}
+
+TEST(MfgpuTopCliTest, ReportsDocumentedExitCodes) {
+  const std::string dir = testing::TempDir();
+  const std::string out = dir + "mfgpu_top_exit_out.txt";
+
+  // Usage errors: no file argument, unknown option.
+  EXPECT_EQ(run("", out), 1);
+  EXPECT_EQ(run("--bogus file.jsonl", out), 1);
+  // --help succeeds and prints usage.
+  EXPECT_EQ(run("--help", out), 0);
+  EXPECT_NE(slurp(out).find("usage:"), std::string::npos);
+
+  // A stream with no parseable sample exits 2 under --once.
+  const std::string garbage = dir + "mfgpu_top_garbage.jsonl";
+  {
+    std::ofstream os(garbage);
+    os << "not json at all\n{\"half\": \n";
+  }
+  EXPECT_EQ(run("--once " + garbage, out), 2);
+  std::remove(garbage.c_str());
+  std::remove(out.c_str());
+}
+
+}  // namespace
+}  // namespace mfgpu
+
+#endif  // MFGPU_TOP_BIN

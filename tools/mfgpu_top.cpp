@@ -1,0 +1,216 @@
+// mfgpu_top — live service-health viewer over the SLO health-sample stream.
+//
+// SolverService (or bench_serve_throughput) appends one JSON sample per
+// health evaluation to a JSONL file; this tool tails that file and renders
+// a top(1)-style table: request totals by outcome, p50/p99/max latency,
+// error / retry / cache-hit / slow rates, mean queue depth, the SLO budget
+// burn rate, and whichever alert rules are currently firing.
+//
+//   mfgpu_top health.jsonl              follow (re-render every --interval)
+//   mfgpu_top --once health.jsonl       render the latest sample and exit
+//   mfgpu_top --interval 2 health.jsonl
+//
+// Exit codes: 0 rendered at least one sample; 1 usage error; 2 the file
+// never produced a parseable sample (--once).
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace {
+
+struct HealthSample {
+  std::int64_t t_ns = 0;
+  double window_seconds = 0.0;
+  std::int64_t total = 0;
+  std::int64_t completed = 0;
+  std::int64_t failed = 0;
+  std::int64_t rejected = 0;
+  std::int64_t cancelled = 0;
+  std::int64_t deadline_exceeded = 0;
+  std::int64_t retried = 0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double max_latency = 0.0;
+  double error_rate = 0.0;
+  double retry_rate = 0.0;
+  double cache_hit_rate = 0.0;
+  double slow_rate = 0.0;
+  double mean_queue_depth = 0.0;
+  double burn_rate = 0.0;
+  std::vector<std::string> alerts;
+};
+
+double num_or(const mfgpu::JsonValue& object, std::string_view key,
+              double fallback) {
+  const mfgpu::JsonValue* value = object.find(key);
+  return value != nullptr && value->type() == mfgpu::JsonValue::Type::Number
+             ? value->as_number()
+             : fallback;
+}
+
+std::optional<HealthSample> parse_sample(const std::string& line) {
+  if (line.empty()) return std::nullopt;
+  mfgpu::JsonValue value;
+  try {
+    value = mfgpu::JsonValue::parse(line);
+  } catch (const mfgpu::Error&) {
+    return std::nullopt;  // torn tail line mid-append — skip
+  }
+  if (!value.is_object()) return std::nullopt;
+  HealthSample s;
+  s.t_ns = static_cast<std::int64_t>(num_or(value, "t_ns", 0.0));
+  s.window_seconds = num_or(value, "window_seconds", 0.0);
+  s.total = static_cast<std::int64_t>(num_or(value, "total", 0.0));
+  s.completed = static_cast<std::int64_t>(num_or(value, "completed", 0.0));
+  s.failed = static_cast<std::int64_t>(num_or(value, "failed", 0.0));
+  s.rejected = static_cast<std::int64_t>(num_or(value, "rejected", 0.0));
+  s.cancelled = static_cast<std::int64_t>(num_or(value, "cancelled", 0.0));
+  s.deadline_exceeded =
+      static_cast<std::int64_t>(num_or(value, "deadline_exceeded", 0.0));
+  s.retried = static_cast<std::int64_t>(num_or(value, "retried", 0.0));
+  s.p50 = num_or(value, "p50_latency_seconds", 0.0);
+  s.p99 = num_or(value, "p99_latency_seconds", 0.0);
+  s.max_latency = num_or(value, "max_latency_seconds", 0.0);
+  s.error_rate = num_or(value, "error_rate", 0.0);
+  s.retry_rate = num_or(value, "retry_rate", 0.0);
+  s.cache_hit_rate = num_or(value, "cache_hit_rate", 0.0);
+  s.slow_rate = num_or(value, "slow_rate", 0.0);
+  s.mean_queue_depth = num_or(value, "mean_queue_depth", 0.0);
+  s.burn_rate = num_or(value, "burn_rate", 0.0);
+  if (const mfgpu::JsonValue* alerts = value.find("alerts");
+      alerts != nullptr && alerts->is_array()) {
+    for (const mfgpu::JsonValue& alert : alerts->items()) {
+      if (alert.type() == mfgpu::JsonValue::Type::String) {
+        s.alerts.push_back(alert.as_string());
+      }
+    }
+  }
+  return s;
+}
+
+void render(const std::vector<HealthSample>& history, bool clear_screen) {
+  const HealthSample& s = history.back();
+  if (clear_screen) std::fputs("\x1b[2J\x1b[H", stdout);
+  std::printf("mfgpu_top — SLO window %.1fs  (sample %zu, t=%.3fs)\n",
+              s.window_seconds, history.size(),
+              static_cast<double>(s.t_ns) * 1e-9);
+  std::printf("%s\n", std::string(66, '-').c_str());
+  std::printf("  %-22s %12s %12s %12s\n", "requests", "count", "", "");
+  std::printf("  %-22s %12lld\n", "total", static_cast<long long>(s.total));
+  std::printf("  %-22s %12lld\n", "completed",
+              static_cast<long long>(s.completed));
+  std::printf("  %-22s %12lld\n", "failed", static_cast<long long>(s.failed));
+  std::printf("  %-22s %12lld\n", "rejected",
+              static_cast<long long>(s.rejected));
+  std::printf("  %-22s %12lld\n", "cancelled",
+              static_cast<long long>(s.cancelled));
+  std::printf("  %-22s %12lld\n", "deadline_exceeded",
+              static_cast<long long>(s.deadline_exceeded));
+  std::printf("  %-22s %12lld\n", "retried",
+              static_cast<long long>(s.retried));
+  std::printf("%s\n", std::string(66, '-').c_str());
+  std::printf("  latency   p50 %10.6fs   p99 %10.6fs   max %10.6fs\n", s.p50,
+              s.p99, s.max_latency);
+  std::printf(
+      "  rates     error %7.3f%%  retry %7.3f%%  slow %7.3f%%  hit %7.3f%%\n",
+      100.0 * s.error_rate, 100.0 * s.retry_rate, 100.0 * s.slow_rate,
+      100.0 * s.cache_hit_rate);
+  std::printf("  queue     depth_mean %8.2f\n", s.mean_queue_depth);
+  std::printf("  slo       burn_rate  %8.3f  %s\n", s.burn_rate,
+              s.burn_rate > 1.0 ? "(over budget)" : "(within budget)");
+  // Burn-rate sparkline over the retained history: one glyph per sample.
+  if (history.size() > 1) {
+    static const char* kBars[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+    std::string spark;
+    for (const HealthSample& h : history) {
+      const double b = std::min(h.burn_rate, 4.0) / 4.0;
+      spark += kBars[static_cast<int>(b * 7.0)];
+    }
+    std::printf("  burn      [%s]\n", spark.c_str());
+  }
+  if (s.alerts.empty()) {
+    std::printf("  alerts    none firing\n");
+  } else {
+    std::printf("  alerts    FIRING:");
+    for (const std::string& alert : s.alerts) {
+      std::printf(" %s", alert.c_str());
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool once = false;
+  double interval = 1.0;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--once") {
+      once = true;
+    } else if (arg == "--interval" && i + 1 < argc) {
+      interval = std::stod(argv[++i]);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: mfgpu_top [--once] [--interval SECONDS] "
+                  "HEALTH_SAMPLES.jsonl\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "mfgpu_top: unknown option %s\n", arg.c_str());
+      return 1;
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "usage: mfgpu_top [--once] [--interval SECONDS] FILE\n");
+    return 1;
+  }
+
+  std::vector<HealthSample> history;
+  constexpr std::size_t kHistory = 60;
+  std::streamoff offset = 0;
+  for (;;) {
+    std::ifstream in(path);
+    if (in) {
+      in.seekg(offset);
+      std::string line;
+      bool fresh = false;
+      while (std::getline(in, line)) {
+        // Only advance past complete (newline-terminated) lines so a line
+        // caught mid-append is re-read whole on the next pass.
+        if (in.eof() && !in.good()) break;
+        offset = in.tellg() >= 0 ? static_cast<std::streamoff>(in.tellg())
+                                 : offset;
+        if (std::optional<HealthSample> sample = parse_sample(line)) {
+          history.push_back(std::move(*sample));
+          if (history.size() > kHistory) {
+            history.erase(history.begin());
+          }
+          fresh = true;
+        }
+      }
+      if (fresh || (once && !history.empty())) {
+        render(history, /*clear_screen=*/!once);
+      }
+    }
+    if (once) {
+      if (history.empty()) {
+        std::fprintf(stderr, "mfgpu_top: no parseable samples in %s\n",
+                     path.c_str());
+        return 2;
+      }
+      return 0;
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double>(interval));
+  }
+}
