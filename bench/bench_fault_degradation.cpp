@@ -39,7 +39,7 @@ struct DegradationPoint {
 /// The test grids' fronts sit below the paper's P1 op-count threshold, so
 /// the baseline hybrid would never issue a device op; force P3 to keep the
 /// injector in the executed path.
-Policy always_p3(index_t, index_t) { return Policy::P3; }
+Policy always_p3(const FuCall&) { return Policy::P3; }
 
 DegradationPoint run_point(const GridProblem& p, const Analysis& analysis,
                            const std::vector<double>& b, double rate,

@@ -24,10 +24,10 @@ int main() {
         1, static_cast<index_t>(std::cbrt(target / (1.0 / 3.0 + 2.0 + 4.0))));
     const index_t m = 2 * k;
     const double ops = fu_total_ops(m, k);
-    const double t1 = timer.time(Policy::P1, m, k);
-    const double t2 = timer.time(Policy::P2, m, k);
-    const double t3 = timer.time(Policy::P3, m, k);
-    const double t4 = timer.time(Policy::P4, m, k);
+    const double t1 = timer.time(Policy::P1, FuCall{.m = m, .k = k});
+    const double t2 = timer.time(Policy::P2, FuCall{.m = m, .k = k});
+    const double t3 = timer.time(Policy::P3, FuCall{.m = m, .k = k});
+    const double t4 = timer.time(Policy::P4, FuCall{.m = m, .k = k});
     rates.add_row({ops, ops / t1, ops / t2, ops / t3, ops / t4});
     const double best = std::min({t1, t2, t3, t4});
     speedups.add_row({ops, t1 / t2, t1 / t3, t1 / t4, t1 / best});
@@ -53,10 +53,10 @@ int main() {
   record.add_metric("transition_p3_to_p4_ops", derived.p3_to_p4, exact);
   {
     const index_t k = 2000, m = 2 * k;
-    const double t1 = timer.time(Policy::P1, m, k);
+    const double t1 = timer.time(Policy::P1, FuCall{.m = m, .k = k});
     const double best =
-        std::min({t1, timer.time(Policy::P2, m, k),
-                  timer.time(Policy::P3, m, k), timer.time(Policy::P4, m, k)});
+        std::min({t1, timer.time(Policy::P2, FuCall{.m = m, .k = k}),
+                  timer.time(Policy::P3, FuCall{.m = m, .k = k}), timer.time(Policy::P4, FuCall{.m = m, .k = k})});
     record.add_metric("best_speedup_k2000", t1 / best,
                       mfgpu::obs::MetricDirection::HigherIsBetter);
   }

@@ -64,13 +64,13 @@ int main() {
   const BaselineThresholds thresholds = derive_thresholds(timer);
 
   const Chooser ideal = [&timer](index_t m, index_t k) {
-    return timer.best_policy(m, k);
+    return timer.best_policy(FuCall{.m = m, .k = k});
   };
   const Chooser model_choose = [&model](index_t m, index_t k) {
     return model.choose(m, k);
   };
   const Chooser baseline = [&thresholds](index_t m, index_t k) {
-    return baseline_choice(thresholds, m, k);
+    return baseline_choice(thresholds, FuCall{.m = m, .k = k});
   };
 
   struct MapSpec {

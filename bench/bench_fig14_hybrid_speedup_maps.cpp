@@ -25,8 +25,8 @@ std::string render_speedup_map(PolicyTimer& timer, const Chooser& choose,
     for (index_t bx = 0; bx < cells; ++bx) {
       const index_t m = bx * bin + bin / 2;
       const index_t k = by * bin + bin / 2;
-      const double t1 = timer.time(Policy::P1, m, k);
-      const double tc = timer.time(choose(m, k), m, k);
+      const double t1 = timer.time(Policy::P1, FuCall{.m = m, .k = k});
+      const double tc = timer.time(choose(m, k), FuCall{.m = m, .k = k});
       const double speedup = t1 / tc;
       grid.add(m, k, speedup);
       out_max_speedup = std::max(out_max_speedup, speedup);
@@ -54,13 +54,13 @@ int main() {
   const BaselineThresholds thresholds = derive_thresholds(timer);
 
   const Chooser ideal = [&](index_t m, index_t k) {
-    return timer.best_policy(m, k);
+    return timer.best_policy(FuCall{.m = m, .k = k});
   };
   const Chooser model_choose = [&](index_t m, index_t k) {
     return model.choose(m, k);
   };
   const Chooser baseline = [&](index_t m, index_t k) {
-    return baseline_choice(thresholds, m, k);
+    return baseline_choice(thresholds, FuCall{.m = m, .k = k});
   };
 
   Table summary("Fig. 14 — hybrid speedup maps over (m, k), 250-bins",

@@ -64,8 +64,8 @@ int main() {
         simulate_schedule(graph, std::vector<WorkerSpec>(4)).makespan;
     ScheduleOptions two_gpu_opt;
     two_gpu_opt.exec = copy_opt;
-    two_gpu_opt.gpu_chooser = [&copy_model](index_t m, index_t k) {
-      return copy_model.choose(m, k);
+    two_gpu_opt.gpu_chooser = [&copy_model](const FuCall& call) {
+      return copy_model.choose(call.m, call.k);
     };
     const double sched_2gpu =
         simulate_schedule(graph, {WorkerSpec{true}, WorkerSpec{true}},

@@ -6,6 +6,7 @@
 //               [--ordering natural|md|nd]
 //               [--repeat N]
 //               [--threads N] [--workers SPEC] [--nondeterministic]
+//               [--batch off|on|auto[,max_k=..,max_m=..,min=..,max=..,ops=..]]
 //               [--save-model FILE] [--load-model FILE]
 //               [--out FILE.mtx]
 //               [--trace FILE] [--metrics FILE] [--report FILE]
@@ -20,6 +21,12 @@
 // --workers SPEC gives an explicit worker list instead, e.g. "cgg" = one
 // CPU worker plus two GPU workers (each with a private simulated device).
 // Parallel runs are bitwise-reproducible unless --nondeterministic.
+//
+// --batch selects the aggregated small-front execution path (one simulated
+// kernel dispatch + one coalesced transfer per level group of small
+// fronts). Precedence: --batch= wins over the MFGPU_BATCH environment
+// variable, which wins over the default (off). The factor is bitwise
+// identical with batching on or off.
 //
 // Observability: --trace and --metrics take the same values as the
 // MFGPU_TRACE / MFGPU_METRICS environment variables and WIN over them when
@@ -59,9 +66,13 @@ namespace {
                "[--elasticity]] [--mode serial|baseline|model|ideal] "
                "[--ordering natural|md|nd] [--repeat N] "
                "[--threads N] [--workers SPEC] "
-               "[--nondeterministic] [--save-model FILE] "
+               "[--nondeterministic] "
+               "[--batch off|on|auto[,max_k=..,max_m=..,min=..,max=..,ops=..]] "
+               "[--save-model FILE] "
                "[--load-model FILE] [--out FILE.mtx] [--trace FILE] "
                "[--metrics FILE] [--report FILE]\n"
+               "batching precedence: --batch overrides the MFGPU_BATCH "
+               "environment variable; default off.\n"
                "observability precedence: --trace/--metrics override the "
                "MFGPU_TRACE/MFGPU_METRICS environment variables; with both "
                "trace and metrics set, spans go to the trace file and the "
@@ -81,6 +92,7 @@ struct CliOptions {
   int threads = 1;
   std::string workers;  // e.g. "cgg": CPU + two GPU workers
   bool deterministic = true;
+  std::string batch;  // --batch= spec; "" = flag absent (MFGPU_BATCH applies)
   std::string save_model;
   std::string load_model;
   std::string out_path;
@@ -124,6 +136,13 @@ CliOptions parse(int argc, char** argv) {
       cli.workers = next("--workers");
     } else if (arg == "--nondeterministic") {
       cli.deterministic = false;
+    } else if (arg == "--batch" || arg.rfind("--batch=", 0) == 0) {
+      cli.batch =
+          arg == "--batch" ? next("--batch") : arg.substr(std::strlen("--batch="));
+      if (cli.batch.empty()) {
+        std::fprintf(stderr, "--batch wants a spec (off|on|auto[,key=val])\n");
+        usage(argv[0]);
+      }
     } else if (arg == "--save-model") {
       cli.save_model = next("--save-model");
     } else if (arg == "--load-model") {
@@ -233,6 +252,14 @@ int main(int argc, char** argv) {
     options.coordinates = problem.coords;
     options.num_threads = cli.threads;
     options.deterministic_reduction = cli.deterministic;
+    options.batching = resolve_batching(cli.batch, std::getenv("MFGPU_BATCH"));
+    if (options.batching.enabled()) {
+      std::printf("batching: mode %s (max_k=%lld max_m=%lld min=%d max=%d)\n",
+                  batching_mode_name(options.batching.mode),
+                  static_cast<long long>(options.batching.max_k),
+                  static_cast<long long>(options.batching.max_m),
+                  options.batching.min_batch, options.batching.max_batch);
+    }
     for (char c : cli.workers) {
       if (c != 'c' && c != 'g') {
         std::fprintf(stderr, "--workers wants a string of 'c'/'g'\n");
@@ -261,9 +288,10 @@ int main(int argc, char** argv) {
         "(%.4f wall s, ~%.4f s per solve)\n",
         solver.factor_time(), cli.mode.c_str(), solver.factor_wall_seconds(),
         solver.solve_time_estimate());
-    for (int p = 1; p <= 4; ++p) {
+    for (int p = 1; p <= kMaxPolicyIndex; ++p) {
       if (breakdown.calls[static_cast<std::size_t>(p)] == 0) continue;
-      std::printf("  P%d: %lld calls, %.4f s\n", p,
+      std::printf("  %s: %lld calls, %.4f s\n",
+                  policy_name(static_cast<Policy>(p)),
                   static_cast<long long>(
                       breakdown.calls[static_cast<std::size_t>(p)]),
                   breakdown.time[static_cast<std::size_t>(p)]);

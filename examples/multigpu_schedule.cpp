@@ -52,8 +52,8 @@ int main() {
     ScheduleOptions options;
     options.exec = copy_opt;
     if (config.use_model) {
-      options.gpu_chooser = [&model_hybrid](index_t m, index_t k) {
-        return model_hybrid.choose(m, k);
+      options.gpu_chooser = [&model_hybrid](const FuCall& call) {
+        return model_hybrid.choose(call.m, call.k);
       };
     }
     const ScheduleResult result =

@@ -7,14 +7,15 @@ namespace mfgpu {
 
 int PolicyDataset::best_policy_index(std::size_t i) const {
   int best = 0;
-  for (int j = 1; j < 4; ++j) {
+  for (int j = 1; j < num_policies; ++j) {
     if (time(i, j) < time(i, best)) best = j;
   }
   return best;
 }
 
-void PolicyDataset::append(index_t m, index_t k,
-                           const std::array<double, 4>& t) {
+void PolicyDataset::append(index_t m, index_t k, std::span<const double> t) {
+  MFGPU_CHECK(static_cast<int>(t.size()) == num_policies,
+              "PolicyDataset::append: wrong number of policy times");
   ms.push_back(m);
   ks.push_back(k);
   times.insert(times.end(), t.begin(), t.end());
@@ -58,17 +59,21 @@ std::vector<std::pair<index_t, index_t>> log_grid_dims(index_t max_m,
 
 PolicyDataset build_dataset(
     const std::vector<std::pair<index_t, index_t>>& dims, PolicyTimer& timer,
-    double noise_rel, Rng* rng) {
+    double noise_rel, Rng* rng, int batched_width) {
   MFGPU_CHECK(noise_rel == 0.0 || rng != nullptr,
               "build_dataset: noise requires an Rng");
   PolicyDataset ds;
+  ds.num_policies = (batched_width > 0) ? 5 : 4;
   ds.ms.reserve(dims.size());
   ds.ks.reserve(dims.size());
-  ds.times.reserve(dims.size() * 4);
+  ds.times.reserve(dims.size() * static_cast<std::size_t>(ds.num_policies));
+  std::vector<double> t(static_cast<std::size_t>(ds.num_policies));
   for (const auto& [m, k] : dims) {
-    std::array<double, 4> t{};
-    for (int j = 0; j < 4; ++j) {
-      double value = timer.time(policy_from_index(j + 1), m, k);
+    const FuCall call{.m = m, .k = k};
+    for (int j = 0; j < ds.num_policies; ++j) {
+      double value = (j < 4)
+                         ? timer.time(policy_from_index(j + 1), call)
+                         : timer.time_batched(call, batched_width);
       if (noise_rel > 0.0) {
         value *= std::exp(rng->normal(0.0, noise_rel));
       }

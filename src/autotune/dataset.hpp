@@ -3,6 +3,8 @@
 // matrix A_i under policy C_j).
 #pragma once
 
+#include <array>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -14,17 +16,26 @@
 namespace mfgpu {
 
 struct PolicyDataset {
+  /// Columns per example: 4 for the per-front policies P1..P4, 5 when the
+  /// dataset also carries the batched-dispatch column (class index 4 maps
+  /// to Policy::Batched via policy_from_index(5)).
+  int num_policies = 4;
   std::vector<index_t> ms;
   std::vector<index_t> ks;
-  /// times[i * 4 + j] = observed time of example i under policy j (0-based).
+  /// times[i * num_policies + j] = time of example i under policy j
+  /// (0-based).
   std::vector<double> times;
 
   std::size_t size() const noexcept { return ms.size(); }
   double time(std::size_t i, int policy_index) const {
-    return times[i * 4 + static_cast<std::size_t>(policy_index)];
+    return times[i * static_cast<std::size_t>(num_policies) +
+                 static_cast<std::size_t>(policy_index)];
   }
   int best_policy_index(std::size_t i) const;
-  void append(index_t m, index_t k, const std::array<double, 4>& t);
+  void append(index_t m, index_t k, std::span<const double> t);
+  void append(index_t m, index_t k, const std::array<double, 4>& t) {
+    append(m, k, std::span<const double>(t));
+  }
 };
 
 /// The (m, k) of every supernode of a symbolic factorization — the
@@ -40,8 +51,11 @@ std::vector<std::pair<index_t, index_t>> log_grid_dims(index_t max_m,
 
 /// Measure all four policies for each dims entry with the dry-run timer.
 /// `noise_rel` > 0 adds multiplicative lognormal-ish noise (timing jitter).
+/// `batched_width` > 0 appends a fifth column: the per-front share of an
+/// aggregated dispatch of that many same-shaped fronts (Policy::Batched),
+/// making the trained classifier a 5-class model.
 PolicyDataset build_dataset(
     const std::vector<std::pair<index_t, index_t>>& dims, PolicyTimer& timer,
-    double noise_rel = 0.0, Rng* rng = nullptr);
+    double noise_rel = 0.0, Rng* rng = nullptr, int batched_width = 0);
 
 }  // namespace mfgpu

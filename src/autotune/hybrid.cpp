@@ -15,23 +15,23 @@ DispatchExecutor make_ideal_hybrid(PolicyTimer& timer,
   };
   auto cache =
       std::make_shared<std::map<std::pair<index_t, index_t>, BestCall>>();
-  auto best_of = [&timer, cache](index_t m, index_t k) -> const BestCall& {
-    const auto key = std::make_pair(m, k);
+  auto best_of = [&timer, cache](const FuCall& call) -> const BestCall& {
+    const auto key = std::make_pair(call.m, call.k);
     auto it = cache->find(key);
     if (it == cache->end()) {
       BestCall best;
-      best.policy = timer.best_policy(m, k);
-      best.seconds = timer.time(best.policy, m, k);
+      best.policy = timer.best_policy(call);
+      best.seconds = timer.time(best.policy, call);
       it = cache->emplace(key, best).first;
     }
     return it->second;
   };
   DispatchExecutor executor(
       "P_IH",
-      [best_of](index_t m, index_t k) { return best_of(m, k).policy; },
+      [best_of](const FuCall& call) { return best_of(call).policy; },
       options);
-  executor.set_predictor([best_of](index_t m, index_t k, Policy chosen) {
-    const BestCall& best = best_of(m, k);
+  executor.set_predictor([best_of](const FuCall& call, Policy chosen) {
+    const BestCall& best = best_of(call);
     // The dispatcher always executes its own argmin; if the device was
     // absent and P1 was forced instead, the oracle's prediction does not
     // apply to what ran.
@@ -47,7 +47,8 @@ DispatchExecutor make_model_hybrid(const TrainedPolicyModel& model,
   auto owned = std::make_shared<TrainedPolicyModel>(model);
   return DispatchExecutor(
       "P_MH",
-      [owned](index_t m, index_t k) { return owned->choose(m, k); }, options);
+      [owned](const FuCall& call) { return owned->choose(call.m, call.k); },
+      options);
 }
 
 HybridEvaluation evaluate_hybrids(const PolicyDataset& ds,
@@ -61,8 +62,9 @@ HybridEvaluation evaluate_hybrids(const PolicyDataset& ds,
     const int ideal = ds.best_policy_index(i);
     const int chosen =
         static_cast<int>(model.choose(ds.ms[i], ds.ks[i])) - 1;
-    const int base =
-        static_cast<int>(baseline_choice(thresholds, ds.ms[i], ds.ks[i])) - 1;
+    const int base = static_cast<int>(baseline_choice(
+                         thresholds, FuCall{.m = ds.ms[i], .k = ds.ks[i]})) -
+                     1;
     eval.total_ideal += ds.time(i, ideal);
     eval.total_model += ds.time(i, chosen);
     eval.total_baseline += ds.time(i, base);

@@ -40,7 +40,8 @@ TrainedPolicyModel load_policy_model(std::istream& is) {
       features != kNumFeatures) {
     throw InvalidArgumentError("policy model: unexpected feature count");
   }
-  if (!(is >> token >> classes) || token != "classes" || classes != 4) {
+  if (!(is >> token >> classes) || token != "classes" ||
+      (classes != 4 && classes != 5)) {
     throw InvalidArgumentError("policy model: unexpected class count");
   }
 
@@ -62,6 +63,7 @@ TrainedPolicyModel load_policy_model(std::istream& is) {
   }
 
   TrainedPolicyModel model;
+  model.model = MultinomialLogistic(kNumFeatures, classes);
   model.scaler = FeatureScaler::from_moments(means, stds);
   if (!(is >> token) || token != "weights") {
     throw InvalidArgumentError("policy model: missing weights");

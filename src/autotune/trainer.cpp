@@ -18,7 +18,7 @@ double TrainedPolicyModel::expected_time(const PolicyDataset& ds,
   const FeatureVector x = scaler(ds.ms[i], ds.ks[i]);
   const std::vector<double> p = model.probabilities(x);
   double expected = 0.0;
-  for (int j = 0; j < 4; ++j) {
+  for (int j = 0; j < model.num_classes(); ++j) {
     expected += p[static_cast<std::size_t>(j)] * ds.time(i, j);
   }
   return expected;
@@ -45,7 +45,10 @@ TrainedPolicyModel train_common(
     const TrainedPolicyModel* warm_start = nullptr) {
   MFGPU_CHECK(ds.size() > 0, "train: empty dataset");
   TrainedPolicyModel result;
+  result.model = MultinomialLogistic(kNumFeatures, ds.num_policies);
   if (warm_start != nullptr) {
+    MFGPU_CHECK(warm_start->model.num_classes() == ds.num_policies,
+                "train: warm start class count mismatch");
     result.model = warm_start->model;
   }
 
@@ -127,9 +130,10 @@ TrainedPolicyModel train_expected_time(const PolicyDataset& ds,
   // is exactly the cost-sensitivity the paper wants.
   double mean_time = 0.0;
   for (std::size_t i = 0; i < ds.size(); ++i) {
-    for (int j = 0; j < 4; ++j) mean_time += ds.time(i, j);
+    for (int j = 0; j < ds.num_policies; ++j) mean_time += ds.time(i, j);
   }
-  mean_time /= static_cast<double>(ds.size() * 4);
+  mean_time /= static_cast<double>(ds.size()) *
+               static_cast<double>(ds.num_policies);
   const double scale = (mean_time > 0.0) ? 1.0 / mean_time : 1.0;
 
   // The expected-time objective is smooth but not convex in theta; from a
@@ -146,10 +150,10 @@ TrainedPolicyModel train_expected_time(const PolicyDataset& ds,
               const std::vector<double>& p, std::vector<double>& dscore) {
         // dL/ds_j = p_j (T_j - sum_l p_l T_l), with T in normalized units.
         double expected = 0.0;
-        for (int l = 0; l < 4; ++l) {
+        for (int l = 0; l < data.num_policies; ++l) {
           expected += p[static_cast<std::size_t>(l)] * data.time(i, l) * scale;
         }
-        for (int j = 0; j < 4; ++j) {
+        for (int j = 0; j < data.num_policies; ++j) {
           dscore[static_cast<std::size_t>(j)] =
               p[static_cast<std::size_t>(j)] *
               (data.time(i, j) * scale - expected);
@@ -165,7 +169,7 @@ TrainedPolicyModel train_cross_entropy(const PolicyDataset& ds,
       [](const PolicyDataset& data, std::size_t i, const std::vector<double>& p,
          std::vector<double>& dscore) {
         const int label = data.best_policy_index(i);
-        for (int j = 0; j < 4; ++j) {
+        for (int j = 0; j < data.num_policies; ++j) {
           dscore[static_cast<std::size_t>(j)] =
               p[static_cast<std::size_t>(j)] - (j == label ? 1.0 : 0.0);
         }

@@ -29,6 +29,9 @@ struct TrainOptions {
 };
 
 /// A trained policy predictor: scaler + classifier + the glue to Policy.
+/// 4-class models choose among the per-front policies P1..P4; 5-class
+/// models (trained on a dataset with the batched column) may also return
+/// Policy::Batched (class index 4 -> policy_from_index(5)).
 struct TrainedPolicyModel {
   FeatureScaler scaler;
   MultinomialLogistic model{kNumFeatures, 4};

@@ -27,10 +27,16 @@ class OwnedTimerIdealHybrid : public FuExecutor {
   FuOutcome execute(FrontBlocks front, FactorContext& ctx) override {
     return inner_.execute(front, ctx);
   }
+  std::vector<FuOutcome> execute_batch(std::span<FrontBlocks> fronts,
+                                       FactorContext& ctx) override {
+    return inner_.execute_batch(fronts, ctx);
+  }
   void prepare(index_t max_m, index_t max_k, FactorContext& ctx) override {
     inner_.prepare(max_m, max_k, ctx);
   }
   const char* name() const override { return inner_.name(); }
+  std::int64_t fault_count() const override { return inner_.fault_count(); }
+  bool quarantined() const override { return inner_.quarantined(); }
 
  private:
   std::unique_ptr<PolicyTimer> timer_;  // must outlive inner_
@@ -157,6 +163,7 @@ void Solver::Impl::run_factor() {
     parallel_options.num_threads = options.num_threads;
     parallel_options.workers = options.workers;
     parallel_options.deterministic_reduction = options.deterministic_reduction;
+    parallel_options.numeric.batching = options.batching;
     parallel_options.executor = options.executor;
     parallel_options.device = options.device;
     obs::ScopedSpan span("solver", "numeric_factorization");
@@ -170,8 +177,10 @@ void Solver::Impl::run_factor() {
       device = std::make_unique<Device>(device_options);
       ctx.device = device.get();
     }
+    FactorizeOptions factorize_options;
+    factorize_options.batching = options.batching;
     obs::ScopedSpan span("solver", "numeric_factorization", &ctx.host_clock);
-    result = factorize(*analysis, *executor, ctx);
+    result = factorize(*analysis, *executor, ctx, factorize_options);
   }
   factor = std::move(result.factor);
   trace = std::move(result.trace);

@@ -70,6 +70,11 @@ struct SolverOptions {
   ExecutorOptions executor;
   AnalyzeOptions analysis;
   Device::Options device;
+  /// Aggregated small-front execution (multifrontal/batched.hpp): groups
+  /// independent same-level small fronts into one simulated kernel dispatch
+  /// per step. Off (the default) keeps the per-front drivers bit-for-bit
+  /// unchanged; On/Auto produce a bitwise-identical factor either way.
+  BatchingOptions batching;
   int max_refinement_steps = 5;
   double refinement_tolerance = 1e-14;
 

@@ -16,6 +16,18 @@ double KernelRateModel::rate(double ops, double min_dim) const {
   return ops / time(ops, min_dim);
 }
 
+double KernelRateModel::marginal_time(double ops, double min_dim) const {
+  MFGPU_CHECK(ops >= 0.0 && min_dim >= 0.0, "KernelRateModel: negative input");
+  if (ops == 0.0) return 0.0;
+  const double shape_eff =
+      (dim_half <= 0.0) ? 1.0 : min_dim / (min_dim + dim_half);
+  return ops / (peak_flops * shape_eff);
+}
+
+double KernelRateModel::batch_overhead() const {
+  return latency + ops_half / peak_flops;
+}
+
 ProcessorModel xeon5160_model() {
   ProcessorModel m;
   // Double-precision ATLAS on one 3.0 GHz Woodcrest core. Ramps quickly

@@ -36,6 +36,17 @@ struct KernelRateModel {
   double time(double ops, double min_dim) const;
   /// Effective rate in Flops/s (0 when ops == 0).
   double rate(double ops, double min_dim) const;
+
+  /// Pure flop seconds at the shape-degraded rate — no launch latency, no
+  /// utilization ramp. The per-member increment of an aggregated (batched)
+  /// launch: each member still pays its own tile-shape inefficiency.
+  double marginal_time(double ops, double min_dim) const;
+  /// Once-per-launch fixed cost of a batched call: the launch latency plus
+  /// the utilization ramp charged at asymptotic peak. An aggregated launch
+  /// climbs the occupancy ramp once over its total op count instead of
+  /// once per tiny member call — the amortization that makes batched BLAS
+  /// pay off in the paper's small-call regime.
+  double batch_overhead() const;
 };
 
 /// The four dense kernels used by factor-update and its P4 panel variant.

@@ -186,6 +186,92 @@ double Device::copy_from_device_async(const DeviceMatrix& src, index_t i0,
   return duration;
 }
 
+double Device::copy_to_device_async_batched(
+    std::span<const H2dCopy> blocks, std::span<const std::uint64_t> scopes,
+    std::span<std::uint64_t> fault_ops, std::span<const char> skip,
+    Stream& stream, SimClock& host) {
+  MFGPU_CHECK(blocks.size() == scopes.size() &&
+                  blocks.size() == fault_ops.size() &&
+                  blocks.size() == skip.size(),
+              "copy_to_device_async_batched: span size mismatch");
+  double bytes = 0.0;
+  double earliest_dep = 0.0;
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    if (skip[i] != 0) continue;
+    injector_.resume_scope(scopes[i], fault_ops[i]);
+    const FaultKind fault = injector_.sample(FaultSite::Transfer);
+    fault_ops[i] = injector_.op_index();
+    if (fault == FaultKind::DeviceDeath) throw_transfer_death();
+    const H2dCopy& b = blocks[i];
+    bytes += matrix_bytes(b.src.rows(), b.src.cols());
+    if (options_.numeric) {
+      auto block = device_block(*b.dst, b.i0, b.j0, b.src.rows(),
+                                b.src.cols());
+      copy_into<float>(b.src, block);
+      if (fault == FaultKind::TransferCorruption && block.rows() > 0 &&
+          block.cols() > 0) {
+        block(0, 0) = std::numeric_limits<float>::quiet_NaN();
+      }
+    }
+    earliest_dep = std::max(earliest_dep, b.dst->available_at);
+  }
+  if (bytes == 0.0) return 0.0;
+  bytes_transferred_ += bytes;
+  host.advance(transfer().enqueue_overhead);
+  const double duration = transfer().async_copy_time(bytes);
+  count_transfer("h2d", bytes, duration);
+  const double done =
+      stream.enqueue(std::max(host.now(), earliest_dep), duration);
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    if (skip[i] == 0) blocks[i].dst->available_at = done;
+  }
+  return duration;
+}
+
+double Device::copy_from_device_async_batched(
+    std::span<const D2hCopy> blocks, std::span<const std::uint64_t> scopes,
+    std::span<std::uint64_t> fault_ops, std::span<const char> skip,
+    Stream& stream, SimClock& host) {
+  MFGPU_CHECK(blocks.size() == scopes.size() &&
+                  blocks.size() == fault_ops.size() &&
+                  blocks.size() == skip.size(),
+              "copy_from_device_async_batched: span size mismatch");
+  double bytes = 0.0;
+  double earliest_dep = 0.0;
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    if (skip[i] != 0) continue;
+    injector_.resume_scope(scopes[i], fault_ops[i]);
+    const FaultKind fault = injector_.sample(FaultSite::Transfer);
+    fault_ops[i] = injector_.op_index();
+    if (fault == FaultKind::DeviceDeath) throw_transfer_death();
+    const D2hCopy& b = blocks[i];
+    bytes += matrix_bytes(b.dst.rows(), b.dst.cols());
+    if (options_.numeric) {
+      auto block = const_cast<DeviceMatrix*>(b.src)->data.view().block(
+          b.i0, b.j0, b.dst.rows(), b.dst.cols());
+      MatrixView<double> dst = b.dst;
+      copy_into<double>(
+          MatrixView<const float>(block.data(), block.rows(), block.cols(),
+                                  block.ld()),
+          dst);
+      if (fault == FaultKind::TransferCorruption && dst.rows() > 0 &&
+          dst.cols() > 0) {
+        dst(0, 0) = std::numeric_limits<double>::quiet_NaN();
+      }
+    }
+    earliest_dep = std::max(earliest_dep, b.src->available_at);
+  }
+  if (bytes == 0.0) return 0.0;
+  bytes_transferred_ += bytes;
+  host.advance(transfer().enqueue_overhead);
+  const double duration = transfer().async_copy_time(bytes);
+  count_transfer("d2h", bytes, duration);
+  // Reads only: the coalesced copy waits for every producer but does not
+  // bump any available_at (write-after-read hazards are not modeled).
+  stream.enqueue(std::max(host.now(), earliest_dep), duration);
+  return duration;
+}
+
 void Device::synchronize(SimClock& host) {
   for (const auto& s : streams_) host.advance_to(s.ready_at());
 }

@@ -17,6 +17,7 @@
 // host thread on the paper's hardware generation.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -86,6 +87,37 @@ class Device {
   double copy_from_device_async(const DeviceMatrix& src, index_t i0,
                                 index_t j0, MatrixView<double> dst,
                                 Stream& stream, SimClock& host);
+
+  /// One member block of a batched (coalesced) transfer.
+  struct H2dCopy {
+    MatrixView<const double> src;
+    DeviceMatrix* dst = nullptr;
+    index_t i0 = 0, j0 = 0;
+  };
+  struct D2hCopy {
+    const DeviceMatrix* src = nullptr;
+    index_t i0 = 0, j0 = 0;
+    MatrixView<double> dst;
+  };
+
+  /// Coalesced async copies: every member block moves in ONE simulated
+  /// transfer — one enqueue overhead on the host, one transfer latency,
+  /// summed bytes at async bandwidth. This is the amortization the batched
+  /// execution path buys (per-front async copies each pay latency +
+  /// enqueue). Fault injection samples per member under its own scope
+  /// (`scopes[i]`, resumed at `fault_ops[i]`): corruption poisons that
+  /// member only, death throws sticky. Members with `skip[i] != 0` move no
+  /// data and charge nothing.
+  double copy_to_device_async_batched(std::span<const H2dCopy> blocks,
+                                      std::span<const std::uint64_t> scopes,
+                                      std::span<std::uint64_t> fault_ops,
+                                      std::span<const char> skip,
+                                      Stream& stream, SimClock& host);
+  double copy_from_device_async_batched(std::span<const D2hCopy> blocks,
+                                        std::span<const std::uint64_t> scopes,
+                                        std::span<std::uint64_t> fault_ops,
+                                        std::span<const char> skip,
+                                        Stream& stream, SimClock& host);
 
   /// cudaEventRecord / cudaDeviceSynchronize equivalents.
   Event record(const Stream& stream) const { return Event{stream.ready_at()}; }

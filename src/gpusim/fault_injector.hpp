@@ -86,6 +86,20 @@ class FaultInjector {
     op_index_ = 0;
   }
 
+  /// Resume a scope at a given op index. Batched dispatches interleave the
+  /// member fronts' operations (upload all, potrf all, ...), so each member
+  /// carries its own op counter across stages: its fault schedule stays a
+  /// pure function of (seed, front, op) — independent of the batch it
+  /// landed in. Pair with op_index() to read the counter back after
+  /// sampling.
+  void resume_scope(std::uint64_t scope, std::uint64_t op_index) noexcept {
+    scope_ = scope;
+    op_index_ = op_index;
+  }
+
+  /// Next op index within the current scope.
+  std::uint64_t op_index() const noexcept { return op_index_; }
+
   /// Draw the fault outcome for the next operation at `site`. Advances the
   /// op index and accumulates stats. Returns DeviceDeath for every call once
   /// the device died. Suppressed or disabled injectors always return None

@@ -1,6 +1,7 @@
 #include "gpusim/gpublas.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 
 #include "dense/potrf.hpp"
@@ -53,6 +54,62 @@ void check_kernel_fault(const char* kernel, const GpuExec& exec, double ops,
   throw DeviceFaultError(
       std::string(kernel) + ": injected " + fault_kind_name(fault),
       /*sticky=*/fault == FaultKind::DeviceDeath);
+}
+
+/// enqueue_kernel over dynamically sized dependency lists (one aggregated
+/// launch touching every member's blocks).
+void enqueue_kernel_batched(const GpuExec& exec, double duration,
+                            const std::vector<const DeviceMatrix*>& inputs,
+                            const std::vector<DeviceMatrix*>& outputs) {
+  exec.host->advance(exec.device->transfer().kernel_enqueue);
+  double earliest = exec.host->now();
+  for (const DeviceMatrix* in : inputs) {
+    earliest = std::max(earliest, in->available_at);
+  }
+  for (DeviceMatrix* out : outputs) {
+    earliest = std::max(earliest, out->available_at);
+  }
+  const double done = exec.stream->enqueue(earliest, duration);
+  for (DeviceMatrix* out : outputs) out->available_at = done;
+}
+
+/// Per-member fault sampling for one aggregated launch, each member under
+/// its own resumed scope so the schedule is independent of batch
+/// composition. Freshly faulted members are marked in `skip` and appended
+/// to `faulted`; they stay `active` (their wasted device time is charged)
+/// but run no numeric work.
+struct BatchFaults {
+  bool any = false;    ///< at least one member was live at entry
+  bool death = false;  ///< some member drew DeviceDeath (throw after charge)
+  std::vector<char> active;  ///< live at entry: charged by this launch
+};
+
+BatchFaults sample_batch_faults(FaultInjector& injector,
+                                std::span<const std::uint64_t> scopes,
+                                std::span<std::uint64_t> fault_ops,
+                                std::span<char> skip,
+                                std::vector<BatchFault>& faulted) {
+  BatchFaults out;
+  out.active.assign(scopes.size(), 0);
+  for (std::size_t i = 0; i < scopes.size(); ++i) {
+    if (skip[i] != 0) continue;
+    out.active[i] = 1;
+    out.any = true;
+    injector.resume_scope(scopes[i], fault_ops[i]);
+    const FaultKind fault = injector.sample(FaultSite::Kernel);
+    fault_ops[i] = injector.op_index();
+    if (fault == FaultKind::None) continue;
+    skip[i] = 1;
+    faulted.push_back(BatchFault{i, fault});
+    if (fault == FaultKind::DeviceDeath) out.death = true;
+  }
+  return out;
+}
+
+[[noreturn]] void throw_batch_death(const char* kernel) {
+  throw DeviceFaultError(std::string(kernel) + ": injected " +
+                             fault_kind_name(FaultKind::DeviceDeath),
+                         /*sticky=*/true);
 }
 
 }  // namespace
@@ -126,6 +183,110 @@ double gpu_gemm_nt(const GpuExec& exec, float alpha, DevBlock a, DevBlock b,
     gemm<float>(Trans::NoTrans, Trans::Transpose, alpha, a.view(), b.view(),
                 1.0f, c.view());
   }
+  return duration;
+}
+
+double gpu_potrf_batched(const GpuExec& exec, std::span<const DevBlock> as,
+                         std::span<const index_t> column_offsets,
+                         std::span<const std::uint64_t> scopes,
+                         std::span<std::uint64_t> fault_ops,
+                         std::span<char> skip,
+                         std::vector<BatchFault>& faulted) {
+  const std::size_t n = as.size();
+  MFGPU_CHECK(column_offsets.size() == n && scopes.size() == n &&
+                  fault_ops.size() == n && skip.size() == n,
+              "gpu_potrf_batched: span size mismatch");
+  const BatchFaults faults = sample_batch_faults(
+      exec.device->fault_injector(), scopes, fault_ops, skip, faulted);
+  if (!faults.any) return 0.0;
+  const KernelRateModel& model = exec.device->model().potrf;
+  double total_ops = 0.0;
+  double duration = model.batch_overhead();
+  std::vector<DeviceMatrix*> outputs;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (faults.active[i] == 0) continue;
+    MFGPU_CHECK(as[i].rows == as[i].cols, "gpu_potrf_batched: non-square");
+    const auto ops = static_cast<double>(potrf_ops(as[i].rows));
+    total_ops += ops;
+    duration += model.marginal_time(ops, static_cast<double>(as[i].rows));
+    outputs.push_back(as[i].mat);
+  }
+  enqueue_kernel_batched(exec, duration, {}, outputs);
+  count_kernel("gpu.potrf", total_ops, duration);
+  if (faults.death) throw_batch_death("gpu.potrf");
+  return duration;
+}
+
+double gpu_trsm_batched(const GpuExec& exec, std::span<const DevBlock> tris,
+                        std::span<const DevBlock> rhss,
+                        std::span<const std::uint64_t> scopes,
+                        std::span<std::uint64_t> fault_ops,
+                        std::span<char> skip,
+                        std::vector<BatchFault>& faulted) {
+  const std::size_t n = tris.size();
+  MFGPU_CHECK(rhss.size() == n && scopes.size() == n && fault_ops.size() == n &&
+                  skip.size() == n,
+              "gpu_trsm_batched: span size mismatch");
+  const BatchFaults faults = sample_batch_faults(
+      exec.device->fault_injector(), scopes, fault_ops, skip, faulted);
+  if (!faults.any) return 0.0;
+  const KernelRateModel& model = exec.device->model().trsm;
+  double total_ops = 0.0;
+  double duration = model.batch_overhead();
+  std::vector<const DeviceMatrix*> inputs;
+  std::vector<DeviceMatrix*> outputs;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (faults.active[i] == 0) continue;
+    MFGPU_CHECK(tris[i].rows == tris[i].cols && tris[i].cols == rhss[i].cols,
+                "gpu_trsm_batched: shape mismatch");
+    const auto ops = static_cast<double>(trsm_ops(rhss[i].rows, rhss[i].cols));
+    const double min_dim =
+        static_cast<double>(std::min(rhss[i].rows, rhss[i].cols));
+    total_ops += ops;
+    duration += model.marginal_time(ops, min_dim);
+    inputs.push_back(tris[i].mat);
+    outputs.push_back(rhss[i].mat);
+  }
+  enqueue_kernel_batched(exec, duration, inputs, outputs);
+  count_kernel("gpu.trsm", total_ops, duration);
+  if (faults.death) throw_batch_death("gpu.trsm");
+  return duration;
+}
+
+double gpu_syrk_batched(const GpuExec& exec, float /*alpha*/,
+                        std::span<const DevBlock> as,
+                        std::span<const DevBlock> cs,
+                        std::span<const std::uint64_t> scopes,
+                        std::span<std::uint64_t> fault_ops,
+                        std::span<char> skip,
+                        std::vector<BatchFault>& faulted) {
+  const std::size_t n = as.size();
+  MFGPU_CHECK(cs.size() == n && scopes.size() == n && fault_ops.size() == n &&
+                  skip.size() == n,
+              "gpu_syrk_batched: span size mismatch");
+  const BatchFaults faults = sample_batch_faults(
+      exec.device->fault_injector(), scopes, fault_ops, skip, faulted);
+  if (!faults.any) return 0.0;
+  const KernelRateModel& model = exec.device->model().syrk;
+  double total_ops = 0.0;
+  double duration = model.batch_overhead();
+  std::vector<const DeviceMatrix*> inputs;
+  std::vector<DeviceMatrix*> outputs;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (faults.active[i] == 0) continue;
+    MFGPU_CHECK(cs[i].rows == cs[i].cols && as[i].rows == cs[i].rows,
+                "gpu_syrk_batched: shape mismatch");
+    const auto ops = static_cast<double>(syrk_ops(cs[i].rows, as[i].cols));
+    const double min_dim =
+        static_cast<double>(std::min(cs[i].rows, as[i].cols));
+    total_ops += ops;
+    duration += model.marginal_time(ops, min_dim);
+    inputs.push_back(as[i].mat);
+    outputs.push_back(cs[i].mat);
+  }
+  enqueue_kernel_batched(exec, duration, inputs, outputs);
+  count_kernel("gpu.syrk", total_ops, duration);
+  if (faults.death) throw_batch_death("gpu.syrk");
   return duration;
 }
 

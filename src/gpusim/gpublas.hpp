@@ -5,6 +5,10 @@
 // model duration in seconds so callers can attribute component times.
 #pragma once
 
+#include <cstdint>
+#include <span>
+#include <vector>
+
 #include "dense/blas.hpp"
 #include "dense/matrix.hpp"
 #include "gpusim/device.hpp"
@@ -44,6 +48,61 @@ double gpu_syrk(const GpuExec& exec, float alpha, DevBlock a, DevBlock c);
 /// c := c + alpha * a * b^T (panel update inside P4).
 double gpu_gemm_nt(const GpuExec& exec, float alpha, DevBlock a, DevBlock b,
                    DevBlock c);
+
+// ---------------------------------------------------------------------------
+// Batched-BLAS-style aggregated launches.
+//
+// Each member front keeps its own marginal flop time (at its own
+// tile-shape-degraded rate), but the whole batch pays ONE host
+// kernel-enqueue and ONE per-launch fixed cost — launch latency plus the
+// utilization ramp (KernelRateModel::batch_overhead):
+//     t_batch = latency + ops_half/peak + sum_i marginal_i
+// The aggregated launch climbs the occupancy ramp once over its total op
+// count instead of once per tiny call — the amortization that makes the
+// paper's ~97% small-call regime worth sending to the GPU at all.
+//
+// These launches are priced, not computed: they model FP64 batched kernels
+// (dpotrf/dtrsm/dsyrk_batched), so the authoritative member math runs on
+// the host in double inside run_batched_dispatch — bit-for-bit the per-front
+// P1 kernels. The float device buffers only carry the transfer/fault
+// simulation (an injected transfer corruption lands in them and is caught
+// when the downloads are validated).
+//
+// Fault contract (degrade per front, never per batch): every member samples
+// the injector under its own scope (`scopes[i]`, op counter resumed from
+// `fault_ops[i]` and written back). A transient fault marks that member in
+// `skip` and appends its index to `faulted`; its numeric work is dropped but
+// its wasted device time stays charged, and the rest of the batch proceeds.
+// DeviceDeath still throws (sticky) after charging the batch. Members
+// already marked in `skip` are ignored entirely.
+// ---------------------------------------------------------------------------
+
+/// One member of a batched launch that faulted: its index in the batch and
+/// the injected fault kind the launch observed for it.
+struct BatchFault {
+  std::size_t index = 0;
+  FaultKind kind = FaultKind::None;
+};
+
+double gpu_potrf_batched(const GpuExec& exec, std::span<const DevBlock> as,
+                         std::span<const index_t> column_offsets,
+                         std::span<const std::uint64_t> scopes,
+                         std::span<std::uint64_t> fault_ops,
+                         std::span<char> skip,
+                         std::vector<BatchFault>& faulted);
+double gpu_trsm_batched(const GpuExec& exec, std::span<const DevBlock> tris,
+                        std::span<const DevBlock> rhss,
+                        std::span<const std::uint64_t> scopes,
+                        std::span<std::uint64_t> fault_ops,
+                        std::span<char> skip,
+                        std::vector<BatchFault>& faulted);
+double gpu_syrk_batched(const GpuExec& exec, float alpha,
+                        std::span<const DevBlock> as,
+                        std::span<const DevBlock> cs,
+                        std::span<const std::uint64_t> scopes,
+                        std::span<std::uint64_t> fault_ops,
+                        std::span<char> skip,
+                        std::vector<BatchFault>& faulted);
 
 /// Host execution context: the CPU clock plus its calibrated model.
 struct HostExec {

@@ -5,13 +5,22 @@
 namespace mfgpu {
 
 FrontBlocks make_shape_blocks(index_t m, index_t k, index_t global_col) {
+  FuCall call;
+  call.m = m;
+  call.k = k;
+  call.global_col = global_col;
+  return make_shape_blocks(call);
+}
+
+FrontBlocks make_shape_blocks(const FuCall& call) {
   FrontBlocks f;
-  f.m = m;
-  f.k = k;
-  f.global_col = global_col;
-  f.l1 = MatrixView<double>(nullptr, k, k, std::max<index_t>(k, 1));
-  f.l2 = MatrixView<double>(nullptr, m, k, std::max<index_t>(m, 1));
-  f.u = MatrixView<double>(nullptr, m, m, std::max<index_t>(m, 1));
+  static_cast<FuCall&>(f) = call;
+  f.l1 = MatrixView<double>(nullptr, call.k, call.k,
+                            std::max<index_t>(call.k, 1));
+  f.l2 = MatrixView<double>(nullptr, call.m, call.k,
+                            std::max<index_t>(call.m, 1));
+  f.u = MatrixView<double>(nullptr, call.m, call.m,
+                           std::max<index_t>(call.m, 1));
   return f;
 }
 

@@ -4,9 +4,13 @@
 // the policy module provides executors P1-P4 and the hybrid dispatchers.
 #pragma once
 
+#include <span>
+#include <vector>
+
 #include "dense/matrix.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/gpublas.hpp"
+#include "multifrontal/fu_call.hpp"
 #include "multifrontal/trace.hpp"
 
 namespace mfgpu {
@@ -32,13 +36,16 @@ struct FactorContext {
 /// L1 (k x k pivot block, lower), L2 (m x k sub-diagonal block), and the
 /// update matrix U (m x m, lower). Views alias the front's storage; after
 /// execution L1/L2 contain factor columns and U the update matrix.
-struct FrontBlocks {
+///
+/// FrontBlocks IS a FuCall (the call descriptor: snode, m, k, level, flops,
+/// global_col) plus the storage views — every layer below the driver takes
+/// either the full blocks or just the FuCall slice.
+struct FrontBlocks : FuCall {
   MatrixView<double> l1;
   MatrixView<double> l2;
   MatrixView<double> u;
-  index_t m = 0;
-  index_t k = 0;
-  index_t global_col = 0;  ///< first column, for pivot error reporting
+
+  const FuCall& call() const noexcept { return *this; }
 };
 
 /// Outcome of one F-U call: component times plus the virtual time at which
@@ -52,6 +59,7 @@ struct FuOutcome {
 /// Builds shape-only blocks for dry (timing-only) runs: views carry correct
 /// dimensions but must never be dereferenced.
 FrontBlocks make_shape_blocks(index_t m, index_t k, index_t global_col = 0);
+FrontBlocks make_shape_blocks(const FuCall& call);
 
 /// Interface implemented by the four policies and the hybrid dispatchers.
 class FuExecutor {
@@ -60,6 +68,19 @@ class FuExecutor {
   /// Factor the front in place. Must advance ctx.host_clock by the host
   /// time consumed and fill the outcome record.
   virtual FuOutcome execute(FrontBlocks front, FactorContext& ctx) = 0;
+  /// Factor a group of independent fronts (no ancestor relations between
+  /// them). The default runs the singles loop; dispatchers that know how to
+  /// aggregate (one launch + one transfer per batch) override it. Returns
+  /// one outcome per front, in input order.
+  virtual std::vector<FuOutcome> execute_batch(std::span<FrontBlocks> fronts,
+                                               FactorContext& ctx) {
+    std::vector<FuOutcome> outcomes;
+    outcomes.reserve(fronts.size());
+    for (FrontBlocks& front : fronts) {
+      outcomes.push_back(execute(front, ctx));
+    }
+    return outcomes;
+  }
   /// One-time preparation before a factorization: executors that use the
   /// device size their memory pools for the maximal front dimensions known
   /// from the symbolic analysis (the paper's high-water-mark policy then

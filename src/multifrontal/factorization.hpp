@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "dense/matrix.hpp"
+#include "multifrontal/batched.hpp"
 #include "multifrontal/factor_update.hpp"
 #include "multifrontal/trace.hpp"
 #include "sched/thread_pool.hpp"
@@ -60,6 +61,12 @@ struct FactorizeOptions {
   bool store_factor = true;
   /// Storage precision of the panels (solves always accumulate in double).
   FactorPrecision precision = FactorPrecision::Float64;
+  /// Aggregated small-front execution (multifrontal/batched.hpp). Off keeps
+  /// the postorder per-front driver bit-for-bit unchanged; On/Auto sweep
+  /// the tree level by level and run each planned group through the
+  /// executor's execute_batch. Per-front numeric math and the extend-add
+  /// order are identical either way, so the factor matches bitwise.
+  BatchingOptions batching;
 };
 
 /// Factor the permuted matrix using the symbolic structure in `analysis`.

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 
+#include "multifrontal/batched.hpp"
 #include "multifrontal/frontal.hpp"
 #include "multifrontal/stack_arena.hpp"
 #include "obs/obs.hpp"
@@ -120,14 +121,12 @@ FactorizeResult factorize_parallel(const Analysis& analysis,
   std::atomic<index_t> next_ticket{0};
   const bool deterministic = options.deterministic_reduction;
 
-  auto body = [&](index_t s, int w) {
-    obs::RequestScope request_scope(request);
+  // Assembly (virtual start, scatter from A, extend-add the children) for one
+  // front on worker w — shared by the per-front and batched task bodies.
+  auto assemble_front = [&](index_t s, int w, FrontalMatrix& front) {
     WorkerState& state = states[static_cast<std::size_t>(w)];
     FactorContext& ctx = state.ctx;
     const SupernodeInfo& sn = sym.supernodes()[static_cast<std::size_t>(s)];
-    obs::ScopedSpan task_span("multifrontal", "fu_task", &ctx.host_clock);
-    task_span.set_arg(0, "snode", s);
-    task_span.set_arg(1, "worker", w);
 
     // Virtual start: a front cannot assemble before its children's update
     // matrices are (virtually) ready, wherever they were produced.
@@ -135,14 +134,6 @@ FactorizeResult factorize_parallel(const Analysis& analysis,
     for (index_t c : kids) {
       ctx.host_clock.advance_to(update_ready[static_cast<std::size_t>(c)]);
     }
-
-    const auto storage =
-        state.front_arena->push(sn.front_order() * sn.front_order());
-    struct ArenaPop {
-      StackArena* arena;
-      ~ArenaPop() { arena->pop(); }
-    } arena_guard{state.front_arena.get()};
-    FrontalMatrix front(sn, storage);
 
     double assembly_entries =
         static_cast<double>(front.assemble_from_matrix(a, sn));
@@ -170,20 +161,17 @@ FactorizeResult factorize_parallel(const Analysis& analysis,
       host_assembly_cost(host, assembly_entries);
       state.assembly_time += ctx.host_clock.now() - t0;
     }
+  };
 
-    FrontBlocks blocks = make_shape_blocks(front.m(), front.k(), sn.first_col);
-    blocks.l1 = front.l1();
-    blocks.l2 = front.l2();
-    blocks.u = front.update();
-    FuOutcome outcome;
-    {
-      obs::ScopedSpan fu_span("multifrontal", "factor_update",
-                              &ctx.host_clock);
-      outcome = state.executor->execute(blocks, ctx);
-      fu_span.set_arg(0, "m", front.m());
-      fu_span.set_arg(1, "k", front.k());
-      fu_span.set_arg(2, "policy", outcome.record.policy);
-    }
+  // Post-execution bookkeeping for one front: trace record, panel storage,
+  // packed update hand-off to the parent, virtual ready time, ticket.
+  auto postprocess = [&](index_t s, int w, FrontalMatrix& front,
+                         FuOutcome outcome) {
+    WorkerState& state = states[static_cast<std::size_t>(w)];
+    FactorContext& ctx = state.ctx;
+    const SupernodeInfo& sn = sym.supernodes()[static_cast<std::size_t>(s)];
+    HostExec host = ctx.host_exec();
+
     outcome.record.snode = s;
     records[static_cast<std::size_t>(s)] = outcome.record;
 
@@ -226,13 +214,198 @@ FactorizeResult factorize_parallel(const Analysis& analysis,
     }
   };
 
+  auto body = [&](index_t s, int w) {
+    obs::RequestScope request_scope(request);
+    WorkerState& state = states[static_cast<std::size_t>(w)];
+    FactorContext& ctx = state.ctx;
+    const SupernodeInfo& sn = sym.supernodes()[static_cast<std::size_t>(s)];
+    obs::ScopedSpan task_span("multifrontal", "fu_task", &ctx.host_clock);
+    task_span.set_arg(0, "snode", s);
+    task_span.set_arg(1, "worker", w);
+
+    const auto storage =
+        state.front_arena->push(sn.front_order() * sn.front_order());
+    struct ArenaPop {
+      StackArena* arena;
+      ~ArenaPop() { arena->pop(); }
+    } arena_guard{state.front_arena.get()};
+    FrontalMatrix front(sn, storage);
+    assemble_front(s, w, front);
+
+    FrontBlocks blocks = make_shape_blocks(front.m(), front.k(), sn.first_col);
+    blocks.snode = s;
+    blocks.l1 = front.l1();
+    blocks.l2 = front.l2();
+    blocks.u = front.update();
+    FuOutcome outcome;
+    {
+      obs::ScopedSpan fu_span("multifrontal", "factor_update",
+                              &ctx.host_clock);
+      outcome = state.executor->execute(blocks, ctx);
+      fu_span.set_arg(0, "m", front.m());
+      fu_span.set_arg(1, "k", front.k());
+      fu_span.set_arg(2, "policy", outcome.record.policy);
+    }
+    postprocess(s, w, front, outcome);
+  };
+
+  // Aggregated small-front batching (multifrontal/batched.hpp): planned on
+  // the symbolic structure alone, so grouping is independent of the thread
+  // count and the batched factor stays bitwise identical to the per-front
+  // one under deterministic reduction.
+  const BatchPlan plan = options.numeric.batching.enabled()
+                             ? group_batches(sym, options.numeric.batching)
+                             : BatchPlan{};
+
+  // One pool task executes a whole batch on one worker: assemble every
+  // member (same order and extend-add semantics as the per-front body),
+  // run them through the executor's aggregated dispatch, then publish each
+  // member's update individually so faults degrade per-front.
+  auto run_batch = [&](index_t b, int w) {
+    obs::RequestScope request_scope(request);
+    WorkerState& state = states[static_cast<std::size_t>(w)];
+    FactorContext& ctx = state.ctx;
+    const FrontBatch& batch = plan.batches[static_cast<std::size_t>(b)];
+    const std::size_t width = batch.snodes.size();
+    obs::ScopedSpan task_span("multifrontal", "fu_task_batch",
+                              &ctx.host_clock);
+    task_span.set_arg(0, "fronts", static_cast<index_t>(width));
+    task_span.set_arg(1, "level", batch.level);
+    task_span.set_arg(2, "worker", w);
+
+    std::vector<FrontalMatrix> fronts;
+    fronts.reserve(width);  // no reallocation: blocks hold views inside
+    std::vector<FrontBlocks> blocks;
+    blocks.reserve(width);
+    for (index_t member : batch.snodes) {
+      const SupernodeInfo& sn =
+          sym.supernodes()[static_cast<std::size_t>(member)];
+      fronts.emplace_back(sn, /*numeric=*/true);
+      FrontalMatrix& front = fronts.back();
+      assemble_front(member, w, front);
+      FrontBlocks fb =
+          make_shape_blocks(front.m(), front.k(), sn.first_col);
+      fb.snode = member;
+      fb.level = batch.level;
+      fb.l1 = front.l1();
+      fb.l2 = front.l2();
+      fb.u = front.update();
+      blocks.push_back(fb);
+    }
+    std::vector<FuOutcome> outcomes;
+    {
+      obs::ScopedSpan fu_span("multifrontal", "factor_update_batch",
+                              &ctx.host_clock);
+      outcomes = state.executor->execute_batch(blocks, ctx);
+      fu_span.set_arg(0, "fronts", static_cast<index_t>(width));
+      fu_span.set_arg(1, "level", batch.level);
+    }
+    MFGPU_CHECK(outcomes.size() == width,
+                "factorize_parallel: executor returned wrong batch size");
+    for (std::size_t i = 0; i < width; ++i) {
+      postprocess(batch.snodes[i], w, fronts[i], outcomes[i]);
+    }
+  };
+
   ThreadPool pool(num_workers);
-  TreeDag dag;
-  dag.parent = graph.parent;
-  dag.preferred_worker = mapping;
-  dag.priority = bottom;
   const auto wall_t0 = std::chrono::steady_clock::now();
-  const PoolRunStats stats = pool.run_tree(dag, body);
+  PoolRunStats stats;
+  if (!plan.any()) {
+    TreeDag dag;
+    dag.parent = graph.parent;
+    dag.preferred_worker = mapping;
+    dag.priority = bottom;
+    stats = pool.run_tree(dag, body);
+  } else {
+    // Condensed node graph: one node per batch, one per unbatched supernode.
+    // Edges follow the assembly tree (one per member-parent pair; duplicate
+    // edges between the same nodes are fine — GraphDag counts each).
+    const std::size_t nbatches = plan.batches.size();
+    std::vector<index_t> node_of(static_cast<std::size_t>(nsup), -1);
+    std::vector<index_t> batch_node(nbatches, -1);
+    index_t num_nodes = 0;
+    for (index_t s = 0; s < nsup; ++s) {
+      const int b = plan.batch_of[static_cast<std::size_t>(s)];
+      if (b < 0) {
+        node_of[static_cast<std::size_t>(s)] = num_nodes++;
+      } else {
+        if (batch_node[static_cast<std::size_t>(b)] == -1) {
+          batch_node[static_cast<std::size_t>(b)] = num_nodes++;
+        }
+        node_of[static_cast<std::size_t>(s)] =
+            batch_node[static_cast<std::size_t>(b)];
+      }
+    }
+    std::vector<index_t> node_single(static_cast<std::size_t>(num_nodes), -1);
+    std::vector<index_t> node_batch(static_cast<std::size_t>(num_nodes), -1);
+    for (index_t s = 0; s < nsup; ++s) {
+      if (plan.batch_of[static_cast<std::size_t>(s)] < 0) {
+        node_single[static_cast<std::size_t>(
+            node_of[static_cast<std::size_t>(s)])] = s;
+      }
+    }
+    for (std::size_t b = 0; b < nbatches; ++b) {
+      node_batch[static_cast<std::size_t>(batch_node[b])] =
+          static_cast<index_t>(b);
+    }
+
+    std::vector<index_t> succ_ptr(static_cast<std::size_t>(num_nodes) + 1, 0);
+    std::vector<index_t> deps(static_cast<std::size_t>(num_nodes), 0);
+    for (index_t s = 0; s < nsup; ++s) {
+      const index_t p = graph.parent[static_cast<std::size_t>(s)];
+      if (p == -1) continue;
+      ++succ_ptr[static_cast<std::size_t>(
+                     node_of[static_cast<std::size_t>(s)]) +
+                 1];
+      ++deps[static_cast<std::size_t>(node_of[static_cast<std::size_t>(p)])];
+    }
+    for (index_t nd = 0; nd < num_nodes; ++nd) {
+      succ_ptr[static_cast<std::size_t>(nd) + 1] +=
+          succ_ptr[static_cast<std::size_t>(nd)];
+    }
+    std::vector<index_t> succ(
+        static_cast<std::size_t>(succ_ptr[static_cast<std::size_t>(num_nodes)]));
+    std::vector<index_t> cursor(succ_ptr.begin(), succ_ptr.end() - 1);
+    for (index_t s = 0; s < nsup; ++s) {
+      const index_t p = graph.parent[static_cast<std::size_t>(s)];
+      if (p == -1) continue;
+      const index_t src = node_of[static_cast<std::size_t>(s)];
+      succ[static_cast<std::size_t>(cursor[static_cast<std::size_t>(src)]++)] =
+          node_of[static_cast<std::size_t>(p)];
+    }
+
+    // Critical-path priority and seeded worker per node: max member
+    // priority, first member's proportional mapping.
+    std::vector<double> node_priority(static_cast<std::size_t>(num_nodes),
+                                      0.0);
+    std::vector<int> node_worker(static_cast<std::size_t>(num_nodes), -1);
+    for (index_t s = 0; s < nsup; ++s) {
+      const std::size_t nd =
+          static_cast<std::size_t>(node_of[static_cast<std::size_t>(s)]);
+      node_priority[nd] =
+          std::max(node_priority[nd], bottom[static_cast<std::size_t>(s)]);
+      if (node_worker[nd] < 0) {
+        node_worker[nd] = mapping[static_cast<std::size_t>(s)];
+      }
+    }
+
+    auto node_body = [&](index_t node, int w) {
+      const index_t b = node_batch[static_cast<std::size_t>(node)];
+      if (b >= 0) {
+        run_batch(b, w);
+      } else {
+        body(node_single[static_cast<std::size_t>(node)], w);
+      }
+    };
+
+    GraphDag dag;
+    dag.succ_ptr = succ_ptr;
+    dag.succ = succ;
+    dag.num_deps = deps;
+    dag.preferred_worker = node_worker;
+    dag.priority = node_priority;
+    stats = pool.run_dag(dag, node_body);
+  }
   const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_t0)
           .count();
@@ -266,6 +439,9 @@ FactorizeResult factorize_parallel(const Analysis& analysis,
     metrics.add("multifrontal.assembly.seconds", assembly_total);
     metrics.add("multifrontal.factorize.seconds", makespan);
     metrics.add("multifrontal.supernodes", static_cast<double>(nsup));
+    if (plan.any()) {
+      metrics.add("batch.planned", static_cast<double>(plan.batches.size()));
+    }
     metrics.add("sched.parallel.wall_seconds", wall_seconds);
     metrics.gauge_set("sched.parallel.workers",
                       static_cast<double>(num_workers));

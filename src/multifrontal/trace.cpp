@@ -35,6 +35,9 @@ void FactorizationTrace::record_call(const FuCallRecord& record) {
     metrics.add("fu.flops.syrk", record.ops_syrk());
     metrics.add("fu.policy.p" + std::to_string(record.policy) + ".calls", 1.0);
     metrics.observe("fu.front_order", static_cast<double>(record.m + record.k));
+    if (record.batch > 1) {
+      metrics.increment("batch.fronts");
+    }
     if (record.faults > 0) {
       metrics.add("fault.fu.survived", static_cast<double>(record.faults));
     }
@@ -72,13 +75,13 @@ void FactorizationTrace::write_csv(std::ostream& os) const {
   // Full round-trip precision: the default 6 significant digits truncate
   // small per-kernel times.
   const auto saved = os.precision(std::numeric_limits<double>::max_digits10);
-  os << "snode,m,k,policy,t_potrf,t_trsm,t_syrk,t_copy,t_total,ops,faults,"
-        "fell_back\n";
+  os << "snode,m,k,policy,batch,t_potrf,t_trsm,t_syrk,t_copy,t_total,ops,"
+        "faults,fell_back\n";
   for (const auto& c : calls) {
     os << c.snode << ',' << c.m << ',' << c.k << ',' << c.policy << ','
-       << c.t_potrf << ',' << c.t_trsm << ',' << c.t_syrk << ',' << c.t_copy
-       << ',' << c.t_total << ',' << c.ops_total() << ',' << c.faults << ','
-       << (c.fell_back ? 1 : 0) << '\n';
+       << c.batch << ',' << c.t_potrf << ',' << c.t_trsm << ',' << c.t_syrk
+       << ',' << c.t_copy << ',' << c.t_total << ',' << c.ops_total() << ','
+       << c.faults << ',' << (c.fell_back ? 1 : 0) << '\n';
   }
   os.precision(saved);
 }

@@ -15,7 +15,11 @@ struct FuCallRecord {
   index_t snode = -1;
   index_t m = 0;  ///< update-matrix order
   index_t k = 0;  ///< supernode width (pivot block order)
-  int policy = 0; ///< Policy that executed the call (1..4)
+  int policy = 0; ///< Policy that executed the call (1..5)
+  /// Fronts aggregated into the dispatch that ran this call (1 = the
+  /// per-front path; > 1 only under Policy::Batched). Component times are
+  /// this call's share of the aggregated dispatch.
+  int batch = 1;
 
   double t_potrf = 0.0;
   double t_trsm = 0.0;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "policy/policy.hpp"
+
 namespace mfgpu {
 
 std::map<int, TraceBin> bin_by_ops_decade(const FactorizationTrace& trace) {
@@ -36,7 +38,7 @@ double PolicyBreakdown::total_time() const {
 PolicyBreakdown policy_breakdown(const FactorizationTrace& trace) {
   PolicyBreakdown breakdown;
   for (const auto& call : trace.calls) {
-    MFGPU_CHECK(call.policy >= 1 && call.policy <= 4,
+    MFGPU_CHECK(call.policy >= 1 && call.policy <= kMaxPolicyIndex,
                 "policy_breakdown: invalid policy in trace");
     ++breakdown.calls[static_cast<std::size_t>(call.policy)];
     breakdown.time[static_cast<std::size_t>(call.policy)] += call.t_total;

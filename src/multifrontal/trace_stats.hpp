@@ -28,10 +28,11 @@ struct TraceBin {
 /// Key = floor(log10(total ops)) per call; calls with zero ops are skipped.
 std::map<int, TraceBin> bin_by_ops_decade(const FactorizationTrace& trace);
 
-/// Per-policy call counts and time (index 0 unused; 1..4 = P1..P4).
+/// Per-policy call counts and time (index 0 unused; 1..4 = P1..P4,
+/// 5 = Batched).
 struct PolicyBreakdown {
-  std::array<index_t, 5> calls{};
-  std::array<double, 5> time{};
+  std::array<index_t, 6> calls{};
+  std::array<double, 6> time{};
 
   index_t total_calls() const;
   double total_time() const;

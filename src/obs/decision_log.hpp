@@ -17,15 +17,19 @@
 #include <cstdint>
 #include <vector>
 
+#include "multifrontal/fu_call.hpp"
 #include "support/error.hpp"
 
 namespace mfgpu::obs {
 
 /// One dispatcher decision for a factor-update call.
 struct PolicyDecision {
-  index_t m = 0;  ///< update-matrix order
-  index_t k = 0;  ///< supernode width
-  int policy = 0; ///< policy that actually executed (1..4)
+  FuCall call;    ///< the dispatched call (snode, m, k, level, flops)
+  int policy = 0; ///< policy that actually executed (1..5)
+  /// Fronts aggregated into the dispatch that executed this call (1 = the
+  /// per-front path; > 1 only under Policy::Batched). The audit prices
+  /// batched decisions at this width.
+  int batch = 1;
   /// Dispatcher's predicted call time in seconds; < 0 = the strategy does
   /// not predict times (baseline thresholds, plain classifier).
   double predicted_seconds = -1.0;
@@ -42,9 +46,8 @@ struct PolicyDecision {
 /// the front ended on the host fallback path, and the simulated time the
 /// failed on-device attempts wasted — the profiler's fault-regret source.
 struct FaultEvent {
-  index_t m = 0;
-  index_t k = 0;
-  int policy = 0;  ///< GPU policy whose attempt faulted (1..4)
+  FuCall call;     ///< the call whose device attempt faulted
+  int policy = 0;  ///< GPU policy whose attempt faulted (1..5)
   int kind = 0;    ///< gpusim FaultKind the dispatcher observed (as int)
   int attempt = 0; ///< 0 = first on-device try, 1 = on-device retry
   bool fell_back = false;    ///< front re-executed on the host P1 path

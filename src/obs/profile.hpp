@@ -85,7 +85,8 @@ struct PolicyAudit {
   /// predicted time (the ideal hybrid's oracle does; others do not).
   std::int64_t predicted_calls = 0;
   double prediction_abs_error_seconds = 0.0;  ///< sum |predicted - measured|
-  std::array<std::int64_t, 4> policy_counts{};  ///< executed P1..P4 histogram
+  /// Executed-policy histogram: P1..P4 plus Batched (index 4).
+  std::array<std::int64_t, 5> policy_counts{};
 };
 
 /// Fault-tolerance audit from the decision log's FaultEvents: what injected

@@ -25,7 +25,8 @@ double find_transition(PolicyTimer& timer, Policy lo, Policy hi, double shape,
         std::cbrt(ops / (1.0 / 3.0 + shape + shape * shape));
     const index_t k = std::max<index_t>(1, static_cast<index_t>(k_real));
     const index_t m = static_cast<index_t>(shape * static_cast<double>(k));
-    if (timer.time(hi, m, k) < timer.time(lo, m, k)) {
+    const FuCall call{.m = m, .k = k};
+    if (timer.time(hi, call) < timer.time(lo, call)) {
       first_hi_wins = std::min(first_hi_wins, ops);
     } else {
       last_lo_wins = std::max(last_lo_wins, ops);
@@ -46,9 +47,9 @@ BaselineThresholds derive_thresholds(PolicyTimer& timer, double shape) {
   return t;
 }
 
-Policy baseline_choice(const BaselineThresholds& thresholds, index_t m,
-                       index_t k) {
-  const double ops = fu_total_ops(m, k);
+Policy baseline_choice(const BaselineThresholds& thresholds,
+                       const FuCall& call) {
+  const double ops = fu_total_ops(call.m, call.k);
   if (ops < thresholds.p1_to_p2) return Policy::P1;
   if (ops < thresholds.p2_to_p3) return Policy::P2;
   if (ops < thresholds.p3_to_p4) return Policy::P3;
@@ -59,8 +60,8 @@ DispatchExecutor make_baseline_hybrid(const BaselineThresholds& thresholds,
                                       ExecutorOptions options) {
   return DispatchExecutor(
       "P_BH",
-      [thresholds](index_t m, index_t k) {
-        return baseline_choice(thresholds, m, k);
+      [thresholds](const FuCall& call) {
+        return baseline_choice(thresholds, call);
       },
       options);
 }

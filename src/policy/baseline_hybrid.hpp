@@ -23,8 +23,8 @@ BaselineThresholds paper_thresholds();
 /// and locating the winner changes — the procedure the paper describes.
 BaselineThresholds derive_thresholds(PolicyTimer& timer, double shape = 2.0);
 
-Policy baseline_choice(const BaselineThresholds& thresholds, index_t m,
-                       index_t k);
+Policy baseline_choice(const BaselineThresholds& thresholds,
+                       const FuCall& call);
 
 /// A DispatchExecutor wired to the baseline rule.
 DispatchExecutor make_baseline_hybrid(const BaselineThresholds& thresholds,

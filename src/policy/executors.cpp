@@ -4,6 +4,8 @@
 #include <cmath>
 #include <string>
 
+#include "dense/blas.hpp"
+#include "dense/potrf.hpp"
 #include "obs/decision_log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/request_context.hpp"
@@ -55,6 +57,253 @@ std::size_t restore_block(const MatrixView<double>& v,
     for (index_t i = 0; i < v.rows(); ++i) v(i, j) = buf[at++];
   }
   return at;
+}
+
+/// Core of the aggregated small-front path (Policy::Batched), shared by
+/// DispatchExecutor::execute_batch and PolicyTimer::time_batched. The whole
+/// group runs as ONE simulated dispatch: three shared device slabs (each
+/// member a row band), one coalesced upload (every member's L1 + L2),
+/// batched potrf/trsm/syrk launches, one coalesced download (factored L1,
+/// L2, and the update product). The simulated kernels are priced FP64 batched launches
+/// (gpublas.hpp): the authoritative member math runs here on the host in
+/// double — exactly the per-front P1 kernels, in ascending member order —
+/// so the factor is bitwise identical to the per-front host path no matter
+/// how the fronts were grouped. Members that fault are marked in
+/// `skip`/`faulted` with their time still charged and their panels left
+/// untouched; the caller degrades them per-front. Outcome records carry
+/// each member's amortized share of the dispatch (marginal kernel time +
+/// 1/B of the launch latency).
+std::vector<FuOutcome> run_batched_dispatch(std::span<FrontBlocks> fronts,
+                                            FactorContext& ctx,
+                                            std::span<char> skip,
+                                            std::vector<BatchFault>& faulted,
+                                            std::vector<Matrix<double>>& prods) {
+  const std::size_t n = fronts.size();
+  Device& dev = *ctx.device;
+  SimClock& clock = ctx.host_clock;
+  HostExec host = ctx.host_exec();
+  GpuExec compute = ctx.gpu_exec(dev.compute_stream());
+  FaultInjector& injector = dev.fault_injector();
+  const ProcessorModel& model = dev.model();
+
+  std::vector<FuOutcome> outcomes(n);
+  std::vector<std::uint64_t> scopes(n), ops(n, 0);
+  std::vector<char> charged(n, 0);
+  std::size_t active = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    scopes[i] = static_cast<std::uint64_t>(fronts[i].global_col);
+    if (skip[i] == 0) {
+      charged[i] = 1;
+      ++active;
+    }
+  }
+  if (active == 0) return outcomes;
+
+  // Three shared device slabs per dispatch (batched-BLAS workspace style):
+  // each member owns a row band at a fixed offset. The three pool slots are
+  // high-water reused across dispatches, so slab growth is charged like any
+  // other pool warm-up instead of 3B per-member cudaMalloc latencies. Alloc
+  // faults sample under the first active member's scope — an injected OOM
+  // or death aborts the whole dispatch no matter which member it lands on.
+  std::vector<index_t> l1_off(n, 0), l2_off(n, 0);
+  index_t l1_rows = 0, l2_rows = 0, slab_k = 0, slab_m = 0;
+  std::int64_t h2d_bytes = 0, d2h_bytes = 0;
+  std::size_t first_active = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    const FrontBlocks& f = fronts[i];
+    l1_off[i] = l1_rows;
+    l2_off[i] = l2_rows;
+    l1_rows += f.k;
+    l2_rows += f.m;
+    slab_k = std::max(slab_k, f.k);
+    slab_m = std::max(slab_m, f.m);
+    if (skip[i] != 0) continue;
+    if (first_active == n) first_active = i;
+    h2d_bytes += float_bytes(f.k, f.k) + float_bytes(f.m, f.k);
+    d2h_bytes += float_bytes(f.k, f.k) + float_bytes(f.m, f.k) +
+                 float_bytes(f.m, f.m);
+  }
+  injector.resume_scope(scopes[first_active], ops[first_active]);
+  DeviceMatrix l1_slab = dev.allocate(l1_rows, slab_k, "batch.l1", clock);
+  DeviceMatrix l2_slab = dev.allocate(l2_rows, slab_k, "batch.l2", clock);
+  DeviceMatrix prod_slab = dev.allocate(l2_rows, slab_m, "batch.prod", clock);
+  ops[first_active] = injector.op_index();
+
+  // One pinned staging slab per direction for the whole batch. Growing it
+  // is history-dependent (like pool warm-up), so injection is suppressed —
+  // it must not shift any member's per-front fault schedule.
+  double t_copy_total = 0.0;
+  {
+    FaultSuppressionGuard no_faults(&injector);
+    t_copy_total += dev.acquire_pinned("batch.h2d", h2d_bytes, clock);
+    t_copy_total += dev.acquire_pinned("batch.d2h", d2h_bytes, clock);
+  }
+
+  // Host-side download staging shaped like each front. The batched device
+  // kernels are priced, not computed (gpublas.hpp), so the downloads land
+  // here — never in the panels — and only serve transfer validation: an
+  // injected corruption in either direction surfaces as a non-finite entry
+  // in these copies.
+  if (prods.size() < n) prods.resize(n);
+  const bool stage_real = dev.numeric();
+  std::vector<MatrixView<double>> l1_stage(n), l2_stage(n), prod_stage(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const index_t m = fronts[i].m;
+    const index_t k = fronts[i].k;
+    if (!stage_real) {
+      l1_stage[i] = MatrixView<double>(nullptr, k, k, std::max<index_t>(k, 1));
+      l2_stage[i] = MatrixView<double>(nullptr, m, k, std::max<index_t>(m, 1));
+      prod_stage[i] =
+          MatrixView<double>(nullptr, m, m, std::max<index_t>(m, 1));
+    } else {
+      const index_t order = m + k;
+      if (prods[i].rows() < order) prods[i] = Matrix<double>(order, order);
+      l1_stage[i] = prods[i].view().block(0, 0, k, k);
+      l2_stage[i] = prods[i].view().block(k, 0, m, k);
+      prod_stage[i] = prods[i].view().block(k, k, m, m);
+    }
+  }
+
+  // ONE coalesced upload: each member's L1 then L2, member-major. Each item
+  // consumes exactly one fault op, so the per-item op indices are knowable
+  // up front; the member counters resume from the written-back values.
+  {
+    std::vector<Device::H2dCopy> up;
+    std::vector<std::uint64_t> item_scopes, item_ops;
+    std::vector<char> item_skip;
+    up.reserve(2 * n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const FrontBlocks& f = fronts[i];
+      up.push_back(Device::H2dCopy{const_view(f.l1), &l1_slab, l1_off[i], 0});
+      up.push_back(Device::H2dCopy{const_view(f.l2), &l2_slab, l2_off[i], 0});
+      item_scopes.insert(item_scopes.end(), {scopes[i], scopes[i]});
+      item_ops.insert(item_ops.end(), {ops[i], ops[i] + 1});
+      item_skip.insert(item_skip.end(), {skip[i], skip[i]});
+    }
+    t_copy_total += dev.copy_to_device_async_batched(
+        up, item_scopes, item_ops, item_skip, dev.h2d_stream(), clock);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (skip[i] == 0) ops[i] = item_ops[2 * i + 1];
+    }
+  }
+
+  // Aggregated kernels: one launch each, per-member flop time.
+  std::vector<DevBlock> l1_blocks(n), l2_blocks(n), prod_blocks(n);
+  std::vector<index_t> col_offsets(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (skip[i] != 0) continue;
+    const FrontBlocks& f = fronts[i];
+    l1_blocks[i] = dev_block(l1_slab, l1_off[i], 0, f.k, f.k);
+    l2_blocks[i] = dev_block(l2_slab, l2_off[i], 0, f.m, f.k);
+    prod_blocks[i] = dev_block(prod_slab, l2_off[i], 0, f.m, f.m);
+    col_offsets[i] = f.global_col;
+  }
+  gpu_potrf_batched(compute, l1_blocks, col_offsets, scopes, ops, skip,
+                    faulted);
+  gpu_trsm_batched(compute, l1_blocks, l2_blocks, scopes, ops, skip, faulted);
+  gpu_syrk_batched(compute, 1.0f, l2_blocks, prod_blocks, scopes, ops, skip,
+                   faulted);
+
+  // ONE coalesced download: factored L1, solved L2, and the product.
+  {
+    std::vector<Device::D2hCopy> down;
+    std::vector<std::uint64_t> item_scopes, item_ops;
+    std::vector<char> item_skip;
+    down.reserve(3 * n);
+    for (std::size_t i = 0; i < n; ++i) {
+      down.push_back(Device::D2hCopy{&l1_slab, l1_off[i], 0, l1_stage[i]});
+      down.push_back(Device::D2hCopy{&l2_slab, l2_off[i], 0, l2_stage[i]});
+      down.push_back(
+          Device::D2hCopy{&prod_slab, l2_off[i], 0, prod_stage[i]});
+      item_scopes.insert(item_scopes.end(),
+                         {scopes[i], scopes[i], scopes[i]});
+      item_ops.insert(item_ops.end(), {ops[i], ops[i] + 1, ops[i] + 2});
+      item_skip.insert(item_skip.end(), {skip[i], skip[i], skip[i]});
+    }
+    t_copy_total += dev.copy_from_device_async_batched(
+        down, item_scopes, item_ops, item_skip, dev.d2h_stream(), clock);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (skip[i] == 0) ops[i] = item_ops[3 * i + 2];
+    }
+  }
+  dev.synchronize_stream(dev.d2h_stream(), clock);
+
+  // Validate the downloads: injected transfer corruption (either
+  // direction) ends up as a non-finite entry in the staged copies. The
+  // member's panels are untouched — mark it faulted and let the caller
+  // re-run it per-front.
+  if (stage_real) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (skip[i] != 0) continue;
+      if (!block_finite(const_view(l1_stage[i]), /*lower_only=*/false) ||
+          !block_finite(const_view(l2_stage[i]), /*lower_only=*/false) ||
+          !block_finite(const_view(prod_stage[i]), /*lower_only=*/false)) {
+        skip[i] = 1;
+        faulted.push_back(BatchFault{i, FaultKind::TransferCorruption});
+      }
+    }
+  }
+
+  // The authoritative member math, ascending member order (the
+  // deterministic reduction order): the same double-precision kernels the
+  // per-front host path (P1) runs, so grouping never changes a bit of the
+  // factor — only the charged time comes from the dispatch above. The host
+  // still pays the update-apply staging cost, like every other policy.
+  std::vector<double> t_apply(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (skip[i] != 0) continue;
+    const FrontBlocks& f = fronts[i];
+    if (f.m > 0) {
+      t_apply[i] = host_assembly_cost(
+          host,
+          0.5 * static_cast<double>(f.m) * static_cast<double>(f.m + 1));
+    }
+    if (!ctx.numeric) continue;
+    potrf<double>(f.l1, 64, f.global_col);
+    if (f.m > 0) {
+      trsm<double>(Side::Right, Uplo::Lower, Trans::Transpose, Diag::NonUnit,
+                   1.0, const_view(f.l1), f.l2);
+      syrk_lower<double>(-1.0, const_view(f.l2), 1.0, f.u);
+    }
+  }
+
+  // Per-member amortized shares: marginal kernel time (at the member's own
+  // tile-shape rate) plus 1/B of each launch's fixed overhead (latency +
+  // utilization ramp); copies pro-rated by bytes. Faulted members keep
+  // their share (it is the time the fault wasted).
+  const double nb = static_cast<double>(active);
+  const double total_bytes = static_cast<double>(h2d_bytes + d2h_bytes);
+  const double ready_at = clock.now();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (charged[i] == 0) continue;
+    const FrontBlocks& f = fronts[i];
+    FuCallRecord& r = outcomes[i].record;
+    r.snode = f.snode;
+    r.m = f.m;
+    r.k = f.k;
+    r.policy = static_cast<int>(Policy::Batched);
+    r.batch = static_cast<int>(active);
+    const double kd = static_cast<double>(f.k);
+    const double md = static_cast<double>(f.m);
+    r.t_potrf =
+        model.potrf.marginal_time(static_cast<double>(potrf_ops(f.k)), kd) +
+        model.potrf.batch_overhead() / nb;
+    r.t_trsm = model.trsm.marginal_time(
+                   static_cast<double>(trsm_ops(f.m, f.k)), std::min(md, kd)) +
+               model.trsm.batch_overhead() / nb;
+    r.t_syrk = model.syrk.marginal_time(
+                   static_cast<double>(syrk_ops(f.m, f.k)), std::min(md, kd)) +
+               model.syrk.batch_overhead() / nb + t_apply[i];
+    const double member_bytes = static_cast<double>(
+        2 * (float_bytes(f.k, f.k) + float_bytes(f.m, f.k)) +
+        float_bytes(f.m, f.m));
+    r.t_copy = total_bytes > 0.0
+                   ? t_copy_total * member_bytes / total_bytes
+                   : 0.0;
+    r.t_total = r.t_potrf + r.t_trsm + r.t_syrk + r.t_copy;
+    outcomes[i].update_ready_at = ready_at;
+  }
+  return outcomes;
 }
 
 }  // namespace
@@ -388,8 +637,12 @@ void DispatchExecutor::prepare(index_t max_m, index_t max_k,
 }
 
 FuOutcome DispatchExecutor::execute(FrontBlocks front, FactorContext& ctx) {
-  Policy choice = chooser_(front.m, front.k);
-  if (ctx.device == nullptr) choice = Policy::P1;
+  Policy choice = chooser_(front.call());
+  if (ctx.device == nullptr || choice == Policy::Batched) {
+    // Batched is a dispatch-level aggregation, not a per-front execution
+    // plan — a chooser returning it for a lone call degrades to P1.
+    choice = Policy::P1;
+  }
   const bool tolerant =
       options_.fault_tolerance != FaultTolerance::Off &&
       ctx.device != nullptr &&
@@ -412,10 +665,11 @@ FuOutcome DispatchExecutor::execute(FrontBlocks front, FactorContext& ctx) {
                 ->execute(front, ctx);
   if (audited) {
     obs::PolicyDecision decision;
-    decision.m = front.m;
-    decision.k = front.k;
+    decision.call = front.call();
     decision.policy = outcome.record.policy;
-    if (predictor_) decision.predicted_seconds = predictor_(front.m, front.k, choice);
+    if (predictor_) {
+      decision.predicted_seconds = predictor_(front.call(), choice);
+    }
     decision.measured_seconds = outcome.record.t_total;
     decision.request_id = obs::current_request_id();
     obs::DecisionLog::global().record(decision);
@@ -423,20 +677,176 @@ FuOutcome DispatchExecutor::execute(FrontBlocks front, FactorContext& ctx) {
   return outcome;
 }
 
-void DispatchExecutor::snapshot_front(const FrontBlocks& front) {
-  snapshot_.clear();
-  append_block(const_view(front.l1), snapshot_);
+std::vector<FuOutcome> DispatchExecutor::batch_singles(
+    std::span<FrontBlocks> fronts, FactorContext& ctx) {
+  std::vector<FuOutcome> outcomes;
+  outcomes.reserve(fronts.size());
+  for (FrontBlocks& front : fronts) outcomes.push_back(execute(front, ctx));
+  return outcomes;
+}
+
+std::vector<FuOutcome> DispatchExecutor::execute_batch(
+    std::span<FrontBlocks> fronts, FactorContext& ctx) {
+  if (fronts.empty()) return {};
+  const bool injecting =
+      ctx.device != nullptr && ctx.device->fault_injector().enabled();
+  const bool tolerant = options_.fault_tolerance != FaultTolerance::Off &&
+                        ctx.device != nullptr &&
+                        (options_.fault_tolerance == FaultTolerance::On ||
+                         injecting);
+  // Per-front loop when there is nothing to aggregate on: no device; the
+  // breaker tripped (CPU-only); or faults are injected with tolerance
+  // explicitly off, where batch-internal degradation would hide faults the
+  // caller asked to observe.
+  if (ctx.device == nullptr || (injecting && !tolerant) ||
+      (tolerant && (quarantined_ || ctx.device->fault_injector().dead()))) {
+    return batch_singles(fronts, ctx);
+  }
+
+  const std::size_t n = fronts.size();
+  const bool audited = obs::enabled();
+  const bool numeric = ctx.numeric;
+  if (tolerant && numeric) {
+    if (batch_snapshots_.size() < n) batch_snapshots_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      snapshot_front(fronts[i], batch_snapshots_[i]);
+    }
+  }
+
+  std::vector<char> skip(n, 0);
+  std::vector<BatchFault> faulted;
+  std::vector<FuOutcome> outcomes;
+  const double t0 = ctx.host_clock.now();
+  bool batch_failed = false;
+  FaultKind batch_kind = FaultKind::None;
+  try {
+    outcomes = run_batched_dispatch(fronts, ctx, skip, faulted, batch_prods_);
+  } catch (const DeviceFaultError& e) {
+    batch_failed = true;
+    batch_kind =
+        e.sticky() ? FaultKind::DeviceDeath : FaultKind::TransientKernel;
+  } catch (const DeviceOutOfMemoryError&) {
+    batch_failed = true;
+    batch_kind = FaultKind::SpuriousOom;
+  }
+  if (batch_failed) {
+    // The whole dispatch is lost (device death mid-batch, allocator
+    // failure): drain, restore every member, and degrade them all to the
+    // per-front path — which handles a dead injector by going CPU-only.
+    ctx.device->synchronize(ctx.host_clock);
+    const double wasted = ctx.host_clock.now() - t0;
+    if (tolerant && numeric) {
+      for (std::size_t i = 0; i < n; ++i) {
+        restore_front(fronts[i], batch_snapshots_[i]);
+      }
+    }
+    ++fault_count_;
+    bool newly_quarantined = false;
+    if (options_.quarantine_after_faults > 0 && !quarantined_ &&
+        fault_count_ >= options_.quarantine_after_faults) {
+      quarantined_ = true;
+      newly_quarantined = true;
+    }
+    if (audited) {
+      auto& metrics = obs::MetricsRegistry::global();
+      metrics.increment(std::string("fault.detected.") +
+                        fault_kind_name(batch_kind));
+      metrics.add("fault.wasted_seconds", wasted);
+      metrics.increment("batch.aborts");
+      if (newly_quarantined) metrics.increment("fault.quarantines");
+      obs::FaultEvent event;
+      event.call = fronts[0].call();
+      event.policy = static_cast<int>(Policy::Batched);
+      event.kind = static_cast<int>(batch_kind);
+      event.attempt = 0;
+      event.fell_back = false;
+      event.quarantined = newly_quarantined;
+      event.wasted_seconds = wasted;
+      event.request_id = obs::current_request_id();
+      obs::DecisionLog::global().record_fault(event);
+    }
+    return batch_singles(fronts, ctx);
+  }
+
+  // (Transfer corruption is validated inside run_batched_dispatch against
+  // the staged downloads; corrupted members arrive in `faulted` with their
+  // panels untouched.)
+
+  if (audited) {
+    auto& metrics = obs::MetricsRegistry::global();
+    metrics.increment("batch.dispatches");
+    metrics.add("batch.fronts.dispatched", static_cast<double>(n));
+    metrics.gauge_max("batch.width.max", static_cast<double>(n));
+    metrics.add("policy.selected.batched",
+                static_cast<double>(n - faulted.size()));
+  }
+
+  // Degrade faulted members individually: restore and re-run them through
+  // the per-front path. The rest of the batch is untouched.
+  for (const BatchFault& bf : faulted) {
+    const std::size_t i = bf.index;
+    ++fault_count_;
+    bool newly_quarantined = false;
+    if (options_.quarantine_after_faults > 0 && !quarantined_ &&
+        fault_count_ >= options_.quarantine_after_faults) {
+      quarantined_ = true;
+      newly_quarantined = true;
+    }
+    if (audited) {
+      auto& metrics = obs::MetricsRegistry::global();
+      metrics.increment(std::string("fault.detected.") +
+                        fault_kind_name(bf.kind));
+      metrics.add("fault.wasted_seconds", outcomes[i].record.t_total);
+      metrics.increment("batch.faulted");
+      if (newly_quarantined) metrics.increment("fault.quarantines");
+      obs::FaultEvent event;
+      event.call = fronts[i].call();
+      event.policy = static_cast<int>(Policy::Batched);
+      event.kind = static_cast<int>(bf.kind);
+      event.attempt = 0;
+      event.fell_back = false;
+      event.quarantined = newly_quarantined;
+      event.wasted_seconds = outcomes[i].record.t_total;
+      event.request_id = obs::current_request_id();
+      obs::DecisionLog::global().record_fault(event);
+    }
+    if (tolerant && numeric) restore_front(fronts[i], batch_snapshots_[i]);
+    const int wasted_faults = outcomes[i].record.faults;
+    outcomes[i] = execute(fronts[i], ctx);
+    outcomes[i].record.faults += wasted_faults + 1;
+  }
+
+  if (audited) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (skip[i] != 0) continue;
+      obs::PolicyDecision decision;
+      decision.call = fronts[i].call();
+      decision.policy = static_cast<int>(Policy::Batched);
+      decision.batch = static_cast<int>(n);
+      decision.measured_seconds = outcomes[i].record.t_total;
+      decision.request_id = obs::current_request_id();
+      obs::DecisionLog::global().record(decision);
+    }
+  }
+  return outcomes;
+}
+
+void DispatchExecutor::snapshot_front(const FrontBlocks& front,
+                                      std::vector<double>& buf) {
+  buf.clear();
+  append_block(const_view(front.l1), buf);
   if (front.m > 0) {
-    append_block(const_view(front.l2), snapshot_);
-    append_block(const_view(front.u), snapshot_);
+    append_block(const_view(front.l2), buf);
+    append_block(const_view(front.u), buf);
   }
 }
 
-void DispatchExecutor::restore_front(const FrontBlocks& front) const {
-  std::size_t at = restore_block(front.l1, snapshot_, 0);
+void DispatchExecutor::restore_front(const FrontBlocks& front,
+                                     const std::vector<double>& buf) const {
+  std::size_t at = restore_block(front.l1, buf, 0);
   if (front.m > 0) {
-    at = restore_block(front.l2, snapshot_, at);
-    restore_block(front.u, snapshot_, at);
+    at = restore_block(front.l2, buf, at);
+    restore_block(front.u, buf, at);
   }
 }
 
@@ -449,7 +859,7 @@ FuOutcome DispatchExecutor::execute_tolerant(const FrontBlocks& front,
   // identity, not on which worker or in what order it executes.
   injector.begin_scope(static_cast<std::uint64_t>(front.global_col));
   const bool numeric = ctx.numeric;
-  if (numeric) snapshot_front(front);
+  if (numeric) snapshot_front(front, snapshot_);
 
   const bool audited = obs::enabled();
   const double t0 = ctx.host_clock.now();
@@ -491,7 +901,7 @@ FuOutcome DispatchExecutor::execute_tolerant(const FrontBlocks& front,
     // wasted async time to the virtual clock) and restore the front.
     dev.synchronize(ctx.host_clock);
     const double wasted = ctx.host_clock.now() - attempt_t0;
-    if (numeric) restore_front(front);
+    if (numeric) restore_front(front, snapshot_);
     ++faults;
     ++fault_count_;
     bool newly_quarantined = false;
@@ -511,8 +921,7 @@ FuOutcome DispatchExecutor::execute_tolerant(const FrontBlocks& front,
       metrics.increment(will_retry ? "fault.retries" : "fault.fallbacks");
       if (newly_quarantined) metrics.increment("fault.quarantines");
       obs::FaultEvent event;
-      event.m = front.m;
-      event.k = front.k;
+      event.call = front.call();
       event.policy = static_cast<int>(choice);
       event.kind = static_cast<int>(observed);
       event.attempt = attempt;
@@ -552,38 +961,72 @@ PolicyTimer::PolicyTimer(ExecutorOptions options, ProcessorModel host,
 }
 
 void PolicyTimer::warm_up(index_t m, index_t k) {
+  const FrontBlocks shape = make_shape_blocks(m, k);
   for (int p = 1; p <= 4; ++p) {
-    (void)time(policy_from_index(p), m, k);
+    (void)time(policy_from_index(p), shape.call());
   }
 }
 
-FuCallRecord PolicyTimer::record(Policy policy, index_t m, index_t k) {
+FuCallRecord PolicyTimer::record(Policy policy, const FuCall& call) {
   // Drain in-flight transfers left by the previous measurement (e.g. the
   // copy-optimized P4's deferred panel copy) so each call is timed in
   // isolation.
   device_->synchronize(ctx_.host_clock);
-  FrontBlocks blocks = make_shape_blocks(m, k);
+  FrontBlocks blocks = make_shape_blocks(call);
   auto& exec =
       *executors_[static_cast<std::size_t>(static_cast<int>(policy) - 1)];
   const FuOutcome out = exec.execute(blocks, ctx_);
   return out.record;
 }
 
-double PolicyTimer::time(Policy policy, index_t m, index_t k) {
-  return record(policy, m, k).t_total;
+double PolicyTimer::time(Policy policy, const FuCall& call) {
+  return record(policy, call).t_total;
 }
 
-Policy PolicyTimer::best_policy(index_t m, index_t k) {
+Policy PolicyTimer::best_policy(const FuCall& call) {
   Policy best = Policy::P1;
-  double best_time = time(Policy::P1, m, k);
+  double best_time = time(Policy::P1, call);
   for (Policy p : {Policy::P2, Policy::P3, Policy::P4}) {
-    const double t = time(p, m, k);
+    const double t = time(p, call);
     if (t < best_time) {
       best_time = t;
       best = p;
     }
   }
   return best;
+}
+
+double PolicyTimer::time_batched(const FuCall& call, int batch) {
+  MFGPU_CHECK(batch >= 1, "time_batched: batch must be >= 1");
+  const auto key = std::make_tuple(call.m, call.k, batch);
+  if (const auto it = batched_cache_.find(key); it != batched_cache_.end()) {
+    return it->second;
+  }
+  const std::size_t n = static_cast<std::size_t>(batch);
+  std::vector<FrontBlocks> fronts;
+  fronts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    fronts.push_back(make_shape_blocks(call.m, call.k,
+                                       static_cast<index_t>(i)));
+  }
+  std::vector<char> skip(n, 0);
+  std::vector<BatchFault> faulted;
+  double share = 0.0;
+  // Two passes: the first sizes the batch.* pool slots (high-water
+  // allocation would otherwise charge the growth to this measurement),
+  // the second measures steady state.
+  for (int pass = 0; pass < 2; ++pass) {
+    device_->synchronize(ctx_.host_clock);
+    std::fill(skip.begin(), skip.end(), 0);
+    faulted.clear();
+    const double t0 = ctx_.host_clock.now();
+    (void)run_batched_dispatch(std::span<FrontBlocks>(fronts), ctx_, skip,
+                               faulted, batch_prods_);
+    device_->synchronize(ctx_.host_clock);
+    share = (ctx_.host_clock.now() - t0) / static_cast<double>(batch);
+  }
+  batched_cache_.emplace(key, share);
+  return share;
 }
 
 }  // namespace mfgpu

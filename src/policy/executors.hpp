@@ -4,8 +4,11 @@
 
 #include <array>
 #include <functional>
+#include <map>
 #include <memory>
+#include <span>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "multifrontal/factor_update.hpp"
@@ -71,18 +74,25 @@ class PolicyExecutor : public FuExecutor {
   bool prepared_applied_ = false;
 };
 
-/// Chooses a policy per call from (m, k) — the hybrid schemes plug in here.
-/// When the observability layer is active, every execute() appends one
-/// obs::PolicyDecision (m, k, executed policy, predicted time, measured
-/// time) to the global decision log — the profiler's policy-audit source.
+/// Chooses a policy per call from the FuCall descriptor — the hybrid
+/// schemes plug in here. When the observability layer is active, every
+/// execute() appends one obs::PolicyDecision (the call, executed policy,
+/// predicted time, measured time) to the global decision log — the
+/// profiler's policy-audit source.
+///
+/// execute_batch() is the aggregated small-front path (Policy::Batched):
+/// the whole group runs as one potrf/trsm/syrk dispatch with one coalesced
+/// transfer each way. Members that fault degrade individually — they are
+/// restored and re-executed through the per-front path; the rest of the
+/// batch is unaffected.
 class DispatchExecutor : public FuExecutor {
  public:
-  using Chooser = std::function<Policy(index_t m, index_t k)>;
+  using Chooser = std::function<Policy(const FuCall& call)>;
   /// Optional: the dispatcher's own estimate of the chosen call's time in
   /// seconds (the ideal hybrid's dry-run oracle provides one; threshold and
   /// classifier strategies do not predict times and leave it unset).
   using TimePredictor =
-      std::function<double(index_t m, index_t k, Policy chosen)>;
+      std::function<double(const FuCall& call, Policy chosen)>;
 
   DispatchExecutor(std::string name, Chooser chooser,
                    ExecutorOptions options = {});
@@ -93,6 +103,8 @@ class DispatchExecutor : public FuExecutor {
   }
 
   FuOutcome execute(FrontBlocks front, FactorContext& ctx) override;
+  std::vector<FuOutcome> execute_batch(std::span<FrontBlocks> fronts,
+                                       FactorContext& ctx) override;
   void prepare(index_t max_m, index_t max_k, FactorContext& ctx) override;
   const char* name() const override { return name_.c_str(); }
   std::int64_t fault_count() const override { return fault_count_; }
@@ -102,8 +114,13 @@ class DispatchExecutor : public FuExecutor {
   /// Fault-tolerant path: scoped injection, validate/retry/fallback.
   FuOutcome execute_tolerant(const FrontBlocks& front, FactorContext& ctx,
                              Policy choice);
-  void snapshot_front(const FrontBlocks& front);
-  void restore_front(const FrontBlocks& front) const;
+  void snapshot_front(const FrontBlocks& front, std::vector<double>& buf);
+  void restore_front(const FrontBlocks& front,
+                     const std::vector<double>& buf) const;
+  /// Per-front loop fallback for execute_batch (no device, quarantined,
+  /// or fault tolerance explicitly off under an active injector).
+  std::vector<FuOutcome> batch_singles(std::span<FrontBlocks> fronts,
+                                       FactorContext& ctx);
 
   std::string name_;
   Chooser chooser_;
@@ -113,6 +130,10 @@ class DispatchExecutor : public FuExecutor {
   std::int64_t fault_count_ = 0;
   bool quarantined_ = false;
   std::vector<double> snapshot_;  ///< pre-attempt copy of l1/l2/u
+  /// Batched-path scratch: per-member m x m host product staging and
+  /// pre-dispatch snapshots.
+  std::vector<Matrix<double>> batch_prods_;
+  std::vector<std::vector<double>> batch_snapshots_;
 };
 
 /// Dry-run timing oracle: simulates one F-U call of each policy on a
@@ -134,16 +155,26 @@ class PolicyTimer {
   void warm_up(index_t m, index_t k);
 
   /// Host-visible duration (seconds) of one F-U call under `policy`.
-  double time(Policy policy, index_t m, index_t k);
+  double time(Policy policy, const FuCall& call);
   /// Full component record of one simulated call.
-  FuCallRecord record(Policy policy, index_t m, index_t k);
-  /// The fastest policy for (m, k) — the paper's ideal hybrid P_IH.
-  Policy best_policy(index_t m, index_t k);
+  FuCallRecord record(Policy policy, const FuCall& call);
+  /// The fastest per-front policy for the call — the paper's ideal hybrid
+  /// P_IH (sweeps P1..P4; Policy::Batched is priced by time_batched).
+  Policy best_policy(const FuCall& call);
+
+  /// Per-front share (seconds) of one aggregated dispatch of `batch`
+  /// identical fronts shaped like `call` — the dry-run price of a
+  /// Policy::Batched decision, memoized by (m, k, batch). Runs the same
+  /// batched dispatch code as DispatchExecutor::execute_batch on the dry
+  /// device (warm pools), so the audit's regret gauges stay exact.
+  double time_batched(const FuCall& call, int batch);
 
  private:
   FactorContext ctx_;
   std::unique_ptr<Device> device_;
   std::array<std::unique_ptr<PolicyExecutor>, 4> executors_;
+  std::map<std::tuple<index_t, index_t, int>, double> batched_cache_;
+  std::vector<Matrix<double>> batch_prods_;
 };
 
 }  // namespace mfgpu

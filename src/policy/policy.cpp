@@ -10,13 +10,27 @@ const char* policy_name(Policy p) {
     case Policy::P2: return "P2";
     case Policy::P3: return "P3";
     case Policy::P4: return "P4";
+    case Policy::Batched: return "Batched";
   }
   throw InvalidArgumentError("policy_name: invalid policy");
 }
 
 Policy policy_from_index(int index) {
-  MFGPU_CHECK(index >= 1 && index <= 4, "policy_from_index: must be 1..4");
+  MFGPU_CHECK(index >= 1 && index <= kMaxPolicyIndex,
+              "policy_from_index: must be 1..5");
   return static_cast<Policy>(index);
+}
+
+FuCall make_fu_call(index_t m, index_t k, index_t snode, index_t level,
+                    index_t global_col) {
+  FuCall call;
+  call.snode = snode;
+  call.m = m;
+  call.k = k;
+  call.level = level;
+  call.flops = fu_total_ops(m, k);
+  call.global_col = global_col;
+  return call;
 }
 
 double fu_total_ops(index_t m, index_t k) {

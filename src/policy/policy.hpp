@@ -3,25 +3,41 @@
 //   P2: potrf, trsm on the CPU; syrk on the GPU
 //   P3: potrf on the CPU; trsm, syrk on the GPU
 //   P4: potrf, trsm, syrk all on the GPU (Fig. 9 panel algorithm)
+// plus the batched execution class:
+//   Batched: many small independent fronts aggregated into one GPU
+//            dispatch (one launch + one transfer each way per batch),
+//            amortizing the per-call overheads that dominate the paper's
+//            ~97% small-call regime.
 #pragma once
 
 #include <array>
 #include <string>
 
+#include "multifrontal/fu_call.hpp"
 #include "support/error.hpp"
 
 namespace mfgpu {
 
-enum class Policy : int { P1 = 1, P2 = 2, P3 = 3, P4 = 4 };
+enum class Policy : int { P1 = 1, P2 = 2, P3 = 3, P4 = 4, Batched = 5 };
 
+/// The per-front policies a single F-U call can be executed under.
+/// Policy::Batched is a dispatch-level class (a whole group of fronts per
+/// call) and is deliberately not part of this sweep.
 inline constexpr std::array<Policy, 4> kAllPolicies = {
     Policy::P1, Policy::P2, Policy::P3, Policy::P4};
+
+/// Highest policy index in use (P1..P4 + Batched); sizes per-policy tables.
+inline constexpr int kMaxPolicyIndex = 5;
 
 const char* policy_name(Policy p);
 Policy policy_from_index(int index);  ///< 1-based, matching the paper
 
 /// Total asymptotic ops of one factor-update call: k^3/3 + m k^2 + m^2 k.
 double fu_total_ops(index_t m, index_t k);
+
+/// Build a FuCall with its flop count filled in from (m, k).
+FuCall make_fu_call(index_t m, index_t k, index_t snode = -1,
+                    index_t level = 0, index_t global_col = 0);
 
 /// Bytes moved by the basic GPU implementation's copies, paper Eq. 2:
 /// N_D(L1, L2) = k^2 + 2 m k words up+down, N_D(L2 L2^T) = m^2 words back.

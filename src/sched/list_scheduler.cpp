@@ -51,11 +51,15 @@ ScheduleResult simulate_schedule(const TaskGraph& graph,
     }
   }
 
-  auto gpu_policy = [&](index_t t) {
+  auto task_call = [&](index_t t) {
     const index_t m = graph.ms[static_cast<std::size_t>(t)];
     const index_t k = graph.ks[static_cast<std::size_t>(t)];
-    return options.gpu_chooser ? options.gpu_chooser(m, k)
-                               : baseline_choice(paper_thresholds(), m, k);
+    return FuCall{.snode = t, .m = m, .k = k, .flops = fu_total_ops(m, k)};
+  };
+  auto gpu_policy = [&](index_t t) {
+    const FuCall call = task_call(t);
+    return options.gpu_chooser ? options.gpu_chooser(call)
+                               : baseline_choice(paper_thresholds(), call);
   };
 
   // Deterministic per-task fault fate on a live GPU worker: one draw keyed
@@ -81,8 +85,7 @@ ScheduleResult simulate_schedule(const TaskGraph& graph,
   std::vector<int> fault_count(static_cast<std::size_t>(num_workers), 0);
 
   auto task_duration = [&](index_t t, int worker) {
-    const index_t m = graph.ms[static_cast<std::size_t>(t)];
-    const index_t k = graph.ks[static_cast<std::size_t>(t)];
+    const FuCall call = task_call(t);
     const double assembly =
         graph.assembly_entries[static_cast<std::size_t>(t)] /
         host_assembly_rate();
@@ -90,7 +93,7 @@ ScheduleResult simulate_schedule(const TaskGraph& graph,
         gpu_lost[static_cast<std::size_t>(worker)] == 0) {
       const Policy p = gpu_policy(t);
       const double gpu =
-          gpu_timers[static_cast<std::size_t>(worker)]->time(p, m, k);
+          gpu_timers[static_cast<std::size_t>(worker)]->time(p, call);
       if (p == Policy::P1) return gpu + assembly;  // no device op to fault
       switch (task_fault(t)) {
         case TaskFault::None:
@@ -100,11 +103,11 @@ ScheduleResult simulate_schedule(const TaskGraph& graph,
           return 2.0 * gpu + assembly;
         case TaskFault::Death:
           // Wasted attempt, then the host P1 fallback redoes the front.
-          return gpu + cpu_timer.time(Policy::P1, m, k) + assembly;
+          return gpu + cpu_timer.time(Policy::P1, call) + assembly;
       }
       return gpu + assembly;
     }
-    return cpu_timer.time(Policy::P1, m, k) + assembly;
+    return cpu_timer.time(Policy::P1, call) + assembly;
   };
 
   // Bottom levels (critical-path priority) with CPU-serial cost as weight.

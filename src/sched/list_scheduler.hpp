@@ -44,7 +44,7 @@ struct ScheduleOptions {
   ExecutorOptions exec;
   /// Policy used on GPU workers (e.g. a trained model); null = the paper's
   /// baseline hybrid thresholds. CPU-only workers always run P1.
-  std::function<Policy(index_t m, index_t k)> gpu_chooser;
+  std::function<Policy(const FuCall& call)> gpu_chooser;
   bool moldable = true;
   /// Fraction of a front's work that scales across ganged workers.
   double parallel_fraction = 0.92;

@@ -44,9 +44,9 @@ struct WorkerDeque {
   }
 };
 
-/// State of one run_tree invocation, shared by all participating workers.
+/// State of one run_dag invocation, shared by all participating workers.
 struct Job {
-  const TreeDag* dag = nullptr;
+  const GraphDag* dag = nullptr;
   const std::function<void(index_t, int)>* body = nullptr;
   std::vector<WorkerDeque> deques;
   /// Children still outstanding per task; the worker that drops a counter
@@ -118,11 +118,14 @@ void work(Job& job, int w, int num_workers) {
     busy += std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
                 .count();
     ++executed;
-    const index_t p = job.dag->parent[static_cast<std::size_t>(t)];
-    if (p != -1 &&
-        job.pending[static_cast<std::size_t>(p)].fetch_sub(
-            1, std::memory_order_acq_rel) == 1) {
-      job.deques[static_cast<std::size_t>(w)].push_bottom(p);
+    const index_t begin = job.dag->succ_ptr[static_cast<std::size_t>(t)];
+    const index_t end = job.dag->succ_ptr[static_cast<std::size_t>(t) + 1];
+    for (index_t e = begin; e < end; ++e) {
+      const index_t p = job.dag->succ[static_cast<std::size_t>(e)];
+      if (job.pending[static_cast<std::size_t>(p)].fetch_sub(
+              1, std::memory_order_acq_rel) == 1) {
+        job.deques[static_cast<std::size_t>(w)].push_bottom(p);
+      }
     }
     job.remaining.fetch_sub(1, std::memory_order_acq_rel);
   }
@@ -194,8 +197,41 @@ int ThreadPool::num_threads() const noexcept { return impl_->num_workers; }
 
 PoolRunStats ThreadPool::run_tree(
     const TreeDag& dag, const std::function<void(index_t, int)>& body) {
-  const int W = impl_->num_workers;
   const index_t n = static_cast<index_t>(dag.parent.size());
+
+  // Lower the parent array into CSR successor form: each task's single
+  // successor is its parent.
+  std::vector<index_t> succ_ptr(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<index_t> succ;
+  std::vector<index_t> deps(static_cast<std::size_t>(n), 0);
+  succ.reserve(static_cast<std::size_t>(n));
+  for (index_t t = 0; t < n; ++t) {
+    const index_t p = dag.parent[static_cast<std::size_t>(t)];
+    MFGPU_CHECK(p == -1 || (p > t && p < n),
+                "ThreadPool: dag must be a postordered forest");
+    if (p != -1) {
+      succ.push_back(p);
+      ++deps[static_cast<std::size_t>(p)];
+    }
+    succ_ptr[static_cast<std::size_t>(t) + 1] =
+        static_cast<index_t>(succ.size());
+  }
+
+  GraphDag graph;
+  graph.succ_ptr = succ_ptr;
+  graph.succ = succ;
+  graph.num_deps = deps;
+  graph.preferred_worker = dag.preferred_worker;
+  graph.priority = dag.priority;
+  return run_dag(graph, body);
+}
+
+PoolRunStats ThreadPool::run_dag(
+    const GraphDag& dag, const std::function<void(index_t, int)>& body) {
+  const int W = impl_->num_workers;
+  const index_t n = dag.num_tasks();
+  MFGPU_CHECK(static_cast<index_t>(dag.succ_ptr.size()) == n + 1,
+              "ThreadPool: succ_ptr size mismatch");
   MFGPU_CHECK(dag.preferred_worker.empty() ||
                   static_cast<index_t>(dag.preferred_worker.size()) == n,
               "ThreadPool: preferred_worker size mismatch");
@@ -216,12 +252,21 @@ PoolRunStats ThreadPool::run_tree(
   job.stats.wall_seconds.assign(static_cast<std::size_t>(W), 0.0);
   if (n == 0) return job.stats;
 
+  // Validate that num_deps matches the indegree implied by succ: a mismatch
+  // would deadlock the run (task never readied) or fire it early.
   std::vector<index_t> children(static_cast<std::size_t>(n), 0);
+  MFGPU_CHECK(dag.succ_ptr[0] == 0 &&
+                  dag.succ_ptr[static_cast<std::size_t>(n)] ==
+                      static_cast<index_t>(dag.succ.size()),
+              "ThreadPool: succ_ptr does not index succ");
+  for (const index_t p : dag.succ) {
+    MFGPU_CHECK(p >= 0 && p < n, "ThreadPool: successor out of range");
+    ++children[static_cast<std::size_t>(p)];
+  }
   for (index_t t = 0; t < n; ++t) {
-    const index_t p = dag.parent[static_cast<std::size_t>(t)];
-    MFGPU_CHECK(p == -1 || (p > t && p < n),
-                "ThreadPool: dag must be a postordered forest");
-    if (p != -1) ++children[static_cast<std::size_t>(p)];
+    MFGPU_CHECK(children[static_cast<std::size_t>(t)] ==
+                    dag.num_deps[static_cast<std::size_t>(t)],
+                "ThreadPool: num_deps does not match successor indegree");
   }
   for (index_t t = 0; t < n; ++t) {
     job.pending[static_cast<std::size_t>(t)].store(

@@ -37,6 +37,33 @@ struct TreeDag {
   std::span<const double> priority;
 };
 
+/// A general dependency DAG in CSR successor form: task t becomes ready once
+/// `num_deps[t]` completion notifications arrived, and on completion notifies
+/// every task in `succ[succ_ptr[t] .. succ_ptr[t+1])`. Duplicate edges are
+/// allowed as long as `num_deps` counts them (each occurrence notifies once)
+/// — grouped nodes (e.g. a batch of fronts sharing a parent) can simply list
+/// one edge per member. The graph must be acyclic; run_dag validates that
+/// num_deps matches the indegree implied by succ.
+///
+/// This generalizes TreeDag (each tree task has at most one successor, its
+/// parent); run_tree lowers to this form. The batched multifrontal driver
+/// uses it directly: one node per front *batch*, with successor edges to
+/// every member's parent node.
+struct GraphDag {
+  std::span<const index_t> succ_ptr;  ///< size num_tasks + 1
+  std::span<const index_t> succ;      ///< flattened successor lists
+  std::span<const index_t> num_deps;  ///< size num_tasks
+  /// Optional (empty = round-robin): worker whose deque each initially-ready
+  /// task is seeded into; values are clamped into [0, num_threads).
+  std::span<const int> preferred_worker;
+  /// Optional (empty = task index): higher runs first on its seeded worker.
+  std::span<const double> priority;
+
+  index_t num_tasks() const noexcept {
+    return static_cast<index_t>(num_deps.size());
+  }
+};
+
 /// Per-run execution statistics, one slot per worker.
 struct PoolRunStats {
   std::vector<std::int64_t> executed;  ///< tasks run by each worker
@@ -87,6 +114,12 @@ class ThreadPool {
   /// reentrant: one run at a time.
   PoolRunStats run_tree(const TreeDag& dag,
                         const std::function<void(index_t task, int worker)>& body);
+
+  /// Execute `body(task, worker)` for every task of `dag`, predecessors
+  /// before successors. Same error and reentrancy contract as run_tree
+  /// (which is implemented on top of this).
+  PoolRunStats run_dag(const GraphDag& dag,
+                       const std::function<void(index_t task, int worker)>& body);
 
  private:
   struct Impl;

@@ -24,6 +24,9 @@ struct Request {
   std::vector<double> rhs;
   std::uint64_t pattern_fp = 0;
   std::uint64_t values_fp = 0;
+  /// Effective batching config (request override or the service default),
+  /// resolved at submit; part of the coalescing key.
+  BatchingOptions batching;
   Clock::time_point enqueued{};
   Clock::time_point deadline{};
   bool has_deadline = false;
@@ -100,10 +103,15 @@ struct SolverService::Impl {
     std::unique_ptr<Solver> solver;
     std::uint64_t pattern_fp = 0;
     std::uint64_t values_fp = 0;
+    /// Batching config the current solver was built with; a request with a
+    /// different effective config forces a rebuild.
+    BatchingOptions batching;
   };
 
-  SolverOptions session_solver_options(int id) const {
+  SolverOptions session_solver_options(int id,
+                                       const BatchingOptions& batching) const {
     SolverOptions solver_options = options.solver;
+    solver_options.batching = batching;
     if (!options.session_workers.empty()) {
       solver_options.workers = {
           options.session_workers[static_cast<std::size_t>(id)]};
@@ -206,9 +214,11 @@ void SolverService::Impl::run_session(int id) {
     if (options.max_batch_rhs > 1) {
       const std::uint64_t pattern_fp = batch.front().pattern_fp;
       const std::uint64_t values_fp = batch.front().values_fp;
+      const BatchingOptions batching = batch.front().batching;
       std::vector<Request> extracted = queue.extract_if(
           [&](const Request& r) {
-            return r.pattern_fp == pattern_fp && r.values_fp == values_fp;
+            return r.pattern_fp == pattern_fp && r.values_fp == values_fp &&
+                   r.batching == batching;
           },
           static_cast<std::size_t>(options.max_batch_rhs) - 1);
       const Clock::time_point now = Clock::now();
@@ -276,7 +286,8 @@ void SolverService::Impl::process_batch(std::vector<Request>& batch,
     span.set_arg(2, "request",
                  static_cast<std::int64_t>(head.ctx.request_id));
     try {
-      if (session.solver != nullptr && session.pattern_fp == head.pattern_fp) {
+      if (session.solver != nullptr && session.pattern_fp == head.pattern_fp &&
+          session.batching == head.batching) {
         analysis_reused = true;
         if (session.values_fp == head.values_fp) {
           factor_reused = true;
@@ -291,12 +302,13 @@ void SolverService::Impl::process_batch(std::vector<Request>& batch,
         if (shared != nullptr) {
           analysis_reused = true;
           obs::ScopedSpan adopt_span("serve", "adopt_cached_analysis");
-          session.solver = std::make_unique<Solver>(Solver::analyze(
-              *head.matrix, std::move(shared), session_solver_options(id)));
+          session.solver = std::make_unique<Solver>(
+              Solver::analyze(*head.matrix, std::move(shared),
+                              session_solver_options(id, head.batching)));
         } else {
           obs::ScopedSpan analyze_span("serve", "analyze_miss");
-          session.solver = std::make_unique<Solver>(
-              Solver::analyze(*head.matrix, session_solver_options(id)));
+          session.solver = std::make_unique<Solver>(Solver::analyze(
+              *head.matrix, session_solver_options(id, head.batching)));
           cache.insert(session.solver->share_analysis());
           analyze_sim = estimated_analyze_seconds(
               *head.matrix, session.solver->analysis().symbolic);
@@ -307,6 +319,7 @@ void SolverService::Impl::process_batch(std::vector<Request>& batch,
         }
         factor_sim = session.solver->factor_time();
         session.pattern_fp = head.pattern_fp;
+        session.batching = head.batching;
       }
       session.values_fp = head.values_fp;
 
@@ -536,6 +549,7 @@ std::future<SolveResult> SolverService::submit(
   request.pattern_fp = request.matrix->pattern_fingerprint();
   request.values_fp = request.matrix->values_fingerprint();
   request.rhs = std::move(rhs);
+  request.batching = options.batching.value_or(impl_->options.solver.batching);
   request.enqueued = Clock::now();
   request.retries_left = std::max(0, options.max_retries);
   request.collect_trace = options.collect_trace;

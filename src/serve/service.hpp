@@ -60,6 +60,7 @@
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -106,6 +107,14 @@ struct RequestOptions {
   /// Requires obs recording to be on (an ObsScope / MFGPU_TRACE); the
   /// vector stays empty otherwise.
   bool collect_trace = false;
+  /// Per-request override of ServeOptions::solver.batching (aggregated
+  /// small-front execution; multifrontal/batched.hpp). std::nullopt = use
+  /// the service default. Requests only coalesce into one solve pass when
+  /// their effective batching configs agree, and a session whose current
+  /// solver was built under a different config rebuilds it (the numeric
+  /// factor is bitwise identical either way; only the simulated dispatch
+  /// costs differ).
+  std::optional<BatchingOptions> batching;
 };
 
 /// One span copied out of the trace for SolveResult::trace — an owned

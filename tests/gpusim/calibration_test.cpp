@@ -171,10 +171,10 @@ TEST_F(CalibrationTest, PolicyOrderingMatchesFig10) {
 TEST_F(CalibrationTest, EachPolicyWinsSomewhere) {
   PolicyTimer timer;
   // Small call: P1 wins.
-  EXPECT_EQ(timer.best_policy(40, 20), Policy::P1);
+  EXPECT_EQ(timer.best_policy(FuCall{.m = 40, .k = 20}), Policy::P1);
   // Huge call: a GPU policy wins by a wide margin.
-  const double p1 = timer.time(Policy::P1, 8000, 4000);
-  const double p3 = timer.time(Policy::P3, 8000, 4000);
+  const double p1 = timer.time(Policy::P1, FuCall{.m = 8000, .k = 4000});
+  const double p3 = timer.time(Policy::P3, FuCall{.m = 8000, .k = 4000});
   EXPECT_LT(p3, p1 / 4.0);
 }
 
@@ -182,10 +182,10 @@ TEST_F(CalibrationTest, LargeCallSpeedupInPaperRange) {
   // Paper Fig. 14: hybrid speedups reach 12-13x on the largest fronts.
   PolicyTimer timer;
   const index_t m = 10000, k = 5000;
-  const double p1 = timer.time(Policy::P1, m, k);
+  const double p1 = timer.time(Policy::P1, FuCall{.m = m, .k = k});
   double best = p1;
   for (Policy p : {Policy::P2, Policy::P3, Policy::P4}) {
-    best = std::min(best, timer.time(p, m, k));
+    best = std::min(best, timer.time(p, FuCall{.m = m, .k = k}));
   }
   const double speedup = p1 / best;
   EXPECT_GT(speedup, 8.0);

@@ -18,6 +18,7 @@
 
 #include "multifrontal/parallel.hpp"
 #include "multifrontal/refine.hpp"
+#include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "ordering/minimum_degree.hpp"
 #include "policy/baseline_hybrid.hpp"
@@ -43,7 +44,7 @@ std::vector<double> rhs_for_ones(const SparseSpd& a) {
 /// GPU-forcing chooser: the test grids' fronts are small enough that the
 /// paper's op-count thresholds would route everything to P1 and no device
 /// op would ever sample the injector.
-Policy always_p3(index_t, index_t) { return Policy::P3; }
+Policy always_p3(const FuCall&) { return Policy::P3; }
 
 FaultInjectorOptions chaos_rates(std::uint64_t seed, double rate,
                                  double death_rate) {
@@ -126,6 +127,77 @@ TEST(ChaosTest, ParallelIsBitwiseEqualAcrossWorkerCountsUnderFaults) {
     const Matrix<double>& pb = four.factor.panels[s];
     ASSERT_EQ(pa.rows(), pb.rows());
     ASSERT_EQ(pa.cols(), pb.cols());
+    for (index_t j = 0; j < pa.cols(); ++j) {
+      for (index_t i = j; i < pa.rows(); ++i) {
+        ASSERT_EQ(pa(i, j), pb(i, j))
+            << "panel " << s << " entry (" << i << ", " << j << ")";
+      }
+    }
+  }
+}
+
+TEST(ChaosTest, FaultInsideBatchRetriesOnlyTheAffectedFront) {
+  // Transient kernel faults and transfer corruption land inside aggregated
+  // dispatches: each faulted member must be restored and re-run through the
+  // per-front path alone — the rest of its batch is untouched, no dispatch
+  // is aborted wholesale, and the factor stays bitwise equal to the
+  // fault-free per-front run (batched member math is the per-front host
+  // math, and so is the retry's).
+  Rng rng(17);
+  const GridProblem p = make_elasticity_3d(6, 6, 5, 3, rng);
+  const Analysis analysis = analyze_md(p.matrix);
+
+  // Fault-free per-front reference.
+  PolicyExecutor reference_executor(Policy::P1);
+  FactorContext reference_ctx;
+  const FactorizeResult reference =
+      factorize(analysis, reference_executor, reference_ctx);
+
+  obs::MetricsRegistry::global().clear();
+  obs::enable();
+  Device::Options device_options;
+  // Kernel + transfer faults only: death would abort dispatches and
+  // spurious OOM aborts allocation — this test pins the per-member path.
+  device_options.faults = chaos_rates(/*seed=*/17, /*rate=*/0.05,
+                                      /*death_rate=*/0.0);
+  device_options.faults.spurious_oom_rate = 0.0;
+  Device device(device_options);
+  DispatchExecutor dispatch("batch-chaos",
+                            [](const FuCall&) { return Policy::P1; });
+  FactorContext ctx;
+  ctx.device = &device;
+  FactorizeOptions options;
+  options.batching = parse_batching("on,min=2");
+  FactorizeResult result;
+  ASSERT_NO_THROW(result = factorize(analysis, dispatch, ctx, options));
+  obs::disable();
+
+  auto& metrics = obs::MetricsRegistry::global();
+  ASSERT_GE(metrics.counter("batch.dispatches"), 1.0);
+  EXPECT_GE(metrics.counter("batch.faulted"), 1.0)
+      << "no member faulted inside a batch: raise the rate or grid size";
+  EXPECT_EQ(metrics.counter("batch.aborts"), 0.0);
+  EXPECT_GE(result.faults_survived, 1);
+  obs::MetricsRegistry::global().clear();
+
+  // Members that stayed in the batch carry no fault; degraded members were
+  // re-executed per-front (policy 1 here) with their faults on record.
+  int faulted_calls = 0;
+  for (const FuCallRecord& r : result.trace.calls) {
+    if (r.batch > 1) {
+      EXPECT_EQ(r.faults, 0) << "snode " << r.snode;
+    }
+    if (r.faults > 0) {
+      ++faulted_calls;
+      EXPECT_EQ(r.batch, 1) << "snode " << r.snode;
+    }
+  }
+  EXPECT_GE(faulted_calls, 1);
+
+  ASSERT_EQ(reference.factor.num_panels(), result.factor.num_panels());
+  for (std::size_t s = 0; s < reference.factor.panels.size(); ++s) {
+    const Matrix<double>& pa = reference.factor.panels[s];
+    const Matrix<double>& pb = result.factor.panels[s];
     for (index_t j = 0; j < pa.cols(); ++j) {
       for (index_t i = j; i < pa.rows(); ++i) {
         ASSERT_EQ(pa(i, j), pb(i, j))

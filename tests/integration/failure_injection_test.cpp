@@ -66,7 +66,7 @@ TEST(FailureInjectionTest, PivotBreakdownReportsPermutedColumn) {
 TEST(FailureInjectionTest, ThrowingChooserPropagates) {
   const GridProblem p = make_laplacian_3d(3, 3, 3);
   const Analysis an = analyze(p.matrix, Permutation::identity(p.matrix.n()));
-  DispatchExecutor broken("broken", [](index_t, index_t) -> Policy {
+  DispatchExecutor broken("broken", [](const FuCall&) -> Policy {
     throw InvalidArgumentError("chooser exploded");
   });
   FactorContext ctx;

@@ -111,10 +111,10 @@ TEST_F(PaperPropertiesTest, HybridSpeedupGrowsWithFrontSize) {
   // Fig. 14: speedup ~1x for small fronts, up to 12-13x for the largest.
   PolicyTimer timer;
   auto speedup = [&](index_t m, index_t k) {
-    const double p1 = timer.time(Policy::P1, m, k);
+    const double p1 = timer.time(Policy::P1, FuCall{.m = m, .k = k});
     double best = p1;
     for (Policy p : {Policy::P2, Policy::P3, Policy::P4}) {
-      best = std::min(best, timer.time(p, m, k));
+      best = std::min(best, timer.time(p, FuCall{.m = m, .k = k}));
     }
     return p1 / best;
   };

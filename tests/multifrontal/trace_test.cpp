@@ -84,14 +84,15 @@ TEST(TraceTest, CsvRoundTripsDoublesAtFullPrecision) {
   for (std::string field; std::getline(row_stream, field, ',');) {
     fields.push_back(field);
   }
-  ASSERT_EQ(fields.size(), 12u);
-  EXPECT_DOUBLE_EQ(std::stod(fields[4]), r.t_potrf);
-  EXPECT_DOUBLE_EQ(std::stod(fields[5]), r.t_trsm);
-  EXPECT_DOUBLE_EQ(std::stod(fields[6]), r.t_syrk);
-  EXPECT_DOUBLE_EQ(std::stod(fields[7]), r.t_copy);
-  EXPECT_DOUBLE_EQ(std::stod(fields[8]), r.t_total);
-  EXPECT_EQ(fields[10], "0");  // faults
-  EXPECT_EQ(fields[11], "0");  // fell_back
+  ASSERT_EQ(fields.size(), 13u);
+  EXPECT_EQ(fields[4], "1");  // batch width (per-front call)
+  EXPECT_DOUBLE_EQ(std::stod(fields[5]), r.t_potrf);
+  EXPECT_DOUBLE_EQ(std::stod(fields[6]), r.t_trsm);
+  EXPECT_DOUBLE_EQ(std::stod(fields[7]), r.t_syrk);
+  EXPECT_DOUBLE_EQ(std::stod(fields[8]), r.t_copy);
+  EXPECT_DOUBLE_EQ(std::stod(fields[9]), r.t_total);
+  EXPECT_EQ(fields[11], "0");  // faults
+  EXPECT_EQ(fields[12], "0");  // fell_back
 }
 
 TEST(TraceTest, RecordCallAccumulatesAndPublishesMetrics) {

@@ -18,15 +18,15 @@ TEST(DecisionLogTest, RecordsAndMerges) {
   LogGuard guard;
   auto& log = obs::DecisionLog::global();
   EXPECT_EQ(log.size(), 0);
-  log.record({.m = 100, .k = 20, .policy = 2,
+  log.record({.call = {.m = 100, .k = 20}, .policy = 2,
               .predicted_seconds = 0.5, .measured_seconds = 0.6});
-  log.record({.m = 7, .k = 3, .policy = 1,
+  log.record({.call = {.m = 7, .k = 3}, .policy = 1,
               .predicted_seconds = -1.0, .measured_seconds = 0.01});
   EXPECT_EQ(log.size(), 2);
   const auto decisions = log.decisions();
   ASSERT_EQ(decisions.size(), 2u);
-  EXPECT_EQ(decisions[0].m, 100);
-  EXPECT_EQ(decisions[0].k, 20);
+  EXPECT_EQ(decisions[0].call.m, 100);
+  EXPECT_EQ(decisions[0].call.k, 20);
   EXPECT_EQ(decisions[0].policy, 2);
   EXPECT_DOUBLE_EQ(decisions[0].predicted_seconds, 0.5);
   EXPECT_DOUBLE_EQ(decisions[0].measured_seconds, 0.6);
@@ -37,13 +37,13 @@ TEST(DecisionLogTest, RecordsAndMerges) {
 TEST(DecisionLogTest, ClearDropsEverything) {
   LogGuard guard;
   auto& log = obs::DecisionLog::global();
-  log.record({.m = 1, .k = 1, .policy = 1});
+  log.record({.call = {.m = 1, .k = 1}, .policy = 1});
   ASSERT_GT(log.size(), 0);
   log.clear();
   EXPECT_EQ(log.size(), 0);
   EXPECT_TRUE(log.decisions().empty());
   // The thread buffer stays registered: recording again still works.
-  log.record({.m = 2, .k = 2, .policy = 3});
+  log.record({.call = {.m = 2, .k = 2}, .policy = 3});
   EXPECT_EQ(log.size(), 1);
   EXPECT_EQ(log.decisions()[0].policy, 3);
 }
@@ -57,7 +57,7 @@ TEST(DecisionLogTest, ConcurrentAppendsAllSurvive) {
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&log, t] {
       for (int i = 0; i < kPerThread; ++i) {
-        log.record({.m = t, .k = i, .policy = 1 + (i % 4),
+        log.record({.call = {.m = t, .k = i}, .policy = 1 + (i % 4),
                     .measured_seconds = 1.0});
       }
     });
@@ -71,9 +71,9 @@ TEST(DecisionLogTest, ConcurrentAppendsAllSurvive) {
   std::vector<std::vector<index_t>> per_thread(kThreads);
   double total_measured = 0.0;
   for (const auto& d : decisions) {
-    ASSERT_GE(d.m, 0);
-    ASSERT_LT(d.m, kThreads);
-    per_thread[static_cast<std::size_t>(d.m)].push_back(d.k);
+    ASSERT_GE(d.call.m, 0);
+    ASSERT_LT(d.call.m, kThreads);
+    per_thread[static_cast<std::size_t>(d.call.m)].push_back(d.call.k);
     total_measured += d.measured_seconds;
   }
   for (int t = 0; t < kThreads; ++t) {

@@ -176,7 +176,7 @@ TEST(ObsScopeTest, DoubleFinishIsIdempotent) {
 }
 
 TEST(ObsScopeTest, ConstructionClearsStaleState) {
-  obs::DecisionLog::global().record({.m = 9, .k = 9, .policy = 1});
+  obs::DecisionLog::global().record({.call = {.m = 9, .k = 9}, .policy = 1});
   obs::ObsConfig config;
   config.record = true;
   obs::ObsScope scope(config);

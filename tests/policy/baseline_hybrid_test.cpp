@@ -14,17 +14,17 @@ TEST(BaselineHybridTest, PaperThresholdValues) {
 
 TEST(BaselineHybridTest, ChoiceFollowsOpCount) {
   const BaselineThresholds t = paper_thresholds();
-  EXPECT_EQ(baseline_choice(t, 50, 20), Policy::P1);     // ~6e4 ops
-  EXPECT_EQ(baseline_choice(t, 300, 100), Policy::P2);   // ~1.2e7 ops
-  EXPECT_EQ(baseline_choice(t, 2000, 500), Policy::P3);  // ~2.5e9 ops
-  EXPECT_EQ(baseline_choice(t, 40000, 20000), Policy::P4);
+  EXPECT_EQ(baseline_choice(t, FuCall{.m = 50, .k = 20}), Policy::P1);     // ~6e4 ops
+  EXPECT_EQ(baseline_choice(t, FuCall{.m = 300, .k = 100}), Policy::P2);   // ~1.2e7 ops
+  EXPECT_EQ(baseline_choice(t, FuCall{.m = 2000, .k = 500}), Policy::P3);  // ~2.5e9 ops
+  EXPECT_EQ(baseline_choice(t, FuCall{.m = 40000, .k = 20000}), Policy::P4);
 }
 
 TEST(BaselineHybridTest, BoundariesAreHalfOpen) {
   BaselineThresholds t;
   t.p1_to_p2 = fu_total_ops(10, 10);
   // Exactly at the threshold: not strictly below, so P2.
-  EXPECT_EQ(baseline_choice(t, 10, 10), Policy::P2);
+  EXPECT_EQ(baseline_choice(t, FuCall{.m = 10, .k = 10}), Policy::P2);
 }
 
 TEST(BaselineHybridTest, DerivedThresholdsAreOrdered) {

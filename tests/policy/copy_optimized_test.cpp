@@ -110,7 +110,8 @@ TEST(CopyOptimizedP4Test, ShiftsTheP3P4CrossoverEarlier) {
   // Find the smallest k (m = 2k sweep) where P4 beats P3 under each option.
   auto crossover_k = [](PolicyTimer& timer) {
     for (index_t k = 250; k <= 16000; k += 250) {
-      if (timer.time(Policy::P4, 2 * k, k) < timer.time(Policy::P3, 2 * k, k)) {
+      if (timer.time(Policy::P4, FuCall{.m = 2 * k, .k = k}) <
+          timer.time(Policy::P3, FuCall{.m = 2 * k, .k = k})) {
         return k;
       }
     }

@@ -124,14 +124,14 @@ TEST(PolicyExecutorTest, OverlappedCopiesBeatSyncForModerateFronts) {
 
   PolicyTimer overlapped{ExecutorOptions{}};
   PolicyTimer synchronous{sync_opts};
-  EXPECT_LT(overlapped.time(Policy::P3, m, k),
-            synchronous.time(Policy::P3, m, k));
+  EXPECT_LT(overlapped.time(Policy::P3, FuCall{.m = m, .k = k}),
+            synchronous.time(Policy::P3, FuCall{.m = m, .k = k}));
 }
 
 TEST(DispatchExecutorTest, RoutesByChooser) {
   TestFront front = make_front(10, 5, 4);
   DispatchExecutor dispatch(
-      "test", [](index_t, index_t) { return Policy::P2; });
+      "test", [](const FuCall&) { return Policy::P2; });
   FactorContext ctx;
   Device device;
   ctx.device = &device;
@@ -141,7 +141,7 @@ TEST(DispatchExecutorTest, RoutesByChooser) {
 TEST(DispatchExecutorTest, FallsBackToP1WithoutDevice) {
   TestFront front = make_front(10, 5, 5);
   DispatchExecutor dispatch(
-      "test", [](index_t, index_t) { return Policy::P4; });
+      "test", [](const FuCall&) { return Policy::P4; });
   FactorContext ctx;  // CPU-only
   EXPECT_EQ(dispatch.execute(front.blocks(), ctx).record.policy, 1);
 }
@@ -149,13 +149,14 @@ TEST(DispatchExecutorTest, FallsBackToP1WithoutDevice) {
 TEST(PolicyTimerTest, DeterministicTimes) {
   PolicyTimer a, b;
   for (Policy p : kAllPolicies) {
-    EXPECT_DOUBLE_EQ(a.time(p, 500, 250), b.time(p, 500, 250));
+    const FuCall call{.m = 500, .k = 250};
+    EXPECT_DOUBLE_EQ(a.time(p, call), b.time(p, call));
   }
 }
 
 TEST(PolicyTimerTest, RecordComponentsSumBelowTotal) {
   PolicyTimer timer;
-  const FuCallRecord r = timer.record(Policy::P1, 800, 400);
+  const FuCallRecord r = timer.record(Policy::P1, FuCall{.m = 800, .k = 400});
   EXPECT_NEAR(r.t_potrf + r.t_trsm + r.t_syrk, r.t_total, 1e-9);
 }
 

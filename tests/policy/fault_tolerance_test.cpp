@@ -76,7 +76,7 @@ TEST(FaultToleranceTest, FaultedFrontsStillMatchReference) {
   std::int64_t faults_seen = 0;
   for (std::uint64_t seed = 0; seed < 8; ++seed) {
     Device device = make_faulty_device(0.3, 0.3, 0.3, 0.0, seed);
-    DispatchExecutor dispatch("p3", [](index_t, index_t) { return Policy::P3; });
+    DispatchExecutor dispatch("p3", [](const FuCall&) { return Policy::P3; });
     FactorContext ctx;
     ctx.device = &device;
     TestFront front = make_front(24, 12, 100 + seed);
@@ -94,7 +94,7 @@ TEST(FaultToleranceTest, FallbackFrontIsExactDouble) {
   // Sticky death on the first device op: the attempt is wasted, the host P1
   // redo runs on the restored front — results exact in double precision.
   Device device = make_faulty_device(0.0, 0.0, 0.0, 0.9, 1);
-  DispatchExecutor dispatch("p4", [](index_t, index_t) { return Policy::P4; });
+  DispatchExecutor dispatch("p4", [](const FuCall&) { return Policy::P4; });
   FactorContext ctx;
   ctx.device = &device;
   TestFront front = make_front(16, 8, 7);
@@ -128,7 +128,7 @@ TEST(FaultToleranceTest, WastedAttemptTimeIsCharged) {
   options.quarantine_after_faults = 1;
   Device faulty = make_faulty_device(0.0, 0.9, 0.0, 0.0, 1);
   DispatchExecutor dispatch(
-      "p4", [](index_t, index_t) { return Policy::P4; }, options);
+      "p4", [](const FuCall&) { return Policy::P4; }, options);
   FactorContext ctx;
   ctx.device = &faulty;
   TestFront front = make_front(16, 8, 7);
@@ -148,7 +148,7 @@ TEST(FaultToleranceTest, QuarantineTripsAfterConfiguredFaults) {
   options.quarantine_after_faults = 1;
   Device device = make_faulty_device(0.9, 0.0, 0.0, 0.0, 3);
   DispatchExecutor dispatch(
-      "p3", [](index_t, index_t) { return Policy::P3; }, options);
+      "p3", [](const FuCall&) { return Policy::P3; }, options);
   FactorContext ctx;
   ctx.device = &device;
 
@@ -184,7 +184,7 @@ TEST(FaultToleranceTest, GenuineIndefiniteMatrixStillThrows) {
   options.fault_tolerance = FaultTolerance::On;  // tolerant without injector
   Device device;
   DispatchExecutor dispatch(
-      "p4", [](index_t, index_t) { return Policy::P4; }, options);
+      "p4", [](const FuCall&) { return Policy::P4; }, options);
   FactorContext ctx;
   ctx.device = &device;
   EXPECT_THROW(dispatch.execute(front.blocks(), ctx),
@@ -199,7 +199,7 @@ TEST(FaultToleranceTest, FaultFreeRunsAreByteIdenticalToTolerantOff) {
 
   Device tolerant_device;
   DispatchExecutor tolerant(
-      "p3", [](index_t, index_t) { return Policy::P3; });
+      "p3", [](const FuCall&) { return Policy::P3; });
   FactorContext tolerant_ctx;
   tolerant_ctx.device = &tolerant_device;
   tolerant.execute(tolerant_front.blocks(), tolerant_ctx);
@@ -208,7 +208,7 @@ TEST(FaultToleranceTest, FaultFreeRunsAreByteIdenticalToTolerantOff) {
   off_options.fault_tolerance = FaultTolerance::Off;
   Device off_device;
   DispatchExecutor off(
-      "p3", [](index_t, index_t) { return Policy::P3; }, off_options);
+      "p3", [](const FuCall&) { return Policy::P3; }, off_options);
   FactorContext off_ctx;
   off_ctx.device = &off_device;
   off.execute(off_front.blocks(), off_ctx);
@@ -223,7 +223,7 @@ TEST(FaultToleranceTest, FaultEventsLandInDecisionLogAndMetrics) {
   obs::DecisionLog::global().clear();
   obs::enable();
   Device device = make_faulty_device(0.0, 0.9, 0.0, 0.0, 1);
-  DispatchExecutor dispatch("p4", [](index_t, index_t) { return Policy::P4; });
+  DispatchExecutor dispatch("p4", [](const FuCall&) { return Policy::P4; });
   FactorContext ctx;
   ctx.device = &device;
   TestFront front = make_front(16, 8, 7);
@@ -233,8 +233,8 @@ TEST(FaultToleranceTest, FaultEventsLandInDecisionLogAndMetrics) {
 
   const auto events = obs::DecisionLog::global().fault_events();
   ASSERT_GE(events.size(), 1u);
-  EXPECT_EQ(events[0].m, 16);
-  EXPECT_EQ(events[0].k, 8);
+  EXPECT_EQ(events[0].call.m, 16);
+  EXPECT_EQ(events[0].call.k, 8);
   EXPECT_EQ(events[0].policy, 4);
   EXPECT_EQ(events[0].kind, static_cast<int>(FaultKind::TransferCorruption));
   // The first fault is retried on-device, not yet a fallback, and the
@@ -256,7 +256,7 @@ TEST(FaultToleranceTest, FaultEventsLandInDecisionLogAndMetrics) {
 
 TEST(FaultToleranceTest, SpuriousOomFallsBackInsteadOfAborting) {
   Device device = make_faulty_device(0.0, 0.0, 0.9, 0.0, 4);
-  DispatchExecutor dispatch("p2", [](index_t, index_t) { return Policy::P2; });
+  DispatchExecutor dispatch("p2", [](const FuCall&) { return Policy::P2; });
   FactorContext ctx;
   ctx.device = &device;
   TestFront front = make_front(14, 7, 30);

@@ -10,14 +10,16 @@ TEST(PolicyTest, NamesMatchPaper) {
   EXPECT_STREQ(policy_name(Policy::P2), "P2");
   EXPECT_STREQ(policy_name(Policy::P3), "P3");
   EXPECT_STREQ(policy_name(Policy::P4), "P4");
+  EXPECT_STREQ(policy_name(Policy::Batched), "Batched");
 }
 
 TEST(PolicyTest, FromIndexRoundTrips) {
   for (int i = 1; i <= 4; ++i) {
     EXPECT_EQ(static_cast<int>(policy_from_index(i)), i);
   }
+  EXPECT_EQ(policy_from_index(5), Policy::Batched);
   EXPECT_THROW(policy_from_index(0), InvalidArgumentError);
-  EXPECT_THROW(policy_from_index(5), InvalidArgumentError);
+  EXPECT_THROW(policy_from_index(kMaxPolicyIndex + 1), InvalidArgumentError);
 }
 
 TEST(PolicyTest, TotalOpsFormula) {
@@ -32,6 +34,8 @@ TEST(PolicyTest, CopyBytesEquation2) {
 }
 
 TEST(PolicyTest, AllPoliciesListed) {
+  // kAllPolicies enumerates the per-front paper policies; Batched is a
+  // dispatch-level aggregate, not a per-front choice, so it stays out.
   EXPECT_EQ(kAllPolicies.size(), 4u);
   EXPECT_EQ(kAllPolicies.front(), Policy::P1);
   EXPECT_EQ(kAllPolicies.back(), Policy::P4);

@@ -141,9 +141,9 @@ TEST(SchedulerTest, DeviceDeathAndQuarantineDegradeToHostWorkers) {
 TEST(SchedulerTest, GpuChooserControlsPolicy) {
   const TaskGraph g = grid_graph();
   ScheduleOptions always_p4;
-  always_p4.gpu_chooser = [](index_t, index_t) { return Policy::P4; };
+  always_p4.gpu_chooser = [](const FuCall&) { return Policy::P4; };
   ScheduleOptions always_p1;
-  always_p1.gpu_chooser = [](index_t, index_t) { return Policy::P1; };
+  always_p1.gpu_chooser = [](const FuCall&) { return Policy::P1; };
   const double t_p4 =
       simulate_schedule(g, {WorkerSpec{true}}, always_p4).makespan;
   const double t_p1 =
