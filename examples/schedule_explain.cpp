@@ -1,0 +1,64 @@
+// Schedule explainability walkthrough: record a factorization's virtual
+// schedule with the flight recorder, extract the critical path ("why is
+// the makespan what it is"), then ask counterfactual what-if questions
+// ("what change would shorten it") without re-running any numerics.
+//
+// The same surfaces are scriptable through tools/mfgpu_explain.
+#include <cstdio>
+#include <iostream>
+
+#include "core/solver.hpp"
+#include "obs/whatif.hpp"
+#include "sparse/generators.hpp"
+
+using namespace mfgpu;
+
+int main() {
+  const GridProblem problem = make_laplacian_3d(14, 13, 11);
+
+  SolverOptions options;
+  options.mode = SolverMode::BaselineHybrid;
+  options.record_schedule = true;  // the flight recorder: a few dozen
+                                   // bytes per timing event, off by default
+  options.workers.assign(2, WorkerSpec{.has_gpu = true});
+  const Solver solver(problem.matrix, options);
+  std::printf("factored n=%lld in %.4f virtual s on 2 GPU workers\n\n",
+              static_cast<long long>(problem.matrix.n()),
+              solver.factor_time());
+
+  // 1. Why: per-cost-class makespan attribution, task spine, CPM slack.
+  const obs::CriticalPathReport report = solver.schedule_report();
+  report.write_text(std::cout);
+
+  // 2. Sanity: the null counterfactual replays the recorded schedule
+  //    operation for operation — the makespan matches bitwise.
+  const obs::WhatIfResult null_replay =
+      solver.schedule_whatif(obs::WhatIfKnobs{});
+  std::printf("\nnull replay: %.17g s (recorded %.17g s, %s)\n",
+              null_replay.makespan, solver.schedule().makespan,
+              null_replay.makespan == solver.schedule().makespan
+                  ? "bitwise equal"
+                  : "MISMATCH");
+
+  // 3. What if: re-time the recorded DAG under counterfactual knobs.
+  struct Question {
+    const char* ask;
+    obs::WhatIfKnobs knobs;
+  };
+  Question questions[] = {
+      {"a 2x faster GPU", {}},
+      {"a 2x faster PCIe link", {}},
+      {"4 workers instead of 2", {}},
+      {"forcing policy P1 (host-only)", {}},
+  };
+  questions[0].knobs.gpu_scale = 2.0;
+  questions[1].knobs.transfer_scale = 2.0;
+  questions[2].knobs.num_workers = 4;
+  questions[3].knobs.force_policy = 1;
+  for (const Question& q : questions) {
+    const obs::WhatIfResult r = solver.schedule_whatif(q.knobs);
+    std::printf("what if %-32s %.4f s (%.2fx, %s)\n", q.ask, r.makespan,
+                r.speedup, r.exact_engine ? "exact replay" : "list schedule");
+  }
+  return 0;
+}

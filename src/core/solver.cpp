@@ -7,6 +7,7 @@
 #include "multifrontal/parallel.hpp"
 #include "multifrontal/solve.hpp"
 #include "obs/obs.hpp"
+#include "obs/schedule_record.hpp"
 #include "ordering/minimum_degree.hpp"
 #include "ordering/nested_dissection.hpp"
 #include "policy/baseline_hybrid.hpp"
@@ -63,10 +64,14 @@ struct Solver::Impl {
   std::unique_ptr<Device> device;
   std::unique_ptr<PolicyTimer> timer;
   PoolRunStats pool_stats;
+  /// Per-worker memory high-water marks of the last numeric phase.
+  std::vector<WorkerMemory> memory;
   double pool_wall = 0.0;
   double factor_time = 0.0;
   double factor_wall = 0.0;
   bool factored = false;
+  /// Flight record of the last numeric phase (options.record_schedule).
+  obs::ScheduleRecord schedule;
 
   Permutation choose_ordering() const;
   std::unique_ptr<FuExecutor> choose_executor();
@@ -157,6 +162,9 @@ WorkerExecutorFactory Solver::Impl::worker_factory() {
 void Solver::Impl::run_factor() {
   const bool parallel = !options.workers.empty() || options.num_threads > 1;
   const auto wall_t0 = std::chrono::steady_clock::now();
+  obs::ScheduleRecorder recorder;
+  obs::ScheduleRecorder* rec =
+      options.record_schedule ? &recorder : nullptr;
   FactorizeResult result;
   if (parallel) {
     ParallelFactorizeOptions parallel_options;
@@ -166,6 +174,7 @@ void Solver::Impl::run_factor() {
     parallel_options.numeric.batching = options.batching;
     parallel_options.executor = options.executor;
     parallel_options.device = options.device;
+    parallel_options.recorder = rec;
     obs::ScopedSpan span("solver", "numeric_factorization");
     result = factorize_parallel(*analysis, parallel_options, worker_factory());
   } else {
@@ -179,12 +188,15 @@ void Solver::Impl::run_factor() {
     }
     FactorizeOptions factorize_options;
     factorize_options.batching = options.batching;
+    factorize_options.recorder = rec;
     obs::ScopedSpan span("solver", "numeric_factorization", &ctx.host_clock);
     result = factorize(*analysis, *executor, ctx, factorize_options);
   }
+  if (rec != nullptr) schedule = recorder.take();
   factor = std::move(result.factor);
   trace = std::move(result.trace);
   pool_stats = std::move(result.pool_stats);
+  memory = std::move(result.memory);
   pool_wall = result.pool_wall_seconds;
   factor_time = trace.total_time;
   factor_wall =
@@ -366,7 +378,40 @@ obs::ProfileReport Solver::profile_report() const {
     inputs.pool_wall_seconds = impl_->pool_wall;
   }
   inputs.executor_options = impl_->options.executor;
+  inputs.memory = impl_->memory;
   return obs::build_profile_report(inputs);
+}
+
+bool Solver::schedule_recorded() const noexcept {
+  return impl_ != nullptr && impl_->factored && !impl_->schedule.empty();
+}
+
+const obs::ScheduleRecord& Solver::schedule() const {
+  if (!impl_->factored) {
+    throw InvalidStateError("Solver::schedule: not factored");
+  }
+  if (impl_->schedule.empty()) {
+    throw InvalidStateError(
+        "Solver::schedule: factor() ran without record_schedule");
+  }
+  return impl_->schedule;
+}
+
+obs::CriticalPathReport Solver::schedule_report() const {
+  obs::CriticalPathReport report = obs::analyze_critical_path(schedule());
+  obs::emit_critical_path_metrics(report);
+  return report;
+}
+
+obs::WhatIfResult Solver::schedule_whatif(const obs::WhatIfKnobs& knobs) const {
+  const obs::ScheduleRecord& record = schedule();
+  std::unique_ptr<PolicyTimer> timer;
+  if (knobs.force_policy >= 0 || knobs.batching == 0) {
+    timer = std::make_unique<PolicyTimer>(impl_->options.executor);
+  }
+  obs::WhatIfResult result = obs::whatif_replay(record, knobs, timer.get());
+  obs::emit_whatif_metrics(result);
+  return result;
 }
 
 }  // namespace mfgpu

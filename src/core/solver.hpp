@@ -42,6 +42,7 @@
 #include "multifrontal/factorization.hpp"
 #include "multifrontal/refine.hpp"
 #include "obs/profile.hpp"
+#include "obs/whatif.hpp"
 #include "sched/worker.hpp"
 #include "sparse/csc.hpp"
 #include "symbolic/symbolic_factor.hpp"
@@ -90,6 +91,11 @@ struct SolverOptions {
   /// identical to the serial factorization for any thread count. Off trades
   /// that for assembling in completion order (roundoff-level differences).
   bool deterministic_reduction = true;
+  /// Record the numeric phase's schedule flight record
+  /// (obs/schedule_record.hpp): every task, dependency join, and primitive
+  /// virtual-timing operation, replayable bitwise by obs/whatif.hpp. Costs
+  /// a few dozen bytes per event; off by default.
+  bool record_schedule = false;
 };
 
 /// The values-independent half of an Analysis: the composed fill ordering
@@ -178,6 +184,23 @@ class Solver {
   /// (ObsScope / MFGPU_TRACE); call before the enclosing scope finishes.
   /// Throws InvalidStateError if the solver has not been factored.
   obs::ProfileReport profile_report() const;
+
+  /// True when a schedule flight record of the last factor()/refactor() is
+  /// available (SolverOptions::record_schedule was on and the numeric phase
+  /// ran).
+  bool schedule_recorded() const noexcept;
+  /// The schedule flight record of the last factor()/refactor(). Requires
+  /// SolverOptions::record_schedule; throws InvalidStateError when the
+  /// solver has not been factored or recording was off.
+  const obs::ScheduleRecord& schedule() const;
+  /// Critical-path causal analysis of the recorded schedule (per-class
+  /// makespan attribution, task spine, CPM slack). Emits sched.cp.* gauges
+  /// when obs recording is active. Same preconditions as schedule().
+  obs::CriticalPathReport schedule_report() const;
+  /// Counterfactual makespan prediction from the recorded schedule (no
+  /// numeric rerun). Emits whatif.* metrics when obs recording is active.
+  /// Policy/batching knobs construct a PolicyTimer on demand.
+  obs::WhatIfResult schedule_whatif(const obs::WhatIfKnobs& knobs) const;
 
  private:
   Solver();  ///< used by analyze()

@@ -8,6 +8,36 @@
 
 namespace mfgpu {
 
+/// Observer of every primitive operation applied to one SimClock (and, via
+/// the stream hooks, to the streams of the device driven by that clock).
+/// The schedule flight recorder (obs/schedule_record.hpp) implements this;
+/// replaying the recorded operations in the same order folds to bitwise
+/// identical times because each callback carries the original operands —
+/// durations are never reconstructed by differencing (a + (b - a) == b is
+/// not an IEEE-754 identity).
+class ClockSink {
+ public:
+  virtual ~ClockSink() = default;
+
+  /// advance(seconds) was applied.
+  virtual void on_advance(double seconds) = 0;
+  /// advance_to(target) was applied while the clock read `before`
+  /// (called for no-op waits too: target <= before).
+  virtual void on_wait(double target, double before) = 0;
+
+  /// A device stream op was enqueued: it starts no earlier than `earliest`
+  /// (already folded with the caller's clock/dependency times), runs for
+  /// `duration`, and completed the stream at `done`. Default no-op so
+  /// simple sinks need not care about streams.
+  virtual void on_enqueue(int /*stream*/, double /*earliest*/,
+                          double /*duration*/, double /*done*/) {}
+  /// A synchronous (host-blocking) copy completed at `done` after waiting
+  /// for dependency time `dep` and transferring for `duration`; the
+  /// matching advance_to(done) follows immediately.
+  virtual void on_sync_copy(double /*dep*/, double /*duration*/,
+                            double /*done*/) {}
+};
+
 class SimClock {
  public:
   double now() const noexcept { return now_; }
@@ -16,17 +46,24 @@ class SimClock {
   void advance(double seconds) {
     MFGPU_CHECK(seconds >= 0.0, "SimClock: cannot advance by negative time");
     now_ += seconds;
+    if (sink_ != nullptr) sink_->on_advance(seconds);
   }
 
   /// Wait until `time` (no-op if already past it).
   void advance_to(double time) {
+    if (sink_ != nullptr) sink_->on_wait(time, now_);
     if (time > now_) now_ = time;
   }
 
   void reset() noexcept { now_ = 0.0; }
 
+  /// Attach/detach a recorder. The clock does not own the sink.
+  void set_sink(ClockSink* sink) noexcept { sink_ = sink; }
+  ClockSink* sink() const noexcept { return sink_; }
+
  private:
   double now_ = 0.0;
+  ClockSink* sink_ = nullptr;
 };
 
 }  // namespace mfgpu

@@ -1,0 +1,69 @@
+// Thread-local classification of simulated-time charges. Every SimClock
+// advance and stream stall happens under one of these classes; the schedule
+// flight recorder reads the ambient class when its ClockSink callbacks fire,
+// and the what-if replay engine scales recorded durations per class (a
+// "2x faster GPU" counterfactual scales Gpu-class stream durations, a
+// "2x faster link" scales Transfer-class ones, and so on).
+//
+// The class of a charge follows the *model* that priced it, because the
+// counterfactual reruns scale whole models:
+//   Host      — host ProcessorModel kernel time (potrf/trsm/syrk/gemm)
+//   Assembly  — memory-bound extend-add/scatter/pack work (fixed rate,
+//               never scaled)
+//   Gpu       — device ProcessorModel kernel time on the compute stream,
+//               and host stalls bounded by it
+//   Transfer  — TransferModel charges: PCIe copies, enqueue/launch
+//               overheads, and host stalls on the copy streams
+//   Alloc     — pool acquire charges (alloc latencies live in the
+//               TransferModel, so these scale with Transfer in reruns)
+#pragma once
+
+#include <cstdint>
+
+namespace mfgpu {
+
+enum class CostClass : std::uint8_t {
+  Host = 0,
+  Assembly,
+  Gpu,
+  Transfer,
+  Alloc,
+};
+
+inline constexpr int kNumCostClasses = 5;
+
+inline const char* cost_class_name(CostClass c) {
+  switch (c) {
+    case CostClass::Host: return "host";
+    case CostClass::Assembly: return "assembly";
+    case CostClass::Gpu: return "gpu";
+    case CostClass::Transfer: return "transfer";
+    case CostClass::Alloc: return "alloc";
+  }
+  return "?";
+}
+
+namespace detail {
+inline thread_local CostClass t_cost_class = CostClass::Host;
+}  // namespace detail
+
+inline CostClass current_cost_class() noexcept {
+  return detail::t_cost_class;
+}
+
+/// RAII override of the ambient cost class for the charges in scope.
+class CostClassScope {
+ public:
+  explicit CostClassScope(CostClass c) noexcept
+      : prev_(detail::t_cost_class) {
+    detail::t_cost_class = c;
+  }
+  ~CostClassScope() { detail::t_cost_class = prev_; }
+  CostClassScope(const CostClassScope&) = delete;
+  CostClassScope& operator=(const CostClassScope&) = delete;
+
+ private:
+  CostClass prev_;
+};
+
+}  // namespace mfgpu

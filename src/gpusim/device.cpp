@@ -61,7 +61,10 @@ DeviceMatrix Device::allocate(index_t rows, index_t cols,
   MFGPU_CHECK(rows >= 0 && cols >= 0, "Device::allocate: negative dims");
   check_alloc_fault("Device::allocate");
   const auto bytes = static_cast<std::int64_t>(matrix_bytes(rows, cols));
-  host.advance(device_pool_.acquire(slot, bytes));
+  {
+    CostClassScope cls(CostClass::Alloc);
+    host.advance(device_pool_.acquire(slot, bytes));
+  }
   DeviceMatrix m;
   m.data = options_.numeric ? Matrix<float>(rows, cols, 0.0f)
                             : Matrix<float>(0, 0);
@@ -75,6 +78,7 @@ double Device::acquire_pinned(const std::string& slot, std::int64_t bytes,
                               SimClock& host) {
   check_alloc_fault("Device::acquire_pinned");
   const double cost = pinned_pool_.acquire(slot, bytes);
+  CostClassScope cls(CostClass::Alloc);
   host.advance(cost);
   return cost;
 }
@@ -104,6 +108,10 @@ double Device::copy_to_device_sync(MatrixView<const double> src,
   // A pageable copy blocks the host and serializes with prior device work
   // touching the destination.
   const double done = std::max(host.now(), dst.available_at) + duration;
+  CostClassScope cls(CostClass::Transfer);
+  if (ClockSink* sink = host.sink()) {
+    sink->on_sync_copy(dst.available_at, duration, done);
+  }
   host.advance_to(done);
   dst.available_at = done;
   return duration;
@@ -131,6 +139,10 @@ double Device::copy_from_device_sync(const DeviceMatrix& src, index_t i0,
   const double duration = transfer().sync_copy_time(bytes);
   count_transfer("d2h", bytes, duration);
   const double done = std::max(host.now(), src.available_at) + duration;
+  CostClassScope cls(CostClass::Transfer);
+  if (ClockSink* sink = host.sink()) {
+    sink->on_sync_copy(src.available_at, duration, done);
+  }
   host.advance_to(done);
   return duration;
 }
@@ -150,11 +162,16 @@ double Device::copy_to_device_async(MatrixView<const double> src,
       block(0, 0) = std::numeric_limits<float>::quiet_NaN();
     }
   }
+  CostClassScope cls(CostClass::Transfer);
   host.advance(transfer().enqueue_overhead);
   const double duration = transfer().async_copy_time(bytes);
   count_transfer("h2d", bytes, duration);
   const double earliest = std::max(host.now(), dst.available_at);
-  dst.available_at = stream.enqueue(earliest, duration);
+  const double done = stream.enqueue(earliest, duration);
+  if (ClockSink* sink = host.sink()) {
+    sink->on_enqueue(stream_index(stream), earliest, duration, done);
+  }
+  dst.available_at = done;
   return duration;
 }
 
@@ -177,12 +194,17 @@ double Device::copy_from_device_async(const DeviceMatrix& src, index_t i0,
       dst(0, 0) = std::numeric_limits<double>::quiet_NaN();
     }
   }
+  CostClassScope cls(CostClass::Transfer);
   host.advance(transfer().enqueue_overhead);
   const double duration = transfer().async_copy_time(bytes);
   count_transfer("d2h", bytes, duration);
   // Reads only: the copy waits for the producer but does not bump
   // available_at (write-after-read hazards are not modeled).
-  stream.enqueue(std::max(host.now(), src.available_at), duration);
+  const double earliest = std::max(host.now(), src.available_at);
+  const double done = stream.enqueue(earliest, duration);
+  if (ClockSink* sink = host.sink()) {
+    sink->on_enqueue(stream_index(stream), earliest, duration, done);
+  }
   return duration;
 }
 
@@ -217,11 +239,15 @@ double Device::copy_to_device_async_batched(
   }
   if (bytes == 0.0) return 0.0;
   bytes_transferred_ += bytes;
+  CostClassScope cls(CostClass::Transfer);
   host.advance(transfer().enqueue_overhead);
   const double duration = transfer().async_copy_time(bytes);
   count_transfer("h2d", bytes, duration);
-  const double done =
-      stream.enqueue(std::max(host.now(), earliest_dep), duration);
+  const double earliest = std::max(host.now(), earliest_dep);
+  const double done = stream.enqueue(earliest, duration);
+  if (ClockSink* sink = host.sink()) {
+    sink->on_enqueue(stream_index(stream), earliest, duration, done);
+  }
   for (std::size_t i = 0; i < blocks.size(); ++i) {
     if (skip[i] == 0) blocks[i].dst->available_at = done;
   }
@@ -263,17 +289,25 @@ double Device::copy_from_device_async_batched(
   }
   if (bytes == 0.0) return 0.0;
   bytes_transferred_ += bytes;
+  CostClassScope cls(CostClass::Transfer);
   host.advance(transfer().enqueue_overhead);
   const double duration = transfer().async_copy_time(bytes);
   count_transfer("d2h", bytes, duration);
   // Reads only: the coalesced copy waits for every producer but does not
   // bump any available_at (write-after-read hazards are not modeled).
-  stream.enqueue(std::max(host.now(), earliest_dep), duration);
+  const double earliest = std::max(host.now(), earliest_dep);
+  const double done = stream.enqueue(earliest, duration);
+  if (ClockSink* sink = host.sink()) {
+    sink->on_enqueue(stream_index(stream), earliest, duration, done);
+  }
   return duration;
 }
 
 void Device::synchronize(SimClock& host) {
-  for (const auto& s : streams_) host.advance_to(s.ready_at());
+  for (const auto& s : streams_) {
+    CostClassScope cls(stream_stall_class(s));
+    host.advance_to(s.ready_at());
+  }
 }
 
 void Device::reset() {

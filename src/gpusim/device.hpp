@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "gpusim/clock.hpp"
+#include "gpusim/cost_class.hpp"
 #include "gpusim/cost_model.hpp"
 #include "gpusim/fault_injector.hpp"
 #include "gpusim/memory.hpp"
@@ -58,6 +59,23 @@ class Device {
   Stream& compute_stream() noexcept { return streams_[0]; }
   Stream& h2d_stream() noexcept { return streams_[1]; }
   Stream& d2h_stream() noexcept { return streams_[2]; }
+
+  /// Index of one of this device's streams (0 = compute, 1 = h2d,
+  /// 2 = d2h; -1 for a foreign stream). Used by the schedule recorder to
+  /// key replayable stream timelines.
+  int stream_index(const Stream& stream) const noexcept {
+    for (std::size_t i = 0; i < streams_.size(); ++i) {
+      if (&streams_[i] == &stream) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  /// Cost class of a stall on one of this device's streams: compute-stream
+  /// stalls are bounded by kernel time (Gpu), copy-stream stalls by the
+  /// link (Transfer).
+  CostClass stream_stall_class(const Stream& stream) const noexcept {
+    return (&stream == &streams_[0]) ? CostClass::Gpu : CostClass::Transfer;
+  }
 
   /// Allocate a device matrix in the named pool slot, charging the host
   /// clock for the (possibly pooled-away) cudaMalloc-equivalent. Returns
@@ -123,6 +141,7 @@ class Device {
   Event record(const Stream& stream) const { return Event{stream.ready_at()}; }
   void synchronize(SimClock& host);
   void synchronize_stream(const Stream& stream, SimClock& host) {
+    CostClassScope cls(stream_stall_class(stream));
     host.advance_to(stream.ready_at());
   }
 

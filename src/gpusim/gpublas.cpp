@@ -5,6 +5,7 @@
 #include <string>
 
 #include "dense/potrf.hpp"
+#include "gpusim/cost_class.hpp"
 #include "obs/metrics.hpp"
 
 namespace mfgpu {
@@ -27,7 +28,11 @@ void count_kernel(const char* prefix, double ops, double duration) {
 void enqueue_kernel(const GpuExec& exec, double duration,
                     std::initializer_list<const DeviceMatrix*> inputs,
                     std::initializer_list<DeviceMatrix*> outputs) {
-  exec.host->advance(exec.device->transfer().kernel_enqueue);
+  {
+    // The launch overhead is a TransferModel charge (driver cost).
+    CostClassScope cls(CostClass::Transfer);
+    exec.host->advance(exec.device->transfer().kernel_enqueue);
+  }
   double earliest = exec.host->now();
   for (const DeviceMatrix* in : inputs) {
     earliest = std::max(earliest, in->available_at);
@@ -36,6 +41,11 @@ void enqueue_kernel(const GpuExec& exec, double duration,
     earliest = std::max(earliest, out->available_at);
   }
   const double done = exec.stream->enqueue(earliest, duration);
+  if (ClockSink* sink = exec.host->sink()) {
+    CostClassScope cls(CostClass::Gpu);
+    sink->on_enqueue(exec.device->stream_index(*exec.stream), earliest,
+                     duration, done);
+  }
   for (DeviceMatrix* out : outputs) out->available_at = done;
 }
 
@@ -61,7 +71,10 @@ void check_kernel_fault(const char* kernel, const GpuExec& exec, double ops,
 void enqueue_kernel_batched(const GpuExec& exec, double duration,
                             const std::vector<const DeviceMatrix*>& inputs,
                             const std::vector<DeviceMatrix*>& outputs) {
-  exec.host->advance(exec.device->transfer().kernel_enqueue);
+  {
+    CostClassScope cls(CostClass::Transfer);
+    exec.host->advance(exec.device->transfer().kernel_enqueue);
+  }
   double earliest = exec.host->now();
   for (const DeviceMatrix* in : inputs) {
     earliest = std::max(earliest, in->available_at);
@@ -70,6 +83,11 @@ void enqueue_kernel_batched(const GpuExec& exec, double duration,
     earliest = std::max(earliest, out->available_at);
   }
   const double done = exec.stream->enqueue(earliest, duration);
+  if (ClockSink* sink = exec.host->sink()) {
+    CostClassScope cls(CostClass::Gpu);
+    sink->on_enqueue(exec.device->stream_index(*exec.stream), earliest,
+                     duration, done);
+  }
   for (DeviceMatrix* out : outputs) out->available_at = done;
 }
 
@@ -295,7 +313,10 @@ double host_potrf(const HostExec& exec, MatrixView<double> a,
   const auto ops = static_cast<double>(potrf_ops(a.rows()));
   const double duration =
       exec.model->potrf.time(ops, static_cast<double>(a.rows()));
-  exec.clock->advance(duration);
+  {
+    CostClassScope cls(CostClass::Host);
+    exec.clock->advance(duration);
+  }
   count_kernel("host.potrf", ops, duration);
   if (exec.numeric) potrf<double>(a, 64, column_offset);
   return duration;
@@ -307,7 +328,10 @@ double host_trsm(const HostExec& exec, MatrixView<const double> tri,
   const double min_dim =
       static_cast<double>(std::min(rhs.rows(), rhs.cols()));
   const double duration = exec.model->trsm.time(ops, min_dim);
-  exec.clock->advance(duration);
+  {
+    CostClassScope cls(CostClass::Host);
+    exec.clock->advance(duration);
+  }
   count_kernel("host.trsm", ops, duration);
   if (exec.numeric) {
     trsm<double>(Side::Right, Uplo::Lower, Trans::Transpose, Diag::NonUnit,
@@ -321,7 +345,10 @@ double host_syrk(const HostExec& exec, double alpha,
   const auto ops = static_cast<double>(syrk_ops(c.rows(), a.cols()));
   const double min_dim = static_cast<double>(std::min(c.rows(), a.cols()));
   const double duration = exec.model->syrk.time(ops, min_dim);
-  exec.clock->advance(duration);
+  {
+    CostClassScope cls(CostClass::Host);
+    exec.clock->advance(duration);
+  }
   count_kernel("host.syrk", ops, duration);
   if (exec.numeric) syrk_lower<double>(alpha, a, 1.0, c);
   return duration;
@@ -334,7 +361,10 @@ double host_gemm_nt(const HostExec& exec, double alpha,
   const double min_dim =
       static_cast<double>(std::min({c.rows(), c.cols(), a.cols()}));
   const double duration = exec.model->gemm.time(ops, min_dim);
-  exec.clock->advance(duration);
+  {
+    CostClassScope cls(CostClass::Host);
+    exec.clock->advance(duration);
+  }
   count_kernel("host.gemm", ops, duration);
   if (exec.numeric) {
     gemm<double>(Trans::NoTrans, Trans::Transpose, alpha, a, b, 1.0, c);
@@ -353,7 +383,10 @@ double host_apply_update(const HostExec& exec,
   const double entries =
       0.5 * static_cast<double>(n) * static_cast<double>(n + 1);
   const double duration = entries / host_assembly_rate();
-  exec.clock->advance(duration);
+  {
+    CostClassScope cls(CostClass::Assembly);
+    exec.clock->advance(duration);
+  }
   if (exec.numeric) {
     for (index_t j = 0; j < c.cols(); ++j) {
       for (index_t i = j; i < n; ++i) c(i, j) -= product(i, j);
@@ -365,6 +398,7 @@ double host_apply_update(const HostExec& exec,
 double host_assembly_cost(const HostExec& exec, double entries) {
   MFGPU_CHECK(entries >= 0.0, "host_assembly_cost: negative entries");
   const double duration = entries / host_assembly_rate();
+  CostClassScope cls(CostClass::Assembly);
   exec.clock->advance(duration);
   return duration;
 }

@@ -5,6 +5,7 @@
 #include "multifrontal/frontal.hpp"
 #include "multifrontal/stack_arena.hpp"
 #include "obs/obs.hpp"
+#include "obs/schedule_record.hpp"
 #include "symbolic/postorder.hpp"
 
 namespace mfgpu {
@@ -62,6 +63,13 @@ FactorizeResult factorize_levels(const Analysis& analysis,
   }
   const auto children = children_lists(snode_parent);
 
+  obs::ScheduleRecorder* rec = options.recorder;
+  if (rec != nullptr) {
+    rec->start(/*num_lanes=*/1, nsup, snode_parent, /*parallel=*/false,
+               /*batched=*/true);
+    rec->attach(0, ctx.host_clock, ctx.device != nullptr);
+  }
+
   // Per-snode update buffers (with a stack-arena-style high-water gauge).
   std::vector<std::vector<double>> update_store(
       static_cast<std::size_t>(nsup));
@@ -77,13 +85,18 @@ FactorizeResult factorize_levels(const Analysis& analysis,
       max_m = std::max(max_m, sn.num_update_rows());
       max_k = std::max(max_k, sn.width());
     }
+    if (rec != nullptr) {
+      rec->begin_task(0, obs::TaskKind::Prologue, -1, ctx.host_clock);
+    }
     executor.prepare(max_m, max_k, ctx);
+    if (rec != nullptr) rec->end_task(0, ctx.host_clock);
   }
 
   auto assemble = [&](index_t s, FrontalMatrix& front) {
     const SupernodeInfo& sn = sym.supernodes()[static_cast<std::size_t>(s)];
     const auto& kids = children[static_cast<std::size_t>(s)];
     for (index_t c : kids) {
+      if (rec != nullptr) rec->note_join(0, c);
       ctx.host_clock.advance_to(update_ready[static_cast<std::size_t>(c)]);
     }
     double assembly_entries =
@@ -159,11 +172,19 @@ FactorizeResult factorize_levels(const Analysis& analysis,
       host_assembly_cost(host,
                          static_cast<double>(packed_lower_size(front.m())));
       trace.assembly_time += ctx.host_clock.now() - t0;
+      if (rec != nullptr) {
+        rec->note_ready(0, s, outcome.update_ready_at,
+                        static_cast<int>(outcome.record.policy));
+      }
       update_ready[static_cast<std::size_t>(s)] =
           std::max(outcome.update_ready_at, ctx.host_clock.now());
     } else {
       MFGPU_CHECK(front.m() == 0,
                   "factorize: root supernode with update rows");
+      if (rec != nullptr) {
+        rec->note_ready(0, s, outcome.update_ready_at,
+                        static_cast<int>(outcome.record.policy));
+      }
       ctx.host_clock.advance_to(outcome.update_ready_at);
     }
   };
@@ -183,25 +204,36 @@ FactorizeResult factorize_levels(const Analysis& analysis,
       if (b < 0) {
         const SupernodeInfo& sn =
             sym.supernodes()[static_cast<std::size_t>(s)];
+        if (rec != nullptr) {
+          rec->begin_task(0, obs::TaskKind::Front, s, ctx.host_clock);
+        }
         FrontalMatrix front(sn, ctx.numeric);
         assemble(s, front);
         FrontBlocks blocks = make_blocks(s, front);
+        if (rec != nullptr) rec->add_call(0, blocks.call());
         FuOutcome outcome;
         {
           obs::ScopedSpan fu_span("multifrontal", "factor_update",
                                   &ctx.host_clock);
+          if (rec != nullptr) rec->begin_exec(0);
           outcome = executor.execute(blocks, ctx);
+          if (rec != nullptr) rec->end_exec(0);
           fu_span.set_arg(0, "m", front.m());
           fu_span.set_arg(1, "k", front.k());
           fu_span.set_arg(2, "policy", outcome.record.policy);
         }
         postprocess(s, front, outcome);
+        if (rec != nullptr) rec->end_task(0, ctx.host_clock);
         continue;
       }
       if (batch_done[static_cast<std::size_t>(b)] != 0) continue;
       batch_done[static_cast<std::size_t>(b)] = 1;
       const FrontBatch& batch = plan.batches[static_cast<std::size_t>(b)];
       const std::size_t width = batch.snodes.size();
+      if (rec != nullptr) {
+        rec->begin_task(0, obs::TaskKind::Batch, static_cast<index_t>(b),
+                        ctx.host_clock);
+      }
       std::vector<FrontalMatrix> fronts;
       fronts.reserve(width);  // no reallocation: blocks hold views inside
       std::vector<FrontBlocks> blocks;
@@ -211,12 +243,15 @@ FactorizeResult factorize_levels(const Analysis& analysis,
             sym.supernodes()[static_cast<std::size_t>(member)], ctx.numeric);
         assemble(member, fronts.back());
         blocks.push_back(make_blocks(member, fronts.back()));
+        if (rec != nullptr) rec->add_call(0, blocks.back().call());
       }
       std::vector<FuOutcome> outcomes;
       {
         obs::ScopedSpan fu_span("multifrontal", "factor_update_batch",
                                 &ctx.host_clock);
+        if (rec != nullptr) rec->begin_exec(0);
         outcomes = executor.execute_batch(blocks, ctx);
+        if (rec != nullptr) rec->end_exec(0);
         fu_span.set_arg(0, "fronts", static_cast<index_t>(width));
         fu_span.set_arg(1, "level", batch.level);
       }
@@ -225,13 +260,37 @@ FactorizeResult factorize_levels(const Analysis& analysis,
       for (std::size_t i = 0; i < width; ++i) {
         postprocess(batch.snodes[i], fronts[i], outcomes[i]);
       }
+      if (rec != nullptr) rec->end_task(0, ctx.host_clock);
     }
   }
 
+  if (rec != nullptr) {
+    rec->begin_task(0, obs::TaskKind::Epilogue, -1, ctx.host_clock);
+  }
   if (ctx.device != nullptr) ctx.device->synchronize(ctx.host_clock);
+  if (rec != nullptr) {
+    rec->end_task(0, ctx.host_clock);
+    rec->detach(0, ctx.host_clock);
+  }
   trace.total_time = ctx.host_clock.now() - start_time;
   result.faults_survived = executor.fault_count();
   result.quarantined_workers = executor.quarantined() ? 1 : 0;
+
+  {
+    WorkerMemory mem;
+    mem.worker = 0;
+    mem.arena_peak_bytes =
+        peak_entries * static_cast<std::int64_t>(sizeof(double));
+    if (ctx.device != nullptr) {
+      mem.device_pool_peak_bytes = ctx.device->device_pool_stats().peak_bytes;
+      mem.pinned_pool_peak_bytes = ctx.device->pinned_pool_stats().peak_bytes;
+      mem.device_pool_charged_allocs =
+          ctx.device->device_pool_stats().charged_allocations;
+      mem.pinned_pool_charged_allocs =
+          ctx.device->pinned_pool_stats().charged_allocations;
+    }
+    result.memory.push_back(mem);
+  }
 
   if (obs::enabled()) {
     auto& metrics = obs::MetricsRegistry::global();
@@ -294,6 +353,13 @@ FactorizeResult factorize(const Analysis& analysis, FuExecutor& executor,
   }
   const auto children = children_lists(snode_parent);
 
+  obs::ScheduleRecorder* rec = options.recorder;
+  if (rec != nullptr) {
+    rec->start(/*num_lanes=*/1, nsup, snode_parent, /*parallel=*/false,
+               /*batched=*/false);
+    rec->attach(0, ctx.host_clock, ctx.device != nullptr);
+  }
+
   // Dry runs skip the numeric stack entirely (the assembly cost is charged
   // from the symbolic sizes), so huge matrices can be timed cheaply.
   StackArena stack(ctx.numeric ? sym.peak_update_stack_entries() : 0);
@@ -312,16 +378,24 @@ FactorizeResult factorize(const Analysis& analysis, FuExecutor& executor,
       max_m = std::max(max_m, sn.num_update_rows());
       max_k = std::max(max_k, sn.width());
     }
+    if (rec != nullptr) {
+      rec->begin_task(0, obs::TaskKind::Prologue, -1, ctx.host_clock);
+    }
     executor.prepare(max_m, max_k, ctx);
+    if (rec != nullptr) rec->end_task(0, ctx.host_clock);
   }
 
   for (index_t s = 0; s < nsup; ++s) {
     const SupernodeInfo& sn = sym.supernodes()[static_cast<std::size_t>(s)];
     FrontalMatrix front(sn, ctx.numeric);
+    if (rec != nullptr) {
+      rec->begin_task(0, obs::TaskKind::Front, s, ctx.host_clock);
+    }
 
     // Wait for in-flight copies of the children's update matrices.
     const auto& kids = children[static_cast<std::size_t>(s)];
     for (index_t c : kids) {
+      if (rec != nullptr) rec->note_join(0, c);
       ctx.host_clock.advance_to(update_ready[static_cast<std::size_t>(c)]);
     }
 
@@ -352,11 +426,18 @@ FactorizeResult factorize(const Analysis& analysis, FuExecutor& executor,
       blocks.l2 = front.l2();
       blocks.u = front.update();
     }
+    if (rec != nullptr) {
+      FuCall call = blocks.call();
+      call.snode = s;  // make_shape_blocks leaves the synthetic -1
+      rec->add_call(0, call);
+    }
     FuOutcome outcome;
     {
       obs::ScopedSpan fu_span("multifrontal", "factor_update",
                               &ctx.host_clock);
+      if (rec != nullptr) rec->begin_exec(0);
       outcome = executor.execute(blocks, ctx);
+      if (rec != nullptr) rec->end_exec(0);
       fu_span.set_arg(0, "m", front.m());
       fu_span.set_arg(1, "k", front.k());
       fu_span.set_arg(2, "policy", outcome.record.policy);
@@ -395,18 +476,50 @@ FactorizeResult factorize(const Analysis& analysis, FuExecutor& executor,
       host_assembly_cost(
           host, static_cast<double>(packed_lower_size(front.m())));
       trace.assembly_time += ctx.host_clock.now() - t0;
+      if (rec != nullptr) {
+        rec->note_ready(0, s, outcome.update_ready_at,
+                        static_cast<int>(outcome.record.policy));
+      }
       update_ready[static_cast<std::size_t>(s)] =
           std::max(outcome.update_ready_at, ctx.host_clock.now());
     } else {
       MFGPU_CHECK(front.m() == 0, "factorize: root supernode with update rows");
+      if (rec != nullptr) {
+        rec->note_ready(0, s, outcome.update_ready_at,
+                        static_cast<int>(outcome.record.policy));
+      }
       ctx.host_clock.advance_to(outcome.update_ready_at);
     }
+    if (rec != nullptr) rec->end_task(0, ctx.host_clock);
   }
 
+  if (rec != nullptr) {
+    rec->begin_task(0, obs::TaskKind::Epilogue, -1, ctx.host_clock);
+  }
   if (ctx.device != nullptr) ctx.device->synchronize(ctx.host_clock);
+  if (rec != nullptr) {
+    rec->end_task(0, ctx.host_clock);
+    rec->detach(0, ctx.host_clock);
+  }
   trace.total_time = ctx.host_clock.now() - start_time;
   result.faults_survived = executor.fault_count();
   result.quarantined_workers = executor.quarantined() ? 1 : 0;
+
+  {
+    WorkerMemory mem;
+    mem.worker = 0;
+    mem.arena_peak_bytes = static_cast<std::int64_t>(stack.peak_entries()) *
+                           static_cast<std::int64_t>(sizeof(double));
+    if (ctx.device != nullptr) {
+      mem.device_pool_peak_bytes = ctx.device->device_pool_stats().peak_bytes;
+      mem.pinned_pool_peak_bytes = ctx.device->pinned_pool_stats().peak_bytes;
+      mem.device_pool_charged_allocs =
+          ctx.device->device_pool_stats().charged_allocations;
+      mem.pinned_pool_charged_allocs =
+          ctx.device->pinned_pool_stats().charged_allocations;
+    }
+    result.memory.push_back(mem);
+  }
 
   if (obs::enabled()) {
     auto& metrics = obs::MetricsRegistry::global();

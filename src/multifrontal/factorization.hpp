@@ -3,6 +3,7 @@
 // a pluggable policy executor, and supernodal factor storage.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "dense/matrix.hpp"
@@ -14,6 +15,10 @@
 #include "symbolic/symbolic_factor.hpp"
 
 namespace mfgpu {
+
+namespace obs {
+class ScheduleRecorder;
+}
 
 /// The numeric factor L in supernodal storage: panel s holds the (k+m) x k
 /// factor columns of supernode s (L1 in the top k rows — lower triangle
@@ -39,9 +44,24 @@ struct Factorization {
   std::int64_t storage_bytes() const noexcept;
 };
 
+/// High-water memory marks of one worker's numeric phase: its update-stack
+/// arena plus — for GPU-bearing workers — its private simulated device's
+/// pool slabs and pinned staging. The profiler aggregates these into the
+/// report's memory section and the mem.* gauges.
+struct WorkerMemory {
+  int worker = 0;
+  std::int64_t arena_peak_bytes = 0;        ///< StackArena high water
+  std::int64_t device_pool_peak_bytes = 0;  ///< device slab high water
+  std::int64_t pinned_pool_peak_bytes = 0;  ///< pinned staging high water
+  std::int64_t device_pool_charged_allocs = 0;  ///< acquires that paid
+  std::int64_t pinned_pool_charged_allocs = 0;
+};
+
 struct FactorizeResult {
   Factorization factor;
   FactorizationTrace trace;
+  /// Per-worker memory high-water marks (one entry for the serial driver).
+  std::vector<WorkerMemory> memory;
   /// Work-stealing pool statistics of the run (empty for the serial driver)
   /// and the real seconds the pool spent executing the tree — the profiler's
   /// per-worker utilization source.
@@ -67,6 +87,10 @@ struct FactorizeOptions {
   /// executor's execute_batch. Per-front numeric math and the extend-add
   /// order are identical either way, so the factor matches bitwise.
   BatchingOptions batching;
+  /// Optional schedule flight recorder (obs/schedule_record.hpp). When set,
+  /// the driver attaches it to the host clock and records every task,
+  /// dependency join, and primitive timing operation of the run.
+  obs::ScheduleRecorder* recorder = nullptr;
 };
 
 /// Factor the permuted matrix using the symbolic structure in `analysis`.

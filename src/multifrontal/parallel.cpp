@@ -9,6 +9,7 @@
 #include "multifrontal/stack_arena.hpp"
 #include "obs/obs.hpp"
 #include "obs/request_context.hpp"
+#include "obs/schedule_record.hpp"
 #include "policy/baseline_hybrid.hpp"
 #include "sched/proportional_map.hpp"
 #include "sched/task_graph.hpp"
@@ -92,6 +93,20 @@ FactorizeResult factorize_parallel(const Analysis& analysis,
     max_order = std::max(max_order, sn.front_order());
   }
 
+  // Aggregated small-front batching (multifrontal/batched.hpp): planned on
+  // the symbolic structure alone, so grouping is independent of the thread
+  // count and the batched factor stays bitwise identical to the per-front
+  // one under deterministic reduction.
+  const BatchPlan plan = options.numeric.batching.enabled()
+                             ? group_batches(sym, options.numeric.batching)
+                             : BatchPlan{};
+
+  obs::ScheduleRecorder* rec = options.recorder;
+  if (rec != nullptr) {
+    rec->start(num_workers, nsup, graph.parent, /*parallel=*/true,
+               /*batched=*/plan.any());
+  }
+
   std::vector<WorkerState> states(static_cast<std::size_t>(num_workers));
   for (int w = 0; w < num_workers; ++w) {
     WorkerState& state = states[static_cast<std::size_t>(w)];
@@ -108,7 +123,12 @@ FactorizeResult factorize_parallel(const Analysis& analysis,
     MFGPU_CHECK(state.executor != nullptr,
                 "factorize_parallel: executor factory returned null");
     state.front_arena = std::make_unique<StackArena>(max_order * max_order);
+    if (rec != nullptr) {
+      rec->attach(w, state.ctx.host_clock, spec.has_gpu);
+      rec->begin_task(w, obs::TaskKind::Prologue, -1, state.ctx.host_clock);
+    }
     state.executor->prepare(max_m, max_k, state.ctx);
+    if (rec != nullptr) rec->end_task(w, state.ctx.host_clock);
   }
 
   // Cross-task hand-off state. Each slot is written by exactly one task and
@@ -132,6 +152,7 @@ FactorizeResult factorize_parallel(const Analysis& analysis,
     // matrices are (virtually) ready, wherever they were produced.
     const auto& kids = graph.children[static_cast<std::size_t>(s)];
     for (index_t c : kids) {
+      if (rec != nullptr) rec->note_join(w, c);
       ctx.host_clock.advance_to(update_ready[static_cast<std::size_t>(c)]);
     }
 
@@ -203,6 +224,10 @@ FactorizeResult factorize_parallel(const Analysis& analysis,
       host_assembly_cost(host,
                          static_cast<double>(packed_lower_size(front.m())));
       state.assembly_time += ctx.host_clock.now() - t0;
+      if (rec != nullptr) {
+        rec->note_ready(w, s, outcome.update_ready_at,
+                        static_cast<int>(outcome.record.policy));
+      }
       update_ready[static_cast<std::size_t>(s)] =
           std::max(outcome.update_ready_at, ctx.host_clock.now());
       ticket[static_cast<std::size_t>(s)] =
@@ -210,6 +235,10 @@ FactorizeResult factorize_parallel(const Analysis& analysis,
     } else {
       MFGPU_CHECK(front.m() == 0,
                   "factorize_parallel: root supernode with update rows");
+      if (rec != nullptr) {
+        rec->note_ready(w, s, outcome.update_ready_at,
+                        static_cast<int>(outcome.record.policy));
+      }
       ctx.host_clock.advance_to(outcome.update_ready_at);
     }
   };
@@ -222,6 +251,9 @@ FactorizeResult factorize_parallel(const Analysis& analysis,
     obs::ScopedSpan task_span("multifrontal", "fu_task", &ctx.host_clock);
     task_span.set_arg(0, "snode", s);
     task_span.set_arg(1, "worker", w);
+    if (rec != nullptr) {
+      rec->begin_task(w, obs::TaskKind::Front, s, ctx.host_clock);
+    }
 
     const auto storage =
         state.front_arena->push(sn.front_order() * sn.front_order());
@@ -237,25 +269,21 @@ FactorizeResult factorize_parallel(const Analysis& analysis,
     blocks.l1 = front.l1();
     blocks.l2 = front.l2();
     blocks.u = front.update();
+    if (rec != nullptr) rec->add_call(w, blocks.call());
     FuOutcome outcome;
     {
       obs::ScopedSpan fu_span("multifrontal", "factor_update",
                               &ctx.host_clock);
+      if (rec != nullptr) rec->begin_exec(w);
       outcome = state.executor->execute(blocks, ctx);
+      if (rec != nullptr) rec->end_exec(w);
       fu_span.set_arg(0, "m", front.m());
       fu_span.set_arg(1, "k", front.k());
       fu_span.set_arg(2, "policy", outcome.record.policy);
     }
     postprocess(s, w, front, outcome);
+    if (rec != nullptr) rec->end_task(w, ctx.host_clock);
   };
-
-  // Aggregated small-front batching (multifrontal/batched.hpp): planned on
-  // the symbolic structure alone, so grouping is independent of the thread
-  // count and the batched factor stays bitwise identical to the per-front
-  // one under deterministic reduction.
-  const BatchPlan plan = options.numeric.batching.enabled()
-                             ? group_batches(sym, options.numeric.batching)
-                             : BatchPlan{};
 
   // One pool task executes a whole batch on one worker: assemble every
   // member (same order and extend-add semantics as the per-front body),
@@ -272,6 +300,9 @@ FactorizeResult factorize_parallel(const Analysis& analysis,
     task_span.set_arg(0, "fronts", static_cast<index_t>(width));
     task_span.set_arg(1, "level", batch.level);
     task_span.set_arg(2, "worker", w);
+    if (rec != nullptr) {
+      rec->begin_task(w, obs::TaskKind::Batch, b, ctx.host_clock);
+    }
 
     std::vector<FrontalMatrix> fronts;
     fronts.reserve(width);  // no reallocation: blocks hold views inside
@@ -291,12 +322,15 @@ FactorizeResult factorize_parallel(const Analysis& analysis,
       fb.l2 = front.l2();
       fb.u = front.update();
       blocks.push_back(fb);
+      if (rec != nullptr) rec->add_call(w, blocks.back().call());
     }
     std::vector<FuOutcome> outcomes;
     {
       obs::ScopedSpan fu_span("multifrontal", "factor_update_batch",
                               &ctx.host_clock);
+      if (rec != nullptr) rec->begin_exec(w);
       outcomes = state.executor->execute_batch(blocks, ctx);
+      if (rec != nullptr) rec->end_exec(w);
       fu_span.set_arg(0, "fronts", static_cast<index_t>(width));
       fu_span.set_arg(1, "level", batch.level);
     }
@@ -305,6 +339,7 @@ FactorizeResult factorize_parallel(const Analysis& analysis,
     for (std::size_t i = 0; i < width; ++i) {
       postprocess(batch.snodes[i], w, fronts[i], outcomes[i]);
     }
+    if (rec != nullptr) rec->end_task(w, ctx.host_clock);
   };
 
   ThreadPool pool(num_workers);
@@ -416,8 +451,15 @@ FactorizeResult factorize_parallel(const Analysis& analysis,
   double assembly_total = 0.0;
   for (int w = 0; w < num_workers; ++w) {
     WorkerState& state = states[static_cast<std::size_t>(w)];
+    if (rec != nullptr) {
+      rec->begin_task(w, obs::TaskKind::Epilogue, -1, state.ctx.host_clock);
+    }
     if (state.ctx.device != nullptr) {
       state.ctx.device->synchronize(state.ctx.host_clock);
+    }
+    if (rec != nullptr) {
+      rec->end_task(w, state.ctx.host_clock);
+      rec->detach(w, state.ctx.host_clock);
     }
     makespan = std::max(makespan, state.ctx.host_clock.now());
     assembly_total += state.assembly_time;
@@ -433,6 +475,26 @@ FactorizeResult factorize_parallel(const Analysis& analysis,
   trace.total_time = makespan;
   result.pool_stats = stats;
   result.pool_wall_seconds = wall_seconds;
+
+  for (std::size_t w = 0; w < states.size(); ++w) {
+    const WorkerState& state = states[w];
+    WorkerMemory mem;
+    mem.worker = static_cast<int>(w);
+    if (state.front_arena != nullptr) {
+      mem.arena_peak_bytes =
+          static_cast<std::int64_t>(state.front_arena->peak_entries()) *
+          static_cast<std::int64_t>(sizeof(double));
+    }
+    if (state.ctx.device != nullptr) {
+      const PoolStats& dev = state.ctx.device->device_pool_stats();
+      const PoolStats& pinned = state.ctx.device->pinned_pool_stats();
+      mem.device_pool_peak_bytes = dev.peak_bytes;
+      mem.pinned_pool_peak_bytes = pinned.peak_bytes;
+      mem.device_pool_charged_allocs = dev.charged_allocations;
+      mem.pinned_pool_charged_allocs = pinned.charged_allocations;
+    }
+    result.memory.push_back(mem);
+  }
 
   if (obs::enabled()) {
     auto& metrics = obs::MetricsRegistry::global();

@@ -55,6 +55,9 @@ struct ParallelFactorizeOptions {
   ExecutorOptions executor;
   /// Template for each GPU worker's private device.
   Device::Options device;
+  /// Optional schedule flight recorder (obs/schedule_record.hpp): one lane
+  /// per worker. The `numeric.recorder` field is ignored here.
+  obs::ScheduleRecorder* recorder = nullptr;
 };
 
 /// Builds one worker's executor; called once per worker before the run (the

@@ -6,6 +6,7 @@
 
 #include "dense/blas.hpp"
 #include "obs/metrics.hpp"
+#include "obs/request_context.hpp"
 
 namespace mfgpu {
 
@@ -21,6 +22,12 @@ double FuCallRecord::ops_syrk() const {
 
 void FactorizationTrace::record_call(const FuCallRecord& record) {
   calls.push_back(record);
+  // Stamp the serving request at the shared emission point so every
+  // dispatch path (per-front AND aggregated execute_batch) links into the
+  // per-request causal trees without each executor repeating the lookup.
+  if (calls.back().request_id == 0) {
+    calls.back().request_id = obs::current_request_id();
+  }
   fu_time += record.t_total;
   if (obs::enabled()) {
     auto& metrics = obs::MetricsRegistry::global();
@@ -76,12 +83,13 @@ void FactorizationTrace::write_csv(std::ostream& os) const {
   // small per-kernel times.
   const auto saved = os.precision(std::numeric_limits<double>::max_digits10);
   os << "snode,m,k,policy,batch,t_potrf,t_trsm,t_syrk,t_copy,t_total,ops,"
-        "faults,fell_back\n";
+        "faults,fell_back,request_id\n";
   for (const auto& c : calls) {
     os << c.snode << ',' << c.m << ',' << c.k << ',' << c.policy << ','
        << c.batch << ',' << c.t_potrf << ',' << c.t_trsm << ',' << c.t_syrk
        << ',' << c.t_copy << ',' << c.t_total << ',' << c.ops_total() << ','
-       << c.faults << ',' << (c.fell_back ? 1 : 0) << '\n';
+       << c.faults << ',' << (c.fell_back ? 1 : 0) << ',' << c.request_id
+       << '\n';
   }
   os.precision(saved);
 }

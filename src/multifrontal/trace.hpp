@@ -3,6 +3,7 @@
 // one record per factor-update call with its dimensions and component times.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <vector>
 
@@ -32,6 +33,12 @@ struct FuCallRecord {
   /// includes the wasted time of the failed on-device attempts.
   int faults = 0;
   bool fell_back = false;
+
+  /// Serving request this call executed for (obs::current_request_id() at
+  /// record time; 0 outside the serving layer). Stamped uniformly for every
+  /// dispatch path — per-front and aggregated execute_batch alike — so the
+  /// per-request causal tooling can join trace rows to request trees.
+  std::uint64_t request_id = 0;
 
   /// Paper's asymptotic op counts (Section IV-B).
   double ops_potrf() const;

@@ -287,6 +287,17 @@ void build_faults(FaultProfile& faults) {
   }
 }
 
+void build_memory(ProfileReport& report,
+                  std::span<const WorkerMemory> memory) {
+  report.memory.assign(memory.begin(), memory.end());
+  for (const WorkerMemory& m : memory) {
+    report.arena_peak_bytes = std::max(report.arena_peak_bytes,
+                                       m.arena_peak_bytes);
+    report.device_pool_peak_bytes += m.device_pool_peak_bytes;
+    report.pinned_pool_peak_bytes += m.pinned_pool_peak_bytes;
+  }
+}
+
 void publish_gauges(const ProfileReport& report) {
   auto& metrics = MetricsRegistry::global();
   for (const PhaseTime& phase : report.phases) {
@@ -315,6 +326,23 @@ void publish_gauges(const ProfileReport& report) {
     metrics.gauge_set("policy.ideal_seconds", audit.ideal_seconds);
     metrics.gauge_set("policy.chosen_seconds", audit.chosen_seconds);
   }
+  if (!report.memory.empty()) {
+    metrics.gauge_set("mem.arena.peak_bytes",
+                      static_cast<double>(report.arena_peak_bytes));
+    metrics.gauge_set("mem.device_pool.peak_bytes",
+                      static_cast<double>(report.device_pool_peak_bytes));
+    metrics.gauge_set("mem.pinned_pool.peak_bytes",
+                      static_cast<double>(report.pinned_pool_peak_bytes));
+    std::int64_t device_allocs = 0, pinned_allocs = 0;
+    for (const WorkerMemory& m : report.memory) {
+      device_allocs += m.device_pool_charged_allocs;
+      pinned_allocs += m.pinned_pool_charged_allocs;
+    }
+    metrics.gauge_set("mem.device_pool.charged_allocs",
+                      static_cast<double>(device_allocs));
+    metrics.gauge_set("mem.pinned_pool.charged_allocs",
+                      static_cast<double>(pinned_allocs));
+  }
   const FaultProfile& faults = report.faults;
   if (faults.events > 0) {
     metrics.gauge_set("profile.fault.events",
@@ -342,6 +370,7 @@ ProfileReport build_profile_report(const ProfileReportInputs& inputs) {
   if (inputs.audit_policies) {
     build_audit(report.audit, inputs.executor_options);
   }
+  build_memory(report, inputs.memory);
   build_faults(report.faults);
   if (enabled()) publish_gauges(report);
   return report;
@@ -382,6 +411,23 @@ void ProfileReport::write_json(std::ostream& os) const {
      << ", \"seconds\": " << full_double(fu_seconds)
      << ", \"assembly_seconds\": " << full_double(assembly_seconds)
      << ", \"makespan_seconds\": " << full_double(makespan_seconds) << "}";
+
+  os << ",\n  \"memory\": {\"arena_peak_bytes\": " << arena_peak_bytes
+     << ", \"device_pool_peak_bytes\": " << device_pool_peak_bytes
+     << ", \"pinned_pool_peak_bytes\": " << pinned_pool_peak_bytes
+     << ", \"workers\": [";
+  first = true;
+  for (const WorkerMemory& m : memory) {
+    os << (first ? "\n" : ",\n") << "    {\"worker\": " << m.worker
+       << ", \"arena_peak_bytes\": " << m.arena_peak_bytes
+       << ", \"device_pool_peak_bytes\": " << m.device_pool_peak_bytes
+       << ", \"pinned_pool_peak_bytes\": " << m.pinned_pool_peak_bytes
+       << ", \"device_pool_charged_allocs\": " << m.device_pool_charged_allocs
+       << ", \"pinned_pool_charged_allocs\": " << m.pinned_pool_charged_allocs
+       << "}";
+    first = false;
+  }
+  os << (memory.empty() ? "]}" : "\n  ]}");
 
   os << ",\n  \"levels\": [";
   first = true;
@@ -484,6 +530,18 @@ void ProfileReport::print(std::ostream& os) const {
     os << "F-U time by (m, k), bin " << mk_seconds.bin_size()
        << " (x = k, y = m):\n";
     mk_seconds.print_ascii(os);
+  }
+  if (!memory.empty()) {
+    Table table("Profile: memory high water",
+                {"worker", "arena_B", "dev_pool_B", "pinned_B", "dev_allocs",
+                 "pin_allocs"});
+    for (const WorkerMemory& m : memory) {
+      table.add_row({static_cast<index_t>(m.worker), m.arena_peak_bytes,
+                     m.device_pool_peak_bytes, m.pinned_pool_peak_bytes,
+                     m.device_pool_charged_allocs,
+                     m.pinned_pool_charged_allocs});
+    }
+    table.print(os);
   }
   {
     Table table("Profile: policy audit vs P_IH", {"quantity", "value"});

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "multifrontal/factorization.hpp"
 #include "multifrontal/trace.hpp"
 #include "policy/executors.hpp"
 #include "sched/thread_pool.hpp"
@@ -129,6 +130,16 @@ struct ProfileReport {
   Grid2D mk_seconds{1, 1, 1};
   index_t mk_binned_calls = 0;  ///< total samples across all bins
 
+  /// Per-worker memory high-water marks of the numeric phase (the serial
+  /// driver reports one entry; empty when the run predates the drivers'
+  /// memory reporting). Memory joins the attribution story: arena peaks
+  /// bound host RAM, pool peaks bound simulated device RAM and pinned
+  /// staging, and charged-alloc counts expose the §V-A2 pooling win.
+  std::vector<WorkerMemory> memory;
+  std::int64_t arena_peak_bytes = 0;        ///< max over workers
+  std::int64_t device_pool_peak_bytes = 0;  ///< sum over per-worker devices
+  std::int64_t pinned_pool_peak_bytes = 0;  ///< sum over per-worker devices
+
   PolicyAudit audit;
   FaultProfile faults;
 
@@ -150,6 +161,8 @@ struct ProfileReportInputs {
   /// Executor configuration the run used — the audit's dry-run oracle must
   /// price calls under the same options to make regret meaningful.
   ExecutorOptions executor_options;
+  /// Per-worker memory high-water marks (FactorizeResult::memory).
+  std::span<const WorkerMemory> memory;
   /// Bin edge length for the (m, k) grid (paper: 500 for Fig. 2, 250 for
   /// Fig. 14).
   index_t mk_bin = 250;

@@ -1,0 +1,211 @@
+// Critical-path causal analysis and what-if replay over a recorded schedule
+// (obs/schedule_record.hpp) — the analysis half of the flight recorder.
+//
+// Three engines, all operating purely on the record (no numeric rerun):
+//
+//   1. replay_exact(record, scales): refolds every recorded primitive clock
+//      and stream operation in recorded per-lane order, with cross-task join
+//      targets RECOMPUTED from the children's replayed ready times and every
+//      absolute operand translated through an incrementally built
+//      live-time -> replay-time dictionary. With identity scales the
+//      arithmetic is operation-for-operation the live simulator's, so the
+//      replayed makespan equals the recorded one BITWISE. With per-class
+//      duration scales it re-simulates the same DAG under a faster/slower
+//      GPU, PCIe link, or host — overlap effects (a faster host exposing a
+//      previously hidden transfer) fall out of the stream refold instead of
+//      being approximated.
+//
+//   2. analyze_critical_path(record): walks the makespan lane backwards,
+//      attributing every recorded second to a cost class (host compute,
+//      assembly, GPU kernels, transfers, allocation) and jumping through
+//      binding dependency joins onto the producing lane. The attribution
+//      telescopes: the per-class seconds sum to the makespan exactly. Also
+//      computes the task spine of the critical path, per-policy attribution
+//      of on-path executor time, and CPM slack per work task.
+//
+//   3. whatif_replay(record, knobs[, timer]): counterfactual prediction.
+//      Pure rate knobs route to the exact engine; worker-count, policy, and
+//      batching knobs route to a greedy critical-path list scheduler over
+//      the recorded task DAG (durations re-folded from each task's own
+//      events; executor windows optionally repriced through a PolicyTimer).
+//      The scheduling engine is approximate by design — the live pool
+//      steals work in real time — and is validated against live reruns by
+//      bench/bench_whatif_accuracy.cpp (<= 2% makespan error gate).
+//
+// Assumption shared by all engines: the recorder was attached to quiescent
+// devices (fresh streams), which the drivers guarantee by attaching before
+// executor prepare. Streams whose ready time predates the recording would
+// replay from zero instead.
+#pragma once
+
+#include <array>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/schedule_record.hpp"
+
+namespace mfgpu {
+class PolicyTimer;
+}
+
+namespace mfgpu::obs {
+
+/// Per-cost-class duration multipliers applied during exact replay. A value
+/// f scales the RESOURCE speed: durations of that class are divided by f
+/// (f = 2 -> twice as fast). Assembly is deliberately not scalable: the
+/// simulator's host assembly rate is a fixed constant, so a live rerun
+/// cannot scale it either and the accuracy bench compares like with like.
+struct RateScales {
+  double gpu = 1.0;       ///< GPU kernel durations and compute-stream stalls
+  double transfer = 1.0;  ///< copies, enqueue overheads, copy-stream stalls
+  double host = 1.0;      ///< host BLAS kernel durations
+  double alloc = 1.0;     ///< pool growth latencies (scaled with transfers)
+
+  bool identity() const {
+    return gpu == 1.0 && transfer == 1.0 && host == 1.0 && alloc == 1.0;
+  }
+  /// Duration multiplier (1 / speed factor) for one cost class.
+  double duration_factor(CostClass cls) const;
+};
+
+/// Outcome of one exact event replay.
+struct ReplayResult {
+  double makespan = 0.0;            ///< max replayed lane-final time
+  std::vector<double> lane_final;   ///< per lane
+  std::vector<double> update_ready; ///< per snode, replayed ready time
+  /// The live makespan re-folded from the recorded operands (independent of
+  /// the scales) — equals record.makespan when the record is consistent.
+  double live_makespan = 0.0;
+};
+
+/// Refold the recorded schedule under per-class rate scales. With identity
+/// scales the result reproduces the recorded makespan bitwise.
+ReplayResult replay_exact(const ScheduleRecord& record,
+                          const RateScales& scales = {});
+
+/// Counterfactual knobs for whatif_replay. Defaults leave everything as
+/// recorded (the null counterfactual).
+struct WhatIfKnobs {
+  /// 0 = keep the recorded lanes; N > 0 = re-schedule the recorded task DAG
+  /// onto N equivalent workers (greedy critical-path list scheduling).
+  int num_workers = 0;
+  double gpu_scale = 1.0;
+  double transfer_scale = 1.0;
+  double host_scale = 1.0;
+  /// -1 = keep each member's recorded policy; 1..4 = reprice every
+  /// factor-update through that policy (needs a PolicyTimer).
+  int force_policy = -1;
+  /// -1 = keep; 0 = disable batching: reprice each recorded batch as
+  /// per-member single dispatches (needs a PolicyTimer).
+  int batching = -1;
+
+  bool identity() const;
+  /// True when only rate scales differ from the recording — the exact
+  /// event-replay engine applies.
+  bool rates_only() const;
+  RateScales rates() const;
+  std::string label() const;
+};
+
+struct WhatIfResult {
+  WhatIfKnobs knobs;
+  double makespan = 0.0;       ///< predicted virtual makespan
+  double recorded_makespan = 0.0;
+  double speedup = 1.0;        ///< recorded / predicted
+  bool exact_engine = false;   ///< event replay (true) or list scheduler
+};
+
+/// Predict the makespan of the recorded run under counterfactual knobs,
+/// without re-running any numerics. `timer` is required for policy and
+/// batching knobs (used to reprice executor windows) and ignored otherwise.
+WhatIfResult whatif_replay(const ScheduleRecord& record,
+                           const WhatIfKnobs& knobs,
+                           PolicyTimer* timer = nullptr);
+
+/// One step of the critical path's task spine.
+struct CriticalStep {
+  int lane = -1;
+  int task = -1;            ///< index into record.lanes[lane].tasks
+  TaskKind kind = TaskKind::Front;
+  index_t id = -1;          ///< snode (Front) or batch index (Batch)
+  double seconds = 0.0;     ///< on-path seconds attributed inside this task
+};
+
+/// Slack of one work task (CPM latest-finish minus actual finish: how much
+/// later the task could have completed without growing the makespan).
+struct TaskSlack {
+  int lane = -1;
+  int task = -1;
+  TaskKind kind = TaskKind::Front;
+  index_t id = -1;
+  double start = 0.0, end = 0.0;
+  double slack = 0.0;
+};
+
+struct CriticalPathReport {
+  double makespan = 0.0;
+  /// Per-cost-class seconds on the critical path; sums to makespan exactly
+  /// (plus `idle_seconds` for any pre-recording lead-in, normally zero).
+  std::array<double, kNumCostClasses> class_seconds{};
+  /// Seconds of on-path executor-window time per policy index (0 = outside
+  /// any executor window or unknown).
+  std::array<double, 8> policy_seconds{};
+  double idle_seconds = 0.0;
+  /// Task spine, in execution order (leaf-most first). Tasks contributing
+  /// zero seconds are omitted.
+  std::vector<CriticalStep> spine;
+  /// All work tasks with their CPM slack, ascending slack order.
+  std::vector<TaskSlack> slack;
+
+  double class_fraction(CostClass cls) const {
+    return makespan > 0.0
+               ? class_seconds[static_cast<std::size_t>(cls)] / makespan
+               : 0.0;
+  }
+  /// Human-readable multi-section report.
+  void write_text(std::ostream& os) const;
+};
+
+CriticalPathReport analyze_critical_path(const ScheduleRecord& record);
+
+/// Compact critical-path digest — the per-request schedule summary the
+/// serving layer attaches to SolveResult (serve/service.hpp) without
+/// shipping the full spine/slack vectors.
+struct ScheduleSummary {
+  bool valid = false;  ///< false when no schedule was recorded
+  double makespan = 0.0;
+  std::array<double, kNumCostClasses> class_seconds{};
+  double idle_seconds = 0.0;
+  int lanes = 0;
+  int spine_tasks = 0;
+  int zero_slack_tasks = 0;
+
+  double class_fraction(CostClass cls) const {
+    return makespan > 0.0
+               ? class_seconds[static_cast<std::size_t>(cls)] / makespan
+               : 0.0;
+  }
+};
+
+ScheduleSummary summarize(const CriticalPathReport& report, int lanes);
+
+/// Chrome-trace (chrome://tracing / Perfetto JSON) export of the recorded
+/// task schedule on the VIRTUAL clock: one trace thread per lane, one "X"
+/// complete event per task (µs = simulated seconds × 1e6). When `report` is
+/// non-null the critical path is overlaid: spine tasks carry cat
+/// "critical", a color override, and their spine index/on-path seconds in
+/// args, and numbered "s"/"f" flow arrows stitch consecutive spine steps
+/// across lane hand-offs.
+void write_schedule_chrome_trace(const ScheduleRecord& record,
+                                 const CriticalPathReport* report,
+                                 std::ostream& os);
+
+/// Emit sched.cp.* gauges for `report` into the global metrics registry
+/// (no-op when obs recording is off).
+void emit_critical_path_metrics(const CriticalPathReport& report);
+
+/// Emit whatif.* gauges for one counterfactual prediction.
+void emit_whatif_metrics(const WhatIfResult& result);
+
+}  // namespace mfgpu::obs

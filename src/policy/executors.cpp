@@ -6,6 +6,7 @@
 
 #include "dense/blas.hpp"
 #include "dense/potrf.hpp"
+#include "gpusim/cost_class.hpp"
 #include "obs/decision_log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/request_context.hpp"
@@ -578,7 +579,10 @@ FuOutcome PolicyExecutor::run_p4(const FrontBlocks& f, FactorContext& ctx) {
                                                     dev.d2h_stream(), clock);
     out.record.t_copy += dev.copy_from_device_async(panel_d, f.k, 0, f.l2,
                                                     dev.d2h_stream(), clock);
-    clock.advance_to(prod_done.time);
+    {
+      CostClassScope stall_cls(CostClass::Transfer);
+      clock.advance_to(prod_done.time);
+    }
     out.record.t_syrk += host_apply_update(
         host,
         MatrixView<const double>(prod.data(), prod.rows(), prod.cols(),

@@ -33,6 +33,7 @@ struct Request {
   int retries_left = 0;
   int attempts = 0;
   bool collect_trace = false;
+  bool explain_schedule = false;
   /// Causal identity carried through sessions, Solver phases, executors,
   /// and fault injection (see obs/request_context.hpp).
   obs::RequestContext ctx;
@@ -379,6 +380,19 @@ void SolverService::Impl::process_batch(std::vector<Request>& batch,
 
     const double sim_share = (analyze_sim + factor_sim + solve_sim) /
                              static_cast<double>(k);
+    // Critical-path digest of the factorization behind this batch's factor,
+    // computed once and shared by every requester that asked for it.
+    obs::ScheduleSummary schedule_summary;
+    bool want_schedule = false;
+    for (const Request& request : batch) {
+      want_schedule = want_schedule || request.explain_schedule;
+    }
+    if (want_schedule && session.solver != nullptr &&
+        session.solver->schedule_recorded()) {
+      const obs::ScheduleRecord& schedule = session.solver->schedule();
+      schedule_summary = obs::summarize(obs::analyze_critical_path(schedule),
+                                        static_cast<int>(schedule.lanes.size()));
+    }
     const Clock::time_point now = Clock::now();
     const std::int64_t now_ns = trace.now_ns();
     for (const Request& request : batch) {
@@ -403,6 +417,7 @@ void SolverService::Impl::process_batch(std::vector<Request>& batch,
       result.batch_size = static_cast<int>(k);
       result.simulated_seconds = sim_share;
       result.attempts = request.attempts;
+      if (request.explain_schedule) result.schedule = schedule_summary;
       if (request.collect_trace) {
         result.trace.reserve(dumped.size());
         for (const obs::SpanEvent& ev : dumped) {
@@ -553,6 +568,7 @@ std::future<SolveResult> SolverService::submit(
   request.enqueued = Clock::now();
   request.retries_left = std::max(0, options.max_retries);
   request.collect_trace = options.collect_trace;
+  request.explain_schedule = options.explain_schedule;
   if (options.deadline_seconds > 0.0) {
     request.has_deadline = true;
     request.deadline =

@@ -107,6 +107,13 @@ struct RequestOptions {
   /// Requires obs recording to be on (an ObsScope / MFGPU_TRACE); the
   /// vector stays empty otherwise.
   bool collect_trace = false;
+  /// Attach a critical-path summary of the factorization schedule that
+  /// produced this request's factor (obs::ScheduleSummary on
+  /// SolveResult::schedule). Requires ServeOptions::solver.record_schedule
+  /// — sessions record schedules only when the service opted in; without
+  /// it (or when the factor predates the recording), the summary comes
+  /// back with valid == false.
+  bool explain_schedule = false;
   /// Per-request override of ServeOptions::solver.batching (aggregated
   /// small-front execution; multifrontal/batched.hpp). std::nullopt = use
   /// the service default. Requests only coalesce into one solve pass when
@@ -145,6 +152,12 @@ struct SolveResult {
   /// including rejected ones) — the key to find this request's spans in a
   /// Chrome-trace export.
   std::uint64_t request_id = 0;
+  /// Critical-path summary of the factorization that produced the factor
+  /// this request used (RequestOptions::explain_schedule): makespan and its
+  /// per-cost-class attribution over the virtual schedule. valid == false
+  /// unless the service records schedules (ServeOptions::solver
+  /// .record_schedule) and the executing session factored with recording.
+  obs::ScheduleSummary schedule;
   /// Per-request trace dump (RequestOptions::collect_trace): the executing
   /// session thread's spans for the batch that finished this request,
   /// parent-linked via span_id/parent_span. Empty unless requested AND obs

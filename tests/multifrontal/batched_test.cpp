@@ -11,6 +11,9 @@
 
 #include "multifrontal/factorization.hpp"
 #include "multifrontal/parallel.hpp"
+#include "obs/decision_log.hpp"
+#include "obs/export.hpp"
+#include "obs/request_context.hpp"
 #include "ordering/minimum_degree.hpp"
 #include "policy/executors.hpp"
 #include "sparse/generators.hpp"
@@ -253,6 +256,46 @@ TEST_P(ParallelFactorizeBatched, BitwiseEqualToPerFrontSerialAtAnyWidth) {
 
 INSTANTIATE_TEST_SUITE_P(Threads, ParallelFactorizeBatched,
                          ::testing::Values(1, 2, 4, 8));
+
+TEST(BatchedFactorizeTest, BatchedDispatchesStampTheServingRequestId) {
+  obs::DecisionLog::global().clear();
+  obs::enable();
+  obs::RequestContext request;
+  request.request_id = obs::next_request_id();
+
+  const Analysis analysis = elasticity_analysis();
+  DispatchExecutor dispatch("p1", [](const FuCall&) { return Policy::P1; });
+  Device device;
+  FactorContext ctx;
+  ctx.device = &device;
+  FactorizeOptions options;
+  options.batching = parse_batching("on,min=2");
+  FactorizeResult result;
+  {
+    obs::RequestScope scope(&request);
+    result = factorize(analysis, dispatch, ctx, options);
+  }
+  obs::disable();
+
+  // Every trace record — the aggregated execute_batch members included —
+  // carries the request id the thread was serving.
+  ASSERT_GT(batched_calls(result.trace), 0) << "plan never batched";
+  for (const FuCallRecord& r : result.trace.calls) {
+    EXPECT_EQ(r.request_id, request.request_id)
+        << "snode " << r.snode << " batch " << r.batch;
+  }
+
+  // Same for the decision log's batched dispatch decisions.
+  int batched_decisions = 0;
+  for (const obs::PolicyDecision& d : obs::DecisionLog::global().decisions()) {
+    if (d.batch > 1) {
+      ++batched_decisions;
+      EXPECT_EQ(d.request_id, request.request_id);
+    }
+  }
+  EXPECT_GT(batched_decisions, 0);
+  obs::DecisionLog::global().clear();
+}
 
 }  // namespace
 }  // namespace mfgpu

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/request_context.hpp"
 
 namespace mfgpu {
 namespace {
@@ -84,7 +85,7 @@ TEST(TraceTest, CsvRoundTripsDoublesAtFullPrecision) {
   for (std::string field; std::getline(row_stream, field, ',');) {
     fields.push_back(field);
   }
-  ASSERT_EQ(fields.size(), 13u);
+  ASSERT_EQ(fields.size(), 14u);
   EXPECT_EQ(fields[4], "1");  // batch width (per-front call)
   EXPECT_DOUBLE_EQ(std::stod(fields[5]), r.t_potrf);
   EXPECT_DOUBLE_EQ(std::stod(fields[6]), r.t_trsm);
@@ -93,6 +94,26 @@ TEST(TraceTest, CsvRoundTripsDoublesAtFullPrecision) {
   EXPECT_DOUBLE_EQ(std::stod(fields[9]), r.t_total);
   EXPECT_EQ(fields[11], "0");  // faults
   EXPECT_EQ(fields[12], "0");  // fell_back
+  EXPECT_EQ(fields[13], "0");  // request_id (outside the serving layer)
+}
+
+TEST(TraceTest, RecordCallStampsBoundRequestId) {
+  obs::RequestContext ctx;
+  ctx.request_id = obs::next_request_id();
+  FactorizationTrace trace;
+  {
+    obs::RequestScope scope(&ctx);
+    trace.record_call(FuCallRecord{});
+  }
+  trace.record_call(FuCallRecord{});  // unbound thread -> stays 0
+  ASSERT_EQ(trace.calls.size(), 2u);
+  EXPECT_EQ(trace.calls[0].request_id, ctx.request_id);
+  EXPECT_EQ(trace.calls[1].request_id, 0u);
+
+  std::ostringstream os;
+  trace.write_csv(os);
+  EXPECT_NE(os.str().find("," + std::to_string(ctx.request_id) + "\n"),
+            std::string::npos);
 }
 
 TEST(TraceTest, RecordCallAccumulatesAndPublishesMetrics) {

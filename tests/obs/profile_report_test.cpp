@@ -162,6 +162,71 @@ TEST(ProfileReportTest, BaselineHybridSerialRegretNonNegative) {
   EXPECT_EQ(report.audit.predicted_calls, 0);
 }
 
+TEST(ProfileReportTest, MemoryHighWaterPerWorkerAndAggregates) {
+  // Large enough that the ideal hybrid sends at least one front through a
+  // GPU policy, charging the simulated device pool.
+  const GridProblem p = make_laplacian_3d(12, 12, 10);
+  SolverOptions options;
+  options.mode = SolverMode::IdealHybrid;
+  options.workers = {{.has_gpu = true}, {.has_gpu = true}};
+
+  obs::ObsScope scope(recording_config());
+  const Solver solver(p.matrix, options);
+  const obs::ProfileReport report = solver.profile_report();
+
+  // One entry per pool worker, each with a real arena peak; device-pool
+  // high waters are per worker (zero for workers whose fronts all stayed
+  // on the host) but must be charged somewhere on this problem.
+  ASSERT_EQ(report.memory.size(), 2u);
+  std::int64_t arena_max = 0;
+  std::int64_t device_sum = 0;
+  std::int64_t pinned_sum = 0;
+  std::int64_t charged = 0;
+  for (const auto& m : report.memory) {
+    EXPECT_GT(m.arena_peak_bytes, 0) << "worker " << m.worker;
+    EXPECT_GE(m.device_pool_peak_bytes, 0) << "worker " << m.worker;
+    arena_max = std::max(arena_max, m.arena_peak_bytes);
+    device_sum += m.device_pool_peak_bytes;
+    pinned_sum += m.pinned_pool_peak_bytes;
+    charged += m.device_pool_charged_allocs;
+  }
+  EXPECT_EQ(report.arena_peak_bytes, arena_max);
+  EXPECT_EQ(report.device_pool_peak_bytes, device_sum);
+  EXPECT_EQ(report.pinned_pool_peak_bytes, pinned_sum);
+  EXPECT_GT(report.device_pool_peak_bytes, 0);
+  EXPECT_GT(charged, 0);
+
+  // The high waters were published as gauges while recording was active.
+  const auto snapshot = obs::MetricsRegistry::global().snapshot();
+  EXPECT_NE(snapshot.gauges.find("mem.arena.peak_bytes"),
+            snapshot.gauges.end());
+  EXPECT_NE(snapshot.gauges.find("mem.device_pool.peak_bytes"),
+            snapshot.gauges.end());
+
+  // Both export formats carry the section.
+  std::ostringstream json;
+  report.write_json(json);
+  EXPECT_NE(json.str().find("\"memory\""), std::string::npos);
+  std::ostringstream text;
+  report.print(text);
+  EXPECT_NE(text.str().find("memory high water"), std::string::npos);
+}
+
+TEST(ProfileReportTest, MemoryHighWaterSerialSingleEntry) {
+  const GridProblem p = make_laplacian_3d(6, 5, 4);
+  SolverOptions options;
+  options.mode = SolverMode::BaselineHybrid;
+  const Solver solver(p.matrix, options);  // serial driver, no ObsScope
+  const obs::ProfileReport report = solver.profile_report();
+  ASSERT_EQ(report.memory.size(), 1u);
+  EXPECT_EQ(report.memory[0].worker, 0);
+  EXPECT_GT(report.memory[0].arena_peak_bytes, 0);
+  // Fronts on this small grid all clear the baseline's GPU threshold from
+  // below, so the device pool is legitimately uncharged.
+  EXPECT_GE(report.memory[0].device_pool_peak_bytes, 0);
+  EXPECT_EQ(report.arena_peak_bytes, report.memory[0].arena_peak_bytes);
+}
+
 TEST(ProfileReportTest, WithoutRecordingTraceSectionsStillFill) {
   const GridProblem p = make_laplacian_3d(5, 4, 4);
   SolverOptions options;
