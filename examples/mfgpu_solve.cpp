@@ -7,6 +7,7 @@
 //               [--repeat N]
 //               [--threads N] [--workers SPEC] [--nondeterministic]
 //               [--batch off|on|auto[,max_k=..,max_m=..,min=..,max=..,ops=..]]
+//               [--cluster off|N[,fanboth|levelsync][,norefine][,nogpu][,LINK]]
 //               [--save-model FILE] [--load-model FILE]
 //               [--out FILE.mtx]
 //               [--trace FILE] [--metrics FILE] [--report FILE]
@@ -27,6 +28,12 @@
 // fronts). Precedence: --batch= wins over the MFGPU_BATCH environment
 // variable, which wins over the default (off). The factor is bitwise
 // identical with batching on or off.
+//
+// --cluster runs the numeric phase on the simulated distributed cluster
+// (cluster/cluster.hpp): N nodes exchanging update-matrix messages over
+// the named link ("shared" | "infiniband" | "gigabit" | "<bw>,<lat>").
+// Takes precedence over --threads/--workers; the factor stays bitwise
+// identical to the serial driver.
 //
 // Observability: --trace and --metrics take the same values as the
 // MFGPU_TRACE / MFGPU_METRICS environment variables and WIN over them when
@@ -68,6 +75,7 @@ namespace {
                "[--threads N] [--workers SPEC] "
                "[--nondeterministic] "
                "[--batch off|on|auto[,max_k=..,max_m=..,min=..,max=..,ops=..]] "
+               "[--cluster off|N[,fanboth|levelsync][,norefine][,nogpu][,LINK]] "
                "[--save-model FILE] "
                "[--load-model FILE] [--out FILE.mtx] [--trace FILE] "
                "[--metrics FILE] [--report FILE]\n"
@@ -93,6 +101,7 @@ struct CliOptions {
   std::string workers;  // e.g. "cgg": CPU + two GPU workers
   bool deterministic = true;
   std::string batch;  // --batch= spec; "" = flag absent (MFGPU_BATCH applies)
+  std::string cluster;  // --cluster= spec; "" = flag absent (cluster off)
   std::string save_model;
   std::string load_model;
   std::string out_path;
@@ -141,6 +150,15 @@ CliOptions parse(int argc, char** argv) {
           arg == "--batch" ? next("--batch") : arg.substr(std::strlen("--batch="));
       if (cli.batch.empty()) {
         std::fprintf(stderr, "--batch wants a spec (off|on|auto[,key=val])\n");
+        usage(argv[0]);
+      }
+    } else if (arg == "--cluster" || arg.rfind("--cluster=", 0) == 0) {
+      cli.cluster = arg == "--cluster"
+                        ? next("--cluster")
+                        : arg.substr(std::strlen("--cluster="));
+      if (cli.cluster.empty()) {
+        std::fprintf(stderr,
+                     "--cluster wants a spec (off|N[,engine][,link])\n");
         usage(argv[0]);
       }
     } else if (arg == "--save-model") {
@@ -267,6 +285,13 @@ int main(int argc, char** argv) {
       }
       options.workers.push_back(WorkerSpec{.has_gpu = (c == 'g')});
     }
+    if (!cli.cluster.empty()) {
+      options.cluster = parse_cluster(cli.cluster);
+      if (options.cluster.enabled()) {
+        std::printf("cluster: %s\n",
+                    cluster_description(options.cluster).c_str());
+      }
+    }
 
     // Phase-split API: the symbolic handle is built once and could be
     // refactored with new values (see examples/refactor_loop.cpp).
@@ -295,6 +320,16 @@ int main(int argc, char** argv) {
                   static_cast<long long>(
                       breakdown.calls[static_cast<std::size_t>(p)]),
                   breakdown.time[static_cast<std::size_t>(p)]);
+    }
+    if (solver.cluster_stats().has_value()) {
+      const ClusterStats& cs = *solver.cluster_stats();
+      std::printf(
+          "  cluster: %d nodes (%s), %lld messages, %.2f MB on wire, "
+          "placement %.4g -> %.4g (%d moves)\n",
+          cs.num_nodes, cluster_engine_name(cs.engine),
+          static_cast<long long>(cs.messages), cs.bytes_on_wire / 1e6,
+          cs.placement_seed_cost, cs.placement_refined_cost,
+          cs.placement_moves);
     }
 
     // Persist / reuse the trained model.

@@ -1,0 +1,645 @@
+#include "cluster/cluster.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+#include "gpusim/cost_class.hpp"
+#include "gpusim/fault_injector.hpp"
+#include "multifrontal/frontal.hpp"
+#include "multifrontal/stack_arena.hpp"
+#include "obs/obs.hpp"
+#include "obs/schedule_record.hpp"
+#include "sched/task_graph.hpp"
+
+namespace mfgpu {
+
+const char* cluster_engine_name(ClusterEngine engine) noexcept {
+  switch (engine) {
+    case ClusterEngine::FanBoth: return "fan-both";
+    case ClusterEngine::LevelSync: return "level-sync";
+  }
+  return "?";
+}
+
+ClusterOptions parse_cluster(const std::string& spec) {
+  ClusterOptions options;
+  if (spec == "off" || spec.empty()) {
+    options.num_nodes = 0;
+    return options;
+  }
+  std::vector<std::string> tokens;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    const std::size_t comma = spec.find(',', begin);
+    const std::size_t end = (comma == std::string::npos) ? spec.size() : comma;
+    tokens.push_back(spec.substr(begin, end - begin));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  char* parse_end = nullptr;
+  const double nodes = std::strtod(tokens.front().c_str(), &parse_end);
+  if (parse_end == tokens.front().c_str() || *parse_end != '\0' ||
+      nodes < 1.0 || nodes != static_cast<double>(static_cast<int>(nodes))) {
+    throw InvalidArgumentError("parse_cluster: bad node count in '" + spec +
+                               "'");
+  }
+  options.num_nodes = static_cast<int>(nodes);
+  std::string link_spec;
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const std::string& token = tokens[i];
+    if (token == "fanboth") {
+      options.engine = ClusterEngine::FanBoth;
+    } else if (token == "levelsync") {
+      options.engine = ClusterEngine::LevelSync;
+    } else if (token == "norefine") {
+      options.refine_placement = false;
+    } else if (token == "nogpu") {
+      options.nodes_have_gpu = false;
+    } else {
+      if (!link_spec.empty()) link_spec += ',';
+      link_spec += token;
+    }
+  }
+  if (!link_spec.empty()) options.link = parse_link(link_spec);
+  return options;
+}
+
+std::string cluster_description(const ClusterOptions& options) {
+  if (!options.enabled()) return "off";
+  return std::to_string(options.num_nodes) + " nodes, " +
+         cluster_engine_name(options.engine) + ", " +
+         link_description(options.link);
+}
+
+namespace {
+
+/// All execution state owned by one simulated node, plus its two
+/// interconnect lanes: send_free (egress — when the wire out of this node
+/// is next idle) and recv_free (ingress — when this node can next absorb a
+/// message). The lanes are virtual times, not clocks: they let transfers
+/// overlap compute on both endpoints while messages still serialize.
+struct NodeState {
+  FactorContext ctx;
+  std::unique_ptr<Device> device;
+  std::unique_ptr<FuExecutor> executor;
+  std::unique_ptr<StackArena> front_arena;
+  double assembly_time = 0.0;
+  double send_free = 0.0;
+  double recv_free = 0.0;
+  bool dead = false;
+  index_t executed = 0;
+  index_t death_after = -1;  ///< dies after this many executed tasks; -1 = never
+};
+
+/// Salt mixed into the death draws so they never collide with the device
+/// fault injector's per-front scopes.
+constexpr std::uint64_t kDeathScope = 0x636c757374ULL;  // "clust"
+
+}  // namespace
+
+FactorizeResult factorize_cluster(const Analysis& analysis,
+                                  const ClusterFactorizeOptions& options,
+                                  const WorkerExecutorFactory& make_executor,
+                                  ClusterStats* stats_out) {
+  const SymbolicFactor& sym = analysis.symbolic;
+  const SparseSpd& a = analysis.permuted;
+  const index_t nsup = sym.num_supernodes();
+  const ClusterOptions& cluster = options.cluster;
+  MFGPU_CHECK(cluster.num_nodes > 0,
+              "factorize_cluster: need at least one node");
+  const int num_nodes = cluster.num_nodes;
+  const InterconnectModel& link = cluster.link;
+  const bool wired = link.enabled();
+
+  obs::ScopedSpan factorize_span("cluster", "factorize_cluster");
+  factorize_span.set_arg(0, "supernodes", nsup);
+  factorize_span.set_arg(1, "nodes", num_nodes);
+
+  ClusterStats stats;
+  stats.num_nodes = num_nodes;
+  stats.engine = cluster.engine;
+
+  FactorizeResult result;
+  result.factor.numeric = true;
+  if (options.numeric.store_factor) {
+    if (options.numeric.precision == FactorPrecision::Float32) {
+      result.factor.panels32.resize(static_cast<std::size_t>(nsup));
+    } else {
+      result.factor.panels.resize(static_cast<std::size_t>(nsup));
+    }
+  }
+  if (nsup == 0) {
+    if (stats_out != nullptr) *stats_out = stats;
+    return result;
+  }
+
+  const TaskGraph graph = build_task_graph(sym, a);
+
+  // Critical-path priority (same weight as factorize_parallel) and per-task
+  // work for placement bookkeeping and death failover.
+  std::vector<double> task_work(static_cast<std::size_t>(nsup), 0.0);
+  std::vector<double> bottom(static_cast<std::size_t>(nsup), 0.0);
+  for (index_t t = nsup - 1; t >= 0; --t) {
+    task_work[static_cast<std::size_t>(t)] =
+        fu_total_ops(graph.ms[static_cast<std::size_t>(t)],
+                     graph.ks[static_cast<std::size_t>(t)]) +
+        graph.assembly_entries[static_cast<std::size_t>(t)];
+    const index_t p = graph.parent[static_cast<std::size_t>(t)];
+    bottom[static_cast<std::size_t>(t)] =
+        task_work[static_cast<std::size_t>(t)] +
+        ((p != -1) ? bottom[static_cast<std::size_t>(p)] : 0.0);
+  }
+
+  PlacementOptions placement_options;
+  placement_options.num_nodes = num_nodes;
+  placement_options.link = link;
+  placement_options.refine = cluster.refine_placement;
+  PlacementResult placement = place_subtrees(graph, placement_options);
+  std::vector<int> node_of = std::move(placement.node_of);
+  stats.placement_seed_cost = placement.seed_cost;
+  stats.placement_refined_cost = placement.refined_cost;
+  stats.placement_moves = placement.moves;
+
+  index_t max_m = 0, max_k = 0, max_order = 0;
+  for (const auto& sn : sym.supernodes()) {
+    max_m = std::max(max_m, sn.num_update_rows());
+    max_k = std::max(max_k, sn.width());
+    max_order = std::max(max_order, sn.front_order());
+  }
+
+  obs::ScheduleRecorder* rec = options.recorder;
+  if (rec != nullptr) {
+    rec->start(num_nodes, nsup, graph.parent, /*parallel=*/true,
+               /*batched=*/false);
+  }
+
+  std::vector<NodeState> nodes(static_cast<std::size_t>(num_nodes));
+  for (int n = 0; n < num_nodes; ++n) {
+    NodeState& node = nodes[static_cast<std::size_t>(n)];
+    const WorkerSpec spec{cluster.nodes_have_gpu};
+    if (spec.has_gpu) {
+      Device::Options device_options = options.device;
+      device_options.numeric = true;
+      node.device = std::make_unique<Device>(device_options);
+      node.ctx.device = node.device.get();
+    }
+    node.executor = make_executor
+                        ? make_executor(spec, n)
+                        : default_worker_executor(spec, options.executor);
+    MFGPU_CHECK(node.executor != nullptr,
+                "factorize_cluster: executor factory returned null");
+    node.front_arena = std::make_unique<StackArena>(max_order * max_order);
+    if (rec != nullptr) {
+      rec->attach(n, node.ctx.host_clock, spec.has_gpu);
+      rec->begin_task(n, obs::TaskKind::Prologue, -1, node.ctx.host_clock);
+    }
+    node.executor->prepare(max_m, max_k, node.ctx);
+    if (rec != nullptr) rec->end_task(n, node.ctx.host_clock);
+  }
+
+  // Remaining assigned work per node (death failover picks the least
+  // loaded survivor) and the deterministic death draws: whether node n dies
+  // and after how many of its assigned tasks are pure functions of
+  // (death_seed, n) — independent of execution order.
+  std::vector<double> remaining(static_cast<std::size_t>(num_nodes), 0.0);
+  std::vector<index_t> assigned(static_cast<std::size_t>(num_nodes), 0);
+  for (index_t t = 0; t < nsup; ++t) {
+    const std::size_t n = static_cast<std::size_t>(node_of[static_cast<std::size_t>(t)]);
+    remaining[n] += task_work[static_cast<std::size_t>(t)];
+    ++assigned[n];
+  }
+  if (cluster.node_death_rate > 0.0) {
+    for (int n = 0; n < num_nodes; ++n) {
+      if (assigned[static_cast<std::size_t>(n)] == 0) continue;
+      const std::uint64_t scope =
+          kDeathScope ^ static_cast<std::uint64_t>(n);
+      if (FaultInjector::uniform(cluster.death_seed, scope, 0) >=
+          cluster.node_death_rate) {
+        continue;
+      }
+      const double u = FaultInjector::uniform(cluster.death_seed, scope, 1);
+      const index_t span = assigned[static_cast<std::size_t>(n)];
+      nodes[static_cast<std::size_t>(n)].death_after = std::clamp<index_t>(
+          1 + static_cast<index_t>(u * static_cast<double>(span - 1)), 1,
+          span);
+    }
+  }
+  int alive = num_nodes;
+
+  // Cross-task hand-off: packed updates, their virtual ready times, and the
+  // node that produced each (for message routing — a dead node's published
+  // updates stay readable, i.e. checkpointed).
+  std::vector<std::vector<double>> updates(static_cast<std::size_t>(nsup));
+  std::vector<double> update_ready(static_cast<std::size_t>(nsup), 0.0);
+  std::vector<int> producer_node(static_cast<std::size_t>(nsup), -1);
+  std::vector<FuCallRecord> records(static_cast<std::size_t>(nsup));
+  std::vector<char> done(static_cast<std::size_t>(nsup), 0);
+
+  // A child's update is local when the link is shared memory, the producer
+  // is the consumer, or the update is empty; otherwise it is a message.
+  auto is_local = [&](index_t c, int dst) {
+    return !wired || producer_node[static_cast<std::size_t>(c)] == dst ||
+           graph.ms[static_cast<std::size_t>(c)] <= 0;
+  };
+
+  // When child c's update can be consumed on node dst. The message leaves
+  // the producer when both the update and the producer's egress lane are
+  // free, occupies the wire for wire_seconds, then lands once the
+  // consumer's ingress lane absorbed it (latency charged once per message).
+  // `commit` mutates the lanes and traffic stats; the non-mutating variant
+  // estimates start times during task selection.
+  auto wire_time = [&](index_t c, int dst, bool commit) {
+    if (is_local(c, dst)) return update_ready[static_cast<std::size_t>(c)];
+    NodeState& src = nodes[static_cast<std::size_t>(
+        producer_node[static_cast<std::size_t>(c)])];
+    NodeState& sink = nodes[static_cast<std::size_t>(dst)];
+    const index_t m = graph.ms[static_cast<std::size_t>(c)];
+    const double start =
+        std::max(update_ready[static_cast<std::size_t>(c)], src.send_free);
+    const double wire = link.wire_seconds(m);
+    const double landed = std::max(start + wire + link.latency, sink.recv_free);
+    if (commit) {
+      src.send_free = start + wire;
+      sink.recv_free = landed;
+      ++stats.messages;
+      stats.bytes_on_wire += InterconnectModel::update_bytes(m);
+      stats.send_busy_seconds += wire;
+    }
+    return landed;
+  };
+
+  // Assemble, execute, and publish one front on its node — the same numeric
+  // path as factorize_parallel's task body, so the factor is bitwise
+  // identical to the serial driver for any placement.
+  auto run_task = [&](index_t s, int n) {
+    NodeState& node = nodes[static_cast<std::size_t>(n)];
+    FactorContext& ctx = node.ctx;
+    const SupernodeInfo& sn = sym.supernodes()[static_cast<std::size_t>(s)];
+    obs::ScopedSpan task_span("cluster", "fu_task", &ctx.host_clock);
+    task_span.set_arg(0, "snode", s);
+    task_span.set_arg(1, "node", n);
+    if (rec != nullptr) {
+      rec->begin_task(n, obs::TaskKind::Front, s, ctx.host_clock);
+    }
+
+    const auto storage =
+        node.front_arena->push(sn.front_order() * sn.front_order());
+    struct ArenaPop {
+      StackArena* arena;
+      ~ArenaPop() { arena->pop(); }
+    } arena_guard{node.front_arena.get()};
+    FrontalMatrix front(sn, storage);
+
+    // Virtual start: local children are dependency joins (recomputable in
+    // what-if replay); remote children are message arrivals, recorded as
+    // Transfer-class waits so the critical-path analyzer attributes wire
+    // stalls and rate reruns scale them with the link.
+    const auto& kids = graph.children[static_cast<std::size_t>(s)];
+    for (index_t c : kids) {
+      if (is_local(c, n)) {
+        if (rec != nullptr) rec->note_join(n, c);
+        ctx.host_clock.advance_to(update_ready[static_cast<std::size_t>(c)]);
+      } else {
+        const double landed = wire_time(c, n, /*commit=*/true);
+        CostClassScope transfer(CostClass::Transfer);
+        ctx.host_clock.advance_to(landed);
+      }
+    }
+
+    double assembly_entries =
+        static_cast<double>(front.assemble_from_matrix(a, sn));
+    // Descending child index: the serial driver's extend-add order.
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      const SupernodeInfo& child =
+          sym.supernodes()[static_cast<std::size_t>(*it)];
+      assembly_entries += static_cast<double>(front.extend_add(
+          child.update_rows, updates[static_cast<std::size_t>(*it)]));
+      updates[static_cast<std::size_t>(*it)] = {};  // freed once consumed
+    }
+    HostExec host = ctx.host_exec();
+    {
+      const double t0 = ctx.host_clock.now();
+      host_assembly_cost(host, assembly_entries);
+      node.assembly_time += ctx.host_clock.now() - t0;
+    }
+
+    FrontBlocks blocks = make_shape_blocks(front.m(), front.k(), sn.first_col);
+    blocks.snode = s;
+    blocks.l1 = front.l1();
+    blocks.l2 = front.l2();
+    blocks.u = front.update();
+    if (rec != nullptr) rec->add_call(n, blocks.call());
+    FuOutcome outcome;
+    {
+      obs::ScopedSpan fu_span("cluster", "factor_update", &ctx.host_clock);
+      if (rec != nullptr) rec->begin_exec(n);
+      outcome = node.executor->execute(blocks, ctx);
+      if (rec != nullptr) rec->end_exec(n);
+      fu_span.set_arg(0, "m", front.m());
+      fu_span.set_arg(1, "k", front.k());
+      fu_span.set_arg(2, "policy", outcome.record.policy);
+    }
+
+    outcome.record.snode = s;
+    records[static_cast<std::size_t>(s)] = outcome.record;
+    if (options.numeric.store_factor) {
+      const MatrixView<const double> source(front.full().data(), front.order(),
+                                            front.k(), front.full().ld());
+      if (options.numeric.precision == FactorPrecision::Float32) {
+        auto& panel = result.factor.panels32[static_cast<std::size_t>(s)];
+        panel = Matrix<float>(front.order(), front.k());
+        copy_into<float>(source, panel.view());
+      } else {
+        auto& panel = result.factor.panels[static_cast<std::size_t>(s)];
+        panel = Matrix<double>(front.order(), front.k());
+        copy_into<double>(source, panel.view());
+      }
+    }
+    {
+      const double t0 = ctx.host_clock.now();
+      host_assembly_cost(host, static_cast<double>(front.order()) *
+                                   static_cast<double>(front.k()));
+      node.assembly_time += ctx.host_clock.now() - t0;
+    }
+
+    if (sn.parent != -1) {
+      auto& update = updates[static_cast<std::size_t>(s)];
+      update.resize(static_cast<std::size_t>(packed_lower_size(front.m())));
+      front.pack_update(update);
+      const double t0 = ctx.host_clock.now();
+      host_assembly_cost(host,
+                         static_cast<double>(packed_lower_size(front.m())));
+      node.assembly_time += ctx.host_clock.now() - t0;
+      if (rec != nullptr) {
+        rec->note_ready(n, s, outcome.update_ready_at,
+                        static_cast<int>(outcome.record.policy));
+      }
+      update_ready[static_cast<std::size_t>(s)] =
+          std::max(outcome.update_ready_at, ctx.host_clock.now());
+      producer_node[static_cast<std::size_t>(s)] = n;
+    } else {
+      MFGPU_CHECK(front.m() == 0,
+                  "factorize_cluster: root supernode with update rows");
+      if (rec != nullptr) {
+        rec->note_ready(n, s, outcome.update_ready_at,
+                        static_cast<int>(outcome.record.policy));
+      }
+      ctx.host_clock.advance_to(outcome.update_ready_at);
+    }
+    if (rec != nullptr) rec->end_task(n, ctx.host_clock);
+  };
+
+  // Node death: re-place every unexecuted task of the dead node onto the
+  // least-loaded survivor, which stalls for a failure-detection window
+  // before picking the work up. Published updates survive (checkpointed),
+  // so the numerics are untouched — only the schedule shifts.
+  auto kill_node = [&](int n) {
+    NodeState& node = nodes[static_cast<std::size_t>(n)];
+    node.dead = true;
+    ++stats.node_deaths;
+    --alive;
+    const double death_time = node.ctx.host_clock.now();
+    int target = -1;
+    for (int x = 0; x < num_nodes; ++x) {
+      if (nodes[static_cast<std::size_t>(x)].dead) continue;
+      if (target < 0 || remaining[static_cast<std::size_t>(x)] <
+                            remaining[static_cast<std::size_t>(target)]) {
+        target = x;
+      }
+    }
+    MFGPU_CHECK(target >= 0, "factorize_cluster: no surviving node");
+    for (index_t t = 0; t < nsup; ++t) {
+      if (done[static_cast<std::size_t>(t)] != 0 ||
+          node_of[static_cast<std::size_t>(t)] != n) {
+        continue;
+      }
+      node_of[static_cast<std::size_t>(t)] = target;
+      remaining[static_cast<std::size_t>(target)] +=
+          task_work[static_cast<std::size_t>(t)];
+      ++stats.replaced_tasks;
+    }
+    remaining[static_cast<std::size_t>(n)] = 0.0;
+    {
+      CostClassScope transfer(CostClass::Transfer);
+      nodes[static_cast<std::size_t>(target)].ctx.host_clock.advance_to(
+          death_time + 10.0 * link.latency);
+    }
+  };
+
+  auto finish_task = [&](index_t s) {
+    const int n = node_of[static_cast<std::size_t>(s)];
+    NodeState& node = nodes[static_cast<std::size_t>(n)];
+    done[static_cast<std::size_t>(s)] = 1;
+    remaining[static_cast<std::size_t>(n)] -=
+        task_work[static_cast<std::size_t>(s)];
+    ++node.executed;
+    if (node.death_after >= 0 && !node.dead &&
+        node.executed >= node.death_after && alive > 1) {
+      kill_node(n);
+    }
+  };
+
+  // Earliest virtual start of a ready task on its node, for selection.
+  auto estimated_start = [&](index_t s) {
+    const int n = node_of[static_cast<std::size_t>(s)];
+    double est = nodes[static_cast<std::size_t>(n)].ctx.host_clock.now();
+    for (index_t c : graph.children[static_cast<std::size_t>(s)]) {
+      est = std::max(est, wire_time(c, n, /*commit=*/false));
+    }
+    return est;
+  };
+
+  // Pick the ready task with the earliest estimated start; critical-path
+  // bottom level, then supernode index, break ties. Deterministic: the
+  // scan order and every key are placement-state functions, never memory
+  // addresses or wall clock.
+  auto pick_next = [&](std::vector<index_t>& ready) {
+    std::size_t best = 0;
+    double best_est = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < ready.size(); ++i) {
+      const index_t t = ready[i];
+      const double est = estimated_start(t);
+      const index_t b = ready[best];
+      const bool better =
+          est < best_est ||
+          (est == best_est &&
+           (bottom[static_cast<std::size_t>(t)] >
+                bottom[static_cast<std::size_t>(b)] ||
+            (bottom[static_cast<std::size_t>(t)] ==
+                 bottom[static_cast<std::size_t>(b)] &&
+             t < b)));
+      if (i == 0 || better) {
+        best = i;
+        best_est = est;
+      }
+    }
+    const index_t t = ready[best];
+    ready[best] = ready.back();
+    ready.pop_back();
+    return t;
+  };
+
+  std::vector<index_t> pending(static_cast<std::size_t>(nsup), 0);
+  for (index_t t = 0; t < nsup; ++t) {
+    pending[static_cast<std::size_t>(t)] = static_cast<index_t>(
+        graph.children[static_cast<std::size_t>(t)].size());
+  }
+
+  if (cluster.engine == ClusterEngine::FanBoth) {
+    // Asynchronous fan-both: no barriers of any kind. Any task whose
+    // children have published may run; messages fan OUT of producers and
+    // IN to consumers concurrently on the per-node lanes.
+    std::vector<index_t> ready;
+    for (index_t t = 0; t < nsup; ++t) {
+      if (pending[static_cast<std::size_t>(t)] == 0) ready.push_back(t);
+    }
+    index_t executed_total = 0;
+    while (!ready.empty()) {
+      const index_t s = pick_next(ready);
+      run_task(s, node_of[static_cast<std::size_t>(s)]);
+      finish_task(s);
+      ++executed_total;
+      const index_t p = graph.parent[static_cast<std::size_t>(s)];
+      if (p != -1 && --pending[static_cast<std::size_t>(p)] == 0) {
+        ready.push_back(p);
+      }
+    }
+    MFGPU_CHECK(executed_total == nsup,
+                "factorize_cluster: not all supernodes executed");
+  } else {
+    // Level-synchronous reference: the elimination tree is swept height by
+    // height with a global barrier after every level — the classic
+    // fan-in/fan-out discipline the asynchronous engine is measured
+    // against.
+    std::vector<index_t> height(static_cast<std::size_t>(nsup), 0);
+    index_t num_levels = 1;
+    for (index_t t = 0; t < nsup; ++t) {
+      const index_t p = graph.parent[static_cast<std::size_t>(t)];
+      if (p != -1) {
+        height[static_cast<std::size_t>(p)] =
+            std::max(height[static_cast<std::size_t>(p)],
+                     height[static_cast<std::size_t>(t)] + 1);
+      }
+      num_levels = std::max(num_levels, height[static_cast<std::size_t>(t)] + 1);
+    }
+    std::vector<std::vector<index_t>> levels(
+        static_cast<std::size_t>(num_levels));
+    for (index_t t = 0; t < nsup; ++t) {
+      levels[static_cast<std::size_t>(height[static_cast<std::size_t>(t)])]
+          .push_back(t);
+    }
+    for (auto& level : levels) {
+      std::vector<index_t> ready = level;
+      while (!ready.empty()) {
+        const index_t s = pick_next(ready);
+        run_task(s, node_of[static_cast<std::size_t>(s)]);
+        finish_task(s);
+      }
+      // Barrier: every surviving node (and its lanes) waits for the level.
+      double level_end = 0.0;
+      for (const NodeState& node : nodes) {
+        if (!node.dead) {
+          level_end = std::max(level_end, node.ctx.host_clock.now());
+        }
+      }
+      for (NodeState& node : nodes) {
+        if (node.dead) continue;
+        node.ctx.host_clock.advance_to(level_end);
+        node.send_free = std::max(node.send_free, level_end);
+        node.recv_free = std::max(node.recv_free, level_end);
+      }
+    }
+  }
+
+  // Drain in-flight device copies and reduce the node clocks into the
+  // cluster's virtual makespan.
+  double makespan = 0.0;
+  double assembly_total = 0.0;
+  for (int n = 0; n < num_nodes; ++n) {
+    NodeState& node = nodes[static_cast<std::size_t>(n)];
+    if (rec != nullptr) {
+      rec->begin_task(n, obs::TaskKind::Epilogue, -1, node.ctx.host_clock);
+    }
+    if (node.ctx.device != nullptr) {
+      node.ctx.device->synchronize(node.ctx.host_clock);
+    }
+    if (rec != nullptr) {
+      rec->end_task(n, node.ctx.host_clock);
+      rec->detach(n, node.ctx.host_clock);
+    }
+    makespan = std::max(makespan, node.ctx.host_clock.now());
+    assembly_total += node.assembly_time;
+    result.faults_survived += node.executor->fault_count();
+    if (node.executor->quarantined()) ++result.quarantined_workers;
+  }
+  stats.makespan = makespan;
+  stats.max_node_seconds = makespan;
+
+  FactorizationTrace& trace = result.trace;
+  for (index_t s = 0; s < nsup; ++s) {
+    trace.record_call(records[static_cast<std::size_t>(s)]);
+  }
+  trace.assembly_time = assembly_total;
+  trace.total_time = makespan;
+
+  for (std::size_t n = 0; n < nodes.size(); ++n) {
+    const NodeState& node = nodes[n];
+    WorkerMemory mem;
+    mem.worker = static_cast<int>(n);
+    if (node.front_arena != nullptr) {
+      mem.arena_peak_bytes =
+          static_cast<std::int64_t>(node.front_arena->peak_entries()) *
+          static_cast<std::int64_t>(sizeof(double));
+    }
+    if (node.ctx.device != nullptr) {
+      const PoolStats& dev = node.ctx.device->device_pool_stats();
+      const PoolStats& pinned = node.ctx.device->pinned_pool_stats();
+      mem.device_pool_peak_bytes = dev.peak_bytes;
+      mem.pinned_pool_peak_bytes = pinned.peak_bytes;
+      mem.device_pool_charged_allocs = dev.charged_allocations;
+      mem.pinned_pool_charged_allocs = pinned.charged_allocations;
+    }
+    result.memory.push_back(mem);
+  }
+
+  if (obs::enabled()) {
+    auto& metrics = obs::MetricsRegistry::global();
+    metrics.add("multifrontal.assembly.seconds", assembly_total);
+    metrics.add("multifrontal.factorize.seconds", makespan);
+    metrics.add("multifrontal.supernodes", static_cast<double>(nsup));
+    metrics.gauge_set("cluster.nodes", static_cast<double>(num_nodes));
+    metrics.add("cluster.makespan_seconds", makespan);
+    metrics.add("cluster.messages", static_cast<double>(stats.messages));
+    metrics.add("cluster.bytes_on_wire", stats.bytes_on_wire);
+    metrics.add("cluster.send_busy_seconds", stats.send_busy_seconds);
+    metrics.gauge_set("cluster.placement.moves",
+                      static_cast<double>(stats.placement_moves));
+    metrics.gauge_set("cluster.placement.cost", stats.placement_refined_cost);
+    if (stats.node_deaths > 0) {
+      metrics.add("cluster.node_deaths",
+                  static_cast<double>(stats.node_deaths));
+      metrics.add("cluster.replaced_tasks",
+                  static_cast<double>(stats.replaced_tasks));
+    }
+    if (result.faults_survived > 0) {
+      metrics.add("fault.run.survived",
+                  static_cast<double>(result.faults_survived));
+    }
+    for (const NodeState& node : nodes) {
+      if (node.ctx.device != nullptr) {
+        metrics.gauge_max("gpusim.pool.device.peak_bytes",
+                          static_cast<double>(
+                              node.ctx.device->device_pool_stats().peak_bytes));
+        metrics.gauge_max("gpusim.pool.pinned.peak_bytes",
+                          static_cast<double>(
+                              node.ctx.device->pinned_pool_stats().peak_bytes));
+      }
+    }
+  }
+
+  if (stats_out != nullptr) *stats_out = stats;
+  return result;
+}
+
+}  // namespace mfgpu

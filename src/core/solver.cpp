@@ -72,6 +72,8 @@ struct Solver::Impl {
   bool factored = false;
   /// Flight record of the last numeric phase (options.record_schedule).
   obs::ScheduleRecord schedule;
+  /// Set when the last numeric phase ran on the simulated cluster.
+  std::optional<ClusterStats> cluster_stats;
 
   Permutation choose_ordering() const;
   std::unique_ptr<FuExecutor> choose_executor();
@@ -166,7 +168,19 @@ void Solver::Impl::run_factor() {
   obs::ScheduleRecorder* rec =
       options.record_schedule ? &recorder : nullptr;
   FactorizeResult result;
-  if (parallel) {
+  cluster_stats.reset();
+  if (options.cluster.enabled()) {
+    ClusterFactorizeOptions cluster_options;
+    cluster_options.cluster = options.cluster;
+    cluster_options.executor = options.executor;
+    cluster_options.device = options.device;
+    cluster_options.recorder = rec;
+    ClusterStats stats;
+    obs::ScopedSpan span("solver", "numeric_factorization");
+    result = factorize_cluster(*analysis, cluster_options, worker_factory(),
+                               &stats);
+    cluster_stats = stats;
+  } else if (parallel) {
     ParallelFactorizeOptions parallel_options;
     parallel_options.num_threads = options.num_threads;
     parallel_options.workers = options.workers;
@@ -401,6 +415,10 @@ obs::CriticalPathReport Solver::schedule_report() const {
   obs::CriticalPathReport report = obs::analyze_critical_path(schedule());
   obs::emit_critical_path_metrics(report);
   return report;
+}
+
+const std::optional<ClusterStats>& Solver::cluster_stats() const noexcept {
+  return impl_->cluster_stats;
 }
 
 obs::WhatIfResult Solver::schedule_whatif(const obs::WhatIfKnobs& knobs) const {

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "autotune/trainer.hpp"
+#include "cluster/cluster.hpp"
 #include "multifrontal/factorization.hpp"
 #include "multifrontal/refine.hpp"
 #include "obs/profile.hpp"
@@ -96,6 +97,13 @@ struct SolverOptions {
   /// virtual-timing operation, replayable bitwise by obs/whatif.hpp. Costs
   /// a few dozen bytes per event; off by default.
   bool record_schedule = false;
+  /// Simulated distributed-cluster numeric phase (cluster/cluster.hpp):
+  /// cluster.num_nodes > 0 routes factor() through factorize_cluster —
+  /// elimination subtrees on simulated nodes exchanging update-matrix
+  /// messages over cluster.link. Takes precedence over num_threads/workers;
+  /// the factor stays bitwise identical to the serial driver. The mode's
+  /// policy dispatch runs on each GPU-bearing node.
+  ClusterOptions cluster;
 };
 
 /// The values-independent half of an Analysis: the composed fill ordering
@@ -201,6 +209,11 @@ class Solver {
   /// numeric rerun). Emits whatif.* metrics when obs recording is active.
   /// Policy/batching knobs construct a PolicyTimer on demand.
   obs::WhatIfResult schedule_whatif(const obs::WhatIfKnobs& knobs) const;
+
+  /// Schedule/traffic statistics of the last cluster-mode factor().
+  /// Empty optional when the last numeric phase did not run on the
+  /// simulated cluster (SolverOptions::cluster disabled).
+  const std::optional<ClusterStats>& cluster_stats() const noexcept;
 
  private:
   Solver();  ///< used by analyze()

@@ -53,6 +53,9 @@ struct FaultInjectorOptions {
     return transient_kernel_rate > 0.0 || transfer_corruption_rate > 0.0 ||
            spurious_oom_rate > 0.0 || device_death_rate > 0.0;
   }
+
+  friend bool operator==(const FaultInjectorOptions&,
+                         const FaultInjectorOptions&) = default;
 };
 
 struct FaultInjectorStats {

@@ -21,13 +21,6 @@ double gang_speedup(double parallel_fraction, int p) {
 
 }  // namespace
 
-double InterconnectModel::transfer_time(index_t m) const {
-  if (!enabled()) return 0.0;
-  const double bytes =
-      static_cast<double>(m) * static_cast<double>(m + 1) / 2.0 * 8.0;
-  return latency + bytes / bandwidth;
-}
-
 ScheduleResult simulate_schedule(const TaskGraph& graph,
                                  const std::vector<WorkerSpec>& workers,
                                  const ScheduleOptions& options) {

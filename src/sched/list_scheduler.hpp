@@ -14,6 +14,8 @@
 // This module predicts schedules in simulated time; the real-thread
 // execution of the same task graph lives in sched/thread_pool.hpp +
 // multifrontal/parallel.hpp (see EXPERIMENTS.md for how the two compare).
+// The cluster subsystem (cluster/cluster.hpp) executes real numerics over
+// the same InterconnectModel (sched/interconnect.hpp) this dry-run uses.
 #pragma once
 
 #include <cstdint>
@@ -22,24 +24,13 @@
 
 #include "gpusim/fault_injector.hpp"
 #include "policy/executors.hpp"
+#include "sched/interconnect.hpp"
 #include "sched/task_graph.hpp"
 #include "sched/worker.hpp"
 
 namespace mfgpu {
 
-/// Inter-worker communication model — the paper's stated future work is a
-/// distributed-memory (cluster) version of the solver; this models workers
-/// as nodes connected by a link. bandwidth == 0 means shared memory: a
-/// child's update matrix is free to consume from any worker.
-struct InterconnectModel {
-  double bandwidth = 0.0;  ///< B/s between distinct workers (0 = shared mem)
-  double latency = 0.0;    ///< s per transfer
-
-  bool enabled() const { return bandwidth > 0.0; }
-  /// Seconds to ship an m x m packed update matrix (doubles) across.
-  double transfer_time(index_t m) const;
-};
-
+/// Knobs of the dry-run list-scheduling simulation.
 struct ScheduleOptions {
   ExecutorOptions exec;
   /// Policy used on GPU workers (e.g. a trained model); null = the paper's

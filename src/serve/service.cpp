@@ -24,9 +24,10 @@ struct Request {
   std::vector<double> rhs;
   std::uint64_t pattern_fp = 0;
   std::uint64_t values_fp = 0;
-  /// Effective batching config (request override or the service default),
-  /// resolved at submit; part of the coalescing key.
+  /// Effective batching and cluster configs (request override or the
+  /// service default), resolved at submit; part of the coalescing key.
   BatchingOptions batching;
+  ClusterOptions cluster;
   Clock::time_point enqueued{};
   Clock::time_point deadline{};
   bool has_deadline = false;
@@ -104,15 +105,17 @@ struct SolverService::Impl {
     std::unique_ptr<Solver> solver;
     std::uint64_t pattern_fp = 0;
     std::uint64_t values_fp = 0;
-    /// Batching config the current solver was built with; a request with a
-    /// different effective config forces a rebuild.
+    /// Batching and cluster configs the current solver was built with; a
+    /// request with a different effective config forces a rebuild.
     BatchingOptions batching;
+    ClusterOptions cluster;
   };
 
-  SolverOptions session_solver_options(int id,
-                                       const BatchingOptions& batching) const {
+  SolverOptions session_solver_options(int id, const BatchingOptions& batching,
+                                       const ClusterOptions& cluster) const {
     SolverOptions solver_options = options.solver;
     solver_options.batching = batching;
+    solver_options.cluster = cluster;
     if (!options.session_workers.empty()) {
       solver_options.workers = {
           options.session_workers[static_cast<std::size_t>(id)]};
@@ -216,10 +219,11 @@ void SolverService::Impl::run_session(int id) {
       const std::uint64_t pattern_fp = batch.front().pattern_fp;
       const std::uint64_t values_fp = batch.front().values_fp;
       const BatchingOptions batching = batch.front().batching;
+      const ClusterOptions cluster = batch.front().cluster;
       std::vector<Request> extracted = queue.extract_if(
           [&](const Request& r) {
             return r.pattern_fp == pattern_fp && r.values_fp == values_fp &&
-                   r.batching == batching;
+                   r.batching == batching && r.cluster == cluster;
           },
           static_cast<std::size_t>(options.max_batch_rhs) - 1);
       const Clock::time_point now = Clock::now();
@@ -288,7 +292,8 @@ void SolverService::Impl::process_batch(std::vector<Request>& batch,
                  static_cast<std::int64_t>(head.ctx.request_id));
     try {
       if (session.solver != nullptr && session.pattern_fp == head.pattern_fp &&
-          session.batching == head.batching) {
+          session.batching == head.batching &&
+          session.cluster == head.cluster) {
         analysis_reused = true;
         if (session.values_fp == head.values_fp) {
           factor_reused = true;
@@ -303,13 +308,14 @@ void SolverService::Impl::process_batch(std::vector<Request>& batch,
         if (shared != nullptr) {
           analysis_reused = true;
           obs::ScopedSpan adopt_span("serve", "adopt_cached_analysis");
-          session.solver = std::make_unique<Solver>(
-              Solver::analyze(*head.matrix, std::move(shared),
-                              session_solver_options(id, head.batching)));
+          session.solver = std::make_unique<Solver>(Solver::analyze(
+              *head.matrix, std::move(shared),
+              session_solver_options(id, head.batching, head.cluster)));
         } else {
           obs::ScopedSpan analyze_span("serve", "analyze_miss");
           session.solver = std::make_unique<Solver>(Solver::analyze(
-              *head.matrix, session_solver_options(id, head.batching)));
+              *head.matrix,
+              session_solver_options(id, head.batching, head.cluster)));
           cache.insert(session.solver->share_analysis());
           analyze_sim = estimated_analyze_seconds(
               *head.matrix, session.solver->analysis().symbolic);
@@ -321,6 +327,7 @@ void SolverService::Impl::process_batch(std::vector<Request>& batch,
         factor_sim = session.solver->factor_time();
         session.pattern_fp = head.pattern_fp;
         session.batching = head.batching;
+        session.cluster = head.cluster;
       }
       session.values_fp = head.values_fp;
 
@@ -377,6 +384,19 @@ void SolverService::Impl::process_batch(std::vector<Request>& batch,
     metrics.add("serve.sim.analyze_seconds", analyze_sim);
     metrics.add("serve.sim.factor_seconds", factor_sim);
     metrics.add("serve.sim.solve_seconds", solve_sim);
+    // Shard-mode traffic of the factorization behind this batch (nothing
+    // new is emitted when the factor was reused — no cluster run happened).
+    if (!factor_reused && session.solver != nullptr &&
+        session.solver->cluster_stats().has_value()) {
+      const ClusterStats& cluster = *session.solver->cluster_stats();
+      metrics.increment("serve.cluster.factor_runs");
+      metrics.gauge_set("serve.cluster.nodes",
+                        static_cast<double>(cluster.num_nodes));
+      metrics.add("serve.cluster.messages",
+                  static_cast<double>(cluster.messages));
+      metrics.add("serve.cluster.bytes_on_wire", cluster.bytes_on_wire);
+      metrics.add("serve.cluster.makespan_seconds", cluster.makespan);
+    }
 
     const double sim_share = (analyze_sim + factor_sim + solve_sim) /
                              static_cast<double>(k);
@@ -565,6 +585,7 @@ std::future<SolveResult> SolverService::submit(
   request.values_fp = request.matrix->values_fingerprint();
   request.rhs = std::move(rhs);
   request.batching = options.batching.value_or(impl_->options.solver.batching);
+  request.cluster = options.cluster.value_or(impl_->options.solver.cluster);
   request.enqueued = Clock::now();
   request.retries_left = std::max(0, options.max_retries);
   request.collect_trace = options.collect_trace;

@@ -122,6 +122,15 @@ struct RequestOptions {
   /// factor is bitwise identical either way; only the simulated dispatch
   /// costs differ).
   std::optional<BatchingOptions> batching;
+  /// Per-request override of ServeOptions::solver.cluster — the simulated
+  /// distributed-cluster shard mode (cluster/cluster.hpp): num_nodes > 0
+  /// factors this request's pattern across simulated nodes over the
+  /// configured link. std::nullopt = use the service default. Like
+  /// `batching`, the effective config is resolved at submit, joins the
+  /// coalescing key, and a session whose solver was built under a
+  /// different config rebuilds (the factor is bitwise identical to the
+  /// serial one; only the simulated schedule differs).
+  std::optional<ClusterOptions> cluster;
 };
 
 /// One span copied out of the trace for SolveResult::trace — an owned

@@ -1,0 +1,387 @@
+// Tests for the simulated distributed-cluster factorization
+// (cluster/cluster.hpp): the bitwise-determinism contract against the
+// serial driver, the asynchronous fan-both engine against the
+// level-synchronous reference, placement invariants, the schedule flight
+// record per node, Solver/serve routing, and node-death chaos.
+#include "cluster/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cluster/placement.hpp"
+#include "core/solver.hpp"
+#include "multifrontal/refine.hpp"
+#include "obs/schedule_record.hpp"
+#include "obs/whatif.hpp"
+#include "ordering/nested_dissection.hpp"
+#include "policy/executors.hpp"
+#include "sched/task_graph.hpp"
+#include "serve/service.hpp"
+#include "sparse/generators.hpp"
+#include "support/rng.hpp"
+
+namespace mfgpu {
+namespace {
+
+const GridProblem& test_problem() {
+  static const GridProblem p = make_laplacian_3d(8, 7, 6);
+  return p;
+}
+
+const Analysis& test_analysis() {
+  static const Analysis an =
+      analyze(test_problem().matrix, nested_dissection(test_problem().coords));
+  return an;
+}
+
+/// Serial reference with the cluster's default node executor (baseline
+/// hybrid on a private simulated device).
+FactorizeResult serial_reference(const Analysis& analysis,
+                                 Device::Options device_options = {}) {
+  FactorContext ctx;
+  device_options.numeric = true;
+  Device device(device_options);
+  ctx.device = &device;
+  const std::unique_ptr<FuExecutor> executor =
+      default_worker_executor(WorkerSpec{true}, ExecutorOptions{});
+  return factorize(analysis, *executor, ctx);
+}
+
+void expect_bitwise(const Factorization& a, const Factorization& b,
+                    const std::string& what) {
+  ASSERT_EQ(a.num_panels(), b.num_panels()) << what;
+  for (std::size_t s = 0; s < a.panels.size(); ++s) {
+    const Matrix<double>& pa = a.panels[s];
+    const Matrix<double>& pb = b.panels[s];
+    ASSERT_EQ(pa.rows(), pb.rows()) << what << " panel " << s;
+    ASSERT_EQ(pa.cols(), pb.cols()) << what << " panel " << s;
+    for (index_t j = 0; j < pa.cols(); ++j) {
+      for (index_t i = j; i < pa.rows(); ++i) {
+        ASSERT_EQ(pa(i, j), pb(i, j))
+            << what << " panel " << s << " entry (" << i << ", " << j << ")";
+      }
+    }
+  }
+}
+
+/// GPU-forcing chooser for the fault tests (the test grids' fronts are
+/// small enough that the baseline thresholds would keep everything on P1).
+Policy always_p3(const FuCall&) { return Policy::P3; }
+
+TEST(ClusterEngineTest, FactorIsBitwiseSerialAcrossNodesLinksEngines) {
+  const FactorizeResult serial = serial_reference(test_analysis());
+  for (int nodes : {1, 2, 4, 8}) {
+    for (const InterconnectModel& link : {infiniband_link(), gigabit_link()}) {
+      for (const ClusterEngine engine :
+           {ClusterEngine::FanBoth, ClusterEngine::LevelSync}) {
+        ClusterFactorizeOptions options;
+        options.cluster.num_nodes = nodes;
+        options.cluster.link = link;
+        options.cluster.engine = engine;
+        const FactorizeResult result =
+            factorize_cluster(test_analysis(), options);
+        expect_bitwise(serial.factor, result.factor,
+                       std::to_string(nodes) + " nodes " +
+                           cluster_engine_name(engine));
+      }
+    }
+  }
+}
+
+TEST(ClusterEngineTest, RepeatRunsAreFullyDeterministic) {
+  ClusterFactorizeOptions options;
+  options.cluster.num_nodes = 4;
+  const auto run = [&] {
+    ClusterStats stats;
+    FactorizeResult result =
+        factorize_cluster(test_analysis(), options, {}, &stats);
+    return std::make_pair(std::move(result), stats);
+  };
+  const auto [first, first_stats] = run();
+  const auto [second, second_stats] = run();
+  EXPECT_EQ(first_stats.makespan, second_stats.makespan);
+  EXPECT_EQ(first_stats.messages, second_stats.messages);
+  EXPECT_EQ(first_stats.bytes_on_wire, second_stats.bytes_on_wire);
+  EXPECT_EQ(first_stats.send_busy_seconds, second_stats.send_busy_seconds);
+  EXPECT_EQ(first.trace.total_time, second.trace.total_time);
+  expect_bitwise(first.factor, second.factor, "repeat run");
+}
+
+TEST(ClusterEngineTest, FanBothBeatsLevelSync) {
+  // The async engine's whole point: without level barriers no node stalls
+  // on a level it has no work in. It must never be meaningfully slower and
+  // must strictly win somewhere in the sweep.
+  bool strict_win = false;
+  for (int nodes : {2, 4, 8}) {
+    for (const InterconnectModel& link : {infiniband_link(), gigabit_link()}) {
+      double makespan[2] = {0.0, 0.0};
+      for (const ClusterEngine engine :
+           {ClusterEngine::FanBoth, ClusterEngine::LevelSync}) {
+        ClusterFactorizeOptions options;
+        options.cluster.num_nodes = nodes;
+        options.cluster.link = link;
+        options.cluster.engine = engine;
+        ClusterStats stats;
+        factorize_cluster(test_analysis(), options, {}, &stats);
+        makespan[static_cast<std::size_t>(engine)] = stats.makespan;
+      }
+      EXPECT_LE(makespan[0], makespan[1] * 1.001)
+          << nodes << " nodes, " << link_description(link);
+      strict_win = strict_win || makespan[0] < makespan[1] * 0.999;
+    }
+  }
+  EXPECT_TRUE(strict_win) << "fan-both never beat level-sync";
+}
+
+TEST(ClusterEngineTest, MessagesFlowOnlyWhenWiredAndMultiNode) {
+  ClusterFactorizeOptions options;
+  options.cluster.num_nodes = 1;
+  ClusterStats one;
+  factorize_cluster(test_analysis(), options, {}, &one);
+  EXPECT_EQ(one.messages, 0);
+  EXPECT_EQ(one.bytes_on_wire, 0.0);
+
+  options.cluster.num_nodes = 4;
+  options.cluster.link = shared_memory_link();
+  ClusterStats shared;
+  factorize_cluster(test_analysis(), options, {}, &shared);
+  EXPECT_EQ(shared.messages, 0);
+
+  options.cluster.link = infiniband_link();
+  ClusterStats wired;
+  factorize_cluster(test_analysis(), options, {}, &wired);
+  EXPECT_GT(wired.messages, 0);
+  EXPECT_GT(wired.bytes_on_wire, 0.0);
+  EXPECT_GT(wired.send_busy_seconds, 0.0);
+  // Traffic shows up in the makespan: shipping updates cannot be free.
+  EXPECT_GE(wired.makespan, shared.makespan);
+}
+
+TEST(ClusterEngineTest, FactorStaysBitwiseUnderDeviceFaults) {
+  // Device-fault fates are front-scoped, never placement-scoped: the same
+  // fronts fault and retry on the cluster as in the serial run, and the
+  // factor stays bitwise identical.
+  Device::Options faulty;
+  faulty.faults.seed = 5;
+  faulty.faults.transient_kernel_rate = 0.05;
+  faulty.faults.transfer_corruption_rate = 0.05;
+  const WorkerExecutorFactory chaos_factory = [](const WorkerSpec&, int) {
+    return std::make_unique<DispatchExecutor>("cluster-chaos", always_p3);
+  };
+
+  FactorContext serial_ctx;
+  Device::Options serial_device = faulty;
+  serial_device.numeric = true;
+  Device device(serial_device);
+  serial_ctx.device = &device;
+  DispatchExecutor serial_executor("cluster-chaos", always_p3);
+  const FactorizeResult serial =
+      factorize(test_analysis(), serial_executor, serial_ctx);
+  ASSERT_GT(serial.faults_survived, 0) << "schedule never faulted";
+
+  for (int nodes : {2, 4}) {
+    ClusterFactorizeOptions options;
+    options.cluster.num_nodes = nodes;
+    options.device = faulty;
+    const FactorizeResult result =
+        factorize_cluster(test_analysis(), options, chaos_factory);
+    EXPECT_EQ(result.faults_survived, serial.faults_survived)
+        << nodes << " nodes";
+    expect_bitwise(serial.factor, result.factor,
+                   std::to_string(nodes) + " nodes under faults");
+  }
+}
+
+TEST(ClusterEngineTest, RecorderGetsOneLanePerNodeAndReplaysBitwise) {
+  obs::ScheduleRecorder recorder;
+  ClusterFactorizeOptions options;
+  options.cluster.num_nodes = 4;
+  options.recorder = &recorder;
+  ClusterStats stats;
+  factorize_cluster(test_analysis(), options, {}, &stats);
+  const obs::ScheduleRecord record = recorder.take();
+
+  ASSERT_EQ(record.lanes.size(), 4u);
+  EXPECT_EQ(record.makespan, stats.makespan);
+
+  // Identity replay reproduces the live makespan bitwise — the same
+  // acceptance bar as the thread-parallel drivers.
+  const obs::ReplayResult replay = obs::replay_exact(record);
+  EXPECT_EQ(replay.live_makespan, record.makespan);
+  EXPECT_EQ(replay.makespan, record.makespan);
+
+  // Remote arrivals are Transfer-class waits: an infinitely fast wire can
+  // only shrink the makespan, and must strictly shrink it here (the sweep
+  // above shows real wire stalls at 4 nodes on infiniband).
+  obs::WhatIfKnobs faster_wire;
+  faster_wire.transfer_scale = 0.0;
+  const obs::WhatIfResult wi = obs::whatif_replay(record, faster_wire);
+  EXPECT_TRUE(wi.exact_engine);
+  EXPECT_LE(wi.makespan, record.makespan);
+}
+
+TEST(ClusterEngineTest, SolverRoutesThroughClusterAndReportsStats) {
+  const GridProblem& p = test_problem();
+  SolverOptions serial_options;
+  Solver serial(p.matrix, serial_options);
+  EXPECT_FALSE(serial.cluster_stats().has_value());
+
+  SolverOptions cluster_options;
+  // norefine keeps the proportional seed placement, so separator updates
+  // genuinely cross the wire (refinement on a slow link may legitimately
+  // collapse every cross-edge).
+  cluster_options.cluster = parse_cluster("4,norefine");
+  cluster_options.record_schedule = true;
+  Solver clustered(p.matrix, cluster_options);
+  ASSERT_TRUE(clustered.cluster_stats().has_value());
+  EXPECT_EQ(clustered.cluster_stats()->num_nodes, 4);
+  EXPECT_GT(clustered.cluster_stats()->messages, 0);
+  EXPECT_EQ(clustered.factor_time(), clustered.cluster_stats()->makespan);
+  ASSERT_TRUE(clustered.schedule_recorded());
+  EXPECT_EQ(clustered.schedule().lanes.size(), 4u);
+
+  // Same factor => bitwise identical solves.
+  std::vector<double> ones(static_cast<std::size_t>(p.matrix.n()), 1.0);
+  std::vector<double> b(ones.size());
+  p.matrix.multiply(ones, b);
+  const std::vector<double> xs = serial.solve(b);
+  const std::vector<double> xc = clustered.solve(b);
+  ASSERT_EQ(xs.size(), xc.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    ASSERT_EQ(xs[i], xc[i]) << "component " << i;
+  }
+}
+
+TEST(ClusterEngineTest, ParseClusterSpecs) {
+  EXPECT_FALSE(parse_cluster("off").enabled());
+
+  const ClusterOptions four = parse_cluster("4");
+  EXPECT_EQ(four.num_nodes, 4);
+  EXPECT_EQ(four.engine, ClusterEngine::FanBoth);
+  EXPECT_EQ(four.link, infiniband_link());
+  EXPECT_TRUE(four.refine_placement);
+  EXPECT_TRUE(four.nodes_have_gpu);
+
+  const ClusterOptions gig = parse_cluster("8,gigabit");
+  EXPECT_EQ(gig.num_nodes, 8);
+  EXPECT_EQ(gig.link, gigabit_link());
+
+  const ClusterOptions full = parse_cluster("4,levelsync,1e9,5e-6");
+  EXPECT_EQ(full.engine, ClusterEngine::LevelSync);
+  EXPECT_DOUBLE_EQ(full.link.bandwidth, 1e9);
+  EXPECT_DOUBLE_EQ(full.link.latency, 5e-6);
+
+  const ClusterOptions bare = parse_cluster("2,nogpu,norefine,shared");
+  EXPECT_FALSE(bare.nodes_have_gpu);
+  EXPECT_FALSE(bare.refine_placement);
+  EXPECT_FALSE(bare.link.enabled());
+
+  EXPECT_THROW(parse_cluster("x"), InvalidArgumentError);
+  EXPECT_THROW(parse_cluster("0"), InvalidArgumentError);
+  EXPECT_THROW(parse_cluster("-2"), InvalidArgumentError);
+  EXPECT_THROW(parse_cluster("4,bogus"), InvalidArgumentError);
+}
+
+TEST(ClusterPlacementTest, EveryTaskPlacedOnceAndRefinementNeverHurts) {
+  const TaskGraph graph =
+      build_task_graph(test_analysis().symbolic, test_analysis().permuted);
+  for (int nodes : {1, 2, 4, 8}) {
+    PlacementOptions options;
+    options.num_nodes = nodes;
+    options.link = gigabit_link();
+    const PlacementResult placement = place_subtrees(graph, options);
+    ASSERT_EQ(placement.node_of.size(),
+              static_cast<std::size_t>(graph.num_tasks));
+    for (int n : placement.node_of) {
+      EXPECT_GE(n, 0);
+      EXPECT_LT(n, nodes);
+    }
+    EXPECT_LE(placement.refined_cost, placement.seed_cost * (1.0 + 1e-12))
+        << nodes << " nodes";
+
+    PlacementOptions frozen = options;
+    frozen.refine = false;
+    const PlacementResult seed_only = place_subtrees(graph, frozen);
+    EXPECT_EQ(seed_only.moves, 0);
+    EXPECT_EQ(seed_only.refined_cost, seed_only.seed_cost);
+  }
+}
+
+TEST(ClusterChaosTest, NodeDeathReplacesWorkAndPreservesTheFactor) {
+  // Chaos contract: a node death re-places its unexecuted tasks onto a
+  // survivor and the run completes with the factor still bitwise equal to
+  // serial — death moves work, never changes numerics.
+  const FactorizeResult serial = serial_reference(test_analysis());
+
+  bool saw_death = false;
+  for (std::uint64_t seed = 0; seed < 6 && !saw_death; ++seed) {
+    ClusterFactorizeOptions options;
+    options.cluster.num_nodes = 4;
+    options.cluster.node_death_rate = 0.8;
+    options.cluster.death_seed = seed;
+    ClusterStats stats;
+    FactorizeResult result;
+    ASSERT_NO_THROW(
+        result = factorize_cluster(test_analysis(), options, {}, &stats))
+        << "seed " << seed;
+    if (stats.node_deaths == 0) continue;
+    saw_death = true;
+    EXPECT_GT(stats.replaced_tasks, 0) << "seed " << seed;
+    expect_bitwise(serial.factor, result.factor,
+                   "death seed " + std::to_string(seed));
+
+    // The re-placed run still solves to full accuracy.
+    const GridProblem& p = test_problem();
+    std::vector<double> ones(static_cast<std::size_t>(p.matrix.n()), 1.0);
+    std::vector<double> b(ones.size());
+    p.matrix.multiply(ones, b);
+    const std::vector<double> x = solve(test_analysis(), result.factor, b);
+    for (double v : x) EXPECT_NEAR(v, 1.0, 1e-8);
+  }
+  EXPECT_TRUE(saw_death) << "no death triggered across seeds: rate too low?";
+}
+
+TEST(ClusterChaosTest, DeathScheduleIsDeterministicPerSeed) {
+  ClusterFactorizeOptions options;
+  options.cluster.num_nodes = 4;
+  options.cluster.node_death_rate = 0.8;
+  options.cluster.death_seed = 1;
+  ClusterStats first, second;
+  factorize_cluster(test_analysis(), options, {}, &first);
+  factorize_cluster(test_analysis(), options, {}, &second);
+  EXPECT_EQ(first.node_deaths, second.node_deaths);
+  EXPECT_EQ(first.replaced_tasks, second.replaced_tasks);
+  EXPECT_EQ(first.makespan, second.makespan);
+}
+
+TEST(ClusterServeTest, PerRequestClusterOverrideSolvesIdentically) {
+  const GridProblem p = make_laplacian_3d(5, 4, 4);
+  const auto a = std::make_shared<SparseSpd>(p.matrix);
+  std::vector<double> ones(static_cast<std::size_t>(p.matrix.n()), 1.0);
+  std::vector<double> b(ones.size());
+  p.matrix.multiply(ones, b);
+
+  serve::ServeOptions options;
+  options.num_sessions = 1;
+  serve::SolverService service(options);
+
+  const serve::SolveResult plain = service.submit(a, b).get();
+  ASSERT_TRUE(plain.ok()) << plain.error;
+
+  serve::RequestOptions sharded;
+  sharded.cluster = parse_cluster("2");
+  const serve::SolveResult clustered = service.submit(a, b, sharded).get();
+  ASSERT_TRUE(clustered.ok()) << clustered.error;
+
+  // The shard-mode factor is bitwise the serial factor, so the solves
+  // match exactly.
+  ASSERT_EQ(plain.x.size(), clustered.x.size());
+  for (std::size_t i = 0; i < plain.x.size(); ++i) {
+    ASSERT_EQ(plain.x[i], clustered.x[i]) << "component " << i;
+  }
+}
+
+}  // namespace
+}  // namespace mfgpu

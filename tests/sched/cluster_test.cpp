@@ -32,6 +32,38 @@ TEST(InterconnectModelTest, TransferTimeScalesWithUpdateSize) {
   EXPECT_NEAR(t_big, 1e-5 + 1000.0 * 1001 / 2 * 8 / 1e9, 1e-9);
 }
 
+TEST(InterconnectModelTest, EmptyUpdateSendsNothing) {
+  // m == 0 means no message at all: no wire time AND no latency — a leaf
+  // supernode with no update rows must not charge the link.
+  const InterconnectModel link{1e9, 1e-5};
+  EXPECT_DOUBLE_EQ(link.transfer_time(0), 0.0);
+  EXPECT_DOUBLE_EQ(link.wire_seconds(0), 0.0);
+  EXPECT_DOUBLE_EQ(link.transfer_time(-3), 0.0);
+  // m == 1 does pay the latency.
+  EXPECT_GE(link.transfer_time(1), 1e-5);
+}
+
+TEST(InterconnectModelTest, WireSecondsExcludesLatency) {
+  const InterconnectModel link{1e8, 1e-3};
+  const index_t m = 64;
+  EXPECT_DOUBLE_EQ(link.wire_seconds(m),
+                   InterconnectModel::update_bytes(m) / 1e8);
+  EXPECT_DOUBLE_EQ(link.transfer_time(m), 1e-3 + link.wire_seconds(m));
+  // Packed-lower byte count: m(m+1)/2 doubles.
+  EXPECT_DOUBLE_EQ(InterconnectModel::update_bytes(3), 3.0 * 4 / 2 * 8);
+}
+
+TEST(InterconnectModelTest, PresetsAndParseAgree) {
+  EXPECT_FALSE(shared_memory_link().enabled());
+  EXPECT_EQ(parse_link("shared"), shared_memory_link());
+  EXPECT_EQ(parse_link("infiniband"), infiniband_link());
+  EXPECT_EQ(parse_link("gigabit"), gigabit_link());
+  const InterconnectModel custom = parse_link("2e9,1e-6");
+  EXPECT_DOUBLE_EQ(custom.bandwidth, 2e9);
+  EXPECT_DOUBLE_EQ(custom.latency, 1e-6);
+  EXPECT_THROW(parse_link("warp-drive"), InvalidArgumentError);
+}
+
 TEST(ClusterSchedulerTest, SlowLinkNeverBeatsSharedMemory) {
   const TaskGraph g = test_graph();
   ScheduleOptions shared;
@@ -150,6 +182,30 @@ TEST(ProportionalMapTest, BalancesWorkAcrossWorkers) {
   const double total = per_worker[0] + per_worker[1];
   EXPECT_GT(per_worker[0] / total, 0.15);
   EXPECT_GT(per_worker[1] / total, 0.15);
+}
+
+TEST(ProportionalMapTest, FourWorkerLoadBalanceBound) {
+  // Each task lands on exactly one worker (the mapping is a total
+  // function), and no worker's share may exceed the proportional bound by
+  // more than the largest indivisible subtree allows. 60% is a generous
+  // ceiling for this mesh (perfect balance would be 25%).
+  const TaskGraph g = test_graph();
+  const std::vector<int> map = proportional_mapping(g, 4);
+  ASSERT_EQ(map.size(), static_cast<std::size_t>(g.num_tasks));
+  double per_worker[4] = {0.0, 0.0, 0.0, 0.0};
+  double total = 0.0;
+  for (index_t t = 0; t < g.num_tasks; ++t) {
+    const int w = map[static_cast<std::size_t>(t)];
+    ASSERT_GE(w, 0);
+    ASSERT_LT(w, 4);
+    const double work = fu_total_ops(g.ms[static_cast<std::size_t>(t)],
+                                     g.ks[static_cast<std::size_t>(t)]);
+    per_worker[w] += work;
+    total += work;
+  }
+  for (int w = 0; w < 4; ++w) {
+    EXPECT_LT(per_worker[w] / total, 0.60) << "worker " << w;
+  }
 }
 
 }  // namespace
