@@ -58,6 +58,10 @@ struct Solver::Impl {
   /// not be retained.
   std::vector<std::array<index_t, 3>> coordinates;
   std::optional<Analysis> analysis;
+  /// Lazily built level schedule for the triangular solves — a pattern
+  /// artifact like the symbolic factorization, reused across every solve
+  /// and refactor. Built on first use (solve() is const).
+  mutable std::shared_ptr<const SolveSchedule> solve_schedule;
   std::optional<Factorization> factor;
   FactorizationTrace trace;
   std::optional<TrainedPolicyModel> model;
@@ -76,6 +80,8 @@ struct Solver::Impl {
   std::optional<ClusterStats> cluster_stats;
 
   Permutation choose_ordering() const;
+  /// Level-scheduled solve configuration (threads + cached schedule).
+  ParallelSolveOptions solve_options() const;
   std::unique_ptr<FuExecutor> choose_executor();
   void ensure_model();
   WorkerExecutorFactory worker_factory();
@@ -331,20 +337,39 @@ std::vector<double> Solver::solve(std::span<const double> b) const {
   return solve_with_history(b).x;
 }
 
+ParallelSolveOptions Solver::Impl::solve_options() const {
+  if (solve_schedule == nullptr) {
+    solve_schedule = std::make_shared<const SolveSchedule>(
+        build_solve_schedule(analysis->symbolic));
+  }
+  ParallelSolveOptions opts;
+  opts.threads = std::max(1, options.solve_threads);
+  opts.schedule = solve_schedule.get();
+  return opts;
+}
+
 Matrix<double> Solver::solve(const Matrix<double>& b) const {
+  if (!impl_->factored) {
+    throw InvalidStateError(
+        "Solver::solve: factor() has not been called (analyze-only handle)");
+  }
   if (b.rows() != impl_->matrix.n()) {
     throw InvalidArgumentError(
         "Solver::solve: rhs has " + std::to_string(b.rows()) +
         " rows, matrix dimension is " + std::to_string(impl_->matrix.n()));
   }
-  Matrix<double> x(b.rows(), b.cols());
-  for (index_t j = 0; j < b.cols(); ++j) {
-    std::span<const double> column(b.data() + j * b.rows(),
-                                   static_cast<std::size_t>(b.rows()));
-    const std::vector<double> xj = solve(column);
-    for (index_t i = 0; i < b.rows(); ++i) x(i, j) = xj[static_cast<std::size_t>(i)];
-  }
-  return x;
+  if (b.cols() == 0) return Matrix<double>(b.rows(), 0);
+  // One blocked refined pass over the whole block: each factor panel is
+  // streamed once per refinement step instead of once per column, and the
+  // level-scheduled sweeps keep every column bitwise identical to a
+  // per-column solve(b.col(j)).
+  obs::ScopedSpan span("solve", "blocked_solve_with_refinement");
+  span.set_arg(0, "rhs", b.cols());
+  BlockRefineResult refined = solve_with_refinement(
+      impl_->matrix, *impl_->analysis, *impl_->factor, b,
+      impl_->options.max_refinement_steps,
+      impl_->options.refinement_tolerance, impl_->solve_options());
+  return std::move(refined.x);
 }
 
 RefineResult Solver::solve_with_history(std::span<const double> b) const {
@@ -361,7 +386,8 @@ RefineResult Solver::solve_with_history(std::span<const double> b) const {
   return solve_with_refinement(impl_->matrix, *impl_->analysis,
                                *impl_->factor, b,
                                impl_->options.max_refinement_steps,
-                               impl_->options.refinement_tolerance);
+                               impl_->options.refinement_tolerance,
+                               impl_->solve_options());
 }
 
 const Analysis& Solver::analysis() const noexcept { return *impl_->analysis; }

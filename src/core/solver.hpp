@@ -92,6 +92,13 @@ struct SolverOptions {
   /// identical to the serial factorization for any thread count. Off trades
   /// that for assembling in completion order (roundoff-level differences).
   bool deterministic_reduction = true;
+  /// Thread count for the level-scheduled triangular solves
+  /// (multifrontal/parallel_solve.hpp): every solve()/solve_with_history()
+  /// call runs its sweeps as a dependency DAG on a work-stealing pool of
+  /// this many threads. Solutions are bitwise identical at every thread
+  /// count (the sweeps are pull-formulated), so this is purely a
+  /// throughput knob; 1 (the default) executes entirely on the caller.
+  int solve_threads = 1;
   /// Record the numeric phase's schedule flight record
   /// (obs/schedule_record.hpp): every task, dependency join, and primitive
   /// virtual-timing operation, replayable bitwise by obs/whatif.hpp. Costs

@@ -1,0 +1,542 @@
+#include "multifrontal/parallel_solve.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "gpusim/gpublas.hpp"
+#include "obs/obs.hpp"
+#include "sched/thread_pool.hpp"
+
+namespace mfgpu {
+
+SolveSchedule build_solve_schedule(const SymbolicFactor& sym) {
+  const index_t nsup = sym.num_supernodes();
+  SolveSchedule sched;
+  sched.num_supernodes = nsup;
+  sched.level_of.assign(static_cast<std::size_t>(nsup), 0);
+  sched.out_ptr.assign(static_cast<std::size_t>(nsup) + 1, 0);
+  sched.in_ptr.assign(static_cast<std::size_t>(nsup) + 1, 0);
+  if (nsup == 0) {
+    sched.level_ptr.assign(1, 0);
+    return sched;
+  }
+
+  // Height above the leaves. Supernodes are postordered (parent > child),
+  // so one ascending pass folds every child into its parent.
+  for (index_t s = 0; s < nsup; ++s) {
+    const index_t p = sym.supernodes()[static_cast<std::size_t>(s)].parent;
+    if (p != -1) {
+      auto& lp = sched.level_of[static_cast<std::size_t>(p)];
+      lp = std::max(lp, sched.level_of[static_cast<std::size_t>(s)] + 1);
+    }
+  }
+  for (index_t s = 0; s < nsup; ++s) {
+    sched.num_levels =
+        std::max(sched.num_levels, sched.level_of[static_cast<std::size_t>(s)] + 1);
+  }
+
+  // Level-major lists via counting sort (keeps supernode order within a
+  // level ascending).
+  sched.level_ptr.assign(static_cast<std::size_t>(sched.num_levels) + 1, 0);
+  for (index_t s = 0; s < nsup; ++s) {
+    ++sched.level_ptr[static_cast<std::size_t>(
+        sched.level_of[static_cast<std::size_t>(s)]) + 1];
+  }
+  for (std::size_t l = 1; l < sched.level_ptr.size(); ++l) {
+    sched.level_ptr[l] += sched.level_ptr[l - 1];
+    sched.max_level_width =
+        std::max(sched.max_level_width,
+                 sched.level_ptr[l] - sched.level_ptr[l - 1]);
+  }
+  sched.level_nodes.resize(static_cast<std::size_t>(nsup));
+  {
+    std::vector<index_t> cursor(sched.level_ptr.begin(),
+                                sched.level_ptr.end() - 1);
+    for (index_t s = 0; s < nsup; ++s) {
+      const index_t l = sched.level_of[static_cast<std::size_t>(s)];
+      sched.level_nodes[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(l)]++)] = s;
+    }
+  }
+
+  // Dependency runs: walk each source's (sorted) update rows and cut a run
+  // at every owner-supernode boundary. Sources ascending by construction.
+  for (index_t s = 0; s < nsup; ++s) {
+    const SupernodeInfo& sn = sym.supernodes()[static_cast<std::size_t>(s)];
+    const index_t m = sn.num_update_rows();
+    index_t t = 0;
+    while (t < m) {
+      const index_t target =
+          sym.snode_of_col(sn.update_rows[static_cast<std::size_t>(t)]);
+      // last_col is one past the target's final column: extend the run only
+      // while the rows stay strictly below it.
+      const index_t last =
+          sym.supernodes()[static_cast<std::size_t>(target)].last_col;
+      index_t end = t + 1;
+      while (end < m && sn.update_rows[static_cast<std::size_t>(end)] < last) {
+        ++end;
+      }
+      sched.runs.push_back(SolveRun{s, target, t, end});
+      ++sched.in_ptr[static_cast<std::size_t>(target) + 1];
+      t = end;
+    }
+    sched.out_ptr[static_cast<std::size_t>(s) + 1] =
+        static_cast<index_t>(sched.runs.size());
+  }
+  for (std::size_t i = 1; i < sched.in_ptr.size(); ++i) {
+    sched.in_ptr[i] += sched.in_ptr[i - 1];
+  }
+  sched.in_runs.resize(sched.runs.size());
+  {
+    std::vector<index_t> cursor(sched.in_ptr.begin(), sched.in_ptr.end() - 1);
+    for (std::size_t i = 0; i < sched.runs.size(); ++i) {
+      const index_t target = sched.runs[i].target;
+      sched.in_runs[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(target)]++)] =
+          static_cast<index_t>(i);
+    }
+  }
+  return sched;
+}
+
+namespace {
+
+double pivot_triangle_entries(index_t k) {
+  return 0.5 * static_cast<double>(k) * static_cast<double>(k + 1);
+}
+
+/// Per-supernode cost of one sweep task: the factor entries it streams
+/// (once per block) and the x rows it gathers/scatters (once per RHS).
+/// Summed over all tasks, one sweep streams every stored factor entry
+/// exactly once and moves every update row once per RHS — which is how the
+/// one-thread makespan reproduces estimated_solve_seconds(sym, num_rhs).
+struct TaskWork {
+  double entries = 0.0;
+  double rows = 0.0;
+};
+
+std::vector<TaskWork> forward_work(const SymbolicFactor& sym,
+                                   const SolveSchedule& sched) {
+  std::vector<TaskWork> work(static_cast<std::size_t>(sched.num_supernodes));
+  for (index_t s = 0; s < sched.num_supernodes; ++s) {
+    TaskWork& w = work[static_cast<std::size_t>(s)];
+    w.entries = pivot_triangle_entries(
+        sym.supernodes()[static_cast<std::size_t>(s)].width());
+    for (index_t i = sched.in_ptr[static_cast<std::size_t>(s)];
+         i < sched.in_ptr[static_cast<std::size_t>(s) + 1]; ++i) {
+      const SolveRun& run =
+          sched.runs[static_cast<std::size_t>(
+              sched.in_runs[static_cast<std::size_t>(i)])];
+      const double len = static_cast<double>(run.t_end - run.t_begin);
+      w.entries += len * static_cast<double>(
+          sym.supernodes()[static_cast<std::size_t>(run.source)].width());
+      w.rows += len;
+    }
+  }
+  return work;
+}
+
+std::vector<TaskWork> backward_work(const SymbolicFactor& sym,
+                                    const SolveSchedule& sched) {
+  std::vector<TaskWork> work(static_cast<std::size_t>(sched.num_supernodes));
+  for (index_t s = 0; s < sched.num_supernodes; ++s) {
+    const SupernodeInfo& sn = sym.supernodes()[static_cast<std::size_t>(s)];
+    TaskWork& w = work[static_cast<std::size_t>(s)];
+    const double m = static_cast<double>(sn.num_update_rows());
+    w.entries =
+        pivot_triangle_entries(sn.width()) + m * static_cast<double>(sn.width());
+    w.rows = m;
+  }
+  return work;
+}
+
+double host_task_seconds(const TaskWork& work, index_t num_rhs) {
+  return (work.entries + static_cast<double>(num_rhs) * work.rows) /
+         host_assembly_rate();
+}
+
+/// Simulated kernel launches of one sweep task on the GpuSim backend: one
+/// trsm against the pivot block plus one gemm per dependency run (forward)
+/// or one gemm for the whole gather (backward).
+struct TaskKernels {
+  double seconds = 0.0;  ///< kernel time on the compute stream
+  int launches = 0;      ///< host-side enqueues
+};
+
+std::vector<TaskKernels> forward_kernels(const SymbolicFactor& sym,
+                                         const SolveSchedule& sched,
+                                         const ProcessorModel& gpu,
+                                         index_t num_rhs) {
+  const double r = static_cast<double>(num_rhs);
+  std::vector<TaskKernels> kernels(
+      static_cast<std::size_t>(sched.num_supernodes));
+  for (index_t s = 0; s < sched.num_supernodes; ++s) {
+    TaskKernels& tk = kernels[static_cast<std::size_t>(s)];
+    const double k = static_cast<double>(
+        sym.supernodes()[static_cast<std::size_t>(s)].width());
+    for (index_t i = sched.in_ptr[static_cast<std::size_t>(s)];
+         i < sched.in_ptr[static_cast<std::size_t>(s) + 1]; ++i) {
+      const SolveRun& run =
+          sched.runs[static_cast<std::size_t>(
+              sched.in_runs[static_cast<std::size_t>(i)])];
+      const double len = static_cast<double>(run.t_end - run.t_begin);
+      const double kc = static_cast<double>(
+          sym.supernodes()[static_cast<std::size_t>(run.source)].width());
+      tk.seconds +=
+          gpu.gemm.time(2.0 * len * kc * r, std::min({len, kc, r}));
+      ++tk.launches;
+    }
+    tk.seconds += gpu.trsm.time(k * k * r, std::min(k, r));
+    ++tk.launches;
+  }
+  return kernels;
+}
+
+std::vector<TaskKernels> backward_kernels(const SymbolicFactor& sym,
+                                          const SolveSchedule& sched,
+                                          const ProcessorModel& gpu,
+                                          index_t num_rhs) {
+  const double r = static_cast<double>(num_rhs);
+  std::vector<TaskKernels> kernels(
+      static_cast<std::size_t>(sched.num_supernodes));
+  for (index_t s = 0; s < sched.num_supernodes; ++s) {
+    const SupernodeInfo& sn = sym.supernodes()[static_cast<std::size_t>(s)];
+    TaskKernels& tk = kernels[static_cast<std::size_t>(s)];
+    const double k = static_cast<double>(sn.width());
+    const double m = static_cast<double>(sn.num_update_rows());
+    if (m > 0.0) {
+      tk.seconds += gpu.gemm.time(2.0 * m * k * r, std::min({m, k, r}));
+      ++tk.launches;
+    }
+    tk.seconds += gpu.trsm.time(k * k * r, std::min(k, r));
+    ++tk.launches;
+  }
+  return kernels;
+}
+
+/// Apply one incoming run at its target: the pull form of the serial
+/// sweep's scatter. Columns are independent; within a column the (source
+/// ascending, j ascending) order reproduces the serial subtraction sequence
+/// on every x entry exactly.
+template <typename T>
+void apply_run(const SymbolicFactor& sym, const std::vector<Matrix<T>>& panels,
+               const SolveRun& run, MatrixView<double> x) {
+  const SupernodeInfo& src =
+      sym.supernodes()[static_cast<std::size_t>(run.source)];
+  const auto& panel = panels[static_cast<std::size_t>(run.source)];
+  const index_t kc = src.width();
+  for (index_t col = 0; col < x.cols(); ++col) {
+    for (index_t j = 0; j < kc; ++j) {
+      const double xj = x(src.first_col + j, col);
+      for (index_t t = run.t_begin; t < run.t_end; ++t) {
+        x(src.update_rows[static_cast<std::size_t>(t)], col) -=
+            static_cast<double>(panel(kc + t, j)) * xj;
+      }
+    }
+  }
+}
+
+template <typename T>
+void pivot_forward(const SupernodeInfo& sn, const Matrix<T>& panel,
+                   MatrixView<double> x) {
+  const index_t k = sn.width();
+  for (index_t col = 0; col < x.cols(); ++col) {
+    for (index_t j = 0; j < k; ++j) {
+      x(sn.first_col + j, col) /= static_cast<double>(panel(j, j));
+      const double xj = x(sn.first_col + j, col);
+      for (index_t i = j + 1; i < k; ++i) {
+        x(sn.first_col + i, col) -= static_cast<double>(panel(i, j)) * xj;
+      }
+    }
+  }
+}
+
+template <typename T>
+void backward_supernode(const SupernodeInfo& sn, const Matrix<T>& panel,
+                        MatrixView<double> x) {
+  const index_t k = sn.width();
+  const index_t m = sn.num_update_rows();
+  for (index_t col = 0; col < x.cols(); ++col) {
+    for (index_t j = 0; j < k; ++j) {
+      double sum = 0.0;
+      for (index_t t = 0; t < m; ++t) {
+        sum += static_cast<double>(panel(k + t, j)) *
+               x(sn.update_rows[static_cast<std::size_t>(t)], col);
+      }
+      x(sn.first_col + j, col) -= sum;
+    }
+    for (index_t j = k - 1; j >= 0; --j) {
+      double sum = x(sn.first_col + j, col);
+      for (index_t i = j + 1; i < k; ++i) {
+        sum -= static_cast<double>(panel(i, j)) * x(sn.first_col + i, col);
+      }
+      x(sn.first_col + j, col) = sum / static_cast<double>(panel(j, j));
+    }
+  }
+}
+
+/// One worker's pricing state. The numeric work is identical on every
+/// backend; only where the virtual time is charged differs.
+struct SolveWorker {
+  SimClock clock;
+  std::unique_ptr<Device> device;  ///< GpuSim backend only
+};
+
+template <typename T>
+void run_sweeps(const SymbolicFactor& sym, const SolveSchedule& sched,
+                const std::vector<Matrix<T>>& panels, MatrixView<double> x,
+                const ParallelSolveOptions& options, SolveStats& stats) {
+  const index_t nsup = sched.num_supernodes;
+  const index_t num_rhs = x.cols();
+  const int threads = std::max(1, options.threads);
+  const bool gpu = options.backend == SolveBackend::GpuSim;
+
+  std::vector<SolveWorker> workers(static_cast<std::size_t>(threads));
+  if (gpu) {
+    Device::Options device_options = options.device;
+    device_options.numeric = false;  // pricing only; math stays on the host
+    for (auto& w : workers) {
+      w.device = std::make_unique<Device>(device_options);
+    }
+  }
+
+  // Per-task virtual costs, precomputed so task bodies stay race-free.
+  const std::vector<TaskWork> fwd_work = forward_work(sym, sched);
+  const std::vector<TaskWork> bwd_work = backward_work(sym, sched);
+  std::vector<TaskKernels> fwd_kernels, bwd_kernels;
+  if (gpu) {
+    const ProcessorModel& model = workers.front().device->model();
+    fwd_kernels = forward_kernels(sym, sched, model, num_rhs);
+    bwd_kernels = backward_kernels(sym, sched, model, num_rhs);
+  }
+
+  // Virtual completion time of each supernode's segment in the current
+  // sweep. Written by the owning task, read by dependents; the pool's
+  // acquire-release completion counters order the accesses.
+  std::vector<double> ready(static_cast<std::size_t>(nsup), 0.0);
+
+  // Forward edges follow the runs (source -> target); priorities drain the
+  // levels bottom-up.
+  std::vector<index_t> fwd_succ(sched.runs.size());
+  std::vector<index_t> fwd_deps(static_cast<std::size_t>(nsup));
+  std::vector<index_t> bwd_succ(sched.runs.size());
+  std::vector<index_t> bwd_deps(static_cast<std::size_t>(nsup));
+  std::vector<double> fwd_priority(static_cast<std::size_t>(nsup));
+  std::vector<double> bwd_priority(static_cast<std::size_t>(nsup));
+  for (std::size_t i = 0; i < sched.runs.size(); ++i) {
+    fwd_succ[i] = sched.runs[i].target;
+    bwd_succ[i] =
+        sched.runs[static_cast<std::size_t>(
+            sched.in_runs[i])].source;
+  }
+  for (index_t s = 0; s < nsup; ++s) {
+    fwd_deps[static_cast<std::size_t>(s)] =
+        sched.in_ptr[static_cast<std::size_t>(s) + 1] -
+        sched.in_ptr[static_cast<std::size_t>(s)];
+    bwd_deps[static_cast<std::size_t>(s)] =
+        sched.out_ptr[static_cast<std::size_t>(s) + 1] -
+        sched.out_ptr[static_cast<std::size_t>(s)];
+    fwd_priority[static_cast<std::size_t>(s)] =
+        -static_cast<double>(sched.level_of[static_cast<std::size_t>(s)]);
+    bwd_priority[static_cast<std::size_t>(s)] =
+        static_cast<double>(sched.level_of[static_cast<std::size_t>(s)]);
+  }
+
+  const TransferModel* transfer =
+      gpu ? &workers.front().device->transfer() : nullptr;
+
+  auto price_task = [&](index_t s, int w, const TaskWork& work,
+                        const TaskKernels* kernels, double dep_ready) {
+    SolveWorker& worker = workers[static_cast<std::size_t>(w)];
+    if (!gpu) {
+      worker.clock.advance_to(dep_ready);
+      worker.clock.advance(host_task_seconds(work, num_rhs));
+      ready[static_cast<std::size_t>(s)] = worker.clock.now();
+      return;
+    }
+    // Kernel launches are asynchronous: the host pays the enqueues, the
+    // compute stream runs the kernels once the dependencies' segments are
+    // (virtually) available.
+    worker.clock.advance(static_cast<double>(kernels->launches) *
+                         transfer->kernel_enqueue);
+    const double done = worker.device->compute_stream().enqueue(
+        std::max(worker.clock.now(), dep_ready), kernels->seconds);
+    ready[static_cast<std::size_t>(s)] = done;
+  };
+
+  auto fwd_body = [&](index_t s, int w) {
+    double dep_ready = 0.0;
+    for (index_t i = sched.in_ptr[static_cast<std::size_t>(s)];
+         i < sched.in_ptr[static_cast<std::size_t>(s) + 1]; ++i) {
+      const SolveRun& run =
+          sched.runs[static_cast<std::size_t>(
+              sched.in_runs[static_cast<std::size_t>(i)])];
+      dep_ready =
+          std::max(dep_ready, ready[static_cast<std::size_t>(run.source)]);
+      apply_run(sym, panels, run, x);
+    }
+    pivot_forward(sym.supernodes()[static_cast<std::size_t>(s)],
+                  panels[static_cast<std::size_t>(s)], x);
+    price_task(s, w, fwd_work[static_cast<std::size_t>(s)],
+               gpu ? &fwd_kernels[static_cast<std::size_t>(s)] : nullptr,
+               dep_ready);
+  };
+
+  ThreadPool pool(threads);
+  {
+    obs::ScopedSpan span("solve", "forward_sweep");
+    span.set_arg(0, "levels", sched.num_levels);
+    GraphDag dag;
+    dag.succ_ptr = sched.out_ptr;
+    dag.succ = fwd_succ;
+    dag.num_deps = fwd_deps;
+    dag.priority = fwd_priority;
+    pool.run_dag(dag, fwd_body);
+  }
+  double forward_done = 0.0;
+  for (double t : ready) forward_done = std::max(forward_done, t);
+  stats.forward_sim_seconds = forward_done;
+
+  // A supernode's backward task re-reads its own forward segment, so its
+  // earliest start also folds the forward completion time.
+  const std::vector<double> fwd_ready = ready;
+
+  auto bwd_body = [&](index_t s, int w) {
+    double dep_ready = fwd_ready[static_cast<std::size_t>(s)];
+    for (index_t i = sched.out_ptr[static_cast<std::size_t>(s)];
+         i < sched.out_ptr[static_cast<std::size_t>(s) + 1]; ++i) {
+      dep_ready = std::max(
+          dep_ready,
+          ready[static_cast<std::size_t>(
+              sched.runs[static_cast<std::size_t>(i)].target)]);
+    }
+    backward_supernode(sym.supernodes()[static_cast<std::size_t>(s)],
+                       panels[static_cast<std::size_t>(s)], x);
+    price_task(s, w, bwd_work[static_cast<std::size_t>(s)],
+               gpu ? &bwd_kernels[static_cast<std::size_t>(s)] : nullptr,
+               dep_ready);
+  };
+
+  {
+    obs::ScopedSpan span("solve", "backward_sweep");
+    span.set_arg(0, "levels", sched.num_levels);
+    GraphDag dag;
+    dag.succ_ptr = sched.in_ptr;
+    dag.succ = bwd_succ;
+    dag.num_deps = bwd_deps;
+    dag.priority = bwd_priority;
+    pool.run_dag(dag, bwd_body);
+  }
+  double total = forward_done;
+  for (double t : ready) total = std::max(total, t);
+  stats.backward_sim_seconds = total - forward_done;
+  stats.sim_seconds = total;
+}
+
+}  // namespace
+
+Matrix<double> solve(const Analysis& analysis, const Factorization& factor,
+                     const Matrix<double>& b, index_t num_rhs,
+                     const ParallelSolveOptions& options, SolveStats* stats) {
+  const SymbolicFactor& sym = analysis.symbolic;
+  const index_t n = sym.n();
+  MFGPU_CHECK(factor.numeric, "solve: factor has no numeric data");
+  MFGPU_CHECK(factor.num_panels() == sym.num_supernodes(),
+              "solve: factor does not match the analysis");
+  MFGPU_CHECK(b.rows() == n, "solve: rhs row count mismatch");
+  MFGPU_CHECK(num_rhs >= 1 && num_rhs <= b.cols(),
+              "solve: num_rhs out of range");
+
+  SolveSchedule local;
+  const SolveSchedule* sched = options.schedule;
+  if (sched == nullptr) {
+    local = build_solve_schedule(sym);
+    sched = &local;
+  }
+  MFGPU_CHECK(sched->num_supernodes == sym.num_supernodes(),
+              "solve: schedule does not match the analysis");
+
+  SolveStats run_stats;
+  run_stats.levels = sched->num_levels;
+  run_stats.num_rhs = num_rhs;
+  run_stats.threads = std::max(1, options.threads);
+
+  obs::ScopedSpan span("solve", "blocked_solve");
+  span.set_arg(0, "rhs", num_rhs);
+  span.set_arg(1, "threads", run_stats.threads);
+  span.set_arg(2, "levels", sched->num_levels);
+
+  Matrix<double> x(n, num_rhs);
+  {
+    std::vector<double> permuted(static_cast<std::size_t>(n));
+    for (index_t col = 0; col < num_rhs; ++col) {
+      const std::span<const double> in(b.data() + col * n,
+                                       static_cast<std::size_t>(n));
+      analysis.perm.apply(in, permuted);
+      std::copy(permuted.begin(), permuted.end(), x.data() + col * n);
+    }
+  }
+
+  if (factor.single_precision()) {
+    run_sweeps(sym, *sched, factor.panels32, x.view(), options, run_stats);
+  } else {
+    run_sweeps(sym, *sched, factor.panels, x.view(), options, run_stats);
+  }
+
+  {
+    std::vector<double> column(static_cast<std::size_t>(n));
+    for (index_t col = 0; col < num_rhs; ++col) {
+      const std::span<const double> in(x.data() + col * n,
+                                       static_cast<std::size_t>(n));
+      analysis.perm.apply_inverse(in, column);
+      std::copy(column.begin(), column.end(), x.data() + col * n);
+    }
+  }
+
+  if (obs::enabled()) {
+    auto& metrics = obs::MetricsRegistry::global();
+    metrics.increment("solve.calls");
+    metrics.observe("solve.rhs", static_cast<double>(num_rhs));
+    metrics.gauge_set("solve.levels", static_cast<double>(sched->num_levels));
+    metrics.gauge_set("solve.threads",
+                      static_cast<double>(run_stats.threads));
+    metrics.add("solve.sim.forward_seconds", run_stats.forward_sim_seconds);
+    metrics.add("solve.sim.backward_seconds", run_stats.backward_sim_seconds);
+    metrics.add("solve.sim.seconds", run_stats.sim_seconds);
+    metrics.add("solve.supernode_tasks",
+                2.0 * static_cast<double>(sym.num_supernodes()));
+  }
+  if (stats != nullptr) *stats = run_stats;
+  return x;
+}
+
+double estimated_solve_seconds(const SymbolicFactor& sym,
+                               const SolveSchedule& schedule, index_t num_rhs,
+                               int threads) {
+  MFGPU_CHECK(num_rhs >= 1, "estimated_solve_seconds: num_rhs must be >= 1");
+  MFGPU_CHECK(threads >= 1, "estimated_solve_seconds: threads must be >= 1");
+  const double t = static_cast<double>(threads);
+  double total = 0.0;
+  for (const auto& work : {forward_work(sym, schedule),
+                           backward_work(sym, schedule)}) {
+    for (index_t l = 0; l < schedule.num_levels; ++l) {
+      double level_sum = 0.0;
+      double level_max = 0.0;
+      for (index_t i = schedule.level_ptr[static_cast<std::size_t>(l)];
+           i < schedule.level_ptr[static_cast<std::size_t>(l) + 1]; ++i) {
+        const double cost = host_task_seconds(
+            work[static_cast<std::size_t>(
+                schedule.level_nodes[static_cast<std::size_t>(i)])],
+            num_rhs);
+        level_sum += cost;
+        level_max = std::max(level_max, cost);
+      }
+      total += std::max(level_max, level_sum / t);
+    }
+  }
+  return total;
+}
+
+}  // namespace mfgpu

@@ -1,6 +1,7 @@
 #include "multifrontal/refine.hpp"
 
 #include <cmath>
+#include <cstring>
 
 namespace mfgpu {
 
@@ -18,53 +19,133 @@ double residual_norm(const SparseSpd& a, std::span<const double> x,
   return std::sqrt(sum);
 }
 
+// The scalar API is the one-column case of the blocked loop below — one
+// implementation, so the two can never drift (the serving layer's
+// batched-vs-unbatched bitwise-identity guarantee rests on this).
 RefineResult solve_with_refinement(const SparseSpd& a_original,
                                    const Analysis& analysis,
                                    const Factorization& factor,
                                    std::span<const double> b,
-                                   int max_iterations, double tol) {
+                                   int max_iterations, double tol,
+                                   const ParallelSolveOptions& solve_options) {
   const auto n = static_cast<std::size_t>(a_original.n());
+  MFGPU_CHECK(b.size() == n, "solve_with_refinement: size mismatch");
+  Matrix<double> rhs(static_cast<index_t>(n), 1);
+  std::memcpy(rhs.data(), b.data(), n * sizeof(double));
+  BlockRefineResult block = solve_with_refinement(
+      a_original, analysis, factor, rhs, max_iterations, tol, solve_options);
   RefineResult result;
-  result.x = solve(analysis, factor, b);
-  result.residual_norms.push_back(residual_norm(a_original, result.x, b));
+  result.x.assign(block.x.data(), block.x.data() + n);
+  result.residual_norms = std::move(block.residual_norms.front());
+  result.iterations = block.iterations.front();
+  return result;
+}
 
-  double b_norm = 0.0;
-  for (double v : b) b_norm += v * v;
-  b_norm = std::sqrt(b_norm);
-  const double target = tol * (b_norm > 0.0 ? b_norm : 1.0);
+BlockRefineResult solve_with_refinement(
+    const SparseSpd& a_original, const Analysis& analysis,
+    const Factorization& factor, const Matrix<double>& b, int max_iterations,
+    double tol, const ParallelSolveOptions& solve_options) {
+  const auto n = static_cast<std::size_t>(a_original.n());
+  const index_t num_rhs = b.cols();
+  MFGPU_CHECK(static_cast<std::size_t>(b.rows()) == n,
+              "solve_with_refinement: size mismatch");
+  MFGPU_CHECK(num_rhs >= 1, "solve_with_refinement: empty rhs block");
 
-  // A refinement step is not guaranteed to improve: with a factor of the
-  // wrong matrix (or a badly corrupted one) the correction diverges. Track
-  // the best iterate seen so the caller always gets the smallest-residual x,
-  // never a diverged final step.
-  std::vector<double> best_x = result.x;
-  double best_norm = result.residual_norms.back();
+  BlockRefineResult result;
+  result.x = solve(analysis, factor, b, num_rhs, solve_options);
+  result.residual_norms.resize(static_cast<std::size_t>(num_rhs));
+  result.iterations.assign(static_cast<std::size_t>(num_rhs), 0);
 
+  auto col_span = [n](const Matrix<double>& m, index_t col) {
+    return std::span<const double>(m.data() + col * static_cast<index_t>(n),
+                                   n);
+  };
+
+  // Per-column refinement state, mirroring the scalar loop exactly: each
+  // column converges, stagnates, and reverts on its own norms. A step is
+  // not guaranteed to improve (a factor of the wrong or corrupted matrix
+  // diverges), so the smallest-residual iterate is tracked per column and
+  // the recorded history is truncated back to it on revert — back() always
+  // equals residual_norm(a, x_col, b_col), with no duplicated entries.
+  std::vector<double> target(static_cast<std::size_t>(num_rhs));
+  std::vector<double> best_norm(static_cast<std::size_t>(num_rhs));
+  std::vector<std::size_t> best_pos(static_cast<std::size_t>(num_rhs), 0);
+  std::vector<std::vector<double>> best_x(static_cast<std::size_t>(num_rhs));
+  std::vector<char> done(static_cast<std::size_t>(num_rhs), 0);
+
+  for (index_t col = 0; col < num_rhs; ++col) {
+    const auto c = static_cast<std::size_t>(col);
+    auto& norms = result.residual_norms[c];
+    norms.push_back(
+        residual_norm(a_original, col_span(result.x, col), col_span(b, col)));
+    double b_norm = 0.0;
+    for (double v : col_span(b, col)) b_norm += v * v;
+    b_norm = std::sqrt(b_norm);
+    target[c] = tol * (b_norm > 0.0 ? b_norm : 1.0);
+    best_norm[c] = norms.back();
+    best_x[c].assign(col_span(result.x, col).begin(),
+                     col_span(result.x, col).end());
+  }
+
+  std::vector<index_t> active;
   std::vector<double> residual(n);
   for (int it = 0; it < max_iterations; ++it) {
-    if (result.residual_norms.back() <= target) break;
-    // r = b - A x in double precision.
-    a_original.multiply(result.x, residual);
-    for (std::size_t i = 0; i < n; ++i) residual[i] = b[i] - residual[i];
-    // dx = A^{-1} r through the factorization; x += dx.
-    const std::vector<double> dx = solve(analysis, factor, residual);
-    for (std::size_t i = 0; i < n; ++i) result.x[i] += dx[i];
-    const double norm = residual_norm(a_original, result.x, b);
-    ++result.iterations;
-    if (norm < best_norm) {
-      best_norm = norm;
-      best_x = result.x;
+    active.clear();
+    for (index_t col = 0; col < num_rhs; ++col) {
+      const auto c = static_cast<std::size_t>(col);
+      if (!done[c] && result.residual_norms[c].back() > target[c]) {
+        active.push_back(col);
+      }
     }
-    // Stop when refinement stagnates (no ~2x improvement).
-    if (norm > 0.5 * result.residual_norms.back()) {
-      result.residual_norms.push_back(norm);
-      break;
+    if (active.empty()) break;
+
+    // r = b - A x per active column, in double precision; then one blocked
+    // correction solve for the whole active set.
+    Matrix<double> rblock(static_cast<index_t>(n),
+                          static_cast<index_t>(active.size()));
+    for (std::size_t a = 0; a < active.size(); ++a) {
+      const index_t col = active[a];
+      std::span<double> r(rblock.data() + static_cast<index_t>(a) *
+                                              static_cast<index_t>(n),
+                          n);
+      a_original.multiply(col_span(result.x, col), r);
+      const std::span<const double> bc = col_span(b, col);
+      for (std::size_t i = 0; i < n; ++i) r[i] = bc[i] - r[i];
     }
-    result.residual_norms.push_back(norm);
+    const Matrix<double> dx =
+        solve(analysis, factor, rblock, static_cast<index_t>(active.size()),
+              solve_options);
+
+    for (std::size_t a = 0; a < active.size(); ++a) {
+      const index_t col = active[a];
+      const auto c = static_cast<std::size_t>(col);
+      double* x_col = result.x.data() + col * static_cast<index_t>(n);
+      const double* dx_col =
+          dx.data() + static_cast<index_t>(a) * static_cast<index_t>(n);
+      for (std::size_t i = 0; i < n; ++i) x_col[i] += dx_col[i];
+      auto& norms = result.residual_norms[c];
+      const double norm =
+          residual_norm(a_original, col_span(result.x, col), col_span(b, col));
+      ++result.iterations[c];
+      if (norm < best_norm[c]) {
+        best_norm[c] = norm;
+        best_pos[c] = norms.size();
+        best_x[c].assign(x_col, x_col + n);
+      }
+      // Stop this column when refinement stagnates (no ~2x improvement).
+      if (norm > 0.5 * norms.back()) done[c] = 1;
+      norms.push_back(norm);
+    }
   }
-  if (best_norm < result.residual_norms.back()) {
-    result.x = std::move(best_x);
-    result.residual_norms.push_back(best_norm);
+
+  for (index_t col = 0; col < num_rhs; ++col) {
+    const auto c = static_cast<std::size_t>(col);
+    auto& norms = result.residual_norms[c];
+    if (best_norm[c] < norms.back()) {
+      double* x_col = result.x.data() + col * static_cast<index_t>(n);
+      std::memcpy(x_col, best_x[c].data(), n * sizeof(double));
+      norms.resize(best_pos[c] + 1);
+    }
   }
   return result;
 }

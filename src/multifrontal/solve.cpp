@@ -6,19 +6,10 @@
 
 namespace mfgpu {
 
-double estimated_solve_seconds(const SymbolicFactor& sym) {
-  double entries = 2.0 * static_cast<double>(sym.factor_nnz());
-  for (const auto& sn : sym.supernodes()) {
-    entries += 2.0 * static_cast<double>(sn.num_update_rows());
-  }
-  return entries / host_assembly_rate();
-}
-
 double estimated_solve_seconds(const SymbolicFactor& sym, index_t num_rhs) {
   MFGPU_CHECK(num_rhs >= 1, "estimated_solve_seconds: num_rhs must be >= 1");
   // Factor panels are streamed once per blocked pass; the per-rhs cost is
-  // the gather/scatter of each supernode's update rows. With num_rhs == 1
-  // this reproduces the single-rhs estimate above exactly.
+  // the gather/scatter of each supernode's update rows.
   double update_rows = 0.0;
   for (const auto& sn : sym.supernodes()) {
     update_rows += 2.0 * static_cast<double>(sn.num_update_rows());
@@ -26,6 +17,12 @@ double estimated_solve_seconds(const SymbolicFactor& sym, index_t num_rhs) {
   const double stream = 2.0 * static_cast<double>(sym.factor_nnz());
   return (stream + static_cast<double>(num_rhs) * update_rows) /
          host_assembly_rate();
+}
+
+double estimated_solve_seconds(const SymbolicFactor& sym) {
+  // The single-rhs estimate is DEFINED as the num_rhs == 1 case of the
+  // blocked one; keeping one implementation stops the two from drifting.
+  return estimated_solve_seconds(sym, 1);
 }
 namespace {
 
@@ -49,10 +46,12 @@ void forward_sweep(const SymbolicFactor& sym,
         seg[i] -= static_cast<double>(panel(i, j)) * xj;
       }
     }
-    // x[update_rows] -= L2 * seg.
+    // x[update_rows] -= L2 * seg. No skipping of zero seg entries: a
+    // data-dependent short-circuit would hide non-finite panel values
+    // (NaN * 0 never reaches x), and solve cost must not depend on the
+    // values being solved — fault-injected corruption has to surface here.
     for (index_t j = 0; j < k; ++j) {
       const double xj = seg[j];
-      if (xj == 0.0) continue;
       for (index_t t = 0; t < m; ++t) {
         x[static_cast<std::size_t>(
             sn.update_rows[static_cast<std::size_t>(t)])] -=

@@ -22,17 +22,17 @@ void backward_solve(const Analysis& analysis, const Factorization& factor,
 std::vector<double> solve(const Analysis& analysis, const Factorization& factor,
                           std::span<const double> b);
 
-/// Simulated host seconds for one forward + backward solve: the sweeps are
-/// memory bound — every stored factor entry is streamed twice, plus the
-/// gather/scatter of each supernode's update rows.
-double estimated_solve_seconds(const SymbolicFactor& sym);
-
 /// Simulated host seconds for a BLOCKED solve of `num_rhs` right-hand
-/// sides in one pass: the factor panels are streamed once for the whole
-/// block, while the per-rhs gather/scatter traffic still scales with the
-/// block width. estimated_solve_seconds(sym, 1) == estimated_solve_seconds
-/// (sym); the gap to num_rhs * estimated_solve_seconds(sym) is the
-/// serving layer's batching win.
+/// sides in one pass: the sweeps are memory bound — the factor panels are
+/// streamed once for the whole block, while the per-rhs gather/scatter
+/// traffic still scales with the block width. The gap to
+/// num_rhs * estimated_solve_seconds(sym) is the serving layer's batching
+/// win. For the level-scheduled multi-threaded variant see
+/// multifrontal/parallel_solve.hpp.
 double estimated_solve_seconds(const SymbolicFactor& sym, index_t num_rhs);
+
+/// Single-rhs convenience overload: exactly estimated_solve_seconds(sym, 1)
+/// (one shared implementation — the two cannot drift).
+double estimated_solve_seconds(const SymbolicFactor& sym);
 
 }  // namespace mfgpu

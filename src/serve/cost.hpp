@@ -21,4 +21,13 @@ namespace mfgpu::serve {
 double estimated_analyze_seconds(const SparseSpd& a,
                                  const SymbolicFactor& sym);
 
+/// Simulated seconds the service charges for one blocked batch solve of
+/// `num_rhs` same-pattern right-hand sides on `solve_threads` solve
+/// threads. With solve_threads <= 1 this is exactly multifrontal's
+/// estimated_solve_seconds(sym, num_rhs) (the serial blocked sweep);
+/// more threads price the level-scheduled parallel sweep
+/// (multifrontal/parallel_solve.hpp's deterministic per-level bound).
+double estimated_batch_solve_seconds(const SymbolicFactor& sym,
+                                     index_t num_rhs, int solve_threads);
+
 }  // namespace mfgpu::serve

@@ -349,7 +349,8 @@ void SolverService::Impl::process_batch(std::vector<Request>& batch,
         solution = session.solver->solve(block);
       }
       solve_sim =
-          estimated_solve_seconds(session.solver->analysis().symbolic, k);
+          estimated_batch_solve_seconds(session.solver->analysis().symbolic, k,
+                                        options.solver.solve_threads);
     } catch (const Error& e) {
       // The session's solver may be mid-phase — drop it so the next request
       // rebuilds from a clean state (the shared cache entry, if any, is

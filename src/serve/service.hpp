@@ -190,6 +190,10 @@ struct ServeOptions {
   /// Max right-hand sides coalesced into one blocked solve pass.
   index_t max_batch_rhs = 8;
   /// Template for each session's Solver (mode, ordering, threads, ...).
+  /// solver.solve_threads routes every coalesced batch through the
+  /// level-scheduled parallel triangular solve (the batch's simulated
+  /// charge prices the parallel sweep accordingly); results stay bitwise
+  /// identical to single-threaded serving.
   SolverOptions solver;
   /// Construct with idle sessions; call start() to begin draining. Gives
   /// tests and benchmarks a deterministic queue composition.

@@ -6,9 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <memory>
 #include <sstream>
@@ -205,6 +207,61 @@ TEST(ChaosTest, FaultInsideBatchRetriesOnlyTheAffectedFront) {
       }
     }
   }
+}
+
+TEST(ChaosTest, NanPoisonedPanelSurfacesInSolution) {
+  // Silent-corruption detectability: a NaN written into a factor panel MUST
+  // reach the solution, never be masked. The forward sweep used to skip
+  // update scatters when the pivot entry was exactly 0.0 — with a zero
+  // right-hand side that short-circuit silently swallowed every poisoned
+  // panel (NaN * 0 was never evaluated) and returned a clean all-zero
+  // "solution" from a corrupted factor.
+  const GridProblem p = make_laplacian_3d(5, 4, 4);
+  const Analysis analysis = analyze_md(p.matrix);
+  PolicyExecutor p1(Policy::P1);
+  FactorContext ctx;
+  FactorizeResult result = factorize(analysis, p1, ctx);
+
+  // Poison one L21 entry (an update-row scatter coefficient) of the first
+  // supernode that has update rows.
+  bool poisoned = false;
+  for (index_t s = 0; s < analysis.symbolic.num_supernodes(); ++s) {
+    const SupernodeInfo& sn =
+        analysis.symbolic.supernodes()[static_cast<std::size_t>(s)];
+    if (sn.num_update_rows() > 0) {
+      result.factor.panels[static_cast<std::size_t>(s)](sn.width(), 0) =
+          std::numeric_limits<double>::quiet_NaN();
+      poisoned = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(poisoned) << "no supernode has update rows";
+
+  const auto has_nan = [](std::span<const double> x) {
+    for (double v : x) {
+      if (std::isnan(v)) return true;
+    }
+    return false;
+  };
+
+  // The adversarial case: b == 0, so every x entry the poisoned scatter
+  // multiplies is exactly 0.0.
+  const std::vector<double> zeros(static_cast<std::size_t>(p.matrix.n()), 0.0);
+  EXPECT_TRUE(has_nan(solve(analysis, result.factor, zeros)))
+      << "zero-rhs solve masked a NaN-poisoned panel";
+
+  // And the ordinary case, through the level-scheduled path as well.
+  const auto b = rhs_for_ones(p.matrix);
+  EXPECT_TRUE(has_nan(solve(analysis, result.factor, b)));
+  Matrix<double> rhs(p.matrix.n(), 1);
+  std::copy(zeros.begin(), zeros.end(), rhs.data());
+  ParallelSolveOptions parallel_options;
+  parallel_options.threads = 4;
+  const Matrix<double> px =
+      solve(analysis, result.factor, rhs, 1, parallel_options);
+  EXPECT_TRUE(has_nan(
+      std::span<const double>(px.data(), static_cast<std::size_t>(px.rows()))))
+      << "parallel zero-rhs solve masked a NaN-poisoned panel";
 }
 
 TEST(ChaosTest, StickyDeathCompletesCpuOnly) {

@@ -115,9 +115,11 @@ TEST(RefineTest, AlreadyAccurateSolutionStopsEarly) {
 }
 
 TEST(RefineTest, DivergingCorrectionReturnsBestIterate) {
-  // Refine against 3M with a factor of M: every correction step doubles the
-  // residual. The result must be the initial (best) iterate, not the
-  // diverged final step, and back() must restate the returned x's norm.
+  // Refine against 3M with a factor of M: every correction step diverges.
+  // The result must revert to the initial (best) iterate, and the recorded
+  // history must be truncated back to it — the diverged trailing norms are
+  // dropped, so back() equals the returned x's actual residual and no entry
+  // is duplicated.
   const GridProblem p = make_laplacian_3d(4, 4, 3);
   const SolveSetup s = factorize_p1(p.matrix);
   std::vector<double> scaled(p.matrix.values().begin(),
@@ -133,16 +135,20 @@ TEST(RefineTest, DivergingCorrectionReturnsBestIterate) {
   const std::vector<double> b(static_cast<std::size_t>(p.matrix.n()), 1.0);
 
   const RefineResult r = solve_with_refinement(a3, s.analysis, s.factor, b);
-  ASSERT_GE(r.residual_norms.size(), 3u);
-  EXPECT_GT(r.residual_norms[1], r.residual_norms[0]);  // step diverged
+  // A correction step was attempted (and discarded): the counter records the
+  // work, the history does not keep the diverged norms.
+  EXPECT_GE(r.iterations, 1);
+  ASSERT_EQ(r.residual_norms.size(), 1u);
   // The returned iterate is the initial solve, bitwise.
   const auto x0 = solve(s.analysis, s.factor, b);
   ASSERT_EQ(r.x.size(), x0.size());
   for (std::size_t i = 0; i < x0.size(); ++i) {
     EXPECT_EQ(r.x[i], x0[i]) << "component " << i;
   }
+  // back() restates the residual of the returned x — the old behaviour
+  // appended best_norm after the revert, duplicating it and leaving the
+  // diverged entries in place.
   EXPECT_DOUBLE_EQ(r.residual_norms.back(), residual_norm(a3, r.x, b));
-  EXPECT_LE(r.residual_norms.back(), r.residual_norms.front());
 }
 
 TEST(SolveTest, SizeMismatchThrows) {
